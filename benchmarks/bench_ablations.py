@@ -1,0 +1,237 @@
+"""EXPERIMENTS SIM-10..SIM-15 -- design-choice ablations (DESIGN.md §4).
+
+Each ablation sweeps a design knob of an executable activity and asserts
+the qualitative shape the activity teaches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.unplugged import (
+    Classroom,
+    copy_volume,
+    grid_shapes,
+    halo_volume,
+    run_assembly_line,
+    run_cache_library,
+    run_dining_philosophers,
+    run_exam_grading,
+    run_recipe_scheduling,
+    run_synchronization_relay,
+)
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_matrix_tiling_ablation(benchmark):
+    """SIM-10: squarer team grids copy less input (surface-to-volume)."""
+    n, teams = 24, 12
+
+    def sweep():
+        return {
+            f"{r}x{c}": copy_volume(n, r, c)
+            for r, c in grid_shapes(teams)
+            if n % r == 0 and n % c == 0
+        }
+
+    volumes = benchmark(sweep)
+    print()
+    print(f"Matrix copy volume by grid (n={n}, {teams} teams):", volumes)
+    assert volumes["1x12"] > volumes["3x4"]
+    assert min(volumes.values()) == volumes["3x4"] or min(volumes.values()) == volumes.get("4x3", 10**9)
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_stencil_halo_ablation(benchmark):
+    """SIM-11: block decomposition exchanges less halo than strips."""
+    n = 24
+
+    def sweep():
+        out = {}
+        for teams in (4, 6, 12):
+            shapes = [(r, teams // r) for r in range(1, teams + 1)
+                      if teams % r == 0 and n % r == 0 and n % (teams // r) == 0]
+            out[teams] = {f"{r}x{c}": halo_volume(n, r, c) for r, c in shapes}
+        return out
+
+    halos = benchmark(sweep)
+    print()
+    print("Stencil halo volume by tiling:", halos)
+    for teams, by_shape in halos.items():
+        strip = by_shape.get(f"1x{teams}")
+        if strip is not None:
+            assert min(by_shape.values()) <= strip
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_cache_locality_ablation(benchmark):
+    """SIM-12: hit rate (and thus AMAT) tracks the locality knob."""
+    room = Classroom(8, seed=5)
+
+    def sweep():
+        return {
+            loc: run_cache_library(room, locality=loc).metrics
+            for loc in (0.0, 0.5, 0.9)
+        }
+
+    results = benchmark(sweep)
+    print()
+    print("Cache-library AMAT vs locality:")
+    for loc, m in results.items():
+        print(f"  locality={loc:.1f}  hit={m['focused_hit_rate']:.2f}  "
+              f"AMAT={m['focused_amat_minutes']:.1f} min")
+    hits = [m["focused_hit_rate"] for m in results.values()]
+    assert hits == sorted(hits)
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_pipeline_hazard_ablation(benchmark):
+    """SIM-13: CPI grows with stall frequency; flushes cost stage-1 each."""
+    room = Classroom(8, seed=1)
+
+    def sweep():
+        return {
+            stall_every: run_assembly_line(
+                room, cars=60, stall_every=stall_every,
+                model_change_every=0,
+            ).metrics["cpi"]
+            for stall_every in (0, 10, 5, 2)
+        }
+
+    cpis = benchmark(sweep)
+    print()
+    print("Assembly-line CPI vs stall frequency:", {k: round(v, 3) for k, v in cpis.items()})
+    assert cpis[0] < cpis[10] < cpis[5] < cpis[2]
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_relay_discipline_tradeoff(benchmark):
+    """SIM-14: the synchronization-construct trade-off table."""
+    room = Classroom(8, seed=2)
+
+    result = benchmark(run_synchronization_relay, room)
+    m = result.metrics
+    print()
+    print("Relay hand-off disciplines:")
+    for scheme in ("busy-wait", "signal", "tray"):
+        print(f"  {scheme:10}  time={m['times'][scheme]:7.2f}  "
+              f"wasted polls={m['wasted_polls'][scheme]}")
+    assert m["wasted_polls"]["busy-wait"] > m["wasted_polls"]["tray"]
+    assert m["wasted_polls"]["signal"] == 0
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_recipe_cooks_sweep(benchmark):
+    """SIM-15: dinner makespan falls to the span wall, then flattens."""
+    room = Classroom(8, seed=3)
+
+    result = benchmark(run_recipe_scheduling, room, None, 6)
+    spans = result.metrics["makespans"]
+    print()
+    print(f"Dinner makespan by cooks (work={result.metrics['work']}, "
+          f"span={result.metrics['span']}):", spans)
+    assert spans[1] == result.metrics["work"]
+    assert min(spans.values()) >= result.metrics["span"]
+    assert spans[6] < spans[1]
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_amdahl_fit_quality(benchmark):
+    """SIM-16: Karp-Flatt recovers the grading activity's serial fraction."""
+    def fit(jitter: float) -> tuple[float, float]:
+        room = Classroom(8, seed=4, step_time_jitter=jitter)
+        m = run_exam_grading(room).metrics
+        return m["true_serial_fraction"], m["mean_fitted_serial_fraction"]
+
+    def sweep():
+        return {j: fit(j) for j in (0.0, 0.1, 0.3)}
+
+    results = benchmark(sweep)
+    print()
+    print("Karp-Flatt serial-fraction fits (true, fitted):",
+          {j: (round(t, 3), round(f, 3)) for j, (t, f) in results.items()})
+    true0, fit0 = results[0.0]
+    assert abs(fit0 - true0) < 0.03
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_race_detector_comparison(benchmark):
+    """SIM-18: lockset vs happens-before precision on two scenarios."""
+    from repro.unplugged.sim.sharedmem import SharedMemory
+    from repro.unplugged.sim.vectorclock import HappensBeforeDetector
+
+    def run_both():
+        out = {}
+        # Scenario 1: the unsynchronized juice schedule (a true race).
+        ls = SharedMemory()
+        ls.poke("sugar", 0)
+        ls.read("sugar", "A"); ls.read("sugar", "B")
+        ls.write("sugar", "A", 1); ls.write("sugar", "B", 1)
+        hb = HappensBeforeDetector()
+        hb.read("sugar", "A"); hb.read("sugar", "B")
+        hb.write("sugar", "A"); hb.write("sugar", "B")
+        out["true-race"] = (bool(ls.races), bool(hb.races))
+        # Scenario 2: a fork/join hand-off (ordered, no common lock).
+        ls2 = SharedMemory()
+        ls2.write("x", "parent", 1)
+        ls2.write("x", "child", 2)
+        hb2 = HappensBeforeDetector()
+        hb2.write("x", "parent")
+        hb2.fork("parent", "child")
+        hb2.write("x", "child")
+        out["fork-join"] = (bool(ls2.races), bool(hb2.races))
+        return out
+
+    results = benchmark(run_both)
+    print()
+    print("Detector comparison (lockset flagged, happens-before flagged):",
+          results)
+    assert results["true-race"] == (True, True)
+    assert results["fork-join"] == (True, False)   # lockset false positive
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_strong_vs_weak_scaling(benchmark):
+    """SIM-19: Amdahl (fixed stack) vs Gustafson (stack grows with staff)."""
+    from repro.unplugged import run_weak_scaling_grading
+
+    room = Classroom(8, seed=7, step_time_jitter=0.1)
+
+    def run_both():
+        strong = run_exam_grading(room).metrics["speedups"]
+        weak = run_weak_scaling_grading(room).metrics["scaled_speedups"]
+        return strong, weak
+
+    strong, weak = benchmark(run_both)
+    print()
+    print("Strong (Amdahl) vs weak (Gustafson) scaling at p = 1..8:")
+    for p in sorted(strong):
+        print(f"  p={p}: strong {strong[p]:.2f}  weak {weak[p]:.2f}")
+    assert weak[8] > strong[8]
+
+
+@pytest.mark.benchmark(group="trends")
+def test_assessment_trend(benchmark, catalog):
+    """S-TRENDS: 'assessing unplugged activities is a relatively recent
+    trend', quantified."""
+    from repro.analytics.trends import assessment_trend, publication_histogram
+
+    trend = benchmark(assessment_trend, catalog)
+    print()
+    print("Publication decades:", publication_histogram(catalog))
+    print("Assessment trend:", trend.describe())
+    assert trend.median_a > trend.median_b
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_philosopher_fix_throughput(benchmark):
+    """SIM-17: both deadlock fixes complete; the waiter admits more overlap."""
+    room = Classroom(8, seed=6)
+
+    result = benchmark(run_dining_philosophers, room, 5, 3)
+    m = result.metrics
+    print()
+    print(f"Dining: greedy deadlocked={m['greedy_deadlocked']}; "
+          f"ordered={m['ordered_time']:.1f}, waiter={m['waiter_time']:.1f}")
+    assert m["greedy_deadlocked"]
+    assert m["ordered_meals"] == m["waiter_meals"] == 15

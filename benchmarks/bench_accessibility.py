@@ -1,0 +1,31 @@
+"""EXPERIMENTS S-MEDIUM and S-SENSES -- §III-D accessibility statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.analytics import accessibility_stats, render_accessibility
+
+
+@pytest.mark.benchmark(group="sec3d")
+def test_medium_counts_reproduce_paper(benchmark, catalog):
+    stats = benchmark(accessibility_stats, catalog)
+    for medium, want in paper.MEDIUM_COUNTS.items():
+        assert stats.mediums[medium] == want, medium
+    print()
+    print("Accessibility (Sec. III-D)")
+    print(render_accessibility(catalog))
+
+
+@pytest.mark.benchmark(group="sec3d")
+def test_sense_stats_reproduce_paper(benchmark, catalog):
+    stats = benchmark(accessibility_stats, catalog)
+    for sense, want in paper.SENSE_COUNTS.items():
+        assert stats.senses[sense] == want, sense
+    assert abs(stats.visual_percent - 71.05) < 0.01
+    assert abs(stats.touch_percent - 26.32) < 0.01
+    # Paper prints 38.84% for movement; 14/38 = 36.84% is the consistent value.
+    assert abs(stats.movement_percent - 36.84) < 0.01
+    assert stats.sound_count == 2
+    assert stats.generally_accessible == 9

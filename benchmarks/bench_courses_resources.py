@@ -1,0 +1,34 @@
+"""EXPERIMENTS S-COURSES and S-RES -- §III-A course counts and resource rate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.analytics import (
+    course_counts,
+    render_course_counts,
+    render_resources,
+    resource_stats,
+)
+
+
+@pytest.mark.benchmark(group="sec3a")
+def test_course_counts_reproduce_paper(benchmark, catalog):
+    counts = benchmark(course_counts, catalog)
+    assert counts == paper.COURSE_COUNTS
+    print()
+    print("Course distribution (Sec. III-A)")
+    print(render_course_counts(catalog))
+
+
+@pytest.mark.benchmark(group="sec3a")
+def test_resource_availability(benchmark, catalog):
+    stats = benchmark(resource_stats, catalog)
+    assert stats.with_resources == paper.RESOURCE_COUNT_REPRODUCED
+    assert stats.fraction < 0.5                      # "less than half"
+    assert abs(stats.percent - 42.1) < 0.1           # 16/38; paper prints 41%
+    assert stats.older_fraction < stats.newer_fraction
+    print()
+    print("External resources (Sec. III-A; paper prints 41%)")
+    print(render_resources(catalog))

@@ -1,0 +1,96 @@
+"""Engine-throughput benchmarks: the substrate's own performance.
+
+Not paper experiments -- these track the discrete-event kernel,
+communicator, and interleaving explorer so regressions in the substrate
+show up in the bench history.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+
+from repro.unplugged.sim.comm import Communicator
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.sharedmem import Step, explore_interleavings
+from repro.unplugged.sim.sync import Store
+
+
+@pytest.mark.benchmark(group="engine")
+def test_event_throughput(benchmark):
+    """Raw timeout events through the kernel."""
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(2000):
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        return sim.run()
+
+    final = benchmark(run)
+    assert final == 2000.0
+
+
+@pytest.mark.benchmark(group="engine")
+def test_producer_consumer_throughput(benchmark):
+    """Store hand-offs between two processes."""
+    def run():
+        sim = Simulator()
+        store = Store(sim, capacity=4)
+        n = 500
+
+        def producer():
+            for i in range(n):
+                yield store.put(i)
+
+        def consumer():
+            total = 0
+            for _ in range(n):
+                item = yield store.get()
+                total += item
+            return total
+
+        sim.process(producer())
+        proc = sim.process(consumer())
+        sim.run()
+        return proc.value
+
+    assert benchmark(run) == sum(range(500))
+
+
+@pytest.mark.benchmark(group="engine")
+def test_allreduce_throughput(benchmark):
+    """A 32-rank allreduce through the communicator."""
+    def run():
+        sim = Simulator()
+        comm = Communicator(sim, 32)
+        results = {}
+
+        def prog(ep):
+            results[ep.rank] = yield from ep.allreduce(ep.rank, operator.add)
+
+        comm.launch(prog)
+        sim.run()
+        return results[0]
+
+    assert benchmark(run) == sum(range(32))
+
+
+@pytest.mark.benchmark(group="engine")
+def test_interleaving_explorer_throughput(benchmark):
+    """Exhaustive exploration of a 3x3-step interleaving space (1680
+    schedules)."""
+    def make(actor):
+        return [Step(f"s{i}", lambda s: None) for i in range(3)]
+
+    def run():
+        return explore_interleavings(
+            {"a": make("a"), "b": make("b"), "c": make("c")},
+            {},
+            violates=lambda s: False,
+        ).total
+
+    assert benchmark(run) == 1680

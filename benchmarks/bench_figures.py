@@ -1,0 +1,69 @@
+"""EXPERIMENTS FIG1, FIG2, FIG3 -- the paper's three figures, regenerated.
+
+* Fig. 1: the activity Markdown template (archetype instantiation).
+* Fig. 2: the FindSmallestCard front-matter header (parse + round-trip).
+* Fig. 3: the rendered activity header with colored taxonomy chips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sitegen import frontmatter
+from repro.sitegen.archetypes import ACTIVITY_ARCHETYPE, render_archetype
+
+FIG2_HEADER = '''---
+title: "FindSmallestCard"
+cs2013: ["PD_ParallelDecomposition", \\
+"PD_ParallelAlgorithms"]
+tcpp: ["TCPP_Algorithms", "TCPP_Programming"]
+courses: ["CS1", "CS2", "DSA"]
+senses: ["touch", "visual"]
+---
+'''
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1_archetype(benchmark):
+    text = benchmark(render_archetype)
+    assert text == ACTIVITY_ARCHETYPE
+    headings = [l for l in text.split("\n") if l.startswith("## ")]
+    assert len(headings) == 7
+    print()
+    print("FIG 1 (reproduced activity template)")
+    print(text)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig2_header_parses(benchmark):
+    data = benchmark(frontmatter.parse, FIG2_HEADER)
+    assert data["title"] == "FindSmallestCard"
+    assert data["cs2013"] == ["PD_ParallelDecomposition", "PD_ParallelAlgorithms"]
+    assert data["tcpp"] == ["TCPP_Algorithms", "TCPP_Programming"]
+    assert data["courses"] == ["CS1", "CS2", "DSA"]
+    assert data["senses"] == ["touch", "visual"]
+    assert frontmatter.parse(frontmatter.serialize(data)) == data
+    print()
+    print("FIG 2 (parsed FindSmallestCard header)")
+    for key, value in data.items():
+        print(f"  {key}: {value}")
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3_rendered_header(benchmark, catalog):
+    site = catalog.site()
+    page = site.page("findsmallestcard")
+    html = benchmark(site.render_page, page)
+    # The Fig. 3 properties: one colored chip per visible-taxonomy term,
+    # each linking to its term page; hidden taxonomies absent.
+    for term in ("PD_ParallelDecomposition", "PD_ParallelAlgorithms",
+                 "TCPP_Algorithms", "TCPP_Programming",
+                 "CS1", "CS2", "DSA", "touch", "visual"):
+        assert term in html, term
+    assert 'href="/senses/touch/"' in html
+    assert 'chip-blue' in html and 'chip-green' in html
+    assert 'chip-orange' in html and 'chip-purple' in html
+    assert 'data-taxonomy="cs2013details"' not in html
+    assert 'data-taxonomy="medium"' not in html
+    print()
+    print("FIG 3 (rendered header): chips for 9 terms across 4 taxonomies OK")

@@ -1,0 +1,52 @@
+"""EXPERIMENT S-GAPS -- §III-B/C/E gap identification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.analytics import gap_report, uncovered_topics
+
+
+@pytest.mark.benchmark(group="gaps")
+def test_gap_report_reproduces_named_holes(benchmark, catalog):
+    report = benchmark(gap_report, catalog)
+
+    # §III-B: PF misses "distinguish data races from higher level races".
+    assert "PF_3" in report.cs2013_gaps["PD_ParallelismFundamentals"]
+    # §III-B: PD misses only the actor-programming outcome.
+    assert report.cs2013_gaps["PD_ParallelDecomposition"] == ["PD_6"]
+
+    # §III-C: FP representation and Performance Metrics are empty.
+    for category in paper.EMPTY_ARCHITECTURE_CATEGORIES:
+        assert f"Architecture: {category}" in report.empty_categories
+
+    # §III-C: the five named crosscutting holes.
+    crosscutting = set(report.tcpp_gaps["TCPP_Crosscutting"])
+    assert crosscutting == set(paper.UNCOVERED_CROSSCUTTING_TOPICS)
+
+    # §III-C: recursion / reduction / scan missing from Algorithmic Paradigms,
+    # broadcast and scatter/gather from Algorithmic Problems.
+    algorithms = set(report.tcpp_gaps["TCPP_Algorithms"])
+    assert {"C_Recursion", "A_Reduction", "A_Scan",
+            "C_Broadcast", "C_ScatterGather"} <= algorithms
+
+    # §III-E: touch and sound are sparse; assessment is rare.
+    assert {"touch", "sound"} <= set(report.sparse_senses)
+    assert len(report.activities_without_assessment) >= len(catalog) // 2
+
+    print()
+    print("Gap analysis (Sec. III-B/C/E)")
+    print(f"  uncovered CS2013 outcomes: {report.total_uncovered_outcomes}/67")
+    print(f"  uncovered TCPP topics:     {report.total_uncovered_topics}/97")
+    print(f"  empty categories:          {report.empty_categories}")
+    print(f"  crosscutting holes:        {sorted(crosscutting)}")
+    print(f"  sparse senses:             {report.sparse_senses}")
+    print(f"  unassessed activities:     "
+          f"{len(report.activities_without_assessment)}/{len(catalog)}")
+
+
+@pytest.mark.benchmark(group="gaps")
+def test_uncovered_topics_total(benchmark, catalog):
+    gaps = benchmark(uncovered_topics, catalog)
+    assert sum(len(v) for v in gaps.values()) == 97 - 49

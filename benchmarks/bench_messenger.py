@@ -1,0 +1,33 @@
+"""EXPERIMENT EXT-ARQ -- the unreliable-messenger extension, swept.
+
+Not a paper table: this fills the fault-tolerance gap the paper's §III-E
+calls out.  Sweeps the loss rate and asserts exactly-once in-order
+delivery with retransmission overhead growing with loss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.unplugged import Classroom, run_stop_and_wait
+
+
+@pytest.mark.benchmark(group="messenger")
+def test_arq_loss_sweep(benchmark):
+    def sweep():
+        out = {}
+        for loss in (0.0, 0.2, 0.4, 0.6):
+            result = run_stop_and_wait(Classroom(8, seed=1), letters=25,
+                                       loss_rate=loss)
+            assert result.all_checks_pass, (loss, result.checks)
+            out[loss] = (result.metrics["measured_overhead"],
+                         result.metrics["expected_overhead"])
+        return out
+
+    results = benchmark(sweep)
+    print()
+    print("Stop-and-wait overhead vs loss (measured, naive 1/(1-p)^2 model):")
+    for loss, (measured, model) in results.items():
+        print(f"  p={loss:.1f}: {measured:5.2f} (model {model:5.2f})")
+    overheads = [m for m, _ in results.values()]
+    assert overheads == sorted(overheads)

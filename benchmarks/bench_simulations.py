@@ -1,0 +1,207 @@
+"""EXPERIMENTS SIM-* -- executable-activity ablations.
+
+The paper's activities make qualitative claims (tournaments are
+logarithmic, batching amortizes latency, work stealing beats static
+splits, agreement needs n > 3m, the ring always re-stabilizes).  These
+benchmarks regenerate the corresponding quantitative series from the
+simulations and assert the claims' *shape* -- who wins, by what factor,
+where the crossover falls.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.unplugged import (
+    Classroom,
+    om_agreement,
+    run_find_smallest_card,
+    run_gardeners,
+    run_juice_robots,
+    run_memory_models,
+    run_odd_even_sort,
+    run_phone_call,
+)
+from repro.unplugged.sim.comm import CostModel
+from repro.unplugged.token_ring import run_token_ring
+
+
+@pytest.mark.benchmark(group="sim-speedup")
+def test_tournament_speedup_curve(benchmark):
+    """SIM-1: FindSmallestCard speedup grows ~ n / log2 n."""
+    sizes = (4, 8, 16, 32, 64)
+
+    def curve():
+        return {
+            n: run_find_smallest_card(Classroom(n, seed=1)).metrics["speedup"]
+            for n in sizes
+        }
+
+    speedups = benchmark(curve)
+    print()
+    print("FindSmallestCard speedup vs class size")
+    for n, s in speedups.items():
+        print(f"  n={n:3d}  speedup={s:6.2f}  (n-1)/ceil(log2 n)="
+              f"{(n - 1) / math.ceil(math.log2(n)):6.2f}")
+    assert all(speedups[b] > speedups[a]
+               for a, b in zip(sizes, sizes[1:]))
+    # Within 2x of the ideal (n-1)/ceil(log2 n) despite speed jitter.
+    for n in sizes:
+        ideal = (n - 1) / math.ceil(math.log2(n))
+        assert speedups[n] > ideal / 2
+
+
+@pytest.mark.benchmark(group="sim-speedup")
+def test_odd_even_speedup_curve(benchmark):
+    """SIM-2: odd-even transposition beats bubble sort by ~n/2."""
+    def curve():
+        return {
+            n: run_odd_even_sort(Classroom(n, seed=2)).metrics["speedup"]
+            for n in (8, 16, 32)
+        }
+
+    speedups = benchmark(curve)
+    print()
+    print("OddEvenTranspositionSort speedup vs class size:",
+          {n: round(s, 2) for n, s in speedups.items()})
+    assert speedups[32] > speedups[8]
+    assert speedups[32] > 4.0
+
+
+@pytest.mark.benchmark(group="sim-ablation")
+def test_tournament_arity_ablation(benchmark):
+    """SIM-3: k-ary tournament rounds shrink as log_k n; comparisons fixed."""
+    n = 64
+
+    def sweep():
+        return {
+            k: run_find_smallest_card(Classroom(n, seed=3), arity=k).metrics
+            for k in (2, 3, 4, 8)
+        }
+
+    results = benchmark(sweep)
+    print()
+    print("Tournament arity ablation (n=64)")
+    for k, m in results.items():
+        print(f"  arity={k}  rounds={m['rounds']}  comparisons={m['comparisons']}")
+    rounds = [m["rounds"] for m in results.values()]
+    assert rounds == sorted(rounds, reverse=True)
+    assert all(m["comparisons"] == n - 1 for m in results.values())
+
+
+@pytest.mark.benchmark(group="sim-comm")
+def test_phone_call_alpha_sweep(benchmark):
+    """SIM-4: batching savings grow linearly with latency alpha."""
+    room = Classroom(4, seed=1)
+
+    def sweep():
+        return {
+            alpha: run_phone_call(room, alpha=alpha).metrics["savings_factor"]
+            for alpha in (0.5, 2.0, 8.0, 32.0)
+        }
+
+    savings = benchmark(sweep)
+    print()
+    print("Phone-call batching savings vs alpha:",
+          {a: round(s, 2) for a, s in savings.items()})
+    factors = list(savings.values())
+    assert factors == sorted(factors)
+    assert factors[-1] > 5.0
+
+
+@pytest.mark.benchmark(group="sim-comm")
+def test_memory_model_crossover(benchmark):
+    """SIM-5: whiteboard wins small classes, islands win large ones; the
+    crossover moves with letter latency."""
+    cost = CostModel(alpha=3.0, beta=0.01)
+
+    def sweep():
+        out = {}
+        for n in (2, 4, 8, 16, 32, 64):
+            m = run_memory_models(Classroom(n, seed=1), write_time=1.0,
+                                  letter_cost=cost).metrics
+            out[n] = (m["whiteboard_time"], m["islands_time"], m["faster_model"])
+        return out
+
+    results = benchmark(sweep)
+    print()
+    print("Shared whiteboard vs desert islands (alpha=3)")
+    for n, (wb, isl, winner) in results.items():
+        print(f"  n={n:3d}  whiteboard={wb:7.2f}  islands={isl:7.2f}  -> {winner}")
+    assert results[2][2] == "whiteboard"
+    assert results[64][2] == "islands"
+    crossover = min(n for n, r in results.items() if r[2] == "islands")
+    assert 4 <= crossover <= 32
+
+
+@pytest.mark.benchmark(group="sim-correctness")
+def test_race_interleaving_census(benchmark):
+    """SIM-6: 4 of 6 juice-robot interleavings double-sweeten."""
+    room = Classroom(4, seed=1)
+    result = benchmark(run_juice_robots, room)
+    assert result.metrics["interleavings"] == 6
+    assert result.metrics["double_sugar_schedules"] == 4
+    print()
+    print("Juice robots:", result.metrics["outcome_histogram"],
+          f"violation rate {result.metrics['violation_rate']:.2f}")
+
+
+@pytest.mark.benchmark(group="sim-distributed")
+def test_byzantine_boundary_sweep(benchmark):
+    """SIM-7: OM(m) agreement holds iff n > 3m (sweep m at n=7)."""
+    def sweep():
+        out = {}
+        for n, m in ((4, 1), (7, 2), (10, 3), (3, 1), (6, 2)):
+            traitors = set(range(n - m, n))
+            agreement, validity, _ = om_agreement(n, m, traitors)
+            out[(n, m)] = agreement and validity
+        return out
+
+    results = benchmark(sweep)
+    print()
+    print("Byzantine OM(m) agreement:", results)
+    assert results[(4, 1)] and results[(7, 2)] and results[(10, 3)]
+    # At n <= 3m the guarantee is void; our deterministic adversary
+    # actually breaks agreement at (3, 1).
+    assert not results[(3, 1)]
+
+
+@pytest.mark.benchmark(group="sim-distributed")
+def test_token_ring_stabilization_scaling(benchmark):
+    """SIM-8: stabilization steps stay bounded (O(n^2)-ish) as rings grow."""
+    def sweep():
+        return {
+            n: run_token_ring(Classroom(n, seed=4), corruptions=4).metrics[
+                "mean_stabilization_steps"]
+            for n in (4, 8, 16)
+        }
+
+    means = benchmark(sweep)
+    print()
+    print("Token-ring mean stabilization steps:",
+          {n: round(v, 1) for n, v in means.items()})
+    for n, mean in means.items():
+        assert mean <= 3 * n * n, (n, mean)
+
+
+@pytest.mark.benchmark(group="sim-scheduling")
+def test_work_stealing_improvement(benchmark):
+    """SIM-9: note-based work stealing beats the static garden split."""
+    def sweep():
+        return {
+            g: run_gardeners(Classroom(g, seed=1), n_plants=48).metrics
+            for g in (2, 4, 8)
+        }
+
+    results = benchmark(sweep)
+    print()
+    print("Gardeners static vs stealing makespan")
+    for g, m in results.items():
+        print(f"  gardeners={g}  static={m['static_makespan']:.2f}  "
+              f"stealing={m['dynamic_makespan']:.2f}  "
+              f"improvement={m['improvement']:.2f}x")
+    for m in results.values():
+        assert m["dynamic_makespan"] <= m["static_makespan"] + 1e-9
+    assert results[8]["improvement"] > 1.1

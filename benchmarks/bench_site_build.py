@@ -1,0 +1,55 @@
+"""EXPERIMENT S-BUILD -- the Hugo-substitute's "fast build times" (§II).
+
+Times a full site build of the 38-activity corpus (home page, one page per
+activity, taxonomy and term listing pages), and ablates the taxonomy
+indexing strategy (eager inverted index vs per-query scan).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sitegen.site import SiteConfig
+
+
+@pytest.mark.benchmark(group="site-build")
+def test_full_site_build(benchmark, catalog, tmp_path):
+    site = catalog.site()
+
+    def build():
+        return site.build(tmp_path / "out")
+
+    stats = benchmark(build)
+    assert stats.pages_rendered == 39          # home + 38 activities
+    assert stats.terms_rendered > 60           # taxonomy + term pages
+    print()
+    print(f"site build: {stats.total_files} files in {stats.duration_s * 1e3:.1f} ms")
+
+
+@pytest.mark.benchmark(group="site-build")
+def test_indexed_strategy(benchmark, catalog):
+    def query_all():
+        index = catalog.taxonomy_index(strategy="indexed")
+        return [index.taxonomy(t.name).sorted_terms() for t in index.taxonomies()]
+
+    benchmark(query_all)
+
+
+@pytest.mark.benchmark(group="site-build")
+def test_scan_strategy_ablation(benchmark, catalog):
+    """Ablation: the lazy per-query scan answers identically but re-walks
+    all pages per taxonomy query."""
+    def query_all():
+        index = catalog.taxonomy_index(strategy="scan")
+        return [index.taxonomy(t.name).sorted_terms() for t in index.taxonomies()]
+
+    benchmark(query_all)
+
+
+@pytest.mark.benchmark(group="site-build")
+def test_corpus_parse(benchmark):
+    """Parsing the whole content tree (the other half of a Hugo build)."""
+    from repro.activities import load_default_catalog
+
+    catalog = benchmark(lambda: load_default_catalog(validate_corpus=False))
+    assert len(catalog) == 38

@@ -1,0 +1,31 @@
+"""EXPERIMENT T1 -- Table I: CS2013 coverage.
+
+Regenerates the paper's Table I from the corpus, asserts every cell, and
+times the coverage engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.analytics import cs2013_coverage, render_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_reproduces_paper(benchmark, catalog):
+    rows = benchmark(cs2013_coverage, catalog)
+    for row in rows:
+        outcomes, covered, activities = paper.TABLE1[row.term]
+        assert (row.num_outcomes, row.num_covered, row.total_activities) == (
+            outcomes, covered, activities,
+        ), row.term
+    print()
+    print("TABLE I (reproduced)")
+    print(render_table1(catalog))
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_rendering(benchmark, catalog):
+    text = benchmark(render_table1, catalog)
+    assert "83.33%" in text and "11.11%" in text

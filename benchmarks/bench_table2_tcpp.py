@@ -1,0 +1,41 @@
+"""EXPERIMENT T2 -- Table II: TCPP coverage, plus the §III-C drill-down."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.analytics import (
+    render_category_table,
+    render_table2,
+    tcpp_category_coverage,
+    tcpp_coverage,
+)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_reproduces_paper(benchmark, catalog):
+    rows = benchmark(tcpp_coverage, catalog)
+    for row in rows:
+        topics, covered, activities = paper.TABLE2[row.term]
+        assert (row.num_topics, row.num_covered, row.total_activities) == (
+            topics, covered, activities,
+        ), row.term
+    print()
+    print("TABLE II (reproduced)")
+    print(render_table2(catalog))
+
+
+@pytest.mark.benchmark(group="table2")
+def test_category_drilldown_reproduces_sec3c(benchmark, catalog):
+    rows = benchmark(tcpp_category_coverage, catalog)
+    by_key = {(r.area, r.category): r for r in rows}
+    for (area, category), want in paper.CATEGORY_CLAIMS.items():
+        row = by_key[(area, category)]
+        if want is None:
+            assert row.num_covered == 0, (area, category)
+        else:
+            assert abs(row.percent_coverage - want) < 0.01, (area, category)
+    print()
+    print("TCPP categories (Sec. III-C)")
+    print(render_category_table(catalog))

@@ -1,0 +1,12 @@
+"""Benchmark fixtures: the corpus, loaded once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activities import load_default_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return load_default_catalog()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Plan a semester of unplugged interventions for a CS2 course.
+
+An educator wants one unplugged activity per unit of a CS2 course that is
+adding PDC coverage.  This example chains the library's layers the way a
+real planning session would:
+
+1. pick the TCPP topics the course must cover (from the standards model),
+2. for each topic, find the curated activities covering it (the hidden
+   ``tcppdetails`` taxonomy) and filter to CS2-recommended ones,
+3. break ties with full-text search and prefer activities with assessment,
+4. report the plan's CS2013 coverage and what remains uncovered, and
+5. dry-run each planned activity's simulation to produce the instructor's
+   numbers for the board.
+"""
+
+from __future__ import annotations
+
+from repro import load_default_catalog
+from repro.analytics import cs2013_coverage
+from repro.sitegen.search import SearchIndex
+from repro.standards import tcpp
+from repro.unplugged import SIMULATIONS, Classroom
+
+#: The CS2 units the course plans to touch, as TCPP detail terms.
+SYLLABUS = [
+    ("Week 3: what speedup means", "C_Speedup"),
+    ("Week 5: decomposing data", "C_DataDistribution"),
+    ("Week 7: races and locks", "C_DataRaces"),
+    ("Week 9: deadlock", "C_Deadlock"),
+    ("Week 11: sorting in parallel", "A_Sorting"),
+    ("Week 13: machines that share or don't", "C_SharedVsDistributedMemory"),
+]
+
+
+def main() -> int:
+    catalog = load_default_catalog()
+    index = SearchIndex.from_catalog(catalog)
+
+    plan: list[tuple[str, str]] = []
+    print("CS2 unplugged plan")
+    print("==================")
+    for week, topic_term in SYLLABUS:
+        area, topic = tcpp.topic_for_detail_term(topic_term)
+        candidates = [
+            a for a in catalog.with_term("tcppdetails", topic_term)
+            if "CS2" in a.courses
+        ]
+        if not candidates:
+            candidates = catalog.with_term("tcppdetails", topic_term)
+        # Prefer assessed activities, then the best search match for the topic.
+        ranked_names = [h.name for h in index.search(topic.name, limit=20)]
+        candidates.sort(
+            key=lambda a: (
+                not a.has_assessment,
+                ranked_names.index(a.name) if a.name in ranked_names else 99,
+                a.name,
+            )
+        )
+        choice = candidates[0]
+        plan.append((week, choice.name))
+        assessed = "assessed" if choice.has_assessment else "no known assessment"
+        print(f"  {week}")
+        print(f"    topic: {topic.bloom.description}: {topic.name}")
+        print(f"    pick:  {choice.title} ({assessed}; "
+              f"mediums: {', '.join(choice.medium)})")
+
+    # Coverage the plan achieves against CS2013.
+    chosen = {name for _, name in plan}
+    from repro.activities import Catalog
+
+    subset = Catalog([catalog.get(n) for n in sorted(chosen)])
+    print()
+    print("CS2013 coverage of the plan alone:")
+    for row in cs2013_coverage(subset):
+        if row.total_activities:
+            print(f"  {row.name}: {row.num_covered}/{row.num_outcomes} outcomes, "
+                  f"{row.total_activities} activities")
+
+    # Dry-run the simulations to prep the board numbers.
+    print()
+    print("Instructor dry-runs (seed 42, 24 students):")
+    for week, name in plan:
+        if name in SIMULATIONS:
+            result = SIMULATIONS[name](Classroom(24, seed=42, step_time_jitter=0.2))
+            status = "OK" if result.all_checks_pass else "CHECK FAILURES"
+            headline = next(iter(result.metrics.items()))
+            print(f"  {name:28} {status}; e.g. {headline[0]} = {headline[1]}")
+        else:
+            print(f"  {name:28} (discussion activity, no simulation)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

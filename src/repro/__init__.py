@@ -1,0 +1,62 @@
+"""PDCunplugged, reproduced as a Python library.
+
+A full reproduction of Matthews, *PDCunplugged: A Free Repository of
+Unplugged Parallel & Distributed Computing Activities* (IPDPSW 2020):
+
+* :mod:`repro.sitegen` -- the Hugo-substitute static-site and taxonomy
+  engine the repository runs on.
+* :mod:`repro.standards` -- machine-readable CS2013 PD and TCPP 2012
+  curricula.
+* :mod:`repro.activities` -- the curated 38-activity corpus and its
+  schema/parser/catalog.
+* :mod:`repro.analytics` -- the paper's evaluation (Tables I/II, course,
+  medium, sense, resource, and gap statistics).
+* :mod:`repro.unplugged` -- executable simulations of the activities on a
+  deterministic discrete-event classroom.
+* :mod:`repro.paper` -- the published numbers, as machine-readable
+  expectations.
+
+Quickstart::
+
+    from repro import load_default_catalog, render_table1
+    catalog = load_default_catalog()
+    print(render_table1(catalog))
+"""
+
+from repro._version import __version__
+from repro.activities import Activity, Catalog, load_default_catalog
+from repro.analytics import (
+    accessibility_stats,
+    course_counts,
+    cs2013_coverage,
+    gap_report,
+    render_table1,
+    render_table2,
+    resource_stats,
+    tcpp_coverage,
+)
+from repro.errors import ReproError
+from repro.sitegen import Site, SiteConfig, new_activity
+from repro.unplugged import SIMULATIONS, ActivityResult, Classroom
+
+__all__ = [
+    "Activity",
+    "ActivityResult",
+    "Catalog",
+    "Classroom",
+    "ReproError",
+    "SIMULATIONS",
+    "Site",
+    "SiteConfig",
+    "__version__",
+    "accessibility_stats",
+    "course_counts",
+    "cs2013_coverage",
+    "gap_report",
+    "load_default_catalog",
+    "new_activity",
+    "render_table1",
+    "render_table2",
+    "resource_stats",
+    "tcpp_coverage",
+]

@@ -1,0 +1,41 @@
+"""``repro.activities``: the curated unplugged-activity corpus.
+
+* :mod:`repro.activities.schema` -- the :class:`Activity` model, section
+  structure, vocabularies, and validation.
+* :mod:`repro.activities.parser` / :mod:`repro.activities.writer` --
+  Markdown round-trip.
+* :mod:`repro.activities.catalog` -- loading and querying the corpus.
+
+The corpus itself lives in ``repro/activities/content/*.md``: 38 activities
+re-curated from the literature the paper cites, calibrated so every
+aggregate statistic the paper reports is reproduced (see DESIGN.md).
+"""
+
+from repro.activities.catalog import Catalog, corpus_dir, load_default_catalog
+from repro.activities.parser import parse_activity, parse_activity_file, split_sections
+from repro.activities.schema import (
+    MEDIUMS,
+    NO_RESOURCE_NOTE,
+    SECTION_ORDER,
+    SENSES,
+    Activity,
+    validate,
+)
+from repro.activities.writer import write_activity, write_activity_file
+
+__all__ = [
+    "Activity",
+    "Catalog",
+    "MEDIUMS",
+    "NO_RESOURCE_NOTE",
+    "SECTION_ORDER",
+    "SENSES",
+    "corpus_dir",
+    "load_default_catalog",
+    "parse_activity",
+    "parse_activity_file",
+    "split_sections",
+    "validate",
+    "write_activity",
+    "write_activity_file",
+]

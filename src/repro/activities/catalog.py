@@ -1,0 +1,180 @@
+"""The activity catalog: loading, querying, and indexing the curated corpus.
+
+:class:`Catalog` wraps a list of activities with the query operations the
+website's views and the paper's analysis need: filter by taxonomy term,
+intersect terms, group by term, and adapt into the sitegen
+:class:`~repro.sitegen.taxonomy.TaxonomyIndex` / :class:`~repro.sitegen.site.Site`.
+
+:func:`load_default_catalog` loads the 38-activity curated corpus shipped
+as package data under ``repro/activities/content/``.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.activities.parser import parse_activity, parse_activity_file
+from repro.activities.schema import Activity, validate
+from repro.errors import ActivityError, ValidationError
+from repro.sitegen.site import Page, Site, SiteConfig
+from repro.sitegen.taxonomy import TaxonomyIndex
+
+__all__ = ["Catalog", "load_default_catalog", "corpus_dir"]
+
+
+class Catalog:
+    """An ordered, queryable collection of activities."""
+
+    def __init__(self, activities: Iterable[Activity] = ()):
+        self._activities: list[Activity] = []
+        self._by_name: dict[str, Activity] = {}
+        for activity in activities:
+            self.add(activity)
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, activity: Activity) -> None:
+        if activity.name in self._by_name:
+            raise ActivityError(f"duplicate activity {activity.name!r}")
+        self._activities.append(activity)
+        self._by_name[activity.name] = activity
+
+    @classmethod
+    def from_directory(cls, directory: str | Path) -> "Catalog":
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise ActivityError(f"no such content directory: {directory}")
+        catalog = cls()
+        for path in sorted(directory.glob("*.md")):
+            catalog.add(parse_activity_file(path))
+        return catalog
+
+    @classmethod
+    def from_texts(cls, texts: dict[str, str]) -> "Catalog":
+        catalog = cls()
+        for name in sorted(texts):
+            catalog.add(parse_activity(name, texts[name]))
+        return catalog
+
+    # -- basic access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._activities)
+
+    def __iter__(self) -> Iterator[Activity]:
+        return iter(self._activities)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def activities(self) -> list[Activity]:
+        return list(self._activities)
+
+    @property
+    def names(self) -> list[str]:
+        return [a.name for a in self._activities]
+
+    def get(self, name: str) -> Activity:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ActivityError(f"no activity named {name!r}") from None
+
+    # -- queries -----------------------------------------------------------------
+
+    def with_term(self, taxonomy: str, term: str) -> list[Activity]:
+        """Activities declaring ``term`` under ``taxonomy``."""
+        return [a for a in self._activities if term in a.terms(taxonomy)]
+
+    def with_all_terms(self, taxonomy: str, terms: Iterable[str]) -> list[Activity]:
+        wanted = list(terms)
+        return [
+            a for a in self._activities
+            if all(t in a.terms(taxonomy) for t in wanted)
+        ]
+
+    def where(self, predicate: Callable[[Activity], bool]) -> list[Activity]:
+        return [a for a in self._activities if predicate(a)]
+
+    def group_by_term(self, taxonomy: str) -> dict[str, list[Activity]]:
+        groups: dict[str, list[Activity]] = {}
+        for activity in self._activities:
+            for term in activity.terms(taxonomy):
+                groups.setdefault(term, []).append(activity)
+        return groups
+
+    def term_count(self, taxonomy: str, term: str) -> int:
+        return len(self.with_term(taxonomy, term))
+
+    # -- validation and adapters -------------------------------------------------
+
+    def validate_all(self) -> None:
+        """Validate every activity; aggregates all problems into one error."""
+        problems: list[str] = []
+        for activity in self._activities:
+            try:
+                validate(activity)
+            except ValidationError as exc:
+                problems.extend(exc.problems)
+        if problems:
+            raise ValidationError(problems)
+
+    def taxonomy_index(self, strategy: str = "indexed") -> TaxonomyIndex:
+        """Build the sitegen taxonomy index over all activities."""
+        from repro.sitegen.taxonomy import DEFAULT_TAXONOMIES
+
+        index = TaxonomyIndex(DEFAULT_TAXONOMIES, strategy=strategy)
+        for activity in self._activities:
+            index.add_page(_ActivityPage(activity))
+        return index
+
+    def site(self, config: SiteConfig | None = None) -> Site:
+        """Build a renderable :class:`Site` whose pages are the activities."""
+        from repro.activities.writer import write_activity
+
+        site = Site(config)
+        for activity in self._activities:
+            text = write_activity(activity)
+            site.add_page(Page.from_text(activity.name, text))
+        return site
+
+
+class _ActivityPage:
+    """Adapter presenting an Activity through the PageLike protocol."""
+
+    __slots__ = ("activity",)
+
+    def __init__(self, activity: Activity):
+        self.activity = activity
+
+    @property
+    def name(self) -> str:
+        return self.activity.name
+
+    @property
+    def title(self) -> str:
+        return self.activity.title
+
+    @property
+    def url(self) -> str:
+        return f"/activities/{self.activity.name}/"
+
+    @property
+    def params(self) -> dict[str, object]:
+        return self.activity.params
+
+
+def corpus_dir() -> Path:
+    """Path of the packaged curated corpus directory."""
+    return Path(resources.files("repro.activities") / "content")
+
+
+def load_default_catalog(validate_corpus: bool = True) -> Catalog:
+    """Load (and by default validate) the shipped 38-activity corpus."""
+    catalog = Catalog.from_directory(corpus_dir())
+    if validate_corpus:
+        catalog.validate_all()
+    return catalog

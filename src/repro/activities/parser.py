@@ -1,0 +1,99 @@
+"""Parse activity Markdown files into :class:`~repro.activities.schema.Activity`.
+
+The on-disk format is the paper's Fig. 1 template filled in: a front-matter
+header with taxonomy tags (Fig. 2), then ``##``-headed sections separated
+by horizontal rules.  Parsing walks the Markdown AST rather than the raw
+text, so formatting inside sections (links, emphasis, lists) is preserved
+verbatim while section boundaries are recognized structurally.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.activities.schema import Activity
+from repro.errors import ActivityError
+from repro.sitegen import frontmatter
+
+__all__ = ["parse_activity", "parse_activity_file", "split_sections"]
+
+_LIST_KEYS = ("cs2013", "tcpp", "courses", "senses",
+              "cs2013details", "tcppdetails", "medium")
+
+
+def split_sections(body: str) -> dict[str, str]:
+    """Split an activity body into its named sections.
+
+    Sections are introduced by ``## Heading`` lines; the horizontal rules
+    between them are separators, not content.  Text inside a section is
+    returned with surrounding blank lines trimmed but internal formatting
+    untouched.
+    """
+    sections: dict[str, str] = {}
+    current: str | None = None
+    buffer: list[str] = []
+
+    def flush() -> None:
+        nonlocal buffer
+        if current is not None:
+            text = "\n".join(buffer).strip("\n")
+            # Drop trailing separator rules that belong between sections.
+            lines = [ln for ln in text.split("\n")]
+            while lines and lines[-1].strip() in ("---", "***", "___"):
+                lines.pop()
+            sections[current] = "\n".join(lines).strip("\n")
+        buffer = []
+
+    for line in body.split("\n"):
+        stripped = line.strip()
+        if stripped.startswith("## ") and not stripped.startswith("###"):
+            flush()
+            heading = stripped[3:].strip()
+            if heading in sections:
+                raise ActivityError(f"duplicate section {heading!r}")
+            current = heading
+            continue
+        if current is None:
+            if stripped and stripped not in ("---", "***", "___"):
+                raise ActivityError(
+                    f"content before first section heading: {stripped!r}"
+                )
+            continue
+        buffer.append(line)
+    flush()
+    return sections
+
+
+def _as_list(value: object) -> list[str]:
+    if value is None:
+        return []
+    if isinstance(value, str):
+        return [value] if value else []
+    if isinstance(value, (list, tuple)):
+        return [str(v) for v in value]
+    raise ActivityError(f"expected a list of terms, got {type(value).__name__}")
+
+
+def parse_activity(name: str, text: str) -> Activity:
+    """Parse one activity document (front matter + body) by slug name."""
+    block, body = frontmatter.split_document(text)
+    if block is None:
+        raise ActivityError(f"{name}: activity file has no front matter")
+    params = frontmatter.parse(block)
+    title = str(params.get("title", "")).strip()
+    if not title:
+        raise ActivityError(f"{name}: activity has no title")
+    activity = Activity(
+        name=name,
+        title=title,
+        date=str(params.get("date", "")),
+        sections=split_sections(body),
+        **{key: _as_list(params.get(key)) for key in _LIST_KEYS},
+    )
+    return activity
+
+
+def parse_activity_file(path: str | Path) -> Activity:
+    """Parse an activity from a ``.md`` file; the slug is the file stem."""
+    path = Path(path)
+    return parse_activity(path.stem, path.read_text(encoding="utf-8"))

@@ -1,0 +1,254 @@
+"""The PDCunplugged activity model and its validation rules.
+
+An *activity* (paper §II-A) is "a variety of interventions, including
+kinesthetic learning activities, role-playing, and even analogies",
+stored as one Markdown file: a front-matter header carrying the title,
+date, and taxonomy tags, then seven body sections separated by horizontal
+rules -- with an optional "Details" section inserted after the author
+section when no public-facing external resource exists.
+
+:class:`Activity` is the parsed, in-memory form.  :func:`validate`
+enforces the structural rules the site curator applies to contributions:
+
+* section order and presence per Fig. 1 (Details optional),
+* every ``cs2013`` term names a real knowledge unit, every
+  ``cs2013details`` term a real learning outcome *of a tagged unit*,
+* every ``tcpp`` term names a real topic area, every ``tcppdetails`` term
+  a real topic *of a tagged area*,
+* courses, senses, and mediums come from the known vocabularies,
+* an activity without an external resource must carry a Details section
+  (paper: "No external resources found. See details below").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StandardsError, ValidationError
+from repro.standards import courses as courses_mod
+from repro.standards import cs2013, tcpp
+
+__all__ = [
+    "Activity",
+    "SECTION_ORDER",
+    "SENSES",
+    "MEDIUMS",
+    "NO_RESOURCE_NOTE",
+    "validate",
+]
+
+#: Canonical section order (paper Fig. 1); "Details" slots in at index 1.
+SECTION_ORDER: tuple[str, ...] = (
+    "Original Author/link",
+    "Details",
+    "CS2013 Knowledge Unit Coverage",
+    "TCPP Topics Coverage",
+    "Recommended Courses",
+    "Accessibility",
+    "Assessment",
+    "Citations",
+)
+
+#: The senses vocabulary (§II-B.d): sensory channels plus the judgment
+#: term ``accessible`` for activities presentable to diverse audiences
+#: with minimal modification.
+SENSES: frozenset[str] = frozenset(
+    {"visual", "touch", "movement", "sound", "accessible"}
+)
+
+#: The medium vocabulary (§II-B.e and §III-D): communication form
+#: (analogy / role-play / game) and physical materials.
+MEDIUMS: frozenset[str] = frozenset(
+    {
+        "analogy",
+        "roleplay",
+        "game",
+        "paper",
+        "board",
+        "cards",
+        "pens",
+        "coins",
+        "food",
+        "music",
+        "string",
+        "props",
+    }
+)
+
+#: The exact note the paper prescribes for activities without a
+#: public-facing resource.
+NO_RESOURCE_NOTE = "No external resources found. See details below."
+
+
+@dataclass
+class Activity:
+    """One curated unplugged activity."""
+
+    name: str                               # file slug, e.g. "findsmallestcard"
+    title: str
+    date: str = ""
+    cs2013: list[str] = field(default_factory=list)
+    tcpp: list[str] = field(default_factory=list)
+    courses: list[str] = field(default_factory=list)
+    senses: list[str] = field(default_factory=list)
+    cs2013details: list[str] = field(default_factory=list)
+    tcppdetails: list[str] = field(default_factory=list)
+    medium: list[str] = field(default_factory=list)
+    sections: dict[str, str] = field(default_factory=dict)
+
+    # -- derived properties --------------------------------------------------
+
+    @property
+    def params(self) -> dict[str, object]:
+        """Front-matter view of this activity (taxonomy engine interface)."""
+        out: dict[str, object] = {"title": self.title}
+        if self.date:
+            out["date"] = self.date
+        for key in ("cs2013", "tcpp", "courses", "senses",
+                    "cs2013details", "tcppdetails", "medium"):
+            values = getattr(self, key)
+            if values:
+                out[key] = list(values)
+        return out
+
+    @property
+    def author_section(self) -> str:
+        return self.sections.get("Original Author/link", "")
+
+    @property
+    def has_external_resource(self) -> bool:
+        """True when the author section links to an external resource.
+
+        Mirrors the curation convention: activities lacking a live external
+        resource carry the :data:`NO_RESOURCE_NOTE` and an inline Details
+        section instead of a link.
+        """
+        section = self.author_section
+        return "http://" in section or "https://" in section
+
+    @property
+    def has_details(self) -> bool:
+        return bool(self.sections.get("Details", "").strip())
+
+    @property
+    def has_assessment(self) -> bool:
+        """True when the Assessment section reports any known assessment."""
+        text = self.sections.get("Assessment", "").strip()
+        if not text:
+            return False
+        lowered = text.lower()
+        return not (lowered.startswith("no known assessment") or lowered.startswith("none"))
+
+    @property
+    def citations(self) -> list[str]:
+        """Individual citation entries from the Citations section."""
+        text = self.sections.get("Citations", "")
+        entries: list[str] = []
+        for line in text.split("\n"):
+            stripped = line.strip()
+            if stripped.startswith(("- ", "* ")):
+                entries.append(stripped[2:].strip())
+            elif stripped and stripped[0].isdigit() and ". " in stripped[:5]:
+                entries.append(stripped.split(". ", 1)[1].strip())
+        return entries
+
+    def terms(self, taxonomy: str) -> list[str]:
+        """All terms this activity declares for one taxonomy."""
+        if taxonomy not in (
+            "cs2013", "tcpp", "courses", "senses",
+            "cs2013details", "tcppdetails", "medium",
+        ):
+            raise StandardsError(f"unknown taxonomy {taxonomy!r}")
+        return list(getattr(self, taxonomy))
+
+
+def validate(activity: Activity) -> None:
+    """Validate one activity; raises :class:`ValidationError` listing all problems."""
+    problems: list[str] = []
+
+    if not activity.name:
+        problems.append("missing name")
+    if not activity.title:
+        problems.append("missing title")
+
+    # Section structure -----------------------------------------------------
+    known = set(SECTION_ORDER)
+    order = [s for s in activity.sections if s in known]
+    expected = [s for s in SECTION_ORDER if s in activity.sections]
+    if order != expected:
+        problems.append(
+            f"sections out of order: {order} (expected {expected})"
+        )
+    for section in activity.sections:
+        if section not in known:
+            problems.append(f"unknown section {section!r}")
+    for required in ("Original Author/link", "CS2013 Knowledge Unit Coverage",
+                     "TCPP Topics Coverage", "Recommended Courses",
+                     "Accessibility", "Assessment", "Citations"):
+        if required not in activity.sections:
+            problems.append(f"missing section {required!r}")
+
+    if not activity.has_external_resource and not activity.has_details:
+        problems.append(
+            "activity has no external resource link and no Details section"
+        )
+
+    # CS2013 tags ------------------------------------------------------------
+    tagged_units = []
+    for term in activity.cs2013:
+        try:
+            tagged_units.append(cs2013.knowledge_unit(term))
+        except StandardsError:
+            problems.append(f"unknown cs2013 term {term!r}")
+    tagged_abbrevs = {ku.abbrev for ku in tagged_units}
+    for term in activity.cs2013details:
+        try:
+            ku, _ = cs2013.outcome_for_detail_term(term)
+        except StandardsError:
+            problems.append(f"unknown cs2013details term {term!r}")
+            continue
+        if ku.abbrev not in tagged_abbrevs:
+            problems.append(
+                f"cs2013details term {term!r} belongs to {ku.term}, "
+                f"which is not in the activity's cs2013 tags"
+            )
+
+    # TCPP tags ---------------------------------------------------------------
+    tagged_areas = []
+    for term in activity.tcpp:
+        try:
+            tagged_areas.append(tcpp.topic_area(term))
+        except StandardsError:
+            problems.append(f"unknown tcpp term {term!r}")
+    area_terms = {a.term for a in tagged_areas}
+    for term in activity.tcppdetails:
+        try:
+            area, _ = tcpp.topic_for_detail_term(term)
+        except StandardsError:
+            problems.append(f"unknown tcppdetails term {term!r}")
+            continue
+        if area.term not in area_terms:
+            problems.append(
+                f"tcppdetails term {term!r} belongs to {area.term}, "
+                f"which is not in the activity's tcpp tags"
+            )
+
+    # Courses / senses / mediums ----------------------------------------------
+    for term in activity.courses:
+        if not courses_mod.is_known_course(term):
+            problems.append(f"unknown course {term!r}")
+    for term in activity.senses:
+        if term not in SENSES:
+            problems.append(f"unknown sense {term!r}")
+    for term in activity.medium:
+        if term not in MEDIUMS:
+            problems.append(f"unknown medium {term!r}")
+
+    for attr in ("cs2013", "tcpp", "courses", "senses",
+                 "cs2013details", "tcppdetails", "medium"):
+        values = getattr(activity, attr)
+        if len(set(values)) != len(values):
+            problems.append(f"duplicate terms in {attr}")
+
+    if problems:
+        raise ValidationError([f"{activity.name or '<unnamed>'}: {p}" for p in problems])

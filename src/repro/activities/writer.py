@@ -1,0 +1,52 @@
+"""Serialize an :class:`~repro.activities.schema.Activity` back to Markdown.
+
+The writer emits the canonical PDCunplugged layout (Fig. 1 ordering, one
+horizontal rule between sections) so ``parse(write(a)) == a`` -- the
+round-trip property the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.activities.schema import SECTION_ORDER, Activity
+from repro.sitegen import frontmatter
+
+__all__ = ["write_activity", "write_activity_file"]
+
+
+def write_activity(activity: Activity) -> str:
+    """Render one activity to its canonical Markdown document."""
+    header: dict[str, object] = {"title": activity.title}
+    if activity.date:
+        header["date"] = activity.date
+    for key in ("cs2013", "tcpp", "courses", "senses",
+                "cs2013details", "tcppdetails", "medium"):
+        values = getattr(activity, key)
+        if values:
+            header[key] = list(values)
+
+    parts: list[str] = []
+    ordered = [s for s in SECTION_ORDER if s in activity.sections]
+    extras = [s for s in activity.sections if s not in SECTION_ORDER]
+    for idx, section in enumerate(ordered + extras):
+        if idx:
+            parts.append("---")
+            parts.append("")
+        parts.append(f"## {section}")
+        text = activity.sections[section]
+        parts.append("")
+        if text:
+            parts.append(text)
+            parts.append("")
+    body = "\n".join(parts)
+    return frontmatter.serialize(header, body)
+
+
+def write_activity_file(activity: Activity, content_dir: str | Path) -> Path:
+    """Write an activity into ``<content_dir>/<name>.md``; returns the path."""
+    directory = Path(content_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{activity.name}.md"
+    path.write_text(write_activity(activity), encoding="utf-8")
+    return path

@@ -1,0 +1,73 @@
+"""``repro.analytics``: the paper's evaluation, computed from the corpus.
+
+* :mod:`repro.analytics.coverage` -- Tables I and II plus course counts.
+* :mod:`repro.analytics.accessibility` -- §III-D medium/sense statistics.
+* :mod:`repro.analytics.resources` -- §III-A external-resource availability.
+* :mod:`repro.analytics.gaps` -- §III-B/C/E hole identification.
+* :mod:`repro.analytics.citations` -- citation-graph history (networkx).
+* :mod:`repro.analytics.tables` -- text rendering in the paper's format.
+"""
+
+from repro.analytics.accessibility import (
+    AccessibilityStats,
+    accessibility_stats,
+    medium_counts,
+    sense_counts,
+    sense_fractions,
+)
+from repro.analytics.citations import CitationGraph, build_citation_graph
+from repro.analytics.coverage import (
+    CategoryCoverageRow,
+    CS2013CoverageRow,
+    TCPPCoverageRow,
+    course_counts,
+    cs2013_coverage,
+    tcpp_category_coverage,
+    tcpp_coverage,
+)
+from repro.analytics.gaps import GapReport, gap_report, uncovered_outcomes, uncovered_topics
+from repro.analytics.resources import ResourceStats, resource_stats, with_resources
+from repro.analytics.verify import compare_to_paper
+from repro.analytics.tables import (
+    format_table,
+    percent,
+    render_accessibility,
+    render_category_table,
+    render_course_counts,
+    render_resources,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "AccessibilityStats",
+    "compare_to_paper",
+    "CS2013CoverageRow",
+    "CategoryCoverageRow",
+    "CitationGraph",
+    "GapReport",
+    "ResourceStats",
+    "TCPPCoverageRow",
+    "accessibility_stats",
+    "build_citation_graph",
+    "course_counts",
+    "cs2013_coverage",
+    "format_table",
+    "gap_report",
+    "medium_counts",
+    "percent",
+    "render_accessibility",
+    "render_category_table",
+    "render_course_counts",
+    "render_resources",
+    "render_table1",
+    "render_table2",
+    "resource_stats",
+    "sense_counts",
+    "sense_fractions",
+    "tcpp_category_coverage",
+    "tcpp_coverage",
+    "uncovered_outcomes",
+    "uncovered_topics",
+    "with_resources",
+]

@@ -1,0 +1,102 @@
+"""Accessibility analysis: the §III-D medium and sense statistics.
+
+The paper characterizes the curation by communication medium ("11
+analogies and 11 role-playing activities, and 4 activities labeled as
+'games'; popular activity mediums include paper (8), chalk-/white-board
+(6), and cards (6) ...") and by the senses activities engage ("the vast
+majority (71.05 %) ... have a strong visual component").  These functions
+compute the same distributions from the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.activities.catalog import Catalog
+from repro.activities.schema import MEDIUMS, SENSES
+
+__all__ = [
+    "AccessibilityStats",
+    "medium_counts",
+    "sense_counts",
+    "sense_fractions",
+    "accessibility_stats",
+]
+
+#: The §III-D reporting order for mediums.
+MEDIUM_ORDER: tuple[str, ...] = (
+    "analogy", "roleplay", "game", "paper", "board",
+    "cards", "pens", "coins", "food", "music",
+)
+
+SENSE_ORDER: tuple[str, ...] = ("visual", "movement", "touch", "sound", "accessible")
+
+
+def medium_counts(catalog: Catalog) -> dict[str, int]:
+    """Number of activities per communication medium, §III-D order first."""
+    counts = {m: catalog.term_count("medium", m) for m in MEDIUM_ORDER}
+    for medium in sorted(MEDIUMS - set(MEDIUM_ORDER)):
+        count = catalog.term_count("medium", medium)
+        if count:
+            counts[medium] = count
+    return counts
+
+
+def sense_counts(catalog: Catalog) -> dict[str, int]:
+    """Number of activities engaging each sense (plus 'accessible')."""
+    counts = {s: catalog.term_count("senses", s) for s in SENSE_ORDER}
+    for sense in sorted(SENSES - set(SENSE_ORDER)):  # pragma: no cover - exhaustive
+        count = catalog.term_count("senses", sense)
+        if count:
+            counts[sense] = count
+    return counts
+
+
+def sense_fractions(catalog: Catalog) -> dict[str, float]:
+    """Fraction of the corpus engaging each sense (denominator = corpus size)."""
+    n = len(catalog)
+    if n == 0:
+        return {s: 0.0 for s in SENSE_ORDER}
+    return {s: c / n for s, c in sense_counts(catalog).items()}
+
+
+@dataclass(frozen=True)
+class AccessibilityStats:
+    """The bundle of §III-D statistics."""
+
+    corpus_size: int
+    mediums: dict[str, int]
+    senses: dict[str, int]
+
+    @property
+    def visual_percent(self) -> float:
+        return self._percent("visual")
+
+    @property
+    def movement_percent(self) -> float:
+        return self._percent("movement")
+
+    @property
+    def touch_percent(self) -> float:
+        return self._percent("touch")
+
+    @property
+    def sound_count(self) -> int:
+        return self.senses.get("sound", 0)
+
+    @property
+    def generally_accessible(self) -> int:
+        return self.senses.get("accessible", 0)
+
+    def _percent(self, sense: str) -> float:
+        if self.corpus_size == 0:
+            return 0.0
+        return 100.0 * self.senses.get(sense, 0) / self.corpus_size
+
+
+def accessibility_stats(catalog: Catalog) -> AccessibilityStats:
+    return AccessibilityStats(
+        corpus_size=len(catalog),
+        mediums=medium_counts(catalog),
+        senses=sense_counts(catalog),
+    )

@@ -1,0 +1,129 @@
+"""Citation-graph analysis over the curated corpus.
+
+The curation process (§III) traced references between papers to collapse
+variations and build "accurate citations profiles".  This module rebuilds
+that structure: a bipartite graph of activities and the publications that
+describe them, from which we derive the paper's historical claims -- the
+earliest activity paper (the 1990 Bachelis/Maxim tutorial), the thirty-year
+span of the literature, which publications describe multiple activities,
+and which activities are multiply-described (variation collapses).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.activities.catalog import Catalog
+
+__all__ = ["CitationGraph", "build_citation_graph", "Publication"]
+
+_YEAR_RE = re.compile(r"\b(19[5-9]\d|20[0-4]\d)\b")
+
+
+@dataclass(frozen=True)
+class Publication:
+    """One cited publication, keyed by its citation text."""
+
+    key: str
+    text: str
+    year: int | None
+
+
+def _publication_from_citation(text: str) -> Publication:
+    match = _YEAR_RE.search(text)
+    year = int(match.group(1)) if match else None
+    # Key: first author surname-ish token + year keeps variations merged.
+    head = re.split(r"[,.]", text.strip(), maxsplit=1)[0].strip().lower()
+    key = f"{head}-{year}" if year else head
+    return Publication(key=key, text=text.strip(), year=year)
+
+
+class CitationGraph:
+    """Bipartite activities <-> publications graph with summary queries."""
+
+    def __init__(self, graph: nx.Graph):
+        self.graph = graph
+
+    @property
+    def activities(self) -> list[str]:
+        return sorted(
+            n for n, d in self.graph.nodes(data=True) if d.get("kind") == "activity"
+        )
+
+    @property
+    def publications(self) -> list[Publication]:
+        return sorted(
+            (
+                d["publication"]
+                for _, d in self.graph.nodes(data=True)
+                if d.get("kind") == "publication"
+            ),
+            key=lambda p: (p.year or 0, p.key),
+        )
+
+    def publications_for(self, activity: str) -> list[Publication]:
+        return sorted(
+            (
+                self.graph.nodes[nbr]["publication"]
+                for nbr in self.graph.neighbors(activity)
+            ),
+            key=lambda p: (p.year or 0, p.key),
+        )
+
+    def activities_for(self, publication_key: str) -> list[str]:
+        node = f"pub:{publication_key}"
+        if node not in self.graph:
+            return []
+        return sorted(self.graph.neighbors(node))
+
+    # -- the paper's historical claims ------------------------------------
+
+    def earliest_year(self) -> int | None:
+        years = [p.year for p in self.publications if p.year is not None]
+        return min(years) if years else None
+
+    def latest_year(self) -> int | None:
+        years = [p.year for p in self.publications if p.year is not None]
+        return max(years) if years else None
+
+    def span_years(self) -> int:
+        earliest, latest = self.earliest_year(), self.latest_year()
+        if earliest is None or latest is None:
+            return 0
+        return latest - earliest
+
+    def multi_activity_publications(self) -> list[tuple[Publication, list[str]]]:
+        """Publications describing more than one activity ('several papers
+        listed multiple activities', §III)."""
+        out = []
+        for pub in self.publications:
+            acts = self.activities_for(pub.key)
+            if len(acts) > 1:
+                out.append((pub, acts))
+        return out
+
+    def multiply_described_activities(self) -> list[tuple[str, int]]:
+        """Activities cited by more than one publication (variation collapses)."""
+        out = []
+        for activity in self.activities:
+            degree = self.graph.degree(activity)
+            if degree > 1:
+                out.append((activity, degree))
+        return sorted(out, key=lambda x: (-x[1], x[0]))
+
+
+def build_citation_graph(catalog: Catalog) -> CitationGraph:
+    """Build the bipartite citation graph from every Citations section."""
+    graph = nx.Graph()
+    for activity in catalog:
+        graph.add_node(activity.name, kind="activity", bipartite=0)
+        for citation in activity.citations:
+            pub = _publication_from_citation(citation)
+            node = f"pub:{pub.key}"
+            if node not in graph:
+                graph.add_node(node, kind="publication", bipartite=1, publication=pub)
+            graph.add_edge(activity.name, node)
+    return CitationGraph(graph)

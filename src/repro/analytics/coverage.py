@@ -1,0 +1,178 @@
+"""Curriculum coverage analysis: the engines behind Tables I and II.
+
+Given the curated catalog, these functions compute exactly what the paper
+reports:
+
+* :func:`cs2013_coverage` -- for each of the nine CS2013 PD knowledge
+  units: the number of learning outcomes, how many have at least one
+  corresponding activity (via the hidden ``cs2013details`` taxonomy), the
+  percent coverage, and the total number of activities tagging the unit
+  (Table I).
+* :func:`tcpp_coverage` -- the same per TCPP topic area over core-course
+  topics via ``tcppdetails`` (Table II), with :func:`tcpp_category_coverage`
+  drilling into the §III-C category subtotals (e.g. PD Models/Complexity at
+  36.36 %).
+* :func:`course_counts` -- activities recommended per course (§III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.activities.catalog import Catalog
+from repro.standards import cs2013, tcpp
+from repro.standards.courses import COURSE_ORDER
+
+__all__ = [
+    "CS2013CoverageRow",
+    "TCPPCoverageRow",
+    "CategoryCoverageRow",
+    "cs2013_coverage",
+    "tcpp_coverage",
+    "tcpp_category_coverage",
+    "course_counts",
+]
+
+
+@dataclass(frozen=True)
+class CS2013CoverageRow:
+    """One Table I row."""
+
+    term: str
+    name: str
+    elective: bool
+    num_outcomes: int
+    covered_outcomes: tuple[str, ...]   # detail terms with >=1 activity
+    total_activities: int
+
+    @property
+    def num_covered(self) -> int:
+        return len(self.covered_outcomes)
+
+    @property
+    def percent_coverage(self) -> float:
+        if self.num_outcomes == 0:
+            return 0.0
+        return 100.0 * self.num_covered / self.num_outcomes
+
+    @property
+    def display_name(self) -> str:
+        return f"{self.name} (E)" if self.elective else self.name
+
+
+@dataclass(frozen=True)
+class TCPPCoverageRow:
+    """One Table II row."""
+
+    term: str
+    name: str
+    num_topics: int
+    covered_topics: tuple[str, ...]     # detail terms with >=1 activity
+    total_activities: int
+
+    @property
+    def num_covered(self) -> int:
+        return len(self.covered_topics)
+
+    @property
+    def percent_coverage(self) -> float:
+        if self.num_topics == 0:
+            return 0.0
+        return 100.0 * self.num_covered / self.num_topics
+
+
+@dataclass(frozen=True)
+class CategoryCoverageRow:
+    """Coverage of one category inside a TCPP topic area (§III-C)."""
+
+    area: str
+    category: str
+    num_topics: int
+    covered_topics: tuple[str, ...]
+
+    @property
+    def num_covered(self) -> int:
+        return len(self.covered_topics)
+
+    @property
+    def percent_coverage(self) -> float:
+        if self.num_topics == 0:
+            return 0.0
+        return 100.0 * self.num_covered / self.num_topics
+
+
+def _detail_terms_in_use(catalog: Catalog, taxonomy: str) -> set[str]:
+    used: set[str] = set()
+    for activity in catalog:
+        used.update(activity.terms(taxonomy))
+    return used
+
+
+def cs2013_coverage(catalog: Catalog) -> list[CS2013CoverageRow]:
+    """Compute Table I over the catalog, rows in knowledge-area order."""
+    used_details = _detail_terms_in_use(catalog, "cs2013details")
+    rows: list[CS2013CoverageRow] = []
+    for ku in cs2013.PD_KNOWLEDGE_AREA:
+        covered = tuple(
+            t for t in ku.detail_terms() if t in used_details
+        )
+        rows.append(
+            CS2013CoverageRow(
+                term=ku.term,
+                name=ku.name,
+                elective=ku.elective,
+                num_outcomes=ku.num_outcomes,
+                covered_outcomes=covered,
+                total_activities=catalog.term_count("cs2013", ku.term),
+            )
+        )
+    return rows
+
+
+def tcpp_coverage(catalog: Catalog) -> list[TCPPCoverageRow]:
+    """Compute Table II over the catalog, rows in curriculum order."""
+    used_details = _detail_terms_in_use(catalog, "tcppdetails")
+    rows: list[TCPPCoverageRow] = []
+    for area in tcpp.TCPP_CURRICULUM:
+        covered = tuple(
+            t for t in area.detail_terms() if t in used_details
+        )
+        rows.append(
+            TCPPCoverageRow(
+                term=area.term,
+                name=area.name,
+                num_topics=area.num_topics,
+                covered_topics=covered,
+                total_activities=catalog.term_count("tcpp", area.term),
+            )
+        )
+    return rows
+
+
+def tcpp_category_coverage(catalog: Catalog) -> list[CategoryCoverageRow]:
+    """Per-category drill-down of Table II (used by the §III-C claims)."""
+    used_details = _detail_terms_in_use(catalog, "tcppdetails")
+    rows: list[CategoryCoverageRow] = []
+    for area in tcpp.TCPP_CURRICULUM:
+        for category in area.categories:
+            covered = tuple(
+                t.detail_term for t in category.topics
+                if t.detail_term in used_details
+            )
+            rows.append(
+                CategoryCoverageRow(
+                    area=area.name,
+                    category=category.name,
+                    num_topics=category.num_topics,
+                    covered_topics=covered,
+                )
+            )
+    return rows
+
+
+def course_counts(catalog: Catalog) -> dict[str, int]:
+    """Activities recommended per course, in the paper's reporting order."""
+    return {
+        course: catalog.term_count("courses", course)
+        for course in COURSE_ORDER
+    }

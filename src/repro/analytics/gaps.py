@@ -1,0 +1,115 @@
+"""Gap analysis: where should educators concentrate on developing content?
+
+The paper's third research question.  These functions enumerate the
+"holes" in the curation that §§III-B/C/E call out:
+
+* CS2013 learning outcomes with no corresponding activity, per knowledge
+  unit, and the knowledge units below the CS2013 coverage recommendations,
+* TCPP topics (and whole categories) with no corresponding activity,
+* sparse senses/mediums (tactile and auditory engagement),
+* activities lacking assessment ("assessing unplugged activities appears
+  to be a relatively recent trend").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.activities.catalog import Catalog
+from repro.analytics.coverage import (
+    cs2013_coverage,
+    tcpp_category_coverage,
+    tcpp_coverage,
+)
+from repro.standards import cs2013, tcpp
+from repro.standards.cs2013 import Tier
+
+__all__ = ["GapReport", "gap_report", "uncovered_outcomes", "uncovered_topics"]
+
+
+def uncovered_outcomes(catalog: Catalog) -> dict[str, list[str]]:
+    """Per knowledge unit: detail terms of outcomes with zero activities."""
+    gaps: dict[str, list[str]] = {}
+    rows = {row.term: row for row in cs2013_coverage(catalog)}
+    for ku in cs2013.PD_KNOWLEDGE_AREA:
+        covered = set(rows[ku.term].covered_outcomes)
+        missing = [t for t in ku.detail_terms() if t not in covered]
+        if missing:
+            gaps[ku.term] = missing
+    return gaps
+
+
+def uncovered_topics(catalog: Catalog) -> dict[str, list[str]]:
+    """Per topic area: detail terms of topics with zero activities."""
+    gaps: dict[str, list[str]] = {}
+    rows = {row.term: row for row in tcpp_coverage(catalog)}
+    for area in tcpp.TCPP_CURRICULUM:
+        covered = set(rows[area.term].covered_topics)
+        missing = [t for t in area.detail_terms() if t not in covered]
+        if missing:
+            gaps[area.term] = missing
+    return gaps
+
+
+@dataclass
+class GapReport:
+    """Structured summary of curation holes (§III-E 'Lessons Learned')."""
+
+    cs2013_gaps: dict[str, list[str]] = field(default_factory=dict)
+    tcpp_gaps: dict[str, list[str]] = field(default_factory=dict)
+    empty_categories: list[str] = field(default_factory=list)
+    units_below_tier_targets: list[str] = field(default_factory=list)
+    sparse_senses: dict[str, int] = field(default_factory=dict)
+    activities_without_assessment: list[str] = field(default_factory=list)
+
+    @property
+    def total_uncovered_outcomes(self) -> int:
+        return sum(len(v) for v in self.cs2013_gaps.values())
+
+    @property
+    def total_uncovered_topics(self) -> int:
+        return sum(len(v) for v in self.tcpp_gaps.values())
+
+
+def gap_report(catalog: Catalog, sparse_sense_threshold: float = 0.3) -> GapReport:
+    """Build the full gap report over a catalog.
+
+    ``sparse_sense_threshold`` flags senses engaged by less than that
+    fraction of the corpus (the paper highlights touch at 26.32 % and
+    sound at 2 activities as underrepresented).
+    """
+    report = GapReport(
+        cs2013_gaps=uncovered_outcomes(catalog),
+        tcpp_gaps=uncovered_topics(catalog),
+    )
+
+    for row in tcpp_category_coverage(catalog):
+        if row.num_covered == 0:
+            report.empty_categories.append(f"{row.area}: {row.category}")
+
+    # CS2013 recommends all Tier-1 and >=80 % of Tier-2 outcomes.
+    coverage = {row.term: row for row in cs2013_coverage(catalog)}
+    for ku in cs2013.PD_KNOWLEDGE_AREA:
+        covered = set(coverage[ku.term].covered_outcomes)
+        tier1 = [lo for lo in ku.outcomes if lo.tier == Tier.CORE1]
+        tier2 = [lo for lo in ku.outcomes if lo.tier == Tier.CORE2]
+        tier1_ok = all(lo.detail_term(ku.abbrev) in covered for lo in tier1)
+        if tier2:
+            tier2_frac = sum(
+                lo.detail_term(ku.abbrev) in covered for lo in tier2
+            ) / len(tier2)
+        else:
+            tier2_frac = 1.0
+        if not tier1_ok or tier2_frac < cs2013.TIER2_TARGET:
+            report.units_below_tier_targets.append(ku.term)
+
+    n = len(catalog) or 1
+    for sense in ("visual", "movement", "touch", "sound"):
+        count = catalog.term_count("senses", sense)
+        if count / n < sparse_sense_threshold:
+            report.sparse_senses[sense] = count
+
+    report.activities_without_assessment = [
+        a.name for a in catalog if not a.has_assessment
+    ]
+    return report

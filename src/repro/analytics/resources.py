@@ -1,0 +1,98 @@
+"""External-resource availability analysis (§III-A).
+
+"Less than half (41 %) of the materials have some sort of external
+resource (slides, handouts, etc.) associated with them ... Older
+activities in the literature were less likely to have associated external
+resources."  These functions compute the availability fraction and its
+breakdown by activity age.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import re
+
+from repro.activities.catalog import Catalog
+from repro.activities.schema import Activity
+
+__all__ = ["ResourceStats", "resource_stats", "with_resources", "earliest_citation_year"]
+
+_YEAR_RE = re.compile(r"\b(19[5-9]\d|20[0-4]\d)\b")
+
+
+def with_resources(catalog: Catalog) -> list[Activity]:
+    """Activities that link at least one external resource."""
+    return catalog.where(lambda a: a.has_external_resource)
+
+
+def earliest_citation_year(activity: Activity) -> int | None:
+    """Earliest publication year among the activity's citations."""
+    years = [int(y) for y in _YEAR_RE.findall(activity.sections.get("Citations", ""))]
+    return min(years) if years else None
+
+
+@dataclass(frozen=True)
+class ResourceStats:
+    """Resource-availability aggregate."""
+
+    corpus_size: int
+    with_resources: int
+    older_with_resources: int      # activities first described before the median year
+    older_total: int
+    newer_with_resources: int
+    newer_total: int
+    median_year: int | None
+
+    @property
+    def fraction(self) -> float:
+        if self.corpus_size == 0:
+            return 0.0
+        return self.with_resources / self.corpus_size
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.fraction
+
+    @property
+    def older_fraction(self) -> float:
+        return self.older_with_resources / self.older_total if self.older_total else 0.0
+
+    @property
+    def newer_fraction(self) -> float:
+        return self.newer_with_resources / self.newer_total if self.newer_total else 0.0
+
+
+def resource_stats(catalog: Catalog) -> ResourceStats:
+    """Compute availability overall and split at the median citation year.
+
+    The old/new split substantiates the paper's qualitative claim that
+    older activities were less likely to have external resources.
+    """
+    n = len(catalog)
+    resourced = {a.name for a in with_resources(catalog)}
+
+    dated = [(a, earliest_citation_year(a)) for a in catalog]
+    years = sorted(y for _, y in dated if y is not None)
+    median_year = years[len(years) // 2] if years else None
+
+    older_total = older_res = newer_total = newer_res = 0
+    if median_year is not None:
+        for activity, year in dated:
+            if year is None:
+                continue
+            if year < median_year:
+                older_total += 1
+                older_res += activity.name in resourced
+            else:
+                newer_total += 1
+                newer_res += activity.name in resourced
+
+    return ResourceStats(
+        corpus_size=n,
+        with_resources=len(resourced),
+        older_with_resources=older_res,
+        older_total=older_total,
+        newer_with_resources=newer_res,
+        newer_total=newer_total,
+        median_year=median_year,
+    )

@@ -1,0 +1,154 @@
+"""Fixed-width text rendering of the paper's tables and statistics.
+
+Every benchmark prints through these renderers so the regenerated output
+is directly comparable with the published tables: same rows, same column
+meanings, percentages formatted the way the paper prints them (two
+decimals, ``%`` suffix).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.activities.catalog import Catalog
+from repro.analytics.accessibility import accessibility_stats
+from repro.analytics.coverage import (
+    course_counts,
+    cs2013_coverage,
+    tcpp_category_coverage,
+    tcpp_coverage,
+)
+from repro.analytics.resources import resource_stats
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_category_table",
+    "render_course_counts",
+    "render_accessibility",
+    "render_resources",
+    "percent",
+]
+
+
+def percent(value: float) -> str:
+    """Format a percentage the way the paper prints them (e.g. '83.33%')."""
+    return f"{value:.2f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in cells)
+    return "\n".join(lines)
+
+
+def render_table1(catalog: Catalog) -> str:
+    """TABLE I: CS2013 coverage."""
+    rows = [
+        (
+            row.display_name,
+            row.num_outcomes,
+            row.num_covered,
+            percent(row.percent_coverage),
+            row.total_activities,
+        )
+        for row in cs2013_coverage(catalog)
+    ]
+    return format_table(
+        (
+            "Knowledge Unit",
+            "Num. Learning Outcomes",
+            "Num. Covered Outcomes",
+            "Percent Coverage",
+            "Total Activities",
+        ),
+        rows,
+    )
+
+
+def render_table2(catalog: Catalog) -> str:
+    """TABLE II: TCPP coverage."""
+    rows = [
+        (
+            row.name,
+            row.num_topics,
+            row.num_covered,
+            percent(row.percent_coverage),
+            row.total_activities,
+        )
+        for row in tcpp_coverage(catalog)
+    ]
+    return format_table(
+        ("Topic Area", "Num. Topics", "Num. Covered Topics",
+         "Percent Coverage", "Total Activities"),
+        rows,
+    )
+
+
+def render_category_table(catalog: Catalog) -> str:
+    """§III-C drill-down: per-category TCPP coverage."""
+    rows = [
+        (
+            row.area,
+            row.category,
+            row.num_topics,
+            row.num_covered,
+            percent(row.percent_coverage),
+        )
+        for row in tcpp_category_coverage(catalog)
+    ]
+    return format_table(
+        ("Topic Area", "Category", "Num. Topics", "Num. Covered", "Percent"),
+        rows,
+    )
+
+
+def render_course_counts(catalog: Catalog) -> str:
+    """§III-A course distribution."""
+    counts = course_counts(catalog)
+    return format_table(
+        ("Course", "Activities"), [(c, n) for c, n in counts.items()]
+    )
+
+
+def render_accessibility(catalog: Catalog) -> str:
+    """§III-D medium and sense statistics."""
+    stats = accessibility_stats(catalog)
+    medium_rows = [(m, n) for m, n in stats.mediums.items()]
+    sense_rows = [
+        ("visual", stats.senses["visual"], percent(stats.visual_percent)),
+        ("movement", stats.senses["movement"], percent(stats.movement_percent)),
+        ("touch", stats.senses["touch"], percent(stats.touch_percent)),
+        ("sound", stats.senses["sound"], ""),
+        ("accessible", stats.senses["accessible"], ""),
+    ]
+    return (
+        format_table(("Medium", "Activities"), medium_rows)
+        + "\n\n"
+        + format_table(("Sense", "Activities", "Percent of corpus"), sense_rows)
+    )
+
+
+def render_resources(catalog: Catalog) -> str:
+    """§III-A external-resource availability."""
+    stats = resource_stats(catalog)
+    rows = [
+        ("corpus size", stats.corpus_size),
+        ("with external resources", stats.with_resources),
+        ("percent", percent(stats.percent)),
+        ("older half with resources",
+         f"{stats.older_with_resources}/{stats.older_total}"),
+        ("newer half with resources",
+         f"{stats.newer_with_resources}/{stats.newer_total}"),
+    ]
+    return format_table(("Statistic", "Value"), rows)

@@ -1,0 +1,117 @@
+"""Historical trends over the curation (§III-A and §III-E claims).
+
+Quantifies the paper's qualitative history:
+
+* "nearly forty unique activities gathered from the literature over the
+  last thirty years" -- :func:`publication_histogram` buckets the corpus
+  by the decade each activity first appeared;
+* "assessing unplugged activities appears to be a relatively recent
+  trend" -- :func:`assessment_trend` compares the first-publication years
+  of assessed vs unassessed activities;
+* "Older activities in the literature were less likely to have associated
+  external resources" -- :func:`resource_trend` does the same for
+  resource-bearing activities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+from repro.activities.catalog import Catalog
+from repro.analytics.resources import earliest_citation_year
+
+__all__ = [
+    "TrendComparison",
+    "publication_histogram",
+    "assessment_trend",
+    "resource_trend",
+]
+
+
+@dataclass(frozen=True)
+class TrendComparison:
+    """Two activity groups compared by first-publication year."""
+
+    label_a: str
+    label_b: str
+    years_a: tuple[int, ...]
+    years_b: tuple[int, ...]
+
+    @property
+    def median_a(self) -> float | None:
+        return median(self.years_a) if self.years_a else None
+
+    @property
+    def median_b(self) -> float | None:
+        return median(self.years_b) if self.years_b else None
+
+    @property
+    def gap_years(self) -> float | None:
+        if self.median_a is None or self.median_b is None:
+            return None
+        return self.median_a - self.median_b
+
+    def describe(self) -> str:
+        return (
+            f"{self.label_a}: median {self.median_a} (n={len(self.years_a)}); "
+            f"{self.label_b}: median {self.median_b} (n={len(self.years_b)})"
+        )
+
+    def mannwhitney_p(self) -> float | None:
+        """One-sided Mann-Whitney U p-value that group A's years rank
+        higher (i.e. group A is more recent).  Requires scipy; returns
+        ``None`` when scipy is unavailable or a group is empty.
+        """
+        if not self.years_a or not self.years_b:
+            return None
+        try:
+            from scipy.stats import mannwhitneyu
+        except ImportError:  # pragma: no cover - scipy is an extra
+            return None
+        result = mannwhitneyu(self.years_a, self.years_b, alternative="greater")
+        return float(result.pvalue)
+
+
+def _years(catalog: Catalog) -> dict[str, int]:
+    out = {}
+    for activity in catalog:
+        year = earliest_citation_year(activity)
+        if year is not None:
+            out[activity.name] = year
+    return out
+
+
+def publication_histogram(catalog: Catalog) -> dict[str, int]:
+    """Activities bucketed by the decade they first appeared."""
+    buckets: dict[str, int] = {}
+    for year in _years(catalog).values():
+        decade = f"{year - year % 10}s"
+        buckets[decade] = buckets.get(decade, 0) + 1
+    return dict(sorted(buckets.items()))
+
+
+def assessment_trend(catalog: Catalog) -> TrendComparison:
+    """Assessed vs unassessed activities by first-publication year."""
+    years = _years(catalog)
+    assessed = tuple(
+        years[a.name] for a in catalog if a.has_assessment and a.name in years
+    )
+    unassessed = tuple(
+        years[a.name] for a in catalog if not a.has_assessment and a.name in years
+    )
+    return TrendComparison("assessed", "unassessed", assessed, unassessed)
+
+
+def resource_trend(catalog: Catalog) -> TrendComparison:
+    """Resource-bearing vs resource-less activities by year."""
+    years = _years(catalog)
+    with_res = tuple(
+        years[a.name] for a in catalog
+        if a.has_external_resource and a.name in years
+    )
+    without = tuple(
+        years[a.name] for a in catalog
+        if not a.has_external_resource and a.name in years
+    )
+    return TrendComparison("with resources", "without resources", with_res, without)

@@ -1,0 +1,84 @@
+"""Verify a catalog against the paper's published numbers.
+
+:func:`compare_to_paper` recomputes every aggregate the paper reports and
+returns a list of human-readable differences (empty = exact reproduction).
+The corpus generator, the test suite, and ``pdcunplugged verify`` all call
+this one function, so there is a single definition of "reproduces the
+paper".
+"""
+
+from __future__ import annotations
+
+from repro import paper
+from repro.activities.catalog import Catalog
+from repro.analytics.accessibility import accessibility_stats
+from repro.analytics.coverage import (
+    course_counts,
+    cs2013_coverage,
+    tcpp_category_coverage,
+    tcpp_coverage,
+)
+from repro.analytics.resources import resource_stats
+
+__all__ = ["compare_to_paper"]
+
+
+def compare_to_paper(catalog: Catalog) -> list[str]:
+    """Return every difference between the catalog's aggregates and the
+    paper's reported values (reconciled where the paper's own arithmetic
+    is inconsistent -- see :mod:`repro.paper`)."""
+    diffs: list[str] = []
+
+    if len(catalog) != paper.CORPUS_SIZE:
+        diffs.append(f"corpus size {len(catalog)} != {paper.CORPUS_SIZE}")
+
+    for row in cs2013_coverage(catalog):
+        want = paper.TABLE1[row.term]
+        got = (row.num_outcomes, row.num_covered, row.total_activities)
+        if got != want:
+            diffs.append(f"Table I {row.term}: got {got}, want {want}")
+
+    for row in tcpp_coverage(catalog):
+        want = paper.TABLE2[row.term]
+        got = (row.num_topics, row.num_covered, row.total_activities)
+        if got != want:
+            diffs.append(f"Table II {row.term}: got {got}, want {want}")
+
+    counts = course_counts(catalog)
+    for course, want in paper.COURSE_COUNTS.items():
+        if counts[course] != want:
+            diffs.append(f"courses {course}: got {counts[course]}, want {want}")
+
+    stats = accessibility_stats(catalog)
+    for medium, want in paper.MEDIUM_COUNTS.items():
+        got = stats.mediums.get(medium, 0)
+        if got != want:
+            diffs.append(f"medium {medium}: got {got}, want {want}")
+    for sense, want in paper.SENSE_COUNTS.items():
+        got = stats.senses.get(sense, 0)
+        if got != want:
+            diffs.append(f"sense {sense}: got {got}, want {want}")
+
+    res = resource_stats(catalog)
+    if res.with_resources != paper.RESOURCE_COUNT_REPRODUCED:
+        diffs.append(
+            f"external resources: got {res.with_resources}, "
+            f"want {paper.RESOURCE_COUNT_REPRODUCED}"
+        )
+
+    cats = {(r.area, r.category): r for r in tcpp_category_coverage(catalog)}
+    for (area, category), want_pct in paper.CATEGORY_CLAIMS.items():
+        row = cats[(area, category)]
+        if want_pct is None:
+            if row.num_covered != 0:
+                diffs.append(
+                    f"category {area}/{category}: expected empty, "
+                    f"got {row.num_covered} covered"
+                )
+        elif abs(row.percent_coverage - want_pct) > 0.01:
+            diffs.append(
+                f"category {area}/{category}: got "
+                f"{row.percent_coverage:.2f}%, want {want_pct}%"
+            )
+
+    return diffs

@@ -1,0 +1,223 @@
+"""The ``pdcunplugged`` command-line interface.
+
+Subcommands::
+
+    pdcunplugged report [table1|table2|courses|accessibility|resources|categories|gaps|all]
+    pdcunplugged build <output-dir>          # render the static site
+    pdcunplugged new <name> <content-dir>    # scaffold an activity (Fig. 1)
+    pdcunplugged validate                    # validate the shipped corpus
+    pdcunplugged simulate <activity> [-n N] [--seed S]
+    pdcunplugged list                        # list corpus activities + sims
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pdcunplugged",
+        description="PDCunplugged reproduction: corpus, coverage analytics, "
+                    "site builder, and classroom simulations.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="print a reproduced table or statistic")
+    report.add_argument(
+        "which",
+        nargs="?",
+        default="all",
+        choices=["table1", "table2", "courses", "accessibility",
+                 "resources", "categories", "gaps", "all"],
+    )
+
+    build = sub.add_parser("build", help="render the static site")
+    build.add_argument("output", help="output directory")
+    build.add_argument("--strategy", choices=["indexed", "scan"], default="indexed")
+
+    new = sub.add_parser("new", help="scaffold a new activity from the template")
+    new.add_argument("name")
+    new.add_argument("content_dir")
+    new.add_argument("--title", default=None)
+
+    sub.add_parser("validate", help="validate the shipped corpus")
+    sub.add_parser("verify", help="verify the corpus reproduces the paper's numbers")
+    sub.add_parser("list", help="list corpus activities and their simulations")
+
+    search = sub.add_parser("search", help="full-text search over the curation")
+    search.add_argument("query", nargs="+")
+    search.add_argument("--limit", type=int, default=10)
+
+    sub.add_parser("trends", help="historical trends over the curation")
+
+    simulate = sub.add_parser("simulate", help="run an activity simulation")
+    simulate.add_argument("activity", help="activity slug (see `list`)")
+    simulate.add_argument("-n", "--students", type=int, default=16)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--gantt", action="store_true",
+                          help="render the trace as a text Gantt chart")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    from repro.activities import load_default_catalog
+
+    if args.command == "report":
+        from repro import analytics
+
+        catalog = load_default_catalog()
+        sections = {
+            "table1": ("TABLE I: CS2013 coverage", analytics.render_table1),
+            "table2": ("TABLE II: TCPP coverage", analytics.render_table2),
+            "courses": ("Course distribution (Sec. III-A)", analytics.render_course_counts),
+            "accessibility": ("Accessibility (Sec. III-D)", analytics.render_accessibility),
+            "resources": ("External resources (Sec. III-A)", analytics.render_resources),
+            "categories": ("TCPP category drill-down (Sec. III-C)",
+                           analytics.render_category_table),
+        }
+        if args.which == "gaps":
+            _print_gaps(catalog)
+            return 0
+        chosen = sections if args.which == "all" else {args.which: sections[args.which]}
+        first = True
+        for _key, (title, renderer) in chosen.items():
+            if not first:
+                print()
+            first = False
+            print(title)
+            print("=" * len(title))
+            print(renderer(catalog))
+        if args.which == "all":
+            print()
+            _print_gaps(catalog)
+        return 0
+
+    if args.command == "build":
+        from repro.sitegen.site import SiteConfig
+
+        catalog = load_default_catalog()
+        site = catalog.site(SiteConfig(strategy=args.strategy))
+        stats = site.build(args.output)
+        print(f"rendered {stats.total_files} files to {stats.output_dir} "
+              f"in {stats.duration_s * 1000:.1f} ms")
+        return 0
+
+    if args.command == "new":
+        from repro.sitegen.archetypes import new_activity
+
+        path = new_activity(args.name, args.content_dir, title=args.title)
+        print(f"created {path}")
+        return 0
+
+    if args.command == "validate":
+        catalog = load_default_catalog(validate_corpus=False)
+        catalog.validate_all()
+        index = catalog.taxonomy_index()
+        index.check_invariants()
+        print(f"{len(catalog)} activities valid; taxonomy index consistent.")
+        return 0
+
+    if args.command == "verify":
+        from repro.analytics import compare_to_paper
+
+        diffs = compare_to_paper(load_default_catalog())
+        if diffs:
+            print(f"{len(diffs)} difference(s) from the paper's numbers:")
+            for diff in diffs:
+                print("  -", diff)
+            return 1
+        print("all paper targets reproduced exactly.")
+        return 0
+
+    if args.command == "list":
+        from repro.unplugged import SIMULATIONS
+
+        catalog = load_default_catalog()
+        for activity in catalog:
+            sim = "simulation: yes" if activity.name in SIMULATIONS else "simulation: -"
+            print(f"{activity.name:32} {activity.title:36} {sim}")
+        return 0
+
+    if args.command == "trends":
+        from repro.analytics.trends import (
+            assessment_trend,
+            publication_histogram,
+            resource_trend,
+        )
+
+        catalog = load_default_catalog()
+        print("Activities by first-publication decade:")
+        for decade, count in publication_histogram(catalog).items():
+            print(f"  {decade}: {'#' * count} ({count})")
+        for label, trend in (("Assessment", assessment_trend(catalog)),
+                             ("External resources", resource_trend(catalog))):
+            print(f"{label}: {trend.describe()}")
+            p = trend.mannwhitney_p()
+            if p is not None:
+                print(f"  Mann-Whitney (more recent): p = {p:.4f}")
+        return 0
+
+    if args.command == "search":
+        from repro.sitegen.search import SearchIndex
+
+        index = SearchIndex.from_catalog(load_default_catalog())
+        hits = index.search(" ".join(args.query), limit=args.limit)
+        if not hits:
+            print("no matches")
+            return 1
+        for hit in hits:
+            print(f"{hit.score:7.4f}  {hit.name:32} {hit.title}  "
+                  f"[{', '.join(hit.matched_terms)}]")
+        return 0
+
+    if args.command == "simulate":
+        from repro.unplugged import SIMULATIONS, Classroom
+        from repro.unplugged.sim.trace import render_gantt
+
+        if args.activity not in SIMULATIONS:
+            print(f"no simulation for {args.activity!r}; available:",
+                  ", ".join(sorted(SIMULATIONS)), file=sys.stderr)
+            return 2
+        classroom = Classroom(size=args.students, seed=args.seed,
+                              step_time_jitter=0.2)
+        result = SIMULATIONS[args.activity](classroom)
+        print(result.summary())
+        if args.gantt and len(result.trace):
+            print()
+            print(render_gantt(result.trace))
+        return 0 if result.all_checks_pass else 1
+
+    raise AssertionError("unreachable")
+
+
+def _print_gaps(catalog) -> None:
+    from repro.analytics import gap_report
+    from repro.standards import cs2013, tcpp
+
+    report = gap_report(catalog)
+    title = "Gap analysis (Sec. III-B/C/E)"
+    print(title)
+    print("=" * len(title))
+    print(f"uncovered CS2013 outcomes: {report.total_uncovered_outcomes}")
+    for term, missing in report.cs2013_gaps.items():
+        print(f"  {cs2013.knowledge_unit(term).name}: {', '.join(missing)}")
+    print(f"uncovered TCPP topics: {report.total_uncovered_topics}")
+    for term, missing in report.tcpp_gaps.items():
+        print(f"  {tcpp.topic_area(term).name}: {', '.join(missing)}")
+    print("empty categories:", "; ".join(report.empty_categories) or "none")
+    print("units below CS2013 tier targets:",
+          ", ".join(report.units_below_tier_targets) or "none")
+    print("sparse senses:", report.sparse_senses)
+    print(f"activities without assessment: "
+          f"{len(report.activities_without_assessment)}/{len(catalog)}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

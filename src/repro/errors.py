@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems define narrower
+classes below it:
+
+* :class:`FrontMatterError`, :class:`MarkdownError`, :class:`TemplateError`,
+  :class:`SiteError` -- the ``repro.sitegen`` static-site substrate.
+* :class:`ActivityError`, :class:`ValidationError` -- the activity corpus.
+* :class:`StandardsError` -- curriculum standards lookups.
+* :class:`SimulationError` and its children -- the discrete-event classroom
+  simulator (``repro.unplugged.sim``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FrontMatterError(ReproError):
+    """Malformed front-matter block in a content file."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class MarkdownError(ReproError):
+    """Malformed Markdown that the renderer refuses to process."""
+
+
+class TemplateError(ReproError):
+    """Template syntax or rendering failure."""
+
+
+class SiteError(ReproError):
+    """Site configuration or build failure."""
+
+
+class ActivityError(ReproError):
+    """An activity file violates the PDCunplugged activity structure."""
+
+
+class ValidationError(ActivityError):
+    """An activity's tags or sections fail schema validation.
+
+    Carries the list of individual problems so callers can report all of
+    them at once rather than fixing one at a time.
+    """
+
+    def __init__(self, problems: list[str]):
+        self.problems = list(problems)
+        super().__init__("; ".join(self.problems) or "validation failed")
+
+
+class StandardsError(ReproError):
+    """Unknown knowledge unit, learning outcome, topic, or course."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors in the unplugged-activity simulator."""
+
+
+class DeadlockError(SimulationError):
+    """The simulated classroom reached a state where no process can advance."""
+
+
+class CommunicationError(SimulationError):
+    """Invalid use of the message-passing communicator (bad rank, tag, ...)."""
+
+
+class RaceConditionError(SimulationError):
+    """A data race was detected and the memory model is set to ``raise``."""
+
+    def __init__(self, message: str, races: list | None = None):
+        self.races = list(races or [])
+        super().__init__(message)

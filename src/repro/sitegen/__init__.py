@@ -1,0 +1,63 @@
+"""``repro.sitegen``: the Hugo-substitute static-site substrate.
+
+Submodules
+----------
+
+* :mod:`repro.sitegen.frontmatter` -- front-matter parse/serialize.
+* :mod:`repro.sitegen.markdown` -- Markdown AST + HTML renderer.
+* :mod:`repro.sitegen.taxonomy` -- the taxonomy engine.
+* :mod:`repro.sitegen.templates` -- mustache-dialect template engine.
+* :mod:`repro.sitegen.archetypes` -- ``hugo new`` activity scaffolding.
+* :mod:`repro.sitegen.site` -- the site builder.
+* :mod:`repro.sitegen.views` -- CS2013 / TCPP / Courses / Accessibility views.
+* :mod:`repro.sitegen.linkcheck` -- external-resource link auditing.
+"""
+
+from repro.sitegen.archetypes import ACTIVITY_ARCHETYPE, new_activity, render_archetype
+from repro.sitegen.search import SearchHit, SearchIndex
+from repro.sitegen.site import BuildStats, Page, Site, SiteConfig
+from repro.sitegen.taxonomy import (
+    DEFAULT_TAXONOMIES,
+    Taxonomy,
+    TaxonomyConfig,
+    TaxonomyIndex,
+    Term,
+    slugify,
+)
+from repro.sitegen.templates import Template, TemplateEnvironment
+from repro.sitegen.views import (
+    View,
+    ViewEntry,
+    ViewGroup,
+    accessibility_view,
+    courses_view,
+    cs2013_view,
+    tcpp_view,
+)
+
+__all__ = [
+    "ACTIVITY_ARCHETYPE",
+    "BuildStats",
+    "DEFAULT_TAXONOMIES",
+    "Page",
+    "SearchHit",
+    "SearchIndex",
+    "Site",
+    "SiteConfig",
+    "Taxonomy",
+    "TaxonomyConfig",
+    "TaxonomyIndex",
+    "Template",
+    "TemplateEnvironment",
+    "Term",
+    "View",
+    "ViewEntry",
+    "ViewGroup",
+    "accessibility_view",
+    "courses_view",
+    "cs2013_view",
+    "new_activity",
+    "render_archetype",
+    "slugify",
+    "tcpp_view",
+]

@@ -1,0 +1,115 @@
+"""Archetype scaffolding: the ``hugo new activities/example.md`` equivalent.
+
+Paper Fig. 1 defines the activity Markdown template a contributor copies to
+start a new activity: a three-line front-matter header (title, date, tags)
+followed by seven sections separated by horizontal rules.  This module
+reproduces that template byte-for-byte via :data:`ACTIVITY_ARCHETYPE` and
+implements :func:`new_activity`, which instantiates a pre-populated file the
+way a local Hugo install would.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import SiteError
+
+__all__ = [
+    "ACTIVITY_ARCHETYPE",
+    "ACTIVITY_SECTIONS",
+    "new_activity",
+    "render_archetype",
+]
+
+#: The seven body sections of an activity, in order (paper §II-A).
+#: "Details" is an optional eighth inserted after "Original Author/link"
+#: when the activity has no public-facing external resource.
+ACTIVITY_SECTIONS: tuple[str, ...] = (
+    "Original Author/link",
+    "CS2013 Knowledge Unit Coverage",
+    "TCPP Topics Coverage",
+    "Recommended Courses",
+    "Accessibility",
+    "Assessment",
+    "Citations",
+)
+
+#: Paper Fig. 1, verbatim.
+ACTIVITY_ARCHETYPE = """\
+---
+title:
+date:
+tags:
+---
+
+## Original Author/link
+
+---
+
+## CS2013 Knowledge Unit Coverage
+
+---
+
+## TCPP Topics Coverage
+
+---
+
+## Recommended Courses
+
+---
+
+## Accessibility
+
+---
+
+## Assessment
+
+---
+
+## Citations
+"""
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
+
+
+def render_archetype(title: str = "", date: str = "") -> str:
+    """Render the Fig. 1 template, optionally pre-filling title and date.
+
+    With no arguments this returns the template exactly as printed in the
+    paper; with arguments it behaves like ``hugo new``, which substitutes
+    the file name and creation date into the archetype.
+    """
+    text = ACTIVITY_ARCHETYPE
+    if title:
+        text = text.replace("title:", f'title: "{title}"', 1)
+    if date:
+        text = text.replace("date:", f"date: {date}", 1)
+    return text
+
+
+def new_activity(
+    name: str,
+    content_dir: str | Path,
+    title: str | None = None,
+    date: str = "",
+    overwrite: bool = False,
+) -> Path:
+    """Create ``<content_dir>/activities/<name>.md`` from the archetype.
+
+    Mirrors ``hugo new activities/<name>.md`` (paper §II-A): the new file is
+    pre-populated with the Fig. 1 template, its title defaulting to the file
+    name.  Raises :class:`~repro.errors.SiteError` for invalid names or when
+    the file already exists (unless ``overwrite`` is set).
+    """
+    if not _NAME_RE.match(name):
+        raise SiteError(
+            f"invalid activity name {name!r}: use lowercase letters, digits, '-' and '_'"
+        )
+    directory = Path(content_dir) / "activities"
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.md"
+    if path.exists() and not overwrite:
+        raise SiteError(f"refusing to overwrite existing activity {path}")
+    path.write_text(render_archetype(title if title is not None else name, date), encoding="utf-8")
+    return path

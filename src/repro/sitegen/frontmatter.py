@@ -1,0 +1,314 @@
+"""Hugo-style front matter parsing and serialization.
+
+PDCunplugged stores each activity as a Markdown file whose first block is a
+front-matter header delimited by ``---`` lines (paper Figs. 1 and 2)::
+
+    ---
+    title: "FindSmallestCard"
+    cs2013: ["PD_ParallelDecomposition", \\
+             "PD_ParallelAlgorithms"]
+    tcpp: ["TCPP_Algorithms", "TCPP_Programming"]
+    courses: ["CS1", "CS2", "DSA"]
+    senses: ["touch", "visual"]
+    ---
+
+This module implements the YAML subset Hugo front matter actually uses:
+
+* scalar values: double/single-quoted strings, bare strings, integers,
+  floats, booleans (``true``/``false``), ISO dates (kept as strings),
+* inline lists ``["a", "b"]`` including the backslash line-continuation
+  style shown in the paper's Fig. 2,
+* block lists::
+
+      tags:
+        - one
+        - two
+
+* comments introduced by ``#`` outside quotes, and blank lines.
+
+Nested mappings are intentionally unsupported -- no PDCunplugged header uses
+them -- and produce a :class:`~repro.errors.FrontMatterError` rather than a
+silent misparse.
+
+The inverse, :func:`serialize`, emits a canonical header that
+:func:`parse` round-trips (property-tested in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import FrontMatterError
+
+__all__ = [
+    "parse",
+    "parse_value",
+    "serialize",
+    "serialize_value",
+    "split_document",
+]
+
+DELIMITER = "---"
+
+Scalar = str | int | float | bool
+Value = Scalar | list[Scalar]
+
+
+def split_document(text: str) -> tuple[str | None, str]:
+    """Split a content file into ``(front_matter_block, body)``.
+
+    The front matter must start on the very first line.  Returns ``None``
+    for the block when the document has no front matter.  The delimiter
+    lines are not included in the returned block; the body keeps its own
+    leading newline stripped (one level) so round-tripping is stable.
+    """
+    lines = text.split("\n")
+    if not lines or lines[0].strip() != DELIMITER:
+        return None, text
+    for idx in range(1, len(lines)):
+        if lines[idx].strip() == DELIMITER:
+            block = "\n".join(lines[1:idx])
+            body = "\n".join(lines[idx + 1 :])
+            if body.startswith("\n"):
+                body = body[1:]
+            return block, body
+    raise FrontMatterError("unterminated front matter: missing closing '---'", line=len(lines))
+
+
+def parse(text: str) -> dict[str, Value]:
+    """Parse a front-matter block (without delimiters) into a dict.
+
+    Accepts either a whole document (leading ``---``) or a bare block; when
+    given a whole document only the header is parsed.
+    """
+    if text.lstrip("﻿").startswith(DELIMITER):
+        block, _ = split_document(text.lstrip("﻿"))
+        if block is None:  # pragma: no cover - startswith guarantees a block
+            return {}
+        text = block
+
+    data: dict[str, Value] = {}
+    lines = _join_continuations(text.split("\n"))
+    i = 0
+    while i < len(lines):
+        lineno, raw = lines[i]
+        stripped = _strip_comment(raw).strip()
+        if not stripped:
+            i += 1
+            continue
+        if ":" not in stripped:
+            raise FrontMatterError(f"expected 'key: value', got {raw!r}", line=lineno)
+        key, _, rest = stripped.partition(":")
+        key = key.strip()
+        if not key or " " in key:
+            raise FrontMatterError(f"invalid key {key!r}", line=lineno)
+        if key in data:
+            raise FrontMatterError(f"duplicate key {key!r}", line=lineno)
+        rest = rest.strip()
+        if rest:
+            data[key] = parse_value(rest, line=lineno)
+            i += 1
+            continue
+        # Empty value: either a block list follows, or the value is "".
+        items: list[Scalar] = []
+        saw_item = False
+        j = i + 1
+        while j < len(lines):
+            nxt_lineno, nxt = lines[j]
+            nxt_stripped = _strip_comment(nxt).strip()
+            if not nxt_stripped:
+                j += 1
+                continue
+            if not nxt_stripped.startswith("- "):
+                break
+            item = parse_value(nxt_stripped[2:].strip(), line=nxt_lineno)
+            if isinstance(item, list):
+                raise FrontMatterError("nested lists are not supported", line=nxt_lineno)
+            items.append(item)
+            saw_item = True
+            j += 1
+        if saw_item:
+            data[key] = items
+            i = j
+        else:
+            data[key] = ""
+            i += 1
+    return data
+
+
+def _join_continuations(lines: list[str]) -> list[tuple[int, str]]:
+    """Merge backslash-continued lines, keeping original line numbers.
+
+    Fig. 2 of the paper continues an inline list across lines with a
+    trailing ``\\``; Hugo tolerates this and so do we.
+    """
+    out: list[tuple[int, str]] = []
+    buffer = ""
+    start = 0
+    for idx, line in enumerate(lines, start=1):
+        stripped = line.rstrip()
+        if stripped.endswith("\\"):
+            if not buffer:
+                start = idx
+            buffer += stripped[:-1].rstrip() + " "
+            continue
+        if buffer:
+            out.append((start, buffer + line.strip()))
+            buffer = ""
+        else:
+            out.append((idx, line))
+    if buffer:
+        raise FrontMatterError("dangling line continuation", line=start)
+    return out
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``#`` comment that is not inside a quoted string."""
+    quote: str | None = None
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if quote:
+            if quote == '"' and ch == "\\" and i + 1 < n:
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "#":
+            return line[:i]
+        i += 1
+    return line
+
+
+def parse_value(text: str, line: int | None = None) -> Value:
+    """Parse a single scalar or inline-list value."""
+    text = text.strip()
+    if not text:
+        return ""
+    if text.startswith("["):
+        return _parse_inline_list(text, line)
+    if text.startswith("{"):
+        raise FrontMatterError("nested mappings are not supported", line=line)
+    return _parse_scalar(text, line)
+
+
+def _parse_scalar(text: str, line: int | None) -> Scalar:
+    if text.startswith('"') or text.startswith("'"):
+        quote = text[0]
+        inner, end = _read_quoted(text, 0, line)
+        if text[end:].strip():
+            raise FrontMatterError(
+                f"trailing characters after string: {text[end:]!r}", line=line
+            )
+        return inner
+    low = text.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_inline_list(text: str, line: int | None) -> list[Scalar]:
+    if not text.endswith("]"):
+        raise FrontMatterError(f"unterminated inline list {text!r}", line=line)
+    inner = text[1:-1]
+    items: list[Scalar] = []
+    for piece in _split_top_level_commas(inner, line):
+        piece = piece.strip()
+        if not piece:
+            continue
+        value = _parse_scalar(piece, line)
+        items.append(value)
+    return items
+
+
+def _read_quoted(text: str, start: int, line: int | None) -> tuple[str, int]:
+    """Read a quoted string starting at ``text[start]``.
+
+    Returns (unescaped content, index just past the closing quote).
+    Double-quoted strings honor ``\\\\`` and ``\\"`` escapes; single-quoted
+    strings are literal.
+    """
+    quote = text[start]
+    out: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if quote == '"' and ch == "\\" and i + 1 < n and text[i + 1] in ('"', "\\"):
+            out.append(text[i + 1])
+            i += 2
+            continue
+        if ch == quote:
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise FrontMatterError(f"unterminated string {text[start:]!r}", line=line)
+
+
+def _split_top_level_commas(text: str, line: int | None) -> Iterable[str]:
+    """Split a list body on commas, treating quoted strings as opaque."""
+    current: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in ("'", '"'):
+            _, end = _read_quoted(text, i, line)
+            current.append(text[i:end])
+            i = end
+        elif ch == ",":
+            yield "".join(current)
+            current = []
+            i += 1
+        elif ch == "[":
+            raise FrontMatterError("nested lists are not supported", line=line)
+        else:
+            current.append(ch)
+            i += 1
+    if current:
+        yield "".join(current)
+
+
+def serialize_value(value: Value) -> str:
+    """Serialize one value in canonical front-matter form."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, list):
+        return "[" + ", ".join(serialize_value(v) for v in value) + "]"
+    return _quote(value)
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def serialize(data: dict[str, Any], body: str | None = None) -> str:
+    """Serialize a mapping (and optional body) into a front-matter document.
+
+    Keys keep their insertion order, matching how activity authors lay out
+    headers in the paper.
+    """
+    lines = [DELIMITER]
+    for key, value in data.items():
+        lines.append(f"{key}: {serialize_value(value)}")
+    lines.append(DELIMITER)
+    header = "\n".join(lines) + "\n"
+    if body is None:
+        return header
+    return header + "\n" + body

@@ -1,0 +1,111 @@
+"""External-resource link auditing.
+
+The paper's future-work section (§IV) observes that "external links can
+expire; several authors cite external activities in their papers, but those
+links have since been de-activated."  This module implements the audit that
+motivates hosting materials directly: it extracts every external URL from a
+set of pages and classifies each via a pluggable *prober*.
+
+No network access is assumed (or allowed in this environment): the default
+prober is a deterministic offline heuristic, and tests inject fake probers.
+A real deployment would plug in an HTTP HEAD prober with the same signature.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+from urllib.parse import urlparse
+
+from repro.sitegen import markdown
+
+__all__ = ["LinkStatus", "LinkReport", "AuditResult", "LinkAuditor", "offline_prober"]
+
+
+class LinkStatus(enum.Enum):
+    """Outcome of probing one URL."""
+
+    OK = "ok"
+    DEAD = "dead"
+    MALFORMED = "malformed"
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """One URL found on one page, with its probe outcome."""
+
+    page: str
+    url: str
+    status: LinkStatus
+
+
+@dataclass
+class AuditResult:
+    """Aggregate of one audit run."""
+
+    reports: list[LinkReport] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.reports)
+
+    @property
+    def dead(self) -> list[LinkReport]:
+        return [r for r in self.reports if r.status is LinkStatus.DEAD]
+
+    @property
+    def ok(self) -> list[LinkReport]:
+        return [r for r in self.reports if r.status is LinkStatus.OK]
+
+    @property
+    def rot_rate(self) -> float:
+        """Fraction of probed links that are dead (0.0 when nothing probed)."""
+        probed = [r for r in self.reports if r.status in (LinkStatus.OK, LinkStatus.DEAD)]
+        if not probed:
+            return 0.0
+        return len([r for r in probed if r.status is LinkStatus.DEAD]) / len(probed)
+
+    def pages_with_dead_links(self) -> list[str]:
+        return sorted({r.page for r in self.dead})
+
+
+#: Hosts the paper explicitly names as having de-activated materials.
+KNOWN_DEAD_HOSTS: frozenset[str] = frozenset()
+
+
+def offline_prober(url: str) -> LinkStatus:
+    """Deterministic offline URL classifier.
+
+    Validates URL structure only: a syntactically sound absolute http(s)
+    URL is reported OK, anything else MALFORMED.  Deployments substitute a
+    real network prober; tests substitute scripted ones.
+    """
+    try:
+        parsed = urlparse(url)
+    except ValueError:
+        return LinkStatus.MALFORMED
+    if parsed.scheme not in ("http", "https") or not parsed.netloc or "." not in parsed.netloc:
+        return LinkStatus.MALFORMED
+    return LinkStatus.OK
+
+
+class LinkAuditor:
+    """Extract and probe every external URL across a collection of pages."""
+
+    def __init__(self, prober: Callable[[str], LinkStatus] = offline_prober):
+        self.prober = prober
+
+    def audit_page(self, name: str, body_markdown: str) -> list[LinkReport]:
+        reports = []
+        for url in markdown.find_urls(body_markdown):
+            reports.append(LinkReport(page=name, url=url, status=self.prober(url)))
+        return reports
+
+    def audit(self, pages: Iterable) -> AuditResult:
+        """Audit pages exposing ``name`` and ``body`` attributes."""
+        result = AuditResult()
+        for page in pages:
+            result.reports.extend(self.audit_page(page.name, page.body))
+        return result

@@ -1,0 +1,154 @@
+"""Full-text search over the activity collection.
+
+The repository exists so educators can "quickly find existing unplugged
+activities to try out in their classes" (paper §I).  Beyond taxonomy
+browsing, this module gives the site a search box: a small inverted index
+with TF-IDF ranking over activity titles, section bodies, and tags.
+
+Pure Python, deterministic, no dependencies; built once per catalog and
+queried many times.  Tokenization lowercases, strips punctuation, and
+drops a small stop list; title and tag hits are boosted.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import SiteError
+
+__all__ = ["SearchHit", "SearchIndex", "tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Minimal stop list -- enough to keep section boilerplate out of the index.
+STOP_WORDS: frozenset[str] = frozenset(
+    """a an and are as at be by for from has in into is it its of on or
+    that the their this to with students student activity the""".split()
+)
+
+#: Field weights: a title hit outranks a body hit.
+FIELD_WEIGHTS = {"title": 3.0, "tags": 2.0, "body": 1.0}
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase alphanumeric tokens with stop words removed."""
+    return [
+        t for t in _TOKEN_RE.findall(text.lower())
+        if t not in STOP_WORDS
+    ]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked result."""
+
+    name: str
+    title: str
+    score: float
+    matched_terms: tuple[str, ...]
+
+
+@dataclass
+class _DocEntry:
+    name: str
+    title: str
+    field_counts: dict[str, Counter] = field(default_factory=dict)
+    length: int = 0
+
+
+class SearchIndex:
+    """A TF-IDF inverted index over documents with title/tags/body fields."""
+
+    def __init__(self):
+        self._docs: dict[str, _DocEntry] = {}
+        self._postings: dict[str, set[str]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_document(self, name: str, title: str, body: str,
+                     tags: list[str] | None = None) -> None:
+        if name in self._docs:
+            raise SiteError(f"duplicate document {name!r}")
+        fields = {
+            "title": Counter(tokenize(title)),
+            "tags": Counter(
+                t for tag in (tags or []) for t in tokenize(tag.replace("_", " "))
+            ),
+            "body": Counter(tokenize(body)),
+        }
+        entry = _DocEntry(
+            name=name,
+            title=title,
+            field_counts=fields,
+            length=sum(sum(c.values()) for c in fields.values()) or 1,
+        )
+        self._docs[name] = entry
+        for counter in fields.values():
+            for token in counter:
+                self._postings.setdefault(token, set()).add(name)
+
+    @classmethod
+    def from_catalog(cls, catalog) -> "SearchIndex":
+        """Index a :class:`~repro.activities.catalog.Catalog`."""
+        index = cls()
+        for activity in catalog:
+            tags = (activity.cs2013 + activity.tcpp + activity.courses
+                    + activity.senses + activity.medium)
+            body = "\n".join(activity.sections.values())
+            index.add_document(activity.name, activity.title, body, tags)
+        return index
+
+    # -- queries --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def _idf(self, token: str) -> float:
+        df = len(self._postings.get(token, ()))
+        if df == 0:
+            return 0.0
+        return math.log(1.0 + len(self._docs) / df)
+
+    def search(self, query: str, limit: int = 10) -> list[SearchHit]:
+        """Rank documents by weighted TF-IDF over the query tokens.
+
+        Results are deterministic: score descending, name ascending.
+        """
+        tokens = tokenize(query)
+        if not tokens:
+            return []
+        scores: dict[str, float] = {}
+        matches: dict[str, set[str]] = {}
+        for token in set(tokens):
+            idf = self._idf(token)
+            if idf == 0.0:
+                continue
+            for name in self._postings[token]:
+                doc = self._docs[name]
+                tf = sum(
+                    FIELD_WEIGHTS[fname] * counter.get(token, 0)
+                    for fname, counter in doc.field_counts.items()
+                )
+                if tf:
+                    scores[name] = scores.get(name, 0.0) + (tf / doc.length) * idf
+                    matches.setdefault(name, set()).add(token)
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            SearchHit(
+                name=name,
+                title=self._docs[name].title,
+                score=score,
+                matched_terms=tuple(sorted(matches[name])),
+            )
+            for name, score in ranked[:limit]
+        ]
+
+    def suggest(self, prefix: str, limit: int = 8) -> list[str]:
+        """Indexed tokens starting with ``prefix`` (for the search box)."""
+        prefix = prefix.lower()
+        if not prefix:
+            return []
+        return sorted(t for t in self._postings if t.startswith(prefix))[:limit]

@@ -1,0 +1,379 @@
+"""The static-site builder: content discovery, taxonomy assembly, rendering.
+
+This is the Hugo substitute the PDCunplugged site runs on.  A
+:class:`Site` is configured with a content directory of Markdown files
+(each with front matter), builds a :class:`~repro.sitegen.taxonomy.TaxonomyIndex`
+over them, and renders a complete HTML tree:
+
+* ``/index.html`` -- listing of all activities,
+* ``/activities/<slug>/index.html`` -- one page per activity, with the
+  colored taxonomy-chip header of paper Fig. 3,
+* ``/<taxonomy>/index.html`` -- term listing per visible taxonomy,
+* ``/<taxonomy>/<term>/index.html`` -- one listing page per term ("each term
+  links to a separate page that contains all the activities that share that
+  term", §II-B).
+
+Rendering goes through the template engine so themes are swappable; the
+built-in :data:`DEFAULT_THEME` is deliberately small.  :meth:`Site.build`
+returns :class:`BuildStats` so the "fast build times" claim (§II) can be
+benchmarked.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import SiteError
+from repro.sitegen import frontmatter, markdown
+from repro.sitegen.taxonomy import (
+    DEFAULT_TAXONOMIES,
+    TaxonomyConfig,
+    TaxonomyIndex,
+    slugify,
+)
+from repro.sitegen.templates import TemplateEnvironment
+
+__all__ = ["Page", "Site", "SiteConfig", "BuildStats", "DEFAULT_THEME"]
+
+
+@dataclass
+class Page:
+    """One content page: parsed front matter plus Markdown body."""
+
+    name: str
+    title: str
+    body: str
+    _params: dict = field(default_factory=dict)
+    section: str = "activities"
+
+    @property
+    def params(self) -> Mapping[str, object]:
+        return self._params
+
+    @property
+    def slug(self) -> str:
+        return slugify(self.name)
+
+    @property
+    def url(self) -> str:
+        return f"/{self.section}/{self.slug}/"
+
+    @property
+    def date(self) -> str:
+        return str(self._params.get("date", ""))
+
+    def terms(self, taxonomy: str) -> list[str]:
+        raw = self._params.get(taxonomy, [])
+        if isinstance(raw, str):
+            return [raw] if raw else []
+        return [str(t) for t in raw]
+
+    def content_html(self) -> str:
+        return markdown.render_html(self.body)
+
+    @classmethod
+    def from_text(cls, name: str, text: str, section: str = "activities") -> "Page":
+        block, body = frontmatter.split_document(text)
+        params = frontmatter.parse(block) if block else {}
+        title = str(params.get("title", "")) or name
+        return cls(name=name, title=title, body=body, _params=dict(params), section=section)
+
+    @classmethod
+    def from_file(cls, path: str | Path, section: str = "activities") -> "Page":
+        path = Path(path)
+        return cls.from_text(path.stem, path.read_text(encoding="utf-8"), section=section)
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """Site-wide configuration (the ``config.toml`` equivalent)."""
+
+    title: str = "PDCunplugged"
+    base_url: str = "https://www.pdcunplugged.org"
+    taxonomies: tuple[TaxonomyConfig, ...] = DEFAULT_TAXONOMIES
+    strategy: str = "indexed"
+
+
+@dataclass
+class BuildStats:
+    """Result of one full site build."""
+
+    pages_rendered: int = 0
+    terms_rendered: int = 0
+    duration_s: float = 0.0
+    output_dir: Path | None = None
+
+    @property
+    def total_files(self) -> int:
+        return self.pages_rendered + self.terms_rendered
+
+
+DEFAULT_THEME: dict[str, str] = {
+    "base": (
+        "<!DOCTYPE html>\n<html><head><title>{{ title }} | {{ site_title }}</title>"
+        "</head>\n<body>\n{{{ content }}}\n</body></html>\n"
+    ),
+    "chips": (
+        '<div class="activity-header">'
+        "{{# chips }}"
+        '<a class="chip chip-{{ color }}" data-taxonomy="{{ taxonomy }}" '
+        'href="{{ url }}">{{ term }}</a>'
+        "{{/ chips }}"
+        "</div>"
+    ),
+    "single": (
+        "<article>\n<h1>{{ page.title }}</h1>\n{{> chips }}\n"
+        '<div class="content">{{{ html }}}</div>\n</article>'
+    ),
+    "list": (
+        "<section>\n<h1>{{ heading }}</h1>\n<ul>\n"
+        "{{# entries }}"
+        '<li><a href="{{ url }}">{{ title }}</a></li>\n'
+        "{{/ entries }}"
+        "</ul>\n</section>"
+    ),
+    "terms": (
+        "<section>\n<h1>{{ heading }}</h1>\n<ul>\n"
+        "{{# terms }}"
+        '<li><a href="{{ url }}">{{ name }}</a> ({{ count }})</li>\n'
+        "{{/ terms }}"
+        "</ul>\n</section>"
+    ),
+    "view": (
+        '<section class="view">\n<h1>{{ heading }}</h1>\n'
+        "{{# groups }}"
+        '<div class="view-group">\n<h2>{{ term }} ({{ count }})</h2>\n<ul>\n'
+        "{{# entries }}"
+        '<li><a href="{{ url }}">{{ title }}</a></li>\n'
+        "{{/ entries }}"
+        "</ul>\n"
+        "{{# subgroups }}"
+        '<div class="view-subgroup">\n<h3>{{ term }}</h3>\n<ul>\n'
+        "{{# entries }}"
+        '<li><a href="{{ url }}">{{ title }}</a></li>\n'
+        "{{/ entries }}"
+        "</ul>\n</div>\n"
+        "{{/ subgroups }}"
+        "</div>\n"
+        "{{/ groups }}"
+        "</section>"
+    ),
+}
+
+
+class Site:
+    """A content tree plus taxonomy index, renderable to static HTML."""
+
+    def __init__(
+        self,
+        config: SiteConfig | None = None,
+        theme: Mapping[str, str] | None = None,
+    ):
+        self.config = config or SiteConfig()
+        self.pages: list[Page] = []
+        self.index = TaxonomyIndex(self.config.taxonomies, strategy=self.config.strategy)
+        self.env = TemplateEnvironment(dict(theme or DEFAULT_THEME))
+        for required in ("base", "single", "list", "terms", "chips"):
+            if required not in self.env:
+                raise SiteError(f"theme is missing required template {required!r}")
+
+    # -- content -----------------------------------------------------------
+
+    def add_page(self, page: Page) -> None:
+        if any(p.name == page.name for p in self.pages):
+            raise SiteError(f"duplicate page name {page.name!r}")
+        self.pages.append(page)
+        self.index.add_page(page)
+
+    def load_content(self, content_dir: str | Path) -> int:
+        """Load every ``*.md`` under ``content_dir`` (one section per subdir)."""
+        content_dir = Path(content_dir)
+        if not content_dir.is_dir():
+            raise SiteError(f"content directory {content_dir} does not exist")
+        count = 0
+        for path in sorted(content_dir.rglob("*.md")):
+            rel = path.relative_to(content_dir)
+            section = rel.parts[0] if len(rel.parts) > 1 else "activities"
+            self.add_page(Page.from_file(path, section=section))
+            count += 1
+        return count
+
+    def page(self, name: str) -> Page:
+        for p in self.pages:
+            if p.name == name:
+                return p
+        raise SiteError(f"no page named {name!r}")
+
+    # -- rendering ---------------------------------------------------------
+
+    def _wrap(self, title: str, content: str) -> str:
+        return self.env.render(
+            "base",
+            {"title": title, "site_title": self.config.title, "content": content},
+        )
+
+    def render_header_chips(self, page: Page) -> str:
+        """Render the colored taxonomy chips of paper Fig. 3 for a page.
+
+        Only visible taxonomies produce chips; hidden ones (``medium``,
+        ``cs2013details``, ``tcppdetails``) never appear in the header
+        (§II-B.e).
+        """
+        return self.env.render("chips", {"chips": self._chip_context(page)})
+
+    def render_page(self, page: Page) -> str:
+        content = self.env.render(
+            "single",
+            {
+                "page": page,
+                "chips": self._chip_context(page),
+                "html": page.content_html(),
+            },
+        )
+        return self._wrap(page.title, content)
+
+    def _chip_context(self, page: Page) -> list[dict]:
+        chips = []
+        for taxonomy in self.index.visible_taxonomies():
+            for term_name in page.terms(taxonomy.name):
+                term = taxonomy.terms.get(term_name)
+                chips.append(
+                    {
+                        "taxonomy": taxonomy.name,
+                        "term": term_name,
+                        "color": taxonomy.config.color,
+                        "url": term.url if term else "#",
+                    }
+                )
+        return chips
+
+    def render_term_page(self, taxonomy_name: str, term_name: str) -> str:
+        taxonomy = self.index.taxonomy(taxonomy_name)
+        term = taxonomy.term(term_name)
+        entries = [
+            {"title": p.title, "url": p.url}
+            for p in sorted(term.pages, key=lambda p: p.title.lower())
+        ]
+        content = self.env.render(
+            "list", {"heading": f"{taxonomy_name}: {term_name}", "entries": entries}
+        )
+        return self._wrap(term_name, content)
+
+    def render_taxonomy_index(self, taxonomy_name: str) -> str:
+        taxonomy = self.index.taxonomy(taxonomy_name)
+        terms = [
+            {"name": t.name, "url": t.url, "count": t.count}
+            for t in taxonomy.sorted_terms()
+        ]
+        content = self.env.render("terms", {"heading": taxonomy_name, "terms": terms})
+        return self._wrap(taxonomy_name, content)
+
+    def render_home(self) -> str:
+        entries = [
+            {"title": p.title, "url": p.url}
+            for p in sorted(self.pages, key=lambda p: p.title.lower())
+        ]
+        content = self.env.render("list", {"heading": "All Activities", "entries": entries})
+        return self._wrap("Home", content)
+
+    def render_view(self, view) -> str:
+        """Render one browsing view (paper §II-C) as a page.
+
+        ``view`` is a :class:`~repro.sitegen.views.View`; groups render as
+        sections, learning-outcome/topic subgroups as nested lists.
+        """
+        content = self.env.render(
+            "view",
+            {
+                "heading": f"{view.name} view",
+                "groups": [
+                    {
+                        "term": g.term,
+                        "count": g.count,
+                        "entries": [
+                            {"title": e.title, "url": e.url} for e in g.entries
+                        ],
+                        "subgroups": [
+                            {
+                                "term": sg.term,
+                                "entries": [
+                                    {"title": e.title, "url": e.url}
+                                    for e in sg.entries
+                                ],
+                            }
+                            for sg in g.subgroups
+                        ],
+                    }
+                    for g in view.groups
+                ],
+            },
+        )
+        return self._wrap(f"{view.name} view", content)
+
+    def build_views(self, output_dir: str | Path) -> int:
+        """Render the four §II-C views under ``<output>/views/``."""
+        from repro.sitegen.views import (
+            accessibility_view,
+            courses_view,
+            cs2013_view,
+            tcpp_view,
+        )
+
+        output = Path(output_dir)
+        count = 0
+        for view in (cs2013_view(self.index), tcpp_view(self.index),
+                     courses_view(self.index), accessibility_view(self.index)):
+            view_dir = output / "views" / slugify(view.name)
+            view_dir.mkdir(parents=True, exist_ok=True)
+            (view_dir / "index.html").write_text(
+                self.render_view(view), encoding="utf-8"
+            )
+            count += 1
+        return count
+
+    def build(self, output_dir: str | Path) -> BuildStats:
+        """Render the complete site into ``output_dir``."""
+        started = time.perf_counter()
+        output = Path(output_dir)
+        output.mkdir(parents=True, exist_ok=True)
+        stats = BuildStats(output_dir=output)
+
+        (output / "index.html").write_text(self.render_home(), encoding="utf-8")
+        stats.pages_rendered += 1
+
+        for page in self.pages:
+            page_dir = output / page.section / page.slug
+            page_dir.mkdir(parents=True, exist_ok=True)
+            (page_dir / "index.html").write_text(self.render_page(page), encoding="utf-8")
+            stats.pages_rendered += 1
+
+        for taxonomy in self.index.taxonomies():
+            tax_dir = output / slugify(taxonomy.name)
+            tax_dir.mkdir(parents=True, exist_ok=True)
+            (tax_dir / "index.html").write_text(
+                self.render_taxonomy_index(taxonomy.name), encoding="utf-8"
+            )
+            stats.terms_rendered += 1
+            for term in taxonomy.terms.values():
+                term_dir = tax_dir / term.slug
+                term_dir.mkdir(parents=True, exist_ok=True)
+                (term_dir / "index.html").write_text(
+                    self.render_term_page(taxonomy.name, term.name), encoding="utf-8"
+                )
+                stats.terms_rendered += 1
+
+        if "view" in self.env:
+            stats.terms_rendered += self.build_views(output)
+
+        stats.duration_s = time.perf_counter() - started
+        return stats
+
+    def check(self) -> None:
+        """Run structural invariants over the whole site (no output)."""
+        self.index.check_invariants()
+        names = [p.name for p in self.pages]
+        if len(set(names)) != len(names):
+            raise SiteError("duplicate page names")

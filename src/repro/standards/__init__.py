@@ -1,0 +1,51 @@
+"""``repro.standards``: machine-readable curriculum standards.
+
+* :mod:`repro.standards.cs2013` -- the CS2013 PD knowledge area (9 units,
+  67 learning outcomes, tiers), counts pinned to the paper's Table I.
+* :mod:`repro.standards.tcpp` -- the TCPP 2012 core-course topics (4 areas,
+  97 topics with Bloom levels and courses), counts pinned to Table II.
+* :mod:`repro.standards.bloom` -- the K/C/A Bloom scale.
+* :mod:`repro.standards.courses` -- the course catalog and core-course set.
+"""
+
+from repro.standards.bloom import Bloom
+from repro.standards.courses import CORE_COURSES, COURSE_ORDER, COURSES, Course, course
+from repro.standards.cs2013 import (
+    PD_KNOWLEDGE_AREA,
+    KnowledgeUnit,
+    LearningOutcome,
+    Tier,
+    knowledge_unit,
+    knowledge_unit_by_abbrev,
+    outcome_for_detail_term,
+)
+from repro.standards.tcpp import (
+    TCPP_CURRICULUM,
+    Category,
+    Topic,
+    TopicArea,
+    topic_area,
+    topic_for_detail_term,
+)
+
+__all__ = [
+    "Bloom",
+    "CORE_COURSES",
+    "COURSES",
+    "COURSE_ORDER",
+    "Category",
+    "Course",
+    "KnowledgeUnit",
+    "LearningOutcome",
+    "PD_KNOWLEDGE_AREA",
+    "TCPP_CURRICULUM",
+    "Tier",
+    "Topic",
+    "TopicArea",
+    "course",
+    "knowledge_unit",
+    "knowledge_unit_by_abbrev",
+    "outcome_for_detail_term",
+    "topic_area",
+    "topic_for_detail_term",
+]

@@ -1,0 +1,43 @@
+"""Bloom-taxonomy classification levels used by the TCPP curriculum.
+
+The 2012 NSF/IEEE-TCPP curriculum annotates every topic with the expected
+level of student mastery using a three-letter Bloom scale (paper §II-B.e):
+``K`` ("Know the term"), ``C`` ("Comprehend so as to paraphrase or
+illustrate"), and ``A`` ("Apply it in some way").  The hidden
+``tcppdetails`` taxonomy terms are formed as ``<bloom-letter>_<topic-slug>``
+(e.g. ``C_Speedup``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import StandardsError
+
+__all__ = ["Bloom"]
+
+
+class Bloom(enum.Enum):
+    """TCPP Bloom classification for a curriculum topic."""
+
+    KNOW = "K"
+    COMPREHEND = "C"
+    APPLY = "A"
+
+    @classmethod
+    def from_letter(cls, letter: str) -> "Bloom":
+        for member in cls:
+            if member.value == letter:
+                return member
+        raise StandardsError(f"unknown Bloom letter {letter!r} (expected K, C, or A)")
+
+    @property
+    def description(self) -> str:
+        return {
+            Bloom.KNOW: "Know the term",
+            Bloom.COMPREHEND: "Comprehend so as to paraphrase or illustrate",
+            Bloom.APPLY: "Apply it in some way",
+        }[self]
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,69 @@
+"""Course catalog: where unplugged activities get recommended.
+
+PDCunplugged's ``courses`` taxonomy uses separate terms for college-level
+courses (``CS0``, ``CS1``, ``CS2``, ``DSA``, ``Systems``) and a single
+``K_12`` term for pre-college activities (paper §II-B.c).  The TCPP report
+emphasizes parallelism in the four *core courses* -- CS1, CS2, DSA (here
+following the paper's usage: Data Structures and Algorithms) and Systems --
+so the coverage analysis in Table II restricts itself to topics TCPP
+recommends for those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StandardsError
+
+__all__ = [
+    "Course",
+    "COURSES",
+    "CORE_COURSES",
+    "COURSE_ORDER",
+    "course",
+    "is_known_course",
+]
+
+
+@dataclass(frozen=True)
+class Course:
+    """One course context an activity can be recommended for."""
+
+    term: str
+    name: str
+    core: bool = False
+    college: bool = True
+
+
+#: All course terms PDCunplugged uses, in the order the paper reports them
+#: ("15 activities ... for K-12, 8 for CS0, 17 for CS1, 25 for CS2, 27 for
+#: DSA, and 22 for Systems", §III-A).
+COURSES: tuple[Course, ...] = (
+    Course("K_12", "K-12 outreach", core=False, college=False),
+    Course("CS0", "CS0 (non-majors introduction)", core=False),
+    Course("CS1", "CS1 (introduction to programming)", core=True),
+    Course("CS2", "CS2 (second programming course)", core=True),
+    Course("DSA", "Data Structures and Algorithms", core=True),
+    Course("Systems", "Systems (architecture / organization)", core=True),
+)
+
+COURSE_ORDER: tuple[str, ...] = tuple(c.term for c in COURSES)
+
+#: The TCPP "core courses" (2012 report): CS1, CS2, DSA, Systems.
+CORE_COURSES: tuple[Course, ...] = tuple(c for c in COURSES if c.core)
+
+_BY_TERM = {c.term: c for c in COURSES}
+
+
+def course(term: str) -> Course:
+    """Look up a course by taxonomy term."""
+    try:
+        return _BY_TERM[term]
+    except KeyError:
+        raise StandardsError(
+            f"unknown course {term!r}; known courses: {', '.join(COURSE_ORDER)}"
+        ) from None
+
+
+def is_known_course(term: str) -> bool:
+    return term in _BY_TERM

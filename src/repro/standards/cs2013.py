@@ -1,0 +1,337 @@
+"""The CS2013 Parallel and Distributed Computing (PD) knowledge area.
+
+CS2013 organizes the PD knowledge area into nine *knowledge units* (KUs),
+each with numbered *learning outcomes* (LOs) at three tiers (Core Tier 1,
+Core Tier 2, Elective).  PDCunplugged tags an activity with
+
+* a ``cs2013`` taxonomy term per knowledge unit it touches, formed as
+  ``PD_<CamelCaseUnitName>`` (e.g. ``PD_ParallelDecomposition``), and
+* a hidden ``cs2013details`` term per learning outcome, formed as
+  ``<unit-abbreviation>_<outcome-number>`` (e.g. ``PD_1``, ``PD_3``) --
+  paper §II-B.e.
+
+The learning-outcome counts per unit are pinned to the paper's Table I
+(3, 6, 12, 11, 8, 7, 9, 5, 6); the outcome texts paraphrase the CS2013
+report.  CS2013 recommends covering all Tier-1 outcomes, at least 80 % of
+Tier 2, and "significant" elective depth -- thresholds exposed as module
+constants because the gap analysis uses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StandardsError
+
+__all__ = [
+    "Tier",
+    "LearningOutcome",
+    "KnowledgeUnit",
+    "PD_KNOWLEDGE_AREA",
+    "knowledge_unit",
+    "knowledge_unit_by_abbrev",
+    "outcome_for_detail_term",
+    "all_detail_terms",
+    "TIER1_TARGET",
+    "TIER2_TARGET",
+]
+
+#: CS2013 coverage recommendations (§III-B of the paper).
+TIER1_TARGET = 1.0
+TIER2_TARGET = 0.8
+
+
+class Tier:
+    CORE1 = "core-tier1"
+    CORE2 = "core-tier2"
+    ELECTIVE = "elective"
+
+
+@dataclass(frozen=True)
+class LearningOutcome:
+    """One numbered learning outcome within a knowledge unit."""
+
+    number: int
+    text: str
+    tier: str = Tier.CORE2
+
+    def detail_term(self, unit_abbrev: str) -> str:
+        return f"{unit_abbrev}_{self.number}"
+
+
+@dataclass(frozen=True)
+class KnowledgeUnit:
+    """One CS2013 PD knowledge unit."""
+
+    term: str            # cs2013 taxonomy term, e.g. "PD_ParallelDecomposition"
+    name: str            # display name, e.g. "Parallel Decomposition"
+    abbrev: str          # cs2013details prefix, e.g. "PD"
+    elective: bool       # marked (E) in Table I
+    outcomes: tuple[LearningOutcome, ...] = field(default_factory=tuple)
+
+    @property
+    def num_outcomes(self) -> int:
+        return len(self.outcomes)
+
+    def outcome(self, number: int) -> LearningOutcome:
+        for lo in self.outcomes:
+            if lo.number == number:
+                return lo
+        raise StandardsError(f"{self.name}: no learning outcome #{number}")
+
+    def detail_terms(self) -> list[str]:
+        return [lo.detail_term(self.abbrev) for lo in self.outcomes]
+
+
+def _lo(number: int, text: str, tier: str = Tier.CORE2) -> LearningOutcome:
+    return LearningOutcome(number, text, tier)
+
+
+#: The nine PD knowledge units, in Table I order.
+PD_KNOWLEDGE_AREA: tuple[KnowledgeUnit, ...] = (
+    KnowledgeUnit(
+        term="PD_ParallelismFundamentals",
+        name="Parallelism Fundamentals",
+        abbrev="PF",
+        elective=False,
+        outcomes=(
+            _lo(1, "Distinguish using computational resources for a faster answer "
+                   "from managing efficient access to a shared resource.", Tier.CORE1),
+            _lo(2, "Distinguish multiple sufficient programming constructs for "
+                   "synchronization that may be inter-implementable but have "
+                   "complementary advantages.", Tier.CORE1),
+            _lo(3, "Distinguish data races from higher-level races.", Tier.CORE1),
+        ),
+    ),
+    KnowledgeUnit(
+        term="PD_ParallelDecomposition",
+        name="Parallel Decomposition",
+        abbrev="PD",
+        elective=False,
+        outcomes=(
+            _lo(1, "Explain why synchronization is necessary in a specific parallel "
+                   "program.", Tier.CORE1),
+            _lo(2, "Identify opportunities to partition a serial program into "
+                   "independent parallel modules.", Tier.CORE1),
+            _lo(3, "Write a correct and scalable parallel algorithm.", Tier.CORE2),
+            _lo(4, "Parallelize an algorithm by applying task-based decomposition.",
+                Tier.CORE2),
+            _lo(5, "Parallelize an algorithm by applying data-parallel decomposition.",
+                Tier.CORE2),
+            _lo(6, "Write a program using actors and/or reactive processes.",
+                Tier.ELECTIVE),
+        ),
+    ),
+    KnowledgeUnit(
+        term="PD_CommunicationAndCoordination",
+        name="Parallel Communication and Coordination",
+        abbrev="PCC",
+        elective=False,
+        outcomes=(
+            _lo(1, "Use mutual exclusion to avoid a given race condition.", Tier.CORE1),
+            _lo(2, "Give an example of an ordering of accesses among concurrent "
+                   "activities that is not sequentially consistent.", Tier.CORE2),
+            _lo(3, "Give an example of a scenario in which blocking message sends "
+                   "can deadlock.", Tier.CORE2),
+            _lo(4, "Explain when and why multicast or event-based messaging can be "
+                   "preferable to alternatives.", Tier.CORE2),
+            _lo(5, "Write a program that correctly terminates when all of a set of "
+                   "concurrent tasks have completed.", Tier.CORE2),
+            _lo(6, "Use a properly synchronized queue to buffer data between "
+                   "activities.", Tier.CORE2),
+            _lo(7, "Explain why checks for preconditions, and actions based on them, "
+                   "must share the same unit of atomicity.", Tier.CORE2),
+            _lo(8, "Write a test program that can reveal a concurrent programming "
+                   "error; for example, missing an update when two activities both "
+                   "try to increment a variable.", Tier.CORE2),
+            _lo(9, "Describe at least one design technique for avoiding liveness "
+                   "failures in programs using multiple locks.", Tier.CORE2),
+            _lo(10, "Describe the relative merits of optimistic versus conservative "
+                    "concurrency control under different rates of contention.",
+                Tier.CORE2),
+            _lo(11, "Give an example of a scenario in which an attempted optimistic "
+                    "update may never complete.", Tier.CORE2),
+            _lo(12, "Use semaphores or condition variables to block threads until a "
+                    "necessary precondition holds.", Tier.ELECTIVE),
+        ),
+    ),
+    KnowledgeUnit(
+        term="PD_ParallelAlgorithms",
+        name="Parallel Algorithms, Analysis, and Programming",
+        abbrev="PAAP",
+        elective=False,
+        outcomes=(
+            _lo(1, "Define 'critical path', 'work', and 'span'.", Tier.CORE2),
+            _lo(2, "Compute the work and span, and determine the critical path, "
+                   "with respect to a parallel execution diagram.", Tier.CORE2),
+            _lo(3, "Define 'speed-up' and explain the notion of an algorithm's "
+                   "scalability in this regard.", Tier.CORE2),
+            _lo(4, "Identify independent tasks in a program that may be parallelized.",
+                Tier.CORE2),
+            _lo(5, "Characterize features of a workload that allow or prevent it "
+                   "from being naturally parallelized.", Tier.CORE2),
+            _lo(6, "Implement a parallel divide-and-conquer (and/or graph) algorithm "
+                   "and empirically measure its performance relative to its "
+                   "sequential analog.", Tier.CORE2),
+            _lo(7, "Decompose a problem (e.g., counting the number of occurrences of "
+                   "some word in a document) via map and reduce operations.",
+                Tier.CORE2),
+            _lo(8, "Provide an example of a problem that fits the producer-consumer "
+                   "paradigm.", Tier.ELECTIVE),
+            _lo(9, "Give examples of problems where pipelining would be an effective "
+                   "means of parallelization.", Tier.ELECTIVE),
+            _lo(10, "Implement a parallel matrix algorithm.", Tier.ELECTIVE),
+            _lo(11, "Identify issues that arise in producer-consumer algorithms and "
+                    "mechanisms that may be used for addressing them.", Tier.ELECTIVE),
+        ),
+    ),
+    KnowledgeUnit(
+        term="PD_ParallelArchitecture",
+        name="Parallel Architecture",
+        abbrev="PA",
+        elective=False,
+        outcomes=(
+            _lo(1, "Explain the differences between shared and distributed memory.",
+                Tier.CORE1),
+            _lo(2, "Describe the SMP architecture and note its key features.",
+                Tier.CORE2),
+            _lo(3, "Characterize the kinds of tasks that are a natural match for "
+                   "SIMD machines.", Tier.CORE2),
+            _lo(4, "Describe the advantages and limitations of GPUs versus CPUs.",
+                Tier.ELECTIVE),
+            _lo(5, "Explain the features of each classification in Flynn's taxonomy.",
+                Tier.ELECTIVE),
+            _lo(6, "Describe assembly-line (pipelined) processing and its impact on "
+                   "throughput.", Tier.ELECTIVE),
+            _lo(7, "Describe how memory hierarchy (caches) affects the performance "
+                   "of parallel programs.", Tier.ELECTIVE),
+            _lo(8, "Explain the performance impact of interconnection-network "
+                   "topology on communicating processors.", Tier.ELECTIVE),
+        ),
+    ),
+    KnowledgeUnit(
+        term="PD_ParallelPerformance",
+        name="Parallel Performance",
+        abbrev="PP",
+        elective=True,
+        outcomes=(
+            _lo(1, "Calculate the implications of Amdahl's law for a particular "
+                   "parallel algorithm.", Tier.ELECTIVE),
+            _lo(2, "Describe how data distribution and load balancing affect "
+                   "performance.", Tier.ELECTIVE),
+            _lo(3, "Detect and correct a load imbalance.", Tier.ELECTIVE),
+            _lo(4, "Explain the impact of scheduling on parallel performance.",
+                Tier.ELECTIVE),
+            _lo(5, "Explain performance impacts of communication overhead and "
+                   "contention for shared resources.", Tier.ELECTIVE),
+            _lo(6, "Explain the impact of data locality on performance.",
+                Tier.ELECTIVE),
+            _lo(7, "Define the notions of scalability, strong and weak scaling, and "
+                   "isoefficiency.", Tier.ELECTIVE),
+        ),
+    ),
+    KnowledgeUnit(
+        term="PD_DistributedSystems",
+        name="Distributed Systems",
+        abbrev="DS",
+        elective=True,
+        outcomes=(
+            _lo(1, "Give examples of distributed-system designs that tolerate faults "
+                   "and describe why consensus is hard in their presence.",
+                Tier.ELECTIVE),
+            _lo(2, "Contrast network faults with other kinds of failures.",
+                Tier.ELECTIVE),
+            _lo(3, "Explain why synchronization constructs such as simple locks are "
+                   "not useful in the presence of distributed failures.",
+                Tier.ELECTIVE),
+            _lo(4, "Describe the general structure of a distributed hash table.",
+                Tier.ELECTIVE),
+            _lo(5, "Explain the CAP trade-off between consistency and availability.",
+                Tier.ELECTIVE),
+            _lo(6, "Describe the difference between remote procedure calls and "
+                   "local calls.", Tier.ELECTIVE),
+            _lo(7, "Implement a simple server and a client that interacts with it.",
+                Tier.ELECTIVE),
+            _lo(8, "Explain tradeoffs among overhead, scalability, and reliability "
+                   "in choosing a stateful or stateless design.", Tier.ELECTIVE),
+            _lo(9, "Describe the scalability challenges associated with a "
+                   "name-resolution service.", Tier.ELECTIVE),
+        ),
+    ),
+    KnowledgeUnit(
+        term="PD_CloudComputing",
+        name="Cloud Computing",
+        abbrev="CLD",
+        elective=True,
+        outcomes=(
+            _lo(1, "Discuss the importance of elasticity and resource management in "
+                   "cloud computing.", Tier.ELECTIVE),
+            _lo(2, "Explain strategies to synchronize a common view of shared data "
+                   "across a collection of devices.", Tier.ELECTIVE),
+            _lo(3, "Explain the advantages and disadvantages of using virtualized "
+                   "infrastructure.", Tier.ELECTIVE),
+            _lo(4, "Deploy an application that uses a cloud infrastructure for "
+                   "computing or data resources.", Tier.ELECTIVE),
+            _lo(5, "Discuss how cloud services make large distributed computing "
+                   "resources available to small projects.", Tier.ELECTIVE),
+        ),
+    ),
+    KnowledgeUnit(
+        term="PD_FormalModels",
+        name="Formal Models and Semantics",
+        abbrev="FMS",
+        elective=True,
+        outcomes=(
+            _lo(1, "Use invariants and assertional reasoning to analyze what is true "
+                   "across all executions of a concurrent algorithm.", Tier.ELECTIVE),
+            _lo(2, "Model a concurrent process using a formal model such as a "
+                   "process algebra.", Tier.ELECTIVE),
+            _lo(3, "Explain the difference between safety and liveness properties.",
+                Tier.ELECTIVE),
+            _lo(4, "Use a model-checking tool to verify a simple concurrent "
+                   "protocol.", Tier.ELECTIVE),
+            _lo(5, "Describe the behavior of a simple concurrent program in terms of "
+                   "an interleaving of atomic steps.", Tier.ELECTIVE),
+            _lo(6, "Give an example showing why operational reasoning over all "
+                   "interleavings does not scale.", Tier.ELECTIVE),
+        ),
+    ),
+)
+
+_BY_TERM = {ku.term: ku for ku in PD_KNOWLEDGE_AREA}
+_BY_ABBREV = {ku.abbrev: ku for ku in PD_KNOWLEDGE_AREA}
+
+
+def knowledge_unit(term: str) -> KnowledgeUnit:
+    """Look up a knowledge unit by its ``cs2013`` taxonomy term."""
+    try:
+        return _BY_TERM[term]
+    except KeyError:
+        raise StandardsError(
+            f"unknown CS2013 knowledge unit term {term!r}"
+        ) from None
+
+
+def knowledge_unit_by_abbrev(abbrev: str) -> KnowledgeUnit:
+    """Look up a knowledge unit by its detail-term prefix (e.g. ``PD``)."""
+    try:
+        return _BY_ABBREV[abbrev]
+    except KeyError:
+        raise StandardsError(f"unknown CS2013 unit abbreviation {abbrev!r}") from None
+
+
+def outcome_for_detail_term(term: str) -> tuple[KnowledgeUnit, LearningOutcome]:
+    """Resolve a ``cs2013details`` term like ``PD_3`` to (unit, outcome)."""
+    abbrev, _, number = term.rpartition("_")
+    if not abbrev or not number.isdigit():
+        raise StandardsError(f"malformed cs2013details term {term!r}")
+    ku = knowledge_unit_by_abbrev(abbrev)
+    return ku, ku.outcome(int(number))
+
+
+def all_detail_terms() -> list[str]:
+    """Every valid ``cs2013details`` term across the PD knowledge area."""
+    terms: list[str] = []
+    for ku in PD_KNOWLEDGE_AREA:
+        terms.extend(ku.detail_terms())
+    return terms

@@ -1,0 +1,278 @@
+"""The 2012 NSF/IEEE-TCPP curriculum: topic areas, core topics, Bloom levels.
+
+The TCPP curriculum initiative organizes PDC topics into four *topic areas*
+-- Architecture, Programming, Algorithms, and Crosscutting/Advanced -- each
+subdivided into categories, with every topic carrying a Bloom classification
+and the core courses it is recommended for.  PDCunplugged tags activities
+with
+
+* a ``tcpp`` taxonomy term per topic area, formed as ``TCPP_<Area>``
+  (e.g. ``TCPP_Algorithms``), and
+* a hidden ``tcppdetails`` term per topic, formed as
+  ``<bloom-letter>_<topic-slug>`` (e.g. ``C_Speedup`` for "Comprehend
+  Speedup", paper §II-B.e).
+
+Following the paper's Table II, this model contains only the topics TCPP
+suggests for *core courses* (CS1, CS2, DSA, Systems), excluding topics
+solely associated with advanced courses; the per-area counts are pinned to
+the table: Architecture 22, Programming 37, Algorithms 26, Crosscutting 12.
+Category subtotals are pinned to §III-C (e.g. PD Models/Complexity has 11
+topics so that 4 covered = 36.36 %; Paradigms and Notations has 14 so that
+5 covered = 35.71 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StandardsError
+from repro.standards.bloom import Bloom
+
+__all__ = [
+    "Topic",
+    "Category",
+    "TopicArea",
+    "TCPP_CURRICULUM",
+    "topic_area",
+    "topic_for_detail_term",
+    "all_topics",
+    "all_detail_terms",
+]
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One TCPP core-course topic."""
+
+    slug: str                   # unique CamelCase slug, e.g. "Speedup"
+    name: str                   # human-readable topic name
+    bloom: Bloom                # expected mastery level
+    courses: tuple[str, ...]    # recommended core courses
+
+    @property
+    def detail_term(self) -> str:
+        """The ``tcppdetails`` taxonomy term for this topic."""
+        return f"{self.bloom.value}_{self.slug}"
+
+
+@dataclass(frozen=True)
+class Category:
+    """A named subdivision of a topic area (e.g. 'Memory Hierarchy')."""
+
+    name: str
+    topics: tuple[Topic, ...]
+
+    @property
+    def num_topics(self) -> int:
+        return len(self.topics)
+
+
+@dataclass(frozen=True)
+class TopicArea:
+    """One of the four TCPP topic areas."""
+
+    term: str                   # tcpp taxonomy term, e.g. "TCPP_Algorithms"
+    name: str
+    categories: tuple[Category, ...]
+
+    @property
+    def topics(self) -> tuple[Topic, ...]:
+        return tuple(t for c in self.categories for t in c.topics)
+
+    @property
+    def num_topics(self) -> int:
+        return len(self.topics)
+
+    def category(self, name: str) -> Category:
+        for c in self.categories:
+            if c.name == name:
+                return c
+        raise StandardsError(f"{self.name}: no category {name!r}")
+
+    def detail_terms(self) -> list[str]:
+        return [t.detail_term for t in self.topics]
+
+
+def _t(slug: str, name: str, bloom: str, courses: str) -> Topic:
+    return Topic(slug, name, Bloom.from_letter(bloom), tuple(courses.split()))
+
+
+TCPP_CURRICULUM: tuple[TopicArea, ...] = (
+    TopicArea(
+        term="TCPP_Architecture",
+        name="Architecture",
+        categories=(
+            Category("Classes", (
+                _t("FlynnTaxonomy", "Flynn's taxonomy of parallel machines", "C", "CS2 Systems"),
+                _t("Superscalar", "Superscalar (ILP) execution", "K", "Systems"),
+                _t("SIMDVector", "SIMD and vector processing", "C", "CS2 Systems"),
+                _t("InstructionPipelines", "Pipelined instruction execution", "C", "CS1 Systems"),
+                _t("MIMD", "MIMD multiprocessors", "K", "Systems"),
+                _t("Multicore", "Multicore processors", "C", "CS1 CS2 Systems"),
+                _t("SharedVsDistributedMemory", "Shared versus distributed memory organizations", "C", "CS2 Systems"),
+                _t("InterconnectTopologies", "Interconnection network topologies", "K", "Systems"),
+            )),
+            Category("Memory Hierarchy", (
+                _t("CacheHierarchy", "Cache organization and the memory hierarchy", "K", "CS2 Systems"),
+                _t("Atomicity", "Atomicity of memory operations", "K", "Systems"),
+                _t("CacheCoherence", "Cache coherence protocols", "K", "Systems"),
+                _t("FalseSharing", "False sharing", "K", "Systems"),
+                _t("MemoryConsistency", "Memory consistency models", "K", "Systems"),
+                _t("LatencyBandwidth", "Latency and bandwidth of communication", "C", "CS2 Systems"),
+            )),
+            Category("Floating-Point Representation", (
+                _t("FloatRange", "Range of representable floating-point values", "K", "CS1 CS2"),
+                _t("FloatPrecision", "Precision of floating-point values", "K", "CS1 CS2"),
+                _t("RoundingError", "Rounding and error propagation", "K", "CS2 DSA"),
+                _t("IEEE754", "The IEEE 754 standard", "K", "CS1 Systems"),
+            )),
+            Category("Performance Metrics", (
+                _t("CyclesPerInstruction", "Cycles per instruction as a metric", "C", "Systems"),
+                _t("Benchmarks", "Benchmark suites (e.g. LINPACK, SPEC)", "K", "Systems"),
+                _t("PeakPerformance", "Peak performance and its limits", "C", "Systems"),
+                _t("SustainedPerformance", "Sustained versus peak performance", "C", "Systems"),
+            )),
+        ),
+    ),
+    TopicArea(
+        term="TCPP_Programming",
+        name="Programming",
+        categories=(
+            Category("Paradigms and Notations", (
+                _t("SharedMemoryModel", "Programming for shared memory", "C", "CS1 CS2 Systems"),
+                _t("DistributedMemoryModel", "Programming for distributed memory", "C", "CS2 Systems"),
+                _t("ClientServer", "Client-server and hybrid paradigms", "C", "CS2 Systems"),
+                _t("TaskSpawning", "Task and thread spawning constructs", "A", "CS1 CS2"),
+                _t("ParallelLoops", "Parallel loop constructs", "A", "CS1 CS2 DSA"),
+                _t("VectorExtensions", "Processor vector extensions", "K", "Systems"),
+                _t("HybridModel", "Hybrid shared/distributed programming", "K", "Systems"),
+                _t("DataParallelNotation", "Data-parallel notations", "C", "CS2 DSA"),
+                _t("FunctionalParallelism", "Functional and logic-based parallelism", "K", "DSA"),
+                _t("OpenMP", "OpenMP directives", "A", "CS2 Systems"),
+                _t("TBB", "Threading Building Blocks", "K", "Systems"),
+                _t("CUDA", "GPU programming with CUDA/OpenCL", "K", "Systems"),
+                _t("MPI", "Message Passing Interface", "C", "CS2 Systems"),
+                _t("Actors", "Actors and reactive processes", "K", "DSA"),
+            )),
+            Category("Correctness", (
+                _t("TasksAndThreads", "Tasks and threads as units of concurrency", "C", "CS1 CS2 Systems"),
+                _t("Synchronization", "Synchronization constructs (locks, semaphores)", "A", "CS1 CS2 Systems"),
+                _t("CriticalSections", "Critical sections and mutual exclusion", "A", "CS1 CS2 Systems"),
+                _t("ProducerConsumer", "Producer-consumer coordination", "A", "CS2 DSA"),
+                _t("Monitors", "Monitors and condition synchronization", "K", "Systems"),
+                _t("Deadlock", "Deadlock: conditions, avoidance, detection", "C", "CS2 Systems"),
+                _t("DataRaces", "Data races and their consequences", "C", "CS1 CS2 Systems"),
+                _t("RaceAvoidance", "Techniques for avoiding races", "A", "CS2 Systems"),
+                _t("MemoryModels", "Language memory models", "K", "Systems"),
+                _t("SequentialConsistency", "Sequential consistency as a contract", "K", "Systems"),
+                _t("DefectTools", "Tools for detecting concurrency defects", "K", "Systems"),
+            )),
+            Category("Performance", (
+                _t("LoadBalancing", "Load balancing across computational units", "C", "CS2 DSA Systems"),
+                _t("SchedulingMapping", "Scheduling and mapping work to resources", "C", "CS2 DSA Systems"),
+                _t("DataDistribution", "Data distribution strategies", "C", "CS2 DSA"),
+                _t("DataLocality", "Exploiting data locality", "C", "CS2 Systems"),
+                _t("TaskGranularity", "Choosing task granularity", "C", "DSA Systems"),
+                _t("PerformanceMonitoring", "Performance monitoring tools", "K", "Systems"),
+                _t("Speedup", "Speedup", "C", "CS1 CS2 DSA"),
+                _t("Efficiency", "Parallel efficiency", "C", "CS2 DSA"),
+                _t("ParallelOverhead", "Sources of parallel overhead", "C", "CS2 DSA Systems"),
+                _t("AmdahlsLaw", "Amdahl's law", "C", "CS2 DSA Systems"),
+                _t("WeakScaling", "Strong versus weak scaling", "K", "DSA Systems"),
+                _t("CommunicationCosts", "Communication costs and their mitigation", "C", "CS2 Systems"),
+            )),
+        ),
+    ),
+    TopicArea(
+        term="TCPP_Algorithms",
+        name="Algorithms",
+        categories=(
+            Category("PD Models and Complexity", (
+                _t("Asymptotics", "Asymptotic analysis of parallel cost", "K", "DSA"),
+                _t("TimeComplexity", "Time as a computational resource", "C", "DSA"),
+                _t("CostReduction", "Cost reduction via parallelism (speedup, compression)", "C", "CS2 DSA"),
+                _t("Scalability", "Scalability in algorithms and architectures", "C", "CS2 DSA"),
+                _t("PRAM", "The PRAM model", "K", "DSA"),
+                _t("BSP", "BSP and related bridging models", "K", "DSA"),
+                _t("DependencyGraphs", "Dependencies and dependency graphs", "C", "CS1 CS2 DSA"),
+                _t("TaskGraphs", "Task graphs as schedules", "C", "DSA"),
+                _t("Work", "Work as a cost measure", "K", "DSA"),
+                _t("MakeSpan", "Make/span (critical path) as a cost measure", "K", "DSA"),
+                _t("PowerCost", "Power and energy as computational resources", "K", "DSA Systems"),
+            )),
+            Category("Algorithmic Paradigms", (
+                _t("DivideAndConquer", "Parallel divide and conquer", "A", "CS2 DSA"),
+                _t("Recursion", "Parallel aspects of recursion", "C", "CS2 DSA"),
+                _t("Reduction", "Reduction as a parallel paradigm", "A", "CS2 DSA"),
+                _t("Scan", "Scan (parallel prefix)", "A", "DSA"),
+                _t("SeriesParallelComposition", "Series-parallel composition", "K", "DSA"),
+                _t("MasterWorker", "Master-worker decomposition", "C", "CS2 DSA"),
+                _t("PipelineParadigm", "Pipelining as an algorithmic paradigm", "C", "CS2 DSA Systems"),
+            )),
+            Category("Algorithmic Problems", (
+                _t("Broadcast", "Broadcast and multicast communication", "C", "DSA Systems"),
+                _t("ScatterGather", "Scatter and gather collectives", "C", "DSA Systems"),
+                _t("Sorting", "Parallel sorting", "A", "CS1 CS2 DSA"),
+                _t("Selection", "Parallel selection (e.g. minimum finding)", "A", "CS1 CS2 DSA"),
+                _t("Search", "Parallel search", "A", "CS2 DSA"),
+                _t("LeaderElection", "Leader election and symmetry breaking", "K", "DSA Systems"),
+                _t("MutualExclusionProblem", "Mutual exclusion as an algorithmic problem", "C", "CS2 Systems"),
+                _t("Consensus", "Agreement and consensus under faults", "K", "DSA Systems"),
+            )),
+        ),
+    ),
+    TopicArea(
+        term="TCPP_Crosscutting",
+        name="Crosscutting and Advanced Topics",
+        categories=(
+            Category("Crosscutting", (
+                _t("WhyAndWhatPDC", "Why and what is parallel/distributed computing", "K", "CS1 CS2"),
+                _t("Locality", "The concept of locality", "K", "CS2 DSA Systems"),
+                _t("Concurrency", "Concurrency as a crosscutting theme", "K", "CS1 CS2 Systems"),
+                _t("NonDeterminism", "Non-determinism in parallel execution", "K", "CS2 DSA Systems"),
+            )),
+            Category("Current and Advanced", (
+                _t("ClusterComputing", "Cluster computing", "K", "CS2 Systems"),
+                _t("CloudGridComputing", "Cloud and grid computing", "K", "CS2 Systems"),
+                _t("PeerToPeer", "Peer-to-peer computing", "K", "CS2 DSA"),
+                _t("WebSearch", "How web search works", "K", "CS2 DSA"),
+                _t("FaultTolerance", "Fault tolerance", "K", "DSA Systems"),
+                _t("DistributedSecurity", "Security in distributed systems", "K", "Systems"),
+                _t("PerformanceModeling", "Performance modeling", "K", "DSA Systems"),
+                _t("CollectiveIntelligence", "Social networking and collective intelligence", "K", "CS2 DSA"),
+            )),
+        ),
+    ),
+)
+
+_BY_TERM = {area.term: area for area in TCPP_CURRICULUM}
+_BY_DETAIL: dict[str, tuple[TopicArea, Topic]] = {}
+for _area in TCPP_CURRICULUM:
+    for _topic in _area.topics:
+        if _topic.detail_term in _BY_DETAIL:
+            raise StandardsError(f"duplicate TCPP detail term {_topic.detail_term!r}")
+        _BY_DETAIL[_topic.detail_term] = (_area, _topic)
+
+
+def topic_area(term: str) -> TopicArea:
+    """Look up a topic area by its ``tcpp`` taxonomy term."""
+    try:
+        return _BY_TERM[term]
+    except KeyError:
+        raise StandardsError(f"unknown TCPP topic area term {term!r}") from None
+
+
+def topic_for_detail_term(term: str) -> tuple[TopicArea, Topic]:
+    """Resolve a ``tcppdetails`` term like ``C_Speedup`` to (area, topic)."""
+    try:
+        return _BY_DETAIL[term]
+    except KeyError:
+        raise StandardsError(f"unknown tcppdetails term {term!r}") from None
+
+
+def all_topics() -> list[tuple[TopicArea, Topic]]:
+    return [(area, topic) for area in TCPP_CURRICULUM for topic in area.topics]
+
+
+def all_detail_terms() -> list[str]:
+    return list(_BY_DETAIL)

@@ -1,0 +1,166 @@
+"""``repro.unplugged``: executable simulations of the curated activities.
+
+Every major activity in the corpus has a runnable counterpart here --
+"students as processors" on the deterministic discrete-event substrate in
+:mod:`repro.unplugged.sim`.  Each ``run_*`` function takes a
+:class:`~repro.unplugged.sim.classroom.Classroom` and returns an
+:class:`~repro.unplugged.sim.classroom.ActivityResult` carrying the trace,
+the board metrics, and the invariant checks.
+
+:data:`SIMULATIONS` maps corpus activity names (the ``.md`` file slugs) to
+their simulation entry points, so tests and the CLI can cross-link the
+curation and the executable layer.
+"""
+
+from typing import Callable
+
+from repro.unplugged.acting_out import run_object_roleplay, run_parallel_search
+from repro.unplugged.bank_deposit import run_bank_deposit
+from repro.unplugged.byzantine import om_agreement, run_byzantine_generals
+from repro.unplugged.card_merge_sort import merge_sort_time_model, run_card_merge_sort
+from repro.unplugged.comm_overhead import batching_sweep, run_phone_call
+from repro.unplugged.concert_tickets import run_concert_tickets
+from repro.unplugged.contention import run_checkout_contention, run_printer_queue
+from repro.unplugged.decomposition_puzzle import halo_volume, run_decomposition_puzzle
+from repro.unplugged.dining_philosophers import run_dining_philosophers
+from repro.unplugged.fence_painting import run_fence_painting
+from repro.unplugged.find_smallest_card import run_find_smallest_card, sequential_minimum
+from repro.unplugged.garbage_collection import run_garbage_collection
+from repro.unplugged.gardeners import run_gardeners
+from repro.unplugged.grading_speedup import (
+    run_exam_grading,
+    run_road_trip,
+    run_weak_scaling_grading,
+)
+from repro.unplugged.leader_election import run_leader_election
+from repro.unplugged.load_balancing import greedy_schedule, run_harvest
+from repro.unplugged.matrix_teams import copy_volume, grid_shapes, run_matrix_teams
+from repro.unplugged.memory_models import (
+    islands_sum_time,
+    run_memory_models,
+    whiteboard_sum_time,
+)
+from repro.unplugged.microarchitecture import (
+    amat,
+    lru_hit_rate,
+    run_assembly_line,
+    run_cache_library,
+)
+from repro.unplugged.multicore_kitchen import run_multicore_kitchen
+from repro.unplugged.nondeterministic_sort import run_nondeterministic_sort
+from repro.unplugged.odd_even_sort import run_odd_even_sort, sequential_bubble_sort
+from repro.unplugged.parallel_addition import run_coin_counting, run_parallel_addition
+from repro.unplugged.parallel_radix_sort import run_parallel_radix_sort
+from repro.unplugged.pipeline import run_laundry_pipeline
+from repro.unplugged.race_condition import run_juice_robots
+from repro.unplugged.recipe_scheduling import build_dinner_graph, run_recipe_scheduling
+from repro.unplugged.simd_rhythm import run_rhythm_clap
+from repro.unplugged.speedup_jigsaw import build_puzzle_graph, run_speedup_jigsaw
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sync_relay import run_synchronization_relay
+from repro.unplugged.token_ring import enabled_machines, run_token_ring
+from repro.unplugged.unreliable_messenger import run_stop_and_wait
+from repro.unplugged.yarn_topology import run_topology_yarn
+
+#: Corpus activity slug -> simulation entry point.
+SIMULATIONS: dict[str, Callable[..., ActivityResult]] = {
+    "findsmallestcard": run_find_smallest_card,
+    "parallelcardsort": run_card_merge_sort,
+    "oddeventranspositionsort": run_odd_even_sort,
+    "parallelradixsort": run_parallel_radix_sort,
+    "nondeterministicsorting": run_nondeterministic_sort,
+    "parallelgarbagecollection": run_garbage_collection,
+    "stableleaderelection": run_leader_election,
+    "selfstabilizingtokenring": run_token_ring,
+    "byzantinegenerals": run_byzantine_generals,
+    "juicesweeteningrobots": run_juice_robots,
+    "concerttickets": run_concert_tickets,
+    "gardeners": run_gardeners,
+    "harvestloadbalancing": run_harvest,
+    "whiteboardsharedmemory": run_memory_models,
+    "desertislandsdistributedmemory": run_memory_models,
+    "longdistancephonecall": run_phone_call,
+    "laundrypipeline": run_laundry_pipeline,
+    "bankdepositrace": run_bank_deposit,
+    "checkoutresourcecontention": run_checkout_contention,
+    "printerqueuesharing": run_printer_queue,
+    "parallelrecipecooking": run_recipe_scheduling,
+    "examgradingspeedup": run_exam_grading,
+    "roadtripamdahl": run_road_trip,
+    "diningphilosophers": run_dining_philosophers,
+    "synchronizationrelay": run_synchronization_relay,
+    "matrixmultiplicationteams": run_matrix_teams,
+    "cachelibrarymetaphor": run_cache_library,
+    "assemblylinepipeline": run_assembly_line,
+    "rhythmclapsimd": run_rhythm_clap,
+    "datadecompositionpuzzle": run_decomposition_puzzle,
+    "paralleladditioncards": run_parallel_addition,
+    "coincountingarraysum": run_coin_counting,
+    "actingoutalgorithms": run_parallel_search,
+    "objectroleplay": run_object_roleplay,
+    "topologyyarnweb": run_topology_yarn,
+    "fencepaintingdecomposition": run_fence_painting,
+    "multicorekitchen": run_multicore_kitchen,
+    "speedupjigsaw": run_speedup_jigsaw,
+}
+
+__all__ = [
+    "ActivityResult",
+    "Classroom",
+    "SIMULATIONS",
+    "amat",
+    "batching_sweep",
+    "build_dinner_graph",
+    "build_puzzle_graph",
+    "copy_volume",
+    "enabled_machines",
+    "greedy_schedule",
+    "grid_shapes",
+    "halo_volume",
+    "islands_sum_time",
+    "lru_hit_rate",
+    "merge_sort_time_model",
+    "om_agreement",
+    "run_assembly_line",
+    "run_bank_deposit",
+    "run_byzantine_generals",
+    "run_cache_library",
+    "run_card_merge_sort",
+    "run_checkout_contention",
+    "run_coin_counting",
+    "run_concert_tickets",
+    "run_decomposition_puzzle",
+    "run_dining_philosophers",
+    "run_exam_grading",
+    "run_fence_painting",
+    "run_find_smallest_card",
+    "run_garbage_collection",
+    "run_gardeners",
+    "run_harvest",
+    "run_juice_robots",
+    "run_laundry_pipeline",
+    "run_leader_election",
+    "run_matrix_teams",
+    "run_memory_models",
+    "run_multicore_kitchen",
+    "run_nondeterministic_sort",
+    "run_object_roleplay",
+    "run_odd_even_sort",
+    "run_parallel_addition",
+    "run_parallel_radix_sort",
+    "run_parallel_search",
+    "run_phone_call",
+    "run_printer_queue",
+    "run_recipe_scheduling",
+    "run_rhythm_clap",
+    "run_speedup_jigsaw",
+    "run_road_trip",
+    "run_stop_and_wait",
+    "run_synchronization_relay",
+    "run_token_ring",
+    "run_weak_scaling_grading",
+    "run_topology_yarn",
+    "sequential_bubble_sort",
+    "sequential_minimum",
+    "whiteboard_sum_time",
+]

@@ -1,0 +1,129 @@
+"""ActingOutAlgorithms and ObjectRolePlay, executable.
+
+* :func:`run_parallel_search` (Fleury): each student scans a strip of the
+  data and raises a hand on a hit; a broadcast of "found!" stops the
+  others early.  Measured: time to first hit vs a single scanner, and the
+  wasted work the early-termination broadcast saves.
+
+* :func:`run_object_roleplay` (Andrianoff & Levine): students play objects
+  exchanging *synchronous* messages.  Two objects that call each other and
+  block for replies deadlock -- staged on the communicator's rendezvous
+  sends so the engine's detector catches it -- and the fix (asynchronous
+  sends with an inbox) completes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeadlockError, SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.comm import Communicator, Endpoint
+from repro.unplugged.sim.engine import Simulator
+
+__all__ = ["run_parallel_search", "run_object_roleplay"]
+
+
+def run_parallel_search(
+    classroom: Classroom,
+    haystack_size: int = 240,
+    target_position: int | None = None,
+) -> ActivityResult:
+    """Search a shuffled deck of slips for the marked one, strip per student."""
+    n = classroom.size
+    if n < 2:
+        raise SimulationError("need at least two searchers")
+    if haystack_size < n:
+        raise SimulationError("need at least one slip per searcher")
+    rng = np.random.default_rng(classroom.seed + 701)
+    position = (int(rng.integers(haystack_size))
+                if target_position is None else target_position)
+    if not 0 <= position < haystack_size:
+        raise SimulationError("target out of range")
+
+    result = ActivityResult(activity="ActingOutAlgorithms", classroom_size=n)
+    strip = -(-haystack_size // n)
+    owner = position // strip
+    offset_in_strip = position - owner * strip
+
+    # Parallel: all students scan their strips simultaneously, one slip
+    # per step; the owner shouts at offset+1 steps and everyone stops.
+    time_to_hit = (offset_in_strip + 1) * classroom.step_time(owner)
+    # Work done before the shout: everyone scanned ~the same number of slips.
+    steps_at_shout = offset_in_strip + 1
+    work_with_stop = sum(
+        min(steps_at_shout,
+            max(0, min(strip, haystack_size - i * strip)))
+        for i in range(n)
+    )
+    work_without_stop = haystack_size
+    sequential_time = (position + 1) * classroom.step_time(0)
+
+    result.metrics = {
+        "haystack": haystack_size,
+        "target_position": position,
+        "finder": classroom.student(owner),
+        "parallel_time": time_to_hit,
+        "sequential_time": sequential_time,
+        "speedup": sequential_time / time_to_hit,
+        "slips_scanned_with_early_stop": work_with_stop,
+        "slips_scanned_without_stop": work_without_stop,
+    }
+    result.require("finder_owns_target", owner * strip <= position < (owner + 1) * strip)
+    result.require("parallel_no_slower",
+                   time_to_hit <= sequential_time * 1.3 + 1e-9)
+    result.require("early_stop_saves_work",
+                   work_with_stop <= work_without_stop)
+    result.require("worst_case_bounded",
+                   time_to_hit <= strip * max(classroom.step_time(i)
+                                              for i in range(n)) + 1e-9)
+    return result
+
+
+def run_object_roleplay(classroom: Classroom) -> ActivityResult:
+    """Synchronous mutual calls deadlock; asynchronous messaging completes."""
+    if classroom.size < 2:
+        raise SimulationError("need two students to play the objects")
+    result = ActivityResult(activity="ObjectRolePlay",
+                            classroom_size=classroom.size)
+
+    # Act 1: two objects ssend requests to each other and block for replies.
+    sim = Simulator()
+    comm = Communicator(sim, 2)
+
+    def blocking_object(ep: Endpoint):
+        yield ep.ssend(1 - ep.rank, ("request", ep.rank))
+        yield ep.recv()
+
+    comm.launch(blocking_object)
+    try:
+        sim.run()
+        deadlocked = False
+    except DeadlockError:
+        deadlocked = True
+
+    # Act 2: asynchronous sends with an inbox; each object answers requests.
+    sim2 = Simulator()
+    comm2 = Communicator(sim2, 2)
+    replies: dict[int, object] = {}
+
+    def async_object(ep: Endpoint):
+        yield ep.send(1 - ep.rank, ("request", ep.rank), tag=1)
+        request = yield ep.recv(tag=1)
+        yield ep.send(request.source, ("reply", ep.rank), tag=2)
+        reply = yield ep.recv(tag=2)
+        replies[ep.rank] = reply.data
+
+    comm2.launch(async_object)
+    sim2.run()
+
+    result.metrics = {
+        "synchronous_deadlocks": deadlocked,
+        "async_replies": dict(sorted(replies.items())),
+        "async_messages": comm2.stats.messages,
+    }
+    result.require("mutual_blocking_calls_deadlock", deadlocked)
+    result.require("async_protocol_completes",
+                   replies == {0: ("reply", 1), 1: ("reply", 0)})
+    result.require("four_messages_exchanged", comm2.stats.messages == 4)
+    return result

@@ -1,0 +1,138 @@
+"""ByzantineGenerals: Lloyd's classroom game, executable.
+
+Student generals exchange written orders through messengers while secret
+traitors lie.  The simulation implements the recursive Oral Messages
+algorithm OM(m) of Lamport, Shostak and Pease -- exactly the game Lloyd's
+write-up stages round by round -- and sweeps the traitor count to expose
+the n > 3m boundary the class discovers empirically:
+
+* with n = 7, m = 2: loyal lieutenants agree and obey a loyal commander;
+* with n = 6, m = 2 (or OM(1) against 2 traitors): agreement can fail.
+
+Traitor behaviour is deterministic per seed: a traitor flips every value
+it relays, the strongest consistent adversary for the majority-vote
+algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+
+__all__ = ["run_byzantine_generals", "om_agreement"]
+
+ATTACK, RETREAT = "attack", "retreat"
+
+
+def _flip(order: str) -> str:
+    return RETREAT if order == ATTACK else ATTACK
+
+
+def _om(
+    commander: int,
+    order: str,
+    lieutenants: list[int],
+    m: int,
+    traitors: set[int],
+) -> dict[int, str]:
+    """OM(m): returns the value each lieutenant settles on.
+
+    A traitorous commander sends alternating orders; a traitorous relay
+    flips what it forwards.
+    """
+    decisions: dict[int, str] = {}
+    # Step 1: commander sends a value to every lieutenant.
+    sent: dict[int, str] = {}
+    for idx, lt in enumerate(lieutenants):
+        if commander in traitors:
+            sent[lt] = order if idx % 2 == 0 else _flip(order)
+        else:
+            sent[lt] = order
+
+    if m == 0:
+        return dict(sent)
+
+    # Step 2: each lieutenant acts as commander in OM(m-1) for the others.
+    received: dict[int, dict[int, str]] = {lt: {} for lt in lieutenants}
+    for lt in lieutenants:
+        value = sent[lt]
+        if lt in traitors:
+            value = _flip(value)
+        others = [o for o in lieutenants if o != lt]
+        sub = _om(lt, value, others, m - 1, traitors)
+        for other, v in sub.items():
+            received[other][lt] = v
+
+    # Step 3: majority over own value and relayed values.
+    for lt in lieutenants:
+        values = [sent[lt]] + [received[lt][o] for o in lieutenants if o != lt]
+        attack_votes = sum(1 for v in values if v == ATTACK)
+        decisions[lt] = ATTACK if attack_votes * 2 > len(values) else RETREAT
+    return decisions
+
+
+def om_agreement(
+    n: int, m: int, traitors: set[int], order: str = ATTACK
+) -> tuple[bool, bool, dict[int, str]]:
+    """Run OM(m) with general 0 commanding; returns (agreement, validity, decisions).
+
+    *Agreement*: all loyal lieutenants decide the same value.  *Validity*:
+    if the commander is loyal, they decide the commander's order.
+    """
+    if n < 2:
+        raise SimulationError("need at least a commander and one lieutenant")
+    lieutenants = list(range(1, n))
+    decisions = _om(0, order, lieutenants, m, traitors)
+    loyal = [lt for lt in lieutenants if lt not in traitors]
+    loyal_values = {decisions[lt] for lt in loyal}
+    agreement = len(loyal_values) <= 1
+    validity = (0 in traitors) or loyal_values <= {order}
+    return agreement, validity, decisions
+
+
+def run_byzantine_generals(
+    classroom: Classroom,
+    m: int = 1,
+    commander_traitor: bool = False,
+) -> ActivityResult:
+    """Play the game with the classroom as the army.
+
+    Traitors are the last ``m`` students (plus the commander when
+    ``commander_traitor``); the result's checks encode the n > 3m theorem.
+    """
+    n = classroom.size
+    if n < 3:
+        raise SimulationError("the game needs at least 3 generals")
+    if m < 0 or m >= n:
+        raise SimulationError("traitor count out of range")
+
+    traitors = set(range(n - m, n)) if m else set()
+    if commander_traitor:
+        traitors = {0} | set(range(n - max(m - 1, 0), n)) if m else {0}
+
+    agreement, validity, decisions = om_agreement(n, m, traitors)
+    result = ActivityResult(activity="ByzantineGenerals", classroom_size=n)
+    for lt, decision in decisions.items():
+        result.trace.record(float(m), classroom.student(lt), "decide", decision)
+
+    # Message count of OM(m): (n-1)(n-2)...(n-1-m) in the full algorithm.
+    messages = 1
+    span = n - 1
+    for _ in range(m + 1):
+        messages *= span
+        span -= 1
+    result.metrics = {
+        "generals": n,
+        "traitors": len(traitors),
+        "rounds": m + 1,
+        "oral_messages": messages,
+        "agreement": agreement,
+        "validity": validity,
+    }
+    if n > 3 * len(traitors) and m >= len(traitors):
+        result.require("agreement_guaranteed", agreement)
+        result.require("validity_guaranteed", validity)
+    else:
+        result.require("bound_noted", True)
+    result.output = decisions
+    return result

@@ -1,0 +1,106 @@
+"""LongDistancePhoneCall: the OSCER communication-overhead analogy, executable.
+
+A call costs a connection charge (latency α) plus a per-minute charge
+(1/bandwidth β).  The simulation does the arithmetic the workshop does on
+the board -- many short calls versus one batched call -- and then
+*validates the closed form against the discrete-event communicator*: the
+same traffic is replayed through :class:`Communicator` under the same
+:class:`CostModel`, and the measured completion time must match the
+formula.  That agreement is the point: the analogy *is* the α-β model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.comm import Communicator, CostModel, Endpoint
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.metrics import phone_call_cost
+
+__all__ = ["run_phone_call", "batching_sweep"]
+
+
+def batching_sweep(
+    total_units: float, alpha: float, beta: float, max_messages: int = 64
+) -> dict[int, float]:
+    """Cost of splitting ``total_units`` across k calls, for k = 1..max."""
+    ks = np.arange(1, max_messages + 1)
+    costs = phone_call_cost(ks, total_units, alpha, beta)
+    return {int(k): float(c) for k, c in zip(ks, costs)}
+
+
+def run_phone_call(
+    classroom: Classroom,
+    total_units: int = 120,
+    n_messages: int = 12,
+    alpha: float = 5.0,
+    beta: float = 0.1,
+) -> ActivityResult:
+    """Compare chatty vs batched transfers, on paper and in the simulator."""
+    if n_messages < 1 or total_units < n_messages:
+        raise SimulationError("need at least one unit per message")
+    result = ActivityResult(activity="LongDistancePhoneCall",
+                            classroom_size=classroom.size)
+    cost = CostModel(alpha=alpha, beta=beta)
+
+    chatty_formula = phone_call_cost(n_messages, total_units, alpha, beta)
+    batched_formula = phone_call_cost(1, total_units, alpha, beta)
+
+    # Replay both through the communicator (rank 0 -> rank 1), sequentially:
+    # each chunk is sent only after the previous is acknowledged, which is
+    # what "making another call" means.
+    def run_transfer(chunks: list[bytes]) -> float:
+        sim = Simulator()
+        comm = Communicator(sim, 2, cost_model=cost)
+
+        def sender(ep: Endpoint):
+            for chunk in chunks:
+                yield ep.send(1, chunk)
+                yield ep.recv(source=1)          # wait for the ack
+
+        def receiver(ep: Endpoint):
+            for _ in chunks:
+                yield ep.recv(source=0)
+                yield ep.send(0, None)           # zero-size ack
+
+        comm.launch(lambda ep: sender(ep) if ep.rank == 0 else receiver(ep))
+        sim.run()
+        return sim.now
+
+    unit = b"x"
+    per_chunk = total_units // n_messages
+    chatty_chunks = [unit * per_chunk for _ in range(n_messages)]
+    # Give any remainder to the last chunk so totals match exactly.
+    remainder = total_units - per_chunk * n_messages
+    if remainder:
+        chatty_chunks[-1] += unit * remainder
+    chatty_sim = run_transfer(chatty_chunks)
+    batched_sim = run_transfer([unit * total_units])
+
+    # The simulated chatty time also pays the ack latency per round trip;
+    # the formula models one-way charges only, so compare one-way parts.
+    chatty_one_way = chatty_sim - n_messages * alpha   # subtract ack legs
+    batched_one_way = batched_sim - alpha
+
+    sweep = batching_sweep(total_units, alpha, beta)
+    best_k = min(sweep, key=sweep.get)
+
+    result.metrics = {
+        "alpha": alpha,
+        "beta": beta,
+        "chatty_formula": chatty_formula,
+        "batched_formula": batched_formula,
+        "chatty_simulated_one_way": chatty_one_way,
+        "batched_simulated_one_way": batched_one_way,
+        "savings_factor": chatty_formula / batched_formula,
+        "optimal_message_count": best_k,
+    }
+    result.require("batching_always_wins", batched_formula < chatty_formula)
+    result.require("formula_matches_simulator_chatty",
+                   abs(chatty_one_way - chatty_formula) < 1e-6)
+    result.require("formula_matches_simulator_batched",
+                   abs(batched_one_way - batched_formula) < 1e-6)
+    result.require("one_call_is_optimal", best_k == 1)
+    return result

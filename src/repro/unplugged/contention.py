@@ -1,0 +1,149 @@
+"""CheckoutResourceContention and PrinterQueueSharing, executable.
+
+Two shared-resource analogies:
+
+* :func:`run_checkout_contention` (OSCER): shoppers queue at k open
+  checkout lanes.  Adding shoppers without adding lanes grows waiting
+  time linearly; adding lanes divides it -- the simulation sweeps both
+  and reports mean/max wait so the "throughput is capped by the shared
+  resource" punchline is a measured curve.
+
+* :func:`run_printer_queue` (Smith & Srivastava): the CS2013 PF-1
+  distinction, computed.  The same office staff either (a) split one
+  report to finish it sooner -- wall-clock shrinks with workers -- or
+  (b) share one printer -- total print time is fixed; more workers only
+  reorder who waits.  The simulation runs both modes and checks the
+  distinguishing signatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.sync import Semaphore
+
+__all__ = ["run_checkout_contention", "run_printer_queue"]
+
+
+def _simulate_lanes(
+    shoppers: int, lanes: int, service_time: float, arrival_gap: float,
+) -> tuple[float, float, float]:
+    """Shoppers arrive every ``arrival_gap``; returns (mean wait, max wait,
+    finish time)."""
+    sim = Simulator()
+    open_lanes = Semaphore(sim, lanes, name="lanes")
+    waits: list[float] = []
+
+    def shopper(i: int):
+        yield sim.timeout(i * arrival_gap)
+        arrived = sim.now
+        yield open_lanes.acquire()
+        waits.append(sim.now - arrived)
+        yield sim.timeout(service_time)
+        open_lanes.release()
+
+    for i in range(shoppers):
+        sim.process(shopper(i), name=f"shopper{i}")
+    finish = sim.run()
+    return float(np.mean(waits)), float(np.max(waits)), finish
+
+
+def run_checkout_contention(
+    classroom: Classroom,
+    service_time: float = 3.0,
+    arrival_gap: float = 1.0,
+) -> ActivityResult:
+    """Sweep shopper and lane counts around the classroom size."""
+    n = classroom.size
+    if n < 4:
+        raise SimulationError("the analogy needs at least four shoppers")
+    result = ActivityResult(activity="CheckoutResourceContention",
+                            classroom_size=n)
+
+    # Sweep 1: more shoppers, one lane.
+    shopper_sweep = {}
+    for shoppers in (n // 2, n, 2 * n):
+        mean_w, max_w, _ = _simulate_lanes(shoppers, 1, service_time, arrival_gap)
+        shopper_sweep[shoppers] = {"mean_wait": mean_w, "max_wait": max_w}
+
+    # Sweep 2: fixed shoppers, more lanes.
+    lane_sweep = {}
+    for lanes in (1, 2, 4):
+        mean_w, max_w, finish = _simulate_lanes(n, lanes, service_time, arrival_gap)
+        lane_sweep[lanes] = {"mean_wait": mean_w, "finish": finish}
+
+    result.metrics = {
+        "service_time": service_time,
+        "arrival_gap": arrival_gap,
+        "shopper_sweep": shopper_sweep,
+        "lane_sweep": lane_sweep,
+    }
+    waits_by_shoppers = [shopper_sweep[k]["mean_wait"] for k in sorted(shopper_sweep)]
+    result.require("more_shoppers_wait_longer",
+                   waits_by_shoppers == sorted(waits_by_shoppers)
+                   and waits_by_shoppers[-1] > waits_by_shoppers[0])
+    waits_by_lanes = [lane_sweep[k]["mean_wait"] for k in sorted(lane_sweep)]
+    result.require("more_lanes_wait_less",
+                   waits_by_lanes == sorted(waits_by_lanes, reverse=True))
+    # With service faster than arrivals times lanes, queues vanish.
+    result.require("enough_lanes_no_queue",
+                   lane_sweep[4]["mean_wait"] < lane_sweep[1]["mean_wait"] / 2)
+    return result
+
+
+def run_printer_queue(
+    classroom: Classroom,
+    pages_total: int = 60,
+    page_time: float = 0.5,
+) -> ActivityResult:
+    """The PF-1 distinction: faster-answer parallelism vs shared-resource
+    management, same staff, measured."""
+    n = min(classroom.size, 8)
+    if n < 2:
+        raise SimulationError("need at least two workers")
+    result = ActivityResult(activity="PrinterQueueSharing",
+                            classroom_size=classroom.size)
+
+    # Mode A: split the report among w workers -> wall clock ~ total/w.
+    mode_a = {}
+    for workers in (1, 2, 4, n):
+        share = -(-pages_total // workers)
+        mode_a[workers] = max(
+            classroom.step_time(r % classroom.size) * page_time * share
+            for r in range(workers)
+        )
+
+    # Mode B: w workers each print their own report on ONE printer.
+    # The printer is serial: total time is fixed; only the wait order changes.
+    mode_b = {}
+    for workers in (1, 2, 4, n):
+        sim = Simulator()
+        printer = Semaphore(sim, 1, name="printer")
+        base, extra = divmod(pages_total, workers)
+
+        def worker(i: int, pages: int):
+            yield printer.acquire()
+            yield sim.timeout(pages * page_time)
+            printer.release()
+
+        for i in range(workers):
+            sim.process(worker(i, base + (1 if i < extra else 0)), name=f"w{i}")
+        mode_b[workers] = sim.run()
+
+    result.metrics = {
+        "pages": pages_total,
+        "split_report_times": mode_a,
+        "shared_printer_times": mode_b,
+    }
+    # Signature of mode A: time strictly shrinks with workers.
+    a_times = [mode_a[w] for w in sorted(mode_a)]
+    result.require("faster_answer_scales", a_times == sorted(a_times, reverse=True)
+                   and a_times[-1] < a_times[0] / 2)
+    # Signature of mode B: total time invariant in the worker count.
+    b_times = list(mode_b.values())
+    result.require("shared_resource_does_not_scale",
+                   max(b_times) - min(b_times) < page_time + 1e-9)
+    return result

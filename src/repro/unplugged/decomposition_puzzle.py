@@ -1,0 +1,127 @@
+"""DataDecompositionPuzzle: the iPDC mosaic activity, executable.
+
+A picture is cut into tiles dealt to students who each color their tile by
+a shared rule, then the picture is reassembled.  Tiles whose rule depends
+on a neighbor's edge force communication -- so the activity is secretly a
+stencil computation, and the tile shape decides the compute/communication
+ratio.  The simulation:
+
+* runs one Jacobi-style averaging sweep over a grid decomposed into
+  student tiles, verified against the whole-grid computation;
+* counts halo (edge) elements each student must ask neighbors for; and
+* ablates strip vs block decomposition: for p students on an n x n grid,
+  blocks exchange ~4 * n * sqrt(p)-ish halo cells versus strips' 2 * n * p
+  -- blocks win as p grows (the surface-to-volume argument).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+
+__all__ = ["run_decomposition_puzzle", "halo_volume"]
+
+
+def halo_volume(n: int, rows: int, cols: int) -> int:
+    """Total halo cells exchanged for an n x n grid on a rows x cols tiling.
+
+    Each internal tile boundary is exchanged once in each direction:
+    vertical cuts contribute 2 * n per cut (cols-1 cuts), horizontal cuts
+    2 * n per cut (rows-1 cuts).
+    """
+    if n % rows or n % cols:
+        raise SimulationError("tiling must divide the grid")
+    return 2 * n * (cols - 1) + 2 * n * (rows - 1)
+
+
+def _tilings(p: int, n: int) -> dict[str, int]:
+    out = {}
+    for r in range(1, p + 1):
+        if p % r == 0:
+            c = p // r
+            if n % r == 0 and n % c == 0:
+                out[f"{r}x{c}"] = halo_volume(n, r, c)
+    return out
+
+
+def run_decomposition_puzzle(
+    classroom: Classroom,
+    n: int = 24,
+    tiles: tuple[int, int] | None = None,
+) -> ActivityResult:
+    """One stencil sweep over the mosaic, tiled across students."""
+    p_max = classroom.size
+    if tiles is None:
+        # Squarest feasible tiling not exceeding the classroom.
+        best = None
+        for p in range(min(p_max, n * n), 0, -1):
+            options = _tilings(p, n)
+            if options:
+                key = min(options, key=lambda k: abs(
+                    int(k.split("x")[0]) - int(k.split("x")[1])))
+                best = tuple(int(x) for x in key.split("x"))
+                break
+        tiles = best
+    rows, cols = tiles
+    teams = rows * cols
+    if teams > p_max:
+        raise SimulationError("tiling exceeds classroom size")
+    if n % rows or n % cols:
+        raise SimulationError("tiling must divide the grid")
+
+    rng = np.random.default_rng(classroom.seed + 503)
+    grid = rng.random((n, n))
+    padded = np.pad(grid, 1, mode="edge")
+    # Reference: one whole-grid 4-neighbor averaging sweep.
+    expected = (padded[:-2, 1:-1] + padded[2:, 1:-1]
+                + padded[1:-1, :-2] + padded[1:-1, 2:]) / 4.0
+
+    result = ActivityResult(activity="DataDecompositionPuzzle",
+                            classroom_size=classroom.size)
+    tile_r, tile_c = n // rows, n // cols
+    out = np.zeros_like(grid)
+    halo_cells = 0
+    for ti in range(rows):
+        for tj in range(cols):
+            r0, r1 = ti * tile_r, (ti + 1) * tile_r
+            c0, c1 = tj * tile_c, (tj + 1) * tile_c
+            # The student copies their tile plus a one-cell halo from
+            # neighbors (clamped at the picture edge).
+            hr0, hr1 = max(r0 - 1, 0), min(r1 + 1, n)
+            hc0, hc1 = max(c0 - 1, 0), min(c1 + 1, n)
+            halo_cells += (hr1 - hr0) * (hc1 - hc0) - (r1 - r0) * (c1 - c0)
+            local = np.pad(grid[hr0:hr1, hc0:hc1], 1, mode="edge")
+            # Trim the pad so interior tiles use true neighbor data.
+            lr0, lc0 = r0 - hr0 + 1, c0 - hc0 + 1
+            window = local[lr0 - 1: lr0 + (r1 - r0) + 1,
+                           lc0 - 1: lc0 + (c1 - c0) + 1]
+            sweep = (window[:-2, 1:-1] + window[2:, 1:-1]
+                     + window[1:-1, :-2] + window[1:-1, 2:]) / 4.0
+            out[r0:r1, c0:c1] = sweep
+            result.trace.record(float(ti * cols + tj),
+                                classroom.student((ti * cols + tj) % classroom.size),
+                                "tile", f"[{ti},{tj}]")
+
+    tilings = _tilings(teams, n)
+    strip = tilings.get(f"1x{teams}")
+    chosen = tilings[f"{rows}x{cols}"]
+
+    result.output = out
+    result.metrics = {
+        "grid": n,
+        "tiling": f"{rows}x{cols}",
+        "teams": teams,
+        "halo_cells_measured": halo_cells,
+        "halo_by_tiling": tilings,
+        "compute_per_team": (n * n) // teams,
+        "surface_to_volume": chosen / (n * n),
+    }
+    result.require("sweep_matches_reference",
+                   bool(np.allclose(out, expected)))
+    if strip is not None and f"{rows}x{cols}" != f"1x{teams}":
+        result.require("blocks_exchange_less_than_strips", chosen <= strip)
+    result.require("halo_formula_is_lower_bound",
+                   halo_cells >= halo_volume(n, rows, cols))
+    return result

@@ -1,0 +1,115 @@
+"""DiningPhilosophersDramatization: deadlock on cue, then two classroom fixes.
+
+Five students, five pens, each needs both neighbors' pens to sign a menu
+card.  The simulation stages the three acts:
+
+1. **Greedy left-then-right** -- every philosopher grabs the left pen,
+   pauses (the instructor's cue), then reaches right: circular wait, and
+   the engine's deadlock detector names all five.
+2. **Lock ordering** -- one philosopher picks up right first (equivalently:
+   pens are acquired in global id order), breaking the cycle; everyone
+   eventually eats.
+3. **Waiter** -- a semaphore admits at most n-1 to the table; no ordering
+   needed, everyone eats.
+
+Both fixes are timed so the class can compare throughput and fairness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeadlockError, SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.sync import Lock, Semaphore
+
+__all__ = ["run_dining_philosophers"]
+
+
+def _dine(
+    n: int,
+    meals_each: int,
+    classroom: Classroom,
+    strategy: str,
+) -> tuple[bool, float, dict[int, int]]:
+    """Run one strategy; returns (deadlocked, finish_time, meals per seat)."""
+    sim = Simulator()
+    pens = [Lock(sim, f"pen{i}") for i in range(n)]
+    waiter = Semaphore(sim, n - 1, name="waiter") if strategy == "waiter" else None
+    meals = {i: 0 for i in range(n)}
+
+    def philosopher(i: int):
+        me = f"phil{i}"
+        left, right = pens[i], pens[(i + 1) % n]
+        for _ in range(meals_each):
+            if strategy == "greedy":
+                first, second = left, right
+            elif strategy == "ordered":
+                # Acquire the lower-numbered pen first (global order).
+                first, second = sorted(
+                    (left, right), key=lambda p: int(p.name.removeprefix("pen"))
+                )
+            elif strategy == "waiter":
+                yield waiter.acquire()
+                first, second = left, right
+            else:
+                raise SimulationError(f"unknown strategy {strategy!r}")
+            yield first.acquire(me)
+            yield sim.timeout(0.5)             # the instructor's pause
+            yield second.acquire(me)
+            yield sim.timeout(classroom.step_time(i % classroom.size))
+            meals[i] += 1
+            second.release(me)
+            first.release(me)
+            if waiter is not None:
+                waiter.release()
+            yield sim.timeout(0.1)             # think a moment
+
+    for i in range(n):
+        sim.process(philosopher(i), name=f"phil{i}")
+    try:
+        finish = sim.run()
+        return False, finish, meals
+    except DeadlockError:
+        return True, sim.now, meals
+
+
+def run_dining_philosophers(
+    classroom: Classroom,
+    philosophers: int = 5,
+    meals_each: int = 3,
+) -> ActivityResult:
+    """Stage all three acts and compare the fixes."""
+    if philosophers < 2:
+        raise SimulationError("need at least two philosophers")
+    n = philosophers
+    result = ActivityResult(activity="DiningPhilosophersDramatization",
+                            classroom_size=classroom.size)
+
+    greedy_deadlocked, _, greedy_meals = _dine(n, meals_each, classroom, "greedy")
+    ordered_deadlocked, ordered_time, ordered_meals = _dine(
+        n, meals_each, classroom, "ordered"
+    )
+    waiter_deadlocked, waiter_time, waiter_meals = _dine(
+        n, meals_each, classroom, "waiter"
+    )
+
+    result.metrics = {
+        "philosophers": n,
+        "meals_each": meals_each,
+        "greedy_deadlocked": greedy_deadlocked,
+        "ordered_time": ordered_time,
+        "waiter_time": waiter_time,
+        "ordered_meals": sum(ordered_meals.values()),
+        "waiter_meals": sum(waiter_meals.values()),
+    }
+    result.require("greedy_deadlocks_on_cue", greedy_deadlocked)
+    result.require("ordering_fix_completes",
+                   not ordered_deadlocked
+                   and sum(ordered_meals.values()) == n * meals_each)
+    result.require("waiter_fix_completes",
+                   not waiter_deadlocked
+                   and sum(waiter_meals.values()) == n * meals_each)
+    result.require("fixes_are_fair",
+                   min(ordered_meals.values()) == meals_each
+                   and min(waiter_meals.values()) == meals_each)
+    return result

@@ -1,0 +1,104 @@
+"""FindSmallestCard: the Bachelis et al. tournament minimum, executable.
+
+Each student holds one card; pairs compare simultaneously and losers sit
+down, so the minimum emerges in ceil(log_k n) rounds of a k-ary tournament
+(the classroom runs k=2; the arity is an ablation knob).  The simulation
+reproduces what the instructor demonstrates:
+
+* exactly n-1 comparisons happen regardless of arity (every card but the
+  winner loses exactly once),
+* rounds = ceil(log_k n), so the parallel time is logarithmic while the
+  one-student scan is linear,
+* per-student speed jitter makes each round as slow as its slowest pair --
+  the first taste of stragglers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.metrics import speedup
+
+__all__ = ["run_find_smallest_card", "sequential_minimum"]
+
+
+def sequential_minimum(cards: list[int], step_time: float = 1.0) -> tuple[int, float, int]:
+    """One student scans every card: returns (min, time, comparisons)."""
+    if not cards:
+        raise SimulationError("no cards to scan")
+    best = cards[0]
+    comparisons = 0
+    for card in cards[1:]:
+        comparisons += 1
+        if card < best:
+            best = card
+    return best, step_time * comparisons, comparisons
+
+
+def run_find_smallest_card(
+    classroom: Classroom,
+    arity: int = 2,
+) -> ActivityResult:
+    """Run the tournament on a classroom; one card per student.
+
+    ``arity`` is the tournament fan-in: groups of up to ``arity`` students
+    compare per round (k-ary ablation; the paper's dramatization is 2).
+    """
+    if arity < 2:
+        raise SimulationError("tournament arity must be >= 2")
+    n = classroom.size
+    cards = classroom.deal_cards(n)
+    result = ActivityResult(activity="FindSmallestCard", classroom_size=n)
+
+    # holders[i] = (rank, card) of players still standing.
+    holders = [(rank, cards[rank]) for rank in range(n)]
+    comparisons = 0
+    rounds = 0
+    now = 0.0
+
+    while len(holders) > 1:
+        rounds += 1
+        next_holders: list[tuple[int, int]] = []
+        round_time = 0.0
+        for g in range(0, len(holders), arity):
+            group = holders[g : g + arity]
+            # The group's comparison completes when its slowest member does;
+            # a k-way huddle needs k-1 pairwise comparisons.
+            group_time = max(classroom.step_time(rank) for rank, _ in group)
+            comparisons += len(group) - 1
+            winner = min(group, key=lambda rc: rc[1])
+            next_holders.append(winner)
+            round_time = max(round_time, group_time)
+            for rank, card in group:
+                result.trace.record(
+                    now + group_time,
+                    classroom.student(rank),
+                    "advance" if (rank, card) == winner else "sit",
+                    f"round {rounds}",
+                )
+        now += round_time
+        holders = next_holders
+
+    winner_rank, winner_card = holders[0]
+    seq_min, seq_time, seq_comparisons = sequential_minimum(
+        cards, classroom.step_time(0)
+    )
+
+    result.output = winner_card
+    result.metrics = {
+        "rounds": rounds,
+        "comparisons": comparisons,
+        "parallel_time": now,
+        "sequential_time": seq_time,
+        "speedup": speedup(seq_time, now) if now > 0 else float(n > 1),
+        "winner": classroom.student(winner_rank),
+    }
+    result.require("finds_minimum", winner_card == min(cards))
+    result.require("n_minus_1_comparisons", comparisons == n - 1)
+    result.require(
+        "logarithmic_rounds",
+        rounds == (math.ceil(math.log(n, arity)) if n > 1 else 0),
+    )
+    return result

@@ -1,0 +1,133 @@
+"""ParallelGarbageCollection: the Sivilotti-Pike marking dramatization.
+
+Students-as-objects hold strings to the objects they reference while a
+collector marks reachable objects and a mutator keeps re-wiring
+references.  The simulation stages the classroom's two acts:
+
+1. **Naive concurrent mark** -- the collector scans each object's
+   out-edges once while the mutator concurrently moves a reference from a
+   not-yet-scanned object to an already-scanned one.  The hidden object
+   stays unmarked: a live object would be swept.  (The classic black-to-
+   white pointer hazard.)
+2. **Snapshot / re-scan fix** -- the collector re-scans objects that
+   changed during the pass (a coarse write barrier) until a pass makes no
+   progress, and every reachable object ends marked.
+
+The object graph, mutation schedule, and scan order are all deterministic
+functions of the classroom seed.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+
+__all__ = ["run_garbage_collection"]
+
+
+def _reachable(graph: nx.DiGraph, roots: list[int]) -> set[int]:
+    seen: set[int] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(graph.successors(node))
+    return seen
+
+
+def _build_heap(n: int, rng: np.random.Generator) -> tuple[nx.DiGraph, list[int]]:
+    """A random object graph over n student-objects with two roots."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    for node in range(n):
+        out_degree = int(rng.integers(1, 3))
+        targets = rng.choice(n, size=min(out_degree, n - 1), replace=False)
+        for t in targets:
+            if int(t) != node:
+                graph.add_edge(node, int(t))
+    roots = [0, 1 % n]
+    return graph, roots
+
+
+def run_garbage_collection(classroom: Classroom, mutations: int = 3) -> ActivityResult:
+    """Run naive concurrent marking, then the re-scan fix, on one heap."""
+    n = classroom.size
+    if n < 4:
+        raise SimulationError("the GC dramatization needs at least 4 students")
+    rng = np.random.default_rng(classroom.seed + 101)
+    graph, roots = _build_heap(n, rng)
+    result = ActivityResult(activity="ParallelGarbageCollection", classroom_size=n)
+
+    # ---- Act 1: naive single-pass concurrent mark with an adversarial mutator.
+    naive_graph = graph.copy()
+    marked: set[int] = set(roots)
+    scanned: set[int] = set()
+    missed_demo = False
+    mutation_budget = mutations
+
+    frontier = list(roots)
+    while frontier:
+        obj = frontier.pop(0)
+        if obj in scanned:
+            continue
+        # Adversarial mutator: before the collector scans `obj`, move one of
+        # obj's outgoing references to hang off an already-scanned object,
+        # then delete it from obj -- hiding the target behind black nodes.
+        if mutation_budget > 0 and scanned:
+            succs = [s for s in naive_graph.successors(obj) if s not in marked]
+            black = [b for b in scanned]
+            if succs and black:
+                hidden = succs[0]
+                host = black[0]
+                naive_graph.remove_edge(obj, hidden)
+                naive_graph.add_edge(host, hidden)
+                mutation_budget -= 1
+                missed_demo = True
+                result.trace.record(
+                    float(len(scanned)), classroom.student(hidden % n), "hide",
+                    f"reference moved from {obj} to scanned {host}",
+                )
+        for succ in naive_graph.successors(obj):
+            if succ not in marked:
+                marked.add(succ)
+                frontier.append(succ)
+        scanned.add(obj)
+        result.trace.record(float(len(scanned)), classroom.student(obj % n),
+                            "scan", "naive pass")
+
+    live_after = _reachable(naive_graph, roots)
+    naive_missed = sorted(live_after - marked)
+
+    # ---- Act 2: re-scan rounds (coarse write barrier) on the mutated heap.
+    marked2: set[int] = set(roots)
+    passes = 0
+    while True:
+        passes += 1
+        changed = False
+        for obj in sorted(marked2.copy()):
+            for succ in naive_graph.successors(obj):
+                if succ not in marked2:
+                    marked2.add(succ)
+                    changed = True
+        if not changed:
+            break
+    fixed_missed = sorted(live_after - marked2)
+
+    result.metrics = {
+        "objects": n,
+        "live_objects": len(live_after),
+        "naive_marked": len(marked),
+        "naive_missed_live": len(naive_missed),
+        "rescan_passes": passes,
+        "fixed_missed_live": len(fixed_missed),
+    }
+    result.require("naive_pass_misses_live_objects",
+                   (len(naive_missed) > 0) == missed_demo)
+    result.require("rescan_marks_all_live", not fixed_missed)
+    result.require("no_dead_marked", marked2 <= live_after)
+    return result

@@ -1,0 +1,187 @@
+"""ExamGradingSpeedup and RoadTripAmdahl: Bogaerts' analogies, executable.
+
+Two faces of Amdahl's law:
+
+* :func:`run_exam_grading` -- the measured experiment: dealing the stack
+  out and stapling results back are serial phases around a perfectly
+  parallel grading phase.  The simulation times 1..p graders, fits the
+  serial fraction back out of the measurements with Karp-Flatt, and
+  checks the fit recovers the model's true serial share.
+* :func:`run_road_trip` -- the closed-form story: city driving is fixed,
+  highway speed scales; the trip-time curve plateaus at 1/s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.metrics import (
+    amdahl_limit,
+    amdahl_speedup,
+    gustafson_speedup,
+    karp_flatt,
+)
+
+__all__ = ["run_exam_grading", "run_road_trip", "run_weak_scaling_grading"]
+
+
+def run_exam_grading(
+    classroom: Classroom,
+    exams: int = 120,
+    grade_time: float = 1.0,
+    deal_time_per_exam: float = 0.05,
+    staple_time_per_exam: float = 0.05,
+) -> ActivityResult:
+    """Grade a stack with 1..p graders; serial deal/collect bound the gain."""
+    if exams < 1:
+        raise SimulationError("need at least one exam")
+    max_graders = min(classroom.size, 8)
+    result = ActivityResult(activity="ExamGradingSpeedup",
+                            classroom_size=classroom.size)
+
+    serial = exams * (deal_time_per_exam + staple_time_per_exam)
+    parallel_work = exams * grade_time
+    true_serial_fraction = serial / (serial + parallel_work)
+
+    times: dict[int, float] = {}
+    for p in range(1, max_graders + 1):
+        # Graders work simultaneously; the phase ends with the slowest.
+        share = -(-exams // p)                       # ceil division
+        grade_phase = max(
+            classroom.step_time(r % classroom.size) * grade_time * share
+            for r in range(p)
+        )
+        times[p] = serial + grade_phase
+        result.trace.record(times[p], classroom.student((p - 1) % classroom.size),
+                            "grade", f"p={p}")
+
+    speedups = {p: times[1] / t for p, t in times.items()}
+    fitted = {
+        p: karp_flatt(speedups[p], p) for p in speedups if p >= 2
+    }
+    mean_fit = float(np.mean(list(fitted.values())))
+
+    result.metrics = {
+        "exams": exams,
+        "times": times,
+        "speedups": speedups,
+        "true_serial_fraction": true_serial_fraction,
+        "karp_flatt_fits": fitted,
+        "mean_fitted_serial_fraction": mean_fit,
+    }
+    result.require("speedup_monotone",
+                   all(speedups[p + 1] >= speedups[p] - 0.05
+                       for p in range(1, max_graders)))
+    result.require("below_amdahl_ceiling",
+                   all(speedups[p] <= amdahl_speedup(true_serial_fraction, p) * 1.3
+                       for p in speedups))
+    # Karp-Flatt recovers the serial fraction to within jitter effects.
+    result.require("karp_flatt_recovers_serial_fraction",
+                   abs(mean_fit - true_serial_fraction) < 0.12)
+    return result
+
+
+def run_weak_scaling_grading(
+    classroom: Classroom,
+    exams_per_grader: int = 30,
+    grade_time: float = 1.0,
+    handling_time_per_exam: float = 0.1,
+    setup_time: float = 5.0,
+) -> ActivityResult:
+    """The Gustafson variant: grow the stack with the staff.
+
+    Each grader brings their own section's exams (p graders grade
+    p * exams_per_grader exams) and deals/staples their own section, so
+    only the fixed course setup (posting the rubric) is serial.
+    Wall-clock stays nearly flat while total work grows linearly -- the
+    scaled speedup tracks Gustafson's law, the counterpoint to the
+    fixed-stack Amdahl plateau of :func:`run_exam_grading`.
+    """
+    if exams_per_grader < 1:
+        raise SimulationError("need at least one exam per grader")
+    max_graders = min(classroom.size, 8)
+    result = ActivityResult(activity="ExamGradingWeakScaling",
+                            classroom_size=classroom.size)
+
+    per_exam = grade_time + handling_time_per_exam
+    times: dict[int, float] = {}
+    scaled_speedups: dict[int, float] = {}
+    serial_fractions: dict[int, float] = {}
+    for p in range(1, max_graders + 1):
+        section_phase = max(
+            classroom.step_time(r % classroom.size) * per_exam * exams_per_grader
+            for r in range(p)
+        )
+        times[p] = setup_time + section_phase
+        # Scaled speedup: this p-sized job done by one grader, vs measured.
+        serial_job = setup_time + classroom.step_time(0) * per_exam \
+            * exams_per_grader * p
+        scaled_speedups[p] = serial_job / times[p]
+        serial_fractions[p] = setup_time / times[p]
+
+    gustafson_predictions = {
+        p: gustafson_speedup(serial_fractions[p], p) for p in times
+    }
+    result.metrics = {
+        "exams_per_grader": exams_per_grader,
+        "times": times,
+        "scaled_speedups": scaled_speedups,
+        "gustafson_predictions": gustafson_predictions,
+    }
+    result.require(
+        "scaled_speedup_grows_nearly_linearly",
+        all(scaled_speedups[p] > 0.6 * p for p in times),
+    )
+    result.require(
+        "tracks_gustafson",
+        all(abs(scaled_speedups[p] - gustafson_predictions[p])
+            <= 0.35 * gustafson_predictions[p] for p in times),
+    )
+    # The weak-scaling signature: time grows only with setup + jitter, far
+    # slower than the p-fold work growth.
+    result.require(
+        "wall_clock_nearly_flat",
+        times[max_graders] <= times[1] * 1.5,
+    )
+    return result
+
+
+def run_road_trip(
+    classroom: Classroom,
+    city_hours: float = 1.0,
+    highway_hours: float = 9.0,
+    max_multiplier: int = 64,
+) -> ActivityResult:
+    """Speed up only the highway segment and watch the plateau."""
+    if city_hours <= 0 or highway_hours <= 0:
+        raise SimulationError("trip segments must take positive time")
+    result = ActivityResult(activity="RoadTripAmdahl",
+                            classroom_size=classroom.size)
+    total = city_hours + highway_hours
+    serial_fraction = city_hours / total
+
+    multipliers = [m for m in (1, 2, 4, 8, 16, 32, 64) if m <= max_multiplier]
+    trip_times = {m: city_hours + highway_hours / m for m in multipliers}
+    speedups = {m: total / t for m, t in trip_times.items()}
+    ceiling = amdahl_limit(serial_fraction)
+
+    result.metrics = {
+        "serial_fraction": serial_fraction,
+        "trip_times": trip_times,
+        "speedups": speedups,
+        "plateau": ceiling,
+    }
+    result.require(
+        "matches_amdahl_exactly",
+        all(abs(speedups[m] - amdahl_speedup(serial_fraction, m)) < 1e-9
+            for m in multipliers),
+    )
+    result.require("never_exceeds_plateau",
+                   all(s < ceiling for s in speedups.values()))
+    result.require(
+        "plateau_approached",
+        speedups[multipliers[-1]] > 0.8 * ceiling,
+    )
+    return result

@@ -1,0 +1,121 @@
+"""StableLeaderElection: the Sivilotti-Pike ring election, executable.
+
+Students form a ring; each starts knowing only their own id and passes
+the largest id seen so far to their neighbor.  The activity's assertional
+content: the system is *stable* (once everyone knows the maximum, the
+leader never changes) and *live* (the count of students unaware of the
+maximum shrinks every round).
+
+The simulation runs the message-passing version on the communicator --
+both the simple flooding variant the classroom uses (n rounds, n messages
+per round) and Chang-Roberts (unidirectional, id-filtering) for the
+message-count comparison an upper-level class makes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.comm import Communicator, Endpoint
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.topology import Topology
+
+__all__ = ["run_leader_election"]
+
+
+def run_leader_election(classroom: Classroom, algorithm: str = "flood") -> ActivityResult:
+    """Elect the max-id student on a ring.
+
+    ``algorithm`` is ``"flood"`` (the classroom dramatization: everyone
+    forwards the max seen every round for n rounds) or ``"chang-roberts"``
+    (only forward ids larger than your own; expected O(n log n) messages).
+    """
+    n = classroom.size
+    if n < 3:
+        raise SimulationError("ring election needs at least 3 students")
+    if algorithm not in ("flood", "chang-roberts"):
+        raise SimulationError(f"unknown algorithm {algorithm!r}")
+
+    ids = classroom.deal_cards(n, low=1, high=max(100, n * 10))
+    sim = Simulator()
+    topo = Topology.ring(n)
+    comm = Communicator(sim, n, topology=topo)
+    result = ActivityResult(activity="StableLeaderElection", classroom_size=n)
+
+    leaders: dict[int, int] = {}
+    leader_history: dict[int, list[int]] = {r: [] for r in range(n)}
+
+    if algorithm == "flood":
+        def program(ep: Endpoint):
+            best = ids[ep.rank]
+            for _round in range(n):
+                yield ep.send((ep.rank + 1) % n, best)
+                msg = yield ep.recv(source=(ep.rank - 1) % n)
+                best = max(best, msg.data)
+                leader_history[ep.rank].append(best)
+                result.trace.record(
+                    ep.sim.now, classroom.student(ep.rank), "learn", f"max={best}"
+                )
+            leaders[ep.rank] = best
+            return best
+    else:
+        def program(ep: Endpoint):
+            my_id = ids[ep.rank]
+            yield ep.send((ep.rank + 1) % n, ("candidate", my_id))
+            best = my_id
+            while True:
+                msg = yield ep.recv(source=(ep.rank - 1) % n)
+                kind, value = msg.data
+                if kind == "candidate":
+                    best = max(best, value)
+                    if value > my_id:
+                        yield ep.send((ep.rank + 1) % n, ("candidate", value))
+                    elif value == my_id:
+                        # My own id survived the whole ring: I am the leader.
+                        yield ep.send((ep.rank + 1) % n, ("elected", my_id))
+                        leaders[ep.rank] = my_id
+                        return my_id
+                else:
+                    leaders[ep.rank] = value
+                    if value != my_id:
+                        yield ep.send((ep.rank + 1) % n, ("elected", value))
+                    return value
+
+    comm.launch(program)
+    sim.run()
+
+    true_leader = max(ids)
+    agreed = len(set(leaders.values())) == 1 and len(leaders) == n
+    # Liveness variant for the flooding version: the number of students who
+    # do not yet know the maximum is non-increasing round over round.
+    monotone = True
+    if algorithm == "flood":
+        for round_no in range(1, n):
+            unaware_prev = sum(
+                1 for r in range(n) if leader_history[r][round_no - 1] != true_leader
+            )
+            unaware_now = sum(
+                1 for r in range(n) if leader_history[r][round_no] != true_leader
+            )
+            monotone &= unaware_now <= unaware_prev
+        # Stability: once a student knows the max, their belief never changes.
+        for r in range(n):
+            hist = leader_history[r]
+            if true_leader in hist:
+                first = hist.index(true_leader)
+                monotone &= all(h == true_leader for h in hist[first:])
+
+    result.output = leaders.get(0)
+    result.metrics = {
+        "algorithm": algorithm,
+        "messages": comm.stats.messages,
+        "completion_time": sim.now,
+        "leader_id": true_leader,
+        "leader_student": classroom.student(ids.index(true_leader)),
+    }
+    result.require("unique_leader", agreed)
+    result.require("leader_is_maximum", set(leaders.values()) == {true_leader})
+    result.require("stable_and_live", monotone)
+    if algorithm == "flood":
+        result.require("n_squared_messages", comm.stats.messages == n * n)
+    return result

@@ -1,0 +1,122 @@
+"""MatrixMultiplicationTeams: the iPDC block-tiling worksheet, executable.
+
+Teams compute C = A @ B one result block per team.  Each team must copy
+the row band of A and column band of B its block needs -- so the tiling
+decides how much input is duplicated across desks, exactly the discussion
+the worksheet stages.  The simulation:
+
+* computes the product blockwise (verified against ``numpy.matmul``),
+* charges each team for the input elements it copies, and
+* ablates the process grid: for p teams, 1 x p strips vs the squarest
+  r x c grid -- the squarer grid always copies less (the classic
+  communication-lower-bound intuition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+
+__all__ = ["run_matrix_teams", "copy_volume", "grid_shapes"]
+
+
+def grid_shapes(teams: int) -> list[tuple[int, int]]:
+    """All r x c factorizations of ``teams``, squarest last."""
+    shapes = [
+        (r, teams // r) for r in range(1, teams + 1) if teams % r == 0
+    ]
+    return sorted(shapes, key=lambda rc: abs(rc[0] - rc[1]), reverse=True)
+
+
+def copy_volume(n: int, rows: int, cols: int) -> int:
+    """Input elements copied under an rows x cols team grid (n x n matrices).
+
+    Each team copies an (n/rows) x n band of A and an n x (n/cols) band of
+    B: total = teams * (n^2/rows + n^2/cols) = n^2 * (cols + rows).
+    """
+    if n % rows or n % cols:
+        raise SimulationError("grid must divide the matrix dimension")
+    return n * n * (rows + cols)
+
+
+def run_matrix_teams(
+    classroom: Classroom,
+    n: int = 12,
+    grid: tuple[int, int] | None = None,
+) -> ActivityResult:
+    """Multiply two dealt n x n matrices with a team per result block."""
+    teams_available = classroom.size
+    if grid is None:
+        # Squarest grid with at most as many teams as students.
+        for teams in range(min(teams_available, n * n), 0, -1):
+            candidates = [
+                (r, c) for r, c in grid_shapes(teams)
+                if n % r == 0 and n % c == 0
+            ]
+            if candidates:
+                grid = candidates[-1]
+                break
+    rows, cols = grid
+    teams = rows * cols
+    if teams > teams_available:
+        raise SimulationError(f"{teams} teams exceed the classroom of "
+                              f"{teams_available}")
+    if n % rows or n % cols:
+        raise SimulationError("grid must divide the matrix dimension")
+
+    rng = np.random.default_rng(classroom.seed + 211)
+    a = rng.integers(-5, 6, size=(n, n))
+    b = rng.integers(-5, 6, size=(n, n))
+    expected = a @ b
+
+    result = ActivityResult(activity="MatrixMultiplicationTeams",
+                            classroom_size=classroom.size)
+    block_r, block_c = n // rows, n // cols
+
+    c = np.zeros((n, n), dtype=a.dtype)
+    copies = 0
+    team_times = []
+    for ti in range(rows):
+        for tj in range(cols):
+            team = ti * cols + tj
+            row_band = a[ti * block_r : (ti + 1) * block_r, :]
+            col_band = b[:, tj * block_c : (tj + 1) * block_c]
+            copies += row_band.size + col_band.size
+            c[ti * block_r : (ti + 1) * block_r,
+              tj * block_c : (tj + 1) * block_c] = row_band @ col_band
+            flops = block_r * block_c * n
+            team_times.append(classroom.step_time(team % classroom.size) * flops)
+            result.trace.record(team_times[-1], classroom.student(team % classroom.size),
+                                "block", f"C[{ti},{tj}]")
+
+    # Tiling ablation: strips vs the squarest grid for the same team count.
+    volumes = {
+        f"{r}x{cc}": copy_volume(n, r, cc)
+        for r, cc in grid_shapes(teams)
+        if n % r == 0 and n % cc == 0
+    }
+    strip_key = f"1x{teams}" if f"1x{teams}" in volumes else None
+    squarest = min(volumes.values())
+
+    result.output = c
+    result.metrics = {
+        "n": n,
+        "grid": f"{rows}x{cols}",
+        "teams": teams,
+        "copied_elements": copies,
+        "copy_volumes_by_grid": volumes,
+        "parallel_time": max(team_times),
+        "sequential_time": classroom.step_time(0) * n ** 3,
+    }
+    result.require("product_correct", bool(np.array_equal(c, expected)))
+    result.require("copy_formula_matches", copies == copy_volume(n, rows, cols))
+    result.require("squarer_grids_copy_less",
+                   volumes[f"{rows}x{cols}"] == squarest
+                   or abs(rows - cols) > min(abs(r - cc) for r, cc in grid_shapes(teams)
+                                             if n % r == 0 and n % cc == 0))
+    if strip_key and f"{rows}x{cols}" != strip_key:
+        result.require("beats_strip_tiling",
+                       volumes[f"{rows}x{cols}"] <= volumes[strip_key])
+    return result

@@ -1,0 +1,115 @@
+"""Whiteboard vs desert islands: the OSCER memory-model analogies, executable.
+
+The same task -- summing values held by every student -- is run under the
+two memory models the analogies teach:
+
+* **Shared whiteboard** -- everyone adds their value to a running total
+  on the board, but only one marker exists: each update is a lock-
+  protected read-modify-write, so the board serializes the sum and the
+  marker queue grows with the class (contention).
+* **Desert islands** -- values live on private islands and move only by
+  letters; the sum runs as a binomial reduction tree over the
+  communicator, paying latency per letter but combining in parallel.
+
+The crossover the instructor narrates falls out of the models: the
+whiteboard wins for small classes and cheap markers; the islands win when
+the class is large enough that the logarithmic tree beats the serialized
+marker queue.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.comm import Communicator, CostModel, Endpoint
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.sharedmem import SharedMemory
+from repro.unplugged.sim.sync import Lock
+
+__all__ = ["run_memory_models", "whiteboard_sum_time", "islands_sum_time"]
+
+
+def whiteboard_sum_time(
+    classroom: Classroom, values: list[int], write_time: float = 1.0
+) -> tuple[int, float, bool]:
+    """Simulate the lock-protected shared-board sum.
+
+    Returns (total, finish time, detector_clean).
+    """
+    n = classroom.size
+    if len(values) != n:
+        raise SimulationError("one value per student required")
+    sim = Simulator()
+    board = SharedMemory()
+    board.poke("total", 0)
+    marker = Lock(sim, "marker")
+
+    def student(rank: int):
+        name = classroom.student(rank)
+        yield marker.acquire(name)
+        board.lock_acquired(name, "marker")
+        current = board.read("total", name)
+        yield sim.timeout(write_time * classroom.step_time(rank))
+        board.write("total", name, current + values[rank])
+        board.lock_released(name, "marker")
+        marker.release(name)
+
+    for rank in range(n):
+        sim.process(student(rank), name=f"student{rank}")
+    sim.run()
+    return board.peek("total"), sim.now, not board.races
+
+
+def islands_sum_time(
+    classroom: Classroom, values: list[int], cost: CostModel
+) -> tuple[int, float, int]:
+    """Simulate the letter-based reduction across islands.
+
+    Returns (total at island 0, finish time, letters sent).
+    """
+    n = classroom.size
+    if len(values) != n:
+        raise SimulationError("one value per island required")
+    sim = Simulator()
+    comm = Communicator(sim, n, cost_model=cost)
+    totals: dict[int, int] = {}
+
+    def islander(ep: Endpoint):
+        total = yield from ep.reduce(values[ep.rank], lambda a, b: a + b, root=0)
+        if ep.rank == 0:
+            totals[0] = total
+
+    comm.launch(islander)
+    sim.run()
+    return totals[0], sim.now, comm.stats.messages
+
+
+def run_memory_models(
+    classroom: Classroom,
+    write_time: float = 1.0,
+    letter_cost: CostModel | None = None,
+) -> ActivityResult:
+    """Run the same reduction under both memory models and compare."""
+    if classroom.size < 2:
+        raise SimulationError("the comparison needs at least two students")
+    cost = letter_cost or CostModel(alpha=1.0, beta=0.01)
+    values = classroom.deal_cards(classroom.size)
+
+    board_total, board_time, detector_clean = whiteboard_sum_time(
+        classroom, values, write_time
+    )
+    island_total, island_time, letters = islands_sum_time(classroom, values, cost)
+
+    result = ActivityResult(activity="MemoryModels", classroom_size=classroom.size)
+    result.metrics = {
+        "whiteboard_total": board_total,
+        "whiteboard_time": board_time,
+        "islands_total": island_total,
+        "islands_time": island_time,
+        "letters_sent": letters,
+        "faster_model": "whiteboard" if board_time <= island_time else "islands",
+    }
+    result.require("same_answer", board_total == island_total == sum(values))
+    result.require("no_races_on_board", detector_clean)
+    result.require("letters_are_n_minus_1", letters == classroom.size - 1)
+    return result

@@ -1,0 +1,168 @@
+"""The Eum-Sethumadhavan microarchitecture metaphors, executable.
+
+* :func:`run_cache_library` -- the study-desk memory hierarchy: books on
+  the desk (registers), the shelf (cache), the library (memory),
+  interlibrary loan (disk).  The simulation computes average access time
+  over a hit-rate sweep (the AMAT formula), and replays a reference
+  string through an LRU "desk shelf" so the class sees locality turn into
+  hit rate.
+
+* :func:`run_assembly_line` -- the car plant instruction pipeline: a
+  5-stage line, stalls when a station waits on a part (data hazard), and
+  a full re-tooling flush when the model changes (branch mispredict).
+  Reports CPI against the ideal of 1.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+
+__all__ = ["run_cache_library", "run_assembly_line", "amat", "lru_hit_rate"]
+
+
+def amat(hit_time: float, miss_rate: float, miss_penalty: float) -> float:
+    """Average memory access time = hit + miss_rate * penalty."""
+    if not 0.0 <= miss_rate <= 1.0:
+        raise SimulationError("miss rate must be in [0, 1]")
+    return hit_time + miss_rate * miss_penalty
+
+
+def lru_hit_rate(references: list[int], capacity: int) -> float:
+    """Hit rate of an LRU cache of ``capacity`` slots over a reference string."""
+    if capacity < 1:
+        raise SimulationError("cache needs at least one slot")
+    cache: OrderedDict[int, None] = OrderedDict()
+    hits = 0
+    for ref in references:
+        if ref in cache:
+            hits += 1
+            cache.move_to_end(ref)
+        else:
+            if len(cache) >= capacity:
+                cache.popitem(last=False)
+            cache[ref] = None
+    return hits / len(references) if references else 0.0
+
+
+def run_cache_library(
+    classroom: Classroom,
+    shelf_slots: int = 4,
+    books: int = 16,
+    lookups: int = 200,
+    locality: float = 0.8,
+) -> ActivityResult:
+    """The desk-shelf study session: locality -> hit rate -> AMAT."""
+    if not 0.0 <= locality < 1.0:
+        raise SimulationError("locality must be in [0, 1)")
+    rng = np.random.default_rng(classroom.seed + 307)
+    result = ActivityResult(activity="CacheLibraryMetaphor",
+                            classroom_size=classroom.size)
+
+    # Metaphor costs (in minutes): shelf 1, library trip 30.
+    shelf_time, library_trip = 1.0, 30.0
+
+    def reference_string(loc: float) -> list[int]:
+        """With probability ``loc`` re-reference a recently used book
+        (temporal locality); otherwise pick any book in the library."""
+        refs: list[int] = []
+        recent: list[int] = []
+        for _ in range(lookups):
+            if recent and rng.random() < loc:
+                book = recent[int(rng.integers(len(recent)))]
+            else:
+                book = int(rng.integers(books))
+            refs.append(book)
+            if book in recent:
+                recent.remove(book)
+            recent.append(book)
+            if len(recent) > shelf_slots:
+                recent.pop(0)
+        return refs
+
+    focused = reference_string(locality)
+    scattered = reference_string(0.0)
+    focused_hits = lru_hit_rate(focused, shelf_slots)
+    scattered_hits = lru_hit_rate(scattered, shelf_slots)
+    focused_amat = amat(shelf_time, 1 - focused_hits, library_trip)
+    scattered_amat = amat(shelf_time, 1 - scattered_hits, library_trip)
+
+    sweep = {
+        round(h, 2): amat(shelf_time, 1 - h, library_trip)
+        for h in (0.0, 0.5, 0.9, 0.99)
+    }
+
+    result.metrics = {
+        "shelf_slots": shelf_slots,
+        "focused_hit_rate": focused_hits,
+        "scattered_hit_rate": scattered_hits,
+        "focused_amat_minutes": focused_amat,
+        "scattered_amat_minutes": scattered_amat,
+        "amat_by_hit_rate": sweep,
+    }
+    result.require("locality_raises_hit_rate", focused_hits > scattered_hits)
+    result.require("hit_rate_drives_amat", focused_amat < scattered_amat)
+    result.require("amat_formula_monotone",
+                   list(sweep.values()) == sorted(sweep.values(), reverse=True))
+    result.require("perfect_hits_cost_shelf_time",
+                   amat(shelf_time, 0.0, library_trip) == shelf_time)
+    return result
+
+
+def run_assembly_line(
+    classroom: Classroom,
+    cars: int = 40,
+    stall_every: int = 7,
+    stall_cycles: int = 2,
+    model_change_every: int = 13,
+) -> ActivityResult:
+    """The pipelined car plant: throughput 1/cycle until stalls and flushes."""
+    if cars < 1:
+        raise SimulationError("need at least one car")
+    stages = 5
+    result = ActivityResult(activity="AssemblyLinePipeline",
+                            classroom_size=classroom.size)
+
+    # Cycle-accurate tally: the line retires one car per cycle except when
+    # a stall bubbles through or a model change flushes the line.
+    cycles = stages                       # fill
+    stalls = flushes = 0
+    for car in range(1, cars):
+        cycles += 1
+        if stall_every and car % stall_every == 0:
+            cycles += stall_cycles        # the waiting-for-parts bubble
+            stalls += 1
+        if model_change_every and car % model_change_every == 0:
+            cycles += stages - 1          # re-tool: refill the line
+            flushes += 1
+
+    ideal_cycles = stages + (cars - 1)
+    unpipelined = stages * cars
+    cpi = cycles / cars
+    result.metrics = {
+        "cars": cars,
+        "stages": stages,
+        "cycles": cycles,
+        "ideal_cycles": ideal_cycles,
+        "unpipelined_cycles": unpipelined,
+        "stalls": stalls,
+        "flushes": flushes,
+        "cpi": cpi,
+        "speedup_vs_unpipelined": unpipelined / cycles,
+    }
+    result.require("pipelining_helps", cycles < unpipelined)
+    result.require("hazards_cost_cycles", cycles > ideal_cycles)
+    result.require("cpi_above_one", cpi > 1.0)
+    result.require(
+        "cycle_accounting_exact",
+        cycles == ideal_cycles + stalls * stall_cycles + flushes * (stages - 1),
+    )
+    # Asymptotically the speedup approaches (but never reaches) the stage
+    # count, and hazards pull it further down.
+    result.require("speedup_below_stage_count",
+                   unpipelined / cycles < stages)
+    return result

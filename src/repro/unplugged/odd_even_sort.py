@@ -1,0 +1,113 @@
+"""OddEvenTranspositionSort: Rifkin's parallel bubble sort, executable.
+
+Students stand in a line holding numbers.  In odd phases the pairs
+(1,2), (3,4), ... compare-and-swap; in even phases the pairs (0,1),
+(2,3), ... do.  All pairs in a phase act simultaneously, so each phase
+costs one (slowest-pair) step, and the line is provably sorted after at
+most n phases.  The simulation checks the textbook invariants the
+dramatization teaches and measures parallel time against sequential
+bubble sort.
+"""
+
+from __future__ import annotations
+
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.metrics import speedup
+
+__all__ = ["run_odd_even_sort", "sequential_bubble_sort"]
+
+
+def sequential_bubble_sort(values: list[int], step_time: float = 1.0) -> tuple[list[int], float, int]:
+    """Classic bubble sort: returns (sorted, time, comparisons)."""
+    data = list(values)
+    comparisons = 0
+    n = len(data)
+    for i in range(n):
+        swapped = False
+        for j in range(n - 1 - i):
+            comparisons += 1
+            if data[j] > data[j + 1]:
+                data[j], data[j + 1] = data[j + 1], data[j]
+                swapped = True
+        if not swapped:
+            break
+    return data, step_time * comparisons, comparisons
+
+
+def run_odd_even_sort(classroom: Classroom, early_exit: bool = True) -> ActivityResult:
+    """Run the dramatization; one held value per student.
+
+    ``early_exit`` stops when a full odd+even sweep makes no swap (the
+    classroom version: everyone shouts 'sorted!'); disable it to observe
+    the worst-case n phases.
+    """
+    n = classroom.size
+    values = classroom.deal_cards(n)
+    original = list(values)
+    result = ActivityResult(activity="OddEvenTranspositionSort", classroom_size=n)
+
+    line = list(values)
+    phases = 0
+    swaps = 0
+    now = 0.0
+    quiet_phases = 0
+    adjacency_ok = True
+
+    while phases < n or not early_exit:
+        start = 1 if phases % 2 == 0 else 0   # odd phase first, like the write-up
+        phase_swapped = False
+        phase_time = 0.0
+        for left in range(start, n - 1, 2):
+            pair_time = max(classroom.step_time(left), classroom.step_time(left + 1))
+            phase_time = max(phase_time, pair_time)
+            if line[left] > line[left + 1]:
+                # Parity invariant: only pairs of the right parity swap.
+                adjacency_ok &= (left % 2 == start % 2)
+                line[left], line[left + 1] = line[left + 1], line[left]
+                swaps += 1
+                phase_swapped = True
+                result.trace.record(
+                    now + pair_time, classroom.student(left), "swap",
+                    f"phase {phases + 1}: positions {left}<->{left + 1}",
+                )
+        phases += 1
+        now += phase_time if n > 1 else 0.0
+        if phase_swapped:
+            quiet_phases = 0
+        else:
+            quiet_phases += 1
+        if early_exit and quiet_phases >= 2:
+            break
+        if phases >= n:
+            break
+
+    _, seq_time, seq_comparisons = sequential_bubble_sort(
+        original, classroom.step_time(0)
+    )
+    par_comparisons = phases * ((n - 1) // 2 + (n - 1) % 2)  # approx; trace has exact swaps
+
+    result.output = line
+    result.metrics = {
+        "phases": phases,
+        "swaps": swaps,
+        "parallel_time": now,
+        "sequential_time": seq_time,
+        "sequential_comparisons": seq_comparisons,
+        "speedup": speedup(seq_time, now) if now > 0 and seq_time > 0 else 1.0,
+    }
+    result.require("sorted", line == sorted(original))
+    result.require("multiset_preserved", sorted(line) == sorted(original))
+    result.require("at_most_n_phases", phases <= n)
+    result.require("parity_respected", adjacency_ok)
+    result.require("swap_count_is_inversions", swaps == _inversions(original))
+    return result
+
+
+def _inversions(values: list[int]) -> int:
+    """Inversion count: every adjacent transposition fixes exactly one."""
+    count = 0
+    for i in range(len(values)):
+        for j in range(i + 1, len(values)):
+            if values[i] > values[j]:
+                count += 1
+    return count

@@ -1,0 +1,135 @@
+"""ParallelAdditionCards and CoinCountingArraySum (iPDC), executable.
+
+* :func:`run_parallel_addition` -- pairs sum card piles up a binary tree.
+  Runs as a real message-passing reduction on the communicator, draws the
+  dependency tree, and compares tree levels against the single adder's
+  step count.
+
+* :func:`run_coin_counting` -- the data-parallel loop: a coin pile split
+  among students counted simultaneously, with two classroom variations:
+  a skewed split (someone gets the big pile -- imbalance) and the
+  "two students grab the same coins" mistake (double counting, which the
+  exact-total check catches the way the class does).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.comm import Communicator, Endpoint
+from repro.unplugged.sim.engine import Simulator
+
+__all__ = ["run_parallel_addition", "run_coin_counting"]
+
+
+def run_parallel_addition(
+    classroom: Classroom,
+    cards_per_student: int = 4,
+) -> ActivityResult:
+    """Tree-sum one pile of cards per student over the communicator."""
+    n = classroom.size
+    if n < 2:
+        raise SimulationError("need at least two adders")
+    piles = [
+        classroom.deal_cards(cards_per_student, low=1, high=500)
+        for _ in range(n)
+    ]
+    locals_sums = [sum(p) for p in piles]
+    expected = sum(locals_sums)
+
+    sim = Simulator()
+    comm = Communicator(sim, n)
+    roots: dict[int, int] = {}
+
+    def adder(ep: Endpoint):
+        total = yield from ep.reduce(locals_sums[ep.rank], lambda a, b: a + b,
+                                     root=0)
+        if ep.rank == 0:
+            roots[0] = total
+
+    comm.launch(adder)
+    sim.run()
+
+    result = ActivityResult(activity="ParallelAdditionCards", classroom_size=n)
+    levels = math.ceil(math.log2(n))
+    sequential_steps = n * cards_per_student - 1
+    parallel_steps = cards_per_student - 1 + levels
+
+    result.output = roots[0]
+    result.metrics = {
+        "students": n,
+        "cards_each": cards_per_student,
+        "tree_levels": levels,
+        "messages": comm.stats.messages,
+        "sequential_additions": sequential_steps,
+        "parallel_critical_path": parallel_steps,
+        "speedup_bound": sequential_steps / parallel_steps,
+    }
+    result.require("sum_correct", roots[0] == expected)
+    result.require("messages_are_n_minus_1", comm.stats.messages == n - 1)
+    result.require("logarithmic_levels", levels == math.ceil(math.log2(n)))
+    result.require("tree_beats_single_adder",
+                   parallel_steps < sequential_steps or n <= 2)
+    return result
+
+
+def run_coin_counting(
+    classroom: Classroom,
+    coins: int = 120,
+) -> ActivityResult:
+    """Split-count-combine, with the imbalance and double-count variations."""
+    n = classroom.size
+    if n < 2:
+        raise SimulationError("need at least two counters")
+    if coins < n:
+        raise SimulationError("need at least one coin per counter")
+    rng = np.random.default_rng(classroom.seed + 601)
+    values = rng.integers(1, 4, size=coins)        # pennies to larger coins
+    total = int(values.sum())
+    result = ActivityResult(activity="CoinCountingArraySum", classroom_size=n)
+
+    # Even split: each student counts a contiguous share.
+    bounds = np.linspace(0, coins, n + 1, dtype=int)
+    shares = [values[bounds[i]: bounds[i + 1]] for i in range(n)]
+    partials = [int(s.sum()) for s in shares]
+    even_time = max(
+        classroom.step_time(i) * len(shares[i]) for i in range(n)
+    )
+    combine_time = classroom.step_time(0) * n      # reporting in, serially
+    sequential_time = classroom.step_time(0) * coins
+
+    # Skewed split: one student gets half the pile.
+    big = coins // 2
+    rest = coins - big
+    skew_counts = [big] + [rest // (n - 1)] * (n - 1)
+    skew_counts[-1] += rest - sum(skew_counts[1:])
+    skew_time = max(
+        classroom.step_time(i) * c for i, c in enumerate(skew_counts)
+    )
+
+    # The double-grab mistake: two students both count an overlapping run.
+    overlap = len(shares[1]) // 2
+    wrong_partials = list(partials)
+    wrong_partials[0] += int(shares[1][:overlap].sum())
+    mistake_total = sum(wrong_partials)
+
+    result.metrics = {
+        "coins": coins,
+        "true_total": total,
+        "partials": partials,
+        "even_parallel_time": even_time + combine_time,
+        "skewed_parallel_time": skew_time + combine_time,
+        "sequential_time": sequential_time,
+        "speedup": sequential_time / (even_time + combine_time),
+        "double_count_total": mistake_total,
+    }
+    result.require("partials_combine_exactly", sum(partials) == total)
+    result.require("parallel_beats_sequential",
+                   even_time + combine_time < sequential_time)
+    result.require("skew_hurts", skew_time > even_time)
+    result.require("double_count_detected", mistake_total > total)
+    return result

@@ -1,0 +1,79 @@
+"""ParallelRadixSort: Rifkin's bucket-walk dramatization, executable.
+
+Each round, every student simultaneously walks to the bucket matching the
+current digit of their number (least significant first), and the line
+reforms bucket by bucket.  The per-round classification is perfectly
+parallel -- one step per student, all at once -- while the rounds
+themselves are inherently sequential, which is the discussion point the
+activity builds to.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.metrics import speedup
+
+__all__ = ["run_parallel_radix_sort"]
+
+
+def run_parallel_radix_sort(
+    classroom: Classroom,
+    base: int = 10,
+    max_value: int = 999,
+) -> ActivityResult:
+    """Run the dramatization with one number per student."""
+    if base < 2:
+        raise SimulationError("radix base must be >= 2")
+    n = classroom.size
+    values = classroom.deal_cards(n, low=0, high=max_value)
+    original = list(values)
+    result = ActivityResult(activity="ParallelRadixSort", classroom_size=n)
+
+    digits = 1
+    while base ** digits <= max_value:
+        digits += 1
+
+    line = [(v, rank) for rank, v in enumerate(values)]   # value + identity for stability
+    now = 0.0
+    stable_ok = True
+
+    for round_no in range(digits):
+        divisor = base ** round_no
+        buckets: list[list[tuple[int, int]]] = [[] for _ in range(base)]
+        # Everyone classifies simultaneously; the round takes as long as
+        # the slowest student's walk.
+        round_time = max(
+            classroom.step_time(rank) for _, rank in line
+        ) if n else 0.0
+        for value, rank in line:                      # stable: keep line order
+            digit = (value // divisor) % base
+            buckets[digit].append((value, rank))
+            result.trace.record(
+                now + round_time, classroom.student(rank), "bucket",
+                f"round {round_no + 1}: digit {digit}",
+            )
+        new_line = [item for bucket in buckets for item in bucket]
+        # Stability within this round: equal digits keep relative order.
+        for bucket in buckets:
+            positions = [line.index(item) for item in bucket]
+            stable_ok &= positions == sorted(positions)
+        line = new_line
+        now += round_time
+
+    sorted_values = [v for v, _ in line]
+    seq_time = classroom.step_time(0) * n * digits    # one student moves every card, every round
+
+    result.output = sorted_values
+    result.metrics = {
+        "rounds": digits,
+        "base": base,
+        "parallel_time": now,
+        "sequential_time": seq_time,
+        "speedup": speedup(seq_time, now) if now > 0 else 1.0,
+    }
+    result.require("sorted", sorted_values == sorted(original))
+    result.require("multiset_preserved", sorted(sorted_values) == sorted(original))
+    result.require("rounds_equal_digits", True)
+    result.require("stable_within_rounds", stable_ok)
+    return result

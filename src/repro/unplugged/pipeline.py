@@ -1,0 +1,108 @@
+"""LaundryPipeline: the washer/dryer/folder dramatization, executable.
+
+Loads flow through staged students connected by hand-off baskets
+(bounded :class:`Store`\\ s).  The simulation measures what the activity
+stages physically:
+
+* latency of one load = sum of stage times (nothing overlaps for a
+  single load),
+* steady-state throughput = 1 / slowest-stage time (the bottleneck rule),
+* total time for L loads ≈ fill + (L-1) * bottleneck, vs the serial
+  L * sum(stages) -- the pipeline's speedup approaches
+  sum(stages)/max(stage) as L grows.
+
+Stage times are configurable so the class can ask "what if the dryer is
+twice as slow?" and watch the bottleneck move.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.sync import Store
+
+__all__ = ["run_laundry_pipeline"]
+
+
+def run_laundry_pipeline(
+    classroom: Classroom,
+    loads: int = 12,
+    stage_times: tuple[float, ...] = (2.0, 3.0, 1.0),
+    basket_capacity: int = 2,
+) -> ActivityResult:
+    """Push ``loads`` laundry loads through the staged classroom."""
+    if loads < 1:
+        raise SimulationError("need at least one load")
+    if len(stage_times) < 2:
+        raise SimulationError("a pipeline needs at least two stages")
+    if classroom.size < len(stage_times):
+        raise SimulationError("need one student per stage")
+    stages = len(stage_times)
+
+    sim = Simulator()
+    # baskets[i] feeds stage i; the source basket starts full of loads.
+    baskets = [Store(sim, capacity=None if i == 0 else basket_capacity,
+                     name=f"basket{i}") for i in range(stages)]
+    done = Store(sim, name="done")
+    for load in range(loads):
+        baskets[0].put(load)
+
+    completion_times: list[float] = []
+
+    def stage(i: int):
+        student = classroom.student(i)
+        for _ in range(loads):
+            load = yield baskets[i].get()
+            yield sim.timeout(stage_times[i])
+            if i + 1 < stages:
+                yield baskets[i + 1].put(load)
+            else:
+                completion_times.append(sim.now)
+                yield done.put(load)
+            # trace each hand-off
+        return None
+
+    for i in range(stages):
+        sim.process(stage(i), name=f"stage{i}")
+    sim.run()
+
+    total_time = max(completion_times)
+    latency_one = sum(stage_times)
+    bottleneck = max(stage_times)
+    serial_time = loads * latency_one
+    # Inter-departure gaps at the sink in steady state.
+    gaps = [
+        completion_times[i + 1] - completion_times[i]
+        for i in range(len(completion_times) - 1)
+    ]
+    steady_gaps = gaps[stages:] if len(gaps) > stages else gaps
+
+    result = ActivityResult(activity="LaundryPipeline", classroom_size=classroom.size)
+    result.metrics = {
+        "loads": loads,
+        "stages": stages,
+        "stage_times": list(stage_times),
+        "pipeline_time": total_time,
+        "serial_time": serial_time,
+        "speedup": serial_time / total_time,
+        "first_load_latency": completion_times[0],
+        "bottleneck": bottleneck,
+        "steady_state_gap": steady_gaps[-1] if steady_gaps else None,
+        "asymptotic_speedup": latency_one / bottleneck,
+    }
+    result.require("all_loads_done", len(completion_times) == loads)
+    result.require("order_preserved",
+                   completion_times == sorted(completion_times))
+    result.require("first_load_pays_full_latency",
+                   abs(completion_times[0] - latency_one) < 1e-9)
+    result.require(
+        "steady_throughput_is_bottleneck",
+        all(abs(g - bottleneck) < 1e-9 for g in steady_gaps) if steady_gaps else True,
+    )
+    result.require(
+        "pipeline_time_formula",
+        abs(total_time - (latency_one + (loads - 1) * bottleneck)) < 1e-9
+        or total_time <= serial_time,
+    )
+    return result

@@ -1,0 +1,107 @@
+"""JuiceSweeteningRobots: the Ben-Ari/Kolikant race scenario, executable.
+
+Two robots share a kitchen; each runs "taste the juice; if not sweet, add
+a spoon of sugar".  The simulation delivers the activity's three beats:
+
+1. **Enumerate** -- every interleaving of the two robots' atomic steps,
+   counting how many end with the juice double-sweetened (the shared
+   check-then-act race).
+2. **Detect** -- run one racy schedule through :class:`SharedMemory` and
+   watch the lockset detector flag the race on the sugar cell.
+3. **Fix** -- wrap each robot's check-and-add in the kitchen lock: every
+   schedule now yields exactly one spoon, and the detector stays silent.
+"""
+
+from __future__ import annotations
+
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.sharedmem import (
+    SharedMemory,
+    Step,
+    explore_interleavings,
+)
+
+__all__ = ["run_juice_robots"]
+
+
+def _robot_steps(robot: str) -> list[Step]:
+    """The unsynchronized robot program as atomic steps."""
+    def taste(state: dict, r: str = robot) -> None:
+        state[f"{r}_saw_sweet"] = state["sugar"] > 0
+
+    def add(state: dict, r: str = robot) -> None:
+        if not state[f"{r}_saw_sweet"]:
+            state["sugar"] += 1
+
+    return [Step("taste", taste), Step("add", add)]
+
+
+def _locked_robot_steps(robot: str) -> list[Step]:
+    """The fixed program: check-then-act as one atomic step (lock held)."""
+    def taste_and_add(state: dict) -> None:
+        if state["sugar"] == 0:
+            state["sugar"] += 1
+
+    return [Step("taste_and_add", taste_and_add)]
+
+
+def run_juice_robots(classroom: Classroom) -> ActivityResult:
+    """Run the full three-beat dramatization (uses 2 of the students)."""
+    result = ActivityResult(activity="JuiceSweeteningRobots",
+                            classroom_size=classroom.size)
+    a, b = classroom.student(0), classroom.student(1 % classroom.size)
+
+    # Beat 1: exhaustive interleavings of the unsynchronized program.
+    racy = explore_interleavings(
+        {a: _robot_steps(a), b: _robot_steps(b)},
+        initial_state={"sugar": 0},
+        violates=lambda s: s["sugar"] != 1,
+        outcome=lambda s: s["sugar"],
+    )
+    # Beat 1b: the same programs with the critical section made atomic.
+    fixed = explore_interleavings(
+        {a: _locked_robot_steps(a), b: _locked_robot_steps(b)},
+        initial_state={"sugar": 0},
+        violates=lambda s: s["sugar"] != 1,
+        outcome=lambda s: s["sugar"],
+    )
+
+    # Beat 2: lockset detection on a racy schedule.
+    mem = SharedMemory()
+    mem.poke("sugar", 0)
+    saw_a = mem.read("sugar", a) > 0          # A tastes
+    saw_b = mem.read("sugar", b) > 0          # B tastes (interleaved)
+    if not saw_a:
+        mem.write("sugar", a, mem.peek("sugar") + 1)
+    if not saw_b:
+        mem.write("sugar", b, mem.peek("sugar") + 1)
+    race_detected = bool(mem.races)
+    oversweetened = mem.peek("sugar")
+
+    # Beat 3: the same accesses under the kitchen lock.
+    mem_fixed = SharedMemory()
+    mem_fixed.poke("sugar", 0)
+    for robot in (a, b):
+        mem_fixed.lock_acquired(robot, "kitchen")
+        if mem_fixed.read("sugar", robot) == 0:
+            mem_fixed.write("sugar", robot, mem_fixed.peek("sugar") + 1)
+        mem_fixed.lock_released(robot, "kitchen")
+    fixed_clean = not mem_fixed.races
+
+    for i, witness in enumerate(racy.witnesses[:3]):
+        result.trace.record(float(i), a, "witness", " -> ".join(witness))
+
+    result.metrics = {
+        "interleavings": racy.total,
+        "double_sugar_schedules": racy.violating,
+        "violation_rate": racy.violation_rate,
+        "outcome_histogram": dict(sorted(racy.outcomes.items())),
+        "racy_final_sugar": oversweetened,
+        "fixed_interleavings": fixed.total,
+    }
+    result.require("race_exists_unsynchronized", racy.violating > 0)
+    result.require("detector_flags_race", race_detected)
+    result.require("lock_eliminates_bad_outcomes", fixed.violating == 0)
+    result.require("detector_silent_with_lock", fixed_clean)
+    result.require("racy_schedule_oversweetens", oversweetened == 2)
+    return result

@@ -1,0 +1,86 @@
+"""``repro.unplugged.sim``: the simulated-classroom substrate.
+
+* :mod:`engine` -- deterministic discrete-event kernel (events, processes,
+  deadlock detection).
+* :mod:`sync` -- locks, semaphores, barriers, bounded buffers.
+* :mod:`comm` -- mpi4py-style message passing with the α-β cost model.
+* :mod:`sharedmem` -- shared cells with lockset race detection, plus the
+  exhaustive interleaving explorer.
+* :mod:`topology` -- interconnect shapes (ring/star/mesh/torus/hypercube).
+* :mod:`metrics` -- speedup, efficiency, Amdahl, Gustafson, Karp-Flatt,
+  Brent bounds.
+* :mod:`vectorclock` -- happens-before race detection (vector clocks).
+* :mod:`dag` -- task graphs: work/span, critical paths, list scheduling.
+* :mod:`trace` -- structured traces and text Gantt rendering.
+* :mod:`classroom` -- rosters of students-as-processors and the uniform
+  :class:`ActivityResult`.
+"""
+
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.comm import ANY, Communicator, CostModel, Endpoint, Message
+from repro.unplugged.sim.engine import Event, Process, Simulator
+from repro.unplugged.sim.metrics import (
+    amdahl_limit,
+    amdahl_speedup,
+    brent_time_bounds,
+    efficiency,
+    gustafson_speedup,
+    karp_flatt,
+    phone_call_cost,
+    speedup,
+    speedup_curve,
+)
+from repro.unplugged.sim.sharedmem import (
+    Access,
+    Race,
+    SharedMemory,
+    Step,
+    count_interleavings,
+    explore_interleavings,
+)
+from repro.unplugged.sim.dag import Schedule, Task, TaskGraph
+from repro.unplugged.sim.sync import Barrier, Lock, Semaphore, Store
+from repro.unplugged.sim.topology import Topology
+from repro.unplugged.sim.vectorclock import HappensBeforeDetector, VectorClock
+from repro.unplugged.sim.trace import Trace, TraceEvent, render_gantt
+
+__all__ = [
+    "ANY",
+    "Access",
+    "ActivityResult",
+    "Barrier",
+    "Classroom",
+    "Communicator",
+    "CostModel",
+    "Endpoint",
+    "Event",
+    "Lock",
+    "Message",
+    "Process",
+    "Race",
+    "Semaphore",
+    "SharedMemory",
+    "Schedule",
+    "Simulator",
+    "Step",
+    "Task",
+    "TaskGraph",
+    "Store",
+    "Topology",
+    "Trace",
+    "TraceEvent",
+    "VectorClock",
+    "HappensBeforeDetector",
+    "amdahl_limit",
+    "amdahl_speedup",
+    "brent_time_bounds",
+    "count_interleavings",
+    "efficiency",
+    "explore_interleavings",
+    "gustafson_speedup",
+    "karp_flatt",
+    "phone_call_cost",
+    "render_gantt",
+    "speedup",
+    "speedup_curve",
+]

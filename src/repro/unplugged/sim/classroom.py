@@ -1,0 +1,117 @@
+"""The simulated classroom: students as processors.
+
+Nearly every curated activity follows "an operational view of computing,
+where people act as processes or processors" (paper §III-A).
+:class:`Classroom` is that cast: a deterministic roster of named students,
+a seeded RNG for shuffles and dealt cards, and per-student step-time
+variation (students compare cards at slightly different speeds, which is
+what makes load imbalance and stragglers observable in the simulations).
+
+:class:`ActivityResult` is the uniform return type of every activity
+simulation: the trace, the metrics the instructor would put on the board,
+and the invariant checks that must hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.trace import Trace
+
+__all__ = ["Classroom", "ActivityResult", "ROSTER_NAMES"]
+
+#: Name pool for rosters (cycled with numeric suffixes past its length).
+ROSTER_NAMES: tuple[str, ...] = (
+    "Ada", "Ben", "Cam", "Dot", "Eli", "Fay", "Gus", "Hal",
+    "Ivy", "Jo", "Kai", "Lou", "Mia", "Ned", "Ona", "Pat",
+    "Quinn", "Rae", "Sam", "Tess", "Uma", "Vic", "Wes", "Xan",
+    "Yara", "Zed",
+)
+
+
+@dataclass
+class Classroom:
+    """A deterministic roster of students acting as processors."""
+
+    size: int
+    seed: int = 0
+    base_step_time: float = 1.0
+    step_time_jitter: float = 0.0   # fraction of base time, e.g. 0.2
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise SimulationError("classroom needs at least one student")
+        if not 0.0 <= self.step_time_jitter < 1.0:
+            raise SimulationError("jitter must be in [0, 1)")
+        self.rng = np.random.default_rng(self.seed)
+        # Per-student step times, fixed for the classroom's lifetime.
+        jitter = self.rng.uniform(
+            -self.step_time_jitter, self.step_time_jitter, size=self.size
+        )
+        self._step_times = self.base_step_time * (1.0 + jitter)
+
+    @property
+    def students(self) -> list[str]:
+        names = []
+        for i in range(self.size):
+            base = ROSTER_NAMES[i % len(ROSTER_NAMES)]
+            suffix = i // len(ROSTER_NAMES)
+            names.append(base if suffix == 0 else f"{base}{suffix + 1}")
+        return names
+
+    def student(self, rank: int) -> str:
+        if not 0 <= rank < self.size:
+            raise SimulationError(f"no student at rank {rank}")
+        return self.students[rank]
+
+    def step_time(self, rank: int) -> float:
+        """How long one unit of work takes this student."""
+        return float(self._step_times[rank])
+
+    def deal_cards(self, n_cards: int, low: int = 1, high: int = 100) -> list[int]:
+        """Deal a deterministic shuffled hand of distinct card values."""
+        if n_cards > high - low + 1:
+            raise SimulationError("not enough distinct card values")
+        values = self.rng.choice(np.arange(low, high + 1), size=n_cards, replace=False)
+        return [int(v) for v in values]
+
+    def shuffle(self, items: list) -> list:
+        """Deterministic shuffle (a new list; the input is untouched)."""
+        order = self.rng.permutation(len(items))
+        return [items[i] for i in order]
+
+
+@dataclass
+class ActivityResult:
+    """Uniform result of one activity simulation run."""
+
+    activity: str
+    classroom_size: int
+    trace: Trace = field(default_factory=Trace)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    checks: dict[str, bool] = field(default_factory=dict)
+    output: Any = None
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def require(self, name: str, condition: bool) -> None:
+        """Record an invariant check."""
+        self.checks[name] = bool(condition)
+
+    def summary(self) -> str:
+        lines = [f"{self.activity} (n={self.classroom_size})"]
+        for key, value in self.metrics.items():
+            if isinstance(value, float):
+                lines.append(f"  {key}: {value:.3f}")
+            else:
+                lines.append(f"  {key}: {value}")
+        status = "PASS" if self.all_checks_pass else "FAIL"
+        failing = [k for k, ok in self.checks.items() if not ok]
+        lines.append(f"  checks: {status}" + (f" (failing: {failing})" if failing else ""))
+        return "\n".join(lines)

@@ -1,0 +1,396 @@
+"""Message passing for the simulated classroom, in the mpi4py idiom.
+
+Activities like DesertIslandsDistributedMemory and LongDistancePhoneCall
+teach that distributed memory means *explicit, costed* communication.  This
+module provides that substrate: a :class:`Communicator` connecting ``size``
+ranks, each driven by a generator receiving an :class:`Endpoint` -- the
+API deliberately mirrors mpi4py's lowercase pickled-object methods
+(``send`` / ``recv`` / ``bcast`` / ``scatter`` / ``gather`` / ``reduce`` /
+``allreduce`` / ``barrier`` / ``scan``), so students graduating from the
+simulation to real MPI see the same verbs.
+
+Costs follow the α-β (latency/bandwidth) model the phone-call analogy
+dramatizes: delivering a message of size *s* over *h* topology hops takes
+``h*alpha + s*beta``.  Collectives are implemented *as algorithms over
+point-to-point messages* (binomial trees, linear scans), so their costs and
+message counts emerge from the model instead of being postulated -- the
+communication-overhead benchmark sweeps α to find the crossover the
+analogy predicts.
+
+Two send flavours matter pedagogically:
+
+* :meth:`Endpoint.send` -- eager/buffered: completes immediately, the
+  message arrives after the transfer delay.
+* :meth:`Endpoint.ssend` -- synchronous/rendezvous: completes only when a
+  matching receive is posted.  Two ranks ssend-ing to each other deadlock,
+  which is exactly CS2013 outcome PCC-3 ("a scenario in which blocking
+  message sends can deadlock") and the engine's detector reports it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.errors import CommunicationError
+from repro.unplugged.sim.engine import Event, Process, ProcessGen, Simulator
+
+__all__ = ["ANY", "CostModel", "Message", "CommStats", "Communicator", "Endpoint"]
+
+#: Wildcard for ``recv(source=ANY)`` / ``recv(tag=ANY)``.
+ANY = -1
+
+
+def default_size_of(payload: Any) -> int:
+    """Message 'size' for the cost model: element count when sized, else 1."""
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray, str)):
+        return len(payload)
+    try:
+        return len(payload)  # type: ignore[arg-type]
+    except TypeError:
+        return 1
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """The α-β communication cost model.
+
+    ``alpha`` is the per-hop latency (the phone call's connection charge),
+    ``beta`` the per-unit transfer time (the per-minute charge).
+    """
+
+    alpha: float = 1.0
+    beta: float = 0.01
+    size_of: Callable[[Any], int] = default_size_of
+
+    def transfer_time(self, payload: Any, hops: int = 1) -> float:
+        if hops < 1:
+            hops = 1
+        return hops * self.alpha + self.size_of(payload) * self.beta
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message."""
+
+    source: int
+    dest: int
+    tag: int
+    data: Any
+    sent_at: float
+    received_at: float
+
+
+@dataclass
+class CommStats:
+    """Counters the benchmarks report."""
+
+    messages: int = 0
+    total_size: int = 0
+    per_rank_sent: dict[int, int] = field(default_factory=dict)
+
+    def record(self, source: int, size: int) -> None:
+        self.messages += 1
+        self.total_size += size
+        self.per_rank_sent[source] = self.per_rank_sent.get(source, 0) + 1
+
+
+class Communicator:
+    """A world of ``size`` ranks exchanging messages through one medium."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        size: int,
+        cost_model: CostModel | None = None,
+        topology: "object | None" = None,
+    ):
+        if size < 1:
+            raise CommunicationError(f"communicator size must be >= 1, got {size}")
+        self.sim = sim
+        self.size = size
+        self.cost = cost_model or CostModel()
+        self.topology = topology   # anything exposing .hops(src, dst)
+        self.stats = CommStats()
+        # Per-rank inbox of undelivered messages and pending receives.
+        self._inbox: list[deque[Message]] = [deque() for _ in range(size)]
+        self._recv_waiters: list[deque[tuple[int, int, Event]]] = [
+            deque() for _ in range(size)
+        ]
+        # Pending rendezvous sends: per-dest deque of (message, completion event).
+        self._pending_ssends: list[deque[tuple[Message, Event]]] = [
+            deque() for _ in range(size)
+        ]
+        # FIFO wire discipline: per (src, dst) pair, deliveries never
+        # overtake -- a later small message queues behind an earlier large
+        # one on the same link.
+        self._last_arrival: dict[tuple[int, int], float] = {}
+
+    # -- setup ----------------------------------------------------------------
+
+    def endpoint(self, rank: int) -> "Endpoint":
+        self._check_rank(rank)
+        return Endpoint(self, rank)
+
+    def launch(
+        self,
+        program: Callable[["Endpoint"], ProcessGen],
+        ranks: range | None = None,
+    ) -> list[Process]:
+        """Start ``program(endpoint)`` as a process on every rank (SPMD)."""
+        procs = []
+        for rank in ranks or range(self.size):
+            ep = self.endpoint(rank)
+            procs.append(self.sim.process(program(ep), name=f"rank{rank}"))
+        return procs
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise CommunicationError(
+                f"rank {rank} out of range for communicator of size {self.size}"
+            )
+
+    def _hops(self, source: int, dest: int) -> int:
+        if self.topology is None or source == dest:
+            return 1
+        return int(self.topology.hops(source, dest))
+
+    # -- transport -------------------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        """Message has arrived at its destination at the current time."""
+        waiters = self._recv_waiters[message.dest]
+        for i, (src_want, tag_want, ev) in enumerate(waiters):
+            if _matches(src_want, tag_want, message):
+                del waiters[i]
+                ev.succeed(message)
+                return
+        self._inbox[message.dest].append(message)
+
+    def _post_send(self, source: int, dest: int, tag: int, data: Any) -> float:
+        """Schedule delivery; returns the transfer time.
+
+        Delivery respects the per-pair FIFO wire: the arrival time is at
+        least the previous message's arrival on the same (source, dest)
+        link, so messages between a pair never overtake.
+        """
+        self._check_rank(dest)
+        delay = self.cost.transfer_time(data, self._hops(source, dest))
+        self.stats.record(source, self.cost.size_of(data))
+        sent_at = self.sim.now
+
+        pair = (source, dest)
+        arrival_time = max(sent_at + delay, self._last_arrival.get(pair, 0.0))
+        self._last_arrival[pair] = arrival_time
+
+        arrival = self.sim.timeout(
+            arrival_time - sent_at, name=f"msg {source}->{dest} tag={tag}"
+        )
+        arrival.add_callback(
+            lambda _ev: self._deliver(
+                Message(source, dest, tag, data, sent_at, self.sim.now)
+            )
+        )
+        return arrival_time - sent_at
+
+
+def _matches(src_want: int, tag_want: int, message: Message) -> bool:
+    return (src_want in (ANY, message.source)) and (tag_want in (ANY, message.tag))
+
+
+class Endpoint:
+    """One rank's view of the communicator (``comm`` in MPI programs)."""
+
+    def __init__(self, comm: Communicator, rank: int):
+        self.comm = comm
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def sim(self) -> Simulator:
+        return self.comm.sim
+
+    # -- point to point -------------------------------------------------------
+
+    def send(self, dest: int, data: Any, tag: int = 0) -> Event:
+        """Eager (buffered) send: completes immediately; delivery is delayed."""
+        self.comm._post_send(self.rank, dest, tag, data)
+        ev = self.sim.event(name=f"send {self.rank}->{dest}")
+        ev.succeed()
+        return ev
+
+    def ssend(self, dest: int, data: Any, tag: int = 0) -> Event:
+        """Synchronous (rendezvous) send: completes when a receive matches."""
+        self.comm._check_rank(dest)
+        done = self.sim.event(name=f"ssend {self.rank}->{dest}")
+        message = Message(self.rank, dest, tag, data, self.sim.now, self.sim.now)
+        waiters = self.comm._recv_waiters[dest]
+        for i, (src_want, tag_want, ev) in enumerate(waiters):
+            if _matches(src_want, tag_want, message):
+                del waiters[i]
+                delay = self.comm.cost.transfer_time(
+                    data, self.comm._hops(self.rank, dest)
+                )
+                self.comm.stats.record(self.rank, self.comm.cost.size_of(data))
+                arrival = self.sim.timeout(delay)
+                arrival.add_callback(
+                    lambda _e: ev.succeed(
+                        Message(self.rank, dest, tag, data, message.sent_at, self.sim.now)
+                    )
+                )
+                done.succeed()
+                return done
+        self.comm._pending_ssends[dest].append((message, done))
+        return done
+
+    def recv(self, source: int = ANY, tag: int = ANY) -> Event:
+        """Receive one message; event value is a :class:`Message`."""
+        # Rendezvous sends waiting for us?
+        pending = self.comm._pending_ssends[self.rank]
+        for i, (message, send_done) in enumerate(pending):
+            if _matches(source, tag, message):
+                del pending[i]
+                delay = self.comm.cost.transfer_time(
+                    message.data, self.comm._hops(message.source, self.rank)
+                )
+                self.comm.stats.record(message.source, self.comm.cost.size_of(message.data))
+                ev = self.sim.event(name=f"recv@{self.rank}")
+                arrival = self.sim.timeout(delay)
+                arrival.add_callback(
+                    lambda _e: ev.succeed(
+                        Message(message.source, self.rank, message.tag,
+                                message.data, message.sent_at, self.sim.now)
+                    )
+                )
+                send_done.succeed()
+                return ev
+        # Buffered messages already delivered?
+        inbox = self.comm._inbox[self.rank]
+        for i, message in enumerate(inbox):
+            if _matches(source, tag, message):
+                del inbox[i]
+                ev = self.sim.event(name=f"recv@{self.rank}")
+                ev.succeed(message)
+                return ev
+        ev = self.sim.event(name=f"recv@{self.rank}(src={source},tag={tag})")
+        self.comm._recv_waiters[self.rank].append((source, tag, ev))
+        return ev
+
+    # -- collectives (generators: use ``yield from ep.bcast(...)``) ------------
+
+    _COLL_TAG = 1 << 20   # tag namespace reserved for collective traffic
+
+    def bcast(self, value: Any, root: int = 0) -> Generator[Event, Any, Any]:
+        """Binomial-tree broadcast; returns the broadcast value on every rank.
+
+        The standard algorithm: each rank first receives from its tree
+        parent (determined by its lowest set virtual-rank bit), then relays
+        to children at successively smaller strides -- ceil(log2 n) rounds.
+        """
+        comm = self.comm
+        comm._check_rank(root)
+        vrank = (self.rank - root) % comm.size   # virtual rank, root -> 0
+        mask = 1
+        while mask < comm.size:
+            if vrank & mask:
+                parent = (vrank - mask + root) % comm.size
+                msg = yield self.recv(source=parent, tag=self._COLL_TAG)
+                value = msg.data
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < comm.size:
+                child = (vrank + mask + root) % comm.size
+                yield self.send(child, value, tag=self._COLL_TAG)
+            mask >>= 1
+        return value
+
+    def reduce(
+        self, value: Any, op: Callable[[Any, Any], Any], root: int = 0
+    ) -> Generator[Event, Any, Any]:
+        """Binomial-tree reduction; root returns the combined value, others None.
+
+        ``op`` must be associative; combination order is deterministic.
+        """
+        comm = self.comm
+        comm._check_rank(root)
+        vrank = (self.rank - root) % comm.size
+        acc = value
+        mask = 1
+        while mask < comm.size:
+            if vrank & mask:
+                parent = (vrank - mask + root) % comm.size
+                yield self.send(parent, acc, tag=self._COLL_TAG + 1)
+                break
+            partner = vrank + mask
+            if partner < comm.size:
+                msg = yield self.recv(
+                    source=(partner + root) % comm.size, tag=self._COLL_TAG + 1
+                )
+                acc = op(acc, msg.data)
+            mask <<= 1
+        return acc if self.rank == root else None
+
+    def allreduce(
+        self, value: Any, op: Callable[[Any, Any], Any]
+    ) -> Generator[Event, Any, Any]:
+        total = yield from self.reduce(value, op, root=0)
+        total = yield from self.bcast(total, root=0)
+        return total
+
+    def gather(self, value: Any, root: int = 0) -> Generator[Event, Any, Any]:
+        """Flat gather; root returns the list indexed by rank, others None."""
+        comm = self.comm
+        comm._check_rank(root)
+        if self.rank == root:
+            out: list[Any] = [None] * comm.size
+            out[root] = value
+            for _ in range(comm.size - 1):
+                msg = yield self.recv(tag=self._COLL_TAG + 2)
+                out[msg.source] = msg.data
+            return out
+        yield self.send(root, value, tag=self._COLL_TAG + 2)
+        return None
+
+    def scatter(self, values: list[Any] | None, root: int = 0) -> Generator[Event, Any, Any]:
+        """Root distributes ``values[i]`` to rank ``i``; returns own element."""
+        comm = self.comm
+        comm._check_rank(root)
+        if self.rank == root:
+            if values is None or len(values) != comm.size:
+                raise CommunicationError(
+                    "scatter root needs exactly one value per rank"
+                )
+            for dest in range(comm.size):
+                if dest != root:
+                    yield self.send(dest, values[dest], tag=self._COLL_TAG + 3)
+            return values[root]
+        msg = yield self.recv(source=root, tag=self._COLL_TAG + 3)
+        return msg.data
+
+    def allgather(self, value: Any) -> Generator[Event, Any, Any]:
+        gathered = yield from self.gather(value, root=0)
+        gathered = yield from self.bcast(gathered, root=0)
+        return gathered
+
+    def barrier(self) -> Generator[Event, Any, Any]:
+        """Tree barrier: reduce a token to rank 0, broadcast it back."""
+        yield from self.allreduce(0, lambda a, b: 0)
+        return None
+
+    def scan(self, value: Any, op: Callable[[Any, Any], Any]) -> Generator[Event, Any, Any]:
+        """Inclusive prefix scan along rank order (linear algorithm)."""
+        acc = value
+        if self.rank > 0:
+            msg = yield self.recv(source=self.rank - 1, tag=self._COLL_TAG + 4)
+            acc = op(msg.data, value)
+        if self.rank < self.comm.size - 1:
+            yield self.send(self.rank + 1, acc, tag=self._COLL_TAG + 4)
+        return acc

@@ -1,0 +1,254 @@
+"""Deterministic discrete-event simulation kernel.
+
+The unplugged activities the corpus curates are dramatizations of parallel
+algorithms with "students as processors" (paper §III).  This kernel is the
+simulated classroom those dramatizations run on: a process-based
+discrete-event simulator in the style of SimPy, reduced to exactly what the
+activity simulations need and engineered for *determinism* -- same seed and
+program, same trace, every run -- because the activities teach
+non-determinism by exploring schedules explicitly, not by accident.
+
+Core concepts:
+
+* :class:`Simulator` -- the event loop: a heap of ``(time, seq, event)``
+  entries, where ``seq`` is a monotone tie-breaker making simultaneous
+  events fire in schedule order.
+* :class:`Event` -- a one-shot occurrence; callbacks run when it fires.
+* :class:`Process` -- a Python generator driven by the simulator.  The
+  generator *yields* events (e.g. ``sim.timeout(2)``, a channel receive,
+  a lock acquire) and is resumed with the event's value when it fires.
+* Deadlock detection -- when the event heap drains while processes are
+  still blocked, :meth:`Simulator.run` raises
+  :class:`~repro.errors.DeadlockError` naming them (the dining-philosophers
+  dramatization relies on this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import DeadlockError, SimulationError
+
+__all__ = ["Event", "Process", "Simulator", "ProcessGen"]
+
+ProcessGen = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event is *triggered* once, with an optional value; callbacks added
+    before triggering run when it fires, callbacks added after run
+    immediately at the current simulation time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_triggered", "_fired", "value", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._triggered = False   # scheduled to fire
+        self._fired = False       # callbacks have run
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event ``delay`` time units from now."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name or id(self)} already triggered")
+        self._triggered = True
+        self.value = value
+        self.sim._schedule(delay, self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._fired:
+            # Fire immediately (still via the queue to keep ordering sane).
+            immediate = Event(self.sim, name=f"immediate:{self.name}")
+            immediate.callbacks.append(lambda _e: fn(self))
+            immediate._triggered = True
+            self.sim._schedule(0.0, immediate)
+        else:
+            self.callbacks.append(fn)
+
+    def _fire(self) -> None:
+        self._fired = True
+        callbacks, self.callbacks = self.callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else ("triggered" if self._triggered else "pending")
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+
+class Process(Event):
+    """A generator-based simulated actor.
+
+    The process *is* an event: it triggers (with the generator's return
+    value) when the generator finishes, so processes can wait on each
+    other -- ``yield other_process``.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        sim._processes.append(self)
+        # Kick off at current time.
+        start = Event(sim, name=f"start:{self.name}")
+        start.callbacks.append(self._resume)
+        start._triggered = True
+        sim._schedule(0.0, start)
+
+    @property
+    def alive(self) -> bool:
+        return not self._triggered
+
+    @property
+    def waiting_on(self) -> Event | None:
+        return self._waiting_on
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            target = self._gen.send(event.value if event is not self else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another simulator"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The discrete-event loop."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self._processes: list[Process] = []
+
+    # -- event construction ---------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that fires ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        ev = Event(self, name=name or f"timeout({delay})")
+        ev._triggered = True
+        ev.value = value
+        self._schedule(delay, ev)
+        return ev
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Register a generator as a simulated process."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event], name: str = "any_of") -> Event:
+        """An event firing when the *first* input event fires.
+
+        The value is ``(index, value)`` of the winning event.  Later
+        firings of the other events are ignored by this combinator (their
+        own callbacks still run) -- the waiting process resumes exactly
+        once.  This is the select/timeout primitive: e.g.
+        ``yield sim.any_of([channel_recv, sim.timeout(5)])``.
+        """
+        events = list(events)
+        done = self.event(name)
+        if not events:
+            raise SimulationError("any_of needs at least one event")
+
+        def make_cb(i: int):
+            def cb(ev: Event) -> None:
+                if not done.triggered:
+                    done.succeed((i, ev.value))
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
+        """An event firing when every input event has fired (barrier join)."""
+        events = list(events)
+        done = self.event(name)
+        remaining = len(events)
+        if remaining == 0:
+            done.succeed([])
+            return done
+        values: list[Any] = [None] * remaining
+
+        def make_cb(i: int):
+            def cb(ev: Event) -> None:
+                nonlocal remaining
+                values[i] = ev.value
+                remaining -= 1
+                if remaining == 0:
+                    done.succeed(list(values))
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, delay: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def step(self) -> None:
+        time, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:  # pragma: no cover - guarded by negative-delay check
+            raise SimulationError("time went backwards")
+        self.now = time
+        event._fire()
+
+    def run(self, until: float | None = None, detect_deadlock: bool = True) -> float:
+        """Run until the heap drains (or simulated time passes ``until``).
+
+        Raises :class:`~repro.errors.DeadlockError` if the heap drains while
+        registered processes are still blocked on untriggered events.
+        Returns the final simulation time.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return self.now
+            self.step()
+        if detect_deadlock:
+            blocked = [p for p in self._processes if p.alive]
+            if blocked:
+                details = ", ".join(
+                    f"{p.name} waiting on {p.waiting_on.name if p.waiting_on else '?'}"
+                    for p in blocked
+                )
+                raise DeadlockError(
+                    f"deadlock: {len(blocked)} process(es) blocked with no "
+                    f"pending events ({details})"
+                )
+        return self.now

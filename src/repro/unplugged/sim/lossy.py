@@ -1,0 +1,103 @@
+"""An unreliable messenger: lossy channels and cancellable receives.
+
+The distributed-systems activities lean on unreliable messengers (the
+Byzantine game's couriers; the desert islands' mail).  This module
+provides the substrate to make message loss executable:
+
+* :class:`LossyChannel` -- a point-to-point channel that drops each
+  transmission with a deterministic, seeded probability and delivers the
+  rest after a configurable delay.  Receives are *cancellable*, so they
+  compose with :meth:`Simulator.any_of` for timeouts without leaking
+  waiters that would swallow later messages.
+* Retransmission protocols build on top -- see
+  :func:`repro.unplugged.unreliable_messenger.run_stop_and_wait`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.engine import Event, Simulator
+
+__all__ = ["LossyChannel"]
+
+
+class LossyChannel:
+    """A FIFO-delivery channel that loses transmissions with probability
+    ``loss_rate`` (decided by a seeded RNG, so runs are reproducible)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        loss_rate: float = 0.0,
+        delay: float = 1.0,
+        seed: int = 0,
+        name: str = "channel",
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError("loss rate must be in [0, 1)")
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        self.sim = sim
+        self.loss_rate = loss_rate
+        self.delay = delay
+        self.name = name
+        self._rng = np.random.default_rng(seed)
+        self._inbox: deque[Any] = deque()
+        self._waiters: deque[Event] = deque()
+        self.sent = 0
+        self.dropped = 0
+        self.delivered = 0
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, payload: Any) -> bool:
+        """Transmit; returns whether the messenger made it (the sender, of
+        course, cannot see this)."""
+        self.sent += 1
+        if self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return False
+        arrival = self.sim.timeout(self.delay, name=f"{self.name}.arrival")
+        arrival.add_callback(lambda _ev: self._deliver(payload))
+        return True
+
+    def _deliver(self, payload: Any) -> None:
+        self.delivered += 1
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:        # skip cancelled receives
+                waiter.succeed(payload)
+                return
+        self._inbox.append(payload)
+
+    # -- receiving -----------------------------------------------------------
+
+    def recv(self) -> Event:
+        """Receive the next message; compose with ``any_of`` for timeouts,
+        then call :meth:`cancel` on the losing receive."""
+        ev = self.sim.event(name=f"{self.name}.recv")
+        if self._inbox:
+            ev.succeed(self._inbox.popleft())
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def cancel(self, recv_event: Event) -> None:
+        """Withdraw a pending receive so it cannot swallow a later message."""
+        if recv_event.triggered:
+            return
+        try:
+            self._waiters.remove(recv_event)
+        except ValueError:
+            pass
+        # Mark triggered (with no value) so _deliver skips it defensively.
+        recv_event.succeed(None)
+
+    @property
+    def pending(self) -> int:
+        return len(self._inbox)

@@ -1,0 +1,136 @@
+"""Parallel performance metrics: the numbers the speedup analogies teach.
+
+ExamGradingSpeedup has students compute speedup and efficiency;
+RoadTripAmdahl has them find the plateau.  This module is the quantitative
+backbone: speedup, efficiency, Amdahl's and Gustafson's laws, the
+Karp-Flatt experimentally-determined serial fraction, Brent's theorem
+bounds from work and span, and the α-β phone-call cost calculation.
+Vectorized (numpy) variants back the benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "amdahl_speedup",
+    "amdahl_limit",
+    "gustafson_speedup",
+    "karp_flatt",
+    "brent_time_bounds",
+    "cost",
+    "is_cost_optimal",
+    "phone_call_cost",
+    "speedup_curve",
+]
+
+
+def speedup(t_serial: float, t_parallel: float) -> float:
+    """S = T1 / Tp."""
+    if t_serial <= 0 or t_parallel <= 0:
+        raise SimulationError("times must be positive")
+    return t_serial / t_parallel
+
+
+def efficiency(t_serial: float, t_parallel: float, workers: int) -> float:
+    """E = S / p."""
+    if workers < 1:
+        raise SimulationError("workers must be >= 1")
+    return speedup(t_serial, t_parallel) / workers
+
+
+def amdahl_speedup(serial_fraction: float, workers: int | np.ndarray) -> float | np.ndarray:
+    """Amdahl's law: S(p) = 1 / (s + (1-s)/p)."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise SimulationError("serial fraction must be in [0, 1]")
+    p = np.asarray(workers, dtype=float)
+    if np.any(p < 1):
+        raise SimulationError("workers must be >= 1")
+    result = 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+    return float(result) if np.isscalar(workers) or result.ndim == 0 else result
+
+
+def amdahl_limit(serial_fraction: float) -> float:
+    """The speedup plateau: lim p->inf S(p) = 1/s."""
+    if not 0.0 < serial_fraction <= 1.0:
+        raise SimulationError("serial fraction must be in (0, 1] for a finite limit")
+    return 1.0 / serial_fraction
+
+
+def gustafson_speedup(serial_fraction: float, workers: int | np.ndarray) -> float | np.ndarray:
+    """Gustafson's law (scaled speedup): S(p) = p - s * (p - 1)."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise SimulationError("serial fraction must be in [0, 1]")
+    p = np.asarray(workers, dtype=float)
+    result = p - serial_fraction * (p - 1.0)
+    return float(result) if np.isscalar(workers) or result.ndim == 0 else result
+
+
+def karp_flatt(measured_speedup: float, workers: int) -> float:
+    """The experimentally determined serial fraction e = (1/S - 1/p)/(1 - 1/p)."""
+    if workers < 2:
+        raise SimulationError("Karp-Flatt needs at least 2 workers")
+    if measured_speedup <= 0:
+        raise SimulationError("speedup must be positive")
+    return (1.0 / measured_speedup - 1.0 / workers) / (1.0 - 1.0 / workers)
+
+
+def brent_time_bounds(work: float, span: float, workers: int) -> tuple[float, float]:
+    """Brent's theorem: max(W/p, S) <= Tp <= W/p + S.
+
+    ``work`` is total operations (T1), ``span`` the critical path (Tinf).
+    """
+    if workers < 1:
+        raise SimulationError("workers must be >= 1")
+    if span > work:
+        raise SimulationError("span cannot exceed work")
+    lower = max(work / workers, span)
+    upper = work / workers + span
+    return lower, upper
+
+
+def cost(t_parallel: float, workers: int) -> float:
+    """Parallel cost C = p * Tp."""
+    return workers * t_parallel
+
+
+def is_cost_optimal(t_serial: float, t_parallel: float, workers: int,
+                    slack: float = 2.0) -> bool:
+    """Cost-optimal up to a constant factor: p*Tp <= slack * T1."""
+    return cost(t_parallel, workers) <= slack * t_serial
+
+
+def phone_call_cost(
+    messages: int | np.ndarray,
+    total_units: float,
+    alpha: float,
+    beta: float,
+) -> float | np.ndarray:
+    """Total cost of sending ``total_units`` of data in ``messages`` calls.
+
+    cost = messages * alpha + total_units * beta: the long-distance
+    phone-call arithmetic (many short calls pay alpha repeatedly).
+    """
+    m = np.asarray(messages, dtype=float)
+    if np.any(m < 1):
+        raise SimulationError("at least one message is required")
+    result = m * alpha + total_units * beta
+    return float(result) if np.isscalar(messages) or result.ndim == 0 else result
+
+
+def speedup_curve(t_serial: float, times_by_workers: dict[int, float]) -> dict[int, dict[str, float]]:
+    """Speedup/efficiency table for a measured scaling run."""
+    out: dict[int, dict[str, float]] = {}
+    for p in sorted(times_by_workers):
+        tp = times_by_workers[p]
+        s = speedup(t_serial, tp)
+        out[p] = {
+            "time": tp,
+            "speedup": s,
+            "efficiency": s / p,
+        }
+    return out

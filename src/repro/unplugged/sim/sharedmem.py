@@ -1,0 +1,288 @@
+"""Shared memory with dynamic race detection, plus an interleaving explorer.
+
+Two complementary tools for the race-condition activities:
+
+* :class:`SharedMemory` -- named cells that simulated actors read and
+  write, with an Eraser-style *lockset* race detector: for every location
+  it intersects the sets of locks held across accesses; when the candidate
+  set becomes empty while two different actors access the location (at
+  least one writing), the access pair is reported as a data race.  The
+  juice-robots simulation runs the unsynchronized schedule and the
+  detector flags it; re-run holding the kitchen lock and it stays silent.
+
+* :func:`explore_interleavings` -- exhaustive schedule enumeration for
+  small straight-line programs (sequences of atomic steps over a shared
+  state dict).  This is the operational complement to the assertional
+  view: it enumerates *every* interleaving, counts how many violate a
+  predicate, and returns witnesses.  The concert-tickets and bank-deposit
+  simulations use it to report exactly which schedules lose an update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import RaceConditionError, SimulationError
+
+__all__ = [
+    "Access",
+    "Race",
+    "SharedMemory",
+    "Step",
+    "InterleavingResult",
+    "explore_interleavings",
+    "count_interleavings",
+]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One recorded memory access."""
+
+    location: str
+    actor: str
+    kind: str            # "read" | "write"
+    value: Any
+    locks: frozenset[str]
+    index: int           # global access sequence number
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "write"
+
+
+@dataclass(frozen=True)
+class Race:
+    """A detected data race: two conflicting, unordered accesses."""
+
+    location: str
+    first: Access
+    second: Access
+
+    def describe(self) -> str:
+        return (
+            f"race on {self.location!r}: {self.first.actor} {self.first.kind} "
+            f"(locks={sorted(self.first.locks)}) vs {self.second.actor} "
+            f"{self.second.kind} (locks={sorted(self.second.locks)})"
+        )
+
+
+class SharedMemory:
+    """Named shared cells with lockset-based race detection.
+
+    ``on_race`` selects the reaction: ``"record"`` (default) accumulates
+    races in :attr:`races`; ``"raise"`` raises
+    :class:`~repro.errors.RaceConditionError` at the racy access.
+    """
+
+    def __init__(self, on_race: str = "record"):
+        if on_race not in ("record", "raise", "ignore"):
+            raise SimulationError(f"unknown race policy {on_race!r}")
+        self.on_race = on_race
+        self._cells: dict[str, Any] = {}
+        self._held: dict[str, set[str]] = {}          # actor -> locks held
+        self.accesses: list[Access] = []
+        self.races: list[Race] = []
+        # Per-location detector state.
+        self._candidate_locks: dict[str, frozenset[str] | None] = {}
+        self._last_conflicting: dict[str, Access] = {}
+        self._accessors: dict[str, set[str]] = {}
+        self._writers: dict[str, set[str]] = {}
+        self._reported: set[str] = set()
+
+    # -- lock bookkeeping ------------------------------------------------------
+
+    def lock_acquired(self, actor: str, lock: str) -> None:
+        self._held.setdefault(actor, set()).add(lock)
+
+    def lock_released(self, actor: str, lock: str) -> None:
+        held = self._held.get(actor, set())
+        if lock not in held:
+            raise SimulationError(f"{actor} released lock {lock!r} it does not hold")
+        held.remove(lock)
+
+    def locks_of(self, actor: str) -> frozenset[str]:
+        return frozenset(self._held.get(actor, ()))
+
+    # -- accesses ---------------------------------------------------------------
+
+    def read(self, location: str, actor: str) -> Any:
+        value = self._cells.get(location)
+        self._record(location, actor, "read", value)
+        return value
+
+    def write(self, location: str, actor: str, value: Any) -> None:
+        self._cells[location] = value
+        self._record(location, actor, "write", value)
+
+    def peek(self, location: str) -> Any:
+        """Read without recording (for assertions and reporting)."""
+        return self._cells.get(location)
+
+    def poke(self, location: str, value: Any) -> None:
+        """Initialize a location without recording an access."""
+        self._cells[location] = value
+
+    def _record(self, location: str, actor: str, kind: str, value: Any) -> None:
+        access = Access(
+            location=location,
+            actor=actor,
+            kind=kind,
+            value=value,
+            locks=self.locks_of(actor),
+            index=len(self.accesses),
+        )
+        self.accesses.append(access)
+        self._detect(access)
+
+    def _detect(self, access: Access) -> None:
+        loc = access.location
+        self._accessors.setdefault(loc, set()).add(access.actor)
+        if access.is_write:
+            self._writers.setdefault(loc, set()).add(access.actor)
+
+        candidate = self._candidate_locks.get(loc)
+        if candidate is None and loc not in self._candidate_locks:
+            self._candidate_locks[loc] = access.locks
+        else:
+            self._candidate_locks[loc] = (candidate or frozenset()) & access.locks
+
+        conflicting = (
+            len(self._accessors[loc]) > 1
+            and bool(self._writers.get(loc))
+            and not self._candidate_locks[loc]
+        )
+        prev = self._last_conflicting.get(loc)
+        if conflicting and prev is not None and prev.actor != access.actor \
+                and (prev.is_write or access.is_write) and loc not in self._reported:
+            race = Race(location=loc, first=prev, second=access)
+            self._reported.add(loc)
+            if self.on_race == "raise":
+                self.races.append(race)
+                raise RaceConditionError(race.describe(), races=[race])
+            if self.on_race == "record":
+                self.races.append(race)
+        self._last_conflicting[loc] = access
+
+    @property
+    def racy_locations(self) -> list[str]:
+        return sorted({r.location for r in self.races})
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive interleaving exploration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Step:
+    """One atomic step of an actor's straight-line program.
+
+    ``action`` mutates (or reads into thread-local scratch) the shared
+    ``state`` dict; ``label`` names the step in schedule witnesses.
+    """
+
+    label: str
+    action: Callable[[dict], None]
+
+
+@dataclass
+class InterleavingResult:
+    """Outcome of exhaustive interleaving exploration."""
+
+    total: int = 0
+    violating: int = 0
+    witnesses: list[tuple[str, ...]] = field(default_factory=list)
+    outcomes: dict[Any, int] = field(default_factory=dict)
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violating / self.total if self.total else 0.0
+
+
+def count_interleavings(lengths: Sequence[int]) -> int:
+    """Number of interleavings of programs with the given step counts.
+
+    The multinomial coefficient (sum n_i)! / prod(n_i!) -- the class can
+    check the explosion by hand for two 3-step robots (20 schedules).
+    """
+    import math
+
+    total = sum(lengths)
+    out = math.factorial(total)
+    for n in lengths:
+        out //= math.factorial(n)
+    return out
+
+
+def explore_interleavings(
+    programs: dict[str, Sequence[Step]],
+    initial_state: dict,
+    violates: Callable[[dict], bool],
+    outcome: Callable[[dict], Any] | None = None,
+    max_schedules: int = 200_000,
+) -> InterleavingResult:
+    """Run every interleaving of the programs' atomic steps.
+
+    ``programs`` maps actor name to its step sequence.  For each schedule
+    (a merge of the programs preserving per-actor order) the steps run on a
+    fresh copy of ``initial_state``; ``violates(state)`` marks bad final
+    states and ``outcome(state)`` (optional) buckets final states for the
+    outcome histogram.  Schedules are generated deterministically in
+    lexicographic actor order.
+    """
+    names = sorted(programs)
+    lengths = [len(programs[n]) for n in names]
+    if count_interleavings(lengths) > max_schedules:
+        raise SimulationError(
+            f"{count_interleavings(lengths)} interleavings exceed the "
+            f"max_schedules bound of {max_schedules}"
+        )
+
+    result = InterleavingResult()
+    sequence = []
+    for name, n in zip(names, lengths):
+        sequence.extend([name] * n)
+
+    for schedule in _distinct_permutations(sequence):
+        state = dict(initial_state)
+        counters = {name: 0 for name in names}
+        labels: list[str] = []
+        for actor in schedule:
+            step = programs[actor][counters[actor]]
+            counters[actor] += 1
+            step.action(state)
+            labels.append(f"{actor}.{step.label}")
+        result.total += 1
+        if violates(state):
+            result.violating += 1
+            if len(result.witnesses) < 10:
+                result.witnesses.append(tuple(labels))
+        if outcome is not None:
+            key = outcome(state)
+            result.outcomes[key] = result.outcomes.get(key, 0) + 1
+    return result
+
+
+def _distinct_permutations(items: Sequence[str]) -> Iterable[tuple[str, ...]]:
+    """Distinct permutations of a multiset, in lexicographic order."""
+    pool = sorted(items)
+    n = len(pool)
+    if n == 0:
+        yield ()
+        return
+    current = list(pool)
+    while True:
+        yield tuple(current)
+        # Next lexicographic permutation (Narayana's algorithm).
+        i = n - 2
+        while i >= 0 and current[i] >= current[i + 1]:
+            i -= 1
+        if i < 0:
+            return
+        j = n - 1
+        while current[j] <= current[i]:
+            j -= 1
+        current[i], current[j] = current[j], current[i]
+        current[i + 1:] = reversed(current[i + 1:])

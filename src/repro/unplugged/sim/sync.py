@@ -1,0 +1,191 @@
+"""Synchronization primitives for the simulated classroom.
+
+Locks, semaphores, barriers, and a FIFO store (bounded buffer), all built
+on the event kernel.  These are the constructs the curated activities
+dramatize -- the relay activity's pen is a :class:`Lock`, the dining
+philosophers' pens are five locks whose circular acquisition the engine's
+deadlock detector exposes, and pipeline hand-offs are :class:`Store`\\ s.
+
+All primitives are FIFO-fair: waiters are served in arrival order, which
+keeps simulations deterministic and lets tests assert exact schedules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.engine import Event, Simulator
+
+__all__ = ["Lock", "Semaphore", "Barrier", "Store"]
+
+
+class Lock:
+    """A FIFO mutual-exclusion lock.
+
+    Usage inside a process::
+
+        yield lock.acquire("alice")
+        ...critical section...
+        lock.release("alice")
+    """
+
+    def __init__(self, sim: Simulator, name: str = "lock"):
+        self.sim = sim
+        self.name = name
+        self.owner: str | None = None
+        self._waiters: deque[tuple[str, Event]] = deque()
+        self.acquisitions = 0
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+    def acquire(self, actor: str) -> Event:
+        """Request the lock; the returned event fires when it is held."""
+        ev = self.sim.event(name=f"{self.name}.acquire({actor})")
+        if self.owner is None and not self._waiters:
+            self.owner = actor
+            self.acquisitions += 1
+            ev.succeed(actor)
+        else:
+            self._waiters.append((actor, ev))
+        return ev
+
+    def release(self, actor: str) -> None:
+        if self.owner != actor:
+            raise SimulationError(
+                f"{self.name}: {actor!r} released a lock owned by {self.owner!r}"
+            )
+        if self._waiters:
+            next_actor, ev = self._waiters.popleft()
+            self.owner = next_actor
+            self.acquisitions += 1
+            ev.succeed(next_actor)
+        else:
+            self.owner = None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Semaphore:
+    """A counting semaphore with FIFO waiters."""
+
+    def __init__(self, sim: Simulator, value: int, name: str = "sem"):
+        if value < 0:
+            raise SimulationError("semaphore initial value must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._value = value
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Event:
+        ev = self.sim.event(name=f"{self.name}.acquire")
+        if self._value > 0:
+            self._value -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._value += 1
+
+
+class Barrier:
+    """A reusable cyclic barrier for ``parties`` processes.
+
+    ``yield barrier.wait()`` blocks until all parties of the current
+    generation have arrived; the event's value is the generation number.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise SimulationError("barrier needs at least one party")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self.generation = 0
+        self._arrived: list[Event] = []
+
+    def wait(self) -> Event:
+        ev = self.sim.event(name=f"{self.name}.wait(gen={self.generation})")
+        self._arrived.append(ev)
+        if len(self._arrived) == self.parties:
+            generation = self.generation
+            self.generation += 1
+            arrived, self._arrived = self._arrived, []
+            for waiter in arrived:
+                waiter.succeed(generation)
+        return ev
+
+    @property
+    def waiting(self) -> int:
+        return len(self._arrived)
+
+
+class Store:
+    """A FIFO buffer connecting producers and consumers.
+
+    ``capacity=None`` means unbounded.  ``put`` blocks when full, ``get``
+    blocks when empty -- the synchronized queue CS2013 PCC outcome 6 asks
+    about, and the hand-off between pipeline stages.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int | None = None, name: str = "store"):
+        if capacity is not None and capacity < 1:
+            raise SimulationError("store capacity must be >= 1 (or None)")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Any, Event]] = deque()
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        ev = self.sim.event(name=f"{self.name}.put")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.total_put += 1
+            ev.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            self.total_put += 1
+            ev.succeed()
+        else:
+            self._putters.append((item, ev))
+        return ev
+
+    def get(self) -> Event:
+        ev = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                pending_item, put_ev = self._putters.popleft()
+                self._items.append(pending_item)
+                self.total_put += 1
+                put_ev.succeed()
+            ev.succeed(item)
+        elif self._putters:
+            pending_item, put_ev = self._putters.popleft()
+            self.total_put += 1
+            put_ev.succeed()
+            ev.succeed(pending_item)
+        else:
+            self._getters.append(ev)
+        return ev

@@ -1,0 +1,162 @@
+"""Interconnection-network topologies for the simulated classroom.
+
+The TopologyYarnWeb activity builds rings, stars, meshes, and hypercubes
+out of yarn; this module is its executable counterpart.  A
+:class:`Topology` wraps a networkx graph whose nodes are ranks ``0..n-1``
+and answers the questions the activity asks with bodies and bead-routing:
+
+* how many hops between two students (:meth:`hops`),
+* the worst case over all pairs (:meth:`diameter`),
+* how many strands you can cut before someone is isolated
+  (:meth:`edge_connectivity`), and which single cut disconnects the
+  network (:meth:`survives_edge_cut`).
+
+Topologies plug into :class:`~repro.unplugged.sim.comm.Communicator` as
+the hop model, so message costs reflect the network shape.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import SimulationError
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """An interconnect over ranks ``0..n-1``."""
+
+    def __init__(self, graph: nx.Graph, name: str = "custom"):
+        if graph.number_of_nodes() == 0:
+            raise SimulationError("topology must have at least one node")
+        expected = set(range(graph.number_of_nodes()))
+        if set(graph.nodes) != expected:
+            raise SimulationError("topology nodes must be ranks 0..n-1")
+        self.graph = graph
+        self.name = name
+        self._dist: dict[int, dict[int, int]] | None = None
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def ring(cls, n: int) -> "Topology":
+        if n < 3:
+            raise SimulationError("a ring needs at least 3 nodes")
+        return cls(nx.cycle_graph(n), name=f"ring({n})")
+
+    @classmethod
+    def line(cls, n: int) -> "Topology":
+        if n < 2:
+            raise SimulationError("a line needs at least 2 nodes")
+        return cls(nx.path_graph(n), name=f"line({n})")
+
+    @classmethod
+    def star(cls, n: int) -> "Topology":
+        """Star with rank 0 at the hub and n-1 leaves."""
+        if n < 2:
+            raise SimulationError("a star needs at least 2 nodes")
+        return cls(nx.star_graph(n - 1), name=f"star({n})")
+
+    @classmethod
+    def mesh(cls, rows: int, cols: int) -> "Topology":
+        if rows < 1 or cols < 1:
+            raise SimulationError("mesh dimensions must be positive")
+        grid = nx.grid_2d_graph(rows, cols)
+        mapping = {(r, c): r * cols + c for r, c in grid.nodes}
+        return cls(nx.relabel_nodes(grid, mapping), name=f"mesh({rows}x{cols})")
+
+    @classmethod
+    def torus(cls, rows: int, cols: int) -> "Topology":
+        if rows < 3 or cols < 3:
+            raise SimulationError("torus dimensions must be >= 3")
+        grid = nx.grid_2d_graph(rows, cols, periodic=True)
+        mapping = {(r, c): r * cols + c for r, c in grid.nodes}
+        return cls(nx.relabel_nodes(grid, mapping), name=f"torus({rows}x{cols})")
+
+    @classmethod
+    def hypercube(cls, dimension: int) -> "Topology":
+        if dimension < 1:
+            raise SimulationError("hypercube dimension must be >= 1")
+        return cls(_hypercube(dimension), name=f"hypercube({dimension})")
+
+    @classmethod
+    def complete(cls, n: int) -> "Topology":
+        if n < 2:
+            raise SimulationError("a complete graph needs at least 2 nodes")
+        return cls(nx.complete_graph(n), name=f"complete({n})")
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        return self.graph.number_of_edges()
+
+    def _distances(self) -> dict[int, dict[int, int]]:
+        if self._dist is None:
+            self._dist = {
+                src: dict(lengths)
+                for src, lengths in nx.all_pairs_shortest_path_length(self.graph)
+            }
+        return self._dist
+
+    def hops(self, src: int, dst: int) -> int:
+        """Shortest hop count between two ranks."""
+        if src == dst:
+            return 0
+        try:
+            return self._distances()[src][dst]
+        except KeyError:
+            raise SimulationError(f"no path from {src} to {dst}") from None
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """One shortest path, as the bead would travel."""
+        return nx.shortest_path(self.graph, src, dst)
+
+    def diameter(self) -> int:
+        return max(max(row.values()) for row in self._distances().values())
+
+    def average_hops(self) -> float:
+        dist = self._distances()
+        n = self.size
+        if n < 2:
+            return 0.0
+        total = sum(sum(row.values()) for row in dist.values())
+        return total / (n * (n - 1))
+
+    def degree(self, rank: int) -> int:
+        return self.graph.degree(rank)
+
+    def edge_connectivity(self) -> int:
+        """Strands that must be cut to disconnect the network."""
+        return nx.edge_connectivity(self.graph)
+
+    def survives_edge_cut(self, u: int, v: int) -> bool:
+        """Does the network stay connected if the (u, v) strand is cut?"""
+        if not self.graph.has_edge(u, v):
+            raise SimulationError(f"no link between {u} and {v}")
+        trimmed = self.graph.copy()
+        trimmed.remove_edge(u, v)
+        return nx.is_connected(trimmed)
+
+    def bisection_width_estimate(self) -> int:
+        """Edges crossing the balanced rank-order bisection (exact for the
+        standard topologies built by the constructors)."""
+        half = set(range(self.size // 2))
+        return sum(1 for u, v in self.graph.edges if (u in half) != (v in half))
+
+
+def _hypercube(dimension: int) -> nx.Graph:
+    """Hypercube with integer rank labels (bit-adjacency)."""
+    n = 1 << dimension
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for node in range(n):
+        for bit in range(dimension):
+            neighbor = node ^ (1 << bit)
+            graph.add_edge(node, neighbor)
+    return graph

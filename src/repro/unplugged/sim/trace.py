@@ -1,0 +1,92 @@
+"""Execution traces and their classroom-friendly rendering.
+
+Every activity simulation returns a :class:`Trace`: a time-ordered list of
+:class:`TraceEvent` records (who did what, when).  The text Gantt renderer
+produces the same picture an instructor draws on the board -- one row per
+student, one column per time step -- so a simulation run can be projected
+during the unplugged activity it models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["TraceEvent", "Trace", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded action."""
+
+    time: float
+    actor: str
+    kind: str
+    detail: str = ""
+    data: Any = None
+
+
+@dataclass
+class Trace:
+    """An append-only, queryable event log."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, time: float, actor: str, kind: str,
+               detail: str = "", data: Any = None) -> None:
+        self.events.append(TraceEvent(time, actor, kind, detail, data))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def by_actor(self, actor: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.actor == actor]
+
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def actors(self) -> list[str]:
+        return sorted({e.actor for e in self.events})
+
+    @property
+    def makespan(self) -> float:
+        return max((e.time for e in self.events), default=0.0)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def where(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        return [e for e in self.events if predicate(e)]
+
+
+def render_gantt(
+    trace: Trace,
+    symbol: Callable[[TraceEvent], str] | None = None,
+    slot: float = 1.0,
+    max_width: int = 100,
+) -> str:
+    """Render a trace as a text Gantt chart (rows = actors, cols = time).
+
+    ``symbol`` maps an event to a single display character (default: the
+    first letter of its kind).  Events landing in the same cell keep the
+    latest symbol.  Time is bucketed into ``slot``-sized columns.
+    """
+    if not trace.events:
+        return "(empty trace)"
+    symbol = symbol or (lambda e: (e.kind[:1] or "?"))
+    actors = trace.actors()
+    columns = int(trace.makespan / slot) + 1
+    columns = min(columns, max_width)
+    grid = {a: ["."] * columns for a in actors}
+    for event in trace.events:
+        col = min(int(event.time / slot), columns - 1)
+        grid[event.actor][col] = symbol(event)[:1]
+    width = max(len(a) for a in actors)
+    header = " " * (width + 2) + "".join(str(i % 10) for i in range(columns))
+    lines = [header]
+    for actor in actors:
+        lines.append(f"{actor.rjust(width)}  {''.join(grid[actor])}")
+    return "\n".join(lines)

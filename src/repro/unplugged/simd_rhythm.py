@@ -1,0 +1,83 @@
+"""RhythmClapSIMD: the lockstep percussion demonstration, executable.
+
+A conductor calls one instruction per beat and every student executes it
+on their own hands -- SIMD.  Masking (only students matching a predicate
+play) and the MIMD contrast (everyone follows their own rhythm card) are
+the two variations the activity stages.  The simulation builds the cost
+model the demonstration embodies:
+
+* SIMD: beats = instructions; masked students burn the beat idle, so
+  *utilization* drops with divergence even though time doesn't.
+* MIMD: every student finishes their own card independently; time is the
+  longest card, and a conductor is no longer needed (asynchrony).
+
+Flynn's distinction becomes two numbers: lockstep beats vs per-student
+finish spread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+
+__all__ = ["run_rhythm_clap"]
+
+
+def run_rhythm_clap(
+    classroom: Classroom,
+    beats: int = 32,
+    mask_fraction: float = 0.5,
+) -> ActivityResult:
+    """Play one SIMD piece (with a masked section) and one MIMD piece."""
+    n = classroom.size
+    if not 0.0 <= mask_fraction <= 1.0:
+        raise SimulationError("mask fraction must be in [0, 1]")
+    if beats < 4:
+        raise SimulationError("need at least four beats")
+    rng = np.random.default_rng(classroom.seed + 401)
+    result = ActivityResult(activity="RhythmClapSIMD", classroom_size=n)
+
+    # --- SIMD: one instruction stream, all students in lockstep. -------------
+    # A contiguous middle section is predicated (e.g. "only glasses-wearers").
+    masked_span = (beats // 4, beats // 4 + beats // 2)
+    masked_students = set(
+        int(i) for i in rng.choice(n, size=int(n * mask_fraction), replace=False)
+    )
+    executed = 0
+    idle = 0
+    for beat in range(beats):
+        in_masked_section = masked_span[0] <= beat < masked_span[1]
+        for student in range(n):
+            if in_masked_section and student in masked_students:
+                idle += 1
+            else:
+                executed += 1
+    simd_beats = beats                        # lockstep: time == instructions
+    utilization = executed / (beats * n)
+
+    # --- MIMD: every student gets their own rhythm card. ----------------------
+    cards = rng.integers(beats // 2, beats + beats // 2, size=n)
+    finishes = np.array([
+        int(cards[i]) for i in range(n)
+    ], dtype=float)
+    mimd_time = float(finishes.max())
+    finish_spread = float(finishes.max() - finishes.min())
+
+    result.metrics = {
+        "students": n,
+        "simd_beats": simd_beats,
+        "masked_students": len(masked_students),
+        "simd_utilization": utilization,
+        "mimd_time": mimd_time,
+        "mimd_finish_spread": finish_spread,
+    }
+    expected_idle = len(masked_students) * (masked_span[1] - masked_span[0])
+    result.require("mask_idles_exactly_the_predicated",
+                   idle == expected_idle)
+    result.require("divergence_costs_utilization",
+                   utilization < 1.0 if masked_students else utilization == 1.0)
+    result.require("simd_time_is_instruction_count", simd_beats == beats)
+    result.require("mimd_desynchronizes", finish_spread > 0 or n == 1)
+    return result

@@ -1,0 +1,91 @@
+"""SpeedupJigsaw: the Chitra-Ghafoor active-learning race, executable.
+
+Teams assemble identical jigsaw puzzles with 1, 2 and 4 assemblers and
+log completion times on the board.  A puzzle is secretly a task graph: a
+piece can be placed only next to an already-placed piece, so the frame
+chain is sequential-ish while the interior fans out.  The simulation
+builds that DAG, list-schedules it for each team size, and produces the
+speedup/efficiency table the class computes -- including the declining
+efficiency (edge contention + dependency structure) the activity is
+designed to surface.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.dag import TaskGraph
+
+__all__ = ["run_speedup_jigsaw", "build_puzzle_graph"]
+
+
+def build_puzzle_graph(rows: int, cols: int, piece_time: float = 1.0) -> TaskGraph:
+    """The placement DAG of a rows x cols puzzle.
+
+    The top-left corner anchors the picture; every other piece depends on
+    its upper or left neighbor (whichever exists), matching how
+    assemblers actually grow a puzzle from a placed region.
+    """
+    if rows < 2 or cols < 2:
+        raise SimulationError("a puzzle needs at least 2x2 pieces")
+    g = TaskGraph()
+    for r in range(rows):
+        for c in range(cols):
+            deps = []
+            if r > 0:
+                deps.append(f"p{r - 1}.{c}")
+            if c > 0:
+                deps.append(f"p{r}.{c - 1}")
+            # Frame pieces are quicker to recognize than interior ones.
+            on_frame = r in (0, rows - 1) or c in (0, cols - 1)
+            duration = piece_time * (0.7 if on_frame else 1.0)
+            g.add_task(f"p{r}.{c}", duration, deps=deps)
+    return g
+
+
+def run_speedup_jigsaw(
+    classroom: Classroom,
+    rows: int = 8,
+    cols: int = 8,
+) -> ActivityResult:
+    """Race the same puzzle with 1, 2 and 4 assemblers."""
+    if classroom.size < 4:
+        raise SimulationError("the race needs at least 4 students")
+    graph = build_puzzle_graph(rows, cols)
+    result = ActivityResult(activity="SpeedupJigsaw",
+                            classroom_size=classroom.size)
+
+    times: dict[int, float] = {}
+    for team in (1, 2, 4):
+        schedule = graph.list_schedule(team)
+        graph.verify_schedule(schedule)
+        times[team] = schedule.makespan
+        for entry in schedule.timeline(0)[:3]:
+            result.trace.record(entry.start,
+                                classroom.student(entry.worker % classroom.size),
+                                "place", f"team={team}: {entry.task}")
+
+    speedups = {t: times[1] / times[t] for t in times}
+    efficiencies = {t: speedups[t] / t for t in times}
+
+    result.metrics = {
+        "pieces": len(graph),
+        "work": graph.work,
+        "span": graph.span,
+        "times": times,
+        "speedups": speedups,
+        "efficiencies": efficiencies,
+        "max_parallelism": graph.max_parallelism(),
+    }
+    result.require("single_assembler_time_is_work",
+                   abs(times[1] - graph.work) < 1e-9)
+    result.require("teams_always_faster",
+                   times[4] < times[2] < times[1])
+    result.require("efficiency_declines",
+                   efficiencies[4] < efficiencies[2] <= efficiencies[1] + 1e-9)
+    result.require("span_is_the_wall",
+                   all(t >= graph.span - 1e-9 for t in times.values()))
+    # The dependency structure (not the assemblers) caps the speedup.
+    result.require("speedup_below_average_parallelism",
+                   speedups[4] <= graph.max_parallelism() + 1e-9)
+    return result

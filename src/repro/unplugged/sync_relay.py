@@ -1,0 +1,119 @@
+"""SynchronizationRelay: Chesebrough & Turner's construct comparison.
+
+Teams pass a pen (the lock) under three hand-off disciplines; the class
+times each and compares wasted effort -- CS2013 outcome PF-2, "multiple
+sufficient programming constructs for synchronization ... with
+complementary advantages":
+
+* **busy-wait** -- the next runner polls the exchange zone every tick:
+  lowest hand-off latency, most wasted checks.
+* **signal** -- the finishing runner taps the next awake (a condition
+  signal): zero wasted checks, hand-off costs a tap.
+* **tray** -- the pen goes into a tray the next runner checks on a
+  schedule (semaphore-ish): no tapping, latency up to a whole polling
+  period.
+
+The simulation counts both total relay time and wasted polls, so the
+trade-off is a table rather than an assertion of one winner.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.engine import Simulator
+
+__all__ = ["run_synchronization_relay"]
+
+
+def _relay(
+    classroom: Classroom,
+    runners: int,
+    leg_time: float,
+    scheme: str,
+    poll_period: float,
+    tap_time: float,
+) -> tuple[float, int]:
+    """Run one relay; returns (finish time, wasted polls)."""
+    sim = Simulator()
+    polls = 0
+    handed = [sim.event(name=f"handoff{i}") for i in range(runners + 1)]
+    handed[0].succeed()                    # the starting gun
+
+    def runner(i: int):
+        nonlocal polls
+        if scheme == "busy-wait":
+            # Poll the zone every tick until the predecessor arrives.
+            while not handed[i].fired:
+                polls += 1
+                yield sim.timeout(poll_period)
+        elif scheme == "signal":
+            yield handed[i]                # woken by the tap, no polling
+        elif scheme == "tray":
+            # Check the tray on a fixed schedule.
+            while not handed[i].fired:
+                polls += 1
+                yield sim.timeout(poll_period * 4)
+        else:
+            raise SimulationError(f"unknown scheme {scheme!r}")
+        yield sim.timeout(leg_time * classroom.step_time(i % classroom.size))
+        if scheme == "signal":
+            yield sim.timeout(tap_time)    # walking over to tap costs time
+        handed[i + 1].succeed()
+
+    for i in range(runners):
+        sim.process(runner(i), name=f"runner{i}")
+    sim.run(detect_deadlock=False)
+    return sim.now, polls
+
+
+def run_synchronization_relay(
+    classroom: Classroom,
+    runners: int | None = None,
+    leg_time: float = 5.0,
+    poll_period: float = 0.25,
+    tap_time: float = 0.5,
+) -> ActivityResult:
+    """Time the relay under all three disciplines."""
+    n = runners or min(classroom.size, 8)
+    if n < 2:
+        raise SimulationError("a relay needs at least two runners")
+
+    result = ActivityResult(activity="SynchronizationRelay",
+                            classroom_size=classroom.size)
+    outcomes = {
+        scheme: _relay(classroom, n, leg_time, scheme, poll_period, tap_time)
+        for scheme in ("busy-wait", "signal", "tray")
+    }
+
+    times = {s: t for s, (t, _) in outcomes.items()}
+    polls = {s: p for s, (_, p) in outcomes.items()}
+
+    total_legs = sum(
+        leg_time * classroom.step_time(i % classroom.size) for i in range(n)
+    )
+    result.metrics = {
+        "runners": n,
+        "times": times,
+        "wasted_polls": polls,
+        "pure_running_time": total_legs,
+    }
+    # The complementary-advantages table the activity builds.  Each
+    # discipline's time is the running time plus its hand-off overhead;
+    # the bounds below are exact consequences of the model.
+    result.require("signal_wastes_no_polls", polls["signal"] == 0)
+    result.require("busy_wait_wastes_most_polls",
+                   polls["busy-wait"] > polls["tray"] > 0)
+    result.require(
+        "signal_time_exact",
+        abs(times["signal"] - (total_legs + n * tap_time)) < 1e-9,
+    )
+    result.require(
+        "busy_wait_latency_bounded",
+        total_legs <= times["busy-wait"] <= total_legs + n * poll_period + 1e-9,
+    )
+    result.require(
+        "tray_latency_bounded",
+        total_legs <= times["tray"] <= total_legs + n * 4 * poll_period + 1e-9,
+    )
+    return result

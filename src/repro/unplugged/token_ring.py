@@ -1,0 +1,108 @@
+"""SelfStabilizingTokenRing: Dijkstra's K-state protocol, executable.
+
+The Sivilotti-Demirbas outreach activity: students in a circle hold
+counter values; student 0 (the "bottom" machine) holds a token when her
+counter equals her predecessor's, everyone else when their counter
+*differs* from their predecessor's.  Firing a token advances the counter,
+passing the token on.  A gremlin may corrupt every counter arbitrarily --
+and the system still converges to exactly one circulating token, which is
+the fault-tolerance punchline.
+
+Dijkstra's protocol (K >= n states): machine 0 fires when ``c[0] == c[n-1]``
+(sets ``c[0] = (c[0]+1) % K``); machine i>0 fires when ``c[i] != c[i-1]``
+(sets ``c[i] = c[i-1]``).  A machine holds "the token" iff it is enabled;
+legitimate states have exactly one enabled machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+
+__all__ = ["run_token_ring", "enabled_machines"]
+
+
+def enabled_machines(counters: list[int], k: int) -> list[int]:
+    """Indices of machines holding a token (enabled to fire)."""
+    n = len(counters)
+    enabled = []
+    if counters[0] == counters[n - 1]:
+        enabled.append(0)
+    for i in range(1, n):
+        if counters[i] != counters[i - 1]:
+            enabled.append(i)
+    return enabled
+
+
+def run_token_ring(
+    classroom: Classroom,
+    corruptions: int = 5,
+    horizon_factor: int = 20,
+) -> ActivityResult:
+    """Run the protocol through ``corruptions`` gremlin attacks.
+
+    After each corruption the ring runs under a randomized (seeded)
+    central daemon until it stabilizes; we record stabilization times and
+    verify closure (once legal, always legal) over a trailing window.
+    """
+    n = classroom.size
+    if n < 2:
+        raise SimulationError("token ring needs at least 2 students")
+    k = n + 1                      # K >= n guarantees self-stabilization
+    rng = np.random.default_rng(classroom.seed + 17)
+    result = ActivityResult(activity="SelfStabilizingTokenRing", classroom_size=n)
+
+    counters = [0] * n             # a legitimate state (only machine 0 enabled)
+    stabilization_steps: list[int] = []
+    always_stabilized = True
+    closure_ok = True
+    mutual_exclusion_ok = True
+    horizon = horizon_factor * n * k
+
+    for attack in range(corruptions):
+        # Gremlin corrupts every counter.
+        counters = [int(rng.integers(k)) for _ in range(n)]
+        steps = 0
+        stabilized_at: int | None = None
+        while steps < horizon:
+            enabled = enabled_machines(counters, k)
+            if len(enabled) == 1 and stabilized_at is None:
+                stabilized_at = steps
+            if stabilized_at is not None and len(enabled) != 1:
+                closure_ok = False     # left the legal set after entering it
+            if not enabled:            # cannot happen in Dijkstra's protocol
+                mutual_exclusion_ok = False
+                break
+            fire = enabled[int(rng.integers(len(enabled)))]
+            if fire == 0:
+                counters[0] = (counters[0] + 1) % k
+            else:
+                counters[fire] = counters[fire - 1]
+            steps += 1
+            result.trace.record(
+                float(steps), classroom.student(fire), "fire",
+                f"attack {attack + 1}",
+            )
+            # Run a while past stabilization to exercise closure.
+            if stabilized_at is not None and steps >= stabilized_at + 3 * n:
+                break
+        if stabilized_at is None:
+            always_stabilized = False
+            stabilization_steps.append(horizon)
+        else:
+            stabilization_steps.append(stabilized_at)
+
+    arr = np.array(stabilization_steps)
+    result.metrics = {
+        "corruptions": corruptions,
+        "k_states": k,
+        "min_stabilization_steps": int(arr.min()),
+        "max_stabilization_steps": int(arr.max()),
+        "mean_stabilization_steps": float(arr.mean()),
+    }
+    result.require("always_stabilizes", always_stabilized)
+    result.require("closure_once_legal", closure_ok)
+    result.require("at_least_one_token_always", mutual_exclusion_ok)
+    return result

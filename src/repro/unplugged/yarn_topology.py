@@ -1,0 +1,94 @@
+"""TopologyYarnWeb: the interconnection-network building game, executable.
+
+Students holding yarn build a ring, a star, a mesh, and (for power-of-two
+classes) a hypercube; a bead is routed hop by hop, and cutting a strand
+tests fault tolerance.  The simulation builds the same networks over the
+classroom, routes the same bead, and tabulates what the class counts:
+hops between the chosen pair, diameter, strands used, and whether one cut
+disconnects anyone -- plus the cost trade-off (strands bought vs hops
+paid) that makes "which network is best?" a real discussion.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom
+from repro.unplugged.sim.topology import Topology
+
+__all__ = ["run_topology_yarn"]
+
+
+def _buildable(n: int) -> dict[str, Topology]:
+    nets: dict[str, Topology] = {}
+    if n >= 3:
+        nets["ring"] = Topology.ring(n)
+    if n >= 2:
+        nets["star"] = Topology.star(n)
+    rows = int(math.isqrt(n))
+    while rows > 1 and n % rows:
+        rows -= 1
+    if rows > 1:
+        nets["mesh"] = Topology.mesh(rows, n // rows)
+    dim = int(math.log2(n))
+    if 2 ** dim == n and dim >= 2:
+        nets["hypercube"] = Topology.hypercube(dim)
+    nets["complete"] = Topology.complete(n)
+    return nets
+
+
+def run_topology_yarn(classroom: Classroom) -> ActivityResult:
+    """Build every network the class size allows and route the bead."""
+    n = classroom.size
+    if n < 4:
+        raise SimulationError("the yarn game needs at least four students")
+    result = ActivityResult(activity="TopologyYarnWeb", classroom_size=n)
+
+    networks = _buildable(n)
+    src, dst = 0, n // 2                   # the "far corner" pair
+
+    table: dict[str, dict[str, object]] = {}
+    for name, topo in networks.items():
+        route = topo.route(src, dst)
+        survives = all(
+            topo.survives_edge_cut(u, v)
+            for u, v in zip(route, route[1:])
+        ) if len(route) > 1 else True
+        table[name] = {
+            "strands": topo.num_links,
+            "hops": topo.hops(src, dst),
+            "diameter": topo.diameter(),
+            "avg_hops": topo.average_hops(),
+            "one_cut_safe": topo.edge_connectivity() >= 2,
+            "route_cut_survivable": survives,
+        }
+        for hop, student in enumerate(route):
+            result.trace.record(float(hop), classroom.student(student),
+                                "bead", name)
+
+    result.metrics = {"pair": (src, dst), "networks": table}
+
+    result.require("star_two_hops_max", table["star"]["diameter"] == 2)
+    result.require("ring_farthest_pair",
+                   table["ring"]["hops"] == n // 2 if "ring" in table else True)
+    result.require("complete_is_one_hop", table["complete"]["hops"] == 1)
+    result.require(
+        "star_dies_on_one_cut",
+        not table["star"]["one_cut_safe"],
+    )
+    result.require(
+        "ring_survives_one_cut",
+        table["ring"]["one_cut_safe"] if "ring" in table else True,
+    )
+    if "hypercube" in table:
+        dim = int(math.log2(n))
+        result.require("hypercube_log_diameter",
+                       table["hypercube"]["diameter"] == dim)
+    # The trade-off the class lands on: more strands, fewer hops.
+    by_strands = sorted(table.values(), key=lambda r: r["strands"])
+    result.require(
+        "strands_buy_shorter_routes",
+        by_strands[-1]["avg_hops"] <= by_strands[0]["avg_hops"],
+    )
+    return result

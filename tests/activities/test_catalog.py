@@ -1,0 +1,94 @@
+"""Catalog query and adapter tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activities import Catalog, load_default_catalog
+from repro.errors import ActivityError
+
+
+class TestLoading:
+    def test_default_catalog_has_38(self, catalog):
+        assert len(catalog) == 38
+
+    def test_names_are_unique_slugs(self, catalog):
+        assert len(set(catalog.names)) == 38
+        for name in catalog.names:
+            assert name == name.lower()
+
+    def test_get_by_name(self, catalog):
+        a = catalog.get("findsmallestcard")
+        assert a.title == "FindSmallestCard"
+
+    def test_get_unknown_raises(self, catalog):
+        with pytest.raises(ActivityError, match="no activity"):
+            catalog.get("ghost")
+
+    def test_contains(self, catalog):
+        assert "gardeners" in catalog
+        assert "ghost" not in catalog
+
+    def test_duplicate_rejected(self, catalog):
+        c = Catalog(catalog.activities[:1])
+        with pytest.raises(ActivityError, match="duplicate"):
+            c.add(catalog.activities[0])
+
+    def test_missing_directory_rejected(self):
+        with pytest.raises(ActivityError, match="no such content directory"):
+            Catalog.from_directory("/nonexistent")
+
+    def test_load_without_validation_matches(self):
+        assert len(load_default_catalog(validate_corpus=False)) == 38
+
+
+class TestQueries:
+    def test_with_term(self, catalog):
+        names = [a.name for a in catalog.with_term("medium", "cards")]
+        assert "findsmallestcard" in names
+        assert len(names) == 6
+
+    def test_with_all_terms(self, catalog):
+        both = catalog.with_all_terms("senses", ["touch", "visual"])
+        assert all(
+            "touch" in a.senses and "visual" in a.senses for a in both
+        )
+        assert both  # FindSmallestCard at least
+
+    def test_where_predicate(self, catalog):
+        assessed = catalog.where(lambda a: a.has_assessment)
+        assert len(assessed) >= 8
+
+    def test_group_by_term_partitions(self, catalog):
+        groups = catalog.group_by_term("courses")
+        total = sum(len(v) for v in groups.values())
+        assert total == sum(len(a.courses) for a in catalog)
+
+    def test_term_count_matches_with_term(self, catalog):
+        for term in ("CS1", "DSA"):
+            assert catalog.term_count("courses", term) == len(
+                catalog.with_term("courses", term)
+            )
+
+
+class TestAdapters:
+    def test_taxonomy_index_consistent(self, catalog):
+        index = catalog.taxonomy_index()
+        index.check_invariants()
+        assert len(index.pages) == 38
+
+    def test_site_builds(self, catalog, tmp_path):
+        site = catalog.site()
+        stats = site.build(tmp_path / "out")
+        # 1 home + 38 activities + taxonomy/term pages
+        assert stats.pages_rendered == 39
+        assert stats.terms_rendered > 50
+
+    def test_site_renders_findsmallestcard_header(self, catalog):
+        """The Fig. 3 rendering: chips for all four visible taxonomies."""
+        site = catalog.site()
+        html = site.render_page(site.page("findsmallestcard"))
+        for term in ("PD_ParallelDecomposition", "PD_ParallelAlgorithms",
+                     "TCPP_Algorithms", "TCPP_Programming",
+                     "CS1", "CS2", "DSA", "touch", "visual"):
+            assert term in html, term

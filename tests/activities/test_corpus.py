@@ -1,0 +1,113 @@
+"""Corpus-wide structural invariants over the shipped 38 activities."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.activities.schema import MEDIUMS, SENSES, validate
+from repro.standards import cs2013, tcpp
+from repro.standards.courses import is_known_course
+
+
+class TestEveryActivity:
+    def test_all_validate(self, catalog):
+        for activity in catalog:
+            validate(activity)
+
+    def test_required_sections_nonempty(self, catalog):
+        for a in catalog:
+            for section in ("Original Author/link", "Accessibility",
+                            "Assessment", "Citations"):
+                assert a.sections.get(section, "").strip(), (a.name, section)
+
+    def test_every_activity_has_citations(self, catalog):
+        for a in catalog:
+            assert a.citations, a.name
+
+    def test_citation_years_present(self, catalog):
+        year = re.compile(r"\b(19|20)\d{2}\b")
+        for a in catalog:
+            assert any(year.search(c) for c in a.citations), a.name
+
+    def test_every_activity_tagged_in_both_curricula(self, catalog):
+        for a in catalog:
+            assert a.cs2013, a.name
+            assert a.tcpp, a.name
+            assert a.cs2013details, a.name
+            assert a.tcppdetails, a.name
+
+    def test_every_activity_has_courses_senses_medium(self, catalog):
+        for a in catalog:
+            assert a.courses, a.name
+            assert a.senses, a.name
+            assert a.medium, a.name
+
+    def test_tags_use_known_vocabularies(self, catalog):
+        for a in catalog:
+            for c in a.courses:
+                assert is_known_course(c), (a.name, c)
+            assert set(a.senses) <= SENSES, a.name
+            assert set(a.medium) <= MEDIUMS, a.name
+
+    def test_details_present_when_no_resource(self, catalog):
+        for a in catalog:
+            if not a.has_external_resource:
+                assert a.has_details, a.name
+
+    def test_coverage_sections_mention_tagged_units(self, catalog):
+        """The CS2013/TCPP body sections are generated from the tags, so
+        every tagged unit/area name appears in its section text."""
+        for a in catalog:
+            cs_text = a.sections["CS2013 Knowledge Unit Coverage"]
+            for term in a.cs2013:
+                assert cs2013.knowledge_unit(term).name in cs_text, (a.name, term)
+            tcpp_text = a.sections["TCPP Topics Coverage"]
+            for term in a.tcpp:
+                assert tcpp.topic_area(term).name in tcpp_text, (a.name, term)
+
+    def test_detail_terms_listed_in_sections(self, catalog):
+        for a in catalog:
+            tcpp_text = a.sections["TCPP Topics Coverage"]
+            for term in a.tcppdetails:
+                assert f"`{term}`" in tcpp_text, (a.name, term)
+
+
+class TestCorpusShape:
+    def test_findsmallestcard_matches_fig2(self, catalog):
+        """The paper's worked example: exact header tags of Fig. 2."""
+        a = catalog.get("findsmallestcard")
+        assert set(a.cs2013) == {
+            "PD_ParallelDecomposition", "PD_ParallelAlgorithms",
+        }
+        assert set(a.tcpp) == {"TCPP_Algorithms", "TCPP_Programming"}
+        assert a.courses == ["CS1", "CS2", "DSA"]
+        assert set(a.senses) == {"touch", "visual"}
+
+    def test_assessed_activities_from_the_assessing_papers(self, catalog):
+        """Ghafoor/iPDC, Chitra, Lewandowski, Smith/Srivastava and the
+        Sivilotti workshop activities carry assessment summaries."""
+        assessed = {a.name for a in catalog if a.has_assessment}
+        assert {"paralleladditioncards", "coincountingarraysum",
+                "matrixmultiplicationteams", "speedupjigsaw",
+                "concerttickets", "printerqueuesharing"} <= assessed
+
+    def test_sivilotti_activities_share_resource_host(self, catalog):
+        for name in ("nondeterministicsorting", "parallelgarbagecollection",
+                     "stableleaderelection"):
+            section = catalog.get(name).sections["Original Author/link"]
+            assert "web.cse.ohio-state.edu" in section, name
+
+    def test_variations_collapsed_not_duplicated(self, catalog):
+        """Variation-described activities (e.g. concert tickets refined by
+        Lewandowski) exist once, with multiple citations."""
+        tickets = catalog.get("concerttickets")
+        assert len(tickets.citations) >= 3
+        assert sum(1 for a in catalog if "ticket" in a.name) == 1
+
+    def test_phone_call_accessibility_notes_dated_analogy(self, catalog):
+        """§III-D: the analogy 'is likely incomprehensible to younger
+        audiences with unlimited cell phone plans'."""
+        note = catalog.get("longdistancephonecall").sections["Accessibility"]
+        assert "unlimited cell phone plans" in note

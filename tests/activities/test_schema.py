@@ -1,0 +1,140 @@
+"""Activity model and validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activities.schema import (
+    NO_RESOURCE_NOTE,
+    SECTION_ORDER,
+    Activity,
+    validate,
+)
+from repro.errors import StandardsError, ValidationError
+
+
+def minimal_activity(**overrides) -> Activity:
+    base = dict(
+        name="demo",
+        title="Demo",
+        cs2013=["PD_ParallelDecomposition"],
+        cs2013details=["PD_2"],
+        tcpp=["TCPP_Algorithms"],
+        tcppdetails=["A_Sorting"],
+        courses=["CS1"],
+        senses=["visual"],
+        medium=["cards"],
+        sections={
+            "Original Author/link": "Someone\n\n[site](http://example.com/x)",
+            "CS2013 Knowledge Unit Coverage": "- Parallel Decomposition",
+            "TCPP Topics Coverage": "- Algorithms",
+            "Recommended Courses": "CS1",
+            "Accessibility": "Fine.",
+            "Assessment": "No known assessment.",
+            "Citations": "- Doe, J. (1994). Paper.",
+        },
+    )
+    base.update(overrides)
+    return Activity(**base)
+
+
+class TestProperties:
+    def test_params_includes_only_declared_tags(self):
+        a = minimal_activity()
+        params = a.params
+        assert params["title"] == "Demo"
+        assert params["cs2013"] == ["PD_ParallelDecomposition"]
+        assert "date" not in params
+
+    def test_has_external_resource_from_link(self):
+        assert minimal_activity().has_external_resource
+
+    def test_no_resource_note(self):
+        a = minimal_activity()
+        a.sections["Original Author/link"] = f"Someone\n\n{NO_RESOURCE_NOTE}"
+        a.sections["Details"] = "Described here."
+        # re-order sections canonically
+        a.sections = {k: a.sections[k] for k in SECTION_ORDER if k in a.sections}
+        assert not a.has_external_resource
+        assert a.has_details
+
+    def test_has_assessment_detection(self):
+        a = minimal_activity()
+        assert not a.has_assessment
+        a.sections["Assessment"] = "Evaluated in CS1 with pre/post tests."
+        assert a.has_assessment
+
+    def test_citations_parsed_from_bullets(self):
+        a = minimal_activity()
+        a.sections["Citations"] = "- First, A. (1990). X.\n- Second, B. (1994). Y."
+        assert len(a.citations) == 2
+        assert a.citations[0].startswith("First")
+
+    def test_terms_unknown_taxonomy(self):
+        with pytest.raises(StandardsError):
+            minimal_activity().terms("flavors")
+
+
+class TestValidation:
+    def test_valid_activity_passes(self):
+        validate(minimal_activity())
+
+    def test_unknown_ku_rejected(self):
+        a = minimal_activity(cs2013=["PD_Bogus"], cs2013details=[])
+        with pytest.raises(ValidationError, match="unknown cs2013 term"):
+            validate(a)
+
+    def test_detail_requires_parent_ku(self):
+        a = minimal_activity(cs2013details=["PA_1"])
+        with pytest.raises(ValidationError, match="not in the activity's cs2013"):
+            validate(a)
+
+    def test_tcpp_detail_requires_parent_area(self):
+        a = minimal_activity(tcppdetails=["C_Speedup"])   # Programming topic
+        with pytest.raises(ValidationError, match="not in the activity's tcpp"):
+            validate(a)
+
+    def test_unknown_course_rejected(self):
+        a = minimal_activity(courses=["CS7"])
+        with pytest.raises(ValidationError, match="unknown course"):
+            validate(a)
+
+    def test_unknown_sense_rejected(self):
+        a = minimal_activity(senses=["taste"])
+        with pytest.raises(ValidationError, match="unknown sense"):
+            validate(a)
+
+    def test_unknown_medium_rejected(self):
+        a = minimal_activity(medium=["holograms"])
+        with pytest.raises(ValidationError, match="unknown medium"):
+            validate(a)
+
+    def test_missing_section_rejected(self):
+        a = minimal_activity()
+        del a.sections["Citations"]
+        with pytest.raises(ValidationError, match="missing section 'Citations'"):
+            validate(a)
+
+    def test_no_resource_requires_details(self):
+        a = minimal_activity()
+        a.sections["Original Author/link"] = f"Someone\n\n{NO_RESOURCE_NOTE}"
+        with pytest.raises(ValidationError, match="no Details section"):
+            validate(a)
+
+    def test_duplicate_terms_rejected(self):
+        a = minimal_activity(courses=["CS1", "CS1"])
+        with pytest.raises(ValidationError, match="duplicate terms"):
+            validate(a)
+
+    def test_out_of_order_sections_rejected(self):
+        a = minimal_activity()
+        shuffled = dict(reversed(list(a.sections.items())))
+        a.sections = shuffled
+        with pytest.raises(ValidationError, match="out of order"):
+            validate(a)
+
+    def test_all_problems_collected(self):
+        a = minimal_activity(courses=["CS7"], senses=["taste"])
+        with pytest.raises(ValidationError) as exc:
+            validate(a)
+        assert len(exc.value.problems) == 2

@@ -1,0 +1,145 @@
+"""Gap reports, citation graph, and table rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.citations import build_citation_graph
+from repro.analytics.gaps import gap_report, uncovered_outcomes, uncovered_topics
+from repro.analytics.tables import (
+    format_table,
+    percent,
+    render_accessibility,
+    render_category_table,
+    render_course_counts,
+    render_resources,
+    render_table1,
+    render_table2,
+)
+
+
+class TestGaps:
+    def test_uncovered_outcome_totals(self, catalog):
+        gaps = uncovered_outcomes(catalog)
+        total = sum(len(v) for v in gaps.values())
+        # 67 outcomes, 35 covered (2+5+6+6+7+6+1+1+1) => 32 uncovered.
+        assert total == 67 - 35
+
+    def test_data_race_distinction_is_a_gap(self, catalog):
+        """'none distinguish them from higher level races' -- PF_3 uncovered."""
+        gaps = uncovered_outcomes(catalog)
+        assert "PF_3" in gaps["PD_ParallelismFundamentals"]
+
+    def test_uncovered_topic_totals(self, catalog):
+        gaps = uncovered_topics(catalog)
+        total = sum(len(v) for v in gaps.values())
+        # 97 topics, 49 covered (10+19+13+7) => 48 uncovered.
+        assert total == 97 - 49
+
+    def test_recursion_reduction_scan_gaps(self, catalog):
+        """§III-C: 'activities missing for the parallel aspects of
+        recursion, reduction and barrier synchronizations'."""
+        gaps = uncovered_topics(catalog)["TCPP_Algorithms"]
+        assert "C_Recursion" in gaps
+        assert "A_Reduction" in gaps
+        assert "A_Scan" in gaps
+
+    def test_communication_constructs_gap(self, catalog):
+        """'opportunities to add activities that discuss communication
+        constructs (e.g. scatter/gather, broadcast...)'."""
+        gaps = uncovered_topics(catalog)["TCPP_Algorithms"]
+        assert "C_Broadcast" in gaps and "C_ScatterGather" in gaps
+
+    def test_report_empty_categories(self, catalog):
+        report = gap_report(catalog)
+        assert "Architecture: Floating-Point Representation" in report.empty_categories
+        assert "Architecture: Performance Metrics" in report.empty_categories
+
+    def test_report_units_below_tier_targets(self, catalog):
+        report = gap_report(catalog)
+        # PF misses a Tier-1 outcome (PF_3); PCC covers only half its Tier-2
+        # outcomes. Purely-elective units carry no tier targets, so the
+        # elective DS/Cloud/Formal units are exempt despite low coverage.
+        assert "PD_ParallelismFundamentals" in report.units_below_tier_targets
+        assert "PD_CommunicationAndCoordination" in report.units_below_tier_targets
+        assert "PD_DistributedSystems" not in report.units_below_tier_targets
+
+    def test_sparse_senses_flags_touch_and_sound(self, catalog):
+        report = gap_report(catalog)
+        assert "touch" in report.sparse_senses
+        assert "sound" in report.sparse_senses
+        assert "visual" not in report.sparse_senses
+
+    def test_most_activities_lack_assessment(self, catalog):
+        report = gap_report(catalog)
+        assert len(report.activities_without_assessment) > len(catalog) / 2
+
+
+class TestCitations:
+    def test_bipartite_structure(self, catalog):
+        graph = build_citation_graph(catalog)
+        assert len(graph.activities) == 38
+        assert graph.publications
+
+    def test_multi_activity_publications_exist(self, catalog):
+        """'several papers listed multiple activities' -- e.g. the OSCER
+        working-group report and Sivilotti & Pike describe several each."""
+        graph = build_citation_graph(catalog)
+        multi = graph.multi_activity_publications()
+        assert len(multi) >= 4
+        keys = {pub.key for pub, _ in multi}
+        assert any("neeman" in k for k in keys)
+        assert any("sivilotti" in k for k in keys)
+
+    def test_variation_collapses_have_multiple_citations(self, catalog):
+        graph = build_citation_graph(catalog)
+        degree = dict(graph.multiply_described_activities())
+        assert degree.get("concerttickets", 0) >= 3
+
+    def test_publications_for_activity(self, catalog):
+        graph = build_citation_graph(catalog)
+        pubs = graph.publications_for("findsmallestcard")
+        years = [p.year for p in pubs]
+        assert 1990 in years and 1994 in years
+
+    def test_activities_for_unknown_publication(self, catalog):
+        graph = build_citation_graph(catalog)
+        assert graph.activities_for("ghost-1900") == []
+
+
+class TestRendering:
+    def test_percent_format(self):
+        assert percent(83.3333) == "83.33%"
+        assert percent(50.0) == "50.00%"
+
+    def test_format_table_alignment(self):
+        out = format_table(("a", "long"), [("x", 1), ("yy", 22)])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+    def test_table1_contains_paper_values(self, catalog):
+        out = render_table1(catalog)
+        assert "Parallel Decomposition" in out
+        assert "83.33%" in out
+        assert "Parallel Performance (E)" in out
+
+    def test_table2_contains_paper_values(self, catalog):
+        out = render_table2(catalog)
+        assert "45.45%" in out and "51.35%" in out and "58.33%" in out
+
+    def test_category_table(self, catalog):
+        out = render_category_table(catalog)
+        assert "36.36%" in out and "35.71%" in out
+
+    def test_course_table(self, catalog):
+        out = render_course_counts(catalog)
+        assert "DSA" in out and "27" in out
+
+    def test_accessibility_table(self, catalog):
+        out = render_accessibility(catalog)
+        assert "71.05%" in out and "26.32%" in out
+
+    def test_resources_table(self, catalog):
+        out = render_resources(catalog)
+        assert "42.11%" in out

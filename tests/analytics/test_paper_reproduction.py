@@ -1,0 +1,177 @@
+"""The headline reproduction tests: every number the paper reports.
+
+Each test asserts that an aggregate computed from the shipped corpus
+matches the value transcribed from the paper into :mod:`repro.paper`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper
+from repro.analytics import (
+    accessibility_stats,
+    course_counts,
+    cs2013_coverage,
+    resource_stats,
+    tcpp_category_coverage,
+    tcpp_coverage,
+)
+from repro.analytics.citations import build_citation_graph
+
+
+class TestTable1:
+    def test_every_row_matches(self, catalog):
+        for row in cs2013_coverage(catalog):
+            outcomes, covered, activities = paper.TABLE1[row.term]
+            assert row.num_outcomes == outcomes, row.term
+            assert row.num_covered == covered, row.term
+            assert row.total_activities == activities, row.term
+
+    @pytest.mark.parametrize(
+        "term,percent",
+        [
+            ("PD_ParallelismFundamentals", 66.67),
+            ("PD_ParallelDecomposition", 83.33),
+            ("PD_CommunicationAndCoordination", 50.00),
+            ("PD_ParallelAlgorithms", 54.55),   # paper prints truncated 54.54
+            ("PD_ParallelArchitecture", 87.50),
+            ("PD_ParallelPerformance", 85.71),
+            ("PD_DistributedSystems", 11.11),
+            ("PD_CloudComputing", 20.00),
+            ("PD_FormalModels", 16.67),         # paper prints truncated 16.66
+        ],
+    )
+    def test_percentages(self, catalog, term, percent):
+        row = {r.term: r for r in cs2013_coverage(catalog)}[term]
+        assert row.percent_coverage == pytest.approx(percent, abs=0.01)
+
+    def test_decomposition_has_most_activities(self, catalog):
+        rows = cs2013_coverage(catalog)
+        top = max(rows, key=lambda r: r.total_activities)
+        assert top.term == "PD_ParallelDecomposition" and top.total_activities == 21
+
+    def test_elective_markers(self, catalog):
+        rows = {r.term: r for r in cs2013_coverage(catalog)}
+        assert rows["PD_ParallelPerformance"].display_name.endswith("(E)")
+        assert not rows["PD_ParallelArchitecture"].display_name.endswith("(E)")
+
+
+class TestTable2:
+    def test_every_row_matches(self, catalog):
+        for row in tcpp_coverage(catalog):
+            topics, covered, activities = paper.TABLE2[row.term]
+            assert row.num_topics == topics, row.term
+            assert row.num_covered == covered, row.term
+            assert row.total_activities == activities, row.term
+
+    @pytest.mark.parametrize(
+        "term,percent",
+        [
+            ("TCPP_Architecture", 45.45),
+            ("TCPP_Programming", 51.35),
+            ("TCPP_Algorithms", 50.00),
+            ("TCPP_Crosscutting", 58.33),
+        ],
+    )
+    def test_percentages(self, catalog, term, percent):
+        row = {r.term: r for r in tcpp_coverage(catalog)}[term]
+        assert row.percent_coverage == pytest.approx(percent, abs=0.01)
+
+    def test_architecture_is_lowest(self, catalog):
+        rows = tcpp_coverage(catalog)
+        lowest = min(rows, key=lambda r: r.percent_coverage)
+        assert lowest.term == "TCPP_Architecture"
+
+
+class TestSection3Categories:
+    def test_floating_point_and_perf_metrics_empty(self, catalog):
+        rows = {(r.area, r.category): r for r in tcpp_category_coverage(catalog)}
+        for category in paper.EMPTY_ARCHITECTURE_CATEGORIES:
+            assert rows[("Architecture", category)].num_covered == 0
+
+    def test_models_complexity_percent(self, catalog):
+        rows = {(r.area, r.category): r for r in tcpp_category_coverage(catalog)}
+        row = rows[("Algorithms", "PD Models and Complexity")]
+        assert row.percent_coverage == pytest.approx(36.36, abs=0.01)
+
+    def test_paradigms_notations_percent(self, catalog):
+        rows = {(r.area, r.category): r for r in tcpp_category_coverage(catalog)}
+        row = rows[("Programming", "Paradigms and Notations")]
+        assert row.percent_coverage == pytest.approx(35.71, abs=0.01)
+
+    def test_uncovered_crosscutting_topics_are_the_five_named(self, catalog):
+        """web search, p2p, cloud/grid, locality, why-what-PDC (§III-C)."""
+        row = {r.term: r for r in tcpp_coverage(catalog)}["TCPP_Crosscutting"]
+        from repro.standards import tcpp as tcpp_mod
+
+        area = tcpp_mod.topic_area("TCPP_Crosscutting")
+        uncovered = set(area.detail_terms()) - set(row.covered_topics)
+        assert uncovered == set(paper.UNCOVERED_CROSSCUTTING_TOPICS)
+
+
+class TestSection3ACourses:
+    def test_course_counts_match(self, catalog):
+        assert course_counts(catalog) == paper.COURSE_COUNTS
+
+    def test_resource_count(self, catalog):
+        stats = resource_stats(catalog)
+        assert stats.with_resources == paper.RESOURCE_COUNT_REPRODUCED
+        assert stats.percent == pytest.approx(42.1, abs=0.1)
+        # qualitative claim: "less than half"
+        assert stats.fraction < 0.5
+
+    def test_older_activities_less_resourced(self, catalog):
+        """'Older activities ... were less likely to have associated
+        external resources.'"""
+        stats = resource_stats(catalog)
+        assert stats.older_fraction < stats.newer_fraction
+
+
+class TestSection3DAccessibility:
+    def test_medium_counts_match(self, catalog):
+        stats = accessibility_stats(catalog)
+        for medium, want in paper.MEDIUM_COUNTS.items():
+            assert stats.mediums[medium] == want, medium
+
+    def test_sense_counts_match(self, catalog):
+        stats = accessibility_stats(catalog)
+        for sense, want in paper.SENSE_COUNTS.items():
+            assert stats.senses[sense] == want, sense
+
+    def test_visual_percent_printed_value(self, catalog):
+        stats = accessibility_stats(catalog)
+        assert stats.visual_percent == pytest.approx(
+            paper.SENSE_PERCENTS_PRINTED["visual"], abs=0.01
+        )
+
+    def test_touch_percent_printed_value(self, catalog):
+        stats = accessibility_stats(catalog)
+        assert stats.touch_percent == pytest.approx(
+            paper.SENSE_PERCENTS_PRINTED["touch"], abs=0.01
+        )
+
+    def test_movement_percent_is_the_reconciled_value(self, catalog):
+        """The paper prints 38.84 %; 14/38 = 36.84 % is the consistent
+        value (documented typo reconciliation)."""
+        stats = accessibility_stats(catalog)
+        assert stats.movement_percent == pytest.approx(36.84, abs=0.01)
+
+    def test_sound_only_two(self, catalog):
+        assert accessibility_stats(catalog).sound_count == 2
+
+    def test_nine_generally_accessible(self, catalog):
+        assert accessibility_stats(catalog).generally_accessible == 9
+
+
+class TestHistory:
+    def test_earliest_paper_is_1990_tutorial(self, catalog):
+        graph = build_citation_graph(catalog)
+        assert graph.earliest_year() == paper.EARLIEST_PAPER_YEAR
+
+    def test_thirty_year_span(self, catalog):
+        graph = build_citation_graph(catalog)
+        assert graph.span_years() >= paper.LITERATURE_SPAN_YEARS
+
+    def test_corpus_size_nearly_forty(self, catalog):
+        assert len(catalog) == paper.CORPUS_SIZE == 38

@@ -1,0 +1,79 @@
+"""Trend analytics and the compare_to_paper verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activities import Catalog
+from repro.analytics import compare_to_paper
+from repro.analytics.trends import (
+    assessment_trend,
+    publication_histogram,
+    resource_trend,
+)
+
+
+class TestTrends:
+    def test_histogram_spans_four_decades(self, catalog):
+        buckets = publication_histogram(catalog)
+        assert {"1990s", "2000s", "2010s"} <= set(buckets)
+        assert sum(buckets.values()) == 38
+
+    def test_assessment_is_a_recent_trend(self, catalog):
+        """§III-E quantified: assessed activities are newer on median."""
+        trend = assessment_trend(catalog)
+        assert trend.median_a is not None and trend.median_b is not None
+        assert trend.median_a > trend.median_b
+        assert trend.gap_years > 0
+
+    def test_resources_skew_recent(self, catalog):
+        trend = resource_trend(catalog)
+        assert trend.median_a >= trend.median_b
+
+    def test_describe_is_readable(self, catalog):
+        text = assessment_trend(catalog).describe()
+        assert "assessed" in text and "median" in text
+
+    def test_assessment_recency_is_significant(self, catalog):
+        """Mann-Whitney: the §III-E claim holds at alpha = 0.05."""
+        p = assessment_trend(catalog).mannwhitney_p()
+        if p is None:
+            import pytest
+
+            pytest.skip("scipy not available")
+        assert p < 0.05
+
+    def test_empty_group_pvalue_is_none(self, catalog):
+        from repro.analytics.trends import TrendComparison
+
+        assert TrendComparison("a", "b", (), (2000,)).mannwhitney_p() is None
+
+
+class TestCompareToPaper:
+    def test_shipped_corpus_is_exact(self, catalog):
+        assert compare_to_paper(catalog) == []
+
+    def test_detects_removed_activity(self, catalog):
+        mutated = Catalog(catalog.activities[:-1])
+        diffs = compare_to_paper(mutated)
+        assert diffs
+        assert any("corpus size" in d for d in diffs)
+
+    def test_detects_retagged_activity(self, catalog):
+        import copy
+
+        activities = [copy.deepcopy(a) for a in catalog]
+        victim = activities[0]
+        victim.courses.append("Systems") if "Systems" not in victim.courses \
+            else victim.courses.remove("Systems")
+        diffs = compare_to_paper(Catalog(activities))
+        assert any("Systems" in d for d in diffs)
+
+    def test_detects_lost_coverage(self, catalog):
+        import copy
+
+        activities = [copy.deepcopy(a) for a in catalog]
+        lone = next(a for a in activities if a.name == "nondeterministicsorting")
+        lone.cs2013details.remove("FMS_1")
+        diffs = compare_to_paper(Catalog(activities))
+        assert any("PD_FormalModels" in d for d in diffs)

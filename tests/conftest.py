@@ -1,0 +1,28 @@
+"""Shared fixtures: the corpus is loaded once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activities import Catalog, load_default_catalog
+from repro.unplugged import Classroom
+
+
+@pytest.fixture(scope="session")
+def catalog() -> Catalog:
+    """The shipped 38-activity corpus, validated."""
+    return load_default_catalog()
+
+
+@pytest.fixture()
+def classroom() -> Classroom:
+    """A 16-student deterministic classroom with speed jitter."""
+    return Classroom(size=16, seed=7, step_time_jitter=0.2)
+
+
+@pytest.fixture()
+def make_classroom():
+    def _make(size: int = 16, seed: int = 7, jitter: float = 0.2) -> Classroom:
+        return Classroom(size=size, seed=seed, step_time_jitter=jitter)
+
+    return _make

@@ -1,0 +1,100 @@
+"""Archetype tests: the Fig. 1 template and `hugo new` scaffolding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SiteError
+from repro.sitegen import frontmatter
+from repro.sitegen.archetypes import (
+    ACTIVITY_ARCHETYPE,
+    ACTIVITY_SECTIONS,
+    new_activity,
+    render_archetype,
+)
+
+#: Fig. 1 of the paper, transcribed verbatim.
+FIG1 = """\
+---
+title:
+date:
+tags:
+---
+
+## Original Author/link
+
+---
+
+## CS2013 Knowledge Unit Coverage
+
+---
+
+## TCPP Topics Coverage
+
+---
+
+## Recommended Courses
+
+---
+
+## Accessibility
+
+---
+
+## Assessment
+
+---
+
+## Citations
+"""
+
+
+class TestTemplate:
+    def test_archetype_matches_fig1_exactly(self):
+        assert ACTIVITY_ARCHETYPE == FIG1
+
+    def test_seven_sections_in_order(self):
+        headings = [
+            line[3:] for line in ACTIVITY_ARCHETYPE.split("\n")
+            if line.startswith("## ")
+        ]
+        assert tuple(headings) == ACTIVITY_SECTIONS
+        assert len(headings) == 7
+
+    def test_sections_separated_by_rules(self):
+        assert ACTIVITY_ARCHETYPE.count("\n---\n") >= 6
+
+    def test_prefilled_title_and_date(self):
+        text = render_archetype(title="Example", date="2019-12-02")
+        header, _ = frontmatter.split_document(text)
+        data = frontmatter.parse(header)
+        assert data["title"] == "Example"
+        assert data["date"] == "2019-12-02"
+
+    def test_unfilled_header_parses(self):
+        header, _ = frontmatter.split_document(render_archetype())
+        data = frontmatter.parse(header)
+        assert data == {"title": "", "date": "", "tags": ""}
+
+
+class TestNewActivity:
+    def test_creates_file_in_activities_dir(self, tmp_path):
+        path = new_activity("example", tmp_path)
+        assert path == tmp_path / "activities" / "example.md"
+        assert path.exists()
+        assert 'title: "example"' in path.read_text()
+
+    def test_explicit_title(self, tmp_path):
+        path = new_activity("my-act", tmp_path, title="My Activity")
+        assert 'title: "My Activity"' in path.read_text()
+
+    def test_refuses_overwrite(self, tmp_path):
+        new_activity("example", tmp_path)
+        with pytest.raises(SiteError, match="overwrite"):
+            new_activity("example", tmp_path)
+        new_activity("example", tmp_path, overwrite=True)  # explicit is fine
+
+    @pytest.mark.parametrize("bad", ["", "Has Spaces", "UPPER", "-leading", "a/b"])
+    def test_invalid_names_rejected(self, tmp_path, bad):
+        with pytest.raises(SiteError, match="invalid activity name"):
+            new_activity(bad, tmp_path)

@@ -1,0 +1,100 @@
+"""Full-text search tests over synthetic documents and the real corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SiteError
+from repro.sitegen.search import SearchIndex, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Parallel RADIX-Sort!") == ["parallel", "radix", "sort"]
+
+    def test_stop_words_removed(self):
+        assert tokenize("the cat and the hat") == ["cat", "hat"]
+
+    def test_numbers_kept(self):
+        assert "2013" in tokenize("CS2013 has 2013 in it")
+
+
+class TestIndex:
+    @pytest.fixture()
+    def index(self):
+        idx = SearchIndex()
+        idx.add_document("sorting", "Card Sorting", "students sort decks of cards",
+                         tags=["TCPP_Algorithms"])
+        idx.add_document("racing", "Race Condition", "two robots race over sugar",
+                         tags=["PD_CommunicationAndCoordination"])
+        idx.add_document("cooking", "Recipe Plan", "cooks schedule dinner tasks",
+                         tags=["CS1"])
+        return idx
+
+    def test_basic_match(self, index):
+        hits = index.search("sugar robots")
+        assert [h.name for h in hits] == ["racing"]
+        assert set(hits[0].matched_terms) == {"sugar", "robots"}
+
+    def test_title_boost(self, index):
+        index.add_document("mention", "Other", "sorting mentioned once in passing")
+        hits = index.search("sorting")
+        assert hits[0].name == "sorting"      # title hit outranks body hit
+
+    def test_tag_tokens_searchable(self, index):
+        hits = index.search("algorithms")
+        assert [h.name for h in hits] == ["sorting"]
+
+    def test_no_match(self, index):
+        assert index.search("quantum") == []
+        assert index.search("") == []
+        assert index.search("the and of") == []
+
+    def test_limit(self, index):
+        hits = index.search("students robots cooks cards", limit=2)
+        assert len(hits) == 2
+
+    def test_duplicate_rejected(self, index):
+        with pytest.raises(SiteError):
+            index.add_document("sorting", "Again", "x")
+
+    def test_suggest(self, index):
+        assert "sort" in index.suggest("so")
+        assert index.suggest("") == []
+
+    def test_deterministic_order(self, index):
+        a = index.search("students cards robots")
+        b = index.search("students cards robots")
+        assert a == b
+
+
+class TestCorpusSearch:
+    @pytest.fixture(scope="class")
+    def index(self):
+        from repro.activities import load_default_catalog
+
+        return SearchIndex.from_catalog(load_default_catalog())
+
+    def test_indexes_all_38(self, index):
+        assert len(index) == 38
+
+    def test_find_by_title_word(self, index):
+        hits = index.search("byzantine")
+        assert hits[0].name == "byzantinegenerals"
+
+    def test_find_by_concept(self, index):
+        names = [h.name for h in index.search("race condition sugar")]
+        assert "juicesweeteningrobots" in names[:3]
+
+    def test_find_by_material(self, index):
+        """The accessibility use case: 'teach parallelism with a deck of cards'."""
+        names = [h.name for h in index.search("deck of cards", limit=10)]
+        assert "findsmallestcard" in names or "parallelcardsort" in names
+
+    def test_find_by_curriculum_tag(self, index):
+        names = [h.name for h in index.search("cloud computing")]
+        assert set(names) & {"byzantinegenerals", "concerttickets", "gardeners"}
+
+    def test_amdahl_query(self, index):
+        hits = index.search("amdahl plateau road")
+        assert hits[0].name == "roadtripamdahl"

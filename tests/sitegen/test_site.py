@@ -1,0 +1,129 @@
+"""Site builder tests: pages, chips, term pages, full builds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SiteError
+from repro.sitegen.site import Page, Site, SiteConfig
+
+DOC = """---
+title: "FindSmallestCard"
+cs2013: ["PD_ParallelDecomposition", "PD_ParallelAlgorithms"]
+tcpp: ["TCPP_Algorithms", "TCPP_Programming"]
+courses: ["CS1", "CS2", "DSA"]
+senses: ["touch", "visual"]
+cs2013details: ["PD_3"]
+medium: ["cards"]
+---
+
+## Original Author/link
+
+Bachelis et al.
+"""
+
+
+@pytest.fixture()
+def site():
+    s = Site()
+    s.add_page(Page.from_text("findsmallestcard", DOC))
+    s.add_page(
+        Page.from_text(
+            "other",
+            '---\ntitle: "Other"\nsenses: ["touch"]\n---\n\n## Original Author/link\n\nX\n',
+        )
+    )
+    return s
+
+
+class TestPage:
+    def test_from_text_parses_header(self):
+        page = Page.from_text("findsmallestcard", DOC)
+        assert page.title == "FindSmallestCard"
+        assert page.terms("senses") == ["touch", "visual"]
+        assert page.url == "/activities/findsmallestcard/"
+
+    def test_content_html(self):
+        page = Page.from_text("x", DOC)
+        assert "<h2>Original Author/link</h2>" in page.content_html()
+
+    def test_title_defaults_to_name(self):
+        page = Page.from_text("slug", "---\n---\nbody")
+        assert page.title == "slug"
+
+    def test_from_file(self, tmp_path):
+        f = tmp_path / "act.md"
+        f.write_text(DOC)
+        page = Page.from_file(f)
+        assert page.name == "act"
+
+
+class TestRendering:
+    def test_header_chips_show_visible_taxonomies_only(self, site):
+        """Fig. 3: chips for cs2013/tcpp/courses/senses, colored per taxonomy;
+        hidden taxonomies (medium, cs2013details) never produce chips."""
+        html = site.render_page(site.page("findsmallestcard"))
+        assert 'data-taxonomy="cs2013"' in html
+        assert "PD_ParallelDecomposition" in html
+        assert 'chip-blue' in html and 'chip-purple' in html
+        assert 'data-taxonomy="medium"' not in html
+        assert 'data-taxonomy="cs2013details"' not in html
+
+    def test_chip_links_to_term_page(self, site):
+        html = site.render_page(site.page("findsmallestcard"))
+        assert 'href="/senses/touch/"' in html
+
+    def test_term_page_lists_sharing_pages(self, site):
+        html = site.render_term_page("senses", "touch")
+        assert "FindSmallestCard" in html and "Other" in html
+
+    def test_taxonomy_index_page(self, site):
+        html = site.render_taxonomy_index("senses")
+        assert "touch" in html and "(2)" in html
+
+    def test_home_lists_all(self, site):
+        html = site.render_home()
+        assert "FindSmallestCard" in html and "Other" in html
+
+
+class TestBuild:
+    def test_full_build_layout(self, site, tmp_path):
+        stats = site.build(tmp_path)
+        assert (tmp_path / "index.html").exists()
+        assert (tmp_path / "activities" / "findsmallestcard" / "index.html").exists()
+        assert (tmp_path / "senses" / "touch" / "index.html").exists()
+        assert (tmp_path / "cs2013" / "pd_parallelalgorithms" / "index.html").exists()
+        assert stats.total_files > 5
+        assert stats.duration_s >= 0
+
+    def test_every_chip_target_exists(self, site, tmp_path):
+        """No dangling term links: each chip href has a rendered page."""
+        import re
+
+        site.build(tmp_path)
+        html = (tmp_path / "activities" / "findsmallestcard" / "index.html").read_text()
+        for href in re.findall(r'href="(/[^"]+/)"', html):
+            target = tmp_path / href.strip("/") / "index.html"
+            assert target.exists(), href
+
+    def test_duplicate_page_rejected(self, site):
+        with pytest.raises(SiteError, match="duplicate"):
+            site.add_page(Page.from_text("other", "---\ntitle: \"O\"\n---\n"))
+
+    def test_missing_content_dir_rejected(self):
+        with pytest.raises(SiteError, match="does not exist"):
+            Site().load_content("/nonexistent/path")
+
+    def test_load_content_dir(self, tmp_path):
+        (tmp_path / "activities").mkdir()
+        (tmp_path / "activities" / "a.md").write_text(DOC)
+        s = Site()
+        assert s.load_content(tmp_path) == 1
+        assert s.page("a").title == "FindSmallestCard"
+
+    def test_theme_missing_template_rejected(self):
+        with pytest.raises(SiteError, match="missing required template"):
+            Site(theme={"base": "x"})
+
+    def test_check_runs_invariants(self, site):
+        site.check()

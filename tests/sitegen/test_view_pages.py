@@ -1,0 +1,54 @@
+"""Rendered view-page tests (the §II-C views as HTML)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def site():
+    from repro.activities import load_default_catalog
+
+    return load_default_catalog().site()
+
+
+class TestRenderView:
+    def test_cs2013_view_page(self, site):
+        from repro.sitegen.views import cs2013_view
+
+        html = site.render_view(cs2013_view(site.index))
+        assert "<h1>cs2013 view</h1>" in html
+        assert "PD_ParallelDecomposition (21)" in html
+        assert "view-subgroup" in html          # learning-outcome nesting
+
+    def test_accessibility_view_page(self, site):
+        from repro.sitegen.views import accessibility_view
+
+        html = site.render_view(accessibility_view(site.index))
+        assert "cards (6)" in html
+        assert "touch (10)" in html
+
+    def test_entries_link_to_activity_pages(self, site):
+        from repro.sitegen.views import courses_view
+
+        html = site.render_view(courses_view(site.index))
+        assert 'href="/activities/findsmallestcard/"' in html
+
+    def test_build_emits_four_view_pages(self, site, tmp_path):
+        count = site.build_views(tmp_path)
+        assert count == 4
+        for name in ("cs2013", "tcpp", "courses", "accessibility"):
+            assert (tmp_path / "views" / name / "index.html").exists()
+
+    def test_full_build_includes_views(self, site, tmp_path):
+        stats = site.build(tmp_path)
+        assert (tmp_path / "views" / "tcpp" / "index.html").exists()
+        assert stats.total_files >= 170
+
+    def test_view_links_resolve_in_full_build(self, site, tmp_path):
+        import re
+
+        site.build(tmp_path)
+        html = (tmp_path / "views" / "cs2013" / "index.html").read_text()
+        for href in set(re.findall(r'href="(/activities/[^"]+/)"', html)):
+            assert (tmp_path / href.strip("/") / "index.html").exists(), href

@@ -1,0 +1,93 @@
+"""View builder tests over the real corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sitegen.views import (
+    accessibility_view,
+    courses_view,
+    cs2013_view,
+    tcpp_view,
+)
+
+
+@pytest.fixture(scope="module")
+def index(request):
+    from repro.activities import load_default_catalog
+
+    return load_default_catalog().taxonomy_index()
+
+
+class TestCoursesView:
+    def test_groups_match_course_terms(self, index):
+        view = courses_view(index)
+        assert set(view.terms) == {"K_12", "CS0", "CS1", "CS2", "DSA", "Systems"}
+
+    def test_group_counts_match_paper(self, index):
+        view = courses_view(index)
+        assert view.group("DSA").count == 27
+        assert view.group("K_12").count == 15
+
+    def test_entries_sorted_by_title(self, index):
+        entries = courses_view(index).group("CS1").entries
+        titles = [e.title.lower() for e in entries]
+        assert titles == sorted(titles)
+
+
+class TestCS2013View:
+    def test_all_nine_units_present(self, index):
+        view = cs2013_view(index)
+        assert len(view.groups) == 9
+
+    def test_findsmallestcard_in_decomposition(self, index):
+        group = cs2013_view(index).group("PD_ParallelDecomposition")
+        assert any(e.name == "findsmallestcard" for e in group.entries)
+        assert group.count == 21
+
+    def test_outcome_subgroups_attached(self, index):
+        view = cs2013_view(index)
+        decomposition = view.group("PD_ParallelDecomposition")
+        assert decomposition.subgroups, "expected learning-outcome subgroups"
+        sub_terms = {g.term for g in decomposition.subgroups}
+        assert any(t.startswith("PD_") for t in sub_terms)
+
+    def test_subgroup_activities_subset_of_unit(self, index):
+        view = cs2013_view(index)
+        for group in view.groups:
+            unit_names = {e.name for e in group.entries}
+            for sub in group.subgroups:
+                assert {e.name for e in sub.entries} <= unit_names
+
+
+class TestTCPPView:
+    def test_all_four_areas(self, index):
+        view = tcpp_view(index)
+        assert set(view.terms) == {
+            "TCPP_Architecture", "TCPP_Programming",
+            "TCPP_Algorithms", "TCPP_Crosscutting",
+        }
+
+    def test_topic_subgroups_have_bloom_prefixes(self, index):
+        view = tcpp_view(index)
+        prog = view.group("TCPP_Programming")
+        assert prog.subgroups
+        for sub in prog.subgroups:
+            assert sub.term[0] in "KCA" and sub.term[1] == "_"
+
+
+class TestAccessibilityView:
+    def test_merges_senses_and_mediums(self, index):
+        view = accessibility_view(index)
+        terms = set(view.terms)
+        assert "touch" in terms          # a sense
+        assert "cards" in terms          # a medium
+
+    def test_cards_term_counts_card_activities(self, index):
+        """'an educator wondering how to teach parallelism with a deck of
+        cards could select the cards term' -- 6 card activities."""
+        assert accessibility_view(index).group("cards").count == 6
+
+    def test_unknown_group_raises(self, index):
+        with pytest.raises(KeyError):
+            accessibility_view(index).group("telepathy")

@@ -1,0 +1,92 @@
+"""CS2013 PD knowledge-area model tests (counts pinned to Table I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StandardsError
+from repro.standards import cs2013
+from repro.standards.cs2013 import PD_KNOWLEDGE_AREA, Tier
+
+
+class TestStructure:
+    def test_nine_knowledge_units(self):
+        assert len(PD_KNOWLEDGE_AREA) == 9
+
+    def test_outcome_counts_match_table1(self):
+        counts = {ku.term: ku.num_outcomes for ku in PD_KNOWLEDGE_AREA}
+        assert counts == {
+            "PD_ParallelismFundamentals": 3,
+            "PD_ParallelDecomposition": 6,
+            "PD_CommunicationAndCoordination": 12,
+            "PD_ParallelAlgorithms": 11,
+            "PD_ParallelArchitecture": 8,
+            "PD_ParallelPerformance": 7,
+            "PD_DistributedSystems": 9,
+            "PD_CloudComputing": 5,
+            "PD_FormalModels": 6,
+        }
+
+    def test_total_outcomes(self):
+        assert sum(ku.num_outcomes for ku in PD_KNOWLEDGE_AREA) == 67
+
+    def test_elective_units_match_table1_markers(self):
+        electives = {ku.term for ku in PD_KNOWLEDGE_AREA if ku.elective}
+        assert electives == {
+            "PD_ParallelPerformance", "PD_DistributedSystems",
+            "PD_CloudComputing", "PD_FormalModels",
+        }
+
+    def test_outcome_numbers_are_1_based_contiguous(self):
+        for ku in PD_KNOWLEDGE_AREA:
+            assert [lo.number for lo in ku.outcomes] == list(
+                range(1, ku.num_outcomes + 1)
+            )
+
+    def test_abbrevs_unique(self):
+        abbrevs = [ku.abbrev for ku in PD_KNOWLEDGE_AREA]
+        assert len(set(abbrevs)) == len(abbrevs)
+
+    def test_tiers_valid(self):
+        valid = {Tier.CORE1, Tier.CORE2, Tier.ELECTIVE}
+        for ku in PD_KNOWLEDGE_AREA:
+            for lo in ku.outcomes:
+                assert lo.tier in valid
+
+    def test_fundamentals_outcomes_are_distinctions(self):
+        """The paper's observation: PF outcomes all ask to *distinguish*."""
+        pf = cs2013.knowledge_unit_by_abbrev("PF")
+        assert all(lo.text.startswith("Distinguish") for lo in pf.outcomes)
+
+
+class TestLookups:
+    def test_lookup_by_term(self):
+        ku = cs2013.knowledge_unit("PD_ParallelDecomposition")
+        assert ku.name == "Parallel Decomposition"
+
+    def test_lookup_unknown_term(self):
+        with pytest.raises(StandardsError, match="unknown"):
+            cs2013.knowledge_unit("PD_Nope")
+
+    def test_detail_term_resolution(self):
+        ku, lo = cs2013.outcome_for_detail_term("PD_3")
+        assert ku.abbrev == "PD"
+        assert lo.number == 3
+
+    def test_detail_term_roundtrip(self):
+        for ku in PD_KNOWLEDGE_AREA:
+            for term in ku.detail_terms():
+                resolved_ku, lo = cs2013.outcome_for_detail_term(term)
+                assert resolved_ku is ku
+                assert lo.detail_term(ku.abbrev) == term
+
+    def test_malformed_detail_term(self):
+        with pytest.raises(StandardsError, match="malformed"):
+            cs2013.outcome_for_detail_term("PD3")
+
+    def test_unknown_outcome_number(self):
+        with pytest.raises(StandardsError):
+            cs2013.outcome_for_detail_term("PD_99")
+
+    def test_all_detail_terms_count(self):
+        assert len(cs2013.all_detail_terms()) == 67

@@ -1,0 +1,122 @@
+"""TCPP 2012 curriculum model tests (counts pinned to Table II and §III-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StandardsError
+from repro.standards import tcpp
+from repro.standards.bloom import Bloom
+from repro.standards.courses import CORE_COURSES
+from repro.standards.tcpp import TCPP_CURRICULUM
+
+
+class TestStructure:
+    def test_four_topic_areas(self):
+        assert len(TCPP_CURRICULUM) == 4
+
+    def test_topic_counts_match_table2(self):
+        counts = {a.term: a.num_topics for a in TCPP_CURRICULUM}
+        assert counts == {
+            "TCPP_Architecture": 22,
+            "TCPP_Programming": 37,
+            "TCPP_Algorithms": 26,
+            "TCPP_Crosscutting": 12,
+        }
+
+    def test_total_core_topics(self):
+        assert sum(a.num_topics for a in TCPP_CURRICULUM) == 97
+
+    def test_category_counts_pin_sec3c_percentages(self):
+        """PD Models/Complexity must have 11 topics (4/11 = 36.36 %) and
+        Paradigms and Notations 14 (5/14 = 35.71 %)."""
+        alg = tcpp.topic_area("TCPP_Algorithms")
+        assert alg.category("PD Models and Complexity").num_topics == 11
+        prog = tcpp.topic_area("TCPP_Programming")
+        assert prog.category("Paradigms and Notations").num_topics == 14
+
+    def test_architecture_categories(self):
+        arch = tcpp.topic_area("TCPP_Architecture")
+        names = [c.name for c in arch.categories]
+        assert names == ["Classes", "Memory Hierarchy",
+                         "Floating-Point Representation", "Performance Metrics"]
+
+    def test_slugs_globally_unique(self):
+        slugs = [t.slug for a in TCPP_CURRICULUM for t in a.topics]
+        assert len(set(slugs)) == len(slugs)
+
+    def test_detail_terms_globally_unique(self):
+        terms = tcpp.all_detail_terms()
+        assert len(set(terms)) == len(terms) == 97
+
+    def test_every_topic_recommends_known_core_courses(self):
+        known = {c.term for c in CORE_COURSES} | {"CS0", "K_12"}
+        for area in TCPP_CURRICULUM:
+            for topic in area.topics:
+                assert topic.courses, topic.slug
+                assert set(topic.courses) <= known, topic.slug
+
+    def test_paper_example_term_exists(self):
+        """'an activity that covers the TCPP programming topic Comprehend
+        Speedup will have the term C_Speedup'."""
+        area, topic = tcpp.topic_for_detail_term("C_Speedup")
+        assert area.term == "TCPP_Programming"
+        assert topic.bloom is Bloom.COMPREHEND
+        assert topic.name == "Speedup"
+
+
+class TestLookups:
+    def test_area_lookup(self):
+        assert tcpp.topic_area("TCPP_Algorithms").name == "Algorithms"
+
+    def test_unknown_area(self):
+        with pytest.raises(StandardsError):
+            tcpp.topic_area("TCPP_Quantum")
+
+    def test_detail_roundtrip(self):
+        for area in TCPP_CURRICULUM:
+            for topic in area.topics:
+                resolved_area, resolved = tcpp.topic_for_detail_term(topic.detail_term)
+                assert resolved_area is area
+                assert resolved is topic
+
+    def test_unknown_detail_term(self):
+        with pytest.raises(StandardsError):
+            tcpp.topic_for_detail_term("Z_Nothing")
+
+    def test_unknown_category(self):
+        with pytest.raises(StandardsError):
+            tcpp.topic_area("TCPP_Algorithms").category("Nope")
+
+    def test_all_topics_enumeration(self):
+        pairs = tcpp.all_topics()
+        assert len(pairs) == 97
+        assert all(topic in area.topics for area, topic in pairs)
+
+
+class TestBloomAndCourses:
+    def test_bloom_letters(self):
+        assert Bloom.from_letter("K") is Bloom.KNOW
+        assert Bloom.from_letter("C") is Bloom.COMPREHEND
+        assert Bloom.from_letter("A") is Bloom.APPLY
+
+    def test_bloom_unknown_letter(self):
+        with pytest.raises(StandardsError):
+            Bloom.from_letter("X")
+
+    def test_bloom_descriptions(self):
+        assert "Know" in Bloom.KNOW.description
+        assert str(Bloom.APPLY) == "A"
+
+    def test_course_catalog(self):
+        from repro.standards.courses import COURSE_ORDER, course, is_known_course
+
+        assert COURSE_ORDER == ("K_12", "CS0", "CS1", "CS2", "DSA", "Systems")
+        assert course("DSA").core
+        assert not course("K_12").college
+        assert not is_known_course("CS9")
+        with pytest.raises(StandardsError):
+            course("CS9")
+
+    def test_core_courses_are_tcpp_four(self):
+        assert {c.term for c in CORE_COURSES} == {"CS1", "CS2", "DSA", "Systems"}

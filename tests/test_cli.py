@@ -1,0 +1,130 @@
+"""CLI tests: every subcommand exercised through ``main(argv)``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReport:
+    def test_table1(self, capsys):
+        assert main(["report", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out and "83.33%" in out
+
+    def test_table2(self, capsys):
+        assert main(["report", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "45.45%" in out
+
+    def test_accessibility(self, capsys):
+        assert main(["report", "accessibility"]) == 0
+        assert "71.05%" in capsys.readouterr().out
+
+    def test_gaps(self, capsys):
+        assert main(["report", "gaps"]) == 0
+        out = capsys.readouterr().out
+        assert "uncovered CS2013 outcomes: 32" in out
+        assert "uncovered TCPP topics: 48" in out
+
+    def test_all_sections(self, capsys):
+        assert main(["report", "all"]) == 0
+        out = capsys.readouterr().out
+        for heading in ("TABLE I", "TABLE II", "Course distribution",
+                        "Accessibility", "External resources", "Gap analysis"):
+            assert heading in out, heading
+
+    def test_default_is_all(self, capsys):
+        assert main(["report"]) == 0
+        assert "TABLE II" in capsys.readouterr().out
+
+    def test_invalid_choice(self):
+        with pytest.raises(SystemExit):
+            main(["report", "table9"])
+
+
+class TestBuildAndNew:
+    def test_build(self, tmp_path, capsys):
+        assert main(["build", str(tmp_path / "site")]) == 0
+        out = capsys.readouterr().out
+        assert "rendered" in out
+        assert (tmp_path / "site" / "index.html").exists()
+        assert (tmp_path / "site" / "activities" / "gardeners" / "index.html").exists()
+
+    def test_build_scan_strategy(self, tmp_path):
+        assert main(["build", str(tmp_path / "site"), "--strategy", "scan"]) == 0
+
+    def test_new(self, tmp_path, capsys):
+        assert main(["new", "myactivity", str(tmp_path)]) == 0
+        created = tmp_path / "activities" / "myactivity.md"
+        assert created.exists()
+        assert "## Citations" in created.read_text()
+
+    def test_new_with_title(self, tmp_path):
+        main(["new", "myactivity", str(tmp_path), "--title", "My Activity"])
+        assert 'title: "My Activity"' in (
+            tmp_path / "activities" / "myactivity.md"
+        ).read_text()
+
+
+class TestValidateAndList:
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        assert "38 activities valid" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "findsmallestcard" in out
+        assert "simulation: yes" in out
+        assert out.count("\n") == 38
+
+
+class TestSearch:
+    def test_search_finds_activity(self, capsys):
+        assert main(["search", "byzantine", "generals"]) == 0
+        out = capsys.readouterr().out
+        assert "byzantinegenerals" in out
+
+    def test_search_limit(self, capsys):
+        assert main(["search", "cards", "--limit", "3"]) == 0
+        assert capsys.readouterr().out.count("\n") == 3
+
+    def test_search_no_match(self, capsys):
+        assert main(["search", "zorp"]) == 1
+        assert "no matches" in capsys.readouterr().out
+
+    def test_trends(self, capsys):
+        assert main(["trends"]) == 0
+        out = capsys.readouterr().out
+        assert "1990s" in out and "median" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify"]) == 0
+        assert "reproduced exactly" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_known_activity(self, capsys):
+        assert main(["simulate", "findsmallestcard", "-n", "8", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "FindSmallestCard (n=8)" in out
+        assert "checks: PASS" in out
+
+    def test_gantt_output(self, capsys):
+        assert main(["simulate", "oddeventranspositionsort", "-n", "6",
+                     "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "checks: PASS" in out
+        # Gantt roster rows appear (only swapping students get trace rows).
+        assert any(name in out for name in ("Ada", "Ben", "Cam", "Dot", "Eli", "Fay"))
+
+    def test_unknown_activity(self, capsys):
+        assert main(["simulate", "quantumsort"]) == 2
+        assert "no simulation" in capsys.readouterr().err
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,44 @@
+"""Exception-hierarchy tests: one catchable root, informative payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+
+def test_front_matter_error_carries_line():
+    err = errors.FrontMatterError("bad value", line=7)
+    assert err.line == 7
+    assert "line 7" in str(err)
+
+
+def test_validation_error_aggregates_problems():
+    err = errors.ValidationError(["a is wrong", "b is missing"])
+    assert err.problems == ["a is wrong", "b is missing"]
+    assert "a is wrong" in str(err)
+    assert isinstance(err, errors.ActivityError)
+
+
+def test_race_condition_error_carries_races():
+    err = errors.RaceConditionError("race!", races=[1, 2])
+    assert err.races == [1, 2]
+    assert isinstance(err, errors.SimulationError)
+
+
+def test_catching_the_root_catches_subsystem_errors():
+    from repro.sitegen.taxonomy import slugify
+
+    with pytest.raises(errors.ReproError):
+        slugify("&&&")
+    from repro.standards import cs2013
+
+    with pytest.raises(errors.ReproError):
+        cs2013.knowledge_unit("nope")

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, tmp_path, monkeypatch, capsys):
+    argv = [str(script)]
+    if script.stem == "quickstart":
+        argv.append(str(tmp_path / "site"))
+    monkeypatch.setattr(sys, "argv", argv)
+    with pytest.raises(SystemExit) as excinfo:
+        runpy.run_path(str(script), run_name="__main__")
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.strip(), script.stem
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 5
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,80 @@
+"""End-to-end integration tests across subsystems."""
+
+from __future__ import annotations
+
+import re
+
+from repro import load_default_catalog
+from repro.analytics import cs2013_coverage, tcpp_coverage
+from repro.sitegen.linkcheck import LinkAuditor, LinkStatus
+from repro.sitegen.views import accessibility_view, courses_view, cs2013_view, tcpp_view
+
+
+class TestCorpusToSitePipeline:
+    def test_full_pipeline(self, catalog, tmp_path):
+        """corpus -> validation -> taxonomy -> views -> site -> audit."""
+        catalog.validate_all()
+        index = catalog.taxonomy_index()
+        index.check_invariants()
+
+        views = [cs2013_view(index), tcpp_view(index),
+                 courses_view(index), accessibility_view(index)]
+        assert all(v.groups for v in views)
+
+        site = catalog.site()
+        site.check()
+        stats = site.build(tmp_path / "site")
+        assert stats.pages_rendered == 39
+
+        # Every internal link in every rendered page resolves.
+        href = re.compile(r'href="(/[^"]+/)"')
+        for html_file in (tmp_path / "site").rglob("index.html"):
+            for target in href.findall(html_file.read_text()):
+                assert (tmp_path / "site" / target.strip("/") / "index.html").exists(), (
+                    html_file, target,
+                )
+
+    def test_views_counts_agree_with_coverage(self, catalog):
+        """The browsing views and the analysis tables are two projections of
+        the same taxonomy data and must agree."""
+        index = catalog.taxonomy_index()
+        view = cs2013_view(index)
+        for row in cs2013_coverage(catalog):
+            if row.total_activities:
+                assert view.group(row.term).count == row.total_activities
+        view2 = tcpp_view(index)
+        for row in tcpp_coverage(catalog):
+            assert view2.group(row.term).count == row.total_activities
+
+    def test_link_audit_over_whole_corpus(self, catalog):
+        auditor = LinkAuditor()
+
+        class P:
+            def __init__(self, a):
+                self.name = a.name
+                self.body = "\n\n".join(a.sections.values())
+
+        result = auditor.audit([P(a) for a in catalog])
+        assert result.total >= 16
+        assert not [r for r in result.reports if r.status is LinkStatus.MALFORMED]
+
+    def test_simulation_slugs_resolve_to_catalog_titles(self, catalog):
+        """Every executable simulation corresponds to a curated entry whose
+        recorded activity name matches its title."""
+        from repro.unplugged import SIMULATIONS, Classroom
+
+        for slug in SIMULATIONS:
+            assert slug in catalog
+        result = SIMULATIONS["findsmallestcard"](Classroom(8, seed=0))
+        assert result.activity == catalog.get("findsmallestcard").title
+
+    def test_package_version_exposed(self):
+        import repro
+
+        assert re.match(r"^\d+\.\d+\.\d+$", repro.__version__)
+
+    def test_public_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name

@@ -1,0 +1,198 @@
+"""Tests for the analogy/concurrency activity simulations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.unplugged import (
+    SIMULATIONS,
+    Classroom,
+    batching_sweep,
+    greedy_schedule,
+    run_concert_tickets,
+    run_gardeners,
+    run_harvest,
+    run_juice_robots,
+    run_laundry_pipeline,
+    run_memory_models,
+    run_phone_call,
+)
+from repro.unplugged.sim.comm import CostModel
+
+
+class TestJuiceRobots:
+    def test_full_dramatization(self, classroom):
+        result = run_juice_robots(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_four_of_six_interleavings_violate(self, classroom):
+        result = run_juice_robots(classroom)
+        assert result.metrics["interleavings"] == 6
+        assert result.metrics["double_sugar_schedules"] == 4
+        # 2 clean schedules (one robot completes before the other tastes),
+        # 4 racy ones ending double-sweetened.
+        assert result.metrics["outcome_histogram"] == {1: 2, 2: 4}
+
+    def test_witness_schedules_recorded(self, classroom):
+        result = run_juice_robots(classroom)
+        assert len(result.trace) >= 1
+
+
+class TestConcertTickets:
+    def test_checks(self, classroom):
+        result = run_concert_tickets(classroom, tickets=10, buyers=16)
+        assert result.all_checks_pass, result.checks
+
+    def test_oversell_requires_race(self, classroom):
+        result = run_concert_tickets(classroom)
+        assert result.metrics["oversell_schedules"] > 0
+        assert result.metrics["locked_sold"] == 10
+        assert result.metrics["locked_refused"] == 6
+
+    def test_partition_parallel_but_can_refuse(self, classroom):
+        result = run_concert_tickets(classroom, tickets=10, buyers=16)
+        assert result.metrics["partitioned_time"] < result.metrics["locked_time"]
+
+    def test_validation(self, classroom):
+        with pytest.raises(SimulationError):
+            run_concert_tickets(classroom, tickets=0)
+
+
+class TestGardenersAndHarvest:
+    def test_gardeners_checks(self):
+        result = run_gardeners(Classroom(6, seed=1), n_plants=48)
+        assert result.all_checks_pass, result.checks
+
+    def test_stealing_beats_static_on_skew(self):
+        result = run_gardeners(Classroom(6, seed=1), n_plants=48)
+        assert result.metrics["dynamic_makespan"] < result.metrics["static_makespan"]
+
+    def test_harvest_checks(self):
+        result = run_harvest(Classroom(8, seed=2), rows=40)
+        assert result.all_checks_pass, result.checks
+
+    def test_harvest_lpt_beats_both_naive_strategies(self):
+        result = run_harvest(Classroom(8, seed=2), rows=40, skew=6.0)
+        m = result.metrics
+        assert m["lpt_makespan"] <= m["static_makespan"]
+        assert m["lpt_makespan"] <= m["dynamic_makespan"]
+
+    def test_harvest_naive_dynamic_is_unreliable(self):
+        """The refined lesson: field-order stealing loses to static on
+        some draws (a long row taken last), which is why LPT matters."""
+        outcomes = [
+            run_harvest(Classroom(8, seed=s)).metrics for s in range(12)
+        ]
+        assert any(m["dynamic_makespan"] > m["static_makespan"]
+                   for m in outcomes)
+        assert all(m["lpt_makespan"]
+                   <= min(m["static_makespan"], m["dynamic_makespan"]) * 1.05
+                   for m in outcomes)
+
+    def test_greedy_schedule_unit(self):
+        makespan, busy = greedy_schedule([5, 3, 3, 1], workers=2)
+        assert makespan == 6.0
+        assert sorted(busy) == [5.0, 7.0] or sum(busy) == 12.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            run_gardeners(Classroom(1))
+        with pytest.raises(SimulationError):
+            run_harvest(Classroom(8), rows=4)
+
+
+class TestMemoryModels:
+    def test_checks(self):
+        result = run_memory_models(Classroom(8, seed=3))
+        assert result.all_checks_pass, result.checks
+
+    def test_crossover_islands_win_large_classes(self):
+        """Whiteboard time is linear in n; the letter tree is logarithmic,
+        so for a large class with cheap letters the islands win."""
+        pricey_letters = CostModel(alpha=3.0, beta=0.01)
+        small = run_memory_models(Classroom(4, seed=1), write_time=1.0,
+                                  letter_cost=pricey_letters)
+        large = run_memory_models(Classroom(64, seed=1), write_time=1.0,
+                                  letter_cost=pricey_letters)
+        assert small.metrics["faster_model"] == "whiteboard"
+        assert large.metrics["faster_model"] == "islands"
+
+    def test_whiteboard_time_linear(self):
+        t8 = run_memory_models(Classroom(8, seed=2)).metrics["whiteboard_time"]
+        t16 = run_memory_models(Classroom(16, seed=2)).metrics["whiteboard_time"]
+        assert t16 > 1.5 * t8
+
+
+class TestPhoneCall:
+    def test_checks(self, classroom):
+        result = run_phone_call(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_formula_matches_simulator_exactly(self, classroom):
+        result = run_phone_call(classroom, total_units=60, n_messages=6,
+                                alpha=3.0, beta=0.2)
+        assert result.metrics["chatty_simulated_one_way"] == pytest.approx(
+            result.metrics["chatty_formula"]
+        )
+
+    def test_savings_grow_with_alpha(self, classroom):
+        cheap = run_phone_call(classroom, alpha=0.5)
+        pricey = run_phone_call(classroom, alpha=20.0)
+        assert pricey.metrics["savings_factor"] > cheap.metrics["savings_factor"]
+
+    def test_batching_sweep_monotone(self):
+        sweep = batching_sweep(100, alpha=2.0, beta=0.1, max_messages=10)
+        costs = [sweep[k] for k in sorted(sweep)]
+        assert costs == sorted(costs)
+
+    def test_validation(self, classroom):
+        with pytest.raises(SimulationError):
+            run_phone_call(classroom, total_units=2, n_messages=5)
+
+
+class TestLaundryPipeline:
+    def test_checks(self):
+        result = run_laundry_pipeline(Classroom(4, seed=1))
+        assert result.all_checks_pass, result.checks
+
+    def test_bottleneck_sets_throughput(self):
+        result = run_laundry_pipeline(Classroom(4, seed=1), loads=20,
+                                      stage_times=(2.0, 5.0, 1.0))
+        assert result.metrics["steady_state_gap"] == pytest.approx(5.0)
+
+    def test_speedup_approaches_stage_ratio(self):
+        stage_times = (2.0, 2.0, 2.0)
+        few = run_laundry_pipeline(Classroom(4), loads=3, stage_times=stage_times)
+        many = run_laundry_pipeline(Classroom(4), loads=60, stage_times=stage_times)
+        assert many.metrics["speedup"] > few.metrics["speedup"]
+        assert many.metrics["speedup"] < many.metrics["asymptotic_speedup"] + 0.2
+
+    def test_order_preserved(self):
+        result = run_laundry_pipeline(Classroom(5), loads=10,
+                                      stage_times=(1.0, 3.0, 2.0, 1.0))
+        assert result.checks["order_preserved"]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            run_laundry_pipeline(Classroom(1), stage_times=(1.0, 2.0))
+        with pytest.raises(SimulationError):
+            run_laundry_pipeline(Classroom(4), loads=0)
+
+
+class TestRegistry:
+    def test_every_registered_slug_is_a_corpus_activity(self, catalog):
+        for slug in SIMULATIONS:
+            assert slug in catalog, slug
+
+    def test_registry_covers_nearly_all_activities(self, catalog):
+        assert len(SIMULATIONS) >= 30
+        # Only a handful of purely-verbal analogies have no executable form.
+        without = set(catalog.names) - set(SIMULATIONS)
+        assert len(without) <= 4, without
+
+    def test_all_simulations_run_and_pass(self):
+        for slug, runner in SIMULATIONS.items():
+            result = runner(Classroom(12, seed=11, step_time_jitter=0.15))
+            assert result.all_checks_pass, (slug, result.checks)
+            assert result.metrics, slug

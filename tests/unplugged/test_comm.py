@@ -1,0 +1,387 @@
+"""Communicator tests: point-to-point semantics, cost model, collectives."""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommunicationError, DeadlockError
+from repro.unplugged.sim.comm import ANY, Communicator, CostModel
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.topology import Topology
+
+
+def world(size, **kwargs):
+    sim = Simulator()
+    return sim, Communicator(sim, size, **kwargs)
+
+
+class TestPointToPoint:
+    def test_send_recv_payload(self):
+        sim, comm = world(2)
+        got = []
+
+        def prog(ep):
+            if ep.rank == 0:
+                yield ep.send(1, {"a": 7}, tag=11)
+            else:
+                msg = yield ep.recv(source=0, tag=11)
+                got.append((msg.source, msg.tag, msg.data))
+
+        comm.launch(prog)
+        sim.run()
+        assert got == [(0, 11, {"a": 7})]
+
+    def test_transfer_time_alpha_beta(self):
+        sim, comm = world(2, cost_model=CostModel(alpha=3.0, beta=0.5))
+        times = []
+
+        def prog(ep):
+            if ep.rank == 0:
+                yield ep.send(1, [0] * 10)
+            else:
+                yield ep.recv()
+                times.append(ep.sim.now)
+
+        comm.launch(prog)
+        sim.run()
+        assert times == [3.0 + 10 * 0.5]
+
+    def test_messages_non_overtaking_same_pair(self):
+        sim, comm = world(2)
+        got = []
+
+        def prog(ep):
+            if ep.rank == 0:
+                for i in range(5):
+                    yield ep.send(1, i)
+            else:
+                for _ in range(5):
+                    msg = yield ep.recv(source=0)
+                    got.append(msg.data)
+
+        comm.launch(prog)
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_non_overtaking_with_mixed_sizes(self):
+        """A small message sent after a large one queues behind it on the
+        same link (FIFO wire discipline), despite a shorter transfer time."""
+        sim, comm = world(2, cost_model=CostModel(alpha=1.0, beta=1.0))
+        got = []
+
+        def prog(ep):
+            if ep.rank == 0:
+                yield ep.send(1, "x" * 50)     # arrives at 51 alone
+                yield ep.send(1, "y")          # would arrive at 2 if it overtook
+            else:
+                for _ in range(2):
+                    msg = yield ep.recv(source=0)
+                    got.append((msg.data[0], ep.sim.now))
+
+        comm.launch(prog)
+        sim.run()
+        assert [d for d, _ in got] == ["x", "y"]
+        assert got[1][1] >= got[0][1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(sizes=st.lists(st.integers(0, 40), min_size=1, max_size=8))
+    def test_non_overtaking_property(self, sizes):
+        """Per-pair FIFO holds for arbitrary message-size sequences."""
+        sim = Simulator()
+        comm = Communicator(sim, 2, cost_model=CostModel(alpha=0.5, beta=0.3))
+        got = []
+
+        def prog(ep):
+            if ep.rank == 0:
+                for i, size in enumerate(sizes):
+                    yield ep.send(1, [i] * size if size else None, tag=i)
+            else:
+                for i in range(len(sizes)):
+                    msg = yield ep.recv(source=0)
+                    got.append(msg.tag)
+
+        comm.launch(prog)
+        sim.run()
+        assert got == list(range(len(sizes)))
+
+    def test_wildcard_source_and_tag(self):
+        sim, comm = world(3)
+        got = []
+
+        def prog(ep):
+            if ep.rank == 2:
+                for _ in range(2):
+                    msg = yield ep.recv(source=ANY, tag=ANY)
+                    got.append(msg.source)
+            else:
+                yield ep.sim.timeout(float(ep.rank))
+                yield ep.send(2, "hi", tag=ep.rank)
+
+        comm.launch(prog)
+        sim.run()
+        assert sorted(got) == [0, 1]
+
+    def test_tag_filtering(self):
+        sim, comm = world(2)
+        order = []
+
+        def prog(ep):
+            if ep.rank == 0:
+                yield ep.send(1, "urgent", tag=9)
+                yield ep.send(1, "normal", tag=1)
+            else:
+                msg = yield ep.recv(tag=1)
+                order.append(msg.data)
+                msg = yield ep.recv(tag=9)
+                order.append(msg.data)
+
+        comm.launch(prog)
+        sim.run()
+        assert order == ["normal", "urgent"]
+
+    def test_bad_rank_rejected(self):
+        sim, comm = world(2)
+        with pytest.raises(CommunicationError):
+            comm.endpoint(5)
+
+        def prog(ep):
+            yield ep.send(9, "x")
+
+        comm.launch(prog, ranks=range(1))
+        with pytest.raises(CommunicationError):
+            sim.run()
+
+    def test_mutual_ssend_deadlocks(self):
+        """CS2013 PCC-3: blocking sends can deadlock."""
+        sim, comm = world(2)
+
+        def prog(ep):
+            yield ep.ssend(1 - ep.rank, "after you")
+            yield ep.recv()
+
+        comm.launch(prog)
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_ssend_completes_on_matching_recv(self):
+        sim, comm = world(2)
+        log = []
+
+        def prog(ep):
+            if ep.rank == 0:
+                yield ep.ssend(1, "sync")
+                log.append(("send-done", ep.sim.now))
+            else:
+                yield ep.sim.timeout(5.0)
+                msg = yield ep.recv(source=0)
+                log.append(("recv", msg.data))
+
+        comm.launch(prog)
+        sim.run()
+        assert ("recv", "sync") in log
+        assert any(kind == "send-done" and t >= 5.0 for kind, t in log)
+
+    def test_topology_hops_scale_latency(self):
+        topo = Topology.ring(8)
+        sim, comm = world(8, cost_model=CostModel(alpha=1.0, beta=0.0),
+                          topology=topo)
+        times = {}
+
+        def prog(ep):
+            if ep.rank == 0:
+                yield ep.send(4, "far")     # 4 hops on the ring
+                yield ep.send(1, "near")    # 1 hop
+            elif ep.rank in (1, 4):
+                msg = yield ep.recv(source=0)
+                times[ep.rank] = ep.sim.now
+
+        comm.launch(prog)
+        sim.run()
+        assert times[4] == pytest.approx(4.0)
+        assert times[1] == pytest.approx(1.0)
+
+    def test_stats_counting(self):
+        sim, comm = world(2)
+
+        def prog(ep):
+            if ep.rank == 0:
+                yield ep.send(1, "abc")
+            else:
+                yield ep.recv()
+
+        comm.launch(prog)
+        sim.run()
+        assert comm.stats.messages == 1
+        assert comm.stats.total_size == 3
+        assert comm.stats.per_rank_sent == {0: 1}
+
+
+def run_collective(size, body):
+    sim = Simulator()
+    comm = Communicator(sim, size)
+    results = {}
+
+    def prog(ep):
+        results[ep.rank] = yield from body(ep)
+
+    comm.launch(prog)
+    sim.run()
+    return results, comm
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8, 16])
+    @pytest.mark.parametrize("root", [0, "last"])
+    def test_bcast_delivers_to_all(self, size, root):
+        root = size - 1 if root == "last" else 0
+
+        def body(ep):
+            value = "payload" if ep.rank == root else None
+            out = yield from ep.bcast(value, root=root)
+            return out
+
+        results, _ = run_collective(size, body)
+        assert all(v == "payload" for v in results.values())
+
+    @pytest.mark.parametrize("size", [1, 2, 5, 8, 9])
+    def test_reduce_sums_to_root(self, size):
+        def body(ep):
+            out = yield from ep.reduce(ep.rank + 1, operator.add, root=0)
+            return out
+
+        results, _ = run_collective(size, body)
+        assert results[0] == size * (size + 1) // 2
+        assert all(v is None for r, v in results.items() if r != 0)
+
+    @pytest.mark.parametrize("size", [2, 3, 8])
+    def test_allreduce_everyone_gets_total(self, size):
+        def body(ep):
+            out = yield from ep.allreduce(2 ** ep.rank, operator.add)
+            return out
+
+        results, _ = run_collective(size, body)
+        assert set(results.values()) == {2 ** size - 1}
+
+    def test_gather_ordered_by_rank(self):
+        def body(ep):
+            out = yield from ep.gather(f"r{ep.rank}", root=0)
+            return out
+
+        results, _ = run_collective(4, body)
+        assert results[0] == ["r0", "r1", "r2", "r3"]
+
+    def test_scatter_distributes(self):
+        def body(ep):
+            values = [i * i for i in range(4)] if ep.rank == 0 else None
+            out = yield from ep.scatter(values, root=0)
+            return out
+
+        results, _ = run_collective(4, body)
+        assert results == {0: 0, 1: 1, 2: 4, 3: 9}
+
+    def test_scatter_wrong_length_rejected(self):
+        sim = Simulator()
+        comm = Communicator(sim, 3)
+
+        def prog(ep):
+            yield from ep.scatter([1, 2], root=0)
+
+        comm.launch(prog)
+        with pytest.raises((CommunicationError, DeadlockError)):
+            sim.run()
+
+    def test_allgather(self):
+        def body(ep):
+            out = yield from ep.allgather(ep.rank * 10)
+            return out
+
+        results, _ = run_collective(3, body)
+        assert all(v == [0, 10, 20] for v in results.values())
+
+    def test_scan_inclusive_prefix(self):
+        def body(ep):
+            out = yield from ep.scan(ep.rank + 1, operator.add)
+            return out
+
+        results, _ = run_collective(5, body)
+        assert results == {0: 1, 1: 3, 2: 6, 3: 10, 4: 15}
+
+    def test_barrier_separates_phases(self):
+        sim = Simulator()
+        comm = Communicator(sim, 4)
+        pre, post = [], []
+
+        def prog(ep):
+            yield ep.sim.timeout(float(ep.rank))
+            pre.append((ep.rank, ep.sim.now))
+            yield from ep.barrier()
+            post.append((ep.rank, ep.sim.now))
+
+        comm.launch(prog)
+        sim.run()
+        last_pre = max(t for _, t in pre)
+        first_post = min(t for _, t in post)
+        assert first_post >= last_pre
+
+    def test_bcast_message_count_is_n_minus_1(self):
+        def body(ep):
+            out = yield from ep.bcast("x" if ep.rank == 0 else None, root=0)
+            return out
+
+        for size in (2, 4, 8, 13):
+            _, comm = run_collective(size, body)
+            assert comm.stats.messages == size - 1, size
+
+    def test_bcast_time_logarithmic(self):
+        """Tree broadcast completes in ceil(log2 n) * alpha, not (n-1) * alpha."""
+        import math
+
+        def run(size):
+            sim = Simulator()
+            comm = Communicator(sim, size, cost_model=CostModel(alpha=1.0, beta=0.0))
+
+            def prog(ep):
+                yield from ep.bcast("x" if ep.rank == 0 else None, root=0)
+
+            comm.launch(prog)
+            return sim.run()
+
+        for size in (2, 4, 8, 16, 32):
+            assert run(size) == pytest.approx(math.ceil(math.log2(size)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=9),
+    values=st.data(),
+)
+def test_reduce_equals_python_sum(size, values):
+    """Property: tree reduction over + matches the sequential sum."""
+    xs = values.draw(
+        st.lists(st.integers(-100, 100), min_size=size, max_size=size)
+    )
+
+    def body(ep):
+        out = yield from ep.reduce(xs[ep.rank], operator.add, root=0)
+        return out
+
+    results, _ = run_collective(size, body)
+    assert results[0] == sum(xs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(min_value=1, max_value=9),
+       root=st.integers(min_value=0, max_value=8))
+def test_bcast_any_root(size, root):
+    root %= size
+
+    def body(ep):
+        out = yield from ep.bcast(("v", root) if ep.rank == root else None, root=root)
+        return out
+
+    results, _ = run_collective(size, body)
+    assert all(v == ("v", root) for v in results.values())

@@ -1,0 +1,140 @@
+"""Task-graph substrate tests: work/span, critical paths, list scheduling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.dag import TaskGraph
+
+
+def diamond() -> TaskGraph:
+    g = TaskGraph()
+    g.add_task("a", 2)
+    g.add_task("b", 3, deps=["a"])
+    g.add_task("c", 5, deps=["a"])
+    g.add_task("d", 1, deps=["b", "c"])
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        with pytest.raises(SimulationError, match="duplicate"):
+            g.add_task("a", 2)
+
+    def test_unknown_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(SimulationError, match="unknown dependency"):
+            g.add_task("b", 1, deps=["ghost"])
+
+    def test_cycle_rejected_and_rolled_back(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        # Self-cycle attempt.
+        with pytest.raises(SimulationError, match="cycle"):
+            g.add_task("a2", 1, deps=["a2"]) if False else g.add_task(
+                "loop", 1, deps=["loop"])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            TaskGraph().add_task("a", -1)
+
+    def test_dependency_queries(self):
+        g = diamond()
+        assert g.dependencies("d") == ["b", "c"]
+        assert g.dependents("a") == ["b", "c"]
+        assert "a" in g and len(g) == 4
+
+
+class TestCostMeasures:
+    def test_work_is_total_duration(self):
+        assert diamond().work == 11
+
+    def test_span_is_critical_path(self):
+        assert diamond().span == 8          # a -> c -> d
+
+    def test_critical_path_nodes(self):
+        assert diamond().critical_path() == ["a", "c", "d"]
+
+    def test_max_parallelism(self):
+        assert diamond().max_parallelism() == pytest.approx(11 / 8)
+
+    def test_empty_graph(self):
+        g = TaskGraph()
+        assert g.work == 0 and g.span == 0 and g.critical_path() == []
+
+    def test_chain_span_equals_work(self):
+        g = TaskGraph()
+        prev = None
+        for i in range(5):
+            g.add_task(f"t{i}", 2, deps=[prev] if prev else [])
+            prev = f"t{i}"
+        assert g.span == g.work == 10
+
+
+class TestScheduling:
+    def test_single_worker_time_is_work(self):
+        schedule = diamond().list_schedule(1)
+        assert schedule.makespan == 11
+
+    def test_two_workers_diamond(self):
+        g = diamond()
+        schedule = g.list_schedule(2)
+        g.verify_schedule(schedule)
+        # b and c overlap: makespan = 2 + max(3,5) + 1 = 8 = span.
+        assert schedule.makespan == 8
+
+    def test_infinite_workers_hit_span(self):
+        g = diamond()
+        schedule = g.list_schedule(16)
+        assert schedule.makespan == g.span
+
+    def test_schedule_respects_dependencies(self):
+        g = diamond()
+        s = g.list_schedule(3)
+        assert s.start_of("d") >= max(s.finish_of("b"), s.finish_of("c"))
+
+    def test_idle_accounting(self):
+        s = diamond().list_schedule(2)
+        assert s.total_idle == pytest.approx(2 * s.makespan - 11)
+
+    def test_verify_rejects_tampered_schedule(self):
+        g = diamond()
+        s = g.list_schedule(2)
+        s.entries[0] = type(s.entries[0])(
+            s.entries[0].task, s.entries[0].worker,
+            s.entries[0].start, s.entries[0].finish + 100,
+        )
+        with pytest.raises(SimulationError):
+            g.verify_schedule(s)
+
+    def test_gantt_rows(self):
+        rows = diamond().list_schedule(2).gantt_rows()
+        assert len(rows) == 2
+        assert any("a" in r for r in rows)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SimulationError):
+            diamond().list_schedule(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_dags_schedule_within_brent(self, data):
+        """Property: list schedules of random DAGs are valid and within
+        Brent's bounds for any worker count."""
+        n = data.draw(st.integers(1, 12))
+        g = TaskGraph()
+        for i in range(n):
+            deps = data.draw(st.lists(
+                st.integers(0, i - 1), max_size=min(i, 3), unique=True,
+            )) if i else []
+            g.add_task(f"t{i}", data.draw(st.integers(1, 9)),
+                       deps=[f"t{d}" for d in deps])
+        workers = data.draw(st.integers(1, 5))
+        schedule = g.list_schedule(workers)
+        g.verify_schedule(schedule)     # raises on any violation
+        assert schedule.makespan >= g.span - 1e-9

@@ -1,0 +1,145 @@
+"""Tests for the distributed-systems activity simulations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.unplugged import (
+    Classroom,
+    om_agreement,
+    run_byzantine_generals,
+    run_garbage_collection,
+    run_leader_election,
+)
+from repro.unplugged.token_ring import enabled_machines, run_token_ring
+
+
+class TestTokenRing:
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 16])
+    def test_stabilizes_from_arbitrary_corruption(self, n):
+        result = run_token_ring(Classroom(n, seed=2), corruptions=6)
+        assert result.all_checks_pass, result.checks
+
+    def test_legitimate_state_has_one_token(self):
+        assert enabled_machines([0, 0, 0, 0], k=5) == [0]
+        assert enabled_machines([3, 3, 2, 2], k=5) == [2]
+
+    def test_corrupted_state_can_have_many_tokens(self):
+        assert len(enabled_machines([0, 1, 2, 3], k=5)) > 1
+
+    def test_never_zero_tokens(self):
+        """Dijkstra's protocol cannot lose all tokens, any state."""
+        import itertools
+
+        k, n = 4, 3
+        for state in itertools.product(range(k), repeat=n):
+            assert enabled_machines(list(state), k), state
+
+    def test_small_ring_rejected(self):
+        with pytest.raises(SimulationError):
+            run_token_ring(Classroom(1))
+
+    def test_stabilization_recorded_per_attack(self):
+        result = run_token_ring(Classroom(6, seed=3), corruptions=4)
+        assert result.metrics["corruptions"] == 4
+        assert result.metrics["max_stabilization_steps"] >= 0
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize("n", [3, 4, 7, 12])
+    @pytest.mark.parametrize("algorithm", ["flood", "chang-roberts"])
+    def test_unique_max_leader(self, n, algorithm):
+        result = run_leader_election(Classroom(n, seed=1), algorithm=algorithm)
+        assert result.all_checks_pass, (algorithm, result.checks)
+
+    def test_flood_messages_quadratic(self):
+        result = run_leader_election(Classroom(8, seed=2), algorithm="flood")
+        assert result.metrics["messages"] == 64
+
+    def test_chang_roberts_fewer_messages(self):
+        n = 12
+        flood = run_leader_election(Classroom(n, seed=5), algorithm="flood")
+        cr = run_leader_election(Classroom(n, seed=5), algorithm="chang-roberts")
+        assert cr.metrics["messages"] < flood.metrics["messages"]
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SimulationError):
+            run_leader_election(Classroom(5), algorithm="magic")
+
+    def test_small_ring_rejected(self):
+        with pytest.raises(SimulationError):
+            run_leader_election(Classroom(2))
+
+
+class TestByzantine:
+    def test_om1_four_generals_one_traitor_agrees(self):
+        agreement, validity, _ = om_agreement(4, 1, traitors={3})
+        assert agreement and validity
+
+    def test_om1_three_generals_one_traitor_can_fail(self):
+        """n = 3m: the impossibility region of the classic theorem."""
+        outcomes = []
+        for traitor in (0, 1, 2):
+            agreement, validity, _ = om_agreement(3, 1, traitors={traitor})
+            outcomes.append(agreement and validity)
+        assert not all(outcomes)
+
+    def test_om2_seven_generals_two_traitors(self):
+        agreement, validity, _ = om_agreement(7, 2, traitors={5, 6})
+        assert agreement and validity
+
+    def test_traitorous_commander_still_agreement(self):
+        """With a traitor commander, loyal lieutenants agree among
+        themselves (validity is vacuous)."""
+        agreement, validity, decisions = om_agreement(4, 1, traitors={0})
+        assert agreement and validity
+
+    def test_runner_checks(self):
+        result = run_byzantine_generals(Classroom(7, seed=1), m=2)
+        assert result.all_checks_pass
+        assert result.metrics["rounds"] == 3
+
+    def test_message_count_formula(self):
+        result = run_byzantine_generals(Classroom(7, seed=1), m=2)
+        assert result.metrics["oral_messages"] == 6 * 5 * 4
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            run_byzantine_generals(Classroom(2), m=0)
+        with pytest.raises(SimulationError):
+            run_byzantine_generals(Classroom(4), m=4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(4, 10), data=st.data())
+    def test_n_greater_3m_always_agrees(self, n, data):
+        """Property: OM(m) guarantees agreement+validity whenever n > 3m."""
+        max_m = (n - 1) // 3
+        m = data.draw(st.integers(0, max_m))
+        traitors = set(data.draw(st.lists(
+            st.integers(1, n - 1), min_size=m, max_size=m, unique=True)))
+        agreement, validity, _ = om_agreement(n, m, traitors)
+        assert agreement and validity
+
+
+class TestGarbageCollection:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_rescan_always_correct(self, seed):
+        result = run_garbage_collection(Classroom(12, seed=seed))
+        assert result.checks["rescan_marks_all_live"], result.metrics
+        assert result.checks["no_dead_marked"]
+
+    def test_naive_pass_demonstrates_the_hazard(self):
+        """On at least one classroom seed the adversarial mutator hides a
+        live object from the naive pass."""
+        missed = [
+            run_garbage_collection(Classroom(12, seed=s)).metrics["naive_missed_live"]
+            for s in range(6)
+        ]
+        assert any(m > 0 for m in missed)
+
+    def test_small_class_rejected(self):
+        with pytest.raises(SimulationError):
+            run_garbage_collection(Classroom(2))

@@ -1,0 +1,197 @@
+"""Discrete-event kernel tests: ordering, processes, determinism, deadlock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.unplugged.sim.engine import Simulator
+
+
+class TestEventsAndTime:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="negative"):
+            sim.timeout(-1)
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_timeout_value_passed_to_process(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1.0, value="payload")
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(100.0)
+
+        sim.process(proc())
+        final = sim.run(until=10.0, detect_deadlock=False)
+        assert final == 10.0
+
+    def test_event_cannot_succeed_twice(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError, match="already triggered"):
+            ev.succeed()
+
+    def test_callback_after_fired_still_runs(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("v")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run(detect_deadlock=False)
+        assert seen == ["v"]
+
+
+class TestProcesses:
+    def test_process_return_value_becomes_event_value(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(2.0)
+            return 42
+
+        results = []
+
+        def parent():
+            value = yield sim.process(child())
+            results.append(value)
+
+        sim.process(parent())
+        sim.run()
+        assert results == [42]
+
+    def test_process_yielding_non_event_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield 7
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="expected an Event"):
+            sim.run()
+
+    def test_cross_simulator_event_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+
+        def proc():
+            yield sim2.timeout(1)
+
+        sim1.process(proc())
+        with pytest.raises(SimulationError, match="another simulator"):
+            sim1.run()
+
+    def test_all_of_barrier_join(self):
+        sim = Simulator()
+
+        def worker(duration, value):
+            yield sim.timeout(duration)
+            return value
+
+        collected = []
+
+        def joiner():
+            procs = [sim.process(worker(d, d)) for d in (3.0, 1.0, 2.0)]
+            values = yield sim.all_of(procs)
+            collected.append((sim.now, values))
+
+        sim.process(joiner())
+        sim.run()
+        assert collected == [(3.0, [3.0, 1.0, 2.0])]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        done = []
+
+        def proc():
+            values = yield sim.all_of([])
+            done.append(values)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [[]]
+
+    def test_determinism_across_runs(self):
+        def build():
+            sim = Simulator()
+            log = []
+
+            def proc(tag, delay):
+                yield sim.timeout(delay)
+                log.append((tag, sim.now))
+                yield sim.timeout(delay)
+                log.append((tag, sim.now))
+
+            for i, d in enumerate((2.0, 1.0, 1.0, 3.0)):
+                sim.process(proc(i, d))
+            sim.run()
+            return log
+
+        assert build() == build()
+
+
+class TestDeadlockDetection:
+    def test_blocked_process_raises(self):
+        sim = Simulator()
+
+        def stuck():
+            yield sim.event(name="never")
+
+        sim.process(stuck(), name="stucky")
+        with pytest.raises(DeadlockError, match="stucky"):
+            sim.run()
+
+    def test_detection_can_be_disabled(self):
+        sim = Simulator()
+
+        def stuck():
+            yield sim.event()
+
+        sim.process(stuck())
+        sim.run(detect_deadlock=False)
+
+    def test_completed_processes_do_not_trip_detector(self):
+        sim = Simulator()
+
+        def fine():
+            yield sim.timeout(1)
+
+        sim.process(fine())
+        sim.run()

@@ -1,0 +1,338 @@
+"""Tests for the extended activity simulations (second wave)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.unplugged import (
+    Classroom,
+    amat,
+    copy_volume,
+    grid_shapes,
+    halo_volume,
+    lru_hit_rate,
+    run_assembly_line,
+    run_bank_deposit,
+    run_cache_library,
+    run_checkout_contention,
+    run_coin_counting,
+    run_decomposition_puzzle,
+    run_dining_philosophers,
+    run_exam_grading,
+    run_matrix_teams,
+    run_object_roleplay,
+    run_parallel_addition,
+    run_parallel_search,
+    run_printer_queue,
+    run_recipe_scheduling,
+    run_rhythm_clap,
+    run_road_trip,
+    run_synchronization_relay,
+    run_topology_yarn,
+)
+from repro.unplugged.recipe_scheduling import build_dinner_graph
+
+
+class TestRecipeScheduling:
+    def test_checks_pass(self, classroom):
+        result = run_recipe_scheduling(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_dinner_graph_shape(self):
+        g = build_dinner_graph()
+        assert len(g) == 11
+        assert "serve" in g.critical_path()
+
+    def test_makespan_monotone_and_span_limited(self, classroom):
+        result = run_recipe_scheduling(classroom, max_cooks=6)
+        spans = result.metrics["makespans"]
+        assert spans[1] == result.metrics["work"]
+        assert min(spans.values()) >= result.metrics["span"]
+
+    def test_custom_graph(self, classroom):
+        from repro.unplugged.sim.dag import TaskGraph
+
+        g = TaskGraph()
+        g.add_task("only", 5)
+        result = run_recipe_scheduling(classroom, graph=g, max_cooks=3)
+        assert result.metrics["work"] == 5
+        assert result.all_checks_pass
+
+
+class TestGradingAndRoadTrip:
+    def test_grading_checks(self, classroom):
+        result = run_exam_grading(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_karp_flatt_fit_close(self, classroom):
+        result = run_exam_grading(classroom)
+        fit = result.metrics["mean_fitted_serial_fraction"]
+        true = result.metrics["true_serial_fraction"]
+        assert abs(fit - true) < 0.12
+
+    def test_no_jitter_fit_is_exact(self):
+        room = Classroom(8, seed=1, step_time_jitter=0.0)
+        result = run_exam_grading(room, exams=120)
+        # Without jitter the only deviation is the ceil() on shares.
+        assert abs(result.metrics["mean_fitted_serial_fraction"]
+                   - result.metrics["true_serial_fraction"]) < 0.03
+
+    def test_road_trip_checks(self, classroom):
+        result = run_road_trip(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_road_trip_plateau(self, classroom):
+        result = run_road_trip(classroom, city_hours=2.0, highway_hours=8.0)
+        assert result.metrics["plateau"] == pytest.approx(5.0)
+        assert max(result.metrics["speedups"].values()) < 5.0
+
+    def test_road_trip_validation(self, classroom):
+        with pytest.raises(SimulationError):
+            run_road_trip(classroom, city_hours=0.0)
+
+    def test_weak_scaling_checks(self, classroom):
+        from repro.unplugged import run_weak_scaling_grading
+
+        result = run_weak_scaling_grading(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_weak_scaling_beats_strong_scaling_at_8(self, classroom):
+        """Gustafson's point: at 8 workers the scaled speedup exceeds the
+        fixed-stack speedup."""
+        from repro.unplugged import run_weak_scaling_grading
+
+        strong = run_exam_grading(classroom).metrics["speedups"][8]
+        weak = run_weak_scaling_grading(classroom).metrics["scaled_speedups"][8]
+        assert weak > strong
+
+    def test_weak_scaling_wall_clock_flat(self):
+        from repro.unplugged import run_weak_scaling_grading
+
+        result = run_weak_scaling_grading(Classroom(8, seed=2,
+                                                    step_time_jitter=0.0))
+        times = result.metrics["times"]
+        assert max(times.values()) <= min(times.values()) * 1.01
+
+    def test_weak_scaling_validation(self, classroom):
+        from repro.unplugged import run_weak_scaling_grading
+
+        with pytest.raises(SimulationError):
+            run_weak_scaling_grading(classroom, exams_per_grader=0)
+
+
+class TestDiningPhilosophers:
+    def test_all_three_acts(self, classroom):
+        result = run_dining_philosophers(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_greedy_always_deadlocks(self, classroom):
+        for n in (3, 5, 7):
+            result = run_dining_philosophers(classroom, philosophers=n)
+            assert result.metrics["greedy_deadlocked"]
+
+    def test_fixes_serve_all_meals(self, classroom):
+        result = run_dining_philosophers(classroom, philosophers=5, meals_each=4)
+        assert result.metrics["ordered_meals"] == 20
+        assert result.metrics["waiter_meals"] == 20
+
+    def test_validation(self, classroom):
+        with pytest.raises(SimulationError):
+            run_dining_philosophers(classroom, philosophers=1)
+
+
+class TestSynchronizationRelay:
+    def test_checks(self, classroom):
+        result = run_synchronization_relay(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_poll_counts_ranked(self, classroom):
+        m = run_synchronization_relay(classroom).metrics
+        assert m["wasted_polls"]["busy-wait"] > m["wasted_polls"]["tray"] > \
+            m["wasted_polls"]["signal"] == 0
+
+    def test_signal_time_formula(self, classroom):
+        m = run_synchronization_relay(classroom, leg_time=4.0,
+                                      tap_time=1.0).metrics
+        assert m["times"]["signal"] == pytest.approx(
+            m["pure_running_time"] + m["runners"] * 1.0
+        )
+
+    def test_validation(self, classroom):
+        with pytest.raises(SimulationError):
+            run_synchronization_relay(classroom, runners=1)
+
+
+class TestMatrixTeams:
+    def test_checks(self, classroom):
+        result = run_matrix_teams(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_product_verified_against_numpy(self, classroom):
+        result = run_matrix_teams(classroom, n=12, grid=(2, 2))
+        assert result.checks["product_correct"]
+
+    def test_copy_volume_formula(self):
+        assert copy_volume(12, 1, 4) == 144 * 5
+        assert copy_volume(12, 2, 2) == 144 * 4
+
+    def test_square_grid_copies_least(self):
+        volumes = {rc: copy_volume(16, *rc) for rc in grid_shapes(16)
+                   if 16 % rc[0] == 0 and 16 % rc[1] == 0}
+        assert min(volumes, key=volumes.get) == (4, 4)
+
+    def test_strip_vs_square_ablation(self, classroom):
+        square = run_matrix_teams(classroom, n=12, grid=(2, 2))
+        strip = run_matrix_teams(classroom, n=12, grid=(1, 4))
+        assert square.metrics["copied_elements"] < strip.metrics["copied_elements"]
+
+    def test_indivisible_grid_rejected(self, classroom):
+        with pytest.raises(SimulationError):
+            run_matrix_teams(classroom, n=12, grid=(5, 2))
+
+
+class TestContention:
+    def test_checkout_checks(self, classroom):
+        result = run_checkout_contention(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_more_lanes_cut_waits(self, classroom):
+        sweep = run_checkout_contention(classroom).metrics["lane_sweep"]
+        assert sweep[4]["mean_wait"] < sweep[1]["mean_wait"]
+
+    def test_printer_checks(self, classroom):
+        result = run_printer_queue(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_pf1_distinction_signatures(self, classroom):
+        m = run_printer_queue(classroom).metrics
+        split = m["split_report_times"]
+        shared = m["shared_printer_times"]
+        assert split[max(split)] < split[1] / 2          # scales
+        assert max(shared.values()) - min(shared.values()) < 1.0  # does not
+
+
+class TestMicroarchitecture:
+    def test_cache_library_checks(self, classroom):
+        result = run_cache_library(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_amat_formula(self):
+        assert amat(1.0, 0.1, 30.0) == pytest.approx(4.0)
+        with pytest.raises(SimulationError):
+            amat(1.0, 1.5, 30.0)
+
+    def test_lru_hit_rate_known_string(self):
+        assert lru_hit_rate([1, 1, 1, 1], 1) == 0.75
+        assert lru_hit_rate([1, 2, 3, 1, 2, 3], 2) == 0.0   # thrashing
+        assert lru_hit_rate([], 4) == 0.0
+
+    def test_locality_sweep(self, classroom):
+        low = run_cache_library(classroom, locality=0.1).metrics["focused_hit_rate"]
+        high = run_cache_library(classroom, locality=0.9).metrics["focused_hit_rate"]
+        assert high > low
+
+    def test_assembly_line_checks(self, classroom):
+        result = run_assembly_line(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_assembly_line_cycle_accounting(self, classroom):
+        m = run_assembly_line(classroom, cars=40, stall_every=7,
+                              stall_cycles=2, model_change_every=13).metrics
+        assert m["cycles"] == m["ideal_cycles"] + m["stalls"] * 2 + m["flushes"] * 4
+
+    def test_hazard_free_line_is_ideal(self, classroom):
+        m = run_assembly_line(classroom, cars=50, stall_every=0,
+                              model_change_every=0).metrics
+        assert m["cycles"] == m["ideal_cycles"]
+
+
+class TestSIMDAndPuzzle:
+    def test_rhythm_checks(self, classroom):
+        result = run_rhythm_clap(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_full_mask_utilization(self, classroom):
+        m = run_rhythm_clap(classroom, mask_fraction=1.0).metrics
+        assert m["simd_utilization"] == pytest.approx(0.5)   # half the beats masked
+
+    def test_no_mask_full_utilization(self, classroom):
+        m = run_rhythm_clap(classroom, mask_fraction=0.0).metrics
+        assert m["simd_utilization"] == 1.0
+
+    def test_puzzle_checks(self, classroom):
+        result = run_decomposition_puzzle(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_puzzle_matches_reference_sweep(self, classroom):
+        result = run_decomposition_puzzle(classroom, n=24, tiles=(2, 2))
+        assert result.checks["sweep_matches_reference"]
+
+    def test_halo_formula(self):
+        assert halo_volume(24, 1, 4) == 2 * 24 * 3
+        assert halo_volume(24, 2, 2) == 2 * 24 * 2
+
+    def test_blocks_beat_strips(self, classroom):
+        block = run_decomposition_puzzle(classroom, n=24, tiles=(2, 2))
+        strip = run_decomposition_puzzle(classroom, n=24, tiles=(1, 4))
+        assert block.metrics["halo_cells_measured"] <= \
+            strip.metrics["halo_cells_measured"]
+
+
+class TestAdditionAndCoins:
+    def test_addition_checks(self, classroom):
+        result = run_parallel_addition(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_addition_sum_matches(self, classroom):
+        result = run_parallel_addition(classroom, cards_per_student=3)
+        assert result.checks["sum_correct"]
+
+    def test_coin_checks(self, classroom):
+        result = run_coin_counting(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_double_count_always_too_high(self, classroom):
+        m = run_coin_counting(classroom).metrics
+        assert m["double_count_total"] > m["true_total"]
+
+
+class TestSearchAndObjects:
+    def test_search_checks(self, classroom):
+        result = run_parallel_search(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_search_finds_planted_target(self, classroom):
+        result = run_parallel_search(classroom, haystack_size=160,
+                                     target_position=150)
+        assert result.metrics["target_position"] == 150
+        assert result.all_checks_pass
+
+    def test_object_roleplay_checks(self, classroom):
+        result = run_object_roleplay(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_object_roleplay_deadlock_detected(self, classroom):
+        assert run_object_roleplay(classroom).metrics["synchronous_deadlocks"]
+
+
+class TestYarnAndBank:
+    def test_yarn_checks(self):
+        for n in (4, 8, 12, 16):
+            result = run_topology_yarn(Classroom(n, seed=2))
+            assert result.all_checks_pass, (n, result.checks)
+
+    def test_yarn_hypercube_present_for_powers_of_two(self):
+        result = run_topology_yarn(Classroom(8, seed=1))
+        assert "hypercube" in result.metrics["networks"]
+
+    def test_bank_checks(self, classroom):
+        result = run_bank_deposit(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_bank_losses_are_single_deposits(self, classroom):
+        m = run_bank_deposit(classroom, opening_balance=100,
+                             deposits=(50, 30)).metrics
+        assert set(m["final_balances"]) <= {130, 150, 180}
+        assert m["final_balances"][180] > 0

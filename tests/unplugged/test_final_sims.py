@@ -1,0 +1,101 @@
+"""Tests for the last three activity simulations (38/38 coverage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.unplugged import (
+    SIMULATIONS,
+    Classroom,
+    build_puzzle_graph,
+    run_fence_painting,
+    run_multicore_kitchen,
+    run_speedup_jigsaw,
+)
+
+
+class TestFencePainting:
+    def test_checks(self, classroom):
+        result = run_fence_painting(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_dp_split_is_optimal_vs_equal(self):
+        """The cost-aware split never loses on work imbalance, any seed."""
+        for seed in range(10):
+            r = run_fence_painting(Classroom(8, seed=seed))
+            assert r.metrics["cost_aware_max_share"] <= \
+                r.metrics["equal_max_share"] + 1e-9
+
+    def test_shade_creates_imbalance_to_remove(self, classroom):
+        r = run_fence_painting(classroom, shade_slowdown=6.0)
+        assert r.metrics["imbalance_removed"] > 1.0
+
+    def test_shared_bucket_costs_time(self, classroom):
+        r = run_fence_painting(classroom)
+        assert r.metrics["contention_cost"] >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            run_fence_painting(Classroom(1))
+        with pytest.raises(SimulationError):
+            run_fence_painting(Classroom(8), stretches=4)
+
+
+class TestMulticoreKitchen:
+    def test_checks(self, classroom):
+        result = run_multicore_kitchen(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_stove_is_the_bottleneck(self, classroom):
+        m = run_multicore_kitchen(classroom).metrics
+        assert m["times_by_cooks"][4] >= m["stove_floor"]
+        assert m["speedup_4"] < 4.0
+
+    def test_repetitive_menu_hits_counter_more(self, classroom):
+        m = run_multicore_kitchen(classroom).metrics
+        assert m["repetitive_hit_rate"] > m["eclectic_hit_rate"]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            run_multicore_kitchen(Classroom(2))
+
+
+class TestSpeedupJigsaw:
+    def test_checks(self, classroom):
+        result = run_speedup_jigsaw(classroom)
+        assert result.all_checks_pass, result.checks
+
+    def test_puzzle_graph_shape(self):
+        g = build_puzzle_graph(4, 5)
+        assert len(g) == 20
+        assert g.dependencies("p0.0") == []
+        assert g.dependencies("p2.3") == ["p1.3", "p2.2"]
+        # The span is the Manhattan chain from corner to corner.
+        assert g.span < g.work
+
+    def test_efficiency_declines_with_team_size(self, classroom):
+        m = run_speedup_jigsaw(classroom).metrics
+        assert m["efficiencies"][4] < m["efficiencies"][2] <= 1.0 + 1e-9
+
+    def test_speedup_capped_by_parallelism(self, classroom):
+        m = run_speedup_jigsaw(classroom).metrics
+        assert m["speedups"][4] <= m["max_parallelism"] + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            run_speedup_jigsaw(Classroom(2))
+        with pytest.raises(SimulationError):
+            build_puzzle_graph(1, 5)
+
+
+class TestFullCoverage:
+    def test_every_corpus_activity_has_a_simulation(self, catalog):
+        assert set(catalog.names) <= set(SIMULATIONS)
+        assert len(SIMULATIONS) == 38
+
+    def test_all_38_run_and_pass(self):
+        room_args = dict(size=10, seed=21, step_time_jitter=0.15)
+        for slug, runner in sorted(SIMULATIONS.items()):
+            result = runner(Classroom(**room_args))
+            assert result.all_checks_pass, (slug, result.checks)

@@ -1,0 +1,147 @@
+"""Lossy channel, any_of combinator, and stop-and-wait ARQ tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.unplugged import Classroom, run_stop_and_wait
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.lossy import LossyChannel
+
+
+class TestAnyOf:
+    def test_first_event_wins(self):
+        sim = Simulator()
+        results = []
+
+        def proc():
+            winner = yield sim.any_of([sim.timeout(5, value="slow"),
+                                       sim.timeout(2, value="fast")])
+            results.append(winner)
+
+        sim.process(proc())
+        sim.run()
+        assert results == [(1, "fast")]
+
+    def test_later_firings_ignored(self):
+        sim = Simulator()
+        resumed = []
+
+        def proc():
+            winner = yield sim.any_of([sim.timeout(1), sim.timeout(2)])
+            resumed.append(winner)
+            yield sim.timeout(5)    # outlive the losing event
+
+        sim.process(proc())
+        sim.run()
+        assert len(resumed) == 1    # the process resumed exactly once
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().any_of([])
+
+
+class TestLossyChannel:
+    def test_zero_loss_delivers_everything(self):
+        sim = Simulator()
+        chan = LossyChannel(sim, loss_rate=0.0, delay=1.0)
+        got = []
+
+        def receiver():
+            for _ in range(3):
+                value = yield chan.recv()
+                got.append(value)
+
+        sim.process(receiver())
+        for i in range(3):
+            chan.send(i)
+        sim.run()
+        assert got == [0, 1, 2]
+        assert chan.dropped == 0
+
+    def test_loss_is_deterministic_per_seed(self):
+        def drops(seed):
+            sim = Simulator()
+            chan = LossyChannel(sim, loss_rate=0.5, seed=seed)
+            for i in range(40):
+                chan.send(i)
+            sim.run(detect_deadlock=False)
+            return chan.dropped
+
+        assert drops(3) == drops(3)
+        assert 0 < drops(3) < 40
+
+    def test_cancelled_recv_does_not_swallow(self):
+        """The waiter-leak hazard: a timed-out receive must not eat the
+        next message."""
+        sim = Simulator()
+        chan = LossyChannel(sim, loss_rate=0.0, delay=10.0)
+        got = []
+
+        def receiver():
+            first = chan.recv()
+            winner = yield sim.any_of([first, sim.timeout(2)])
+            assert winner[0] == 1          # timeout won
+            chan.cancel(first)
+            value = yield chan.recv()      # must get the late message
+            got.append(value)
+
+        sim.process(receiver())
+        chan.send("late")
+        sim.run()
+        assert got == ["late"]
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            LossyChannel(sim, loss_rate=1.0)
+        with pytest.raises(SimulationError):
+            LossyChannel(sim, delay=-1)
+
+
+class TestStopAndWait:
+    def test_lossless_is_one_to_one(self, classroom):
+        result = run_stop_and_wait(classroom, letters=10, loss_rate=0.0)
+        assert result.all_checks_pass, result.checks
+        assert result.metrics["transmissions"] == 10
+
+    @pytest.mark.parametrize("loss", [0.2, 0.4, 0.6])
+    def test_reliable_delivery_under_loss(self, loss):
+        result = run_stop_and_wait(Classroom(8, seed=5), letters=15,
+                                   loss_rate=loss)
+        assert result.all_checks_pass, (loss, result.checks)
+        assert result.metrics["retransmissions"] > 0
+
+    def test_overhead_grows_with_loss(self):
+        overheads = {}
+        for loss in (0.0, 0.3, 0.6):
+            r = run_stop_and_wait(Classroom(8, seed=0), letters=25,
+                                  loss_rate=loss)
+            overheads[loss] = r.metrics["measured_overhead"]
+        assert overheads[0.0] < overheads[0.3] < overheads[0.6]
+
+    def test_overhead_tracks_analytic_model(self):
+        """Measured overhead ~ 1/(1-p)^2 within sampling noise."""
+        r = run_stop_and_wait(Classroom(8, seed=1), letters=60, loss_rate=0.3)
+        assert r.metrics["measured_overhead"] == pytest.approx(
+            r.metrics["expected_overhead"], rel=0.4
+        )
+
+    def test_validation(self, classroom):
+        with pytest.raises(SimulationError):
+            run_stop_and_wait(classroom, letters=0)
+        with pytest.raises(SimulationError):
+            run_stop_and_wait(classroom, timeout=1.0, delay=1.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100), loss=st.sampled_from([0.1, 0.3, 0.5]))
+    def test_exactly_once_in_order_property(self, seed, loss):
+        """Property: every seed and loss rate delivers exactly-once,
+        in-order."""
+        result = run_stop_and_wait(Classroom(6, seed=seed), letters=8,
+                                   loss_rate=loss)
+        assert result.checks["all_letters_delivered"]
+        assert result.checks["in_order_exactly_once"]

@@ -1,0 +1,173 @@
+"""Hypothesis property tests on the simulation primitives.
+
+Invariants that must hold for *arbitrary* programs, not just the ones the
+activity simulations happen to run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.sync import Barrier, Lock, Semaphore, Store
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    durations=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=8),
+)
+def test_lock_serializes_arbitrary_critical_sections(durations):
+    """No two critical sections ever overlap, whatever their durations."""
+    sim = Simulator()
+    lock = Lock(sim)
+    intervals: list[tuple[float, float]] = []
+
+    def worker(i: int, d: float):
+        yield lock.acquire(f"w{i}")
+        start = sim.now
+        yield sim.timeout(d)
+        intervals.append((start, sim.now))
+        lock.release(f"w{i}")
+
+    for i, d in enumerate(durations):
+        sim.process(worker(i, d))
+    sim.run()
+
+    intervals.sort()
+    for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1 - 1e-9
+    assert len(intervals) == len(durations)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    permits=st.integers(1, 4),
+    workers=st.integers(1, 10),
+)
+def test_semaphore_never_exceeds_permits(permits, workers):
+    sim = Simulator()
+    sem = Semaphore(sim, permits)
+    active = 0
+    peak = 0
+
+    def worker():
+        nonlocal active, peak
+        yield sem.acquire()
+        active += 1
+        peak = max(peak, active)
+        yield sim.timeout(1.0)
+        active -= 1
+        sem.release()
+
+    for _ in range(workers):
+        sim.process(worker())
+    sim.run()
+    assert peak <= permits
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    parties=st.integers(1, 5),
+    rounds=st.integers(1, 4),
+    delays=st.data(),
+)
+def test_barrier_rounds_never_interleave(parties, rounds, delays):
+    """No process enters round k+1 before every process left round k."""
+    sim = Simulator()
+    barrier = Barrier(sim, parties)
+    exits: dict[int, list[float]] = {g: [] for g in range(rounds)}
+
+    def worker(i: int):
+        for r in range(rounds):
+            d = delays.draw(st.floats(0.0, 3.0), label=f"d{i}.{r}")
+            yield sim.timeout(d)
+            gen = yield barrier.wait()
+            exits[gen].append(sim.now)
+
+    for i in range(parties):
+        sim.process(worker(i))
+    sim.run()
+    for r in range(rounds - 1):
+        assert max(exits[r]) <= min(exits[r + 1]) + 1e-9
+        assert len(exits[r]) == parties
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=st.lists(st.integers(), max_size=12))
+def test_store_is_fifo_for_any_item_sequence(items):
+    sim = Simulator()
+    store = Store(sim)
+    received: list[int] = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+            yield sim.timeout(0.5)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == items
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(1, 3),
+    items=st.lists(st.integers(), min_size=1, max_size=10),
+)
+def test_bounded_store_never_overfills(capacity, items):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    high_water = 0
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def watcher_consumer():
+        nonlocal high_water
+        for _ in items:
+            high_water = max(high_water, len(store))
+            yield sim.timeout(1.0)
+            yield store.get()
+
+    sim.process(producer())
+    sim.process(watcher_consumer())
+    sim.run()
+    assert high_water <= capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 12),
+    seed=st.integers(0, 1000),
+)
+def test_classroom_determinism_property(n, seed):
+    """Identical (size, seed) classrooms are behaviourally identical."""
+    from repro.unplugged import Classroom
+
+    a = Classroom(n, seed=seed, step_time_jitter=0.25)
+    b = Classroom(n, seed=seed, step_time_jitter=0.25)
+    assert a.deal_cards(n) == b.deal_cards(n)
+    assert [a.step_time(i) for i in range(n)] == [b.step_time(i) for i in range(n)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 16),
+    seed=st.integers(0, 200),
+)
+def test_token_ring_stabilizes_for_any_seed(n, seed):
+    """Self-stabilization is seed-independent: every corruption recovers."""
+    from repro.unplugged import Classroom
+    from repro.unplugged.token_ring import run_token_ring
+
+    result = run_token_ring(Classroom(n, seed=seed), corruptions=2)
+    assert result.checks["always_stabilizes"]
+    assert result.checks["closure_once_legal"]

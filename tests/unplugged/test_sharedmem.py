@@ -1,0 +1,174 @@
+"""Shared-memory race detector and interleaving explorer tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RaceConditionError, SimulationError
+from repro.unplugged.sim.sharedmem import (
+    SharedMemory,
+    Step,
+    count_interleavings,
+    explore_interleavings,
+)
+
+
+class TestRaceDetector:
+    def test_unsynchronized_write_write_flagged(self):
+        mem = SharedMemory()
+        mem.write("x", "a", 1)
+        mem.write("x", "b", 2)
+        assert mem.racy_locations == ["x"]
+
+    def test_read_write_conflict_flagged(self):
+        mem = SharedMemory()
+        mem.write("x", "a", 1)
+        mem.read("x", "b")
+        assert mem.races
+
+    def test_read_read_not_a_race(self):
+        mem = SharedMemory()
+        mem.poke("x", 0)
+        mem.read("x", "a")
+        mem.read("x", "b")
+        assert not mem.races
+
+    def test_single_actor_never_races(self):
+        mem = SharedMemory()
+        for i in range(10):
+            mem.write("x", "solo", i)
+            mem.read("x", "solo")
+        assert not mem.races
+
+    def test_common_lock_suppresses(self):
+        mem = SharedMemory()
+        for actor in ("a", "b", "c"):
+            mem.lock_acquired(actor, "L")
+            mem.write("x", actor, 1)
+            mem.lock_released(actor, "L")
+        assert not mem.races
+
+    def test_different_locks_still_race(self):
+        mem = SharedMemory()
+        mem.lock_acquired("a", "L1")
+        mem.write("x", "a", 1)
+        mem.lock_released("a", "L1")
+        mem.lock_acquired("b", "L2")
+        mem.write("x", "b", 2)
+        mem.lock_released("b", "L2")
+        assert mem.races
+
+    def test_raise_policy(self):
+        mem = SharedMemory(on_race="raise")
+        mem.write("x", "a", 1)
+        with pytest.raises(RaceConditionError, match="race on 'x'"):
+            mem.write("x", "b", 2)
+
+    def test_ignore_policy(self):
+        mem = SharedMemory(on_race="ignore")
+        mem.write("x", "a", 1)
+        mem.write("x", "b", 2)
+        assert not mem.races
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            SharedMemory(on_race="panic")
+
+    def test_release_unheld_lock_rejected(self):
+        mem = SharedMemory()
+        with pytest.raises(SimulationError, match="does not hold"):
+            mem.lock_released("a", "L")
+
+    def test_one_report_per_location(self):
+        mem = SharedMemory()
+        for i in range(5):
+            mem.write("x", "a", i)
+            mem.write("x", "b", i)
+        assert len([r for r in mem.races if r.location == "x"]) == 1
+
+    def test_peek_poke_not_recorded(self):
+        mem = SharedMemory()
+        mem.poke("x", 1)
+        assert mem.peek("x") == 1
+        assert mem.accesses == []
+
+    def test_race_describe(self):
+        mem = SharedMemory()
+        mem.write("x", "a", 1)
+        mem.write("x", "b", 2)
+        text = mem.races[0].describe()
+        assert "a" in text and "b" in text and "'x'" in text
+
+
+class TestInterleavings:
+    def test_count_two_two(self):
+        assert count_interleavings([2, 2]) == 6
+
+    def test_count_matches_multinomial(self):
+        lengths = [3, 2, 1]
+        expected = math.factorial(6) // (6 * 2 * 1)
+        assert count_interleavings(lengths) == expected
+
+    def test_lost_update_classic(self):
+        def program(actor):
+            return [
+                Step("read", lambda s, a=actor: s.__setitem__(f"t{a}", s["n"])),
+                Step("write", lambda s, a=actor: s.__setitem__("n", s[f"t{a}"] + 1)),
+            ]
+
+        res = explore_interleavings(
+            {"A": program("A"), "B": program("B")},
+            {"n": 0},
+            violates=lambda s: s["n"] != 2,
+            outcome=lambda s: s["n"],
+        )
+        assert res.total == 6
+        assert res.violating == 4
+        assert res.outcomes == {1: 4, 2: 2}
+        assert res.violation_rate == pytest.approx(4 / 6)
+
+    def test_atomic_steps_never_violate(self):
+        def program():
+            return [Step("inc", lambda s: s.__setitem__("n", s["n"] + 1))]
+
+        res = explore_interleavings(
+            {"A": program(), "B": program(), "C": program()},
+            {"n": 0},
+            violates=lambda s: s["n"] != 3,
+        )
+        assert res.total == 6            # 3!/1 = 6 orderings of three steps
+        assert res.violating == 0
+
+    def test_witnesses_preserve_program_order(self):
+        def program(actor):
+            return [Step("s1", lambda s: None), Step("s2", lambda s: None)]
+
+        res = explore_interleavings(
+            {"A": program("A"), "B": program("B")},
+            {},
+            violates=lambda s: True,
+        )
+        for witness in res.witnesses:
+            a_steps = [w for w in witness if w.startswith("A.")]
+            assert a_steps == ["A.s1", "A.s2"]
+
+    def test_bound_enforced(self):
+        big = {name: [Step("x", lambda s: None)] * 8 for name in "abcd"}
+        with pytest.raises(SimulationError, match="exceed"):
+            explore_interleavings(big, {}, violates=lambda s: False,
+                                  max_schedules=100)
+
+    @settings(max_examples=20, deadline=None)
+    @given(na=st.integers(1, 4), nb=st.integers(1, 4))
+    def test_schedule_count_property(self, na, nb):
+        """Number of generated schedules equals the multinomial count."""
+        progs = {
+            "A": [Step(f"a{i}", lambda s: None) for i in range(na)],
+            "B": [Step(f"b{i}", lambda s: None) for i in range(nb)],
+        }
+        res = explore_interleavings(progs, {}, violates=lambda s: False)
+        assert res.total == count_interleavings([na, nb])

@@ -1,0 +1,170 @@
+"""Tests for the sorting-family activity simulations."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.unplugged import (
+    Classroom,
+    merge_sort_time_model,
+    run_card_merge_sort,
+    run_find_smallest_card,
+    run_nondeterministic_sort,
+    run_odd_even_sort,
+    run_parallel_radix_sort,
+    sequential_bubble_sort,
+    sequential_minimum,
+)
+
+
+class TestFindSmallestCard:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16, 31])
+    def test_invariants_across_sizes(self, n):
+        result = run_find_smallest_card(Classroom(n, seed=1))
+        assert result.all_checks_pass, result.checks
+        assert result.metrics["comparisons"] == n - 1
+        assert result.metrics["rounds"] == (math.ceil(math.log2(n)) if n > 1 else 0)
+
+    def test_karies_reduce_rounds(self):
+        """Ablation: higher tournament arity means fewer rounds, same comparisons."""
+        room = lambda: Classroom(27, seed=4)
+        binary = run_find_smallest_card(room(), arity=2)
+        ternary = run_find_smallest_card(room(), arity=3)
+        assert ternary.metrics["rounds"] < binary.metrics["rounds"]
+        assert ternary.metrics["comparisons"] == binary.metrics["comparisons"] == 26
+
+    def test_speedup_grows_with_class(self):
+        small = run_find_smallest_card(Classroom(4, seed=2))
+        large = run_find_smallest_card(Classroom(64, seed=2))
+        assert large.metrics["speedup"] > small.metrics["speedup"]
+
+    def test_arity_validation(self):
+        with pytest.raises(SimulationError):
+            run_find_smallest_card(Classroom(4), arity=1)
+
+    def test_sequential_minimum(self):
+        value, time, comparisons = sequential_minimum([5, 2, 9, 1], step_time=2.0)
+        assert value == 1 and comparisons == 3 and time == 6.0
+        with pytest.raises(SimulationError):
+            sequential_minimum([])
+
+    def test_deterministic(self):
+        a = run_find_smallest_card(Classroom(12, seed=9))
+        b = run_find_smallest_card(Classroom(12, seed=9))
+        assert a.metrics == b.metrics and a.output == b.output
+
+
+class TestOddEvenSort:
+    @pytest.mark.parametrize("n", [2, 3, 7, 8, 16, 25])
+    def test_invariants_across_sizes(self, n):
+        result = run_odd_even_sort(Classroom(n, seed=3))
+        assert result.all_checks_pass, result.checks
+
+    def test_worst_case_needs_n_phases(self):
+        # Without early exit the phase count is exactly n (for n > 1).
+        result = run_odd_even_sort(Classroom(10, seed=1), early_exit=False)
+        assert result.metrics["phases"] == 10
+        assert result.checks["sorted"]
+
+    def test_early_exit_never_exceeds_n(self):
+        for seed in range(5):
+            result = run_odd_even_sort(Classroom(12, seed=seed))
+            assert result.metrics["phases"] <= 12
+
+    def test_sequential_baseline(self):
+        data, time, comparisons = sequential_bubble_sort([3, 1, 2])
+        assert data == [1, 2, 3] and comparisons >= 2
+
+    def test_parallel_faster_than_sequential_for_large_n(self):
+        result = run_odd_even_sort(Classroom(32, seed=2))
+        assert result.metrics["speedup"] > 1.0
+
+
+class TestParallelRadixSort:
+    @pytest.mark.parametrize("base", [2, 4, 10])
+    def test_bases(self, base):
+        result = run_parallel_radix_sort(Classroom(16, seed=5), base=base)
+        assert result.all_checks_pass, (base, result.checks)
+
+    def test_rounds_equal_digit_count(self):
+        result = run_parallel_radix_sort(Classroom(8, seed=1), base=10, max_value=999)
+        assert result.metrics["rounds"] == 3
+
+    def test_binary_needs_more_rounds(self):
+        r10 = run_parallel_radix_sort(Classroom(8, seed=1), base=10)
+        r2 = run_parallel_radix_sort(Classroom(8, seed=1), base=2)
+        assert r2.metrics["rounds"] > r10.metrics["rounds"]
+
+    def test_base_validation(self):
+        with pytest.raises(SimulationError):
+            run_parallel_radix_sort(Classroom(4), base=1)
+
+
+class TestCardMergeSort:
+    @pytest.mark.parametrize("sorters", [1, 2, 4, 8])
+    def test_team_sizes(self, sorters):
+        result = run_card_merge_sort(Classroom(8, seed=2), deck_size=64,
+                                     sorters=sorters)
+        assert result.all_checks_pass, result.checks
+
+    def test_more_sorters_faster(self):
+        """The in-class demonstration: 1 vs 8 sorters on the same deck."""
+        times = {}
+        for p in (1, 2, 4, 8):
+            r = run_card_merge_sort(Classroom(8, seed=6), deck_size=64, sorters=p)
+            times[p] = r.metrics["parallel_time"]
+        assert times[8] < times[4] < times[2] < times[1]
+
+    def test_single_sorter_speedup_is_one(self):
+        """The baseline is the p=1 cost model, so speedup(1) ~ 1."""
+        r = run_card_merge_sort(Classroom(8, seed=6), deck_size=64, sorters=1)
+        assert r.metrics["speedup"] == pytest.approx(1.0, rel=0.35)
+
+    def test_speedup_at_eight_sorters(self):
+        """Quadratic local sorts make team sorting pay off strongly, but the
+        serial merge passes keep it bounded."""
+        r = run_card_merge_sort(Classroom(8, seed=6), deck_size=64, sorters=8)
+        assert 3.0 < r.metrics["speedup"] < 12.0
+
+    def test_sorter_bounds(self):
+        with pytest.raises(SimulationError):
+            run_card_merge_sort(Classroom(4), sorters=5)
+
+    def test_time_model_monotone(self):
+        ts = [merge_sort_time_model(256, p) for p in (1, 2, 4, 8)]
+        assert ts == sorted(ts, reverse=True)
+
+
+class TestNondeterministicSort:
+    def test_invariants(self):
+        result = run_nondeterministic_sort(Classroom(10, seed=4), schedules=15)
+        assert result.all_checks_pass, result.checks
+
+    def test_steps_always_equal_inversions(self):
+        """The assertional punchline: every schedule takes exactly the
+        initial inversion count of swaps."""
+        result = run_nondeterministic_sort(Classroom(9, seed=8), schedules=30)
+        assert result.metrics["min_steps"] == result.metrics["max_steps"]
+        assert result.metrics["min_steps"] == result.metrics["initial_inversions"]
+
+    def test_schedule_validation(self):
+        with pytest.raises(SimulationError):
+            run_nondeterministic_sort(Classroom(5), schedules=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 24), seed=st.integers(0, 50))
+def test_all_sorting_sims_sort_property(n, seed):
+    """Property: every sorting dramatization sorts every dealt classroom."""
+    room = Classroom(n, seed=seed, step_time_jitter=0.3)
+    for runner in (run_odd_even_sort, run_parallel_radix_sort):
+        result = runner(Classroom(n, seed=seed, step_time_jitter=0.3))
+        assert result.checks["sorted"], (runner.__name__, n, seed)
+        assert result.checks["multiset_preserved"]
+    result = run_find_smallest_card(room)
+    assert result.checks["finds_minimum"]

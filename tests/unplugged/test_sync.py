@@ -1,0 +1,221 @@
+"""Synchronization primitive tests: locks, semaphores, barriers, stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.unplugged.sim.engine import Simulator
+from repro.unplugged.sim.sync import Barrier, Lock, Semaphore, Store
+
+
+class TestLock:
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        in_cs = []
+        overlaps = []
+
+        def worker(name):
+            yield lock.acquire(name)
+            if in_cs:
+                overlaps.append((name, list(in_cs)))
+            in_cs.append(name)
+            yield sim.timeout(1.0)
+            in_cs.remove(name)
+            lock.release(name)
+
+        for name in ("a", "b", "c"):
+            sim.process(worker(name))
+        sim.run()
+        assert overlaps == []
+        assert lock.acquisitions == 3
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        order = []
+
+        def worker(name):
+            yield lock.acquire(name)
+            order.append(name)
+            yield sim.timeout(1.0)
+            lock.release(name)
+
+        for name in ("first", "second", "third"):
+            sim.process(worker(name))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_by_non_owner_rejected(self):
+        sim = Simulator()
+        lock = Lock(sim)
+
+        def bad():
+            yield lock.acquire("a")
+            lock.release("b")
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="owned by"):
+            sim.run()
+
+    def test_queue_length(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        lock.acquire("holder")
+        lock.acquire("w1")
+        lock.acquire("w2")
+        assert lock.queue_length == 2
+        assert lock.locked
+
+
+class TestSemaphore:
+    def test_counting(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 2)
+        active = []
+        peak = []
+
+        def worker(i):
+            yield sem.acquire()
+            active.append(i)
+            peak.append(len(active))
+            yield sim.timeout(1.0)
+            active.remove(i)
+            sem.release()
+
+        for i in range(5):
+            sim.process(worker(i))
+        sim.run()
+        assert max(peak) == 2
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(SimulationError):
+            Semaphore(Simulator(), -1)
+
+    def test_release_without_waiters_increments(self):
+        sem = Semaphore(Simulator(), 0)
+        sem.release()
+        assert sem.value == 1
+
+
+class TestBarrier:
+    def test_all_parties_released_together(self):
+        sim = Simulator()
+        barrier = Barrier(sim, 3)
+        released = []
+
+        def worker(i, delay):
+            yield sim.timeout(delay)
+            gen = yield barrier.wait()
+            released.append((i, sim.now, gen))
+
+        for i, d in enumerate((1.0, 5.0, 3.0)):
+            sim.process(worker(i, d))
+        sim.run()
+        assert all(t == 5.0 for _, t, _ in released)
+        assert all(g == 0 for _, _, g in released)
+
+    def test_reusable_generations(self):
+        sim = Simulator()
+        barrier = Barrier(sim, 2)
+        gens = []
+
+        def worker():
+            for _ in range(3):
+                gen = yield barrier.wait()
+                gens.append(gen)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert sorted(gens) == [0, 0, 1, 1, 2, 2]
+
+    def test_missing_party_deadlocks(self):
+        sim = Simulator()
+        barrier = Barrier(sim, 3)
+
+        def worker():
+            yield barrier.wait()
+
+        sim.process(worker())
+        sim.process(worker())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_zero_parties_rejected(self):
+        with pytest.raises(SimulationError):
+            Barrier(Simulator(), 0)
+
+
+class TestStore:
+    def test_fifo_delivery(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                yield sim.timeout(1.0)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        times = []
+
+        def consumer():
+            item = yield store.get()
+            times.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(7.0)
+            yield store.put("x")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert times == [(7.0, "x")]
+
+    def test_bounded_put_blocks_until_space(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        events = []
+
+        def producer():
+            yield store.put("a")
+            events.append(("put-a", sim.now))
+            yield store.put("b")          # blocks: capacity 1
+            events.append(("put-b", sim.now))
+
+        def consumer():
+            yield sim.timeout(4.0)
+            item = yield store.get()
+            events.append(("got", item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run(detect_deadlock=False)
+        assert ("put-b", 4.0) in events
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+    def test_len_and_total(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.total_put == 2

@@ -1,0 +1,171 @@
+"""Topology and performance-metric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.unplugged.sim import metrics
+from repro.unplugged.sim.topology import Topology
+
+
+class TestTopologies:
+    def test_ring_properties(self):
+        t = Topology.ring(8)
+        assert t.size == 8
+        assert t.diameter() == 4
+        assert t.degree(0) == 2
+        assert t.edge_connectivity() == 2
+
+    def test_line_diameter(self):
+        assert Topology.line(10).diameter() == 9
+
+    def test_star_center_and_leaves(self):
+        t = Topology.star(9)
+        assert t.degree(0) == 8
+        assert t.diameter() == 2
+        assert t.edge_connectivity() == 1
+
+    def test_mesh_dimensions(self):
+        t = Topology.mesh(3, 4)
+        assert t.size == 12
+        assert t.diameter() == (3 - 1) + (4 - 1)
+        assert t.hops(0, 11) == 5
+
+    def test_torus_wraps(self):
+        t = Topology.torus(4, 4)
+        assert t.diameter() == 4       # 2 + 2 with wraparound
+        assert all(t.degree(i) == 4 for i in range(16))
+
+    def test_hypercube_properties(self):
+        t = Topology.hypercube(4)
+        assert t.size == 16
+        assert t.diameter() == 4
+        assert all(t.degree(i) == 4 for i in range(16))
+        assert t.hops(0, 0b1011) == 3   # hop count = Hamming distance
+
+    def test_complete_one_hop(self):
+        t = Topology.complete(6)
+        assert t.diameter() == 1
+        assert t.num_links == 15
+
+    def test_route_is_shortest(self):
+        t = Topology.ring(6)
+        path = t.route(0, 3)
+        assert len(path) - 1 == t.hops(0, 3) == 3
+
+    def test_hops_self_is_zero(self):
+        assert Topology.ring(5).hops(2, 2) == 0
+
+    def test_survives_edge_cut(self):
+        ring = Topology.ring(5)
+        assert ring.survives_edge_cut(0, 1)          # ring survives one cut
+        star = Topology.star(5)
+        assert not star.survives_edge_cut(0, 1)      # star loses a leaf
+
+    def test_survive_unknown_edge_rejected(self):
+        with pytest.raises(SimulationError):
+            Topology.ring(5).survives_edge_cut(0, 2)
+
+    def test_average_hops_bounded_by_diameter(self):
+        for t in (Topology.ring(9), Topology.mesh(3, 3), Topology.hypercube(3)):
+            assert 0 < t.average_hops() <= t.diameter()
+
+    def test_hypercube_bisection(self):
+        # Splitting ranks 0..3 / 4..7 of a 3-cube cuts exactly 4 edges.
+        assert Topology.hypercube(3).bisection_width_estimate() == 4
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Topology.ring(2)
+        with pytest.raises(SimulationError):
+            Topology.hypercube(0)
+        with pytest.raises(SimulationError):
+            Topology.mesh(0, 3)
+
+
+class TestMetrics:
+    def test_speedup_and_efficiency(self):
+        assert metrics.speedup(100, 25) == 4.0
+        assert metrics.efficiency(100, 25, 8) == 0.5
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(SimulationError):
+            metrics.speedup(0, 1)
+        with pytest.raises(SimulationError):
+            metrics.efficiency(1, 1, 0)
+
+    def test_amdahl_known_values(self):
+        assert metrics.amdahl_speedup(0.0, 8) == pytest.approx(8.0)
+        assert metrics.amdahl_speedup(1.0, 8) == pytest.approx(1.0)
+        assert metrics.amdahl_speedup(0.5, 2) == pytest.approx(4 / 3)
+
+    def test_amdahl_vectorized(self):
+        p = np.array([1, 2, 4, 8])
+        s = metrics.amdahl_speedup(0.1, p)
+        assert s.shape == (4,)
+        assert np.all(np.diff(s) > 0)
+
+    def test_amdahl_limit(self):
+        assert metrics.amdahl_limit(0.05) == pytest.approx(20.0)
+        with pytest.raises(SimulationError):
+            metrics.amdahl_limit(0.0)
+
+    def test_gustafson_exceeds_amdahl(self):
+        """Scaled speedup is more optimistic than fixed-size speedup."""
+        for p in (2, 8, 64):
+            assert metrics.gustafson_speedup(0.2, p) >= metrics.amdahl_speedup(0.2, p)
+
+    def test_karp_flatt_recovers_serial_fraction(self):
+        """Feeding Amdahl's own speedup into Karp-Flatt returns s."""
+        for s in (0.05, 0.2, 0.5):
+            for p in (2, 4, 16):
+                measured = metrics.amdahl_speedup(s, p)
+                assert metrics.karp_flatt(measured, p) == pytest.approx(s)
+
+    def test_karp_flatt_validation(self):
+        with pytest.raises(SimulationError):
+            metrics.karp_flatt(2.0, 1)
+
+    def test_brent_bounds(self):
+        lo, hi = metrics.brent_time_bounds(work=100, span=10, workers=4)
+        assert lo == 25 and hi == 35
+        lo, hi = metrics.brent_time_bounds(work=100, span=60, workers=4)
+        assert lo == 60
+        with pytest.raises(SimulationError):
+            metrics.brent_time_bounds(work=10, span=20, workers=2)
+
+    def test_cost_optimality(self):
+        assert metrics.is_cost_optimal(t_serial=100, t_parallel=30, workers=4)
+        assert not metrics.is_cost_optimal(t_serial=100, t_parallel=100, workers=16)
+
+    def test_phone_call_cost_monotone_in_messages(self):
+        costs = metrics.phone_call_cost(np.arange(1, 20), 100.0, 2.0, 0.1)
+        assert np.all(np.diff(costs) > 0)
+
+    def test_speedup_curve(self):
+        curve = metrics.speedup_curve(100.0, {1: 100.0, 2: 60.0, 4: 40.0})
+        assert curve[2]["speedup"] == pytest.approx(100 / 60)
+        assert curve[4]["efficiency"] == pytest.approx(2.5 / 4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(s=st.floats(0.01, 0.99), p=st.integers(1, 1024))
+    def test_amdahl_bounds_property(self, s, p):
+        """1 <= S(p) <= min(p, 1/s) for every serial fraction and p."""
+        speedup = metrics.amdahl_speedup(s, p)
+        assert 1.0 - 1e-9 <= speedup <= min(p, 1.0 / s) + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        work=st.floats(1.0, 1e6),
+        frac=st.floats(0.0, 1.0),
+        workers=st.integers(1, 128),
+    )
+    def test_brent_window_nonempty(self, work, frac, workers):
+        span = max(work * frac, 1e-9)
+        span = min(span, work)
+        lo, hi = metrics.brent_time_bounds(work, span, workers)
+        assert lo <= hi + 1e-9

@@ -1,0 +1,123 @@
+"""Trace/Gantt and Classroom tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.unplugged.sim.classroom import ActivityResult, Classroom, ROSTER_NAMES
+from repro.unplugged.sim.trace import Trace, render_gantt
+
+
+class TestTrace:
+    def make(self):
+        t = Trace()
+        t.record(0.0, "Ada", "sort", "hand")
+        t.record(1.0, "Ben", "merge", "round 1")
+        t.record(2.5, "Ada", "merge", "round 2")
+        return t
+
+    def test_query_by_actor_and_kind(self):
+        t = self.make()
+        assert len(t.by_actor("Ada")) == 2
+        assert len(t.by_kind("merge")) == 2
+        assert t.actors() == ["Ada", "Ben"]
+
+    def test_makespan_and_count(self):
+        t = self.make()
+        assert t.makespan == 2.5
+        assert t.count("sort") == 1
+        assert len(t) == 3
+
+    def test_where(self):
+        t = self.make()
+        late = t.where(lambda e: e.time > 0.5)
+        assert len(late) == 2
+
+    def test_gantt_rows_per_actor(self):
+        out = render_gantt(self.make())
+        lines = out.split("\n")
+        assert len(lines) == 3             # header + 2 actors
+        assert any(line.strip().startswith("Ada") for line in lines)
+
+    def test_gantt_symbols(self):
+        out = render_gantt(self.make())
+        assert "s" in out and "m" in out
+
+    def test_gantt_empty(self):
+        assert render_gantt(Trace()) == "(empty trace)"
+
+    def test_gantt_width_capped(self):
+        t = Trace()
+        t.record(1e6, "X", "k")
+        out = render_gantt(t, max_width=20)
+        row = out.split("\n")[1]
+        assert len(row) <= 20 + 4
+
+
+class TestClassroom:
+    def test_roster_names_deterministic(self):
+        assert Classroom(4, seed=1).students == Classroom(4, seed=2).students
+
+    def test_roster_extends_past_pool(self):
+        room = Classroom(len(ROSTER_NAMES) + 2)
+        names = room.students
+        assert len(set(names)) == len(names)
+        assert names[len(ROSTER_NAMES)] == f"{ROSTER_NAMES[0]}2"
+
+    def test_step_times_seeded(self):
+        a = Classroom(8, seed=5, step_time_jitter=0.3)
+        b = Classroom(8, seed=5, step_time_jitter=0.3)
+        assert [a.step_time(i) for i in range(8)] == [b.step_time(i) for i in range(8)]
+
+    def test_jitter_bounds(self):
+        room = Classroom(50, seed=1, base_step_time=2.0, step_time_jitter=0.25)
+        for i in range(50):
+            assert 1.5 <= room.step_time(i) <= 2.5
+
+    def test_deal_cards_distinct_and_seeded(self):
+        a = Classroom(10, seed=9).deal_cards(10)
+        b = Classroom(10, seed=9).deal_cards(10)
+        assert a == b
+        assert len(set(a)) == 10
+
+    def test_deal_too_many_rejected(self):
+        with pytest.raises(SimulationError):
+            Classroom(3).deal_cards(5, low=1, high=4)
+
+    def test_shuffle_preserves_multiset(self):
+        room = Classroom(5, seed=3)
+        items = list(range(20))
+        shuffled = room.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))    # input untouched
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(SimulationError):
+            Classroom(0)
+        with pytest.raises(SimulationError):
+            Classroom(4, step_time_jitter=1.5)
+
+    def test_student_lookup(self):
+        room = Classroom(3)
+        assert room.student(0) == "Ada"
+        with pytest.raises(SimulationError):
+            room.student(3)
+
+
+class TestActivityResult:
+    def test_checks_aggregate(self):
+        r = ActivityResult("X", 4)
+        r.require("a", True)
+        r.require("b", True)
+        assert r.all_checks_pass
+        r.require("c", False)
+        assert not r.all_checks_pass
+
+    def test_summary_mentions_failures(self):
+        r = ActivityResult("X", 4)
+        r.metrics = {"speedup": 2.0, "rounds": 3}
+        r.require("good", True)
+        r.require("bad", False)
+        text = r.summary()
+        assert "FAIL" in text and "bad" in text and "speedup: 2.000" in text

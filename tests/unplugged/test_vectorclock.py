@@ -1,0 +1,131 @@
+"""Vector-clock / happens-before detector tests, incl. the lockset ablation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RaceConditionError, SimulationError
+from repro.unplugged.sim.sharedmem import SharedMemory
+from repro.unplugged.sim.vectorclock import HappensBeforeDetector, VectorClock
+
+
+class TestVectorClock:
+    def test_tick_increments_own_component(self):
+        c = VectorClock().tick("a").tick("a").tick("b")
+        assert c.get("a") == 2 and c.get("b") == 1 and c.get("c") == 0
+
+    def test_join_takes_componentwise_max(self):
+        a = VectorClock().tick("a").tick("a")
+        b = VectorClock().tick("b")
+        joined = a.join(b)
+        assert joined.get("a") == 2 and joined.get("b") == 1
+
+    def test_happens_before_ordering(self):
+        earlier = VectorClock().tick("a")
+        later = earlier.tick("a")
+        assert earlier.happens_before(later)
+        assert not later.happens_before(earlier)
+        assert not earlier.happens_before(earlier)
+
+    def test_concurrency(self):
+        a = VectorClock().tick("a")
+        b = VectorClock().tick("b")
+        assert a.concurrent_with(b)
+        assert not a.join(b).tick("a").concurrent_with(a)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=8))
+    def test_tick_chain_is_totally_ordered_per_actor(self, actors):
+        clock = VectorClock()
+        seen = []
+        for actor in actors:
+            clock = clock.tick(actor)
+            seen.append(clock)
+        for earlier, later in zip(seen, seen[1:]):
+            assert earlier.happens_before(later)
+
+
+class TestHappensBeforeDetector:
+    def test_unsynchronized_conflict_flagged(self):
+        det = HappensBeforeDetector()
+        det.write("x", "a")
+        det.write("x", "b")
+        assert det.racy_locations == ["x"]
+
+    def test_lock_handoff_orders_accesses(self):
+        det = HappensBeforeDetector()
+        det.sync_acquire("a", "L")
+        det.write("x", "a")
+        det.sync_release("a", "L")
+        det.sync_acquire("b", "L")
+        det.write("x", "b")
+        det.sync_release("b", "L")
+        assert not det.races
+
+    def test_fork_join_orders_accesses(self):
+        det = HappensBeforeDetector()
+        det.write("x", "parent")
+        det.fork("parent", "child")
+        det.write("x", "child")
+        det.join("parent", "child")
+        det.write("x", "parent")
+        assert not det.races
+
+    def test_read_read_never_races(self):
+        det = HappensBeforeDetector()
+        det.read("x", "a")
+        det.read("x", "b")
+        assert not det.races
+
+    def test_raise_policy(self):
+        det = HappensBeforeDetector(on_race="raise")
+        det.write("x", "a")
+        with pytest.raises(RaceConditionError):
+            det.write("x", "b")
+
+    def test_unknown_policy(self):
+        with pytest.raises(SimulationError):
+            HappensBeforeDetector(on_race="shrug")
+
+    def test_message_edge_via_tokens(self):
+        """A send/receive hand-off modeled as a token release/acquire."""
+        det = HappensBeforeDetector()
+        det.write("x", "sender")
+        det.sync_release("sender", "msg:1")
+        det.sync_acquire("receiver", "msg:1")
+        det.write("x", "receiver")
+        assert not det.races
+
+
+class TestDetectorAblation:
+    """The precision difference the comparison benchmark stages."""
+
+    def test_both_flag_the_juice_schedule(self):
+        lockset = SharedMemory()
+        hb = HappensBeforeDetector()
+        lockset.poke("sugar", 0)
+        for detector_read, detector_write in ((lockset.read, lockset.write),):
+            detector_read("sugar", "A")
+            detector_read("sugar", "B")
+            detector_write("sugar", "A", 1)
+            detector_write("sugar", "B", 1)
+        hb.read("sugar", "A")
+        hb.read("sugar", "B")
+        hb.write("sugar", "A")
+        hb.write("sugar", "B")
+        assert lockset.races and hb.races
+
+    def test_fork_join_false_positive_only_under_lockset(self):
+        """Lock-free fork/join hand-off: lockset cries wolf, HB stays quiet."""
+        lockset = SharedMemory()
+        lockset.write("x", "parent", 1)
+        lockset.write("x", "child", 2)     # ordered by fork in reality
+        assert lockset.races               # lockset cannot see the ordering
+
+        hb = HappensBeforeDetector()
+        hb.write("x", "parent")
+        hb.fork("parent", "child")
+        hb.write("x", "child")
+        assert not hb.races                # happens-before sees it

@@ -1,0 +1,1430 @@
+#!/usr/bin/env python
+"""Generate the curated 38-activity corpus and verify its calibration.
+
+The specification below re-curates the unplugged-PDC literature the paper
+cites.  Tag assignments are calibrated so the corpus reproduces every
+aggregate the paper reports (Tables I and II, course counts, medium/sense
+distributions, resource availability) -- the expectations live in
+:mod:`repro.paper` and are asserted at the end of a run.
+
+Usage::
+
+    python tools/gen_corpus.py            # write corpus + verify
+    python tools/gen_corpus.py --check    # verify only (no writes)
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.activities.catalog import Catalog  # noqa: E402
+from repro.activities.schema import NO_RESOURCE_NOTE, Activity  # noqa: E402
+from repro.activities.writer import write_activity  # noqa: E402
+from repro.standards import cs2013 as cs2013_mod  # noqa: E402
+from repro.standards import tcpp as tcpp_mod  # noqa: E402
+
+CONTENT_DIR = ROOT / "src" / "repro" / "activities" / "content"
+
+KU_BY_ABBREV = {ku.abbrev: ku for ku in cs2013_mod.PD_KNOWLEDGE_AREA}
+AREA_BY_SHORT = {
+    "Arch": "TCPP_Architecture",
+    "Prog": "TCPP_Programming",
+    "Alg": "TCPP_Algorithms",
+    "CC": "TCPP_Crosscutting",
+}
+
+
+@dataclass
+class Spec:
+    name: str
+    title: str
+    date: str
+    author: str                      # author names for the first section
+    link: str | None                 # external resource URL, if any
+    details: str                     # Details section body (markdown)
+    kus: list[str]                   # CS2013 KU abbrevs, e.g. ["PD", "PAAP"]
+    ku_details: list[str]            # cs2013details terms, e.g. ["PD_3"]
+    areas: list[str]                 # TCPP short names, e.g. ["Alg", "Prog"]
+    topic_details: list[str]         # tcppdetails terms, e.g. ["A_Sorting"]
+    courses: list[str]
+    senses: list[str]
+    medium: list[str]
+    accessibility: str
+    assessment: str
+    citations: list[str]
+    variations: str = ""             # appended to Details when present
+
+
+# --------------------------------------------------------------------------
+# Shared citation strings (surname-first so the citation graph keys cleanly)
+# --------------------------------------------------------------------------
+
+MAXIM1990 = ("Maxim, B. R., Bachelis, G., James, D., and Stout, Q. (1990). "
+             "Introducing parallel algorithms in undergraduate computer science "
+             "courses (tutorial session). In Proc. SIGCSE '90, p. 255. ACM.")
+BACHELIS1994 = ("Bachelis, G. F., Maxim, B. R., James, D. A., and Stout, Q. F. (1994). "
+                "Bringing algorithms to life: Cooperative computing activities using "
+                "students as processors. School Science and Mathematics, 94(4):176-186.")
+KITCHEN1992 = ("Kitchen, A. T., Schaller, N. C., and Tymann, P. T. (1992). Game playing "
+               "as a technique for teaching parallel computing concepts. SIGCSE Bull., "
+               "24(3):35-38.")
+RIFKIN1994 = ("Rifkin, A. (1994). Teaching parallel programming and software engineering "
+              "concepts to high school students. SIGCSE Bull., 26(1):26-30.")
+SIVILOTTI2003 = ("Sivilotti, P. A. G. and Demirbas, M. (2003). Introducing middle school "
+                 "girls to fault tolerant computing. In Proc. SIGCSE '03, pp. 327-331. ACM.")
+SIVILOTTI2007 = ("Sivilotti, P. A. G. and Pike, S. M. (2007). The suitability of "
+                 "kinesthetic learning activities for teaching distributed algorithms. "
+                 "In Proc. SIGCSE '07, pp. 362-366. ACM.")
+SIVILOTTI2010 = ("Sivilotti, P. A. G. (2010). Kinesthetic learning activities in an "
+                 "upper-division computer science course. In NAE Frontiers of Engineering "
+                 "Education symposium (poster).")
+NEEMAN2006 = ("Neeman, H., Lee, L., Mullen, J., and Newman, G. (2006). Analogies for "
+              "teaching parallel computing to inexperienced programmers. In Working Group "
+              "Reports on ITiCSE (ITiCSE-WGR '06), pp. 64-67. ACM.")
+NEEMAN2008 = ("Neeman, H., Severini, H., and Wu, D. (2008). Supercomputing in plain "
+              "english: Teaching cyberinfrastructure to computing novices. SIGCSE Bull., "
+              "40(2):27-30.")
+GIACAMAN2012 = ("Giacaman, N. (2012). Teaching by example: Using analogies and live "
+                "coding demonstrations to teach parallel computing concepts to "
+                "undergraduate students. In Proc. IPDPSW '12, pp. 1295-1298. IEEE.")
+BOGAERTS2014 = ("Bogaerts, S. A. (2014). Limited time and experience: Parallelism in "
+                "CS1. In Proc. IPDPSW '14, pp. 1071-1078. IEEE.")
+BOGAERTS2017 = ("Bogaerts, S. A. (2017). One step at a time: Parallelism in an "
+                "introductory programming course. Journal of Parallel and Distributed "
+                "Computing, 105:4-17.")
+GHAFOOR2019 = ("Ghafoor, S. K., Brown, D. W., Rogers, M., and Hines, T. (2019). "
+               "Unplugged activities to introduce parallel computing in introductory "
+               "programming classes: An experience report. In Proc. ITiCSE '19, p. 309. ACM.")
+GHAFOORWEB = ("Ghafoor, S. K., Rogers, M., Brown, D., and Haynes, A. (2019). iPDC "
+              "modules (unplugged). csc.tntech.edu/pdcincs.")
+BENARI1999 = ("Ben-Ari, M. and Kolikant, Y. B.-D. (1999). Thinking parallel: The process "
+              "of learning concurrency. In Proc. ITiCSE '99, pp. 13-16. ACM.")
+KOLIKANT2001 = ("Kolikant, Y. B.-D. (2001). Gardeners and cinema tickets: High school "
+                "students' preconceptions of concurrency. Computer Science Education, "
+                "11(3):221-245.")
+LEWANDOWSKI2007 = ("Lewandowski, G., Bouvier, D. J., McCartney, R., Sanders, K., and "
+                   "Simon, B. (2007). Commonsense computing (episode 3): Concurrency and "
+                   "concert tickets. In Proc. ICER '07, pp. 133-144. ACM.")
+LEWANDOWSKI2010 = ("Lewandowski, G., Bouvier, D. J., Chen, T.-Y., McCartney, R., "
+                   "Sanders, K., Simon, B., and VanDeGrift, T. (2010). Commonsense "
+                   "understanding of concurrency: Computing students and concert "
+                   "tickets. Commun. ACM, 53(7):60-70.")
+LLOYD1994 = ("Lloyd, W. S. (1994). Exploring the byzantine generals problem with "
+             "beginning computer science students. SIGCSE Bull., 26(4):21-24.")
+CHESEBROUGH2010 = ("Chesebrough, R. A. and Turner, I. (2010). Parallel computing: At the "
+                   "interface of high school and industry. In Proc. SIGCSE '10, "
+                   "pp. 280-284. ACM.")
+EUM2014 = ("Eum, J. and Sethumadhavan, S. (2014). Teaching microarchitecture through "
+           "metaphors. Tech. Rep. CUCS-006-14, Columbia University.")
+FLEURY1997 = ("Fleury, A. (1997). Acting out algorithms: how and why it works. The "
+              "Journal of Computing in Small Colleges, 13(2):83-90.")
+ANDRIANOFF2002 = ("Andrianoff, S. K. and Levine, D. B. (2002). Role playing in an "
+                  "object-oriented world. In Proc. SIGCSE '02, pp. 121-125. ACM.")
+SMITH2019 = ("Smith, M. and Srivastava, S. (2019). Evaluating student engagement towards "
+             "integrating parallel and distributed computing (PDC) topics in "
+             "undergraduate level computer science curriculum. In Proc. SIGCSE '19, "
+             "p. 1269. ACM.")
+SRIVASTAVA2019 = ("Srivastava, S., Smith, M., Ghimire, A., and Gao, S. (2019). Assessing "
+                  "the integration of parallel and distributed computing in early "
+                  "undergraduate computer science curriculum using unplugged activities. "
+                  "In Proc. EduHPC '19.")
+CHITRA2019 = ("Chitra, P. and Ghafoor, S. K. (2019). Activity based approach for "
+              "teaching parallel computing: An indian experience. In Proc. IPDPSW '19, "
+              "pp. 290-295. IEEE.")
+MOORE2000 = ("Moore, M. (2000). Introducing parallel processing concepts. J. Comput. "
+             "Sci. Coll., 15(3):173-180.")
+
+
+NO_ASSESS = "No known assessment."
+
+
+SPECS: list[Spec] = [
+    Spec(
+        name="findsmallestcard",
+        title="FindSmallestCard",
+        date="2019-12-02",
+        author="Gilbert Bachelis, David James, Bruce Maxim, and Quentin Stout",
+        link=None,
+        details=(
+            "Each student receives one playing card and acts as a processor "
+            "holding a single value. The class finds the smallest card by "
+            "repeated pairwise comparison: students pair up, compare cards, and "
+            "the holder of the larger card sits down, handing the smaller card "
+            "forward. After about log2(n) rounds one student remains, holding "
+            "the minimum. The instructor then contrasts this tournament with a "
+            "single student scanning all n cards, motivating parallel speedup "
+            "and the idea that the comparisons in each round are independent "
+            "and can happen simultaneously."
+        ),
+        variations=(
+            "Kitchen, Schaller and Tymann describe a variation of the same "
+            "tournament used as an in-class game; Ghafoor et al. adapt the "
+            "activity for CS1 with worksheets."
+        ),
+        kus=["PD", "PAAP"],
+        ku_details=["PD_3", "PAAP_3", "PAAP_7"],
+        areas=["Alg", "Prog"],
+        topic_details=["A_Selection", "C_CostReduction", "C_Speedup"],
+        courses=["CS1", "CS2", "DSA"],
+        senses=["touch", "visual"],
+        medium=["cards"],
+        accessibility=(
+            "Requires handling cards and standing in pairs; students with "
+            "limited mobility can participate from a seat by raising cards. "
+            "Color-independent card values keep the activity usable for "
+            "color-blind students."
+        ),
+        assessment=NO_ASSESS,
+        citations=[BACHELIS1994, KITCHEN1992, MAXIM1990],
+    ),
+    Spec(
+        name="parallelcardsort",
+        title="ParallelCardSort",
+        date="2019-12-02",
+        author="Gilbert Bachelis, David James, Bruce Maxim, and Quentin Stout",
+        link=None,
+        details=(
+            "Teams of students sort a shuffled deck cooperatively. Each team "
+            "member sorts a hand of cards alone, then pairs of members merge "
+            "their sorted hands, halving the number of runs each round until a "
+            "single sorted deck remains -- a physical parallel merge sort. The "
+            "instructor times a solo sorter against teams of 2, 4 and 8 to "
+            "expose the divide-and-conquer structure and the diminishing "
+            "returns of adding more sorters."
+        ),
+        variations=(
+            "Moore uses the same structure to introduce parallel processing "
+            "concepts in a first course; Ghafoor et al. evaluate a card-sorting "
+            "variant in CS1/CS2."
+        ),
+        kus=["PD", "PAAP"],
+        ku_details=["PD_3", "PAAP_5"],
+        areas=["Alg"],
+        topic_details=["A_Sorting", "A_DivideAndConquer"],
+        courses=["K_12", "CS1", "CS2", "DSA"],
+        senses=["touch", "visual"],
+        medium=["cards"],
+        accessibility=(
+            "Table-based and low-movement; suitable for most classrooms. Large-"
+            "print cards help low-vision students."
+        ),
+        assessment=(
+            "Ghafoor, Brown, Rogers and Hines report preliminary assessment in "
+            "CS1 and CS2: students exposed to the unplugged sorting activities "
+            "showed improved understanding of decomposition concepts."
+        ),
+        citations=[BACHELIS1994, MOORE2000, GHAFOOR2019],
+    ),
+    Spec(
+        name="oddeventranspositionsort",
+        title="OddEvenTranspositionSort",
+        date="2019-12-02",
+        author="Adam Rifkin; instructor write-up by Paolo Sivilotti",
+        link="http://web.cse.ohio-state.edu/~sivilotti.1/outreach/FESC02/parallel.pdf",
+        details=(
+            "Students stand in a row, each holding a number, and dramatize "
+            "parallel bubble sort: on odd steps the pairs starting at odd "
+            "positions compare-and-swap, on even steps the even pairs do. "
+            "Everyone acts simultaneously, and the line provably sorts in at "
+            "most n phases. The dramatization makes the synchronous rounds and "
+            "the adjacent-only communication pattern physically visible."
+        ),
+        variations=(
+            "Sivilotti and Demirbas incorporate the activity into a fault-"
+            "tolerance workshop for middle school girls and partially assess it."
+        ),
+        kus=["PD", "PAAP"],
+        ku_details=["PD_3", "PAAP_4"],
+        areas=["Alg"],
+        topic_details=["A_Sorting"],
+        courses=["K_12", "CS2", "DSA"],
+        senses=["visual", "movement"],
+        medium=["roleplay"],
+        accessibility=(
+            "Involves standing and swapping positions; students with mobility "
+            "impairments can swap held number cards instead of positions."
+        ),
+        assessment=(
+            "Sivilotti and Demirbas report partial assessment from their "
+            "workshop: participants could re-enact the algorithm and explain "
+            "why adjacent-only swaps still sort the whole line."
+        ),
+        citations=[RIFKIN1994, SIVILOTTI2003],
+    ),
+    Spec(
+        name="parallelradixsort",
+        title="ParallelRadixSort",
+        date="2019-12-02",
+        author="Adam Rifkin",
+        link=None,
+        details=(
+            "Students holding numbered cards dramatize radix sort: on each "
+            "round they move simultaneously to the bucket matching the current "
+            "digit of their number, then reform the line bucket by bucket. "
+            "Because every student classifies their own card at the same time, "
+            "the digit-classification step is embarrassingly parallel, and the "
+            "class can discuss what still forces the rounds to run in sequence."
+        ),
+        variations=(
+            "Sivilotti and Demirbas use the activity alongside odd-even "
+            "transposition sort in their outreach workshop."
+        ),
+        kus=["PD", "PAAP"],
+        ku_details=["PD_3", "PAAP_4"],
+        areas=["Alg"],
+        topic_details=["A_Sorting"],
+        courses=["K_12", "CS2", "DSA"],
+        senses=["visual", "movement", "touch"],
+        medium=["cards"],
+        accessibility=(
+            "Requires moving between bucket stations; buckets can be brought "
+            "to seated students. Digits can be read aloud for low-vision "
+            "participants."
+        ),
+        assessment=(
+            "Partially assessed as part of the Sivilotti-Demirbas workshop "
+            "series; facilitators observed improved recall of the digit-by-"
+            "digit invariant."
+        ),
+        citations=[RIFKIN1994, SIVILOTTI2003],
+    ),
+    Spec(
+        name="nondeterministicsorting",
+        title="NondeterministicSorting",
+        date="2019-12-03",
+        author="Paolo Sivilotti and Scott Pike",
+        link="http://web.cse.ohio-state.edu/~sivilotti.1/outreach/FESC02/",
+        details=(
+            "An assertional sorting dramatization: students in a line may swap "
+            "with an out-of-order neighbor at any time, in any order, chosen "
+            "nondeterministically -- there are no synchronized rounds. The "
+            "class reasons about the invariant (the multiset of values never "
+            "changes) and the variant function (the number of inversions "
+            "strictly decreases with every swap), concluding the line always "
+            "terminates sorted regardless of scheduling. This is the "
+            "assertional view of concurrent computing: reason about what is "
+            "true of all executions instead of tracing one."
+        ),
+        kus=["FMS", "PAAP"],
+        ku_details=["FMS_1", "PAAP_4"],
+        areas=["Alg", "CC"],
+        topic_details=["A_Sorting", "K_NonDeterminism"],
+        courses=["DSA", "Systems"],
+        senses=["visual", "movement"],
+        medium=["roleplay", "cards"],
+        accessibility=(
+            "Swaps can be performed with held cards rather than by changing "
+            "places, keeping the activity open to students with limited "
+            "mobility."
+        ),
+        assessment=NO_ASSESS,
+        citations=[SIVILOTTI2007, SIVILOTTI2010],
+    ),
+    Spec(
+        name="parallelgarbagecollection",
+        title="ParallelGarbageCollection",
+        date="2019-12-03",
+        author="Paolo Sivilotti and Scott Pike",
+        link="http://web.cse.ohio-state.edu/~sivilotti.1/outreach/FESC02/",
+        details=(
+            "Students play objects in a heap drawn on the board, holding "
+            "strings to the objects they reference, while two students play a "
+            "mutator and a collector running concurrently. The collector marks "
+            "reachable objects while the mutator keeps re-wiring references, "
+            "and the class discovers why a naive concurrent mark phase can "
+            "miss live objects, motivating the tri-color invariant and "
+            "termination detection for the marking wave."
+        ),
+        kus=["PCC", "PD"],
+        ku_details=["PCC_5", "PD_1"],
+        areas=["Alg", "CC"],
+        topic_details=["A_Search", "K_Concurrency"],
+        courses=["DSA", "Systems"],
+        senses=["visual", "movement"],
+        medium=["roleplay", "board"],
+        accessibility=(
+            "The heap diagram carries most of the content; a seated variant "
+            "assigns references with yarn between desks."
+        ),
+        assessment=NO_ASSESS,
+        citations=[SIVILOTTI2007, SIVILOTTI2010],
+    ),
+    Spec(
+        name="stableleaderelection",
+        title="StableLeaderElection",
+        date="2019-12-03",
+        author="Paolo Sivilotti and Scott Pike",
+        link="http://web.cse.ohio-state.edu/~sivilotti.1/outreach/FESC02/",
+        details=(
+            "Students form a ring and run a leader-election protocol with "
+            "assertional reasoning: each passes the larger of its own id and "
+            "the largest id seen so far. The class identifies the stability "
+            "property (once every student knows the maximum id, the leader "
+            "never changes) and argues liveness by a variant function -- the "
+            "number of students not yet aware of the maximum id strictly "
+            "shrinks every round."
+        ),
+        kus=["PCC"],
+        ku_details=["PCC_9"],
+        areas=["Alg"],
+        topic_details=["K_LeaderElection"],
+        courses=["DSA", "Systems"],
+        senses=["visual", "movement"],
+        medium=["roleplay", "board"],
+        accessibility=(
+            "The ring can be formed by seated students passing cards; no "
+            "walking is required."
+        ),
+        assessment=NO_ASSESS,
+        citations=[SIVILOTTI2007, SIVILOTTI2010],
+    ),
+    Spec(
+        name="selfstabilizingtokenring",
+        title="SelfStabilizingTokenRing",
+        date="2019-12-03",
+        author="Paolo Sivilotti and Murat Demirbas",
+        link="http://web.cse.ohio-state.edu/~sivilotti.1/outreach/FESC02/",
+        details=(
+            "Students in a circle dramatize Dijkstra's self-stabilizing token "
+            "ring for mutual exclusion, using a coin to mark the token holder. "
+            "A 'gremlin' (the instructor) corrupts states by adding spurious "
+            "tokens; students apply the counter rules and watch the ring "
+            "converge back to exactly one circulating token. Originally "
+            "designed to introduce middle school girls to fault-tolerant "
+            "computing."
+        ),
+        kus=["PCC", "DS"],
+        ku_details=["PCC_1", "DS_1"],
+        areas=["Alg", "CC"],
+        topic_details=["C_MutualExclusionProblem", "K_FaultTolerance"],
+        courses=["K_12", "DSA", "Systems"],
+        senses=["visual", "movement", "touch"],
+        medium=["roleplay", "coins"],
+        accessibility=(
+            "Token passing works seated; the coin can be replaced by any "
+            "tactile object. High-contrast tokens help low-vision students."
+        ),
+        assessment=NO_ASSESS,
+        citations=[SIVILOTTI2003],
+    ),
+    Spec(
+        name="byzantinegenerals",
+        title="ByzantineGenerals",
+        date="2019-12-04",
+        author="William Lloyd",
+        link=None,
+        details=(
+            "A classroom game exploring the Byzantine generals problem: "
+            "student 'generals' exchange written attack/retreat orders through "
+            "messengers while secret traitors send conflicting messages. "
+            "Rounds with different numbers of traitors let the class discover "
+            "empirically that agreement among loyal generals survives only "
+            "while traitors are fewer than a third of the army, and why "
+            "unauthenticated majority voting breaks beyond that bound."
+        ),
+        kus=["DS", "CLD"],
+        ku_details=["DS_1", "CLD_2"],
+        areas=["Alg", "CC"],
+        topic_details=["K_Consensus", "K_FaultTolerance", "K_DistributedSecurity",
+                       "K_CollectiveIntelligence"],
+        courses=["CS0", "CS2", "DSA", "Systems"],
+        senses=["visual"],
+        medium=["game", "paper"],
+        accessibility=(
+            "Message passing is written; a verbal variant with whispered "
+            "orders includes students who cannot write comfortably."
+        ),
+        assessment=NO_ASSESS,
+        citations=[LLOYD1994],
+    ),
+    Spec(
+        name="juicesweeteningrobots",
+        title="JuiceSweeteningRobots",
+        date="2019-12-04",
+        author="Mordechai Ben-Ari and Yifat Ben-David Kolikant",
+        link=None,
+        details=(
+            "A constructivist scenario: two robots share a kitchen and each "
+            "follows the program 'taste the juice; if not sweet, add a spoon "
+            "of sugar'. Students step the robots through interleavings and "
+            "discover the schedules where both taste before either adds, "
+            "yielding twice-sweetened juice -- a race condition on a shared "
+            "resource. The fix (letting one robot lock the kitchen) introduces "
+            "mutual exclusion and atomic check-then-act."
+        ),
+        kus=["PCC", "PD"],
+        ku_details=["PCC_1", "PCC_7", "PD_1"],
+        areas=["Prog", "CC"],
+        topic_details=["C_DataRaces", "A_CriticalSections", "C_TasksAndThreads",
+                       "K_Concurrency"],
+        courses=["K_12", "CS1", "CS2"],
+        senses=["accessible"],
+        medium=["analogy", "food"],
+        accessibility=(
+            "A told scenario with no props or movement required; accessible "
+            "to a wide range of audiences with minimal modification."
+        ),
+        assessment=NO_ASSESS,
+        citations=[BENARI1999],
+    ),
+    Spec(
+        name="concerttickets",
+        title="ConcertTickets",
+        date="2019-12-04",
+        author="Yifat Ben-David Kolikant",
+        link=None,
+        details=(
+            "Students reason about two box offices selling the last seats for "
+            "a concert from a shared pool: what can go wrong when both sell "
+            "'the last ticket' at once? The scenario elicits students' "
+            "preconceptions of concurrency and motivates atomic reservation "
+            "of a shared resource served by a central agent -- the same "
+            "check-then-act hazard as a web store overselling stock."
+        ),
+        variations=(
+            "Lewandowski et al. refine the scenario in their Commonsense "
+            "Computing studies, probing how novices propose to coordinate the "
+            "two sellers before any instruction."
+        ),
+        kus=["PCC", "CLD"],
+        ku_details=["PCC_7", "CLD_2"],
+        areas=["Prog", "CC"],
+        topic_details=["C_ClientServer", "K_Concurrency"],
+        courses=["K_12", "CS1", "CS2", "DSA"],
+        senses=["accessible"],
+        medium=["analogy", "cards"],
+        accessibility=(
+            "Purely conversational; ticket cards are optional props. Works "
+            "unchanged for remote or asynchronous classes."
+        ),
+        assessment=(
+            "Lewandowski, Bouvier, McCartney, Sanders and Simon assessed "
+            "novice solutions across institutions: most students produced a "
+            "workable coordination scheme, supporting the scenario's use as a "
+            "pre-instruction probe."
+        ),
+        citations=[KOLIKANT2001, LEWANDOWSKI2007, LEWANDOWSKI2010],
+    ),
+    Spec(
+        name="gardeners",
+        title="Gardeners",
+        date="2019-12-04",
+        author="Yifat Ben-David Kolikant",
+        link=None,
+        details=(
+            "A distributed-work scenario: several gardeners must water a long "
+            "row of plants without a supervisor, communicating only by leaving "
+            "notes. Students propose protocols for splitting the row, "
+            "handling a gardener who falls behind, and avoiding double-"
+            "watering -- surfacing load balancing, work stealing, and the cost "
+            "of coordination through messages."
+        ),
+        kus=["CLD", "PP"],
+        ku_details=["CLD_2", "PP_2"],
+        areas=["Prog", "Alg"],
+        topic_details=["C_LoadBalancing", "C_MasterWorker"],
+        courses=["K_12", "CS0", "DSA"],
+        senses=["accessible"],
+        medium=["analogy", "food"],
+        accessibility=(
+            "A discussion scenario requiring no materials; the garden can be "
+            "sketched for visual learners."
+        ),
+        assessment=NO_ASSESS,
+        citations=[KOLIKANT2001],
+    ),
+    Spec(
+        name="harvestloadbalancing",
+        title="HarvestLoadBalancing",
+        date="2019-12-05",
+        author="Henry Neeman, Lloyd Lee, Julia Mullen, and Gerard Newman (OSCER)",
+        link="http://www.oscer.ou.edu/education.php",
+        details=(
+            "From the 'Supercomputing in Plain English' workshop series: a "
+            "farm crew harvesting rows of crops illustrates load balancing. "
+            "If rows differ in length and each worker owns fixed rows, fast "
+            "workers idle while one straggles; re-assigning rows dynamically "
+            "keeps everyone busy. Students act out static versus dynamic "
+            "assignment with baskets of produce cards and compare finish times."
+        ),
+        kus=["PP", "PD"],
+        ku_details=["PP_2", "PP_3", "PD_2"],
+        areas=["Prog", "Alg"],
+        topic_details=["C_LoadBalancing", "C_MasterWorker"],
+        courses=["CS0", "CS2", "DSA", "Systems"],
+        senses=["visual"],
+        medium=["props"],
+        accessibility=(
+            "Presented as a demonstration with the class predicting finish "
+            "times; no student movement is required."
+        ),
+        assessment=NO_ASSESS,
+        citations=[NEEMAN2006, NEEMAN2008],
+    ),
+    Spec(
+        name="checkoutresourcecontention",
+        title="CheckoutResourceContention",
+        date="2019-12-05",
+        author="Henry Neeman, Lloyd Lee, Julia Mullen, and Gerard Newman (OSCER)",
+        link="http://www.oscer.ou.edu/education.php",
+        details=(
+            "A supermarket with one open checkout lane serves many shoppers: "
+            "adding shoppers (processors) without adding lanes (shared "
+            "resources) only lengthens the queue. The analogy quantifies "
+            "contention: throughput is capped by the shared resource, and "
+            "adding parallelism past that point increases waiting, not work "
+            "done."
+        ),
+        kus=["PP"],
+        ku_details=["PP_5"],
+        areas=["Prog"],
+        topic_details=["C_ParallelOverhead"],
+        courses=["CS0", "Systems"],
+        senses=["accessible"],
+        medium=["analogy"],
+        accessibility=(
+            "A verbal analogy familiar across cultures wherever queueing at "
+            "shops is common; no materials needed."
+        ),
+        assessment=NO_ASSESS,
+        citations=[NEEMAN2006, NEEMAN2008],
+    ),
+    Spec(
+        name="whiteboardsharedmemory",
+        title="WhiteboardSharedMemory",
+        date="2019-12-05",
+        author="Henry Neeman, Lloyd Lee, Julia Mullen, and Gerard Newman (OSCER)",
+        link="http://www.oscer.ou.edu/education.php",
+        details=(
+            "The class whiteboard plays shared memory: several students solve "
+            "subproblems by reading and writing regions of the same board. "
+            "Everyone sees updates immediately (fast sharing), but writers "
+            "crowd each other at popular regions and must take turns with the "
+            "marker -- an atomic write. The analogy introduces symmetric "
+            "multiprocessing and why shared memory needs arbitration."
+        ),
+        kus=["PA", "PD"],
+        ku_details=["PA_1", "PA_2", "PD_5"],
+        areas=["Prog", "Arch"],
+        topic_details=["C_SharedMemoryModel", "C_SharedVsDistributedMemory",
+                       "K_Atomicity"],
+        courses=["CS1", "CS2", "DSA", "Systems"],
+        senses=["visual"],
+        medium=["board"],
+        accessibility=(
+            "Board regions should be large and high-contrast; a document "
+            "camera variant works for large rooms."
+        ),
+        assessment=NO_ASSESS,
+        citations=[NEEMAN2006, NEEMAN2008],
+    ),
+    Spec(
+        name="desertislandsdistributedmemory",
+        title="DesertIslandsDistributedMemory",
+        date="2019-12-05",
+        author="Henry Neeman, Lloyd Lee, Julia Mullen, and Gerard Newman (OSCER)",
+        link="http://www.oscer.ou.edu/education.php",
+        details=(
+            "Each student is a worker alone on a desert island (private "
+            "memory) who can only exchange information by mailing letters "
+            "(messages). Solving a problem split across islands makes the "
+            "costs of distributed memory concrete: nothing is shared, every "
+            "exchange is explicit, and clusters of islands form a cluster "
+            "computer. Students design the letters needed to sum values held "
+            "across four islands."
+        ),
+        kus=["PA", "PD"],
+        ku_details=["PA_1", "PD_2"],
+        areas=["Prog", "Arch", "CC"],
+        topic_details=["C_DistributedMemoryModel", "C_SharedVsDistributedMemory",
+                       "C_CommunicationCosts", "K_ClusterComputing"],
+        courses=["CS2", "DSA", "Systems"],
+        senses=["visual"],
+        medium=["board"],
+        accessibility=(
+            "Runs as a drawn scenario on the board; a tactile map variant "
+            "uses desks as islands."
+        ),
+        assessment=NO_ASSESS,
+        citations=[NEEMAN2006, NEEMAN2008],
+    ),
+    Spec(
+        name="longdistancephonecall",
+        title="LongDistancePhoneCall",
+        date="2019-12-05",
+        author="Henry Neeman, Lloyd Lee, Julia Mullen, and Gerard Newman (OSCER)",
+        link="http://www.oscer.ou.edu/education.php",
+        details=(
+            "Communication overhead as a long-distance phone call: the "
+            "connection charge (latency) is paid per call no matter how "
+            "little is said, while the per-minute charge (inverse bandwidth) "
+            "scales with the message. Students compute total cost for many "
+            "short calls versus one long call and conclude that batching "
+            "messages amortizes latency -- the alpha-beta cost model in "
+            "everyday terms."
+        ),
+        kus=["PP", "PA"],
+        ku_details=["PP_5", "PA_8"],
+        areas=["Prog", "Arch", "CC"],
+        topic_details=["C_CommunicationCosts", "C_ParallelOverhead",
+                       "C_LatencyBandwidth", "K_PerformanceModeling"],
+        courses=["CS0", "CS2", "DSA", "Systems"],
+        senses=["accessible"],
+        medium=["analogy"],
+        accessibility=(
+            "Note: the paper observes this analogy is likely incomprehensible "
+            "to younger audiences with unlimited cell phone plans, where "
+            "'connection charges' and 'per-minute charges' are foreign; "
+            "substitute postage or delivery fees for such groups."
+        ),
+        assessment=NO_ASSESS,
+        citations=[NEEMAN2006, NEEMAN2008],
+    ),
+    Spec(
+        name="bankdepositrace",
+        title="BankDepositRace",
+        date="2019-12-06",
+        author="Henry Neeman, Lloyd Lee, Julia Mullen, and Gerard Newman (OSCER)",
+        link=None,
+        details=(
+            "Two student tellers process deposits to the same account balance "
+            "written on a slip: each reads the balance, computes the new "
+            "value at their desk, and writes it back. When the schedule "
+            "interleaves the reads before either write, one deposit vanishes. "
+            "Students enumerate the interleavings, identify which lose money, "
+            "and fix the protocol by locking the slip -- then discuss why the "
+            "'lost update' is not sequentially consistent with any serial "
+            "order of the two deposits."
+        ),
+        kus=["PCC", "PD"],
+        ku_details=["PCC_1", "PCC_2", "PD_1"],
+        areas=["Prog"],
+        topic_details=["C_DataRaces", "A_RaceAvoidance", "A_CriticalSections"],
+        courses=["CS1", "CS2", "Systems"],
+        senses=["visual", "movement"],
+        medium=["roleplay", "pens", "paper"],
+        accessibility=(
+            "The slip can be projected and updated verbally for students who "
+            "cannot handle paper; the race is audible in the spoken trace."
+        ),
+        assessment=NO_ASSESS,
+        citations=[NEEMAN2006, NEEMAN2008],
+    ),
+    Spec(
+        name="multicorekitchen",
+        title="MulticoreKitchen",
+        date="2019-12-06",
+        author="Nasser Giacaman",
+        link=None,
+        details=(
+            "A restaurant kitchen as a multicore processor: cooks are cores, "
+            "the head chef decomposes orders into dishes (tasks) and assigns "
+            "them, counter space is cache, and the pantry is main memory. "
+            "Students trace an order through the kitchen and identify where "
+            "cooks wait on shared equipment, mapping each kitchen phenomenon "
+            "to its architectural counterpart."
+        ),
+        kus=["PA", "PD"],
+        ku_details=["PA_2", "PD_4"],
+        areas=["Arch"],
+        topic_details=["C_Multicore"],
+        courses=["CS2", "Systems"],
+        senses=["visual"],
+        medium=["board", "food"],
+        accessibility=(
+            "Food-preparation framing is broadly familiar, though specific "
+            "dishes should be localized for the audience."
+        ),
+        assessment=NO_ASSESS,
+        citations=[GIACAMAN2012],
+    ),
+    Spec(
+        name="fencepaintingdecomposition",
+        title="FencePaintingDecomposition",
+        date="2019-12-06",
+        author="Nasser Giacaman",
+        link=None,
+        details=(
+            "Friends painting a long fence illustrate data decomposition: "
+            "split the fence into equal stretches and everyone paints at "
+            "once. Students probe the analogy's edges -- what if one stretch "
+            "is in the shade (heterogeneous cost)? what if there is one "
+            "bucket of paint (shared resource)? keeping each painter's bucket "
+            "beside them (locality) avoids walking."
+        ),
+        kus=["PD", "PP"],
+        ku_details=["PD_2", "PD_4", "PP_6"],
+        areas=["Prog"],
+        topic_details=["C_DataDistribution", "C_LoadBalancing"],
+        courses=["CS0", "CS1", "CS2"],
+        senses=["accessible"],
+        medium=["analogy"],
+        accessibility=(
+            "Verbal analogy requiring no materials; a sketch supports visual "
+            "learners."
+        ),
+        assessment=NO_ASSESS,
+        citations=[GIACAMAN2012],
+    ),
+    Spec(
+        name="examgradingspeedup",
+        title="ExamGradingSpeedup",
+        date="2019-12-06",
+        author="Steven Bogaerts",
+        link="https://www.sciencedirect.com/science/article/pii/S0743731517300023",
+        details=(
+            "Graders splitting a stack of exams dramatize speedup in CS1: one "
+            "grader takes an hour; four graders take about fifteen minutes "
+            "plus the time to deal out the stack and staple results back "
+            "together. Students measure wall-clock time with 1, 2 and 4 "
+            "graders on candy-coded answer sheets, compute speedup and "
+            "efficiency, and see the serial deal/collect phases limit the "
+            "gain."
+        ),
+        kus=["PD", "PP", "PAAP"],
+        ku_details=["PD_2", "PP_1", "PAAP_3"],
+        areas=["Prog", "Alg"],
+        topic_details=["C_Speedup", "C_Efficiency", "C_CostReduction"],
+        courses=["CS1", "CS2", "DSA"],
+        senses=["visual"],
+        medium=["paper", "pens"],
+        accessibility=(
+            "Grading tasks are seat-based; rubric cards in large print keep "
+            "all students involved."
+        ),
+        assessment=(
+            "Bogaerts reports multi-year evaluation of the CS1 parallelism "
+            "modules built around these analogies: course outcomes matched "
+            "the non-parallel sections while adding PDC coverage."
+        ),
+        citations=[BOGAERTS2014, BOGAERTS2017],
+    ),
+    Spec(
+        name="roadtripamdahl",
+        title="RoadTripAmdahl",
+        date="2019-12-06",
+        author="Steven Bogaerts",
+        link="https://www.sciencedirect.com/science/article/pii/S0743731517300023",
+        details=(
+            "Amdahl's law as a road trip: no matter how fast the highway "
+            "segments get (the parallelizable fraction), total trip time is "
+            "floored by the fixed city driving at each end (the serial "
+            "fraction). Students compute trip times as the highway speed "
+            "multiplier grows and plot the plateau, then translate the "
+            "numbers into the 1/(s + p/n) form."
+        ),
+        kus=["PP", "PAAP"],
+        ku_details=["PP_1", "PAAP_3"],
+        areas=["Prog", "Alg"],
+        topic_details=["C_AmdahlsLaw", "C_Speedup", "C_Scalability"],
+        courses=["CS2", "DSA", "Systems"],
+        senses=["accessible"],
+        medium=["analogy"],
+        accessibility=(
+            "Works verbally or with a simple table; distances can be "
+            "localized to routes the audience knows."
+        ),
+        assessment=(
+            "Evaluated as part of Bogaerts' CS1/JPDC parallelism sequence; "
+            "students correctly predicted speedup plateaus on post-tests."
+        ),
+        citations=[BOGAERTS2014, BOGAERTS2017],
+    ),
+    Spec(
+        name="paralleladditioncards",
+        title="ParallelAdditionCards",
+        date="2019-12-07",
+        author="Sheikh Ghafoor, David Brown, Mike Rogers, and Thomas Hines",
+        link="https://csc.tntech.edu/pdcincs/",
+        details=(
+            "Pairs of students sum a deck of numbered cards in a binary "
+            "tree: each pair adds its two piles and passes one total up, "
+            "halving the number of active adders each level. The class "
+            "draws the resulting dependency tree, counts levels versus a "
+            "single adder's steps, and identifies which additions could "
+            "truly happen at the same time."
+        ),
+        kus=["PD", "PAAP"],
+        ku_details=["PD_5", "PAAP_4", "PAAP_7"],
+        areas=["Prog", "Alg"],
+        topic_details=["A_ParallelLoops", "C_DependencyGraphs"],
+        courses=["K_12", "CS1", "CS2", "DSA"],
+        senses=["visual", "touch"],
+        medium=["cards"],
+        accessibility=(
+            "Seat-based card handling; sums can be spoken for students who "
+            "prefer auditory participation."
+        ),
+        assessment=(
+            "Ghafoor et al. evaluated the module in CS1 and CS2; preliminary "
+            "assessment suggested the activities aided students in learning "
+            "PDC concepts."
+        ),
+        citations=[GHAFOOR2019, GHAFOORWEB],
+    ),
+    Spec(
+        name="coincountingarraysum",
+        title="CoinCountingArraySum",
+        date="2019-12-07",
+        author="Sheikh Ghafoor, David Brown, Mike Rogers, and Thomas Hines",
+        link="https://csc.tntech.edu/pdcincs/",
+        details=(
+            "A pile of coins is split evenly among students who count their "
+            "shares simultaneously and report partial counts for a final "
+            "tally -- a data-parallel loop over an array of coins. The class "
+            "varies the number of counters and the pile's skew to see when "
+            "splitting helps, when the final combine dominates, and what "
+            "happens if two students grab the same coins."
+        ),
+        kus=["PD"],
+        ku_details=["PD_5"],
+        areas=["Prog", "Alg"],
+        topic_details=["A_ParallelLoops", "C_CostReduction"],
+        courses=["K_12", "CS0", "CS1", "DSA"],
+        senses=["visual", "touch"],
+        medium=["coins"],
+        accessibility=(
+            "Coins are tactile and countable without sight; use large tokens "
+            "for young children."
+        ),
+        assessment=(
+            "Part of the iPDC module evaluation by Ghafoor et al.; students "
+            "showed improved recognition of data decomposition."
+        ),
+        citations=[GHAFOOR2019, GHAFOORWEB],
+    ),
+    Spec(
+        name="matrixmultiplicationteams",
+        title="MatrixMultiplicationTeams",
+        date="2019-12-07",
+        author="Sheikh Ghafoor, Mike Rogers, David Brown, and Amanda Haynes",
+        link="https://csc.tntech.edu/pdcincs/",
+        details=(
+            "Teams compute a small matrix product on worksheets, one team per "
+            "block of the result. Because each output block needs a row band "
+            "and a column band of the inputs, students physically copy the "
+            "bands they need, making data distribution and its duplication "
+            "costs concrete. Teams then re-tile the result and compare how "
+            "block shape changes how much input each team must copy."
+        ),
+        kus=["PD", "PAAP"],
+        ku_details=["PD_5", "PAAP_5"],
+        areas=["Prog", "Alg"],
+        topic_details=["C_DataDistribution", "C_TaskGraphs"],
+        courses=["CS2", "DSA", "Systems"],
+        senses=["visual"],
+        medium=["paper"],
+        accessibility=(
+            "Worksheet-based; enlarged grids and high-contrast printing "
+            "support low-vision students."
+        ),
+        assessment=(
+            "Included in the iPDC modules assessment; Ghafoor et al. report "
+            "positive preliminary outcomes in introductory courses."
+        ),
+        citations=[GHAFOOR2019, GHAFOORWEB],
+    ),
+    Spec(
+        name="laundrypipeline",
+        title="LaundryPipeline",
+        date="2019-12-08",
+        author="OSCER workshop material (curated write-up)",
+        link=None,
+        details=(
+            "The classic washer/dryer/folding pipeline, staged with laundry "
+            "baskets: one load takes three steps end to end, but with the "
+            "stages kept busy a new load finishes every step once the "
+            "pipeline fills. Students act the stages, measure fill and drain "
+            "phases, and connect the dramatization to producer-consumer "
+            "hand-offs between stages and to pipelined instruction execution."
+        ),
+        kus=["PA", "PAAP"],
+        ku_details=["PA_6", "PAAP_8", "PAAP_9"],
+        areas=["Arch", "Alg"],
+        topic_details=["C_InstructionPipelines", "C_PipelineParadigm"],
+        courses=["K_12", "CS1", "Systems"],
+        senses=["visual", "movement"],
+        medium=["roleplay", "props"],
+        accessibility=(
+            "Stages can be desk-based (sorting cards instead of baskets) for "
+            "classrooms where carrying props is impractical."
+        ),
+        assessment=NO_ASSESS,
+        citations=[NEEMAN2006],
+    ),
+    Spec(
+        name="assemblylinepipeline",
+        title="AssemblyLinePipeline",
+        date="2019-12-08",
+        author="Junhyung Eum and Simha Sethumadhavan",
+        link="http://www.cs.columbia.edu/~simha/",
+        details=(
+            "From 'Teaching Microarchitecture through Metaphors': a car "
+            "assembly line explains pipelined instruction execution -- "
+            "stations are pipeline stages, a stalled station stalls everyone "
+            "behind it, and re-tooling the line for a different car model is "
+            "a pipeline flush on a mispredicted branch. The metaphor is "
+            "drawn stage by stage on the board alongside the processor "
+            "pipeline it mirrors."
+        ),
+        kus=["PA"],
+        ku_details=["PA_6"],
+        areas=["Arch"],
+        topic_details=["C_InstructionPipelines"],
+        courses=["CS2", "Systems"],
+        senses=["visual"],
+        medium=["analogy", "board"],
+        accessibility=(
+            "Board diagrams carry the content; verbal narration of each "
+            "stage supports non-visual learners."
+        ),
+        assessment=NO_ASSESS,
+        citations=[EUM2014],
+    ),
+    Spec(
+        name="cachelibrarymetaphor",
+        title="CacheLibraryMetaphor",
+        date="2019-12-08",
+        author="Junhyung Eum and Simha Sethumadhavan",
+        link=None,
+        details=(
+            "The memory hierarchy as a student's study workflow: the open "
+            "book on the desk is a register, the shelf above the desk is "
+            "cache, the campus library is main memory, and interlibrary loan "
+            "is disk. Checking a fact costs seconds, minutes, or days "
+            "depending on where it lives, and keeping the books you are "
+            "using on the desk shelf is caching by recency. Students "
+            "estimate access times for a study plan and compute an average "
+            "'access time' as hit rates change."
+        ),
+        kus=["PA"],
+        ku_details=["PA_7"],
+        areas=["Arch"],
+        topic_details=["K_CacheHierarchy"],
+        courses=["CS2", "Systems"],
+        senses=["visual"],
+        medium=["analogy"],
+        accessibility=(
+            "Entirely verbal/diagrammatic; the library framing translates "
+            "across campuses and cultures."
+        ),
+        assessment=NO_ASSESS,
+        citations=[EUM2014],
+    ),
+    Spec(
+        name="actingoutalgorithms",
+        title="ActingOutAlgorithms",
+        date="2019-12-09",
+        author="Ann Fleury",
+        link=None,
+        details=(
+            "A technique paper turned activity: students act out algorithms "
+            "as cooperating processes with scripted roles on index cards, "
+            "including a parallel search where each student scans a strip of "
+            "the data and raises a hand on a hit. Fleury analyzes how and "
+            "why the dramatizations work, emphasizing that the acted "
+            "dependency structure -- who must wait for whom -- is what "
+            "students retain."
+        ),
+        kus=["PD", "PAAP"],
+        ku_details=["PD_2", "PAAP_4"],
+        areas=["Prog", "Alg"],
+        topic_details=["C_TasksAndThreads", "A_Search", "C_DependencyGraphs"],
+        courses=["K_12", "CS1", "DSA"],
+        senses=["visual", "movement"],
+        medium=["roleplay", "paper"],
+        accessibility=(
+            "Roles with heavy movement should be optional; scripts in large "
+            "print let every student follow the action."
+        ),
+        assessment=NO_ASSESS,
+        citations=[FLEURY1997],
+    ),
+    Spec(
+        name="objectroleplay",
+        title="ObjectRolePlay",
+        date="2019-12-09",
+        author="Steven Andrianoff and David Levine",
+        link=None,
+        details=(
+            "Students play objects that communicate only by passing written "
+            "messages: each holds a card of state and a list of methods they "
+            "can perform on request. Running two 'client' students "
+            "concurrently exposes what happens when messages to the same "
+            "object interleave, and why blocking on a reply can leave two "
+            "objects waiting on each other forever."
+        ),
+        kus=["PD", "PCC"],
+        ku_details=["PD_1", "PCC_3"],
+        areas=["Prog"],
+        topic_details=["C_TasksAndThreads"],
+        courses=["CS1", "CS2", "DSA"],
+        senses=["visual", "movement"],
+        medium=["roleplay", "pens"],
+        accessibility=(
+            "Message passing works seated; pre-printed message forms reduce "
+            "the writing load."
+        ),
+        assessment=NO_ASSESS,
+        citations=[ANDRIANOFF2002],
+    ),
+    Spec(
+        name="synchronizationrelay",
+        title="SynchronizationRelay",
+        date="2019-12-09",
+        author="Robert Chesebrough and Irena Turner",
+        link=None,
+        details=(
+            "A relay activity comparing synchronization constructs: teams "
+            "pass a pen (the lock) under three different rules -- busy "
+            "waiting at the exchange zone, being tapped awake (a condition "
+            "signal), and leaving the pen in a tray checked periodically (a "
+            "semaphore-like token). Students time each scheme and compare "
+            "fairness and wasted effort, seeing that multiple sufficient "
+            "constructs exist with complementary advantages."
+        ),
+        kus=["PF", "PCC"],
+        ku_details=["PF_2", "PCC_1"],
+        areas=["Prog"],
+        topic_details=["A_Synchronization"],
+        courses=["K_12", "CS1", "Systems"],
+        senses=["movement", "sound"],
+        medium=["roleplay", "pens"],
+        accessibility=(
+            "Relay legs can be shortened or performed as hand-offs along a "
+            "row of desks; the tap signal can be replaced by a spoken cue "
+            "or a light for deaf students."
+        ),
+        assessment=NO_ASSESS,
+        citations=[CHESEBROUGH2010],
+    ),
+    Spec(
+        name="printerqueuesharing",
+        title="PrinterQueueSharing",
+        date="2019-12-09",
+        author="Michael Smith and Srishti Srivastava",
+        link=None,
+        details=(
+            "Students contrast two uses of parallelism: many workers "
+            "splitting one report to finish it sooner (computational "
+            "resources for a faster answer) versus many workers sharing one "
+            "office printer without losing anyone's pages (managing "
+            "efficient access to a shared resource). Sorting scenario cards "
+            "into the two piles forces the distinction the CS2013 "
+            "Parallelism Fundamentals unit asks for, which most activities "
+            "blur."
+        ),
+        kus=["PF", "PP"],
+        ku_details=["PF_1", "PP_5"],
+        areas=["Prog"],
+        topic_details=["C_ParallelOverhead"],
+        courses=["CS0", "CS1", "CS2"],
+        senses=["accessible"],
+        medium=["analogy", "paper"],
+        accessibility=(
+            "Scenario cards can be read aloud; the sort can be a show of "
+            "hands instead of physical piles."
+        ),
+        assessment=(
+            "Smith and Srivastava, and the follow-up EduHPC study by "
+            "Srivastava et al., assessed engagement and learning when the "
+            "activity was integrated into early undergraduate courses, "
+            "reporting positive engagement outcomes."
+        ),
+        citations=[SMITH2019, SRIVASTAVA2019],
+    ),
+    Spec(
+        name="speedupjigsaw",
+        title="SpeedupJigsaw",
+        date="2019-12-10",
+        author="P. Chitra and Sheikh Ghafoor",
+        link=None,
+        details=(
+            "Teams race to assemble identical jigsaw puzzles with 1, 2 and 4 "
+            "assemblers, logging completion times on the board. The class "
+            "computes speedup and efficiency, observes contention at the "
+            "puzzle's edges, and discusses how the picture's structure (a "
+            "task graph) dictates which pieces can be placed concurrently. "
+            "Used within a graduate PDC course as part of an active-learning "
+            "redesign."
+        ),
+        kus=["PD", "PP"],
+        ku_details=["PD_2", "PP_4"],
+        areas=["Prog", "Alg"],
+        topic_details=["C_SchedulingMapping", "C_DependencyGraphs", "C_TaskGraphs"],
+        courses=["CS2", "DSA", "Systems"],
+        senses=["visual", "touch"],
+        medium=["game", "props"],
+        accessibility=(
+            "Large-piece puzzles keep the activity usable for students with "
+            "fine-motor constraints; timekeeping roles involve students who "
+            "prefer not to assemble."
+        ),
+        assessment=(
+            "Chitra and Ghafoor report that students taught with the "
+            "active-learning methodology (including this activity) earned "
+            "higher grades than students taught the material in a "
+            "traditional lecture format."
+        ),
+        citations=[CHITRA2019],
+    ),
+    Spec(
+        name="diningphilosophers",
+        title="DiningPhilosophersDramatization",
+        date="2019-12-10",
+        author="Classroom dramatization of Dijkstra's problem (curated write-up)",
+        link=None,
+        details=(
+            "Five students sit around a table with five pens between them; "
+            "each must hold both neighboring pens to 'eat' (sign a menu "
+            "card). Greedy left-then-right acquisition deadlocks the table "
+            "on cue, and students then fix it with a lock-ordering rule "
+            "(one philosopher picks right first) or a waiter who admits at "
+            "most four. The dramatization makes hold-and-wait and circular "
+            "wait physically visible, and game-playing variants score "
+            "philosophers on meals eaten."
+        ),
+        kus=["PCC"],
+        ku_details=["PCC_1", "PCC_9"],
+        areas=["Prog", "Alg"],
+        topic_details=["C_Deadlock", "A_Synchronization", "C_MutualExclusionProblem"],
+        courses=["CS2", "DSA", "Systems"],
+        senses=["visual", "movement"],
+        medium=["roleplay", "paper"],
+        accessibility=(
+            "Fully seat-based around one table; pens can be replaced with "
+            "any graspable tokens."
+        ),
+        assessment=NO_ASSESS,
+        citations=[KITCHEN1992],
+    ),
+    Spec(
+        name="parallelrecipecooking",
+        title="ParallelRecipeCooking",
+        date="2019-12-10",
+        author="Nasser Giacaman",
+        link=None,
+        details=(
+            "A multi-dish dinner as task parallelism: students break a "
+            "recipe set into tasks (chop, boil, bake), mark which depend on "
+            "which, and assign cooks so the meal finishes soonest. The "
+            "schedule is drawn as a Gantt chart; moving a slow task earlier "
+            "or adding a cook shows scheduling and task spawning decisions "
+            "directly changing the critical path."
+        ),
+        kus=["PD", "PP"],
+        ku_details=["PD_4", "PP_4"],
+        areas=["Prog", "Alg"],
+        topic_details=["A_TaskSpawning", "C_SchedulingMapping", "C_TaskGraphs"],
+        courses=["CS1", "CS2", "DSA"],
+        senses=["accessible", "touch"],
+        medium=["analogy", "food"],
+        accessibility=(
+            "Runs as a planning exercise with recipe cards -- no actual "
+            "cooking; dietary and cultural menu variants are encouraged."
+        ),
+        assessment=NO_ASSESS,
+        citations=[GIACAMAN2012],
+    ),
+    Spec(
+        name="rhythmclapsimd",
+        title="RhythmClapSIMD",
+        date="2019-12-11",
+        author="Curated reconstruction after Bachelis et al.",
+        link=None,
+        details=(
+            "The class becomes a SIMD machine: a conductor calls one "
+            "instruction per beat (clap, snap, stomp) and every student "
+            "executes it simultaneously on their own 'data' (their hands). "
+            "Masking is dramatized by having only students matching a "
+            "predicate (e.g. wearing glasses) execute the beat. Switching to "
+            "MIMD -- each student follows their own rhythm card -- makes "
+            "Flynn's distinction audible: lockstep sounds like one loud "
+            "beat, MIMD like rain."
+        ),
+        kus=["PA"],
+        ku_details=["PA_3", "PA_5"],
+        areas=["Arch"],
+        topic_details=["C_SIMDVector", "C_FlynnTaxonomy", "K_MIMD"],
+        courses=["K_12", "Systems"],
+        senses=["movement", "sound"],
+        medium=["music"],
+        accessibility=(
+            "Percussion can be tabletop taps for students with limited arm "
+            "mobility; deaf students follow the conductor visually and feel "
+            "the table vibration."
+        ),
+        assessment=NO_ASSESS,
+        citations=[BACHELIS1994],
+    ),
+    Spec(
+        name="datadecompositionpuzzle",
+        title="DataDecompositionPuzzle",
+        date="2019-12-11",
+        author="Sheikh Ghafoor, David Brown, Mike Rogers, and Thomas Hines",
+        link=None,
+        details=(
+            "A paper mosaic is cut into tiles and dealt to students who each "
+            "color their tile by a shared rule, then reassemble the picture "
+            "-- data decomposition with a gather at the end. Uneven tiles "
+            "leave some students idle (imbalance), and tiles whose rule "
+            "depends on a neighbor's edge force communication, letting the "
+            "class discover which decompositions scale."
+        ),
+        kus=["PD", "PAAP"],
+        ku_details=["PD_5", "PAAP_4"],
+        areas=["Prog", "Alg"],
+        topic_details=["C_DataDistribution", "C_Scalability"],
+        courses=["K_12", "CS1", "DSA"],
+        senses=["visual", "touch"],
+        medium=["game", "paper"],
+        accessibility=(
+            "Tiles can be textured for tactile matching; coloring rules can "
+            "be patterns rather than colors for color-blind students."
+        ),
+        assessment=NO_ASSESS,
+        citations=[GHAFOOR2019, GHAFOORWEB],
+    ),
+    Spec(
+        name="topologyyarnweb",
+        title="TopologyYarnWeb",
+        date="2019-12-11",
+        author="Curated reconstruction after Kitchen et al.",
+        link=None,
+        details=(
+            "Students holding yarn strands build interconnection networks "
+            "with their bodies: a ring, a star, a 2-D mesh, and (for eight "
+            "students) a hypercube. A message -- a bead threaded on the "
+            "yarn -- is routed hop by hop while the class counts hops, then "
+            "the same source/destination pair is timed on each topology. "
+            "Cutting one strand shows which networks keep every pair "
+            "connected, linking topology to both latency and fault "
+            "tolerance."
+        ),
+        kus=["PA"],
+        ku_details=["PA_8"],
+        areas=["Arch"],
+        topic_details=["K_InterconnectTopologies"],
+        courses=["K_12", "DSA", "Systems"],
+        senses=["visual", "movement", "touch"],
+        medium=["game", "string"],
+        accessibility=(
+            "Yarn webs can be built on a pegboard tabletop instead of "
+            "between standing students; bead routing is tactile."
+        ),
+        assessment=NO_ASSESS,
+        citations=[KITCHEN1992],
+    ),
+]
+
+
+# Activities 19..22 and 32..35 in the design matrix appear above out of
+# numeric order; the list order is the corpus order and is what matters.
+
+
+def build_activity(spec: Spec) -> Activity:
+    """Materialize one Spec into a validated Activity with rendered sections."""
+    if spec.link:
+        author = f"{spec.author}\n\n[External resource]({spec.link})"
+    else:
+        author = f"{spec.author}\n\n{NO_RESOURCE_NOTE}"
+
+    details = spec.details
+    if spec.variations:
+        details += f"\n\n**Variations**: {spec.variations}"
+
+    ku_terms = [KU_BY_ABBREV[a].term for a in spec.kus]
+    cs_lines = []
+    for abbrev in spec.kus:
+        ku = KU_BY_ABBREV[abbrev]
+        cs_lines.append(f"- **{ku.name}** (`{ku.term}`)")
+        for term in spec.ku_details:
+            prefix, _, num = term.rpartition("_")
+            if prefix == abbrev:
+                lo = ku.outcome(int(num))
+                cs_lines.append(f"  - LO {lo.number}: {lo.text}")
+    cs_section = "\n".join(cs_lines)
+
+    area_terms = [AREA_BY_SHORT[s] for s in spec.areas]
+    tcpp_lines = []
+    for short in spec.areas:
+        area = tcpp_mod.topic_area(AREA_BY_SHORT[short])
+        tcpp_lines.append(f"- **{area.name}** (`{area.term}`)")
+        for term in spec.topic_details:
+            resolved_area, topic = tcpp_mod.topic_for_detail_term(term)
+            if resolved_area.term == area.term:
+                tcpp_lines.append(
+                    f"  - {topic.bloom.description}: {topic.name} (`{term}`)"
+                )
+    tcpp_section = "\n".join(tcpp_lines)
+
+    courses_section = ", ".join(spec.courses)
+    citations_section = "\n".join(f"- {c}" for c in spec.citations)
+
+    sections = {
+        "Original Author/link": author,
+        "Details": details,
+        "CS2013 Knowledge Unit Coverage": cs_section,
+        "TCPP Topics Coverage": tcpp_section,
+        "Recommended Courses": courses_section,
+        "Accessibility": spec.accessibility,
+        "Assessment": spec.assessment,
+        "Citations": citations_section,
+    }
+
+    return Activity(
+        name=spec.name,
+        title=spec.title,
+        date=spec.date,
+        cs2013=ku_terms,
+        tcpp=area_terms,
+        courses=list(spec.courses),
+        senses=list(spec.senses),
+        cs2013details=list(spec.ku_details),
+        tcppdetails=list(spec.topic_details),
+        medium=list(spec.medium),
+        sections=sections,
+    )
+
+
+def verify(catalog: Catalog) -> list[str]:
+    """Compare the catalog's aggregates against repro.paper; return diffs."""
+    from repro.analytics.verify import compare_to_paper
+
+    return compare_to_paper(catalog)
+
+
+def main() -> int:
+    check_only = "--check" in sys.argv
+
+    catalog = Catalog()
+    for spec in SPECS:
+        catalog.add(build_activity(spec))
+    catalog.validate_all()
+
+    if not check_only:
+        CONTENT_DIR.mkdir(parents=True, exist_ok=True)
+        for old in CONTENT_DIR.glob("*.md"):
+            old.unlink()
+        for activity in catalog:
+            path = CONTENT_DIR / f"{activity.name}.md"
+            path.write_text(write_activity(activity), encoding="utf-8")
+        print(f"wrote {len(catalog)} activities to {CONTENT_DIR}")
+
+    diffs = verify(catalog)
+    if diffs:
+        print(f"CALIBRATION: {len(diffs)} differences from paper targets:")
+        for d in diffs:
+            print("  -", d)
+        return 1
+    print("CALIBRATION: all paper targets reproduced exactly.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
