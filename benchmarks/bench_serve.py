@@ -1,0 +1,140 @@
+"""EXPERIMENT S-SERVE -- the serving layer under synthetic load.
+
+Measures what the ROADMAP's "serves heavy traffic" claim rests on:
+
+* requests/sec over a Zipf-distributed page-popularity workload with the
+  content-addressed LRU cache ON vs OFF,
+* the conditional-request (If-None-Match -> 304) revalidation path,
+* full rebuild vs incremental rebuild after a single content edit.
+
+All load streams are seeded -- identical requests across runs.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.activities.catalog import corpus_dir
+from repro.serve import LoadGenerator, create_app, run_load
+
+REQUESTS = 500
+
+
+@pytest.fixture(scope="module")
+def request_stream():
+    app = create_app(watch=False)
+    return LoadGenerator.for_app(app, seed=42).sample(REQUESTS)
+
+
+@pytest.mark.benchmark(group="serve-throughput")
+def test_cached_serving(benchmark, request_stream):
+    """Zipf load with the page cache on; repeats revalidate via ETag."""
+    app = create_app(watch=False)
+
+    def serve():
+        return run_load(app, request_stream)
+
+    report = benchmark(serve)
+    assert report.ok
+    assert report.cache_hits > 0
+    print()
+    print(f"cached: {report.requests_per_s:,.0f} req/s "
+          f"({report.revalidations} x 304, "
+          f"{report.cache_hits}/{report.requests} cache hits)")
+
+
+@pytest.mark.benchmark(group="serve-throughput")
+def test_uncached_serving(benchmark, request_stream):
+    """Same load with the cache disabled: every request re-renders."""
+    app = create_app(watch=False, cache_enabled=False)
+
+    def serve():
+        return run_load(app, request_stream, revalidate=False)
+
+    report = benchmark(serve)
+    assert report.ok
+    print()
+    print(f"uncached: {report.requests_per_s:,.0f} req/s")
+
+
+def test_cache_speedup_measured(request_stream):
+    """The acceptance check: cached serving beats uncached by a factor."""
+    cached_app = create_app(watch=False)
+    uncached_app = create_app(watch=False, cache_enabled=False)
+    run_load(cached_app, request_stream)               # warm the cache
+    cached = run_load(cached_app, request_stream)
+    uncached = run_load(uncached_app, request_stream, revalidate=False)
+    speedup = cached.requests_per_s / uncached.requests_per_s
+    print()
+    print(f"cache speedup: {speedup:.1f}x "
+          f"({cached.requests_per_s:,.0f} vs {uncached.requests_per_s:,.0f} req/s)")
+    assert speedup > 1.5
+
+
+@pytest.mark.benchmark(group="serve-rebuild")
+def test_full_rebuild(benchmark, tmp_path):
+    """Baseline: re-render all ~170 files after one edit."""
+    from repro.serve.rebuild import RebuildManager
+
+    content = tmp_path / "content"
+    shutil.copytree(corpus_dir(), content)
+    manager = RebuildManager(content, min_interval_s=0.0)
+    out = tmp_path / "site"
+    manager.state.site.build(out)
+
+    def rebuild():
+        return manager.state.site.build(out)
+
+    stats = benchmark(rebuild)
+    assert stats.total_files == 170
+
+
+@pytest.mark.benchmark(group="serve-rebuild")
+def test_incremental_rebuild_one_edit(benchmark, tmp_path):
+    """Incremental: only the edited page is re-rendered."""
+    from repro.serve.rebuild import RebuildManager
+
+    content = tmp_path / "content"
+    shutil.copytree(corpus_dir(), content)
+    manager = RebuildManager(content, min_interval_s=0.0)
+    out = tmp_path / "site"
+    manager.state.site.build(out)
+
+    counter = [0]
+
+    def edit_and_rebuild():
+        counter[0] += 1
+        path = content / "gardeners.md"
+        path.write_text(path.read_text(encoding="utf-8")
+                        + f"\nEdit {counter[0]}.\n", encoding="utf-8")
+        manager.refresh()
+        return manager.state.site.build(out, incremental=True)
+
+    stats = benchmark(edit_and_rebuild)
+    assert stats.incremental
+    assert stats.total_files <= 2           # the page (+ home if title moved)
+    assert stats.total_skipped >= 168
+
+
+def test_metrics_after_load_run():
+    """/api/metrics reports counts, percentiles, hit ratio after a run."""
+    import json
+
+    from repro.serve import call_app
+
+    app = create_app(watch=False)
+    stream = LoadGenerator.for_app(app, seed=7).sample(300)
+    run_load(app, stream)
+    payload = json.loads(call_app(app, "/api/metrics").body)
+    assert payload["total_requests"] == 300
+    assert payload["cache"]["hit_ratio"] > 0.5
+    page_routes = [r for r in payload["routes"] if r.startswith("page:")]
+    assert page_routes
+    for route in page_routes:
+        latency = payload["routes"][route]["latency"]
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+    print()
+    print(f"hit ratio {payload['cache']['hit_ratio']:.2%} over "
+          f"{payload['total_requests']} requests")

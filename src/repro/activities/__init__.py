@@ -11,7 +11,12 @@ re-curated from the literature the paper cites, calibrated so every
 aggregate statistic the paper reports is reproduced (see DESIGN.md).
 """
 
-from repro.activities.catalog import Catalog, corpus_dir, load_default_catalog
+from repro.activities.catalog import (
+    Catalog,
+    clear_corpus_cache,
+    corpus_dir,
+    load_default_catalog,
+)
 from repro.activities.parser import parse_activity, parse_activity_file, split_sections
 from repro.activities.schema import (
     MEDIUMS,
@@ -30,6 +35,7 @@ __all__ = [
     "NO_RESOURCE_NOTE",
     "SECTION_ORDER",
     "SENSES",
+    "clear_corpus_cache",
     "corpus_dir",
     "load_default_catalog",
     "parse_activity",

@@ -6,11 +6,16 @@ intersect terms, group by term, and adapt into the sitegen
 :class:`~repro.sitegen.taxonomy.TaxonomyIndex` / :class:`~repro.sitegen.site.Site`.
 
 :func:`load_default_catalog` loads the 38-activity curated corpus shipped
-as package data under ``repro/activities/content/``.
+as package data under ``repro/activities/content/``.  The load is memoized
+on a cheap corpus fingerprint (per-file mtime/size), so the CLI, the
+site views, the analytics, and the serving layer all share one parsed
+corpus instead of re-parsing 38 Markdown files per construction; edits to
+the content directory invalidate the cache automatically.
 """
 
 from __future__ import annotations
 
+import threading
 from importlib import resources
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
@@ -21,7 +26,7 @@ from repro.errors import ActivityError, ValidationError
 from repro.sitegen.site import Page, Site, SiteConfig
 from repro.sitegen.taxonomy import TaxonomyIndex
 
-__all__ = ["Catalog", "load_default_catalog", "corpus_dir"]
+__all__ = ["Catalog", "load_default_catalog", "corpus_dir", "clear_corpus_cache"]
 
 
 class Catalog:
@@ -172,9 +177,56 @@ def corpus_dir() -> Path:
     return Path(resources.files("repro.activities") / "content")
 
 
-def load_default_catalog(validate_corpus: bool = True) -> Catalog:
-    """Load (and by default validate) the shipped 38-activity corpus."""
-    catalog = Catalog.from_directory(corpus_dir())
-    if validate_corpus:
-        catalog.validate_all()
-    return catalog
+# -- memoized default-corpus loading ----------------------------------------
+
+_cache_lock = threading.Lock()
+_cached_catalog: Catalog | None = None
+_cached_fingerprint: tuple | None = None
+_cached_validated: bool = False
+
+
+def _corpus_fingerprint(directory: Path) -> tuple:
+    """Cheap change detector: (name, mtime_ns, size) per corpus file."""
+    return tuple(
+        (path.name, path.stat().st_mtime_ns, path.stat().st_size)
+        for path in sorted(directory.glob("*.md"))
+    )
+
+
+def clear_corpus_cache() -> None:
+    """Drop the memoized default catalog (tests and tooling)."""
+    global _cached_catalog, _cached_fingerprint, _cached_validated
+    with _cache_lock:
+        _cached_catalog = None
+        _cached_fingerprint = None
+        _cached_validated = False
+
+
+def load_default_catalog(validate_corpus: bool = True,
+                         use_cache: bool = True) -> Catalog:
+    """Load (and by default validate) the shipped 38-activity corpus.
+
+    Memoized: repeat calls return the *same* :class:`Catalog` instance as
+    long as the packaged content directory is unchanged (per-file
+    mtime/size fingerprint).  Callers must treat the shared catalog as
+    read-only; pass ``use_cache=False`` for a private mutable copy.
+    Validation runs at most once per cached parse.
+    """
+    global _cached_catalog, _cached_fingerprint, _cached_validated
+    if not use_cache:
+        catalog = Catalog.from_directory(corpus_dir())
+        if validate_corpus:
+            catalog.validate_all()
+        return catalog
+
+    directory = corpus_dir()
+    fingerprint = _corpus_fingerprint(directory)
+    with _cache_lock:
+        if _cached_catalog is None or _cached_fingerprint != fingerprint:
+            _cached_catalog = Catalog.from_directory(directory)
+            _cached_fingerprint = fingerprint
+            _cached_validated = False
+        if validate_corpus and not _cached_validated:
+            _cached_catalog.validate_all()
+            _cached_validated = True
+        return _cached_catalog

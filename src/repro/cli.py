@@ -8,6 +8,7 @@ Subcommands::
     pdcunplugged validate                    # validate the shipped corpus
     pdcunplugged simulate <activity> [-n N] [--seed S]
     pdcunplugged list                        # list corpus activities + sims
+    pdcunplugged serve [--port P]            # live site + JSON API server
 """
 
 from __future__ import annotations
@@ -61,6 +62,22 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--gantt", action="store_true",
                           help="render the trace as a text Gantt chart")
+
+    serve = sub.add_parser(
+        "serve", help="serve the live site and JSON API (repro.serve)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--content-dir", default=None,
+                       help="content directory (default: the packaged corpus)")
+    serve.add_argument("--cache-size", type=int, default=512,
+                       help="page-cache capacity in entries")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the page cache (for benchmarking)")
+    serve.add_argument("--watch-interval", type=float, default=1.0,
+                       help="seconds between content-change checks (incremental rebuild)")
+    serve.add_argument("--no-watch", action="store_true",
+                       help="never rescan the content directory")
     return parser
 
 
@@ -193,6 +210,19 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(render_gantt(result.trace))
         return 0 if result.all_checks_pass else 1
+
+    if args.command == "serve":
+        from repro import serve as serve_mod
+
+        return serve_mod.run(
+            host=args.host,
+            port=args.port,
+            content_dir=args.content_dir,
+            cache_size=args.cache_size,
+            cache_enabled=not args.no_cache,
+            watch_interval_s=args.watch_interval,
+            watch=not args.no_watch,
+        )
 
     raise AssertionError("unreachable")
 

@@ -1,0 +1,42 @@
+"""``repro.serve``: the production serving layer.
+
+Turns the one-shot static build into a live, queryable web service — the
+form the paper's artifact (pdcunplugged.org) actually takes:
+
+* :mod:`repro.serve.app` — stdlib WSGI app: rendered site + JSON API.
+* :mod:`repro.serve.cache` — content-addressed LRU page cache with
+  strong ETags and 304 revalidation.
+* :mod:`repro.serve.rebuild` — content watching and incremental
+  generation swaps (only dirty URLs are evicted / re-rendered).
+* :mod:`repro.serve.metrics` — per-route counters, latency percentiles,
+  cache hit ratios (``/api/metrics``).
+* :mod:`repro.serve.loadgen` — deterministic Zipf load generation for
+  benchmarks and acceptance tests.
+"""
+
+from repro.serve.app import Response, ServeApp, create_app, create_server, run
+from repro.serve.cache import CacheEntry, PageCache, make_etag
+from repro.serve.loadgen import LoadGenerator, LoadReport, call_app, run_load
+from repro.serve.metrics import LatencyHistogram, MetricsRegistry, RouteStats
+from repro.serve.rebuild import RebuildManager, RebuildResult, ServerState
+
+__all__ = [
+    "CacheEntry",
+    "LatencyHistogram",
+    "LoadGenerator",
+    "LoadReport",
+    "MetricsRegistry",
+    "PageCache",
+    "RebuildManager",
+    "RebuildResult",
+    "Response",
+    "RouteStats",
+    "ServeApp",
+    "ServerState",
+    "call_app",
+    "create_app",
+    "create_server",
+    "make_etag",
+    "run",
+    "run_load",
+]

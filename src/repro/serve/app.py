@@ -1,0 +1,408 @@
+"""The PDCunplugged WSGI application.
+
+Serves the rendered site (every URL in the :meth:`Site.render_plan`) plus a
+JSON query API over the same engines the paper's evaluation uses:
+
+* ``GET /``, ``/activities/<slug>/``, ``/<taxonomy>/``,
+  ``/<taxonomy>/<term>/``, ``/views/<view>/`` — rendered HTML, served
+  through the content-addressed LRU cache with strong ETags and
+  ``If-None-Match``/304 revalidation,
+* ``GET /api/activities`` — the corpus as JSON,
+* ``GET /api/search?q=…&limit=…`` — TF-IDF ranked full-text search,
+* ``GET /api/coverage/cs2013`` and ``/api/coverage/tcpp`` — Tables I/II,
+* ``GET /api/gaps`` — the §III-E gap report,
+* ``GET /api/simulate/<slug>?n=…&seed=…`` — run a classroom simulation,
+* ``GET /api/metrics`` — request counters, latency percentiles, cache
+  hit ratio, rebuild counters.
+
+Pure stdlib (``wsgiref``), no new runtime dependencies.  Content changes
+are picked up between requests by the :class:`~repro.serve.rebuild.RebuildManager`,
+which evicts exactly the dirty URLs from the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from http import HTTPStatus
+from urllib.parse import parse_qs
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from repro.serve.cache import PageCache, make_etag
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.rebuild import RebuildManager
+
+__all__ = ["ServeApp", "Response", "create_app", "create_server", "run"]
+
+#: Routes whose responses depend only on the corpus generation — safe to
+#: cache and bulk-invalidated on every rebuild.
+_CACHEABLE_API = ("/api/activities", "/api/search", "/api/coverage", "/api/gaps")
+
+#: Maximum classroom size accepted by ``/api/simulate`` (keeps a single
+#: request's CPU bounded).
+MAX_SIM_STUDENTS = 200
+
+
+@dataclass
+class Response:
+    """One materialized HTTP response plus its metrics labels."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "text/html; charset=utf-8"
+    etag: str | None = None
+    route: str = "<unmatched>"
+    cache_status: str | None = None      # "hit" | "miss" | None (uncacheable)
+    headers: list[tuple[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def json(cls, payload: object, status: int = 200, route: str = "<unmatched>",
+             **kwargs) -> "Response":
+        body = json.dumps(payload, indent=2, sort_keys=True,
+                          default=str).encode("utf-8")
+        return cls(status=status, body=body,
+                   content_type="application/json; charset=utf-8",
+                   route=route, **kwargs)
+
+    @classmethod
+    def error(cls, status: int, message: str, route: str = "<unmatched>",
+              **extra) -> "Response":
+        return cls.json({"error": message, "status": status, **extra},
+                        status=status, route=route)
+
+
+class ServeApp:
+    """WSGI callable: routing, caching, conditional requests, metrics."""
+
+    def __init__(
+        self,
+        rebuilder: RebuildManager,
+        cache: PageCache | None = None,
+        metrics: MetricsRegistry | None = None,
+        watch: bool = True,
+        clock=time.perf_counter,
+    ):
+        self.rebuilder = rebuilder
+        self.cache = cache
+        self.metrics = metrics or MetricsRegistry()
+        self.watch = watch
+        self._clock = clock
+
+    @property
+    def state(self):
+        return self.rebuilder.state
+
+    # -- WSGI entry point --------------------------------------------------
+
+    def __call__(self, environ, start_response):
+        started = self._clock()
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO") or "/"
+        query = parse_qs(environ.get("QUERY_STRING", ""))
+
+        if self.watch:
+            self._check_rebuild()
+
+        if method not in ("GET", "HEAD"):
+            response = Response.error(405, f"method {method} not allowed",
+                                      route="<method-not-allowed>")
+        else:
+            try:
+                response = self._dispatch(path, query)
+            except Exception as exc:            # pragma: no cover - safety net
+                response = Response.error(
+                    500, f"internal error: {type(exc).__name__}", route="<error>")
+
+        inm = environ.get("HTTP_IF_NONE_MATCH")
+        if (response.status == 200 and response.etag
+                and inm and response.etag in [t.strip() for t in inm.split(",")]):
+            response = Response(
+                status=304, body=b"", content_type=response.content_type,
+                etag=response.etag, route=response.route,
+                cache_status=response.cache_status, headers=response.headers)
+
+        self.metrics.record_request(
+            response.route, response.status,
+            self._clock() - started, response.cache_status)
+
+        status_line = f"{response.status} {HTTPStatus(response.status).phrase}"
+        body = b"" if method == "HEAD" or response.status == 304 else response.body
+        headers = [("Content-Type", response.content_type),
+                   ("Content-Length", str(len(body)))]
+        if response.etag:
+            headers.append(("ETag", response.etag))
+        if response.cache_status:
+            headers.append(("X-Cache", response.cache_status))
+        headers.extend(response.headers)
+        start_response(status_line, headers)
+        return [body]
+
+    def _check_rebuild(self) -> None:
+        result = self.rebuilder.maybe_refresh()
+        if result is None:
+            return
+        if result.ok:
+            self.metrics.record_rebuild(len(result.dirty_urls))
+            if self.cache is not None:
+                self.cache.invalidate(result.dirty_urls)
+                self.cache.invalidate(_CACHEABLE_API)
+
+    # -- routing -----------------------------------------------------------
+
+    def _dispatch(self, path: str, query: dict[str, list[str]]) -> Response:
+        if path.startswith("/api/"):
+            return self._dispatch_api(path, query)
+
+        task = self.state.plan_by_url.get(path)
+        if task is not None:
+            return self._serve_rendered(path, f"page:{task.kind}")
+        if not path.endswith("/") and path + "/" in self.state.plan_by_url:
+            return Response(status=301, route="<redirect>",
+                            headers=[("Location", path + "/")])
+        return Response.error(404, f"no page at {path!r}", route="<unmatched>")
+
+    def _serve_rendered(self, path: str, route: str,
+                        render=None, content_type: str = "text/html; charset=utf-8",
+                        cache_key: str | None = None) -> Response:
+        """Serve a renderable through the cache with a strong ETag."""
+        if render is None:
+            task = self.state.plan_by_url[path]
+            render = lambda: task.render().encode("utf-8")  # noqa: E731
+        key = cache_key or path
+
+        if self.cache is not None:
+            entry = self.cache.get(key)
+            if entry is not None:
+                return Response(status=200, body=entry.body,
+                                content_type=entry.content_type,
+                                etag=entry.etag, route=route, cache_status="hit")
+            body = render()
+            entry = self.cache.put(key, body, content_type)
+            return Response(status=200, body=body, content_type=content_type,
+                            etag=entry.etag, route=route, cache_status="miss")
+
+        body = render()
+        return Response(status=200, body=body, content_type=content_type,
+                        etag=make_etag(body), route=route)
+
+    # -- API ---------------------------------------------------------------
+
+    def _dispatch_api(self, path: str, query: dict[str, list[str]]) -> Response:
+        if path == "/api/activities":
+            return self._api_cached(path, self._activities_payload)
+        if path == "/api/search":
+            return self._api_search(query)
+        if path in ("/api/coverage/cs2013", "/api/coverage/tcpp"):
+            standard = path.rsplit("/", 1)[1]
+            return self._api_cached(
+                path, lambda: self._coverage_payload(standard),
+                route=f"/api/coverage/{standard}")
+        if path == "/api/gaps":
+            return self._api_cached(path, self._gaps_payload)
+        if path.startswith("/api/simulate/"):
+            return self._api_simulate(path[len("/api/simulate/"):], query)
+        if path == "/api/metrics":
+            return self._api_metrics()
+        return Response.error(404, f"unknown API route {path!r}", route="<unmatched>")
+
+    def _api_cached(self, key: str, payload, route: str | None = None) -> Response:
+        """A JSON endpoint whose body only changes when the corpus does."""
+        route = route or key
+        render = lambda: json.dumps(  # noqa: E731
+            payload(), indent=2, sort_keys=True, default=str).encode("utf-8")
+        return self._serve_rendered(
+            key, route, render=render,
+            content_type="application/json; charset=utf-8", cache_key=key)
+
+    def _activities_payload(self) -> dict:
+        from repro.unplugged import SIMULATIONS
+
+        return {
+            "count": len(self.state.catalog),
+            "activities": [
+                {
+                    "name": a.name,
+                    "title": a.title,
+                    "url": f"/activities/{a.name}/",
+                    "date": a.date,
+                    "courses": a.courses,
+                    "cs2013": a.cs2013,
+                    "tcpp": a.tcpp,
+                    "senses": a.senses,
+                    "medium": a.medium,
+                    "has_simulation": a.name in SIMULATIONS,
+                }
+                for a in self.state.catalog
+            ],
+        }
+
+    def _api_search(self, query: dict[str, list[str]]) -> Response:
+        route = "/api/search"
+        q = " ".join(query.get("q", [])).strip()
+        if not q:
+            return Response.error(400, "missing query parameter 'q'", route=route)
+        try:
+            limit = int(query.get("limit", ["10"])[0])
+        except ValueError:
+            return Response.error(400, "limit must be an integer", route=route)
+        limit = max(1, min(limit, 50))
+
+        def payload():
+            hits = self.state.search.search(q, limit=limit)
+            return {
+                "query": q,
+                "count": len(hits),
+                "hits": [
+                    {
+                        "name": h.name,
+                        "title": h.title,
+                        "score": round(h.score, 6),
+                        "url": f"/activities/{h.name}/",
+                        "matched_terms": list(h.matched_terms),
+                    }
+                    for h in hits
+                ],
+            }
+
+        return self._api_cached(f"/api/search?q={q}&limit={limit}", payload,
+                                route=route)
+
+    def _coverage_payload(self, standard: str) -> dict:
+        from repro.analytics import cs2013_coverage, tcpp_coverage
+
+        if standard == "cs2013":
+            rows = cs2013_coverage(self.state.catalog)
+            table = [
+                {
+                    "term": r.term,
+                    "name": r.display_name,
+                    "outcomes": r.num_outcomes,
+                    "covered": r.num_covered,
+                    "percent": round(r.percent_coverage, 2),
+                    "activities": r.total_activities,
+                }
+                for r in rows
+            ]
+        else:
+            rows = tcpp_coverage(self.state.catalog)
+            table = [
+                {
+                    "term": r.term,
+                    "name": r.name,
+                    "topics": r.num_topics,
+                    "covered": r.num_covered,
+                    "percent": round(r.percent_coverage, 2),
+                    "activities": r.total_activities,
+                }
+                for r in rows
+            ]
+        return {"standard": standard, "rows": table}
+
+    def _gaps_payload(self) -> dict:
+        from repro.analytics import gap_report
+
+        report = gap_report(self.state.catalog)
+        return {
+            "cs2013_gaps": report.cs2013_gaps,
+            "tcpp_gaps": report.tcpp_gaps,
+            "total_uncovered_outcomes": report.total_uncovered_outcomes,
+            "total_uncovered_topics": report.total_uncovered_topics,
+            "empty_categories": report.empty_categories,
+            "units_below_tier_targets": report.units_below_tier_targets,
+            "sparse_senses": report.sparse_senses,
+            "activities_without_assessment": report.activities_without_assessment,
+        }
+
+    def _api_simulate(self, slug: str, query: dict[str, list[str]]) -> Response:
+        from repro.unplugged import SIMULATIONS, Classroom
+
+        route = "/api/simulate/<slug>"
+        slug = slug.rstrip("/")
+        if slug not in SIMULATIONS:
+            return Response.error(
+                404, f"no simulation for {slug!r}", route=route,
+                available=sorted(SIMULATIONS))
+        try:
+            students = int(query.get("n", ["16"])[0])
+            seed = int(query.get("seed", ["0"])[0])
+        except ValueError:
+            return Response.error(400, "n and seed must be integers", route=route)
+        if not 2 <= students <= MAX_SIM_STUDENTS:
+            return Response.error(
+                400, f"n must be between 2 and {MAX_SIM_STUDENTS}", route=route)
+
+        classroom = Classroom(size=students, seed=seed, step_time_jitter=0.2)
+        result = SIMULATIONS[slug](classroom)
+        return Response.json(
+            {
+                "activity": result.activity,
+                "slug": slug,
+                "classroom_size": result.classroom_size,
+                "seed": seed,
+                "metrics": result.metrics,
+                "checks": result.checks,
+                "all_checks_pass": result.all_checks_pass,
+                "trace_events": len(result.trace),
+            },
+            route=route,
+        )
+
+    def _api_metrics(self) -> Response:
+        payload = self.metrics.snapshot()
+        payload["page_cache"] = (
+            self.cache.stats() if self.cache is not None else {"enabled": False}
+        )
+        if self.rebuilder.last_error:
+            payload["rebuilds"]["last_error"] = self.rebuilder.last_error
+        return Response.json(payload, route="/api/metrics")
+
+
+# -- construction ----------------------------------------------------------
+
+
+def create_app(
+    content_dir=None,
+    cache_size: int = 512,
+    cache_enabled: bool = True,
+    watch_interval_s: float = 1.0,
+    watch: bool = True,
+    metrics: MetricsRegistry | None = None,
+) -> ServeApp:
+    """Build a ready-to-serve :class:`ServeApp` over a content directory
+    (default: the packaged 38-activity corpus)."""
+    rebuilder = RebuildManager(content_dir, min_interval_s=watch_interval_s)
+    cache = PageCache(cache_size) if cache_enabled else None
+    return ServeApp(rebuilder, cache=cache, metrics=metrics, watch=watch)
+
+
+class _QuietHandler(WSGIRequestHandler):
+    def log_message(self, format, *args):  # noqa: A002 - WSGI API
+        pass
+
+
+def create_server(host: str = "127.0.0.1", port: int = 8000,
+                  app: ServeApp | None = None, quiet: bool = False,
+                  **app_kwargs) -> tuple[WSGIServer, ServeApp]:
+    """Bind a ``wsgiref`` server (``port=0`` picks an ephemeral port)."""
+    app = app or create_app(**app_kwargs)
+    handler = _QuietHandler if quiet else WSGIRequestHandler
+    server = make_server(host, port, app, handler_class=handler)
+    return server, app
+
+
+def run(host: str = "127.0.0.1", port: int = 8000, **app_kwargs) -> int:
+    """Blocking entry point used by ``pdcunplugged serve``."""
+    server, app = create_server(host, port, **app_kwargs)
+    bound_port = server.server_address[1]
+    print(f"serving {len(app.state.catalog)} activities on "
+          f"http://{host}:{bound_port} (Ctrl-C to stop)")
+    print(f"  API: /api/activities /api/search?q=… /api/coverage/cs2013 "
+          f"/api/coverage/tcpp /api/gaps /api/simulate/<slug> /api/metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down.")
+    finally:
+        server.server_close()
+    return 0

@@ -1,0 +1,124 @@
+"""Content-addressed in-memory page cache with LRU eviction.
+
+Every cached body is addressed by the strong ETag derived from its bytes
+(sha256), so conditional requests (``If-None-Match``) can be answered with
+``304 Not Modified`` without touching the renderer, and two caches holding
+the same bytes always agree on the validator.  Eviction is plain LRU over
+a capacity in entries; invalidation is per-path (the incremental rebuilder
+evicts exactly the URLs whose render-plan signature changed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["CacheEntry", "PageCache", "make_etag"]
+
+
+def make_etag(body: bytes) -> str:
+    """Strong ETag for a response body (content-addressed, quoted)."""
+    return '"' + hashlib.sha256(body).hexdigest()[:24] + '"'
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached response: body bytes plus derived metadata."""
+
+    path: str
+    body: bytes
+    content_type: str
+    etag: str
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+class PageCache:
+    """Thread-safe LRU cache mapping request paths to rendered responses."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, path: str) -> bool:
+        with self._lock:
+            return path in self._entries
+
+    def get(self, path: str) -> CacheEntry | None:
+        """Look up ``path``, promoting it to most-recently-used on a hit."""
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(path)
+            self.hits += 1
+            return entry
+
+    def put(self, path: str, body: bytes,
+            content_type: str = "text/html; charset=utf-8") -> CacheEntry:
+        """Insert (or refresh) ``path``, evicting the LRU entry if full."""
+        entry = CacheEntry(path=path, body=body, content_type=content_type,
+                           etag=make_etag(body))
+        with self._lock:
+            if path in self._entries:
+                self._entries.move_to_end(path)
+            self._entries[path] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def invalidate(self, paths: Iterable[str]) -> int:
+        """Drop the given paths (and any query-string variants of them)."""
+        dropped = 0
+        with self._lock:
+            for path in paths:
+                victims = [
+                    key for key in self._entries
+                    if key == path or key.startswith(path + "?")
+                ]
+                for key in victims:
+                    del self._entries[key]
+                    dropped += 1
+            self.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "bytes": sum(e.size for e in self._entries.values()),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_ratio": round(self.hit_ratio, 4),
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

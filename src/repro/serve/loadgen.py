@@ -1,0 +1,161 @@
+"""Deterministic synthetic load generation for the serving layer.
+
+Models the traffic pattern of a public teaching repository: page
+popularity follows a Zipf distribution (a few famous activities get most
+of the hits), with an optional slice of API traffic mixed in.  Everything
+is seeded — the same profile and seed produce the same request stream,
+so benchmark runs and the ``/api/metrics`` acceptance test are
+reproducible.
+
+Includes :func:`call_app`, a minimal in-process WSGI client (no sockets),
+used by the load runner, the test suite, and ``benchmarks/bench_serve.py``.
+The runner emulates well-behaved browser caches: it remembers each URL's
+ETag and revalidates with ``If-None-Match``, so a warm run exercises the
+304 path exactly like repeat real-world traffic would.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["WSGIResponse", "call_app", "zipf_weights", "LoadGenerator",
+           "LoadReport", "run_load"]
+
+
+@dataclass(frozen=True)
+class WSGIResponse:
+    """Materialized response from an in-process WSGI call."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def etag(self) -> str | None:
+        return self.headers.get("ETag")
+
+
+def call_app(app, path: str, method: str = "GET",
+             headers: dict[str, str] | None = None) -> WSGIResponse:
+    """Invoke a WSGI app in-process for ``path`` (query string allowed)."""
+    path, _, query = path.partition("?")
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "SERVER_NAME": "localhost",
+        "SERVER_PORT": "80",
+        "SERVER_PROTOCOL": "HTTP/1.1",
+        "wsgi.version": (1, 0),
+        "wsgi.url_scheme": "http",
+        "wsgi.input": io.BytesIO(),
+        "wsgi.errors": io.StringIO(),
+        "wsgi.multithread": False,
+        "wsgi.multiprocess": False,
+        "wsgi.run_once": False,
+    }
+    for name, value in (headers or {}).items():
+        environ["HTTP_" + name.upper().replace("-", "_")] = value
+
+    captured: dict[str, object] = {}
+
+    def start_response(status_line, response_headers):
+        captured["status"] = int(status_line.split(" ", 1)[0])
+        captured["headers"] = dict(response_headers)
+
+    chunks = app(environ, start_response)
+    try:
+        body = b"".join(chunks)
+    finally:
+        close = getattr(chunks, "close", None)
+        if close is not None:
+            close()
+    return WSGIResponse(status=captured["status"],
+                        headers=captured["headers"], body=body)
+
+
+def zipf_weights(n: int, exponent: float = 1.1) -> list[float]:
+    """Zipf popularity weights for ranks 1..n (rank 1 most popular)."""
+    if n < 1:
+        return []
+    return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+
+
+class LoadGenerator:
+    """Seeded request-stream generator over a fixed URL population."""
+
+    def __init__(self, urls: list[str], exponent: float = 1.1, seed: int = 0):
+        if not urls:
+            raise ValueError("need at least one URL to generate load")
+        self.urls = list(urls)
+        self.weights = zipf_weights(len(self.urls), exponent)
+        self.seed = seed
+
+    @classmethod
+    def for_app(cls, app, kinds: tuple[str, ...] = ("home", "page", "term", "taxonomy", "view"),
+                exponent: float = 1.1, seed: int = 0) -> "LoadGenerator":
+        """Build a profile over a :class:`~repro.serve.app.ServeApp`'s site.
+
+        Popularity rank is the plan order (home page first, then the 38
+        activity pages, then listing pages) — a reasonable stand-in for
+        real traffic where the front page and famous activities dominate.
+        """
+        urls = [t.url for t in app.state.plan if t.kind in kinds]
+        return cls(urls, exponent=exponent, seed=seed)
+
+    def sample(self, n: int) -> list[str]:
+        """A deterministic stream of ``n`` request paths."""
+        rng = random.Random(self.seed)
+        return rng.choices(self.urls, weights=self.weights, k=n)
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load run against an app."""
+
+    requests: int = 0
+    statuses: dict[int, int] = field(default_factory=dict)
+    cache_hits: int = 0                  # responses served from the page cache
+    revalidations: int = 0               # 304 Not Modified responses
+    bytes_received: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.requests / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(status in (200, 304) for status in self.statuses)
+
+
+def run_load(app, paths: list[str], revalidate: bool = True,
+             clock=time.perf_counter) -> LoadReport:
+    """Replay ``paths`` against ``app`` in-process.
+
+    With ``revalidate=True`` the runner behaves like a browser cache:
+    it remembers the last ETag seen per URL and sends ``If-None-Match``
+    on repeats, earning 304s for unchanged pages.
+    """
+    etags: dict[str, str] = {}
+    report = LoadReport()
+    started = clock()
+    for path in paths:
+        headers = {}
+        if revalidate and path in etags:
+            headers["If-None-Match"] = etags[path]
+        response = call_app(app, path, headers=headers)
+        report.requests += 1
+        report.statuses[response.status] = report.statuses.get(response.status, 0) + 1
+        report.bytes_received += len(response.body)
+        if response.status == 304:
+            report.revalidations += 1
+        if response.etag:
+            etags[path] = response.etag
+        if response.headers.get("X-Cache") == "hit":
+            report.cache_hits += 1
+    report.duration_s = clock() - started
+    return report

@@ -1,0 +1,182 @@
+"""Request metrics for the serving layer.
+
+Per-route request counters, status-class tallies, and fixed-bucket latency
+histograms with percentile estimation (p50/p95/p99), plus cache hit-ratio
+counters — everything ``/api/metrics`` reports.  Pure stdlib, thread-safe,
+and deterministic given a request sequence.
+
+The histogram is the classic Prometheus-style cumulative-bucket design:
+log-spaced upper bounds, percentiles estimated by linear interpolation
+inside the bucket that crosses the requested rank.  Exact values are
+intentionally not retained (bounded memory under sustained load).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyHistogram", "RouteStats", "MetricsRegistry", "DEFAULT_BUCKETS_S"]
+
+#: Log-spaced latency bucket upper bounds, in seconds (100 µs .. 10 s).
+DEFAULT_BUCKETS_S: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with interpolated percentiles."""
+
+    def __init__(self, buckets_s: tuple[float, ...] = DEFAULT_BUCKETS_S):
+        self.bounds = tuple(sorted(buckets_s))
+        self.counts = [0] * (len(self.bounds) + 1)   # +1 overflow bucket
+        self.count = 0
+        self.sum_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        self.count += 1
+        self.sum_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.sum_s / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (0 < p <= 100) in seconds.
+
+        Linear interpolation within the crossing bucket; the overflow
+        bucket reports the observed maximum.
+        """
+        if not self.count:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.bounds):
+            bucket = self.counts[i]
+            if cumulative + bucket >= rank:
+                if bucket == 0:
+                    return bound
+                frac = (rank - cumulative) / bucket
+                return min(lower + frac * (bound - lower), self.max_s)
+            cumulative += bucket
+            lower = bound
+        return self.max_s
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_s * 1e3, 4),
+            "min_ms": round(self.min_s * 1e3, 4) if self.count else 0.0,
+            "max_ms": round(self.max_s * 1e3, 4),
+            "p50_ms": round(self.percentile(50) * 1e3, 4),
+            "p95_ms": round(self.percentile(95) * 1e3, 4),
+            "p99_ms": round(self.percentile(99) * 1e3, 4),
+        }
+
+
+@dataclass
+class RouteStats:
+    """Counters for one route pattern (e.g. ``/activities/<slug>/``)."""
+
+    requests: int = 0
+    errors: int = 0                         # responses with status >= 400
+    statuses: Counter = field(default_factory=Counter)
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def record(self, status: int, elapsed_s: float) -> None:
+        self.requests += 1
+        self.statuses[status] += 1
+        if status >= 400:
+            self.errors += 1
+        self.latency.observe(elapsed_s)
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "latency": self.latency.snapshot(),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe aggregate of everything ``/api/metrics`` exposes."""
+
+    def __init__(self, clock=time.time):
+        self._lock = threading.Lock()
+        self._routes: dict[str, RouteStats] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.not_modified = 0               # 304 responses served
+        self.rebuilds = 0
+        self.rebuild_pages = 0              # files re-rendered across rebuilds
+        self.started_at = clock()
+        self._clock = clock
+
+    def record_request(self, route: str, status: int, elapsed_s: float,
+                       cache_status: str | None = None) -> None:
+        with self._lock:
+            stats = self._routes.setdefault(route, RouteStats())
+            stats.record(status, elapsed_s)
+            if cache_status == "hit":
+                self.cache_hits += 1
+            elif cache_status == "miss":
+                self.cache_misses += 1
+            if status == 304:
+                self.not_modified += 1
+
+    def record_rebuild(self, files_rerendered: int) -> None:
+        with self._lock:
+            self.rebuilds += 1
+            self.rebuild_pages += files_rerendered
+
+    @property
+    def total_requests(self) -> int:
+        with self._lock:
+            return sum(s.requests for s in self._routes.values())
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Hits over cacheable lookups (0.0 before any cacheable traffic)."""
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    def route(self, pattern: str) -> RouteStats:
+        with self._lock:
+            return self._routes.setdefault(pattern, RouteStats())
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every counter (the ``/api/metrics`` body)."""
+        with self._lock:
+            return {
+                "uptime_s": round(self._clock() - self.started_at, 3),
+                "total_requests": sum(s.requests for s in self._routes.values()),
+                "routes": {
+                    pattern: stats.snapshot()
+                    for pattern, stats in sorted(self._routes.items())
+                },
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "hit_ratio": round(self.cache_hit_ratio, 4),
+                    "not_modified": self.not_modified,
+                },
+                "rebuilds": {
+                    "count": self.rebuilds,
+                    "files_rerendered": self.rebuild_pages,
+                },
+            }

@@ -1,0 +1,141 @@
+"""Incremental rebuild support for the serving layer.
+
+:class:`ServerState` is one immutable-ish generation of everything the
+server needs: the parsed catalog, the renderable :class:`~repro.sitegen.site.Site`,
+the search index, and the render plan keyed by URL.  :class:`RebuildManager`
+watches the content directory (cheap mtime/size fingerprint, throttled) and,
+when a source file changes, builds the *next* generation and diffs the two
+render plans' signatures — the result names exactly the URLs whose rendered
+bytes changed, which is what the page cache evicts.  Unchanged pages keep
+their signatures, so a subsequent ``site.build(out, incremental=True)``
+(the static-export path) re-renders only the dirty files.
+
+A broken edit (e.g. a half-saved Markdown file) never takes the server
+down: the rebuild fails closed, the previous generation keeps serving, and
+the error is reported in the rebuild result and ``/api/metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.activities.catalog import Catalog, corpus_dir
+from repro.sitegen.search import SearchIndex
+from repro.sitegen.site import RenderTask, Site, SiteConfig
+
+__all__ = ["ServerState", "RebuildManager", "RebuildResult", "scan_content"]
+
+
+def scan_content(content_dir: str | Path) -> dict[str, tuple[int, int]]:
+    """Fingerprint a content tree: file name -> (mtime_ns, size)."""
+    directory = Path(content_dir)
+    return {
+        path.name: (path.stat().st_mtime_ns, path.stat().st_size)
+        for path in sorted(directory.glob("*.md"))
+    }
+
+
+class ServerState:
+    """One generation of the served corpus: catalog + site + plan + search."""
+
+    def __init__(self, catalog: Catalog, config: SiteConfig | None = None):
+        self.catalog = catalog
+        self.site: Site = catalog.site(config)
+        self.search = SearchIndex.from_catalog(catalog)
+        self.plan: list[RenderTask] = self.site.render_plan()
+        self.plan_by_url: dict[str, RenderTask] = {t.url: t for t in self.plan}
+
+    @classmethod
+    def from_content_dir(cls, content_dir: str | Path,
+                         config: SiteConfig | None = None) -> "ServerState":
+        return cls(Catalog.from_directory(content_dir), config)
+
+    @property
+    def signatures(self) -> dict[str, str]:
+        """URL -> render-plan signature for this generation."""
+        return {task.url: task.signature for task in self.plan}
+
+
+@dataclass
+class RebuildResult:
+    """Outcome of one refresh check that found changed content."""
+
+    changed_sources: list[str] = field(default_factory=list)
+    dirty_urls: list[str] = field(default_factory=list)
+    duration_s: float = 0.0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class RebuildManager:
+    """Watches a content directory and swaps in new server generations."""
+
+    def __init__(
+        self,
+        content_dir: str | Path | None = None,
+        config: SiteConfig | None = None,
+        min_interval_s: float = 1.0,
+        clock=time.monotonic,
+    ):
+        self.content_dir = Path(content_dir) if content_dir else corpus_dir()
+        self.config = config
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self._fingerprint = scan_content(self.content_dir)
+        self._last_check = clock()
+        self.state = ServerState.from_content_dir(self.content_dir, config)
+        self.last_error: str | None = None
+
+    def maybe_refresh(self) -> RebuildResult | None:
+        """Throttled change check: no-op within ``min_interval_s`` of the last."""
+        now = self._clock()
+        if now - self._last_check < self.min_interval_s:
+            return None
+        self._last_check = now
+        return self.refresh()
+
+    def refresh(self) -> RebuildResult | None:
+        """Rescan the content dir; rebuild and diff if anything changed.
+
+        Returns ``None`` when nothing changed, otherwise a
+        :class:`RebuildResult`.  On a failed rebuild (unparseable content)
+        the old generation stays live and ``result.error`` is set.
+        """
+        fingerprint = scan_content(self.content_dir)
+        if fingerprint == self._fingerprint:
+            return None
+        started = self._clock()
+        changed = sorted(
+            set(fingerprint.items()) ^ set(self._fingerprint.items())
+        )
+        result = RebuildResult(
+            changed_sources=sorted({name for name, _ in changed})
+        )
+        self._fingerprint = fingerprint
+        try:
+            new_state = ServerState.from_content_dir(self.content_dir, self.config)
+        except Exception as exc:           # keep serving the old generation
+            result.error = f"{type(exc).__name__}: {exc}"
+            self.last_error = result.error
+            result.duration_s = self._clock() - started
+            return result
+
+        old_sigs = self.state.signatures
+        new_sigs = new_state.signatures
+        result.dirty_urls = sorted(
+            url
+            for url in set(old_sigs) | set(new_sigs)
+            if old_sigs.get(url) != new_sigs.get(url)
+        )
+        # Unchanged pages carry their build signatures forward so a static
+        # incremental export after this refresh only re-renders dirty files.
+        new_state.site.seed_signatures(self.state.site.built_signatures)
+        self.state = new_state
+        self.last_error = None
+        result.duration_s = self._clock() - started
+        return result

@@ -8,7 +8,10 @@ set of pages and classifies each via a pluggable *prober*.
 
 No network access is assumed (or allowed in this environment): the default
 prober is a deterministic offline heuristic, and tests inject fake probers.
-A real deployment would plug in an HTTP HEAD prober with the same signature.
+A real deployment plugs in a *fetcher* — any callable
+``(url, timeout) -> FetchResult`` — and the auditor adds the policy on
+top: malformed-URL short-circuiting, bounded retries on transient
+failures, and structured per-link results (status, attempts, detail).
 """
 
 from __future__ import annotations
@@ -20,7 +23,14 @@ from urllib.parse import urlparse
 
 from repro.sitegen import markdown
 
-__all__ = ["LinkStatus", "LinkReport", "AuditResult", "LinkAuditor", "offline_prober"]
+__all__ = [
+    "LinkStatus",
+    "LinkReport",
+    "AuditResult",
+    "LinkAuditor",
+    "FetchResult",
+    "offline_prober",
+]
 
 
 class LinkStatus(enum.Enum):
@@ -33,12 +43,35 @@ class LinkStatus(enum.Enum):
 
 
 @dataclass(frozen=True)
+class FetchResult:
+    """Outcome of one fetch attempt against one URL."""
+
+    status_code: int | None = None      # HTTP status, when a response arrived
+    error: str | None = None            # transport-level failure description
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.status_code is not None \
+            and 200 <= self.status_code < 400
+
+
+#: A pluggable transport: ``(url, timeout_s) -> FetchResult``.  Real
+#: deployments wrap ``urllib``/``http.client`` HEAD requests; tests script it.
+Fetcher = Callable[[str, float], FetchResult]
+
+#: HTTP statuses treated as transient (retried up to the auditor's budget).
+RETRYABLE_STATUSES: frozenset[int] = frozenset({429, 500, 502, 503, 504})
+
+
+@dataclass(frozen=True)
 class LinkReport:
     """One URL found on one page, with its probe outcome."""
 
     page: str
     url: str
     status: LinkStatus
+    attempts: int = 1                   # fetch attempts spent on this URL
+    detail: str = ""                    # e.g. "HTTP 404" or "timed out"
 
 
 @dataclass
@@ -60,6 +93,10 @@ class AuditResult:
         return [r for r in self.reports if r.status is LinkStatus.OK]
 
     @property
+    def malformed(self) -> list[LinkReport]:
+        return [r for r in self.reports if r.status is LinkStatus.MALFORMED]
+
+    @property
     def rot_rate(self) -> float:
         """Fraction of probed links that are dead (0.0 when nothing probed)."""
         probed = [r for r in self.reports if r.status in (LinkStatus.OK, LinkStatus.DEAD)]
@@ -69,6 +106,13 @@ class AuditResult:
 
     def pages_with_dead_links(self) -> list[str]:
         return sorted({r.page for r in self.dead})
+
+    def by_status(self) -> dict[str, int]:
+        """Count of reports per status value (JSON/tooling-friendly)."""
+        counts: dict[str, int] = {}
+        for report in self.reports:
+            counts[report.status.value] = counts.get(report.status.value, 0) + 1
+        return counts
 
 
 #: Hosts the paper explicitly names as having de-activated materials.
@@ -92,15 +136,68 @@ def offline_prober(url: str) -> LinkStatus:
 
 
 class LinkAuditor:
-    """Extract and probe every external URL across a collection of pages."""
+    """Extract and probe every external URL across a collection of pages.
 
-    def __init__(self, prober: Callable[[str], LinkStatus] = offline_prober):
-        self.prober = prober
+    Two injection points, mutually exclusive:
+
+    * ``prober`` — the legacy hook: ``url -> LinkStatus`` (one shot, no
+      retries).  Default: the offline structural check.
+    * ``fetcher`` — a transport ``(url, timeout_s) -> FetchResult``; the
+      auditor then owns the policy: malformed URLs are never fetched,
+      transient failures (exceptions, 429/5xx) are retried up to
+      ``retries`` extra times, and every report carries the attempt count
+      and a human-readable detail.
+    """
+
+    def __init__(
+        self,
+        prober: Callable[[str], LinkStatus] | None = None,
+        *,
+        fetcher: Fetcher | None = None,
+        timeout_s: float = 5.0,
+        retries: int = 1,
+    ):
+        if prober is not None and fetcher is not None:
+            raise ValueError("pass either prober= or fetcher=, not both")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.prober = prober if fetcher is None else None
+        if self.prober is None and fetcher is None:
+            self.prober = offline_prober
+        self.fetcher = fetcher
+        self.timeout_s = timeout_s
+        self.retries = retries
+
+    def _probe(self, url: str) -> tuple[LinkStatus, int, str]:
+        """Classify one URL -> (status, attempts, detail)."""
+        if self.fetcher is None:
+            return self.prober(url), 1, ""
+        if offline_prober(url) is LinkStatus.MALFORMED:
+            return LinkStatus.MALFORMED, 0, "not a fetchable http(s) URL"
+        detail = ""
+        attempts = 0
+        for attempt in range(1, self.retries + 2):
+            attempts = attempt
+            try:
+                result = self.fetcher(url, self.timeout_s)
+            except Exception as exc:
+                result = FetchResult(error=f"{type(exc).__name__}: {exc}")
+            if result.ok:
+                return LinkStatus.OK, attempts, f"HTTP {result.status_code}"
+            if result.error is not None:
+                detail = result.error               # transport error: retry
+            elif result.status_code in RETRYABLE_STATUSES:
+                detail = f"HTTP {result.status_code}"
+            else:                                   # hard HTTP failure: final
+                return LinkStatus.DEAD, attempts, f"HTTP {result.status_code}"
+        return LinkStatus.DEAD, attempts, detail
 
     def audit_page(self, name: str, body_markdown: str) -> list[LinkReport]:
         reports = []
         for url in markdown.find_urls(body_markdown):
-            reports.append(LinkReport(page=name, url=url, status=self.prober(url)))
+            status, attempts, detail = self._probe(url)
+            reports.append(LinkReport(page=name, url=url, status=status,
+                                      attempts=attempts, detail=detail))
         return reports
 
     def audit(self, pages: Iterable) -> AuditResult:

@@ -17,14 +17,24 @@ Rendering goes through the template engine so themes are swappable; the
 built-in :data:`DEFAULT_THEME` is deliberately small.  :meth:`Site.build`
 returns :class:`BuildStats` so the "fast build times" claim (§II) can be
 benchmarked.
+
+Builds are planned, not hard-coded: :meth:`Site.render_plan` enumerates
+every output file as a :class:`RenderTask` carrying a cheap content
+*signature* (a hash over everything that feeds that file) and a deferred
+render thunk.  ``Site.build(out, incremental=True)`` skips any task whose
+signature matches the previous build, so editing one activity re-renders
+only that page plus the listing pages whose membership or entries changed.
+The serving layer (:mod:`repro.serve`) reuses the same plan to render
+pages on demand and to invalidate exactly the dirty URLs on rebuild.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.errors import SiteError
 from repro.sitegen import frontmatter, markdown
@@ -36,7 +46,23 @@ from repro.sitegen.taxonomy import (
 )
 from repro.sitegen.templates import TemplateEnvironment
 
-__all__ = ["Page", "Site", "SiteConfig", "BuildStats", "DEFAULT_THEME"]
+__all__ = [
+    "Page",
+    "RenderTask",
+    "Site",
+    "SiteConfig",
+    "BuildStats",
+    "DEFAULT_THEME",
+]
+
+
+def _hash(*parts: object) -> str:
+    """Stable content signature over ``repr``-able build inputs."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:20]
 
 
 @dataclass
@@ -99,16 +125,52 @@ class SiteConfig:
 
 @dataclass
 class BuildStats:
-    """Result of one full site build."""
+    """Result of one site build (full or incremental)."""
 
     pages_rendered: int = 0
     terms_rendered: int = 0
+    pages_skipped: int = 0
+    terms_skipped: int = 0
+    files_removed: int = 0
+    incremental: bool = False
     duration_s: float = 0.0
     output_dir: Path | None = None
 
     @property
     def total_files(self) -> int:
+        """Files actually (re-)rendered by this build."""
         return self.pages_rendered + self.terms_rendered
+
+    @property
+    def total_skipped(self) -> int:
+        """Files left untouched because their signature was unchanged."""
+        return self.pages_skipped + self.terms_skipped
+
+
+#: RenderTask kinds counted as "pages" in :class:`BuildStats`; everything
+#: else (taxonomy indexes, term listings, views) counts as "terms".
+_PAGE_KINDS = frozenset({"home", "page"})
+
+
+@dataclass(frozen=True)
+class RenderTask:
+    """One output file of a build: where it goes, what feeds it, how to make it."""
+
+    rel_path: str                    # e.g. "activities/gardeners/index.html"
+    kind: str                        # "home" | "page" | "taxonomy" | "term" | "view"
+    signature: str                   # hash over every input of this file
+    render: Callable[[], str]
+
+    @property
+    def url(self) -> str:
+        """Server path for this file (``a/b/index.html`` -> ``/a/b/``)."""
+        if self.rel_path == "index.html":
+            return "/"
+        return "/" + self.rel_path[: -len("index.html")]
+
+    @property
+    def is_page(self) -> bool:
+        return self.kind in _PAGE_KINDS
 
 
 DEFAULT_THEME: dict[str, str] = {
@@ -175,10 +237,19 @@ class Site:
         self.config = config or SiteConfig()
         self.pages: list[Page] = []
         self.index = TaxonomyIndex(self.config.taxonomies, strategy=self.config.strategy)
-        self.env = TemplateEnvironment(dict(theme or DEFAULT_THEME))
+        theme = dict(theme or DEFAULT_THEME)
+        self.env = TemplateEnvironment(theme)
         for required in ("base", "single", "list", "terms", "chips"):
             if required not in self.env:
                 raise SiteError(f"theme is missing required template {required!r}")
+        # Theme + site-wide config feed every rendered file, so they are
+        # folded into every task signature: a theme edit dirties everything.
+        self._global_fingerprint = _hash(
+            sorted(theme.items()), self.config.title, self.config.base_url
+        )
+        # rel_path -> signature as of the last build (seedable across
+        # Site instances, see seed_signatures()).
+        self._built_signatures: dict[str, str] = {}
 
     # -- content -----------------------------------------------------------
 
@@ -315,17 +386,9 @@ class Site:
 
     def build_views(self, output_dir: str | Path) -> int:
         """Render the four §II-C views under ``<output>/views/``."""
-        from repro.sitegen.views import (
-            accessibility_view,
-            courses_view,
-            cs2013_view,
-            tcpp_view,
-        )
-
         output = Path(output_dir)
         count = 0
-        for view in (cs2013_view(self.index), tcpp_view(self.index),
-                     courses_view(self.index), accessibility_view(self.index)):
+        for view in self._views():
             view_dir = output / "views" / slugify(view.name)
             view_dir.mkdir(parents=True, exist_ok=True)
             (view_dir / "index.html").write_text(
@@ -334,40 +397,152 @@ class Site:
             count += 1
         return count
 
-    def build(self, output_dir: str | Path) -> BuildStats:
-        """Render the complete site into ``output_dir``."""
+    # -- build planning ----------------------------------------------------
+
+    def render_plan(self) -> list[RenderTask]:
+        """Enumerate every output file with its content signature.
+
+        Signatures are cheap (no rendering happens here) and cover every
+        input of the file: the page's own source for singles, member
+        titles/URLs for listing pages, term counts for taxonomy indexes,
+        and the full group structure for views — plus the theme/config
+        fingerprint.  Two plans agreeing on a signature are guaranteed to
+        render byte-identical files.
+        """
+        g = self._global_fingerprint
+        tasks: list[RenderTask] = []
+
+        listing = sorted(
+            ((p.title, p.url) for p in self.pages), key=lambda e: e[0].lower()
+        )
+        tasks.append(
+            RenderTask("index.html", "home", _hash(g, "home", listing), self.render_home)
+        )
+
+        for page in self.pages:
+            tasks.append(
+                RenderTask(
+                    f"{page.section}/{page.slug}/index.html",
+                    "page",
+                    _hash(g, "page", page.title, page.body,
+                          sorted(page.params.items(), key=lambda kv: kv[0]),
+                          self._chip_context(page)),
+                    lambda p=page: self.render_page(p),
+                )
+            )
+
+        for taxonomy in self.index.taxonomies():
+            tax_slug = slugify(taxonomy.name)
+            terms = [(t.name, t.url, t.count) for t in taxonomy.sorted_terms()]
+            tasks.append(
+                RenderTask(
+                    f"{tax_slug}/index.html",
+                    "taxonomy",
+                    _hash(g, "taxonomy", taxonomy.name, terms),
+                    lambda n=taxonomy.name: self.render_taxonomy_index(n),
+                )
+            )
+            for term in taxonomy.terms.values():
+                members = sorted(
+                    ((p.title, p.url) for p in term.pages),
+                    key=lambda e: e[0].lower(),
+                )
+                tasks.append(
+                    RenderTask(
+                        f"{tax_slug}/{term.slug}/index.html",
+                        "term",
+                        _hash(g, "term", taxonomy.name, term.name, members),
+                        lambda tx=taxonomy.name, tm=term.name:
+                            self.render_term_page(tx, tm),
+                    )
+                )
+
+        if "view" in self.env:
+            for view in self._views():
+                structure = [
+                    (grp.term,
+                     [(e.title, e.url) for e in grp.entries],
+                     [(sg.term, [(e.title, e.url) for e in sg.entries])
+                      for sg in grp.subgroups])
+                    for grp in view.groups
+                ]
+                tasks.append(
+                    RenderTask(
+                        f"views/{slugify(view.name)}/index.html",
+                        "view",
+                        _hash(g, "view", view.name, structure),
+                        lambda v=view: self.render_view(v),
+                    )
+                )
+        return tasks
+
+    def _views(self) -> list:
+        """The four §II-C browsing views over the current index."""
+        from repro.sitegen.views import (
+            accessibility_view,
+            courses_view,
+            cs2013_view,
+            tcpp_view,
+        )
+
+        return [cs2013_view(self.index), tcpp_view(self.index),
+                courses_view(self.index), accessibility_view(self.index)]
+
+    @property
+    def built_signatures(self) -> dict[str, str]:
+        """rel_path -> signature recorded by the last :meth:`build`."""
+        return dict(self._built_signatures)
+
+    def seed_signatures(self, signatures: Mapping[str, str]) -> None:
+        """Carry build state over from a previous :class:`Site` instance.
+
+        The serving layer reconstructs the Site when content changes; seeding
+        the fresh instance with the old signatures lets its next incremental
+        build skip everything the edit did not touch.
+        """
+        self._built_signatures = dict(signatures)
+
+    def build(self, output_dir: str | Path, incremental: bool = False) -> BuildStats:
+        """Render the site into ``output_dir``.
+
+        With ``incremental=True``, a task whose signature matches the last
+        build (and whose output file still exists) is skipped, and output
+        files no longer in the plan are deleted — so editing one activity
+        re-renders only its page plus the listing pages whose membership
+        or entries actually changed.
+        """
         started = time.perf_counter()
         output = Path(output_dir)
         output.mkdir(parents=True, exist_ok=True)
-        stats = BuildStats(output_dir=output)
+        stats = BuildStats(output_dir=output, incremental=incremental)
 
-        (output / "index.html").write_text(self.render_home(), encoding="utf-8")
-        stats.pages_rendered += 1
-
-        for page in self.pages:
-            page_dir = output / page.section / page.slug
-            page_dir.mkdir(parents=True, exist_ok=True)
-            (page_dir / "index.html").write_text(self.render_page(page), encoding="utf-8")
-            stats.pages_rendered += 1
-
-        for taxonomy in self.index.taxonomies():
-            tax_dir = output / slugify(taxonomy.name)
-            tax_dir.mkdir(parents=True, exist_ok=True)
-            (tax_dir / "index.html").write_text(
-                self.render_taxonomy_index(taxonomy.name), encoding="utf-8"
-            )
-            stats.terms_rendered += 1
-            for term in taxonomy.terms.values():
-                term_dir = tax_dir / term.slug
-                term_dir.mkdir(parents=True, exist_ok=True)
-                (term_dir / "index.html").write_text(
-                    self.render_term_page(taxonomy.name, term.name), encoding="utf-8"
-                )
+        plan = self.render_plan()
+        for task in plan:
+            dest = output / task.rel_path
+            if (incremental
+                    and self._built_signatures.get(task.rel_path) == task.signature
+                    and dest.exists()):
+                if task.is_page:
+                    stats.pages_skipped += 1
+                else:
+                    stats.terms_skipped += 1
+                continue
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text(task.render(), encoding="utf-8")
+            if task.is_page:
+                stats.pages_rendered += 1
+            else:
                 stats.terms_rendered += 1
 
-        if "view" in self.env:
-            stats.terms_rendered += self.build_views(output)
+        if incremental:
+            current = {task.rel_path for task in plan}
+            for stale in set(self._built_signatures) - current:
+                stale_file = output / stale
+                if stale_file.exists():
+                    stale_file.unlink()
+                    stats.files_removed += 1
 
+        self._built_signatures = {task.rel_path: task.signature for task in plan}
         stats.duration_s = time.perf_counter() - started
         return stats
 

@@ -92,3 +92,47 @@ class TestAdapters:
                      "TCPP_Algorithms", "TCPP_Programming",
                      "CS1", "CS2", "DSA", "touch", "visual"):
             assert term in html, term
+
+
+class TestCorpusCache:
+    """load_default_catalog is memoized on a corpus fingerprint."""
+
+    def test_repeat_loads_share_one_instance(self):
+        from repro.activities import clear_corpus_cache
+
+        clear_corpus_cache()
+        first = load_default_catalog()
+        second = load_default_catalog()
+        third = load_default_catalog(validate_corpus=False)
+        assert first is second is third
+
+    def test_use_cache_false_gives_private_copy(self):
+        shared = load_default_catalog()
+        private = load_default_catalog(use_cache=False)
+        assert private is not shared
+        assert private.names == shared.names
+
+    def test_clear_forces_reparse(self):
+        from repro.activities import clear_corpus_cache
+
+        first = load_default_catalog()
+        clear_corpus_cache()
+        assert load_default_catalog() is not first
+
+    def test_validation_runs_once_per_parse(self, monkeypatch):
+        from repro.activities import catalog as catalog_mod
+
+        catalog_mod.clear_corpus_cache()
+        calls = []
+        original = catalog_mod.Catalog.validate_all
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(catalog_mod.Catalog, "validate_all", counting)
+        load_default_catalog()
+        load_default_catalog()
+        load_default_catalog()
+        assert len(calls) == 1
+        catalog_mod.clear_corpus_cache()

@@ -1,0 +1,75 @@
+"""Page cache tests: LRU, ETags, invalidation, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.cache import PageCache, make_etag
+
+
+class TestEtag:
+    def test_content_addressed(self):
+        assert make_etag(b"hello") == make_etag(b"hello")
+        assert make_etag(b"hello") != make_etag(b"other")
+
+    def test_strong_quoted(self):
+        etag = make_etag(b"x")
+        assert etag.startswith('"') and etag.endswith('"')
+
+
+class TestPageCache:
+    def test_miss_then_hit(self):
+        cache = PageCache(capacity=4)
+        assert cache.get("/a/") is None
+        entry = cache.put("/a/", b"body")
+        got = cache.get("/a/")
+        assert got is entry
+        assert got.etag == make_etag(b"body")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = PageCache(capacity=2)
+        cache.put("/a/", b"a")
+        cache.put("/b/", b"b")
+        cache.get("/a/")               # promote /a/; /b/ is now LRU
+        cache.put("/c/", b"c")
+        assert "/a/" in cache and "/c/" in cache
+        assert "/b/" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing(self):
+        cache = PageCache(capacity=2)
+        cache.put("/a/", b"v1")
+        cache.put("/a/", b"v2")
+        assert len(cache) == 1
+        assert cache.get("/a/").body == b"v2"
+
+    def test_invalidate_exact_and_query_variants(self):
+        cache = PageCache(capacity=8)
+        cache.put("/api/search?q=a", b"1")
+        cache.put("/api/search?q=b", b"2")
+        cache.put("/api/gaps", b"3")
+        dropped = cache.invalidate(["/api/search"])
+        assert dropped == 2
+        assert "/api/gaps" in cache
+        assert cache.invalidations == 2
+
+    def test_clear(self):
+        cache = PageCache(capacity=4)
+        cache.put("/a/", b"a")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PageCache(capacity=0)
+
+    def test_stats(self):
+        cache = PageCache(capacity=4)
+        cache.put("/a/", b"abc")
+        cache.get("/a/")
+        cache.get("/b/")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] == 3
+        assert stats["hit_ratio"] == 0.5

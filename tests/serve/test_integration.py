@@ -1,0 +1,91 @@
+"""Live-server integration: real HTTP against an ephemeral-port server.
+
+The acceptance path end to end: start ``create_server(port=0)`` on a
+background thread, fetch pages and every API route over actual sockets,
+and prove the conditional-request contract (second request with the
+returned ETag -> 304 cache hit).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import create_server
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    server, app = create_server(host="127.0.0.1", port=0, quiet=True,
+                                watch=False)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def fetch(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+class TestLiveServer:
+    def test_home_page(self, server_url):
+        status, headers, body = fetch(server_url + "/")
+        assert status == 200
+        assert "All Activities" in body.decode()
+        assert headers.get("ETag")
+
+    def test_full_site_reachable(self, server_url):
+        for path in ("/activities/gardeners/", "/senses/", "/senses/touch/",
+                     "/views/tcpp/"):
+            status, _, _ = fetch(server_url + path)
+            assert status == 200, path
+
+    def test_second_request_is_304_cache_hit(self, server_url):
+        url = server_url + "/activities/byzantinegenerals/"
+        status, headers, _ = fetch(url)
+        assert status == 200
+        etag = headers["ETag"]
+        status2, headers2, body2 = fetch(url, headers={"If-None-Match": etag})
+        assert status2 == 304
+        assert body2 == b""
+        assert headers2["ETag"] == etag
+        assert headers2.get("X-Cache") == "hit"
+
+    def test_all_api_routes_live(self, server_url):
+        for path in ("/api/activities", "/api/search?q=cards",
+                     "/api/coverage/cs2013", "/api/coverage/tcpp",
+                     "/api/gaps", "/api/simulate/findsmallestcard?n=8",
+                     "/api/metrics"):
+            status, headers, body = fetch(server_url + path)
+            assert status == 200, path
+            assert headers["Content-Type"].startswith("application/json"), path
+            json.loads(body)
+
+    def test_metrics_reflect_traffic(self, server_url):
+        fetch(server_url + "/")
+        status, _, body = fetch(server_url + "/api/metrics")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["total_requests"] > 0
+        assert payload["cache"]["hits"] >= 1
+        assert "page:home" in payload["routes"]
+
+    def test_404_over_http(self, server_url):
+        status, _, body = fetch(server_url + "/nope/")
+        assert status == 404
+        assert json.loads(body)["status"] == 404

@@ -1,0 +1,77 @@
+"""Load generator tests: determinism, zipf shape, runner behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import create_app
+from repro.serve.loadgen import LoadGenerator, call_app, run_load, zipf_weights
+
+
+@pytest.fixture(scope="module")
+def app():
+    return create_app(watch=False)
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+    def test_exponent_sharpens(self):
+        flat = zipf_weights(10, exponent=0.5)
+        sharp = zipf_weights(10, exponent=2.0)
+        assert sharp[9] / sharp[0] < flat[9] / flat[0]
+
+    def test_empty(self):
+        assert zipf_weights(0) == []
+
+
+class TestLoadGenerator:
+    def test_deterministic(self, app):
+        gen1 = LoadGenerator.for_app(app, seed=7)
+        gen2 = LoadGenerator.for_app(app, seed=7)
+        assert gen1.sample(50) == gen2.sample(50)
+
+    def test_seed_changes_stream(self, app):
+        gen = LoadGenerator.for_app(app, seed=7)
+        other = LoadGenerator.for_app(app, seed=8)
+        assert gen.sample(50) != other.sample(50)
+
+    def test_population_is_site_urls(self, app):
+        gen = LoadGenerator.for_app(app)
+        assert "/" in gen.urls
+        assert "/activities/gardeners/" in gen.urls
+        assert all(u.startswith("/") for u in gen.urls)
+
+    def test_rank_one_dominates(self, app):
+        gen = LoadGenerator.for_app(app, exponent=1.2, seed=0)
+        sample = gen.sample(2000)
+        top = gen.urls[0]
+        assert sample.count(top) > len(sample) / len(gen.urls) * 3
+
+    def test_requires_urls(self):
+        with pytest.raises(ValueError):
+            LoadGenerator([])
+
+
+class TestRunLoad:
+    def test_revalidating_run_earns_304s(self, app):
+        gen = LoadGenerator.for_app(app, seed=1)
+        report = run_load(app, gen.sample(200))
+        assert report.requests == 200
+        assert report.ok
+        assert report.revalidations > 0
+        assert report.statuses[200] + report.statuses[304] == 200
+        assert report.requests_per_s > 0
+
+    def test_no_revalidate_all_200(self, app):
+        gen = LoadGenerator.for_app(app, seed=1)
+        report = run_load(app, gen.sample(100), revalidate=False)
+        assert report.statuses == {200: 100}
+        assert report.revalidations == 0
+
+    def test_call_app_parses_query(self, app):
+        response = call_app(app, "/api/search?q=cards&limit=3")
+        assert response.status == 200

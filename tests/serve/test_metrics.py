@@ -1,0 +1,72 @@
+"""Metrics tests: histogram percentiles, route counters, registry snapshot."""
+
+from __future__ import annotations
+
+from repro.serve.metrics import LatencyHistogram, MetricsRegistry, RouteStats
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.count == 0
+        assert h.percentile(50) == 0.0
+        assert h.snapshot()["p99_ms"] == 0.0
+
+    def test_percentiles_ordered(self):
+        h = LatencyHistogram()
+        for ms in range(1, 101):                 # 1ms .. 100ms uniform
+            h.observe(ms / 1000.0)
+        p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+        assert p50 <= p95 <= p99 <= h.max_s
+        assert 0.01 < p50 < 0.1                  # median of 1..100 ms
+        assert p99 > 0.05
+
+    def test_overflow_bucket_reports_max(self):
+        h = LatencyHistogram(buckets_s=(0.001,))
+        h.observe(5.0)
+        assert h.percentile(99) == 5.0
+
+    def test_mean_and_bounds(self):
+        h = LatencyHistogram()
+        h.observe(0.002)
+        h.observe(0.004)
+        assert abs(h.mean_s - 0.003) < 1e-9
+        assert h.min_s == 0.002 and h.max_s == 0.004
+
+
+class TestRouteStats:
+    def test_errors_counted(self):
+        stats = RouteStats()
+        stats.record(200, 0.001)
+        stats.record(404, 0.001)
+        stats.record(500, 0.001)
+        assert stats.requests == 3 and stats.errors == 2
+        assert stats.snapshot()["statuses"] == {"200": 1, "404": 1, "500": 1}
+
+
+class TestMetricsRegistry:
+    def test_records_and_snapshots(self):
+        reg = MetricsRegistry(clock=lambda: 100.0)
+        reg.record_request("/", 200, 0.002, cache_status="miss")
+        reg.record_request("/", 200, 0.001, cache_status="hit")
+        reg.record_request("/", 304, 0.0005, cache_status="hit")
+        reg.record_request("/api/gaps", 200, 0.01)
+        snap = reg.snapshot()
+        assert snap["total_requests"] == 4
+        assert snap["routes"]["/"]["requests"] == 3
+        assert snap["cache"]["hits"] == 2
+        assert snap["cache"]["misses"] == 1
+        assert snap["cache"]["hit_ratio"] == round(2 / 3, 4)
+        assert snap["cache"]["not_modified"] == 1
+        assert {"p50_ms", "p95_ms", "p99_ms"} <= set(
+            snap["routes"]["/"]["latency"])
+
+    def test_rebuild_counters(self):
+        reg = MetricsRegistry()
+        reg.record_rebuild(3)
+        reg.record_rebuild(1)
+        snap = reg.snapshot()
+        assert snap["rebuilds"] == {"count": 2, "files_rerendered": 4}
+
+    def test_hit_ratio_zero_without_traffic(self):
+        assert MetricsRegistry().cache_hit_ratio == 0.0

@@ -1,0 +1,159 @@
+"""Incremental rebuild tests: signature diffs, cache eviction, resilience."""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.activities.catalog import corpus_dir
+from repro.serve import ServeApp, create_app
+from repro.serve.loadgen import call_app
+from repro.serve.rebuild import RebuildManager, scan_content
+
+
+@pytest.fixture()
+def content(tmp_path):
+    """A private editable copy of the corpus."""
+    dst = tmp_path / "content"
+    shutil.copytree(corpus_dir(), dst)
+    return dst
+
+
+def touch_append(path, text):
+    path.write_text(path.read_text(encoding="utf-8") + text, encoding="utf-8")
+    # mtime granularity can swallow fast successive edits; force it forward.
+    stat = path.stat()
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+
+
+class TestScanContent:
+    def test_fingerprint_tracks_edits(self, content):
+        before = scan_content(content)
+        touch_append(content / "gardeners.md", "\nExtra.\n")
+        after = scan_content(content)
+        assert before != after
+        assert set(before) == set(after)
+        changed = {k for k in before if before[k] != after[k]}
+        assert changed == {"gardeners.md"}
+
+
+class TestRebuildManager:
+    def test_no_change_is_noop(self, content):
+        manager = RebuildManager(content, min_interval_s=0.0)
+        assert manager.refresh() is None
+
+    def test_body_edit_dirties_only_that_page(self, content):
+        manager = RebuildManager(content, min_interval_s=0.0)
+        touch_append(content / "gardeners.md", "\nAn extra teaching note.\n")
+        result = manager.refresh()
+        assert result is not None and result.ok
+        assert result.changed_sources == ["gardeners.md"]
+        assert result.dirty_urls == ["/activities/gardeners/"]
+
+    def test_membership_edit_dirties_term_pages(self, content):
+        manager = RebuildManager(content, min_interval_s=0.0)
+        path = content / "findsmallestcard.md"
+        text = path.read_text(encoding="utf-8")
+        # Drop the activity's "touch" sense: its page AND the senses term
+        # listings change membership.
+        assert '"touch"' in text
+        path.write_text(text.replace('"touch", ', "", 1), encoding="utf-8")
+        result = manager.refresh()
+        assert result is not None and result.ok
+        assert "/activities/findsmallestcard/" in result.dirty_urls
+        assert "/senses/touch/" in result.dirty_urls
+        # Untouched pages stay clean.
+        assert "/activities/diningphilosophers/" not in result.dirty_urls
+
+    def test_deleted_page_is_dirty(self, content):
+        manager = RebuildManager(content, min_interval_s=0.0)
+        (content / "gardeners.md").unlink()
+        result = manager.refresh()
+        assert result is not None and result.ok
+        assert "/activities/gardeners/" in result.dirty_urls
+        assert "/" in result.dirty_urls              # home listing changed
+        assert "gardeners" not in manager.state.catalog
+
+    def test_broken_edit_keeps_old_generation(self, content):
+        manager = RebuildManager(content, min_interval_s=0.0)
+        old_state = manager.state
+        (content / "gardeners.md").write_text("---\nbroken: [\n")
+        result = manager.refresh()
+        assert result is not None and not result.ok
+        assert manager.state is old_state
+        assert manager.last_error is not None
+        # Fixing the file recovers on the next refresh.
+        shutil.copy(corpus_dir() / "gardeners.md", content / "gardeners.md")
+        fixed = manager.refresh()
+        assert fixed is not None and fixed.ok
+        assert manager.last_error is None
+
+    def test_throttle(self, content):
+        now = [0.0]
+        manager = RebuildManager(content, min_interval_s=10.0,
+                                 clock=lambda: now[0])
+        touch_append(content / "gardeners.md", "\nExtra.\n")
+        assert manager.maybe_refresh() is None       # within interval
+        now[0] = 11.0
+        assert manager.maybe_refresh() is not None
+
+
+class TestIncrementalStaticBuild:
+    """The acceptance-criterion path: BuildStats proves minimal re-rendering."""
+
+    def test_one_edit_rerenders_one_page(self, content, tmp_path):
+        manager = RebuildManager(content, min_interval_s=0.0)
+        out = tmp_path / "site"
+        full = manager.state.site.build(out)
+        assert full.total_files == 170
+        assert not full.incremental
+
+        touch_append(content / "gardeners.md", "\nAn extra teaching note.\n")
+        assert manager.refresh().ok
+        stats = manager.state.site.build(out, incremental=True)
+        assert stats.incremental
+        assert stats.pages_rendered == 1             # just gardeners
+        assert stats.terms_rendered == 0
+        assert stats.total_skipped == 169
+
+    def test_membership_edit_rerenders_affected_terms(self, content, tmp_path):
+        manager = RebuildManager(content, min_interval_s=0.0)
+        out = tmp_path / "site"
+        manager.state.site.build(out)
+
+        path = content / "findsmallestcard.md"
+        text = path.read_text(encoding="utf-8")
+        assert '"touch"' in text
+        path.write_text(text.replace('"touch", ', "", 1), encoding="utf-8")
+        assert manager.refresh().ok
+        stats = manager.state.site.build(out, incremental=True)
+        assert stats.pages_rendered == 1             # the edited page
+        assert 1 <= stats.terms_rendered < 15        # its term/view pages only
+        assert stats.total_skipped > 150
+
+
+class TestAppIntegration:
+    def test_edit_invalidates_only_dirty_urls(self, content):
+        app = create_app(content_dir=content, watch=True, watch_interval_s=0.0)
+        assert isinstance(app, ServeApp)
+        first = call_app(app, "/activities/gardeners/")
+        call_app(app, "/activities/diningphilosophers/")
+        call_app(app, "/activities/diningphilosophers/")  # now cached+hit
+
+        touch_append(content / "gardeners.md", "\nAn extra teaching note.\n")
+        edited = call_app(app, "/activities/gardeners/")
+        assert edited.headers["X-Cache"] == "miss"       # evicted and re-rendered
+        assert edited.etag != first.etag
+        untouched = call_app(app, "/activities/diningphilosophers/")
+        assert untouched.headers["X-Cache"] == "hit"     # survived the rebuild
+
+    def test_stale_etag_no_longer_revalidates(self, content):
+        app = create_app(content_dir=content, watch=True, watch_interval_s=0.0)
+        first = call_app(app, "/activities/gardeners/")
+        touch_append(content / "gardeners.md", "\nMore.\n")
+        response = call_app(app, "/activities/gardeners/",
+                            headers={"If-None-Match": first.etag})
+        assert response.status == 200                    # content changed
+        assert response.etag != first.etag

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.sitegen.linkcheck import (
     AuditResult,
+    FetchResult,
     LinkAuditor,
     LinkStatus,
     offline_prober,
@@ -69,3 +70,95 @@ class TestAuditor:
         )
         assert result.total >= 16           # the 41%-ish resource-bearing set
         assert all(r.status is LinkStatus.OK for r in result.reports)
+
+
+class ScriptedFetcher:
+    """A fetcher returning a canned sequence of FetchResults per URL."""
+
+    def __init__(self, script):
+        self.script = {url: list(results) for url, results in script.items()}
+        self.calls = []
+
+    def __call__(self, url, timeout_s):
+        self.calls.append((url, timeout_s))
+        results = self.script[url]
+        return results.pop(0) if len(results) > 1 else results[0]
+
+
+class TestFetcherInjection:
+    def test_fetcher_ok(self):
+        fetcher = ScriptedFetcher({"http://ok.com/x": [FetchResult(status_code=200)]})
+        auditor = LinkAuditor(fetcher=fetcher, timeout_s=2.5)
+        [report] = auditor.audit_page("p", "[a](http://ok.com/x)")
+        assert report.status is LinkStatus.OK
+        assert report.attempts == 1
+        assert report.detail == "HTTP 200"
+        assert fetcher.calls == [("http://ok.com/x", 2.5)]
+
+    def test_hard_404_not_retried(self):
+        fetcher = ScriptedFetcher({"http://gone.com/x": [FetchResult(status_code=404)]})
+        auditor = LinkAuditor(fetcher=fetcher, retries=3)
+        [report] = auditor.audit_page("p", "http://gone.com/x")
+        assert report.status is LinkStatus.DEAD
+        assert report.attempts == 1
+        assert report.detail == "HTTP 404"
+
+    def test_transient_503_retried_then_recovers(self):
+        fetcher = ScriptedFetcher({
+            "http://flaky.com/x": [FetchResult(status_code=503),
+                                   FetchResult(status_code=200)],
+        })
+        auditor = LinkAuditor(fetcher=fetcher, retries=1)
+        [report] = auditor.audit_page("p", "http://flaky.com/x")
+        assert report.status is LinkStatus.OK
+        assert report.attempts == 2
+
+    def test_retry_budget_exhausted(self):
+        fetcher = ScriptedFetcher({"http://down.com/x": [FetchResult(status_code=503)]})
+        auditor = LinkAuditor(fetcher=fetcher, retries=2)
+        [report] = auditor.audit_page("p", "http://down.com/x")
+        assert report.status is LinkStatus.DEAD
+        assert report.attempts == 3
+        assert report.detail == "HTTP 503"
+
+    def test_transport_exception_retried(self):
+        calls = []
+
+        def raising_fetcher(url, timeout_s):
+            calls.append(url)
+            raise TimeoutError("timed out")
+
+        auditor = LinkAuditor(fetcher=raising_fetcher, retries=1)
+        [report] = auditor.audit_page("p", "http://slow.com/x")
+        assert report.status is LinkStatus.DEAD
+        assert report.attempts == 2
+        assert "TimeoutError" in report.detail
+        assert len(calls) == 2
+
+    def test_malformed_never_fetched(self):
+        fetcher = ScriptedFetcher({})
+        auditor = LinkAuditor(fetcher=fetcher)
+        [report] = auditor.audit_page("p", "[bad](http://localhost)")
+        assert report.status is LinkStatus.MALFORMED
+        assert report.attempts == 0
+        assert fetcher.calls == []
+
+    def test_prober_and_fetcher_exclusive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LinkAuditor(prober=offline_prober, fetcher=ScriptedFetcher({}))
+        with pytest.raises(ValueError):
+            LinkAuditor(retries=-1)
+
+    def test_by_status_counts(self):
+        fetcher = ScriptedFetcher({
+            "http://ok.com/a": [FetchResult(status_code=200)],
+            "http://gone.com/b": [FetchResult(status_code=410)],
+        })
+        auditor = LinkAuditor(fetcher=fetcher)
+        result = auditor.audit([
+            FakePage("p", "http://ok.com/a http://gone.com/b http://localhost"),
+        ])
+        assert result.by_status() == {"ok": 1, "dead": 1, "malformed": 1}
+        assert len(result.malformed) == 1

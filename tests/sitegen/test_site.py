@@ -127,3 +127,100 @@ class TestBuild:
 
     def test_check_runs_invariants(self, site):
         site.check()
+
+
+class TestRenderPlan:
+    def test_plan_covers_every_output(self, site, tmp_path):
+        plan = site.render_plan()
+        stats = site.build(tmp_path / "out")
+        assert len(plan) == stats.total_files
+        assert len({t.rel_path for t in plan}) == len(plan)
+
+    def test_urls_derived_from_paths(self, site):
+        by_path = {t.rel_path: t for t in site.render_plan()}
+        assert by_path["index.html"].url == "/"
+        assert by_path["activities/findsmallestcard/index.html"].url == \
+            "/activities/findsmallestcard/"
+
+    def test_signatures_stable_across_instances(self):
+        a, b = Site(), Site()
+        for s in (a, b):
+            s.add_page(Page.from_text("findsmallestcard", DOC))
+        sigs_a = {t.rel_path: t.signature for t in a.render_plan()}
+        sigs_b = {t.rel_path: t.signature for t in b.render_plan()}
+        assert sigs_a == sigs_b
+
+    def test_signature_tracks_content(self):
+        a, b = Site(), Site()
+        a.add_page(Page.from_text("findsmallestcard", DOC))
+        b.add_page(Page.from_text("findsmallestcard", DOC + "\nExtra.\n"))
+        sig = {t.rel_path: t.signature for t in a.render_plan()}
+        sig_b = {t.rel_path: t.signature for t in b.render_plan()}
+        changed = {p for p in sig if sig[p] != sig_b[p]}
+        assert changed == {"activities/findsmallestcard/index.html"}
+
+    def test_theme_change_dirties_everything(self):
+        from repro.sitegen.site import DEFAULT_THEME
+
+        theme = dict(DEFAULT_THEME)
+        theme["base"] = theme["base"].replace("<!DOCTYPE html>", "<!DOCTYPE html><!-- v2 -->")
+        a, b = Site(), Site(theme=theme)
+        a.add_page(Page.from_text("findsmallestcard", DOC))
+        b.add_page(Page.from_text("findsmallestcard", DOC))
+        sig_a = {t.rel_path: t.signature for t in a.render_plan()}
+        sig_b = {t.rel_path: t.signature for t in b.render_plan()}
+        assert all(sig_a[p] != sig_b[p] for p in sig_a)
+
+
+class TestIncrementalBuild:
+    def test_noop_rebuild_skips_everything(self, site, tmp_path):
+        out = tmp_path / "out"
+        full = site.build(out)
+        second = site.build(out, incremental=True)
+        assert second.total_files == 0
+        assert second.total_skipped == full.total_files
+        assert second.incremental
+
+    def test_full_build_ignores_signatures(self, site, tmp_path):
+        out = tmp_path / "out"
+        first = site.build(out)
+        again = site.build(out)                 # incremental=False
+        assert again.total_files == first.total_files
+
+    def test_missing_output_file_rerendered(self, site, tmp_path):
+        out = tmp_path / "out"
+        site.build(out)
+        (out / "index.html").unlink()
+        stats = site.build(out, incremental=True)
+        assert stats.pages_rendered == 1        # just the home page
+
+    def test_seeded_signatures_carry_over(self, site, tmp_path):
+        out = tmp_path / "out"
+        site.build(out)
+        clone = Site()
+        clone.add_page(Page.from_text("findsmallestcard", DOC))
+        clone.add_page(Page.from_text(
+            "other",
+            '---\ntitle: "Other"\nsenses: ["touch"]\n---\n\n## Original Author/link\n\nX\n',
+        ))
+        clone.seed_signatures(site.built_signatures)
+        stats = clone.build(out, incremental=True)
+        assert stats.total_files == 0
+
+    def test_removed_page_outputs_deleted(self, tmp_path):
+        out = tmp_path / "out"
+        two = Site()
+        two.add_page(Page.from_text("findsmallestcard", DOC))
+        two.add_page(Page.from_text(
+            "other",
+            '---\ntitle: "Other"\nsenses: ["touch"]\n---\n\n## Original Author/link\n\nX\n',
+        ))
+        two.build(out)
+        assert (out / "activities" / "other" / "index.html").exists()
+
+        one = Site()
+        one.add_page(Page.from_text("findsmallestcard", DOC))
+        one.seed_signatures(two.built_signatures)
+        stats = one.build(out, incremental=True)
+        assert stats.files_removed >= 1
+        assert not (out / "activities" / "other" / "index.html").exists()

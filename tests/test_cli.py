@@ -28,6 +28,18 @@ class TestReport:
         assert "uncovered CS2013 outcomes: 32" in out
         assert "uncovered TCPP topics: 48" in out
 
+    def test_courses(self, capsys):
+        assert main(["report", "courses"]) == 0
+        assert "CS1" in capsys.readouterr().out
+
+    def test_resources(self, capsys):
+        assert main(["report", "resources"]) == 0
+        assert "%" in capsys.readouterr().out
+
+    def test_categories(self, capsys):
+        assert main(["report", "categories"]) == 0
+        assert "TCPP" in capsys.readouterr().out
+
     def test_all_sections(self, capsys):
         assert main(["report", "all"]) == 0
         out = capsys.readouterr().out
@@ -128,3 +140,36 @@ class TestSimulate:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+
+class TestServe:
+    def test_serve_wires_options_through(self, monkeypatch):
+        seen = {}
+
+        def fake_run(**kwargs):
+            seen.update(kwargs)
+            return 0
+
+        import repro.serve
+
+        monkeypatch.setattr(repro.serve, "run", fake_run)
+        assert main(["serve", "--port", "0", "--cache-size", "64",
+                     "--watch-interval", "0.5"]) == 0
+        assert seen["port"] == 0
+        assert seen["cache_size"] == 64
+        assert seen["cache_enabled"] is True
+        assert seen["watch_interval_s"] == 0.5
+        assert seen["watch"] is True
+        assert seen["content_dir"] is None
+
+    def test_serve_no_cache_no_watch(self, monkeypatch):
+        seen = {}
+        import repro.serve
+
+        monkeypatch.setattr(repro.serve, "run",
+                            lambda **kw: seen.update(kw) or 0)
+        assert main(["serve", "--no-cache", "--no-watch",
+                     "--content-dir", "/tmp/somewhere"]) == 0
+        assert seen["cache_enabled"] is False
+        assert seen["watch"] is False
+        assert seen["content_dir"] == "/tmp/somewhere"
