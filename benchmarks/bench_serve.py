@@ -138,3 +138,141 @@ def test_metrics_after_load_run():
     print()
     print(f"hit ratio {payload['cache']['hit_ratio']:.2%} over "
           f"{payload['total_requests']} requests")
+
+
+# --------------------------------------------------------------------------
+# EXPERIMENT S-CONC -- concurrent serving, warm starts, parallel builds.
+#
+# Thread speedups only exist where the host grants real parallelism; on a
+# single-core runner the GIL serialises render work, so speedup assertions
+# are gated on ``os.cpu_count()`` while the measured numbers always print.
+# --------------------------------------------------------------------------
+
+import os
+import threading
+
+MULTICORE = (os.cpu_count() or 1) >= 2
+
+
+def _socket_server(workers, cache_dir=None):
+    from repro.serve import create_server
+
+    server, app = create_server(host="127.0.0.1", port=0, quiet=True,
+                                watch=False, workers=workers,
+                                cache_dir=cache_dir)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, app, f"http://127.0.0.1:{server.server_address[1]}", thread
+
+
+def test_worker_throughput_measured():
+    """Single-threaded vs ``--workers 4`` over real sockets, 8 clients."""
+    from repro.serve import run_load_http
+
+    app = create_app(watch=False)
+    gen = LoadGenerator.for_app(app, seed=13, api_ratio=0.2,
+                                conditional_ratio=0.7)
+    stream = gen.sample_requests(400)
+
+    rates = {}
+    for workers in (1, 4):
+        server, sapp, base_url, thread = _socket_server(workers)
+        try:
+            run_load_http(base_url, stream[:50], clients=4)     # warm-up
+            report = run_load_http(base_url, stream, clients=8)
+            assert report.ok
+            rates[workers] = report.requests_per_s
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    speedup = rates[4] / rates[1]
+    print()
+    print(f"workers: 1 -> {rates[1]:,.0f} req/s, 4 -> {rates[4]:,.0f} req/s "
+          f"({speedup:.2f}x, {os.cpu_count()} cpu)")
+    if MULTICORE:
+        assert speedup > 1.2
+    else:
+        assert rates[4] > rates[1] * 0.5    # pooling must not fall off a cliff
+
+
+def test_warm_start_hit_ratio(tmp_path):
+    """A restarted server answers its first load pass mostly from cache."""
+    cache_dir = tmp_path / "cache"
+    cold = create_app(watch=False, cache_dir=cache_dir)
+    stream = LoadGenerator.for_app(cold, seed=31).sample(300)
+
+    cold_report = run_load(cold, stream, revalidate=False)
+    cold_first_ratio = cold_report.cache_hits / cold_report.requests
+    assert cold.save_cache() > 0
+
+    warm = create_app(watch=False, cache_dir=cache_dir)
+    warm_report = run_load(warm, stream, revalidate=False)
+    warm_first_ratio = warm_report.cache_hits / warm_report.requests
+    print()
+    print(f"first-pass hit ratio: cold {cold_first_ratio:.2%} -> "
+          f"warm {warm_first_ratio:.2%} ({warm.warm_loaded} entries loaded)")
+    assert warm_first_ratio > 0.5
+    assert warm_first_ratio > cold_first_ratio
+
+
+@pytest.mark.benchmark(group="serve-build")
+def test_parallel_build(benchmark, tmp_path):
+    """Full export with ``jobs=4``; byte-identical to the serial build."""
+    app = create_app(watch=False)
+    serial = tmp_path / "serial"
+    app.state.site.build(serial, jobs=1)
+
+    out = tmp_path / "parallel"
+
+    def build():
+        return app.state.site.build(out, jobs=4)
+
+    stats = benchmark(build)
+    assert stats.jobs == 4
+    assert stats.total_files == 170
+    serial_bytes = {p.relative_to(serial): p.read_bytes()
+                    for p in serial.rglob("*") if p.is_file()}
+    parallel_bytes = {p.relative_to(out): p.read_bytes()
+                      for p in out.rglob("*") if p.is_file()}
+    assert serial_bytes == parallel_bytes
+
+
+def test_parallel_build_speedup_measured(tmp_path):
+    import time
+
+    app = create_app(watch=False)
+    timings = {}
+    for jobs in (1, 4):
+        out = tmp_path / f"jobs{jobs}"
+        started = time.perf_counter()
+        app.state.site.build(out, jobs=jobs)
+        timings[jobs] = time.perf_counter() - started
+    speedup = timings[1] / timings[4]
+    print()
+    print(f"build: jobs=1 {timings[1]*1e3:,.0f} ms, "
+          f"jobs=4 {timings[4]*1e3:,.0f} ms "
+          f"({speedup:.2f}x, {os.cpu_count()} cpu)")
+    if MULTICORE:
+        assert speedup > 1.2
+    else:
+        assert timings[4] < timings[1] * 2.0    # scheduling overhead bounded
+
+
+def test_mixed_traffic_tail_latency():
+    """Realistic mix (20% API, 70% conditional): p99.9 tail is reported."""
+    app = create_app(watch=False)
+    gen = LoadGenerator.for_app(app, seed=17, api_ratio=0.2,
+                                conditional_ratio=0.7)
+    report = run_load(app, gen.sample_requests(1000))
+    assert report.ok
+    assert report.api_requests > 0
+    p50 = report.latency_percentile_ms(50)
+    p99 = report.latency_percentile_ms(99)
+    p999 = report.latency_percentile_ms(99.9)
+    assert p50 <= p99 <= p999
+    print()
+    print(f"mixed traffic: {report.requests_per_s:,.0f} req/s, "
+          f"p50 {p50:.2f} ms, p99 {p99:.2f} ms, p99.9 {p999:.2f} ms "
+          f"({report.api_requests} api, {report.revalidations} x 304)")

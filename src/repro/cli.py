@@ -3,12 +3,13 @@
 Subcommands::
 
     pdcunplugged report [table1|table2|courses|accessibility|resources|categories|gaps|all]
-    pdcunplugged build <output-dir>          # render the static site
+    pdcunplugged build <output-dir> [--jobs N]   # render the static site
     pdcunplugged new <name> <content-dir>    # scaffold an activity (Fig. 1)
     pdcunplugged validate                    # validate the shipped corpus
     pdcunplugged simulate <activity> [-n N] [--seed S]
     pdcunplugged list                        # list corpus activities + sims
-    pdcunplugged serve [--port P]            # live site + JSON API server
+    pdcunplugged serve [--port P] [--workers N] [--cache-dir D]
+                                             # live site + JSON API server
 """
 
 from __future__ import annotations
@@ -40,6 +41,8 @@ def _build_parser() -> argparse.ArgumentParser:
     build = sub.add_parser("build", help="render the static site")
     build.add_argument("output", help="output directory")
     build.add_argument("--strategy", choices=["indexed", "scan"], default="indexed")
+    build.add_argument("--jobs", type=int, default=1,
+                       help="render independent pages on N threads")
 
     new = sub.add_parser("new", help="scaffold a new activity from the template")
     new.add_argument("name")
@@ -70,8 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="TCP port (0 picks an ephemeral port)")
     serve.add_argument("--content-dir", default=None,
                        help="content directory (default: the packaged corpus)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="service connections on a pool of N threads")
     serve.add_argument("--cache-size", type=int, default=512,
                        help="page-cache capacity in entries")
+    serve.add_argument("--cache-shards", type=int, default=8,
+                       help="lock-striping shard count for the page cache")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persist the page cache here for warm restarts")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the page cache (for benchmarking)")
     serve.add_argument("--watch-interval", type=float, default=1.0,
@@ -121,9 +130,10 @@ def main(argv: list[str] | None = None) -> int:
 
         catalog = load_default_catalog()
         site = catalog.site(SiteConfig(strategy=args.strategy))
-        stats = site.build(args.output)
+        stats = site.build(args.output, jobs=args.jobs)
         print(f"rendered {stats.total_files} files to {stats.output_dir} "
-              f"in {stats.duration_s * 1000:.1f} ms")
+              f"in {stats.duration_s * 1000:.1f} ms "
+              f"({stats.jobs} job{'s' if stats.jobs != 1 else ''})")
         return 0
 
     if args.command == "new":
@@ -217,8 +227,11 @@ def main(argv: list[str] | None = None) -> int:
         return serve_mod.run(
             host=args.host,
             port=args.port,
+            workers=args.workers,
             content_dir=args.content_dir,
             cache_size=args.cache_size,
+            cache_shards=args.cache_shards,
+            cache_dir=args.cache_dir,
             cache_enabled=not args.no_cache,
             watch_interval_s=args.watch_interval,
             watch=not args.no_watch,

@@ -4,39 +4,66 @@ Turns the one-shot static build into a live, queryable web service — the
 form the paper's artifact (pdcunplugged.org) actually takes:
 
 * :mod:`repro.serve.app` — stdlib WSGI app: rendered site + JSON API.
-* :mod:`repro.serve.cache` — content-addressed LRU page cache with
-  strong ETags and 304 revalidation.
+* :mod:`repro.serve.cache` — content-addressed LRU page cache (single
+  mutex or lock-striped shards) with strong ETags and 304 revalidation.
+* :mod:`repro.serve.persist` — on-disk cache spill keyed by render-plan
+  signature, so restarts warm-start instead of re-rendering.
+* :mod:`repro.serve.workers` — bounded worker pool + pooled WSGI server
+  (the ``--workers N`` mode).
 * :mod:`repro.serve.rebuild` — content watching and incremental
-  generation swaps (only dirty URLs are evicted / re-rendered).
-* :mod:`repro.serve.metrics` — per-route counters, latency percentiles,
-  cache hit ratios (``/api/metrics``).
-* :mod:`repro.serve.loadgen` — deterministic Zipf load generation for
-  benchmarks and acceptance tests.
+  generation swaps (only dirty URLs are evicted / re-rendered; the
+  search index is patched, not rebuilt).
+* :mod:`repro.serve.metrics` — per-route counters, latency percentiles
+  (to p99.9), cache hit ratios (``/api/metrics``); lock-striped per route.
+* :mod:`repro.serve.loadgen` — deterministic Zipf + API-mix load
+  generation, serial / concurrent in-process / over-HTTP runners.
 """
 
 from repro.serve.app import Response, ServeApp, create_app, create_server, run
-from repro.serve.cache import CacheEntry, PageCache, make_etag
-from repro.serve.loadgen import LoadGenerator, LoadReport, call_app, run_load
+from repro.serve.cache import (
+    CacheEntry,
+    PageCache,
+    ShardedPageCache,
+    make_etag,
+)
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    LoadRequest,
+    call_app,
+    run_load,
+    run_load_concurrent,
+    run_load_http,
+)
 from repro.serve.metrics import LatencyHistogram, MetricsRegistry, RouteStats
+from repro.serve.persist import CacheStore
 from repro.serve.rebuild import RebuildManager, RebuildResult, ServerState
+from repro.serve.workers import PooledWSGIServer, WorkerPool
 
 __all__ = [
     "CacheEntry",
+    "CacheStore",
     "LatencyHistogram",
     "LoadGenerator",
     "LoadReport",
+    "LoadRequest",
     "MetricsRegistry",
     "PageCache",
+    "PooledWSGIServer",
     "RebuildManager",
     "RebuildResult",
     "Response",
     "RouteStats",
     "ServeApp",
     "ServerState",
+    "ShardedPageCache",
+    "WorkerPool",
     "call_app",
     "create_app",
     "create_server",
     "make_etag",
     "run",
     "run_load",
+    "run_load_concurrent",
+    "run_load_http",
 ]

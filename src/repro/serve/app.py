@@ -13,11 +13,19 @@ JSON query API over the same engines the paper's evaluation uses:
 * ``GET /api/gaps`` — the §III-E gap report,
 * ``GET /api/simulate/<slug>?n=…&seed=…`` — run a classroom simulation,
 * ``GET /api/metrics`` — request counters, latency percentiles, cache
-  hit ratio, rebuild counters.
+  hit ratio (with per-shard stats and lock wait), worker-pool gauges,
+  rebuild counters.
 
 Pure stdlib (``wsgiref``), no new runtime dependencies.  Content changes
 are picked up between requests by the :class:`~repro.serve.rebuild.RebuildManager`,
 which evicts exactly the dirty URLs from the cache.
+
+Concurrency: ``create_server(workers=N)`` services connections on a
+:class:`~repro.serve.workers.WorkerPool`, the default page cache is
+lock-striped (:class:`~repro.serve.cache.ShardedPageCache`), and passing
+``cache_dir=`` enables persistent warm starts — rendered bodies spill to
+disk keyed by render-plan signature and reload on boot, so a restarted
+server answers its first requests from cache instead of re-rendering.
 """
 
 from __future__ import annotations
@@ -29,9 +37,11 @@ from http import HTTPStatus
 from urllib.parse import parse_qs
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
-from repro.serve.cache import PageCache, make_etag
+from repro.serve.cache import PageCache, ShardedPageCache, make_etag
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.persist import CacheStore
 from repro.serve.rebuild import RebuildManager
+from repro.serve.workers import PooledWSGIServer, WorkerPool
 
 __all__ = ["ServeApp", "Response", "create_app", "create_server", "run"]
 
@@ -78,20 +88,55 @@ class ServeApp:
     def __init__(
         self,
         rebuilder: RebuildManager,
-        cache: PageCache | None = None,
+        cache: PageCache | ShardedPageCache | None = None,
         metrics: MetricsRegistry | None = None,
         watch: bool = True,
+        store: CacheStore | None = None,
         clock=time.perf_counter,
     ):
         self.rebuilder = rebuilder
         self.cache = cache
         self.metrics = metrics or MetricsRegistry()
         self.watch = watch
+        self.store = store
+        self.warm_loaded = 0
+        self.worker_pool: WorkerPool | None = None
         self._clock = clock
 
     @property
     def state(self):
         return self.rebuilder.state
+
+    # -- persistence -------------------------------------------------------
+
+    def cache_signature(self, path: str) -> str | None:
+        """The render-plan signature a cached ``path`` was produced under.
+
+        Rendered pages carry their own task signature; corpus-derived API
+        responses (including ``/api/search?…`` variants) carry the whole
+        generation's signature.  ``None`` marks the path unpersistable.
+        """
+        task = self.state.plan_by_url.get(path)
+        if task is not None:
+            return task.signature
+        base = path.partition("?")[0]
+        if base in _CACHEABLE_API or any(
+                base.startswith(prefix + "/") for prefix in _CACHEABLE_API):
+            return self.state.corpus_signature
+        return None
+
+    def warm_start(self) -> int:
+        """Reload persisted cache entries whose signatures still match."""
+        if self.store is None or self.cache is None:
+            return 0
+        self.warm_loaded = self.store.warm_load(self.cache, self.cache_signature)
+        return self.warm_loaded
+
+    def save_cache(self) -> int:
+        """Spill the live cache to the cache dir (no-op without one)."""
+        if self.store is None or self.cache is None:
+            return 0
+        return self.store.save(self.cache, self.cache_signature)
 
     # -- WSGI entry point --------------------------------------------------
 
@@ -353,6 +398,12 @@ class ServeApp:
         payload["page_cache"] = (
             self.cache.stats() if self.cache is not None else {"enabled": False}
         )
+        if self.cache is not None:
+            payload["page_cache"]["warm_loaded"] = self.warm_loaded
+        payload["workers"] = (
+            self.worker_pool.stats() if self.worker_pool is not None
+            else {"workers": 1, "pooled": False}
+        )
         if self.rebuilder.last_error:
             payload["rebuilds"]["last_error"] = self.rebuilder.last_error
         return Response.json(payload, route="/api/metrics")
@@ -365,15 +416,33 @@ def create_app(
     content_dir=None,
     cache_size: int = 512,
     cache_enabled: bool = True,
+    cache_shards: int = 8,
+    cache_dir=None,
     watch_interval_s: float = 1.0,
     watch: bool = True,
     metrics: MetricsRegistry | None = None,
 ) -> ServeApp:
     """Build a ready-to-serve :class:`ServeApp` over a content directory
-    (default: the packaged 38-activity corpus)."""
+    (default: the packaged 38-activity corpus).
+
+    The page cache is lock-striped over ``cache_shards`` shards
+    (``cache_shards=1`` degenerates to the single-mutex cache).  With
+    ``cache_dir`` set, previously spilled responses whose render-plan
+    signatures still match are warm-loaded immediately, so the first
+    requests after a restart are cache hits.
+    """
     rebuilder = RebuildManager(content_dir, min_interval_s=watch_interval_s)
-    cache = PageCache(cache_size) if cache_enabled else None
-    return ServeApp(rebuilder, cache=cache, metrics=metrics, watch=watch)
+    cache = None
+    if cache_enabled:
+        if cache_shards > 1:
+            cache = ShardedPageCache(cache_size, shards=cache_shards)
+        else:
+            cache = PageCache(cache_size)
+    store = CacheStore(cache_dir) if cache_dir else None
+    app = ServeApp(rebuilder, cache=cache, metrics=metrics, watch=watch,
+                   store=store)
+    app.warm_start()
+    return app
 
 
 class _QuietHandler(WSGIRequestHandler):
@@ -383,20 +452,36 @@ class _QuietHandler(WSGIRequestHandler):
 
 def create_server(host: str = "127.0.0.1", port: int = 8000,
                   app: ServeApp | None = None, quiet: bool = False,
+                  workers: int = 1,
                   **app_kwargs) -> tuple[WSGIServer, ServeApp]:
-    """Bind a ``wsgiref`` server (``port=0`` picks an ephemeral port)."""
+    """Bind a WSGI server (``port=0`` picks an ephemeral port).
+
+    ``workers=1`` is the stock single-threaded ``wsgiref`` server;
+    ``workers>1`` services connections on a :class:`WorkerPool` of that
+    size, so slow clients no longer head-of-line block everyone else.
+    """
     app = app or create_app(**app_kwargs)
     handler = _QuietHandler if quiet else WSGIRequestHandler
-    server = make_server(host, port, app, handler_class=handler)
+    if workers > 1:
+        pool = WorkerPool(workers)
+        server = PooledWSGIServer((host, port), handler, pool)
+        server.set_app(app)
+        app.worker_pool = pool
+    else:
+        server = make_server(host, port, app, handler_class=handler)
     return server, app
 
 
-def run(host: str = "127.0.0.1", port: int = 8000, **app_kwargs) -> int:
+def run(host: str = "127.0.0.1", port: int = 8000, workers: int = 1,
+        **app_kwargs) -> int:
     """Blocking entry point used by ``pdcunplugged serve``."""
-    server, app = create_server(host, port, **app_kwargs)
+    server, app = create_server(host, port, workers=workers, **app_kwargs)
     bound_port = server.server_address[1]
     print(f"serving {len(app.state.catalog)} activities on "
-          f"http://{host}:{bound_port} (Ctrl-C to stop)")
+          f"http://{host}:{bound_port} with {workers} worker(s) "
+          f"(Ctrl-C to stop)")
+    if app.warm_loaded:
+        print(f"  warm start: {app.warm_loaded} cached responses reloaded")
     print(f"  API: /api/activities /api/search?q=… /api/coverage/cs2013 "
           f"/api/coverage/tcpp /api/gaps /api/simulate/<slug> /api/metrics")
     try:
@@ -405,4 +490,7 @@ def run(host: str = "127.0.0.1", port: int = 8000, **app_kwargs) -> int:
         print("\nshutting down.")
     finally:
         server.server_close()
+        saved = app.save_cache()
+        if saved:
+            print(f"spilled {saved} cached responses for warm restart.")
     return 0

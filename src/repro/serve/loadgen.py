@@ -2,7 +2,9 @@
 
 Models the traffic pattern of a public teaching repository: page
 popularity follows a Zipf distribution (a few famous activities get most
-of the hits), with an optional slice of API traffic mixed in.  Everything
+of the hits), with a configurable slice of API traffic (activity listing,
+search queries, coverage tables) and a configurable split between
+conditional (``If-None-Match``) and unconditional requests.  Everything
 is seeded — the same profile and seed produce the same request stream,
 so benchmark runs and the ``/api/metrics`` acceptance test are
 reproducible.
@@ -11,18 +13,43 @@ Includes :func:`call_app`, a minimal in-process WSGI client (no sockets),
 used by the load runner, the test suite, and ``benchmarks/bench_serve.py``.
 The runner emulates well-behaved browser caches: it remembers each URL's
 ETag and revalidates with ``If-None-Match``, so a warm run exercises the
-304 path exactly like repeat real-world traffic would.
+304 path exactly like repeat real-world traffic would.  Per-request
+latencies are retained in the report, so tail percentiles (p99, p99.9)
+come from exact order statistics, not histogram interpolation.
+
+Three runners share the :class:`LoadReport` shape:
+
+* :func:`run_load` — serial, in-process (one WSGI call at a time),
+* :func:`run_load_concurrent` — N client threads against one in-process
+  app (hammers the sharded cache and striped metrics),
+* :func:`run_load_http` — N client threads over real sockets against a
+  live server (the multi-worker benchmark path).
 """
 
 from __future__ import annotations
 
+import http.client
 import io
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["WSGIResponse", "call_app", "zipf_weights", "LoadGenerator",
-           "LoadReport", "run_load"]
+__all__ = ["WSGIResponse", "call_app", "zipf_weights", "LoadRequest",
+           "LoadGenerator", "LoadReport", "run_load", "run_load_concurrent",
+           "run_load_http", "DEFAULT_API_PATHS"]
+
+#: Default API population for mixed traffic: listing, searches with
+#: different selectivity, both coverage tables, and the gap report.
+DEFAULT_API_PATHS: tuple[str, ...] = (
+    "/api/activities",
+    "/api/search?q=cards",
+    "/api/search?q=parallel+sorting",
+    "/api/search?q=deadlock",
+    "/api/coverage/cs2013",
+    "/api/coverage/tcpp",
+    "/api/gaps",
+)
 
 
 @dataclass(frozen=True)
@@ -84,19 +111,47 @@ def zipf_weights(n: int, exponent: float = 1.1) -> list[float]:
     return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
 
 
-class LoadGenerator:
-    """Seeded request-stream generator over a fixed URL population."""
+@dataclass(frozen=True)
+class LoadRequest:
+    """One synthetic request: a path plus whether the client revalidates."""
 
-    def __init__(self, urls: list[str], exponent: float = 1.1, seed: int = 0):
+    path: str
+    conditional: bool = True
+
+
+class LoadGenerator:
+    """Seeded request-stream generator over a fixed URL population.
+
+    ``api_ratio`` routes that fraction of requests to the API population
+    (uniformly — API traffic is flatter than page traffic);
+    ``conditional_ratio`` marks that fraction of requests as revalidating
+    clients (they send ``If-None-Match`` on repeat visits), the rest as
+    cold clients that always want full bodies.
+    """
+
+    def __init__(self, urls: list[str], exponent: float = 1.1, seed: int = 0,
+                 api_paths: list[str] | None = None, api_ratio: float = 0.0,
+                 conditional_ratio: float = 1.0):
         if not urls:
             raise ValueError("need at least one URL to generate load")
+        if not 0.0 <= api_ratio <= 1.0:
+            raise ValueError("api_ratio must be within [0, 1]")
+        if not 0.0 <= conditional_ratio <= 1.0:
+            raise ValueError("conditional_ratio must be within [0, 1]")
+        if api_ratio > 0.0 and not api_paths:
+            raise ValueError("api_ratio > 0 requires api_paths")
         self.urls = list(urls)
         self.weights = zipf_weights(len(self.urls), exponent)
+        self.api_paths = list(api_paths or [])
+        self.api_ratio = api_ratio
+        self.conditional_ratio = conditional_ratio
         self.seed = seed
 
     @classmethod
     def for_app(cls, app, kinds: tuple[str, ...] = ("home", "page", "term", "taxonomy", "view"),
-                exponent: float = 1.1, seed: int = 0) -> "LoadGenerator":
+                exponent: float = 1.1, seed: int = 0,
+                api_ratio: float = 0.0,
+                conditional_ratio: float = 1.0) -> "LoadGenerator":
         """Build a profile over a :class:`~repro.serve.app.ServeApp`'s site.
 
         Popularity rank is the plan order (home page first, then the 38
@@ -104,12 +159,33 @@ class LoadGenerator:
         real traffic where the front page and famous activities dominate.
         """
         urls = [t.url for t in app.state.plan if t.kind in kinds]
-        return cls(urls, exponent=exponent, seed=seed)
+        return cls(urls, exponent=exponent, seed=seed,
+                   api_paths=list(DEFAULT_API_PATHS), api_ratio=api_ratio,
+                   conditional_ratio=conditional_ratio)
 
     def sample(self, n: int) -> list[str]:
-        """A deterministic stream of ``n`` request paths."""
+        """A deterministic stream of ``n`` request paths (pages only)."""
         rng = random.Random(self.seed)
         return rng.choices(self.urls, weights=self.weights, k=n)
+
+    def sample_requests(self, n: int) -> list[LoadRequest]:
+        """A deterministic mixed stream of ``n`` :class:`LoadRequest`.
+
+        Pages follow the Zipf weights; the ``api_ratio`` slice samples the
+        API population uniformly; each request is independently marked
+        conditional with probability ``conditional_ratio``.
+        """
+        rng = random.Random(self.seed)
+        requests = []
+        for _ in range(n):
+            if self.api_paths and rng.random() < self.api_ratio:
+                path = rng.choice(self.api_paths)
+            else:
+                path = rng.choices(self.urls, weights=self.weights, k=1)[0]
+            requests.append(
+                LoadRequest(path, conditional=rng.random() < self.conditional_ratio)
+            )
+        return requests
 
 
 @dataclass
@@ -120,8 +196,11 @@ class LoadReport:
     statuses: dict[int, int] = field(default_factory=dict)
     cache_hits: int = 0                  # responses served from the page cache
     revalidations: int = 0               # 304 Not Modified responses
+    api_requests: int = 0                # requests whose path was /api/*
     bytes_received: int = 0
     duration_s: float = 0.0
+    clients: int = 1
+    latencies_s: list[float] = field(default_factory=list, repr=False)
 
     @property
     def requests_per_s(self) -> float:
@@ -131,31 +210,153 @@ class LoadReport:
     def ok(self) -> bool:
         return all(status in (200, 304) for status in self.statuses)
 
+    def latency_percentile_ms(self, p: float) -> float:
+        """Exact order-statistic percentile over recorded latencies, in ms."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = max(0, min(len(ordered) - 1,
+                          int(-(-p / 100.0 * len(ordered) // 1)) - 1))
+        return ordered[rank] * 1e3
 
-def run_load(app, paths: list[str], revalidate: bool = True,
+    def merge(self, other: "LoadReport") -> None:
+        """Fold another client's report into this one (durations overlap)."""
+        self.requests += other.requests
+        for status, count in other.statuses.items():
+            self.statuses[status] = self.statuses.get(status, 0) + count
+        self.cache_hits += other.cache_hits
+        self.revalidations += other.revalidations
+        self.api_requests += other.api_requests
+        self.bytes_received += other.bytes_received
+        self.latencies_s.extend(other.latencies_s)
+
+
+def _as_request(item) -> LoadRequest:
+    return item if isinstance(item, LoadRequest) else LoadRequest(str(item))
+
+
+def run_load(app, paths, revalidate: bool = True,
              clock=time.perf_counter) -> LoadReport:
-    """Replay ``paths`` against ``app`` in-process.
+    """Replay ``paths`` (strings or :class:`LoadRequest`) in-process.
 
     With ``revalidate=True`` the runner behaves like a browser cache:
     it remembers the last ETag seen per URL and sends ``If-None-Match``
-    on repeats, earning 304s for unchanged pages.
+    on repeats (for requests marked conditional), earning 304s for
+    unchanged pages.
     """
     etags: dict[str, str] = {}
     report = LoadReport()
     started = clock()
-    for path in paths:
+    for item in paths:
+        request = _as_request(item)
         headers = {}
-        if revalidate and path in etags:
-            headers["If-None-Match"] = etags[path]
-        response = call_app(app, path, headers=headers)
-        report.requests += 1
-        report.statuses[response.status] = report.statuses.get(response.status, 0) + 1
-        report.bytes_received += len(response.body)
-        if response.status == 304:
-            report.revalidations += 1
-        if response.etag:
-            etags[path] = response.etag
-        if response.headers.get("X-Cache") == "hit":
-            report.cache_hits += 1
+        if revalidate and request.conditional and request.path in etags:
+            headers["If-None-Match"] = etags[request.path]
+        issued = clock()
+        response = call_app(app, request.path, headers=headers)
+        report.latencies_s.append(clock() - issued)
+        _tally(report, request, response.status, response.etag,
+               len(response.body), etags,
+               cache_status=response.headers.get("X-Cache"))
     report.duration_s = clock() - started
     return report
+
+
+def _tally(report: LoadReport, request: LoadRequest, status: int,
+           etag: str | None, body_len: int, etags: dict[str, str],
+           cache_status: str | None = None) -> None:
+    report.requests += 1
+    report.statuses[status] = report.statuses.get(status, 0) + 1
+    report.bytes_received += body_len
+    if request.path.startswith("/api/"):
+        report.api_requests += 1
+    if status == 304:
+        report.revalidations += 1
+    if cache_status == "hit":
+        report.cache_hits += 1
+    if etag:
+        etags[request.path] = etag
+
+
+def run_load_concurrent(app, paths, clients: int = 4, revalidate: bool = True,
+                        clock=time.perf_counter) -> LoadReport:
+    """Replay ``paths`` from ``clients`` concurrent threads, in-process.
+
+    The stream is dealt round-robin; each client keeps its own ETag
+    memory (independent browsers).  The merged report's ``duration_s`` is
+    wall-clock across all clients, so ``requests_per_s`` measures
+    aggregate concurrent throughput.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    requests = [_as_request(p) for p in paths]
+    slices = [requests[i::clients] for i in range(clients)]
+    reports = [LoadReport() for _ in range(clients)]
+
+    def client(i: int) -> None:
+        reports[i] = run_load(app, slices[i], revalidate=revalidate, clock=clock)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    started = clock()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    merged = LoadReport(clients=clients)
+    for report in reports:
+        merged.merge(report)
+    merged.duration_s = clock() - started
+    return merged
+
+
+def run_load_http(base_url: str, paths, clients: int = 1,
+                  revalidate: bool = True, timeout_s: float = 10.0,
+                  clock=time.perf_counter) -> LoadReport:
+    """Replay ``paths`` over real sockets against ``base_url``.
+
+    ``base_url`` is ``http://host:port``; each client thread opens its own
+    connections, so against a multi-worker server the requests are
+    genuinely concurrent on the wire.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    host_port = base_url.split("//", 1)[-1].rstrip("/")
+    host, _, port_text = host_port.partition(":")
+    port = int(port_text or 80)
+    requests = [_as_request(p) for p in paths]
+    slices = [requests[i::clients] for i in range(clients)]
+    reports = [LoadReport() for _ in range(clients)]
+
+    def client(i: int) -> None:
+        etags: dict[str, str] = {}
+        report = reports[i]
+        for request in slices[i]:
+            headers = {}
+            if revalidate and request.conditional and request.path in etags:
+                headers["If-None-Match"] = etags[request.path]
+            issued = clock()
+            conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+            try:
+                conn.request("GET", request.path, headers=headers)
+                response = conn.getresponse()
+                body = response.read()
+                status = response.status
+                etag = response.getheader("ETag")
+                cache_status = response.getheader("X-Cache")
+            finally:
+                conn.close()
+            report.latencies_s.append(clock() - issued)
+            _tally(report, request, status, etag, len(body), etags,
+                   cache_status=cache_status)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    started = clock()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    merged = LoadReport(clients=clients)
+    for report in reports:
+        merged.merge(report)
+    merged.duration_s = clock() - started
+    return merged

@@ -1,9 +1,16 @@
 """Request metrics for the serving layer.
 
 Per-route request counters, status-class tallies, and fixed-bucket latency
-histograms with percentile estimation (p50/p95/p99), plus cache hit-ratio
-counters — everything ``/api/metrics`` reports.  Pure stdlib, thread-safe,
-and deterministic given a request sequence.
+histograms with percentile estimation (p50/p95/p99/p99.9), plus cache
+hit-ratio counters — everything ``/api/metrics`` reports.  Pure stdlib,
+thread-safe, and deterministic given a request sequence.
+
+Locking is striped for the multi-worker server: the registry mutex only
+guards the route table and the global counters, while each
+:class:`RouteStats` carries its own mutex for its counters and histogram.
+Two workers recording requests for *different* routes therefore never
+contend on a shared lock — the same striping idea as the sharded page
+cache.
 
 The histogram is the classic Prometheus-style cumulative-bucket design:
 log-spaced upper bounds, percentiles estimated by linear interpolation
@@ -28,7 +35,11 @@ DEFAULT_BUCKETS_S: tuple[float, ...] = (
 
 
 class LatencyHistogram:
-    """Fixed-bucket latency histogram with interpolated percentiles."""
+    """Fixed-bucket latency histogram with interpolated percentiles.
+
+    Not internally synchronized: the owning :class:`RouteStats` serializes
+    writes under its own mutex.
+    """
 
     def __init__(self, buckets_s: tuple[float, ...] = DEFAULT_BUCKETS_S):
         self.bounds = tuple(sorted(buckets_s))
@@ -85,32 +96,41 @@ class LatencyHistogram:
             "p50_ms": round(self.percentile(50) * 1e3, 4),
             "p95_ms": round(self.percentile(95) * 1e3, 4),
             "p99_ms": round(self.percentile(99) * 1e3, 4),
+            "p999_ms": round(self.percentile(99.9) * 1e3, 4),
         }
 
 
 @dataclass
 class RouteStats:
-    """Counters for one route pattern (e.g. ``/activities/<slug>/``)."""
+    """Counters for one route pattern (e.g. ``/activities/<slug>/``).
+
+    Carries its own mutex so concurrent workers recording different
+    routes never share a lock.
+    """
 
     requests: int = 0
     errors: int = 0                         # responses with status >= 400
     statuses: Counter = field(default_factory=Counter)
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
 
     def record(self, status: int, elapsed_s: float) -> None:
-        self.requests += 1
-        self.statuses[status] += 1
-        if status >= 400:
-            self.errors += 1
-        self.latency.observe(elapsed_s)
+        with self._lock:
+            self.requests += 1
+            self.statuses[status] += 1
+            if status >= 400:
+                self.errors += 1
+            self.latency.observe(elapsed_s)
 
     def snapshot(self) -> dict:
-        return {
-            "requests": self.requests,
-            "errors": self.errors,
-            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
-            "latency": self.latency.snapshot(),
-        }
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "errors": self.errors,
+                "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+                "latency": self.latency.snapshot(),
+            }
 
 
 class MetricsRegistry:
@@ -131,13 +151,13 @@ class MetricsRegistry:
                        cache_status: str | None = None) -> None:
         with self._lock:
             stats = self._routes.setdefault(route, RouteStats())
-            stats.record(status, elapsed_s)
             if cache_status == "hit":
                 self.cache_hits += 1
             elif cache_status == "miss":
                 self.cache_misses += 1
             if status == 304:
                 self.not_modified += 1
+        stats.record(status, elapsed_s)     # striped: per-route mutex
 
     def record_rebuild(self, files_rerendered: int) -> None:
         with self._lock:
@@ -147,13 +167,16 @@ class MetricsRegistry:
     @property
     def total_requests(self) -> int:
         with self._lock:
-            return sum(s.requests for s in self._routes.values())
+            routes = list(self._routes.values())
+        return sum(s.requests for s in routes)
 
     @property
     def cache_hit_ratio(self) -> float:
         """Hits over cacheable lookups (0.0 before any cacheable traffic)."""
-        looked_up = self.cache_hits + self.cache_misses
-        return self.cache_hits / looked_up if looked_up else 0.0
+        with self._lock:
+            hits, misses = self.cache_hits, self.cache_misses
+        looked_up = hits + misses
+        return hits / looked_up if looked_up else 0.0
 
     def route(self, pattern: str) -> RouteStats:
         with self._lock:
@@ -162,21 +185,29 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """JSON-ready view of every counter (the ``/api/metrics`` body)."""
         with self._lock:
-            return {
-                "uptime_s": round(self._clock() - self.started_at, 3),
-                "total_requests": sum(s.requests for s in self._routes.values()),
-                "routes": {
-                    pattern: stats.snapshot()
-                    for pattern, stats in sorted(self._routes.items())
-                },
-                "cache": {
-                    "hits": self.cache_hits,
-                    "misses": self.cache_misses,
-                    "hit_ratio": round(self.cache_hit_ratio, 4),
-                    "not_modified": self.not_modified,
-                },
-                "rebuilds": {
-                    "count": self.rebuilds,
-                    "files_rerendered": self.rebuild_pages,
-                },
-            }
+            routes = dict(self._routes)
+            cache_hits = self.cache_hits
+            cache_misses = self.cache_misses
+            not_modified = self.not_modified
+            rebuilds = self.rebuilds
+            rebuild_pages = self.rebuild_pages
+            uptime = self._clock() - self.started_at
+        route_snapshots = {
+            pattern: stats.snapshot() for pattern, stats in sorted(routes.items())
+        }
+        looked_up = cache_hits + cache_misses
+        return {
+            "uptime_s": round(uptime, 3),
+            "total_requests": sum(s["requests"] for s in route_snapshots.values()),
+            "routes": route_snapshots,
+            "cache": {
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_ratio": round(cache_hits / looked_up, 4) if looked_up else 0.0,
+                "not_modified": not_modified,
+            },
+            "rebuilds": {
+                "count": rebuilds,
+                "files_rerendered": rebuild_pages,
+            },
+        }

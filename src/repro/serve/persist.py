@@ -1,0 +1,130 @@
+"""On-disk spill/restore for the page cache (warm starts across restarts).
+
+A fresh server process used to cold-start at hit-ratio 0 and pay one
+render per page before the cache did anything.  :class:`CacheStore` fixes
+that: it spills cache entries (body + ETag + content type) to a cache
+directory together with the *render-plan signature* each body was rendered
+under, and on boot reloads every entry whose signature still matches the
+current plan.  Invalidation therefore reuses the exact mechanism the
+incremental rebuilder already trusts — if any input of a page changed, its
+signature changed, and the stale spill is silently dropped.
+
+Layout under ``cache_dir``::
+
+    cache-index.json          path -> {etag, content_type, signature, blob}
+    blobs/<sha>.body          content-addressed bodies (deduplicated)
+
+Bodies are content-addressed by their ETag hash, so unchanged bodies are
+written once ever; the index is rewritten atomically (tmp + rename) so a
+crash mid-save never leaves a torn index.  Corrupt or tampered blobs are
+detected on load (the ETag is recomputed from the bytes) and skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable
+
+from repro.serve.cache import make_etag
+
+__all__ = ["CacheStore"]
+
+#: ``signature_for`` callback: maps a cache key (request path, possibly with
+#: a query string) to the signature its body was rendered under, or ``None``
+#: when the key must not be persisted (e.g. volatile routes).
+SignatureFn = Callable[[str], "str | None"]
+
+_INDEX_NAME = "cache-index.json"
+_BLOB_DIR = "blobs"
+
+
+class CacheStore:
+    """Persist page-cache entries keyed by render-plan signature."""
+
+    def __init__(self, cache_dir: str | Path):
+        self.root = Path(cache_dir)
+        self.blob_dir = self.root / _BLOB_DIR
+        self.blob_dir.mkdir(parents=True, exist_ok=True)
+        self.index_path = self.root / _INDEX_NAME
+
+    # -- saving ------------------------------------------------------------
+
+    def save(self, cache, signature_for: SignatureFn) -> int:
+        """Spill every persistable entry of ``cache``; return the count.
+
+        ``cache`` is any object with an ``entries()`` snapshot method
+        (:class:`~repro.serve.cache.PageCache` or
+        :class:`~repro.serve.cache.ShardedPageCache`).
+        """
+        index: dict[str, dict] = {}
+        for entry in cache.entries():
+            signature = signature_for(entry.path)
+            if signature is None:
+                continue
+            blob = self._blob_name(entry.etag)
+            blob_path = self.blob_dir / blob
+            if not blob_path.exists():
+                blob_path.write_bytes(entry.body)
+            index[entry.path] = {
+                "etag": entry.etag,
+                "content_type": entry.content_type,
+                "signature": signature,
+                "blob": blob,
+            }
+        self._write_index(index)
+        self._collect_garbage(index)
+        return len(index)
+
+    def _write_index(self, index: dict) -> None:
+        tmp = self.index_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(index, indent=2, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, self.index_path)
+
+    def _collect_garbage(self, index: dict) -> int:
+        """Delete blobs no live index entry references."""
+        referenced = {meta["blob"] for meta in index.values()}
+        removed = 0
+        for blob_path in self.blob_dir.glob("*.body"):
+            if blob_path.name not in referenced:
+                blob_path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    # -- loading -----------------------------------------------------------
+
+    def load_index(self) -> dict[str, dict]:
+        """The persisted index, or ``{}`` when absent/corrupt."""
+        try:
+            raw = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        return raw if isinstance(raw, dict) else {}
+
+    def warm_load(self, cache, signature_for: SignatureFn) -> int:
+        """Preload ``cache`` with every entry whose signature still holds.
+
+        Returns the number of entries restored.  Entries whose signature
+        no longer matches the current render plan (the content changed
+        while the server was down), whose blob is missing, or whose bytes
+        no longer hash to the recorded ETag are skipped.
+        """
+        warmed = 0
+        for path, meta in sorted(self.load_index().items()):
+            try:
+                expected = signature_for(path)
+                if expected is None or expected != meta["signature"]:
+                    continue
+                body = (self.blob_dir / str(meta["blob"])).read_bytes()
+                if make_etag(body) != meta["etag"]:
+                    continue                      # tampered / torn blob
+                cache.put(path, body, str(meta["content_type"]))
+                warmed += 1
+            except (OSError, KeyError, TypeError):
+                continue
+        return warmed
+
+    def _blob_name(self, etag: str) -> str:
+        return etag.strip('"') + ".body"

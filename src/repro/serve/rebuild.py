@@ -10,6 +10,18 @@ bytes changed, which is what the page cache evicts.  Unchanged pages keep
 their signatures, so a subsequent ``site.build(out, incremental=True)``
 (the static-export path) re-renders only the dirty files.
 
+Incremental pieces carried across generations:
+
+* build signatures (so a static export after a refresh re-renders only
+  dirty files),
+* the search index — patched via
+  :meth:`~repro.sitegen.search.SearchIndex.patched_from_catalog` for just
+  the changed source documents instead of re-tokenizing all 38.
+
+Refreshing is safe under the multi-worker server: a non-blocking mutex
+ensures exactly one thread rebuilds while the rest keep serving the old
+generation, and the swap itself is a single attribute assignment.
+
 A broken edit (e.g. a half-saved Markdown file) never takes the server
 down: the rebuild fails closed, the previous generation keeps serving, and
 the error is reported in the rebuild result and ``/api/metrics``.
@@ -17,6 +29,8 @@ the error is reported in the rebuild result and ``/api/metrics``.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -40,22 +54,42 @@ def scan_content(content_dir: str | Path) -> dict[str, tuple[int, int]]:
 class ServerState:
     """One generation of the served corpus: catalog + site + plan + search."""
 
-    def __init__(self, catalog: Catalog, config: SiteConfig | None = None):
+    def __init__(self, catalog: Catalog, config: SiteConfig | None = None,
+                 search: SearchIndex | None = None):
         self.catalog = catalog
         self.site: Site = catalog.site(config)
-        self.search = SearchIndex.from_catalog(catalog)
+        self.search = search if search is not None else SearchIndex.from_catalog(catalog)
         self.plan: list[RenderTask] = self.site.render_plan()
         self.plan_by_url: dict[str, RenderTask] = {t.url: t for t in self.plan}
+        self._corpus_signature: str | None = None
 
     @classmethod
     def from_content_dir(cls, content_dir: str | Path,
-                         config: SiteConfig | None = None) -> "ServerState":
-        return cls(Catalog.from_directory(content_dir), config)
+                         config: SiteConfig | None = None,
+                         search: SearchIndex | None = None) -> "ServerState":
+        return cls(Catalog.from_directory(content_dir), config, search=search)
 
     @property
     def signatures(self) -> dict[str, str]:
         """URL -> render-plan signature for this generation."""
         return {task.url: task.signature for task in self.plan}
+
+    @property
+    def corpus_signature(self) -> str:
+        """One signature over the whole generation (changes iff any page does).
+
+        Responses derived from the full corpus (``/api/activities``,
+        coverage tables, search results) are persisted under this value:
+        any content change invalidates them all, which is exactly the
+        bulk-invalidate the serving layer already applies on rebuild.
+        """
+        if self._corpus_signature is None:
+            digest = hashlib.sha256()
+            for task in self.plan:
+                digest.update(task.url.encode("utf-8"))
+                digest.update(task.signature.encode("utf-8"))
+            self._corpus_signature = digest.hexdigest()[:20]
+        return self._corpus_signature
 
 
 @dataclass
@@ -64,6 +98,7 @@ class RebuildResult:
 
     changed_sources: list[str] = field(default_factory=list)
     dirty_urls: list[str] = field(default_factory=list)
+    search_patched: int = 0                # documents re-tokenized (not 38)
     duration_s: float = 0.0
     error: str | None = None
 
@@ -88,16 +123,27 @@ class RebuildManager:
         self._clock = clock
         self._fingerprint = scan_content(self.content_dir)
         self._last_check = clock()
+        self._refresh_lock = threading.Lock()
         self.state = ServerState.from_content_dir(self.content_dir, config)
         self.last_error: str | None = None
 
     def maybe_refresh(self) -> RebuildResult | None:
-        """Throttled change check: no-op within ``min_interval_s`` of the last."""
-        now = self._clock()
-        if now - self._last_check < self.min_interval_s:
+        """Throttled change check: no-op within ``min_interval_s`` of the last.
+
+        Safe to call from many worker threads: whichever thread wins the
+        (non-blocking) refresh mutex does the work, the rest return
+        immediately and keep serving the current generation.
+        """
+        if not self._refresh_lock.acquire(blocking=False):
             return None
-        self._last_check = now
-        return self.refresh()
+        try:
+            now = self._clock()
+            if now - self._last_check < self.min_interval_s:
+                return None
+            self._last_check = now
+            return self._refresh_locked()
+        finally:
+            self._refresh_lock.release()
 
     def refresh(self) -> RebuildResult | None:
         """Rescan the content dir; rebuild and diff if anything changed.
@@ -106,6 +152,10 @@ class RebuildManager:
         :class:`RebuildResult`.  On a failed rebuild (unparseable content)
         the old generation stays live and ``result.error`` is set.
         """
+        with self._refresh_lock:
+            return self._refresh_locked()
+
+    def _refresh_locked(self) -> RebuildResult | None:
         fingerprint = scan_content(self.content_dir)
         if fingerprint == self._fingerprint:
             return None
@@ -117,13 +167,19 @@ class RebuildManager:
             changed_sources=sorted({name for name, _ in changed})
         )
         self._fingerprint = fingerprint
+        # Activity document names are source-file stems; patching only these
+        # in the search index skips re-tokenizing the unchanged corpus.
+        dirty_names = {Path(name).stem for name in result.changed_sources}
         try:
-            new_state = ServerState.from_content_dir(self.content_dir, self.config)
+            catalog = Catalog.from_directory(self.content_dir)
+            search = self.state.search.patched_from_catalog(catalog, dirty_names)
+            new_state = ServerState(catalog, self.config, search=search)
         except Exception as exc:           # keep serving the old generation
             result.error = f"{type(exc).__name__}: {exc}"
             self.last_error = result.error
             result.duration_s = self._clock() - started
             return result
+        result.search_patched = len(dirty_names)
 
         old_sigs = self.state.signatures
         new_sigs = new_state.signatures

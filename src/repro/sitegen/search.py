@@ -8,6 +8,14 @@ with TF-IDF ranking over activity titles, section bodies, and tags.
 Pure Python, deterministic, no dependencies; built once per catalog and
 queried many times.  Tokenization lowercases, strips punctuation, and
 drops a small stop list; title and tag hits are boosted.
+
+The index is *patchable*: documents can be removed and re-added, and
+:meth:`SearchIndex.patched_from_catalog` produces a new index from an old
+one by re-tokenizing only a dirty subset — the serving layer's rebuild
+path uses it so a one-file content edit patches one document's postings
+instead of re-indexing the whole corpus.  The old index is never mutated
+(copy-on-patch), so in-flight queries against the previous generation
+stay consistent.
 """
 
 from __future__ import annotations
@@ -90,15 +98,68 @@ class SearchIndex:
             for token in counter:
                 self._postings.setdefault(token, set()).add(name)
 
+    def remove_document(self, name: str) -> bool:
+        """Drop ``name`` and its postings; ``False`` when it was absent."""
+        entry = self._docs.pop(name, None)
+        if entry is None:
+            return False
+        for counter in entry.field_counts.values():
+            for token in counter:
+                names = self._postings.get(token)
+                if names is None:
+                    continue
+                names.discard(name)
+                if not names:
+                    del self._postings[token]
+        return True
+
+    def update_document(self, name: str, title: str, body: str,
+                        tags: list[str] | None = None) -> None:
+        """Replace (or insert) one document's postings in place."""
+        self.remove_document(name)
+        self.add_document(name, title, body, tags)
+
+    def index_activity(self, activity) -> None:
+        """Add one :class:`~repro.activities.schema.Activity` document."""
+        tags = (activity.cs2013 + activity.tcpp + activity.courses
+                + activity.senses + activity.medium)
+        body = "\n".join(activity.sections.values())
+        self.add_document(activity.name, activity.title, body, tags)
+
     @classmethod
     def from_catalog(cls, catalog) -> "SearchIndex":
         """Index a :class:`~repro.activities.catalog.Catalog`."""
         index = cls()
         for activity in catalog:
-            tags = (activity.cs2013 + activity.tcpp + activity.courses
-                    + activity.senses + activity.medium)
-            body = "\n".join(activity.sections.values())
-            index.add_document(activity.name, activity.title, body, tags)
+            index.index_activity(activity)
+        return index
+
+    def copy(self) -> "SearchIndex":
+        """Independent copy (documents are shared, postings are not).
+
+        ``_DocEntry`` instances are treated as immutable after insertion,
+        so sharing them is safe; posting sets are mutated by patching and
+        therefore deep-copied.
+        """
+        clone = type(self)()
+        clone._docs = dict(self._docs)
+        clone._postings = {token: set(names) for token, names in self._postings.items()}
+        return clone
+
+    def patched_from_catalog(self, catalog, dirty_names) -> "SearchIndex":
+        """A new index for ``catalog``, re-tokenizing only ``dirty_names``.
+
+        Every name in ``dirty_names`` is dropped from a copy of this index
+        and re-added from the catalog when still present (covers edits,
+        additions, and deletions in one pass).  The result is
+        token-for-token identical to ``from_catalog(catalog)`` as long as
+        ``dirty_names`` covers every changed document.
+        """
+        index = self.copy()
+        for name in sorted(set(dirty_names)):
+            index.remove_document(name)
+            if name in catalog:
+                index.index_activity(catalog.get(name))
         return index
 
     # -- queries --------------------------------------------------------------------

@@ -70,3 +70,81 @@ class TestMetricsRegistry:
 
     def test_hit_ratio_zero_without_traffic(self):
         assert MetricsRegistry().cache_hit_ratio == 0.0
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        """Regression for the --workers mode: N threads hammer the registry
+        across shared and distinct routes; every count must survive."""
+        import threading
+
+        from repro.serve.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        threads_n, per_thread = 8, 500
+
+        def worker(i):
+            for k in range(per_thread):
+                route = f"route-{k % 4}"          # 4 routes shared by all
+                status = 200 if k % 10 else 404
+                cache_status = ("hit", "miss", None)[k % 3]
+                registry.record_request(route, status, 0.001 * (k % 7),
+                                        cache_status)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+
+        total = threads_n * per_thread
+        snapshot = registry.snapshot()
+        assert snapshot["total_requests"] == total
+        assert registry.total_requests == total
+        per_route = total // 4
+        for route, stats in snapshot["routes"].items():
+            assert stats["requests"] == per_route, route
+            assert stats["latency"]["count"] == per_route
+            assert sum(stats["statuses"].values()) == per_route
+        hits = snapshot["cache"]["hits"]
+        misses = snapshot["cache"]["misses"]
+        # per thread: k%3==0 -> hit (167 of 500), k%3==1 -> miss (167)
+        assert hits == threads_n * len([k for k in range(per_thread) if k % 3 == 0])
+        assert misses == threads_n * len([k for k in range(per_thread) if k % 3 == 1])
+
+    def test_concurrent_rebuild_and_request_recording(self):
+        import threading
+
+        from repro.serve.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(clock=lambda: 0.0)
+
+        def requests():
+            for _ in range(300):
+                registry.record_request("/", 200, 0.001, "hit")
+
+        def rebuilds():
+            for _ in range(300):
+                registry.record_rebuild(2)
+
+        threads = [threading.Thread(target=requests),
+                   threading.Thread(target=rebuilds)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        snapshot = registry.snapshot()
+        assert snapshot["rebuilds"]["count"] == 300
+        assert snapshot["rebuilds"]["files_rerendered"] == 600
+        assert snapshot["cache"]["hits"] == 300
+
+    def test_p999_reported_and_ordered(self):
+        from repro.serve.metrics import LatencyHistogram
+
+        hist = LatencyHistogram()
+        for i in range(1000):
+            hist.observe(0.001 if i < 999 else 1.0)
+        snap = hist.snapshot()
+        assert snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"] <= snap["p999_ms"]
+        assert snap["p999_ms"] > snap["p99_ms"]

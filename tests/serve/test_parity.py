@@ -1,0 +1,75 @@
+"""Static-export ↔ serve parity: the on-demand rendered bytes must match
+``Site.build()`` output file-for-file.
+
+Both paths flow through the same render plan, so any drift (divergent
+template context, stale signature logic, encoding differences) shows up
+here as a byte mismatch on a named URL.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import create_app
+from repro.serve.loadgen import call_app
+
+
+@pytest.fixture(scope="module")
+def app():
+    return create_app(watch=False)
+
+
+@pytest.fixture(scope="module")
+def built_site(app, tmp_path_factory):
+    out = tmp_path_factory.mktemp("site")
+    stats = app.state.site.build(out, jobs=4)
+    return out, stats
+
+
+class TestParity:
+    def test_every_planned_file_served_byte_identical(self, app, built_site):
+        out, _ = built_site
+        mismatched = []
+        for task in app.state.plan:
+            exported = (out / task.rel_path).read_bytes()
+            served = call_app(app, task.url)
+            assert served.status == 200, task.url
+            if served.body != exported:
+                mismatched.append(task.url)
+        assert mismatched == []
+
+    def test_export_covers_exactly_the_plan(self, app, built_site):
+        out, stats = built_site
+        exported = {str(p.relative_to(out)) for p in out.rglob("*.html")}
+        planned = {task.rel_path for task in app.state.plan}
+        assert exported == planned
+        assert stats.total_files == len(planned)
+
+    def test_signatures_identify_rendered_bytes(self, app, built_site):
+        """Two tasks sharing a signature render identical bytes — the
+        invariant both the incremental build and the persistent cache key
+        off of."""
+        out, _ = built_site
+        by_signature = {}
+        for task in app.state.plan:
+            body = (out / task.rel_path).read_bytes()
+            previous = by_signature.setdefault(task.signature, body)
+            assert previous == body, task.rel_path
+
+    def test_parity_survives_cache_and_warm_start(self, tmp_path):
+        """Warm-loaded responses are the same bytes the exporter writes."""
+        from repro.serve import run_load
+
+        cache_dir = tmp_path / "cache"
+        first = create_app(watch=False, cache_dir=cache_dir)
+        urls = [task.url for task in first.state.plan[:20]]
+        run_load(first, urls, revalidate=False)
+        first.save_cache()
+
+        warm = create_app(watch=False, cache_dir=cache_dir)
+        out = tmp_path / "site"
+        warm.state.site.build(out)
+        for task in warm.state.plan[:20]:
+            served = call_app(warm, task.url)
+            assert served.headers.get("X-Cache") == "hit", task.url
+            assert served.body == (out / task.rel_path).read_bytes()

@@ -1,0 +1,142 @@
+"""CacheStore tests: spill/warm-load round trips, signature invalidation,
+corruption handling, and blob garbage collection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import create_app, run_load
+from repro.serve.cache import PageCache, ShardedPageCache, make_etag
+from repro.serve.loadgen import LoadGenerator
+from repro.serve.persist import CacheStore
+
+
+def constant_signature(path):
+    return "sig-v1"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cache_cls", [PageCache, ShardedPageCache])
+    def test_save_then_load_restores_entries(self, tmp_path, cache_cls):
+        store = CacheStore(tmp_path)
+        cache = cache_cls(capacity=16)
+        cache.put("/a/", b"alpha")
+        cache.put("/b/", b"beta", content_type="application/json")
+        assert store.save(cache, constant_signature) == 2
+
+        fresh = cache_cls(capacity=16)
+        assert store.warm_load(fresh, constant_signature) == 2
+        entry = fresh.get("/b/")
+        assert entry.body == b"beta"
+        assert entry.content_type == "application/json"
+        assert entry.etag == make_etag(b"beta")
+
+    def test_changed_signature_drops_entry(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cache = PageCache(capacity=8)
+        cache.put("/a/", b"alpha")
+        cache.put("/b/", b"beta")
+        store.save(cache, constant_signature)
+
+        def moved_on(path):
+            return "sig-v2" if path == "/a/" else "sig-v1"
+
+        fresh = PageCache(capacity=8)
+        assert store.warm_load(fresh, moved_on) == 1
+        assert "/a/" not in fresh
+        assert "/b/" in fresh
+
+    def test_unpersistable_paths_skipped(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cache = PageCache(capacity=8)
+        cache.put("/a/", b"alpha")
+        cache.put("/volatile/", b"now")
+        saved = store.save(
+            cache, lambda path: "sig" if path == "/a/" else None)
+        assert saved == 1
+        assert "/volatile/" not in store.load_index()
+
+
+class TestResilience:
+    def test_missing_dir_contents_load_empty(self, tmp_path):
+        store = CacheStore(tmp_path / "never-saved")
+        assert store.warm_load(PageCache(4), constant_signature) == 0
+
+    def test_corrupt_index_ignored(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.index_path.write_text("{not json", encoding="utf-8")
+        assert store.load_index() == {}
+        assert store.warm_load(PageCache(4), constant_signature) == 0
+
+    def test_tampered_blob_skipped(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cache = PageCache(capacity=4)
+        cache.put("/a/", b"alpha")
+        store.save(cache, constant_signature)
+        blob = next(store.blob_dir.glob("*.body"))
+        blob.write_bytes(b"tampered bytes")
+
+        fresh = PageCache(capacity=4)
+        assert store.warm_load(fresh, constant_signature) == 0
+        assert "/a/" not in fresh
+
+    def test_index_written_atomically(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cache = PageCache(capacity=4)
+        cache.put("/a/", b"alpha")
+        store.save(cache, constant_signature)
+        assert not store.index_path.with_suffix(".tmp").exists()
+        json.loads(store.index_path.read_text(encoding="utf-8"))
+
+    def test_stale_blobs_garbage_collected(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cache = PageCache(capacity=4)
+        cache.put("/a/", b"version one")
+        store.save(cache, constant_signature)
+        cache.put("/a/", b"version two")
+        store.save(cache, constant_signature)
+        blobs = list(store.blob_dir.glob("*.body"))
+        assert len(blobs) == 1
+        assert blobs[0].read_bytes() == b"version two"
+
+
+class TestServeIntegration:
+    def test_cold_app_has_zero_hit_ratio_warm_app_does_not(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = create_app(watch=False, cache_dir=cache_dir)
+        assert cold.warm_loaded == 0
+        stream = LoadGenerator.for_app(cold, seed=21).sample(120)
+        run_load(cold, stream, revalidate=False)
+        assert cold.save_cache() > 0
+
+        warm = create_app(watch=False, cache_dir=cache_dir)
+        assert warm.warm_loaded > 0
+        report = run_load(warm, stream, revalidate=False)
+        assert report.cache_hits == report.requests   # every request hot
+
+    def test_content_edit_while_down_invalidates_spill(self, tmp_path):
+        import shutil
+
+        from repro.activities.catalog import corpus_dir
+
+        content = tmp_path / "content"
+        shutil.copytree(corpus_dir(), content)
+        cache_dir = tmp_path / "cache"
+
+        first = create_app(content_dir=content, watch=False,
+                           cache_dir=cache_dir)
+        run_load(first, ["/activities/gardeners/", "/senses/"],
+                 revalidate=False)
+        first.save_cache()
+
+        page = content / "gardeners.md"
+        page.write_text(page.read_text(encoding="utf-8") + "\nChanged.\n",
+                        encoding="utf-8")
+
+        second = create_app(content_dir=content, watch=False,
+                            cache_dir=cache_dir)
+        # the edited page is stale, the untouched listing page reloads
+        assert "/activities/gardeners/" not in second.cache
+        assert "/senses/" in second.cache

@@ -157,3 +157,63 @@ class TestAppIntegration:
                             headers={"If-None-Match": first.etag})
         assert response.status == 200                    # content changed
         assert response.etag != first.etag
+
+
+class TestIncrementalSearchPatch:
+    def test_refresh_patches_instead_of_rebuilding(self, content):
+        manager = RebuildManager(content, min_interval_s=0.0)
+        old_index = manager.state.search
+        touch_append(content / "gardeners.md",
+                     "\nA sentence about xylophones.\n")
+        result = manager.refresh()
+        assert result is not None and result.ok
+        assert result.search_patched == 1
+        assert manager.state.search is not old_index
+
+    def test_patched_index_matches_fresh_index(self, content):
+        from repro.sitegen.search import SearchIndex
+
+        manager = RebuildManager(content, min_interval_s=0.0)
+        touch_append(content / "gardeners.md",
+                     "\nA sentence about xylophones.\n")
+        manager.refresh()
+
+        patched = manager.state.search
+        scratch = SearchIndex.from_catalog(manager.state.catalog)
+        assert len(patched) == len(scratch)
+        for query in ("xylophones", "cards", "parallel", "sort"):
+            assert (
+                [(h.name, round(h.score, 9)) for h in patched.search(query)]
+                == [(h.name, round(h.score, 9)) for h in scratch.search(query)]
+            ), query
+
+    def test_old_generation_index_not_mutated(self, content):
+        manager = RebuildManager(content, min_interval_s=0.0)
+        old_index = manager.state.search
+        assert old_index.search("xylophones") == []
+        touch_append(content / "gardeners.md",
+                     "\nA sentence about xylophones.\n")
+        manager.refresh()
+        assert old_index.search("xylophones") == []      # copy-on-patch
+        assert manager.state.search.search("xylophones")
+
+    def test_removed_source_leaves_search(self, content):
+        manager = RebuildManager(content, min_interval_s=0.0)
+        (content / "gardeners.md").unlink()
+        result = manager.refresh()
+        assert result is not None and result.ok
+        assert result.search_patched == 1
+        names = {h.name for h in manager.state.search.search("gardeners")}
+        assert "gardeners" not in names     # other docs may cite the word
+
+    def test_search_api_reflects_patch(self, content):
+        app = create_app(content_dir=content, watch=True,
+                         watch_interval_s=0.0)
+        touch_append(content / "gardeners.md",
+                     "\nA sentence about xylophones.\n")
+        response = call_app(app, "/api/search?q=xylophones")
+        assert response.status == 200
+        import json as _json
+
+        payload = _json.loads(response.body)
+        assert [h["name"] for h in payload["hits"]] == ["gardeners"]

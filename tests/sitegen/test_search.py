@@ -98,3 +98,113 @@ class TestCorpusSearch:
     def test_amdahl_query(self, index):
         hits = index.search("amdahl plateau road")
         assert hits[0].name == "roadtripamdahl"
+
+
+class TestIncrementalIndex:
+    @pytest.fixture()
+    def index(self):
+        idx = SearchIndex()
+        idx.add_document("sorting", "Card Sorting", "students sort decks of cards",
+                         tags=["TCPP_Algorithms"])
+        idx.add_document("racing", "Race Condition", "two robots race over sugar",
+                         tags=["PD_CommunicationAndCoordination"])
+        return idx
+
+    def test_remove_document_drops_postings(self, index):
+        assert index.remove_document("racing")
+        assert len(index) == 1
+        assert index.search("sugar robots") == []
+        assert index.search("cards")            # unaffected doc still found
+
+    def test_remove_missing_is_false(self, index):
+        assert not index.remove_document("nope")
+
+    def test_remove_keeps_shared_tokens(self, index):
+        index.add_document("sorting2", "More Sorting", "sort sort sort")
+        index.remove_document("sorting2")
+        assert index.search("sorting")          # token survives for first doc
+
+    def test_update_document_replaces_postings(self, index):
+        index.update_document("racing", "Race Condition",
+                              "now about bicycles", tags=[])
+        assert index.search("sugar") == []
+        hits = index.search("bicycles")
+        assert [h.name for h in hits] == ["racing"]
+
+    def test_update_can_insert_new(self, index):
+        index.update_document("fresh", "Fresh Doc", "entirely new words")
+        assert [h.name for h in index.search("entirely")] == ["fresh"]
+
+    def test_copy_is_independent(self, index):
+        clone = index.copy()
+        clone.remove_document("racing")
+        assert len(index) == 2 and len(clone) == 1
+        assert index.search("sugar")            # original postings untouched
+
+
+class TestPatchedFromCatalog:
+    def _results(self, idx, queries=("cards", "deadlock", "parallel",
+                                    "message", "sort")):
+        return {
+            q: [(h.name, round(h.score, 9), h.matched_terms)
+                for h in idx.search(q, limit=50)]
+            for q in queries
+        }
+
+    def test_patch_equals_full_rebuild_after_edit(self, tmp_path):
+        import shutil
+
+        from repro.activities.catalog import Catalog, corpus_dir
+
+        content = tmp_path / "content"
+        shutil.copytree(corpus_dir(), content)
+        old_catalog = Catalog.from_directory(content)
+        old_index = SearchIndex.from_catalog(old_catalog)
+
+        page = content / "gardeners.md"
+        page.write_text(page.read_text(encoding="utf-8")
+                        + "\nNew flowerbed deadlock discussion.\n",
+                        encoding="utf-8")
+        (content / "findsmallestcard.md").unlink()
+
+        new_catalog = Catalog.from_directory(content)
+        patched = old_index.patched_from_catalog(
+            new_catalog, {"gardeners", "findsmallestcard"})
+        scratch = SearchIndex.from_catalog(new_catalog)
+
+        assert len(patched) == len(scratch)
+        assert self._results(patched) == self._results(scratch)
+        assert [h.name for h in patched.search("flowerbed")] == ["gardeners"]
+
+    def test_patch_handles_added_document(self, tmp_path):
+        import shutil
+
+        from repro.activities.catalog import Catalog, corpus_dir
+
+        content = tmp_path / "content"
+        shutil.copytree(corpus_dir(), content)
+        old_index = SearchIndex.from_catalog(Catalog.from_directory(content))
+
+        source = (content / "gardeners.md").read_text(encoding="utf-8")
+        (content / "zzznew.md").write_text(
+            source.replace("title: ", "title: Zzz ", 1), encoding="utf-8")
+        new_catalog = Catalog.from_directory(content)
+        patched = old_index.patched_from_catalog(new_catalog, {"zzznew"})
+        scratch = SearchIndex.from_catalog(new_catalog)
+        assert len(patched) == len(scratch)
+        assert self._results(patched) == self._results(scratch)
+
+    def test_patch_does_not_mutate_original(self, tmp_path):
+        import shutil
+
+        from repro.activities.catalog import Catalog, corpus_dir
+
+        content = tmp_path / "content"
+        shutil.copytree(corpus_dir(), content)
+        catalog = Catalog.from_directory(content)
+        index = SearchIndex.from_catalog(catalog)
+        before = self._results(index)
+        (content / "gardeners.md").unlink()
+        index.patched_from_catalog(Catalog.from_directory(content),
+                                   {"gardeners"})
+        assert self._results(index) == before
