@@ -15,7 +15,8 @@ from repro.activities.schema import Activity
 from repro.errors import ActivityError
 from repro.sitegen import frontmatter
 
-__all__ = ["parse_activity", "parse_activity_file", "split_sections"]
+__all__ = ["parse_activity", "parse_activity_file", "split_sections",
+           "split_sections_with_spans"]
 
 _LIST_KEYS = ("cs2013", "tcpp", "courses", "senses",
               "cs2013details", "tcppdetails", "medium")
@@ -29,7 +30,20 @@ def split_sections(body: str) -> dict[str, str]:
     returned with surrounding blank lines trimmed but internal formatting
     untouched.
     """
+    return split_sections_with_spans(body)[0]
+
+
+def split_sections_with_spans(
+    body: str, line_offset: int = 0
+) -> tuple[dict[str, str], dict[str, int]]:
+    """:func:`split_sections` plus the source line of each ``##`` heading.
+
+    ``line_offset`` is added to every reported line (heading spans and
+    :class:`~repro.errors.ActivityError` positions) so a body extracted
+    from below a front-matter header yields document-absolute lines.
+    """
     sections: dict[str, str] = {}
+    spans: dict[str, int] = {}
     current: str | None = None
     buffer: list[str] = []
 
@@ -44,24 +58,28 @@ def split_sections(body: str) -> dict[str, str]:
             sections[current] = "\n".join(lines).strip("\n")
         buffer = []
 
-    for line in body.split("\n"):
+    for lineno, line in enumerate(body.split("\n"), start=1 + line_offset):
         stripped = line.strip()
         if stripped.startswith("## ") and not stripped.startswith("###"):
             flush()
             heading = stripped[3:].strip()
             if heading in sections:
-                raise ActivityError(f"duplicate section {heading!r}")
+                raise ActivityError(
+                    f"line {lineno}: duplicate section {heading!r}"
+                )
             current = heading
+            spans[heading] = lineno
             continue
         if current is None:
             if stripped and stripped not in ("---", "***", "___"):
                 raise ActivityError(
-                    f"content before first section heading: {stripped!r}"
+                    f"line {lineno}: content before first section heading: "
+                    f"{stripped!r}"
                 )
             continue
         buffer.append(line)
     flush()
-    return sections
+    return sections, spans
 
 
 def _as_list(value: object) -> list[str]:
@@ -75,19 +93,36 @@ def _as_list(value: object) -> list[str]:
 
 
 def parse_activity(name: str, text: str) -> Activity:
-    """Parse one activity document (front matter + body) by slug name."""
-    block, body = frontmatter.split_document(text)
+    """Parse one activity document (front matter + body) by slug name.
+
+    The returned activity carries document-absolute source spans (see
+    :attr:`~repro.activities.schema.Activity.spans`): one
+    :class:`~repro.sitegen.frontmatter.KeySpan` per front-matter key, plus
+    a ``"section:<name>"`` entry holding the line of each ``##`` heading.
+    """
+    block, body, block_offset, body_offset = (
+        frontmatter.split_document_with_lines(text)
+    )
     if block is None:
         raise ActivityError(f"{name}: activity file has no front matter")
-    params = frontmatter.parse(block)
+    params, key_spans = frontmatter.parse_with_spans(
+        block, line_offset=block_offset
+    )
     title = str(params.get("title", "")).strip()
     if not title:
         raise ActivityError(f"{name}: activity has no title")
+    sections, heading_lines = split_sections_with_spans(
+        body, line_offset=body_offset
+    )
+    spans: dict[str, object] = dict(key_spans)
+    for heading, lineno in heading_lines.items():
+        spans[f"section:{heading}"] = lineno
     activity = Activity(
         name=name,
         title=title,
         date=str(params.get("date", "")),
-        sections=split_sections(body),
+        sections=sections,
+        spans=spans,
         **{key: _as_list(params.get(key)) for key in _LIST_KEYS},
     )
     return activity

@@ -95,6 +95,12 @@ class Activity:
     tcppdetails: list[str] = field(default_factory=list)
     medium: list[str] = field(default_factory=list)
     sections: dict[str, str] = field(default_factory=dict)
+    #: Source spans: front-matter ``KeySpan`` per key plus the line of each
+    #: ``##`` section heading (``"section:<name>"`` keys).  Excluded from
+    #: equality so parse/write round-trips compare on content alone.
+    spans: dict[str, object] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     # -- derived properties --------------------------------------------------
 

@@ -19,6 +19,7 @@ from repro.analytics.coverage import (
     tcpp_coverage,
 )
 from repro.analytics.resources import resource_stats
+from repro.standards import normalize
 
 __all__ = ["compare_to_paper"]
 
@@ -44,18 +45,25 @@ def compare_to_paper(catalog: Catalog) -> list[str]:
         if got != want:
             diffs.append(f"Table II {row.term}: got {got}, want {want}")
 
-    counts = course_counts(catalog)
+    # Counts are folded through the shared canonicalizer (the same one the
+    # lint taxonomy rules use) so an alias or case-variant spelling in the
+    # corpus compares against the paper under its canonical name instead
+    # of silently forking the tally.
+    counts = normalize.canonicalize_counts("courses", course_counts(catalog))
     for course, want in paper.COURSE_COUNTS.items():
-        if counts[course] != want:
-            diffs.append(f"courses {course}: got {counts[course]}, want {want}")
+        if counts.get(course, 0) != want:
+            diffs.append(
+                f"courses {course}: got {counts.get(course, 0)}, want {want}")
 
     stats = accessibility_stats(catalog)
+    mediums = normalize.canonicalize_counts("medium", stats.mediums)
     for medium, want in paper.MEDIUM_COUNTS.items():
-        got = stats.mediums.get(medium, 0)
+        got = mediums.get(medium, 0)
         if got != want:
             diffs.append(f"medium {medium}: got {got}, want {want}")
+    senses = normalize.canonicalize_counts("senses", stats.senses)
     for sense, want in paper.SENSE_COUNTS.items():
-        got = stats.senses.get(sense, 0)
+        got = senses.get(sense, 0)
         if got != want:
             diffs.append(f"sense {sense}: got {got}, want {want}")
 

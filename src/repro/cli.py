@@ -10,6 +10,8 @@ Subcommands::
     pdcunplugged list                        # list corpus activities + sims
     pdcunplugged serve [--port P] [--workers N] [--cache-dir D]
                                              # live site + JSON API server
+    pdcunplugged lint [--format text|json|sarif] [--jobs N]
+                                             # static analysis (repro.lint)
 """
 
 from __future__ import annotations
@@ -87,6 +89,32 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seconds between content-change checks (incremental rebuild)")
     serve.add_argument("--no-watch", action="store_true",
                        help="never rescan the content directory")
+
+    lint = sub.add_parser(
+        "lint", help="static analysis over corpus, site, and serve code")
+    lint.add_argument("--content-dir", default=None,
+                      help="content directory (default: the packaged corpus)")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text", help="report format")
+    lint.add_argument("--jobs", type=int, default=1,
+                      help="analyze files on N threads")
+    lint.add_argument("--fail-on", choices=["info", "warning", "error"],
+                      default="error",
+                      help="exit 1 when a finding at or above this severity "
+                           "exists (default: error)")
+    lint.add_argument("--severity", action="append", default=[],
+                      metavar="RULE=LEVEL",
+                      help="override one rule's severity (repeatable)")
+    lint.add_argument("--disable", action="append", default=[],
+                      metavar="RULE", help="disable one rule (repeatable)")
+    lint.add_argument("--no-site", action="store_true",
+                      help="skip the site pass (templates, archetype, terms)")
+    lint.add_argument("--no-code", action="store_true",
+                      help="skip the code pass over repro.serve")
+    lint.add_argument("--stats", action="store_true",
+                      help="append analyzed/cached file counts to the report")
+    lint.add_argument("--output", default=None,
+                      help="write the report here instead of stdout")
     return parser
 
 
@@ -221,6 +249,9 @@ def main(argv: list[str] | None = None) -> int:
             print(render_gantt(result.trace))
         return 0 if result.all_checks_pass else 1
 
+    if args.command == "lint":
+        return _run_lint(args)
+
     if args.command == "serve":
         from repro import serve as serve_mod
 
@@ -238,6 +269,48 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     raise AssertionError("unreachable")
+
+
+def _run_lint(args) -> int:
+    """``pdcunplugged lint``: exit 0 clean, 1 findings, 2 usage error."""
+    from pathlib import Path
+
+    from repro.activities.catalog import corpus_dir
+    from repro.lint import LintConfig, LintEngine, REPORTERS, Severity
+
+    overrides = {}
+    for spec in args.severity:
+        rule_id, sep, level = spec.partition("=")
+        if not sep or not rule_id or not level:
+            print(f"--severity expects RULE=LEVEL, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            overrides[rule_id] = Severity.parse(level)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    config = LintConfig(
+        content_dir=Path(args.content_dir) if args.content_dir
+        else corpus_dir(),
+        jobs=args.jobs,
+        site=not args.no_site,
+        code=not args.no_code,
+        severity_overrides=overrides,
+        disabled=frozenset(args.disable),
+    )
+    try:
+        engine = LintEngine(config)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    result = engine.lint()
+    report = REPORTERS[args.format](result, stats=args.stats)
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
+    return result.exit_code(Severity.parse(args.fail_on))
 
 
 def _print_gaps(catalog) -> None:

@@ -1,0 +1,52 @@
+"""repro.lint — incremental, parallel static analysis for the repository.
+
+Three passes over three artifact kinds:
+
+* **content** — the activity corpus: front-matter schema, taxonomy and
+  curriculum-standards vocabularies, section structure, citations,
+  duplicate slugs/titles, internal links and anchors.
+* **site** — the scaffolding: theme templates (undefined partials and
+  variables), archetype drift against the schema, orphaned taxonomy
+  terms.
+* **code** — concurrency hygiene of :mod:`repro.serve`: unlocked writes
+  to shared state and blocking I/O under a held lock.
+
+Entry points: :class:`LintEngine` (library), ``pdcunplugged lint``
+(CLI), and ``GET /api/lint`` (serve layer).
+"""
+
+from repro.lint.diagnostics import (
+    RULES,
+    Diagnostic,
+    Rule,
+    Severity,
+    Span,
+    sort_key,
+)
+from repro.lint.engine import LintConfig, LintEngine, LintResult, LintStats
+
+# Importing the rule modules registers every rule in RULES.
+from repro.lint import rules_code, rules_content, rules_site  # noqa: F401
+from repro.lint.reporters import (
+    REPORTERS,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "LintEngine",
+    "LintResult",
+    "LintStats",
+    "REPORTERS",
+    "RULES",
+    "Rule",
+    "Severity",
+    "Span",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "sort_key",
+]

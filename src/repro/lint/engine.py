@@ -1,0 +1,254 @@
+"""The lint engine: incremental, parallel, deterministic.
+
+Incrementality uses the same content fingerprint the activity catalog and
+the serve layer's rebuild scanner key on — ``(name, mtime_ns, size)`` per
+file — so all three subsystems agree about what "changed" means.  The
+per-file cache stores *raw* diagnostics (rule-default severities) plus
+the distilled :class:`~repro.lint.document.DocumentInfo` and the file's
+suppression comments; severity overrides, disabled rules, and suppression
+filtering are applied at report time, so reconfiguring the linter never
+invalidates the cache.
+
+Corpus-scope rules (duplicate slugs, internal links, orphan terms) re-run
+on every lint over the cached ``DocumentInfo`` set — they are cheap, and
+their verdicts legitimately depend on files that did *not* change.
+
+Parallelism fans per-file analysis out over a thread pool; results are
+keyed by filename and the final report is globally sorted by
+:func:`~repro.lint.diagnostics.sort_key`, so parallel output is
+byte-identical to serial output.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.lint import rules_code, rules_content, rules_site
+from repro.lint.diagnostics import (
+    RULES,
+    Diagnostic,
+    Severity,
+    Suppressions,
+    is_suppressed,
+    python_suppressions,
+    sort_key,
+)
+from repro.lint.document import DocumentInfo, load_document
+
+__all__ = ["LintConfig", "LintStats", "LintResult", "LintEngine"]
+
+Fingerprint = tuple[str, int, int]
+
+
+def _fingerprint(path: Path) -> Fingerprint:
+    """Same scheme as ``catalog._corpus_fingerprint`` / ``rebuild.scan_content``."""
+    stat = path.stat()
+    return (path.name, stat.st_mtime_ns, stat.st_size)
+
+
+@dataclass
+class LintConfig:
+    """What to lint and how to report it."""
+
+    content_dir: Path
+    code_dir: Path | None = None         # default: repro.serve package dir
+    theme: Mapping[str, str] | None = None
+    archetype_sections: tuple[str, ...] | None = None
+    jobs: int = 1
+    content: bool = True
+    site: bool = True
+    code: bool = True
+    severity_overrides: dict[str, Severity] = field(default_factory=dict)
+    disabled: frozenset[str] = frozenset()
+
+    def validate(self) -> None:
+        unknown = (set(self.severity_overrides) | set(self.disabled)) - set(RULES)
+        if unknown:
+            raise ValueError(
+                f"unknown lint rule(s): {', '.join(sorted(unknown))}")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+
+@dataclass
+class LintStats:
+    """Where the work went — proves incrementality in tests and --stats."""
+
+    files_total: int = 0
+    files_analyzed: int = 0              # parsed / AST-visited this run
+    files_cached: int = 0                # served from the fingerprint cache
+
+
+@dataclass
+class LintResult:
+    """One lint run's report."""
+
+    diagnostics: list[Diagnostic]
+    stats: LintStats
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {s.value: self.count(s) for s in Severity}
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        worst = max((d.severity.rank for d in self.diagnostics), default=-1)
+        return 1 if worst >= fail_on.rank else 0
+
+
+#: Cache rows: fingerprint -> (raw per-file diagnostics, info, suppressions).
+_ContentRow = tuple[Fingerprint, tuple[Diagnostic, ...], DocumentInfo,
+                    Suppressions]
+_CodeRow = tuple[Fingerprint, tuple[Diagnostic, ...], Suppressions]
+
+
+class LintEngine:
+    """Reusable incremental linter; one instance per corpus."""
+
+    def __init__(self, config: LintConfig):
+        config.validate()
+        self.config = config
+        self._lock = threading.Lock()    # serializes lint(); caches below
+        self._content_cache: dict[str, _ContentRow] = {}
+        self._code_cache: dict[str, _CodeRow] = {}
+
+    # -- per-file analysis (cache-aware) ------------------------------------
+
+    def _analyze_content(self, path: Path) -> tuple[_ContentRow, bool]:
+        key = str(path)
+        fingerprint = _fingerprint(path)
+        cached = self._content_cache.get(key)
+        if cached is not None and cached[0] == fingerprint:
+            return cached, True
+        doc = load_document(path)
+        row: _ContentRow = (fingerprint,
+                            tuple(rules_content.run_per_file(doc)),
+                            doc.info, doc.suppressions)
+        self._content_cache[key] = row
+        return row, False
+
+    def _analyze_code(self, path: Path) -> tuple[_CodeRow, bool]:
+        key = str(path)
+        fingerprint = _fingerprint(path)
+        cached = self._code_cache.get(key)
+        if cached is not None and cached[0] == fingerprint:
+            return cached, True
+        source = path.read_text(encoding="utf-8")
+        row: _CodeRow = (fingerprint,
+                         tuple(rules_code.analyze_source(key, source)),
+                         python_suppressions(source))
+        self._code_cache[key] = row
+        return row, False
+
+    def _map(self, paths: list[Path], analyze, stats: LintStats,
+             jobs: int | None = None) -> list:
+        """Apply ``analyze`` over ``paths``, optionally in parallel.
+
+        Results come back ordered by input path regardless of worker
+        scheduling, and stats are tallied serially afterwards; the final
+        global sort makes parallel output byte-identical to serial output.
+        ``jobs`` overrides the configured width for passes that must not
+        fan out.
+        """
+        if jobs is None:
+            jobs = self.config.jobs
+        if jobs > 1 and len(paths) > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(analyze, paths))
+        else:
+            results = [analyze(path) for path in paths]
+        for _row, was_cached in results:
+            if was_cached:
+                stats.files_cached += 1
+            else:
+                stats.files_analyzed += 1
+        return [row for row, _was_cached in results]
+
+    # -- passes --------------------------------------------------------------
+
+    def _content_pass(self, stats: LintStats) -> list[Diagnostic]:
+        paths = sorted(Path(self.config.content_dir).glob("*.md"))
+        stats.files_total += len(paths)
+        rows = self._map(paths, self._analyze_content, stats)
+        suppressions = {row[2].file: row[3] for row in rows}
+        diagnostics: list[Diagnostic] = []
+        infos: list[DocumentInfo] = []
+        for _fp, diags, info, _supp in rows:
+            diagnostics.extend(diags)
+            infos.append(info)
+        if self.config.content:
+            diagnostics.extend(rules_content.run_corpus(infos))
+        else:
+            diagnostics = []
+        self._infos = infos
+        self._content_suppressions = suppressions
+        return diagnostics
+
+    def _site_pass(self) -> list[Diagnostic]:
+        return rules_site.run_site(
+            self._infos,
+            theme=self.config.theme,
+            archetype_sections=self.config.archetype_sections,
+        )
+
+    def _code_pass(self, stats: LintStats) -> list[Diagnostic]:
+        code_dir = self.config.code_dir
+        if code_dir is None:
+            import repro.serve as serve
+
+            code_dir = Path(serve.__file__).parent
+        paths = sorted(Path(code_dir).rglob("*.py"))
+        stats.files_total += len(paths)
+        # Serial on purpose: rules_code serializes ast.parse behind a
+        # GC-pausing guard (CPython 3.11 SystemError workaround, see
+        # rules_code._parse), so fanning the handful of serve modules over
+        # threads buys nothing.
+        rows = self._map(paths, self._analyze_code, stats, jobs=1)
+        diagnostics: list[Diagnostic] = []
+        for key, (_fp, diags, supp) in zip((str(p) for p in paths), rows):
+            self._code_suppressions[key] = supp
+            diagnostics.extend(diags)
+        return diagnostics
+
+    # -- the run -------------------------------------------------------------
+
+    def lint(self) -> LintResult:
+        """Run every enabled pass; thread-safe, incremental, deterministic."""
+        with self._lock:
+            stats = LintStats()
+            self._infos = []
+            self._content_suppressions: dict[str, Suppressions] = {}
+            self._code_suppressions: dict[str, Suppressions] = {}
+            raw: list[Diagnostic] = []
+            # The content files are always *scanned* (site rules need the
+            # DocumentInfos) even when the content pass itself is disabled.
+            raw.extend(self._content_pass(stats))
+            if self.config.site:
+                raw.extend(self._site_pass())
+            if self.config.code:
+                raw.extend(self._code_pass(stats))
+            diagnostics = self._finalize(raw)
+            return LintResult(diagnostics=diagnostics, stats=stats)
+
+    def _finalize(self, raw: Iterable[Diagnostic]) -> list[Diagnostic]:
+        """Report-time filtering: suppressions, disables, severity config."""
+        out: list[Diagnostic] = []
+        for diag in raw:
+            if diag.rule_id in self.config.disabled:
+                continue
+            suppressions = (self._content_suppressions.get(diag.file)
+                            or self._code_suppressions.get(diag.file))
+            if suppressions is not None and is_suppressed(diag, suppressions):
+                continue
+            override = self.config.severity_overrides.get(diag.rule_id)
+            if override is not None and override is not diag.severity:
+                diag = diag.with_severity(override)
+            out.append(diag)
+        out.sort(key=sort_key)
+        return out

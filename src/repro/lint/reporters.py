@@ -1,0 +1,109 @@
+"""Reporters: text for humans, JSON for tooling, SARIF for CI annotation.
+
+Every reporter takes the already-sorted diagnostics list from
+:class:`~repro.lint.engine.LintResult` and is a pure function of it, so
+text, JSON, and SARIF views of the same run always agree.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import RULES, Diagnostic, Severity
+from repro.lint.engine import LintResult
+
+__all__ = ["render_text", "render_json", "render_sarif", "REPORTERS"]
+
+#: SARIF ``level`` per severity (SARIF has no "warning vs error vs info"
+#: enum of its own beyond these three).
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def render_text(result: LintResult, stats: bool = False) -> str:
+    """``file:line:col: severity: message [rule-id]`` per finding."""
+    lines = []
+    for diag in result.diagnostics:
+        location = f"{diag.file}:{diag.span.line}:{diag.span.column}"
+        lines.append(f"{location}: {diag.severity.value}: "
+                     f"{diag.message} [{diag.rule_id}]")
+    counts = result.counts
+    summary = ", ".join(f"{counts[s.value]} {s.value}(s)" for s in Severity)
+    lines.append(summary if result.diagnostics else f"clean ({summary})")
+    if stats:
+        lines.append(
+            f"files: {result.stats.files_total} total, "
+            f"{result.stats.files_analyzed} analyzed, "
+            f"{result.stats.files_cached} cached")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult, stats: bool = False) -> str:
+    payload = {
+        "diagnostics": [diag.to_dict() for diag in result.diagnostics],
+        "counts": result.counts,
+    }
+    if stats:
+        payload["stats"] = {
+            "files_total": result.stats.files_total,
+            "files_analyzed": result.stats.files_analyzed,
+            "files_cached": result.stats.files_cached,
+        }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_result(diag: Diagnostic) -> dict:
+    return {
+        "ruleId": diag.rule_id,
+        "level": _SARIF_LEVELS[diag.severity],
+        "message": {"text": diag.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": diag.file},
+                "region": {
+                    "startLine": max(diag.span.line, 1),
+                    "startColumn": max(diag.span.column, 1),
+                },
+            },
+        }],
+    }
+
+
+def render_sarif(result: LintResult, stats: bool = False) -> str:
+    """SARIF 2.1.0; one run, one rule descriptor per registered rule."""
+    run = {
+        "tool": {
+            "driver": {
+                "name": "pdcunplugged-lint",
+                "informationUri": "https://pdcunplugged.org/",
+                "rules": [
+                    {
+                        "id": rule.id,
+                        "shortDescription": {"text": rule.description},
+                        "defaultConfiguration": {
+                            "level": _SARIF_LEVELS[rule.severity],
+                        },
+                    }
+                    for rule in sorted(RULES.values(), key=lambda r: r.id)
+                ],
+            },
+        },
+        "results": [_sarif_result(d) for d in result.diagnostics],
+    }
+    document = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [run],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+REPORTERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,301 @@
+"""Content-pass rules: per-activity and corpus-wide invariants.
+
+Per-file rules take one :class:`~repro.lint.document.ParsedDocument` and
+are safe to cache against the file's fingerprint; corpus rules take every
+document's :class:`~repro.lint.document.DocumentInfo` (cheap, already
+cached) because their verdicts depend on the whole corpus — duplicate
+slugs, duplicate titles, and internal links that must resolve against the
+full set of rendered URLs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable
+
+from repro.activities import schema
+from repro.errors import StandardsError
+from repro.lint import links
+from repro.lint.diagnostics import Diagnostic, Severity, make, rule
+from repro.lint.document import DocumentInfo, ParsedDocument
+from repro.standards import cs2013, normalize, tcpp
+
+__all__ = ["PER_FILE_RULES", "CORPUS_RULES", "run_per_file", "run_corpus"]
+
+_KNOWN_KEYS = frozenset(
+    {"title", "date"} | set(normalize.TAXONOMIES)
+)
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+
+#: Taxonomy axes validated against closed vocabularies (paper §II-B).
+_VOCAB_AXES = ("courses", "senses", "medium")
+
+#: Axes validated against the pinned curriculum standards tables.
+_STANDARDS_AXES = ("cs2013", "tcpp", "cs2013details", "tcppdetails")
+
+
+# -- rule registry -----------------------------------------------------------
+
+rule("frontmatter-schema", "content", Severity.ERROR,
+     "front matter parses and matches the activity schema")
+rule("taxonomy-unknown-term", "content", Severity.ERROR,
+     "courses/senses/medium terms come from the known vocabularies")
+rule("taxonomy-noncanonical-term", "content", Severity.WARNING,
+     "taxonomy terms use the canonical spelling, not an alias or case variant")
+rule("standards-unknown-term", "content", Severity.ERROR,
+     "cs2013/tcpp tags name real knowledge units, topic areas, and details")
+rule("standards-detail-parent", "content", Severity.ERROR,
+     "detail tags belong to a knowledge unit / topic area the activity tags")
+rule("section-structure", "content", Severity.ERROR,
+     "body sections are the Fig. 1 set, in order, with Details when required")
+rule("citation-missing", "content", Severity.WARNING,
+     "activities carry a date and at least one citation entry")
+rule("internal-link", "content", Severity.ERROR,
+     "internal links and anchors resolve to rendered pages", per_file=False)
+rule("duplicate-slug", "content", Severity.ERROR,
+     "no two activities share a URL slug", per_file=False)
+rule("duplicate-title", "content", Severity.WARNING,
+     "no two activities share a title", per_file=False)
+
+
+# -- per-file rules ----------------------------------------------------------
+
+
+def check_frontmatter_schema(doc: ParsedDocument) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    if doc.parse_error is not None:
+        out.append(make("frontmatter-schema", doc.file,
+                        doc.parse_error_line, 1, doc.parse_error))
+        return out
+    for key, value in doc.params.items():
+        if key not in _KNOWN_KEYS:
+            out.append(make("frontmatter-schema", doc.file,
+                            doc.key_line(key), doc.key_column(key),
+                            f"unknown front-matter key {key!r}"))
+        elif key in normalize.TAXONOMIES and not isinstance(
+                value, (list, str)):
+            out.append(make("frontmatter-schema", doc.file,
+                            doc.key_line(key), doc.key_column(key),
+                            f"{key} must be a list of terms, got "
+                            f"{type(value).__name__}"))
+    date = doc.params.get("date")
+    if isinstance(date, str) and date and not _DATE_RE.match(date):
+        out.append(make("frontmatter-schema", doc.file,
+                        doc.key_line("date"), doc.key_column("date"),
+                        f"date {date!r} is not ISO formatted (YYYY-MM-DD)"))
+    return out
+
+
+def _iter_terms(doc: ParsedDocument, axes: Iterable[str]):
+    """Yield (axis, index, term, line, column) for declared terms."""
+    if doc.activity is None:
+        return
+    for axis in axes:
+        for index, term in enumerate(getattr(doc.activity, axis)):
+            yield (axis, index, str(term),
+                   doc.item_line(axis, index), doc.key_column(axis))
+
+
+def check_taxonomy_terms(doc: ParsedDocument) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for axis, _idx, term, line, col in _iter_terms(doc, _VOCAB_AXES):
+        if normalize.canonical_term(axis, term) is None:
+            out.append(make("taxonomy-unknown-term", doc.file, line, col,
+                            f"unknown {axis} term {term!r}"))
+    return out
+
+
+def check_noncanonical_terms(doc: ParsedDocument) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for axis, _idx, term, line, col in _iter_terms(
+            doc, _VOCAB_AXES + _STANDARDS_AXES):
+        canonical = normalize.canonical_term(axis, term)
+        if canonical is not None and canonical != term:
+            out.append(make("taxonomy-noncanonical-term", doc.file, line, col,
+                            f"non-canonical {axis} term {term!r} "
+                            f"(use {canonical!r})"))
+    return out
+
+
+def check_standards_terms(doc: ParsedDocument) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for axis, _idx, term, line, col in _iter_terms(doc, _STANDARDS_AXES):
+        if normalize.canonical_term(axis, term) is None:
+            table = "CS2013" if axis.startswith("cs2013") else "TCPP"
+            out.append(make("standards-unknown-term", doc.file, line, col,
+                            f"{axis} term {term!r} does not exist in the "
+                            f"{table} tables"))
+    return out
+
+
+def check_detail_parents(doc: ParsedDocument) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    if doc.activity is None:
+        return out
+    tagged_units = set()
+    for term in doc.activity.cs2013:
+        try:
+            tagged_units.add(cs2013.knowledge_unit(term).abbrev)
+        except StandardsError:
+            continue
+    for axis, _idx, term, line, col in _iter_terms(doc, ("cs2013details",)):
+        try:
+            ku, _ = cs2013.outcome_for_detail_term(term)
+        except StandardsError:
+            continue                    # standards-unknown-term covers this
+        if ku.abbrev not in tagged_units:
+            out.append(make("standards-detail-parent", doc.file, line, col,
+                            f"cs2013details term {term!r} belongs to "
+                            f"{ku.term}, which this activity does not tag"))
+    tagged_areas = set()
+    for term in doc.activity.tcpp:
+        try:
+            tagged_areas.add(tcpp.topic_area(term).term)
+        except StandardsError:
+            continue
+    for axis, _idx, term, line, col in _iter_terms(doc, ("tcppdetails",)):
+        try:
+            area, _ = tcpp.topic_for_detail_term(term)
+        except StandardsError:
+            continue
+        if area.term not in tagged_areas:
+            out.append(make("standards-detail-parent", doc.file, line, col,
+                            f"tcppdetails term {term!r} belongs to "
+                            f"{area.term}, which this activity does not tag"))
+    return out
+
+
+def _section_line(doc: ParsedDocument, section: str) -> int:
+    if doc.activity is None:
+        return 1
+    line = doc.activity.spans.get(f"section:{section}")
+    return line if isinstance(line, int) else 1
+
+
+def check_section_structure(doc: ParsedDocument) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    if doc.activity is None:
+        return out
+    sections = doc.activity.sections
+    known = set(schema.SECTION_ORDER)
+    for section in sections:
+        if section not in known:
+            out.append(make("section-structure", doc.file,
+                            _section_line(doc, section), 1,
+                            f"unknown section {section!r}"))
+    order = [s for s in sections if s in known]
+    expected = [s for s in schema.SECTION_ORDER if s in sections]
+    if order != expected:
+        first_misplaced = next(
+            (got for got, want in zip(order, expected) if got != want),
+            order[0] if order else "")
+        out.append(make("section-structure", doc.file,
+                        _section_line(doc, first_misplaced), 1,
+                        f"sections out of order: expected {expected}"))
+    for required in schema.SECTION_ORDER:
+        if required == "Details":
+            continue                    # optional (paper Fig. 1)
+        if required not in sections:
+            out.append(make("section-structure", doc.file, 1, 1,
+                            f"missing section {required!r}"))
+    if (not doc.activity.has_external_resource
+            and not doc.activity.has_details):
+        out.append(make("section-structure", doc.file,
+                        _section_line(doc, "Original Author/link"), 1,
+                        "no external resource link and no Details section"))
+    return out
+
+
+def check_citations(doc: ParsedDocument) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    if doc.activity is None:
+        return out
+    if not str(doc.params.get("date", "")).strip():
+        out.append(make("citation-missing", doc.file,
+                        doc.key_line("date", doc.key_line("title")), 1,
+                        "activity has no date"))
+    if "Citations" in doc.activity.sections and not doc.activity.citations:
+        out.append(make("citation-missing", doc.file,
+                        _section_line(doc, "Citations"), 1,
+                        "Citations section has no citation entries"))
+    return out
+
+
+PER_FILE_RULES: tuple[tuple[str, Callable[[ParsedDocument], list[Diagnostic]]], ...] = (
+    ("frontmatter-schema", check_frontmatter_schema),
+    ("taxonomy-unknown-term", check_taxonomy_terms),
+    ("taxonomy-noncanonical-term", check_noncanonical_terms),
+    ("standards-unknown-term", check_standards_terms),
+    ("standards-detail-parent", check_detail_parents),
+    ("section-structure", check_section_structure),
+    ("citation-missing", check_citations),
+)
+
+
+def run_per_file(doc: ParsedDocument) -> list[Diagnostic]:
+    """Run every per-file content rule over one parsed document."""
+    out: list[Diagnostic] = []
+    for _rule_id, check in PER_FILE_RULES:
+        out.extend(check(doc))
+    return out
+
+
+# -- corpus rules ------------------------------------------------------------
+
+
+def check_internal_links(docs: list[DocumentInfo]) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for doc, ref, problem in links.check_internal_refs(docs):
+        out.append(make("internal-link", doc.file, ref.line, ref.column,
+                        problem))
+    return out
+
+
+def check_duplicate_slugs(docs: list[DocumentInfo]) -> list[Diagnostic]:
+    by_slug: dict[str, list[DocumentInfo]] = {}
+    for doc in docs:
+        by_slug.setdefault(doc.slug, []).append(doc)
+    out: list[Diagnostic] = []
+    for slug, group in by_slug.items():
+        if len(group) < 2:
+            continue
+        names = sorted(d.name for d in group)
+        for doc in group[1:]:
+            out.append(make("duplicate-slug", doc.file, doc.title_line, 1,
+                            f"slug {slug!r} is shared by activities "
+                            f"{names} (URLs collide)"))
+    return out
+
+
+def check_duplicate_titles(docs: list[DocumentInfo]) -> list[Diagnostic]:
+    by_title: dict[str, list[DocumentInfo]] = {}
+    for doc in docs:
+        title = doc.title.strip().lower()
+        if title:
+            by_title.setdefault(title, []).append(doc)
+    out: list[Diagnostic] = []
+    for _title, group in by_title.items():
+        if len(group) < 2:
+            continue
+        names = sorted(d.name for d in group)
+        for doc in group[1:]:
+            out.append(make("duplicate-title", doc.file, doc.title_line, 1,
+                            f"title {doc.title!r} is shared by activities "
+                            f"{names}"))
+    return out
+
+
+CORPUS_RULES: tuple[tuple[str, Callable[[list[DocumentInfo]], list[Diagnostic]]], ...] = (
+    ("internal-link", check_internal_links),
+    ("duplicate-slug", check_duplicate_slugs),
+    ("duplicate-title", check_duplicate_titles),
+)
+
+
+def run_corpus(docs: list[DocumentInfo]) -> list[Diagnostic]:
+    """Run every corpus-scope content rule over the document set."""
+    out: list[Diagnostic] = []
+    for _rule_id, check in CORPUS_RULES:
+        out.extend(check(docs))
+    return out

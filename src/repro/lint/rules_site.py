@@ -1,0 +1,181 @@
+"""Site-pass rules: theme templates, archetype drift, orphan terms.
+
+These rules inspect the *scaffolding* the corpus renders through rather
+than the corpus itself:
+
+* ``template-undefined-partial`` — a ``{{> name }}`` inclusion naming a
+  template the theme does not define would raise at render time; caught
+  statically instead.
+* ``template-undefined-variable`` — a variable or section path that
+  resolves to nothing against the render context its template actually
+  receives (sample contexts mirror :mod:`repro.sitegen.site`'s render
+  calls key for key).
+* ``archetype-drift`` — the ``hugo new`` template
+  (:data:`repro.sitegen.archetypes.ACTIVITY_SECTIONS`) must stay a
+  subsequence-complete match of the schema's
+  :data:`~repro.activities.schema.SECTION_ORDER`, or freshly scaffolded
+  activities fail validation out of the box.
+* ``orphan-term`` — a closed-vocabulary term (courses/senses/medium) no
+  activity declares renders as an empty listing page.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.activities import schema
+from repro.errors import TemplateError
+from repro.lint.diagnostics import Diagnostic, Severity, make, rule
+from repro.lint.document import DocumentInfo
+from repro.sitegen.site import DEFAULT_THEME
+from repro.sitegen.templates import Template, TemplateEnvironment
+from repro.standards import normalize
+
+__all__ = [
+    "run_site",
+    "check_templates",
+    "check_archetype",
+    "check_orphan_terms",
+    "SAMPLE_CONTEXTS",
+]
+
+rule("template-undefined-partial", "site", Severity.ERROR,
+     "every {{> partial }} names a template the theme defines")
+rule("template-undefined-variable", "site", Severity.WARNING,
+     "template variables resolve against their render context")
+rule("archetype-drift", "site", Severity.WARNING,
+     "the activity archetype matches the schema's section order")
+rule("orphan-term", "site", Severity.INFO,
+     "every closed-vocabulary term is used by at least one activity",
+     per_file=False)
+
+#: One representative render context per known template, mirroring the
+#: exact shapes :class:`repro.sitegen.site.Site` passes to ``env.render``.
+SAMPLE_CONTEXTS: dict[str, dict] = {
+    "base": {"title": "t", "site_title": "s", "content": "<p/>"},
+    "chips": {
+        "chips": [{"taxonomy": "courses", "term": "CS1",
+                   "color": "orange", "url": "/courses/cs1/"}],
+    },
+    "single": {
+        "page": {"title": "t"},
+        "chips": [{"taxonomy": "courses", "term": "CS1",
+                   "color": "orange", "url": "/courses/cs1/"}],
+        "html": "<p/>",
+    },
+    "list": {"heading": "h", "entries": [{"title": "t", "url": "/u/"}]},
+    "terms": {"heading": "h",
+              "terms": [{"name": "n", "url": "/u/", "count": 1}]},
+    "view": {
+        "heading": "h",
+        "groups": [{
+            "term": "t", "count": 1,
+            "entries": [{"title": "t", "url": "/u/"}],
+            "subgroups": [{"term": "s",
+                           "entries": [{"title": "t", "url": "/u/"}]}],
+        }],
+    },
+}
+
+_THEME_FILE = "<theme>"
+_ARCHETYPE_FILE = "<archetype>"
+
+
+def _tag_position(template: Template, body: str,
+                  sigils: tuple[str, ...]) -> tuple[int, int]:
+    """Source position of the first tag whose body matches."""
+    for sigil, tag_body, line, column in template.tag_positions():
+        if tag_body == body and sigil in sigils:
+            return line, column
+    return 1, 1
+
+
+def check_templates(theme: Mapping[str, str]) -> list[Diagnostic]:
+    """Template rules over one theme (name -> template source)."""
+    out: list[Diagnostic] = []
+    try:
+        env = TemplateEnvironment(theme)
+    except TemplateError as exc:
+        # A syntactically broken template is reported as an undefined-
+        # partial-severity finding: the site cannot build either way.
+        out.append(make("template-undefined-partial", _THEME_FILE, 1, 1,
+                        f"theme does not compile: {exc}"))
+        return out
+    for name in sorted(theme):
+        template = env.get(name)
+        file = f"{_THEME_FILE}:{name}"
+        for partial in template.referenced_partials():
+            if partial not in env:
+                line, col = _tag_position(template, partial, (">",))
+                out.append(make("template-undefined-partial", file, line, col,
+                                f"partial {partial!r} is not defined by "
+                                f"the theme"))
+        context = SAMPLE_CONTEXTS.get(name)
+        if context is None:
+            continue                    # custom template: no known context
+        for kind, path in template.missing_references(context, env=env):
+            if kind == "partial":
+                continue                # already reported above
+            sigils = ("", ) if kind == "variable" else ("#", "^")
+            line, col = _tag_position(template, path, sigils)
+            out.append(make("template-undefined-variable", file, line, col,
+                            f"{kind} {path!r} does not resolve in the "
+                            f"context {name!r} is rendered with"))
+    return out
+
+
+def check_archetype(sections: Iterable[str]) -> list[Diagnostic]:
+    """Archetype-drift rule over an archetype's section tuple."""
+    out: list[Diagnostic] = []
+    sections = list(sections)
+    known = set(schema.SECTION_ORDER)
+    for position, section in enumerate(sections, start=1):
+        if section not in known:
+            out.append(make("archetype-drift", _ARCHETYPE_FILE, position, 1,
+                            f"archetype section {section!r} is not in the "
+                            f"activity schema"))
+    ordered = [s for s in sections if s in known]
+    expected = [s for s in schema.SECTION_ORDER if s in sections]
+    if ordered != expected:
+        out.append(make("archetype-drift", _ARCHETYPE_FILE, 1, 1,
+                        f"archetype section order {ordered} drifted from "
+                        f"the schema order {expected}"))
+    required = [s for s in schema.SECTION_ORDER if s != "Details"]
+    for section in required:
+        if section not in sections:
+            out.append(make("archetype-drift", _ARCHETYPE_FILE, 1, 1,
+                            f"archetype is missing required section "
+                            f"{section!r}"))
+    return out
+
+
+def check_orphan_terms(docs: list[DocumentInfo]) -> list[Diagnostic]:
+    """Closed-vocabulary terms with zero tagged activities."""
+    out: list[Diagnostic] = []
+    for axis in ("courses", "senses", "medium"):
+        used = {
+            normalize.canonical_term(axis, str(term)) or str(term)
+            for doc in docs
+            for term in doc.terms_for(axis)
+        }
+        for term in sorted(normalize.vocabulary(axis)):
+            if term not in used:
+                out.append(make("orphan-term", f"<taxonomy:{axis}>", 1, 1,
+                                f"{axis} term {term!r} has no tagged "
+                                f"activities (empty listing page)"))
+    return out
+
+
+def run_site(docs: list[DocumentInfo],
+             theme: Mapping[str, str] | None = None,
+             archetype_sections: Iterable[str] | None = None,
+             ) -> list[Diagnostic]:
+    """Run the whole site pass."""
+    from repro.sitegen.archetypes import ACTIVITY_SECTIONS
+
+    out = check_templates(theme if theme is not None else DEFAULT_THEME)
+    out.extend(check_archetype(
+        archetype_sections if archetype_sections is not None
+        else ACTIVITY_SECTIONS))
+    out.extend(check_orphan_terms(docs))
+    return out

@@ -14,7 +14,9 @@ JSON query API over the same engines the paper's evaluation uses:
 * ``GET /api/simulate/<slug>?n=…&seed=…`` — run a classroom simulation,
 * ``GET /api/metrics`` — request counters, latency percentiles, cache
   hit ratio (with per-shard stats and lock wait), worker-pool gauges,
-  rebuild counters.
+  rebuild counters,
+* ``GET /api/lint`` — the :mod:`repro.lint` static-analysis report for
+  the served corpus, recomputed when the corpus generation changes.
 
 Pure stdlib (``wsgiref``), no new runtime dependencies.  Content changes
 are picked up between requests by the :class:`~repro.serve.rebuild.RebuildManager`,
@@ -31,6 +33,7 @@ server answers its first requests from cache instead of re-rendering.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from http import HTTPStatus
@@ -102,6 +105,12 @@ class ServeApp:
         self.warm_loaded = 0
         self.worker_pool: WorkerPool | None = None
         self._clock = clock
+        # /api/lint report cache: (corpus signature, rendered payload).
+        # Guarded by _lint_lock; the lint run itself happens outside it.
+        self._lint_lock = threading.Lock()
+        self._lint_engine = None
+        self._lint_payload: dict | None = None
+        self._lint_signature: str | None = None
 
     @property
     def state(self):
@@ -129,7 +138,10 @@ class ServeApp:
         """Reload persisted cache entries whose signatures still match."""
         if self.store is None or self.cache is None:
             return 0
-        self.warm_loaded = self.store.warm_load(self.cache, self.cache_signature)
+        # Boot-time only: warm_start runs before create_server exposes the
+        # app to any worker thread, so this write cannot race.
+        self.warm_loaded = self.store.warm_load(  # lint: disable=serve-unlocked-write
+            self.cache, self.cache_signature)
         return self.warm_loaded
 
     def save_cache(self) -> int:
@@ -249,6 +261,8 @@ class ServeApp:
             return self._api_simulate(path[len("/api/simulate/"):], query)
         if path == "/api/metrics":
             return self._api_metrics()
+        if path == "/api/lint":
+            return self._api_lint()
         return Response.error(404, f"unknown API route {path!r}", route="<unmatched>")
 
     def _api_cached(self, key: str, payload, route: str | None = None) -> Response:
@@ -408,6 +422,47 @@ class ServeApp:
             payload["rebuilds"]["last_error"] = self.rebuilder.last_error
         return Response.json(payload, route="/api/metrics")
 
+    def _api_lint(self) -> Response:
+        """Static-analysis report for the served corpus.
+
+        The report is recomputed only when the corpus generation changes
+        (the same ``corpus_signature`` the cacheable API responses key
+        on), so after a :class:`RebuildManager` swap the next request
+        re-lints and every one after that is served from the snapshot.
+        The lint run happens *outside* ``_lint_lock`` — the engine
+        serializes itself — so concurrent requests never queue behind a
+        full analysis just to read the cached payload.
+        """
+        route = "/api/lint"
+        signature = self.state.corpus_signature
+        with self._lint_lock:
+            if (self._lint_payload is not None
+                    and self._lint_signature == signature):
+                return Response.json(self._lint_payload, route=route)
+            engine = self._lint_engine
+        if engine is None:
+            from repro.lint import LintConfig, LintEngine
+
+            engine = LintEngine(LintConfig(
+                content_dir=self.rebuilder.content_dir, jobs=4))
+        result = engine.lint()
+        payload = {
+            "signature": signature,
+            "counts": result.counts,
+            "clean": not result.diagnostics,
+            "diagnostics": [d.to_dict() for d in result.diagnostics],
+            "stats": {
+                "files_total": result.stats.files_total,
+                "files_analyzed": result.stats.files_analyzed,
+                "files_cached": result.stats.files_cached,
+            },
+        }
+        with self._lint_lock:
+            self._lint_engine = engine
+            self._lint_payload = payload
+            self._lint_signature = signature
+        return Response.json(payload, route=route)
+
 
 # -- construction ----------------------------------------------------------
 
@@ -483,7 +538,8 @@ def run(host: str = "127.0.0.1", port: int = 8000, workers: int = 1,
     if app.warm_loaded:
         print(f"  warm start: {app.warm_loaded} cached responses reloaded")
     print(f"  API: /api/activities /api/search?q=… /api/coverage/cs2013 "
-          f"/api/coverage/tcpp /api/gaps /api/simulate/<slug> /api/metrics")
+          f"/api/coverage/tcpp /api/gaps /api/simulate/<slug> /api/metrics "
+          f"/api/lint")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -36,16 +36,20 @@ The inverse, :func:`serialize`, emits a canonical header that
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.errors import FrontMatterError
 
 __all__ = [
+    "KeySpan",
     "parse",
     "parse_value",
+    "parse_with_spans",
     "serialize",
     "serialize_value",
     "split_document",
+    "split_document_with_lines",
 ]
 
 DELIMITER = "---"
@@ -62,17 +66,46 @@ def split_document(text: str) -> tuple[str | None, str]:
     lines are not included in the returned block; the body keeps its own
     leading newline stripped (one level) so round-tripping is stable.
     """
+    block, body, _, _ = split_document_with_lines(text)
+    return block, body
+
+
+def split_document_with_lines(text: str) -> tuple[str | None, str, int, int]:
+    """:func:`split_document` plus source line positions.
+
+    Returns ``(block, body, block_offset, body_offset)`` where the offsets
+    are what must be *added* to a 1-based line number inside the block /
+    body to obtain the 1-based line number in the original document.  With
+    no front matter both offsets are 0.
+    """
     lines = text.split("\n")
     if not lines or lines[0].strip() != DELIMITER:
-        return None, text
+        return None, text, 0, 0
     for idx in range(1, len(lines)):
         if lines[idx].strip() == DELIMITER:
             block = "\n".join(lines[1:idx])
             body = "\n".join(lines[idx + 1 :])
+            body_offset = idx + 1                 # body line 1 == doc line idx+2
             if body.startswith("\n"):
                 body = body[1:]
-            return block, body
+                body_offset += 1
+            return block, body, 1, body_offset
     raise FrontMatterError("unterminated front matter: missing closing '---'", line=len(lines))
+
+
+@dataclass(frozen=True)
+class KeySpan:
+    """Source position of one parsed front-matter key.
+
+    ``line``/``column`` are 1-based and document-absolute once the caller's
+    ``line_offset`` is applied.  For list values, ``item_lines`` carries the
+    line of each element (inline-list elements all share the key line), so
+    diagnostics can point at the exact offending term.
+    """
+
+    line: int
+    column: int
+    item_lines: tuple[int, ...] = ()
 
 
 def parse(text: str) -> dict[str, Value]:
@@ -81,17 +114,33 @@ def parse(text: str) -> dict[str, Value]:
     Accepts either a whole document (leading ``---``) or a bare block; when
     given a whole document only the header is parsed.
     """
+    return parse_with_spans(text)[0]
+
+
+def parse_with_spans(
+    text: str, line_offset: int = 0
+) -> tuple[dict[str, Value], dict[str, KeySpan]]:
+    """Parse a front-matter block, also returning per-key source spans.
+
+    ``line_offset`` is added to every reported line number (spans *and*
+    :class:`~repro.errors.FrontMatterError` positions) so callers parsing
+    a block extracted from a larger document get document-absolute lines —
+    pass the ``block_offset`` from :func:`split_document_with_lines`.
+    """
     if text.lstrip("﻿").startswith(DELIMITER):
-        block, _ = split_document(text.lstrip("﻿"))
+        block, _, block_offset, _ = split_document_with_lines(text.lstrip("﻿"))
         if block is None:  # pragma: no cover - startswith guarantees a block
-            return {}
+            return {}, {}
         text = block
+        line_offset += block_offset
 
     data: dict[str, Value] = {}
+    spans: dict[str, KeySpan] = {}
     lines = _join_continuations(text.split("\n"))
     i = 0
     while i < len(lines):
         lineno, raw = lines[i]
+        lineno += line_offset
         stripped = _strip_comment(raw).strip()
         if not stripped:
             i += 1
@@ -104,17 +153,23 @@ def parse(text: str) -> dict[str, Value]:
             raise FrontMatterError(f"invalid key {key!r}", line=lineno)
         if key in data:
             raise FrontMatterError(f"duplicate key {key!r}", line=lineno)
+        column = raw.find(key) + 1
         rest = rest.strip()
         if rest:
-            data[key] = parse_value(rest, line=lineno)
+            value = parse_value(rest, line=lineno)
+            data[key] = value
+            item_lines = (lineno,) * len(value) if isinstance(value, list) else ()
+            spans[key] = KeySpan(lineno, column, item_lines)
             i += 1
             continue
         # Empty value: either a block list follows, or the value is "".
         items: list[Scalar] = []
+        item_lines_list: list[int] = []
         saw_item = False
         j = i + 1
         while j < len(lines):
             nxt_lineno, nxt = lines[j]
+            nxt_lineno += line_offset
             nxt_stripped = _strip_comment(nxt).strip()
             if not nxt_stripped:
                 j += 1
@@ -125,15 +180,18 @@ def parse(text: str) -> dict[str, Value]:
             if isinstance(item, list):
                 raise FrontMatterError("nested lists are not supported", line=nxt_lineno)
             items.append(item)
+            item_lines_list.append(nxt_lineno)
             saw_item = True
             j += 1
         if saw_item:
             data[key] = items
+            spans[key] = KeySpan(lineno, column, tuple(item_lines_list))
             i = j
         else:
             data[key] = ""
+            spans[key] = KeySpan(lineno, column)
             i += 1
-    return data
+    return data, spans
 
 
 def _join_continuations(lines: list[str]) -> list[tuple[int, str]]:

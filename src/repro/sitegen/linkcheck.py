@@ -206,3 +206,20 @@ class LinkAuditor:
         for page in pages:
             result.reports.extend(self.audit_page(page.name, page.body))
         return result
+
+    @staticmethod
+    def audit_internal(docs: Iterable) -> list[tuple[object, object, str]]:
+        """Validate internal links/anchors; ``(doc, ref, problem)`` triples.
+
+        Internal references never touch the network, so there is nothing
+        to inject here: this delegates to the single implementation in
+        :mod:`repro.lint.links` (the same one the ``internal-link`` lint
+        rule reports from), keeping the two checkers incapable of
+        disagreeing.  ``docs`` is an iterable of
+        :class:`repro.lint.document.DocumentInfo`-shaped objects.
+        """
+        # Imported lazily: repro.lint imports sitegen modules, so a
+        # module-level import here would be a cycle.
+        from repro.lint import links
+
+        return links.check_internal_refs(docs)

@@ -109,6 +109,83 @@ class Template:
             root.append(_TextNode(source[pos:]))
         return root
 
+    # -- static analysis ---------------------------------------------------
+
+    def tag_positions(self) -> list[tuple[str, str, int, int]]:
+        """Every mustache tag in source as ``(sigil, body, line, column)``.
+
+        ``sigil`` is ``""`` for plain interpolation, else one of
+        ``# ^ / > !``; positions are 1-based.  Used by the lint site pass
+        to anchor diagnostics at the offending tag.
+        """
+        out: list[tuple[str, str, int, int]] = []
+        for match in _TAG_RE.finditer(self.source):
+            line = self.source.count("\n", 0, match.start()) + 1
+            col = match.start() - self.source.rfind("\n", 0, match.start())
+            out.append((match.group(2), match.group(3).strip(), line, col))
+        return out
+
+    def referenced_partials(self) -> list[str]:
+        """Names of every ``{{> partial }}`` this template includes."""
+        names: list[str] = []
+
+        def walk(nodes: list[_Node]) -> None:
+            for node in nodes:
+                if isinstance(node, _PartialNode):
+                    names.append(node.name)
+                elif isinstance(node, _SectionNode):
+                    walk(node.children)
+
+        walk(self._nodes)
+        return names
+
+    def missing_references(
+        self, context: Any, env: "TemplateEnvironment | None" = None
+    ) -> list[tuple[str, str]]:
+        """References that do not resolve against ``context``.
+
+        Walks the node tree the way :meth:`render` does, but instead of
+        producing output records every variable or section path for which
+        :func:`_lookup` finds nothing, and every partial missing from
+        ``env`` — as ``(kind, name)`` pairs with kind one of
+        ``"variable"``, ``"section"``, ``"partial"``.  Sections binding a
+        list are descended with the first element only (enough to type-check
+        the loop body without rendering the whole site).
+        """
+        missing: list[tuple[str, str]] = []
+
+        def walk(nodes: list[_Node], scopes: list[Any]) -> None:
+            for node in nodes:
+                if isinstance(node, _VarNode):
+                    if _lookup(scopes, node.path) is None:
+                        missing.append(("variable", node.path))
+                elif isinstance(node, _PartialNode):
+                    if env is None or node.name not in env:
+                        missing.append(("partial", node.name))
+                    else:
+                        partial = env.get(node.name)
+                        walk(partial._nodes, scopes)
+                elif isinstance(node, _SectionNode):
+                    value = _lookup(scopes, node.path)
+                    if node.inverted:
+                        # Testing for absence is an inverted section's job;
+                        # an unresolved path is not suspicious here.
+                        walk(node.children, scopes)
+                        continue
+                    if value is None:
+                        missing.append(("section", node.path))
+                        continue
+                    if isinstance(value, (list, tuple)):
+                        if value:
+                            walk(node.children, scopes + [value[0]])
+                    elif isinstance(value, bool):
+                        walk(node.children, scopes)
+                    else:
+                        walk(node.children, scopes + [value])
+
+        walk(self._nodes, [context] if context is not None else [])
+        return missing
+
     # -- rendering ---------------------------------------------------------
 
     def render(self, context: Any = None, env: "TemplateEnvironment | None" = None) -> str:

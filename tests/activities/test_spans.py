@@ -1,0 +1,98 @@
+"""Source-span tracking: diagnostics must point at exact file:line."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activities.parser import parse_activity, split_sections_with_spans
+from repro.errors import FrontMatterError
+from repro.sitegen import frontmatter
+
+DOC = """\
+---
+title: "Spans"
+date: "2020-01-01"
+courses: ["CS1", "CS2"]
+senses:
+  - visual
+  - touch
+---
+
+## Overview
+
+body text
+
+## Detail notes
+
+more text
+"""
+
+
+class TestFrontMatterSpans:
+    def test_key_lines_are_document_absolute(self):
+        block, _body, block_offset, _ = frontmatter.split_document_with_lines(DOC)
+        _params, spans = frontmatter.parse_with_spans(
+            block, line_offset=block_offset)
+        assert spans["title"].line == 2
+        assert spans["date"].line == 3
+        assert spans["courses"].line == 4
+        assert spans["senses"].line == 5
+
+    def test_inline_list_items_share_the_key_line(self):
+        block, _body, offset, _ = frontmatter.split_document_with_lines(DOC)
+        _params, spans = frontmatter.parse_with_spans(block, line_offset=offset)
+        assert spans["courses"].item_lines == (4, 4)
+
+    def test_block_list_items_get_their_own_lines(self):
+        block, _body, offset, _ = frontmatter.split_document_with_lines(DOC)
+        _params, spans = frontmatter.parse_with_spans(block, line_offset=offset)
+        assert spans["senses"].item_lines == (6, 7)
+
+    def test_columns_are_one_based(self):
+        block, _body, offset, _ = frontmatter.split_document_with_lines(DOC)
+        _params, spans = frontmatter.parse_with_spans(block, line_offset=offset)
+        assert spans["title"].column == 1
+
+    def test_parse_error_carries_document_line(self):
+        bad = DOC.replace('date: "2020-01-01"', "date = nope")
+        block, _body, offset, _ = frontmatter.split_document_with_lines(bad)
+        with pytest.raises(FrontMatterError) as excinfo:
+            frontmatter.parse_with_spans(block, line_offset=offset)
+        assert excinfo.value.line == 3
+        assert "line 3" in str(excinfo.value)
+
+    def test_unterminated_front_matter_line(self):
+        bad = "---\ntitle: \"X\"\n"
+        with pytest.raises(FrontMatterError) as excinfo:
+            frontmatter.split_document_with_lines(bad)
+        assert excinfo.value.line is not None
+
+
+class TestSectionSpans:
+    def test_heading_lines(self):
+        _block, body, _bo, body_offset = frontmatter.split_document_with_lines(DOC)
+        _sections, heading_lines = split_sections_with_spans(
+            body, line_offset=body_offset)
+        assert heading_lines["Overview"] == 10
+        assert heading_lines["Detail notes"] == 14
+
+    def test_duplicate_section_error_names_the_line(self):
+        from repro.errors import ActivityError
+
+        body = "## A\n\nx\n\n## A\n\ny\n"
+        with pytest.raises(ActivityError, match="line 5"):
+            split_sections_with_spans(body)
+
+
+class TestActivitySpans:
+    def test_parse_activity_attaches_spans(self):
+        text = DOC.replace("## Overview", "## Original Author/link")
+        activity = parse_activity("spans", text)
+        assert activity.spans["title"].line == 2
+        assert activity.spans["section:Original Author/link"] == 10
+
+    def test_spans_do_not_affect_equality(self):
+        a = parse_activity("spans", DOC)
+        b = parse_activity("spans", DOC)
+        b.spans.clear()
+        assert a == b

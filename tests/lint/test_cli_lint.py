@@ -1,0 +1,77 @@
+"""``pdcunplugged lint`` through ``main(argv)``: flags and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+from tests.lint.conftest import GOOD
+
+
+def test_shipped_corpus_exits_zero(capsys):
+    assert main(["lint"]) == 0
+    assert capsys.readouterr().out.startswith("clean (")
+
+
+def test_stats_flag(capsys):
+    assert main(["lint", "--stats", "--jobs", "4"]) == 0
+    assert "analyzed" in capsys.readouterr().out
+
+
+def test_findings_fail_with_exit_one(write_corpus, capsys):
+    corpus = write_corpus(
+        good=GOOD.replace('courses: ["CS1"]', 'courses: ["CS9"]'))
+    code = main(["lint", "--content-dir", str(corpus), "--no-site",
+                 "--no-code"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "[taxonomy-unknown-term]" in out
+    assert "error:" in out
+
+
+def test_fail_on_threshold(write_corpus, capsys):
+    corpus = write_corpus(
+        good=GOOD.replace('courses: ["CS1"]', 'courses: ["k12"]'))
+    args = ["lint", "--content-dir", str(corpus), "--no-site", "--no-code"]
+    assert main(args) == 0                      # warning < error
+    capsys.readouterr()
+    assert main(args + ["--fail-on", "warning"]) == 1
+
+
+def test_disable_flag(write_corpus, capsys):
+    corpus = write_corpus(
+        good=GOOD.replace('courses: ["CS1"]', 'courses: ["CS9"]'))
+    assert main(["lint", "--content-dir", str(corpus), "--no-site",
+                 "--no-code", "--disable", "taxonomy-unknown-term"]) == 0
+
+
+def test_severity_override_flag(write_corpus, capsys):
+    corpus = write_corpus(
+        good=GOOD.replace('courses: ["CS1"]', 'courses: ["CS9"]'))
+    assert main(["lint", "--content-dir", str(corpus), "--no-site",
+                 "--no-code", "--severity",
+                 "taxonomy-unknown-term=info"]) == 0
+    assert "info:" in capsys.readouterr().out
+
+
+def test_bad_severity_spec_is_usage_error(capsys):
+    assert main(["lint", "--severity", "nonsense"]) == 2
+    assert main(["lint", "--severity", "taxonomy-unknown-term=loud"]) == 2
+    assert main(["lint", "--disable", "no-such-rule"]) == 2
+
+
+def test_json_format(capsys):
+    assert main(["lint", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["diagnostics"] == []
+
+
+def test_sarif_output_file(tmp_path, capsys):
+    out_file = tmp_path / "lint.sarif"
+    assert main(["lint", "--format", "sarif", "--output",
+                 str(out_file)]) == 0
+    assert capsys.readouterr().out == ""
+    doc = json.loads(out_file.read_text())
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"] == []

@@ -1,0 +1,75 @@
+"""Reporter formats: text, JSON, SARIF 2.1.0."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import LintConfig, LintEngine, RULES
+
+from tests.lint.conftest import GOOD
+
+
+def _result(write_corpus, text=GOOD):
+    corpus = write_corpus(good=text)
+    return LintEngine(LintConfig(content_dir=corpus, site=False,
+                                 code=False)).lint()
+
+
+BAD = GOOD.replace('courses: ["CS1"]', 'courses: ["CS9"]')
+
+
+def test_text_reporter_clean(write_corpus):
+    from repro.lint.reporters import render_text
+
+    out = render_text(_result(write_corpus))
+    assert out.startswith("clean (")
+    assert out.endswith("\n")
+
+
+def test_text_reporter_findings_and_stats(write_corpus):
+    from repro.lint.reporters import render_text
+
+    out = render_text(_result(write_corpus, BAD), stats=True)
+    line = out.splitlines()[0]
+    assert line.endswith("[taxonomy-unknown-term]")
+    assert ":6:" in line                   # courses key line
+    assert "error" in line
+    assert "files: 1 total, 1 analyzed, 0 cached" in out
+
+
+def test_json_reporter_shape(write_corpus):
+    from repro.lint.reporters import render_json
+
+    payload = json.loads(render_json(_result(write_corpus, BAD), stats=True))
+    assert payload["counts"]["error"] == 1
+    [diag] = payload["diagnostics"]
+    assert diag["rule"] == "taxonomy-unknown-term"
+    assert diag["line"] == 6
+    assert payload["stats"]["files_total"] == 1
+
+
+def test_sarif_reporter_is_valid_2_1_0(write_corpus):
+    from repro.lint.reporters import render_sarif
+
+    doc = json.loads(render_sarif(_result(write_corpus, BAD)))
+    assert doc["version"] == "2.1.0"
+    [run] = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "pdcunplugged-lint"
+    # Every registered rule ships a descriptor.
+    assert {r["id"] for r in driver["rules"]} == set(RULES)
+    [res] = run["results"]
+    assert res["ruleId"] == "taxonomy-unknown-term"
+    assert res["level"] == "error"
+    region = res["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 6
+    assert region["startColumn"] >= 1
+
+
+def test_sarif_severity_levels():
+    from repro.lint.reporters import _SARIF_LEVELS
+    from repro.lint import Severity
+
+    assert _SARIF_LEVELS[Severity.INFO] == "note"
+    assert _SARIF_LEVELS[Severity.WARNING] == "warning"
+    assert _SARIF_LEVELS[Severity.ERROR] == "error"

@@ -1,0 +1,186 @@
+"""Code-pass rules: the serve-layer concurrency conventions."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintConfig, LintEngine, Severity
+from repro.lint.rules_code import analyze_source, analyze_tree
+
+
+def _src(code: str) -> str:
+    return textwrap.dedent(code)
+
+
+def _findings(code: str, rule_id: str | None = None):
+    diags = analyze_source("<test>", _src(code))
+    if rule_id is not None:
+        diags = [d for d in diags if d.rule_id == rule_id]
+    return diags
+
+
+LOCKED_CLASS = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.hits = 0
+"""
+
+
+def test_unlocked_write_fires():
+    diags = _findings(LOCKED_CLASS + """
+        def bump(self):
+            self.hits += 1
+    """, "serve-unlocked-write")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.WARNING
+    assert "Counter.bump" in diags[0].message
+    assert "self.hits" in diags[0].message
+    assert diags[0].span.line == 10
+
+
+def test_write_under_with_lock_is_clean():
+    assert _findings(LOCKED_CLASS + """
+        def bump(self):
+            with self._lock:
+                self.hits += 1
+    """) == []
+
+
+def test_write_in_locked_helper_is_exempt():
+    # Callee-side critical sections are named *_locked by convention.
+    assert _findings(LOCKED_CLASS + """
+        def _bump_locked(self):
+            self.hits += 1
+    """) == []
+
+
+def test_write_inside_locked_contextmanager_call_is_clean():
+    assert _findings(LOCKED_CLASS + """
+        def _guard_locked(self):
+            return self._lock
+
+        def bump(self):
+            with self._guard_locked():
+                self.hits += 1
+    """) == []
+
+
+def test_manual_acquire_covers_later_writes():
+    assert _findings(LOCKED_CLASS + """
+        def bump(self):
+            self._lock.acquire()
+            try:
+                self.hits += 1
+            finally:
+                self._lock.release()
+    """) == []
+
+
+def test_init_writes_are_exempt():
+    assert _findings(LOCKED_CLASS) == []
+
+
+def test_class_without_locks_is_exempt():
+    assert _findings("""
+        class Plain:
+            def __init__(self):
+                self.hits = 0
+
+            def bump(self):
+                self.hits += 1
+    """) == []
+
+
+def test_dataclass_lock_field_is_detected():
+    diags = _findings("""
+        import threading
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Stats:
+            _lock: threading.Lock = field(default_factory=threading.Lock)
+            hits: int = 0
+
+            def bump(self):
+                self.hits += 1
+    """, "serve-unlocked-write")
+    assert len(diags) == 1
+    assert "Stats.bump" in diags[0].message
+
+
+def test_nested_function_does_not_inherit_lock_scope():
+    diags = _findings(LOCKED_CLASS + """
+        def schedule(self):
+            with self._lock:
+                def later():
+                    self.hits += 1
+                return later
+    """, "serve-unlocked-write")
+    assert len(diags) == 1
+
+
+def test_blocking_io_under_lock_fires():
+    diags = _findings(LOCKED_CLASS + """
+        def snapshot(self):
+            with self._lock:
+                return open("/tmp/x").read()
+    """, "serve-blocking-io-under-lock")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.WARNING
+    assert "open()" in diags[0].message
+
+
+def test_blocking_attr_call_under_lock_fires():
+    diags = _findings(LOCKED_CLASS + """
+        def nap(self):
+            import time
+            with self._lock:
+                time.sleep(1)
+    """, "serve-blocking-io-under-lock")
+    assert len(diags) == 1
+    assert "sleep()" in diags[0].message
+
+
+def test_blocking_io_outside_lock_is_clean():
+    assert _findings(LOCKED_CLASS + """
+        def snapshot(self):
+            return open("/tmp/x").read()
+    """, "serve-blocking-io-under-lock") == []
+
+
+def test_python_suppression_comment(tmp_path, write_corpus):
+    code_dir = tmp_path / "code"
+    code_dir.mkdir()
+    (code_dir / "mod.py").write_text(_src(LOCKED_CLASS + """
+        def bump(self):
+            self.hits += 1  # lint: disable=serve-unlocked-write
+    """), encoding="utf-8")
+    corpus = write_corpus()
+    engine = LintEngine(LintConfig(content_dir=corpus, code_dir=code_dir,
+                                   site=False))
+    assert engine.lint().diagnostics == []
+
+
+def test_shipped_serve_layer_is_clean():
+    """The acceptance bar: the real serve package lints clean.
+
+    The single raw finding (ServeApp.warm_start's boot-time write) is
+    suppressed inline with a justification; everything else must hold the
+    conventions without suppression.
+    """
+    import repro.serve as serve
+
+    serve_dir = Path(serve.__file__).parent
+    raw = analyze_tree(serve_dir)
+    # At most the documented warm_start suppression site may appear raw.
+    assert all(d.file.endswith("app.py") and "warm_start" in d.message
+               for d in raw)
+    engine = LintEngine(LintConfig(
+        content_dir=Path(serve_dir).parents[1] / "repro" / "activities" / "content",
+        site=False))
+    result = engine.lint()
+    assert [d for d in result.diagnostics if d.rule_id.startswith("serve-")] == []

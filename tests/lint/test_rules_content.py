@@ -1,0 +1,191 @@
+"""One seeded-bad-corpus fixture per content rule.
+
+Every test plants exactly one defect in the known-clean ``GOOD`` activity
+and asserts the matching rule fires exactly once, at the right line, with
+its registered severity.
+"""
+
+from __future__ import annotations
+
+from repro.lint import Severity
+
+from tests.lint.conftest import GOOD, KEY_LINES, only
+
+
+def test_good_corpus_is_clean(lint_dir):
+    result = lint_dir(good=GOOD)
+    assert result.diagnostics == []
+
+
+def test_frontmatter_schema_unknown_key(lint_dir):
+    bad = GOOD.replace('date: "2020-01-01"',
+                       'date: "2020-01-01"\ntags: ["x"]')
+    result = lint_dir(good=bad)
+    diags = only(result, "frontmatter-schema")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert diags[0].span.line == KEY_LINES["date"] + 1
+    assert "tags" in diags[0].message
+
+
+def test_frontmatter_schema_parse_error(lint_dir):
+    bad = GOOD.replace('date: "2020-01-01"', 'date = "2020-01-01"')
+    result = lint_dir(good=bad)
+    diags = only(result, "frontmatter-schema")
+    assert len(diags) == 1
+    assert diags[0].span.line == KEY_LINES["date"]
+    assert "key: value" in diags[0].message
+
+
+def test_frontmatter_schema_bad_date(lint_dir):
+    bad = GOOD.replace('date: "2020-01-01"', 'date: "January 2020"')
+    result = lint_dir(good=bad)
+    diags = only(result, "frontmatter-schema")
+    assert len(diags) == 1
+    assert diags[0].span.line == KEY_LINES["date"]
+    assert "ISO" in diags[0].message
+
+
+def test_taxonomy_unknown_term(lint_dir):
+    bad = GOOD.replace('courses: ["CS1"]', 'courses: ["CS9"]')
+    result = lint_dir(good=bad)
+    diags = only(result, "taxonomy-unknown-term")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert diags[0].span.line == KEY_LINES["courses"]
+    assert "CS9" in diags[0].message
+
+
+def test_taxonomy_noncanonical_term(lint_dir):
+    bad = GOOD.replace('courses: ["CS1"]', 'courses: ["k12"]')
+    result = lint_dir(good=bad)
+    diags = only(result, "taxonomy-noncanonical-term")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.WARNING
+    assert diags[0].span.line == KEY_LINES["courses"]
+    assert "K_12" in diags[0].message
+    # The alias resolved, so the unknown-term rule must stay quiet.
+    assert only(result, "taxonomy-unknown-term") == []
+
+
+def test_standards_unknown_term(lint_dir):
+    bad = GOOD.replace('cs2013: ["PD_ParallelDecomposition"]',
+                       'cs2013: ["PD_Bogus"]')
+    bad = bad.replace('cs2013details: ["PD_2"]', 'cs2013details: []')
+    result = lint_dir(good=bad)
+    diags = only(result, "standards-unknown-term")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert diags[0].span.line == KEY_LINES["cs2013"]
+    assert "PD_Bogus" in diags[0].message
+
+
+def test_standards_detail_parent(lint_dir):
+    bad = GOOD.replace('cs2013: ["PD_ParallelDecomposition"]',
+                       'cs2013: ["PD_ParallelAlgorithms"]')
+    result = lint_dir(good=bad)
+    diags = only(result, "standards-detail-parent")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert diags[0].span.line == KEY_LINES["cs2013details"]
+    assert "PD_2" in diags[0].message
+
+
+def test_section_structure_missing_section(lint_dir):
+    bad = GOOD.replace("## Assessment\n\nNo known assessment.\n\n---\n\n", "")
+    result = lint_dir(good=bad)
+    diags = only(result, "section-structure")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert "Assessment" in diags[0].message
+
+
+def test_section_structure_out_of_order(lint_dir):
+    swapped = GOOD.replace("## Accessibility", "## TEMP").replace(
+        "## Assessment", "## Accessibility").replace(
+        "## TEMP", "## Assessment")
+    result = lint_dir(good=swapped)
+    diags = only(result, "section-structure")
+    assert len(diags) == 1
+    assert "out of order" in diags[0].message
+
+
+def test_citation_missing(lint_dir):
+    bad = GOOD.replace("- Doe, J. (2020). An activity.\n", "")
+    result = lint_dir(good=bad)
+    diags = only(result, "citation-missing")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.WARNING
+    assert "no citation entries" in diags[0].message
+    assert diags[0].span.line == GOOD.splitlines().index("## Citations") + 1
+
+
+def test_citation_missing_no_date(lint_dir):
+    bad = GOOD.replace('date: "2020-01-01"', 'date: ""')
+    result = lint_dir(good=bad)
+    diags = only(result, "citation-missing")
+    assert len(diags) == 1
+    assert diags[0].span.line == KEY_LINES["date"]
+    assert "no date" in diags[0].message
+
+
+def test_internal_link_broken(lint_dir):
+    bad = GOOD.replace(
+        "Readable aloud in full.",
+        "Readable aloud in full. See [other](/activities/nope/).")
+    result = lint_dir(good=bad)
+    diags = only(result, "internal-link")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert diags[0].span.line == (
+        GOOD.splitlines().index("Readable aloud in full.") + 1)
+    assert "/activities/nope/" in diags[0].message
+
+
+def test_internal_link_good_reference_is_clean(lint_dir):
+    linked = GOOD.replace(
+        "Readable aloud in full.",
+        "Readable aloud in full. See [self](/activities/good/).")
+    result = lint_dir(good=linked)
+    assert only(result, "internal-link") == []
+
+
+def test_duplicate_slug(lint_dir):
+    # slugify("FooBar") == slugify("foobar") == "foobar": URLs collide.
+    result = lint_dir(**{"FooBar": GOOD.replace("GoodActivity", "One"),
+                         "foobar": GOOD.replace("GoodActivity", "Two")})
+    diags = only(result, "duplicate-slug")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert diags[0].span.line == KEY_LINES["title"]
+    assert "foobar" in diags[0].message
+
+
+def test_duplicate_title(lint_dir):
+    result = lint_dir(one=GOOD, two=GOOD)
+    diags = only(result, "duplicate-title")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.WARNING
+    assert "GoodActivity" in diags[0].message
+
+
+def test_markdown_suppression_file_wide(lint_dir):
+    bad = GOOD.replace('courses: ["CS1"]', 'courses: ["CS9"]')
+    bad += "\n<!-- lint:disable=taxonomy-unknown-term -->\n"
+    result = lint_dir(good=bad)
+    assert only(result, "taxonomy-unknown-term") == []
+
+
+def test_markdown_suppression_line_scoped(lint_dir):
+    bad = GOOD.replace(
+        'courses: ["CS1"]',
+        '<!-- lint:disable-line=taxonomy-unknown-term -->\ncourses: ["CS9"]')
+    result = lint_dir(good=bad)
+    assert only(result, "taxonomy-unknown-term") == []
+    # A line-scoped comment must not blanket the whole file: the same
+    # defect elsewhere still fires.
+    far = GOOD.replace('courses: ["CS1"]', 'courses: ["CS9"]')
+    far = far.replace("## Citations",
+                      "<!-- lint:disable-line=taxonomy-unknown-term -->\n"
+                      "## Citations")
+    assert len(only(lint_dir(good=far), "taxonomy-unknown-term")) == 1

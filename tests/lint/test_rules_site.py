@@ -1,0 +1,93 @@
+"""Site-pass rules: templates, archetype drift, orphan terms."""
+
+from __future__ import annotations
+
+from repro.lint import LintConfig, LintEngine, Severity
+from repro.lint.rules_site import (
+    check_archetype,
+    check_orphan_terms,
+    check_templates,
+)
+from repro.sitegen.archetypes import ACTIVITY_SECTIONS
+from repro.sitegen.site import DEFAULT_THEME
+
+from tests.lint.conftest import GOOD, only
+
+
+def _by_rule(diags, rule_id):
+    return [d for d in diags if d.rule_id == rule_id]
+
+
+def test_default_theme_is_clean():
+    assert check_templates(DEFAULT_THEME) == []
+
+
+def test_shipped_archetype_is_clean():
+    assert check_archetype(ACTIVITY_SECTIONS) == []
+
+
+def test_template_undefined_partial():
+    theme = dict(DEFAULT_THEME)
+    theme["single"] = theme["single"].replace("{{> chips }}", "{{> chipz }}")
+    diags = _by_rule(check_templates(theme), "template-undefined-partial")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert "chipz" in diags[0].message
+    assert diags[0].file.endswith(":single")
+    assert diags[0].span.line >= 1 and diags[0].span.column >= 1
+
+
+def test_template_undefined_variable():
+    theme = dict(DEFAULT_THEME)
+    theme["base"] = theme["base"].replace("{{ site_title }}", "{{ sight_title }}")
+    diags = _by_rule(check_templates(theme), "template-undefined-variable")
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.WARNING
+    assert "sight_title" in diags[0].message
+
+
+def test_template_undefined_section():
+    theme = dict(DEFAULT_THEME)
+    theme["list"] = "{{# entriez }}{{ title }}{{/ entriez }}"
+    diags = _by_rule(check_templates(theme), "template-undefined-variable")
+    assert any("entriez" in d.message and "section" in d.message
+               for d in diags)
+
+
+def test_inverted_section_not_flagged():
+    theme = dict(DEFAULT_THEME)
+    theme["list"] = theme["list"] + "{{^ absent_flag }}nothing{{/ absent_flag }}"
+    assert check_templates(theme) == []
+
+
+def test_archetype_drift_fires_once_per_defect():
+    sections = [s for s in ACTIVITY_SECTIONS if s != "Assessment"]
+    diags = check_archetype(sections)
+    assert len(diags) == 1
+    assert diags[0].rule_id == "archetype-drift"
+    assert diags[0].severity is Severity.WARNING
+    assert "Assessment" in diags[0].message
+
+
+def test_archetype_drift_unknown_section():
+    diags = check_archetype(list(ACTIVITY_SECTIONS) + ["Extras"])
+    assert len(diags) == 1
+    assert "Extras" in diags[0].message
+
+
+def test_orphan_term_fires_for_unused_course(write_corpus):
+    corpus = write_corpus(good=GOOD)
+    engine = LintEngine(LintConfig(content_dir=corpus, site=True, code=False))
+    result = engine.lint()
+    diags = [d for d in only(result, "orphan-term") if "'CS0'" in d.message]
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.INFO
+    assert diags[0].file == "<taxonomy:courses>"
+
+
+def test_shipped_corpus_has_no_orphans():
+    from repro.lint.document import load_document
+    from repro.activities.catalog import corpus_dir
+
+    docs = [load_document(p).info for p in sorted(corpus_dir().glob("*.md"))]
+    assert check_orphan_terms(docs) == []

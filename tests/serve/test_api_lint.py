@@ -1,0 +1,103 @@
+"""``GET /api/lint``: snapshotting, rebuild invalidation, concurrency."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+
+import pytest
+
+from repro.activities.catalog import corpus_dir
+from repro.serve.app import create_app
+
+
+def _get(app, path):
+    env = {"REQUEST_METHOD": "GET", "PATH_INFO": path, "QUERY_STRING": ""}
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = int(status.split()[0])
+
+    body = b"".join(app(env, start_response))
+    return captured["status"], json.loads(body) if body else None
+
+
+@pytest.fixture()
+def content_dir(tmp_path):
+    target = tmp_path / "content"
+    target.mkdir()
+    for source in sorted(corpus_dir().glob("*.md")):
+        shutil.copy(source, target / source.name)
+    return target
+
+
+def test_api_lint_clean_corpus(content_dir):
+    app = create_app(content_dir=content_dir, watch=False)
+    status, payload = _get(app, "/api/lint")
+    assert status == 200
+    assert payload["clean"] is True
+    assert payload["counts"] == {"error": 0, "info": 0, "warning": 0}
+    assert payload["stats"]["files_total"] > 38      # corpus + serve code
+    assert payload["signature"]
+
+
+def test_api_lint_snapshot_reused_until_corpus_changes(content_dir):
+    app = create_app(content_dir=content_dir, watch=False)
+    _, first = _get(app, "/api/lint")
+    _, second = _get(app, "/api/lint")
+    assert second == first                           # served from snapshot
+
+
+def test_api_lint_refreshes_after_rebuild(content_dir):
+    app = create_app(content_dir=content_dir, watch=True,
+                     watch_interval_s=0.0)
+    _, before = _get(app, "/api/lint")
+    assert before["clean"] is True
+
+    page = content_dir / "actingoutalgorithms.md"
+    page.write_text(
+        page.read_text(encoding="utf-8").replace(
+            'courses: ["K_12", "CS1", "DSA"]',
+            'courses: ["K_12", "CS1", "Bogus101"]'),
+        encoding="utf-8")
+
+    _, after = _get(app, "/api/lint")
+    assert after["signature"] != before["signature"]
+    assert after["clean"] is False
+    assert after["counts"]["error"] == 1
+    [diag] = [d for d in after["diagnostics"]
+              if d["rule"] == "taxonomy-unknown-term"]
+    assert "Bogus101" in diag["message"]
+    # Incremental engine: the re-lint re-analyzed only the edited file.
+    assert after["stats"]["files_analyzed"] == 1
+
+
+def test_api_lint_concurrent_requests_agree(content_dir):
+    app = create_app(content_dir=content_dir, watch=False)
+    results, errors = [], []
+
+    def hit():
+        try:
+            results.append(_get(app, "/api/lint"))
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hit) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(results) == 8
+    statuses = {status for status, _ in results}
+    assert statuses == {200}, [p for s, p in results if s != 200]
+    payloads = [payload for _, payload in results]
+    assert all(p["clean"] is True for p in payloads)
+    assert len({p["signature"] for p in payloads}) == 1
+
+
+def test_api_lint_listed_as_unknown_routes_still_404(content_dir):
+    app = create_app(content_dir=content_dir, watch=False)
+    status, payload = _get(app, "/api/lintx")
+    assert status == 404

@@ -162,3 +162,42 @@ class TestFetcherInjection:
         ])
         assert result.by_status() == {"ok": 1, "dead": 1, "malformed": 1}
         assert len(result.malformed) == 1
+
+
+class TestAuditInternal:
+    """Internal checks delegate to the single repro.lint implementation."""
+
+    def _docs(self, *texts):
+        from repro.lint.document import load_document
+
+        docs = []
+        for i, text in enumerate(texts):
+            docs.append(load_document(f"doc{i}.md", text=text).info)
+        return docs
+
+    def test_clean_corpus_reports_nothing(self):
+        docs = self._docs("---\ntitle: \"A\"\n---\n\n## Overview\n\nplain text\n")
+        assert LinkAuditor.audit_internal(docs) == []
+
+    def test_broken_internal_link_reported(self):
+        docs = self._docs(
+            "---\ntitle: \"A\"\n---\n\n## Overview\n\n[x](/activities/nope/)\n")
+        [(doc, ref, problem)] = LinkAuditor.audit_internal(docs)
+        assert ref.path == "/activities/nope/"
+        assert "broken internal link" in problem
+
+    def test_agrees_with_lint_rule(self):
+        """The lint internal-link rule and audit_internal see the same defects."""
+        from repro.lint.rules_content import check_internal_links
+
+        docs = self._docs(
+            "---\ntitle: \"A\"\n---\n\n## Overview\n\n[x](/activities/nope/)\n")
+        audited = LinkAuditor.audit_internal(docs)
+        linted = check_internal_links(docs)
+        assert len(audited) == len(linted) == 1
+        assert audited[0][1].line == linted[0].span.line
+
+    def test_external_links_ignored(self):
+        docs = self._docs(
+            "---\ntitle: \"A\"\n---\n\n## Overview\n\n[x](https://example.com/)\n")
+        assert LinkAuditor.audit_internal(docs) == []
