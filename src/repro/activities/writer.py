@@ -3,11 +3,19 @@
 The writer emits the canonical PDCunplugged layout (Fig. 1 ordering, one
 horizontal rule between sections) so ``parse(write(a)) == a`` -- the
 round-trip property the test suite checks with hypothesis.
+
+``repro.lint``'s fixit pipeline also rewrites activity files through this
+writer: structural fixes (section reordering) are expressed as "serialize
+the parsed activity canonically", so every applied fix round-trips through
+the parser by construction.  ``extra_params`` lets that pipeline preserve
+front-matter keys the schema does not know about (they are a *diagnostic*,
+not something a rewrite may silently destroy).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Mapping
 
 from repro.activities.schema import SECTION_ORDER, Activity
 from repro.sitegen import frontmatter
@@ -15,8 +23,14 @@ from repro.sitegen import frontmatter
 __all__ = ["write_activity", "write_activity_file"]
 
 
-def write_activity(activity: Activity) -> str:
-    """Render one activity to its canonical Markdown document."""
+def write_activity(activity: Activity,
+                   extra_params: Mapping[str, object] | None = None) -> str:
+    """Render one activity to its canonical Markdown document.
+
+    ``extra_params`` are additional front-matter entries appended after the
+    schema keys, in their given order; keys that collide with schema keys
+    are ignored (the activity's own values win).
+    """
     header: dict[str, object] = {"title": activity.title}
     if activity.date:
         header["date"] = activity.date
@@ -25,6 +39,9 @@ def write_activity(activity: Activity) -> str:
         values = getattr(activity, key)
         if values:
             header[key] = list(values)
+    for key, value in (extra_params or {}).items():
+        if key not in header and key not in ("title", "date"):
+            header[key] = value
 
     parts: list[str] = []
     ordered = [s for s in SECTION_ORDER if s in activity.sections]

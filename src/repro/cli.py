@@ -10,7 +10,8 @@ Subcommands::
     pdcunplugged list                        # list corpus activities + sims
     pdcunplugged serve [--port P] [--workers N] [--cache-dir D]
                                              # live site + JSON API server
-    pdcunplugged lint [--format text|json|sarif] [--jobs N]
+    pdcunplugged lint [--format text|json|sarif] [--jobs N] [--fix]
+                      [--cache-dir D] [--baseline F]
                                              # static analysis (repro.lint)
 """
 
@@ -115,6 +116,21 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="append analyzed/cached file counts to the report")
     lint.add_argument("--output", default=None,
                       help="write the report here instead of stdout")
+    lint.add_argument("--fix", action="store_true",
+                      help="apply machine-applicable fixes to the corpus, "
+                           "then report what remains")
+    lint.add_argument("--check", action="store_true",
+                      help="with --fix: dry run — print the diff of pending "
+                           "fixes and exit 1 if any (corpus is not touched)")
+    lint.add_argument("--cache-dir", default=None,
+                      help="persist the lint cache here so warm runs "
+                           "re-analyze only changed files across processes")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline file (.lintbaseline.json): matching "
+                           "findings are filtered from the report")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="regenerate --baseline from the current findings "
+                           "and exit 0")
     return parser
 
 
@@ -276,8 +292,24 @@ def _run_lint(args) -> int:
     from pathlib import Path
 
     from repro.activities.catalog import corpus_dir
-    from repro.lint import LintConfig, LintEngine, REPORTERS, Severity
+    from repro.lint import (
+        LintConfig,
+        LintEngine,
+        REPORTERS,
+        Severity,
+        check_fixes,
+        fix_engine,
+        render_check_report,
+        write_baseline,
+    )
+    from repro.lint.baseline import BaselineError
 
+    if args.check and not args.fix:
+        print("--check requires --fix", file=sys.stderr)
+        return 2
+    if args.write_baseline and not args.baseline:
+        print("--write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
     overrides = {}
     for spec in args.severity:
         rule_id, sep, level = spec.partition("=")
@@ -298,13 +330,40 @@ def _run_lint(args) -> int:
         code=not args.no_code,
         severity_overrides=overrides,
         disabled=frozenset(args.disable),
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        baseline=(Path(args.baseline)
+                  if args.baseline and not args.write_baseline else None),
     )
     try:
         engine = LintEngine(config)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    result = engine.lint()
+
+    try:
+        if args.fix and args.check:
+            check = check_fixes(config)
+            sys.stdout.write(render_check_report(check))
+            return 0 if check.clean else 1
+        if args.fix:
+            fix_report = fix_engine(engine)
+            renames = "".join(f"renamed {old} -> {new}\n"
+                              for old, new in fix_report.renamed)
+            sys.stdout.write(
+                renames
+                + f"applied {fix_report.applied} fix(es) in "
+                  f"{len(fix_report.changed_files)} file(s)\n")
+            result = fix_report.remaining
+        else:
+            result = engine.lint()
+    except BaselineError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = write_baseline(args.baseline, result.diagnostics)
+        print(f"baseline written: {target} "
+              f"({len(result.diagnostics)} finding(s))")
+        return 0
     report = REPORTERS[args.format](result, stats=args.stats)
     if args.output:
         Path(args.output).write_text(report, encoding="utf-8")

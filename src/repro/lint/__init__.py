@@ -9,7 +9,16 @@ Three passes over three artifact kinds:
   variables), archetype drift against the schema, orphaned taxonomy
   terms.
 * **code** — concurrency hygiene of :mod:`repro.serve`: unlocked writes
-  to shared state and blocking I/O under a held lock.
+  to shared state, blocking I/O under a held lock, and deadlock-risk
+  shapes in the per-class lock-acquisition graph
+  (:mod:`~repro.lint.lockgraph`).
+
+Beyond detection, mechanical rules carry remediations: the fixit
+pipeline (:mod:`~repro.lint.fixes`, ``lint --fix``) applies
+span-anchored edits and canonical rewrites that round-trip through the
+activity parser.  The fingerprint cache persists across processes via
+``--cache-dir`` (:mod:`~repro.lint.cachefile`), and a baseline file
+(:mod:`~repro.lint.baseline`) lets new rules land warn-first.
 
 Entry points: :class:`LintEngine` (library), ``pdcunplugged lint``
 (CLI), and ``GET /api/lint`` (serve layer).
@@ -24,6 +33,16 @@ from repro.lint.diagnostics import (
     sort_key,
 )
 from repro.lint.engine import LintConfig, LintEngine, LintResult, LintStats
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.fixes import (
+    Edit,
+    Fix,
+    FixReport,
+    CheckReport,
+    check_fixes,
+    fix_engine,
+    render_check_report,
+)
 
 # Importing the rule modules registers every rule in RULES.
 from repro.lint import rules_code, rules_content, rules_site  # noqa: F401
@@ -35,7 +54,11 @@ from repro.lint.reporters import (
 )
 
 __all__ = [
+    "CheckReport",
     "Diagnostic",
+    "Edit",
+    "Fix",
+    "FixReport",
     "LintConfig",
     "LintEngine",
     "LintResult",
@@ -45,8 +68,13 @@ __all__ = [
     "Rule",
     "Severity",
     "Span",
+    "check_fixes",
+    "fix_engine",
+    "load_baseline",
+    "render_check_report",
     "render_json",
     "render_sarif",
     "render_text",
     "sort_key",
+    "write_baseline",
 ]

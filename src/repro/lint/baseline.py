@@ -1,0 +1,101 @@
+"""The lint baseline: land new rules warn-first, then ratchet down.
+
+A baseline file (conventionally ``.lintbaseline.json`` at the repo root)
+lists findings that predate a rule's introduction.  Diagnostics matching
+a baseline entry are filtered at report time — they neither print nor
+affect the exit code — so a new rule can ship without first fixing (or
+suppressing) every historical hit, and the file shrinks as findings are
+fixed: ``--write-baseline`` regenerates it from the current findings,
+never growing it past reality.
+
+Entries match on ``(rule, file basename, message)`` — basenames, not
+full paths, so a baseline recorded in CI matches a local checkout at a
+different root.  Line numbers are deliberately excluded: editing an
+unrelated part of a file must not un-baseline a finding.
+
+Like the persistent cache, baseline filtering happens at report time
+over *raw* diagnostics; it composes with (and is applied after)
+suppression comments and ``--disable``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "load_baseline",
+    "write_baseline",
+    "baseline_key",
+]
+
+BASELINE_VERSION = 1
+
+#: One baselined finding: (rule id, file basename, message).
+BaselineKey = tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def baseline_key(diag: Diagnostic) -> BaselineKey:
+    return (diag.rule_id, Path(diag.file).name, diag.message)
+
+
+def load_baseline(path: str | Path) -> frozenset[BaselineKey]:
+    """Read a baseline file into its match-key set.
+
+    A missing file is an empty baseline (the common steady state); a
+    present-but-malformed file raises — silently ignoring a corrupt
+    baseline would resurface hundreds of accepted findings.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return frozenset()
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path}: invalid JSON ({exc})") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path}: expected version {BASELINE_VERSION}")
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'entries' must be a list")
+    keys: set[BaselineKey] = set()
+    for entry in entries:
+        try:
+            keys.add((str(entry["rule"]), str(entry["file"]),
+                      str(entry["message"])))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"baseline {path}: malformed entry {entry!r}") from exc
+    return frozenset(keys)
+
+
+def write_baseline(path: str | Path,
+                   diagnostics: Iterable[Diagnostic]) -> Path:
+    """Write the baseline covering exactly ``diagnostics``; returns path.
+
+    Output is sorted and stable so the file diffs cleanly as findings
+    are fixed.
+    """
+    keys = sorted({baseline_key(d) for d in diagnostics})
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule": rule, "file": file, "message": message}
+            for rule, file, message in keys
+        ],
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target

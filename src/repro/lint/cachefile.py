@@ -1,0 +1,256 @@
+"""Persistent cross-run lint cache: the fingerprint table, spilled to disk.
+
+The in-memory engine caches ``fingerprint -> (diagnostics, fixes, info,
+suppressions)`` per file; this module serializes that table to
+``lint-cache.json`` under ``--cache-dir`` so a *separate process* (CI
+step, warm serve worker, next CLI invocation) re-analyzes only files
+whose ``(name, mtime_ns, size)`` fingerprint changed.  Against an
+unchanged corpus a warm run re-analyzes zero files.
+
+Invalidation is two-level:
+
+* **Whole-cache**: the header carries a format version plus a signature
+  hashing the tool version and the registered rule set.  A new repro
+  release or any rule addition/removal drops the entire cache — rule
+  *logic* may have changed, and stale verdicts are worse than a cold run.
+* **Per-row**: each row embeds its file fingerprint; the engine compares
+  on lookup exactly as it does for in-memory rows, so touched files fall
+  out row-by-row.
+
+Rows store *raw* diagnostics (rule-default severities), mirroring the
+in-memory cache: severity overrides, disabled rules, suppressions, and
+the baseline are applied at report time, so reconfiguring the linter
+never invalidates a persistent cache either.
+
+Writes are atomic (tmp file + ``os.replace``, the ``serve.persist``
+idiom) and loads are tolerant: a corrupt, truncated, or foreign file is
+treated as an empty cache, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import repro
+from repro.lint.diagnostics import (
+    Diagnostic,
+    RULES,
+    Severity,
+    Span,
+    Suppressions,
+)
+from repro.lint.document import DocumentInfo
+from repro.lint.fixes import Edit, Fix
+from repro.lint.links import InternalRef
+
+__all__ = [
+    "CACHE_VERSION",
+    "CACHE_FILENAME",
+    "cache_signature",
+    "cache_path",
+    "load_cache",
+    "save_cache",
+]
+
+CACHE_VERSION = 1
+CACHE_FILENAME = "lint-cache.json"
+
+
+def cache_signature() -> str:
+    """Hash of everything that invalidates cached verdicts wholesale."""
+    payload = "\n".join([
+        str(CACHE_VERSION),
+        getattr(repro, "__version__", "0"),
+        *sorted(RULES),
+    ])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def cache_path(cache_dir: str | Path) -> Path:
+    return Path(cache_dir) / CACHE_FILENAME
+
+
+# -- (de)serialization -------------------------------------------------------
+
+
+def _diag_to_json(diag: Diagnostic) -> dict:
+    return diag.to_dict()
+
+
+def _diag_from_json(data: dict) -> Diagnostic:
+    return Diagnostic(
+        rule_id=data["rule"],
+        severity=Severity(data["severity"]),
+        file=data["file"],
+        span=Span(int(data["line"]), int(data["column"])),
+        message=data["message"],
+    )
+
+
+def _fix_to_json(fix: Fix) -> dict:
+    return fix.to_dict()
+
+
+def _fix_from_json(data: dict) -> Fix:
+    return Fix(
+        rule_id=data["rule"],
+        file=data["file"],
+        line=int(data["line"]),
+        column=int(data["column"]),
+        message=data["message"],
+        description=data["description"],
+        edits=tuple(
+            Edit(int(e["start_line"]), int(e["start_column"]),
+                 int(e["end_line"]), int(e["end_column"]),
+                 e["replacement"])
+            for e in data.get("edits", ())
+        ),
+        rename_to=data.get("rename_to"),
+    )
+
+
+def _info_to_json(info: DocumentInfo) -> dict:
+    return {
+        "file": info.file,
+        "name": info.name,
+        "slug": info.slug,
+        "title": info.title,
+        "title_line": info.title_line,
+        "url": info.url,
+        "anchors": sorted(info.anchors),
+        "internal_refs": [
+            {"target": r.target, "path": r.path, "fragment": r.fragment,
+             "line": r.line, "column": r.column}
+            for r in info.internal_refs
+        ],
+        "terms": [[axis, list(values)] for axis, values in info.terms],
+        "parse_failed": info.parse_failed,
+    }
+
+
+def _info_from_json(data: dict) -> DocumentInfo:
+    return DocumentInfo(
+        file=data["file"],
+        name=data["name"],
+        slug=data["slug"],
+        title=data["title"],
+        title_line=int(data["title_line"]),
+        url=data["url"],
+        anchors=frozenset(data["anchors"]),
+        internal_refs=tuple(
+            InternalRef(target=r["target"], path=r["path"],
+                        fragment=r["fragment"], line=int(r["line"]),
+                        column=int(r["column"]))
+            for r in data["internal_refs"]
+        ),
+        terms=tuple(
+            (axis, tuple(values)) for axis, values in data["terms"]
+        ),
+        parse_failed=bool(data.get("parse_failed", False)),
+    )
+
+
+def _supp_to_json(supp: Suppressions) -> dict:
+    return {
+        "file_rules": sorted(supp.file_rules),
+        "line_rules": [[line, sorted(rules)]
+                       for line, rules in supp.line_rules],
+        "reach": supp.reach,
+    }
+
+
+def _supp_from_json(data: dict) -> Suppressions:
+    return Suppressions(
+        file_rules=frozenset(data["file_rules"]),
+        line_rules=tuple(
+            (int(line), frozenset(rules))
+            for line, rules in data["line_rules"]
+        ),
+        reach=int(data.get("reach", 1)),
+    )
+
+
+def _fingerprint_from_json(data: list) -> tuple[str, int, int]:
+    return (str(data[0]), int(data[1]), int(data[2]))
+
+
+# -- load / save -------------------------------------------------------------
+
+
+def load_cache(cache_dir: str | Path) -> tuple[dict, dict]:
+    """Read the persistent cache; ``(content_rows, code_rows)``.
+
+    Missing file, unreadable JSON, version/signature mismatch, or any
+    malformed row all degrade to an empty (partial) cache — a persistent
+    cache is an accelerator, never a correctness dependency.
+    """
+    content: dict = {}
+    code: dict = {}
+    path = cache_path(cache_dir)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return content, code
+    if not isinstance(data, dict) \
+            or data.get("version") != CACHE_VERSION \
+            or data.get("signature") != cache_signature():
+        return content, code
+    for key, row in (data.get("content") or {}).items():
+        try:
+            content[key] = (
+                _fingerprint_from_json(row["fingerprint"]),
+                tuple(_diag_from_json(d) for d in row["diagnostics"]),
+                tuple(_fix_from_json(f) for f in row["fixes"]),
+                _info_from_json(row["info"]),
+                _supp_from_json(row["suppressions"]),
+            )
+        except (KeyError, TypeError, ValueError, IndexError):
+            continue                     # skip the bad row, keep the rest
+    for key, row in (data.get("code") or {}).items():
+        try:
+            code[key] = (
+                _fingerprint_from_json(row["fingerprint"]),
+                tuple(_diag_from_json(d) for d in row["diagnostics"]),
+                _supp_from_json(row["suppressions"]),
+            )
+        except (KeyError, TypeError, ValueError, IndexError):
+            continue
+    return content, code
+
+
+def save_cache(cache_dir: str | Path, content: dict, code: dict) -> Path:
+    """Atomically write the cache table; returns the cache file path."""
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": CACHE_VERSION,
+        "signature": cache_signature(),
+        "content": {
+            key: {
+                "fingerprint": list(fingerprint),
+                "diagnostics": [_diag_to_json(d) for d in diags],
+                "fixes": [_fix_to_json(f) for f in fixes],
+                "info": _info_to_json(info),
+                "suppressions": _supp_to_json(supp),
+            }
+            for key, (fingerprint, diags, fixes, info, supp)
+            in sorted(content.items())
+        },
+        "code": {
+            key: {
+                "fingerprint": list(fingerprint),
+                "diagnostics": [_diag_to_json(d) for d in diags],
+                "suppressions": _supp_to_json(supp),
+            }
+            for key, (fingerprint, diags, supp) in sorted(code.items())
+        },
+    }
+    path = cache_path(cache_dir)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+    return path

@@ -27,7 +27,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
 
-from repro.lint import rules_code, rules_content, rules_site
+from repro.lint import cachefile, rules_code, rules_content, rules_site
+from repro.lint.baseline import baseline_key, load_baseline
 from repro.lint.diagnostics import (
     RULES,
     Diagnostic,
@@ -38,6 +39,7 @@ from repro.lint.diagnostics import (
     sort_key,
 )
 from repro.lint.document import DocumentInfo, load_document
+from repro.lint.fixes import Fix, fixes_for_corpus, fixes_for_document
 
 __all__ = ["LintConfig", "LintStats", "LintResult", "LintEngine"]
 
@@ -64,6 +66,8 @@ class LintConfig:
     code: bool = True
     severity_overrides: dict[str, Severity] = field(default_factory=dict)
     disabled: frozenset[str] = frozenset()
+    cache_dir: Path | None = None        # persist the fingerprint table here
+    baseline: Path | None = None         # .lintbaseline.json (warn-first)
 
     def validate(self) -> None:
         unknown = (set(self.severity_overrides) | set(self.disabled)) - set(RULES)
@@ -81,6 +85,7 @@ class LintStats:
     files_total: int = 0
     files_analyzed: int = 0              # parsed / AST-visited this run
     files_cached: int = 0                # served from the fingerprint cache
+    baselined: int = 0                   # findings filtered by the baseline
 
 
 @dataclass
@@ -89,6 +94,7 @@ class LintResult:
 
     diagnostics: list[Diagnostic]
     stats: LintStats
+    fixes: list[Fix] = field(default_factory=list)
 
     def count(self, severity: Severity) -> int:
         return sum(1 for d in self.diagnostics if d.severity is severity)
@@ -97,14 +103,19 @@ class LintResult:
     def counts(self) -> dict[str, int]:
         return {s.value: self.count(s) for s in Severity}
 
+    @property
+    def fixable(self) -> int:
+        """How many reported findings carry a machine-applicable fix."""
+        return len(self.fixes)
+
     def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
         worst = max((d.severity.rank for d in self.diagnostics), default=-1)
         return 1 if worst >= fail_on.rank else 0
 
 
-#: Cache rows: fingerprint -> (raw per-file diagnostics, info, suppressions).
-_ContentRow = tuple[Fingerprint, tuple[Diagnostic, ...], DocumentInfo,
-                    Suppressions]
+#: Cache rows: fingerprint -> (raw diagnostics, fixes, info, suppressions).
+_ContentRow = tuple[Fingerprint, tuple[Diagnostic, ...], tuple[Fix, ...],
+                    DocumentInfo, Suppressions]
 _CodeRow = tuple[Fingerprint, tuple[Diagnostic, ...], Suppressions]
 
 
@@ -117,6 +128,38 @@ class LintEngine:
         self._lock = threading.Lock()    # serializes lint(); caches below
         self._content_cache: dict[str, _ContentRow] = {}
         self._code_cache: dict[str, _CodeRow] = {}
+        self._persistent_loaded = False
+        self._cache_dirty = False
+
+    # -- the persistent cache ------------------------------------------------
+
+    def _load_persistent(self) -> None:
+        """Warm the in-memory caches from ``cache_dir`` (once, lazily)."""
+        if self._persistent_loaded or self.config.cache_dir is None:
+            return
+        self._persistent_loaded = True
+        content, code = cachefile.load_cache(self.config.cache_dir)
+        # Disk rows never clobber rows this process already computed.
+        for key, row in content.items():
+            self._content_cache.setdefault(key, row)
+        for key, row in code.items():
+            self._code_cache.setdefault(key, row)
+
+    def _save_persistent(self, seen_content: set[str],
+                         seen_code: set[str]) -> None:
+        """Spill the caches back to disk, pruning rows for deleted files."""
+        if self.config.cache_dir is None:
+            return
+        stale = ((set(self._content_cache) - seen_content)
+                 | (set(self._code_cache) - seen_code))
+        for key in stale:
+            self._content_cache.pop(key, None)
+            self._code_cache.pop(key, None)
+        if not self._cache_dirty and not stale:
+            return
+        cachefile.save_cache(self.config.cache_dir,
+                             self._content_cache, self._code_cache)
+        self._cache_dirty = False
 
     # -- per-file analysis (cache-aware) ------------------------------------
 
@@ -129,8 +172,10 @@ class LintEngine:
         doc = load_document(path)
         row: _ContentRow = (fingerprint,
                             tuple(rules_content.run_per_file(doc)),
+                            tuple(fixes_for_document(doc)),
                             doc.info, doc.suppressions)
         self._content_cache[key] = row
+        self._cache_dirty = True
         return row, False
 
     def _analyze_code(self, path: Path) -> tuple[_CodeRow, bool]:
@@ -144,6 +189,7 @@ class LintEngine:
                          tuple(rules_code.analyze_source(key, source)),
                          python_suppressions(source))
         self._code_cache[key] = row
+        self._cache_dirty = True
         return row, False
 
     def _map(self, paths: list[Path], analyze, stats: LintStats,
@@ -175,19 +221,25 @@ class LintEngine:
     def _content_pass(self, stats: LintStats) -> list[Diagnostic]:
         paths = sorted(Path(self.config.content_dir).glob("*.md"))
         stats.files_total += len(paths)
+        self._seen_content = {str(path) for path in paths}
         rows = self._map(paths, self._analyze_content, stats)
-        suppressions = {row[2].file: row[3] for row in rows}
+        suppressions = {row[3].file: row[4] for row in rows}
         diagnostics: list[Diagnostic] = []
+        fixes: list[Fix] = []
         infos: list[DocumentInfo] = []
-        for _fp, diags, info, _supp in rows:
+        for _fp, diags, file_fixes, info, _supp in rows:
             diagnostics.extend(diags)
+            fixes.extend(file_fixes)
             infos.append(info)
         if self.config.content:
             diagnostics.extend(rules_content.run_corpus(infos))
+            fixes.extend(fixes_for_corpus(infos))
         else:
             diagnostics = []
+            fixes = []
         self._infos = infos
         self._content_suppressions = suppressions
+        self._raw_fixes = fixes
         return diagnostics
 
     def _site_pass(self) -> list[Diagnostic]:
@@ -205,11 +257,11 @@ class LintEngine:
             code_dir = Path(serve.__file__).parent
         paths = sorted(Path(code_dir).rglob("*.py"))
         stats.files_total += len(paths)
-        # Serial on purpose: rules_code serializes ast.parse behind a
-        # GC-pausing guard (CPython 3.11 SystemError workaround, see
-        # rules_code._parse), so fanning the handful of serve modules over
-        # threads buys nothing.
-        rows = self._map(paths, self._analyze_code, stats, jobs=1)
+        self._seen_code = {str(path) for path in paths}
+        # Fans out like the content pass: rules_code._parse pauses cyclic
+        # GC behind a *counting* guard (CPython 3.11 SystemError
+        # workaround), so concurrent parses are safe.
+        rows = self._map(paths, self._analyze_code, stats)
         diagnostics: list[Diagnostic] = []
         for key, (_fp, diags, supp) in zip((str(p) for p in paths), rows):
             self._code_suppressions[key] = supp
@@ -221,10 +273,14 @@ class LintEngine:
     def lint(self) -> LintResult:
         """Run every enabled pass; thread-safe, incremental, deterministic."""
         with self._lock:
+            self._load_persistent()
             stats = LintStats()
             self._infos = []
             self._content_suppressions: dict[str, Suppressions] = {}
             self._code_suppressions: dict[str, Suppressions] = {}
+            self._raw_fixes: list[Fix] = []
+            self._seen_content: set[str] = set()
+            self._seen_code: set[str] = set()
             raw: list[Diagnostic] = []
             # The content files are always *scanned* (site rules need the
             # DocumentInfos) even when the content pass itself is disabled.
@@ -233,11 +289,22 @@ class LintEngine:
                 raw.extend(self._site_pass())
             if self.config.code:
                 raw.extend(self._code_pass(stats))
-            diagnostics = self._finalize(raw)
-            return LintResult(diagnostics=diagnostics, stats=stats)
+            diagnostics, fixes = self._finalize(raw, self._raw_fixes, stats)
+            self._save_persistent(self._seen_content, self._seen_code)
+            return LintResult(diagnostics=diagnostics, stats=stats,
+                              fixes=fixes)
 
-    def _finalize(self, raw: Iterable[Diagnostic]) -> list[Diagnostic]:
-        """Report-time filtering: suppressions, disables, severity config."""
+    def _finalize(self, raw: Iterable[Diagnostic], raw_fixes: list[Fix],
+                  stats: LintStats) -> tuple[list[Diagnostic], list[Fix]]:
+        """Report-time filtering: suppressions, disables, baseline, config.
+
+        Fixes survive only when their diagnostic does — a suppressed,
+        disabled, or baselined finding must not be auto-"fixed" behind
+        the author's back.  The join key is the diagnostic sort key, not
+        object identity, so severity overrides don't sever the link.
+        """
+        baselined = (load_baseline(self.config.baseline)
+                     if self.config.baseline is not None else frozenset())
         out: list[Diagnostic] = []
         for diag in raw:
             if diag.rule_id in self.config.disabled:
@@ -246,9 +313,15 @@ class LintEngine:
                             or self._code_suppressions.get(diag.file))
             if suppressions is not None and is_suppressed(diag, suppressions):
                 continue
+            if baselined and baseline_key(diag) in baselined:
+                stats.baselined += 1
+                continue
             override = self.config.severity_overrides.get(diag.rule_id)
             if override is not None and override is not diag.severity:
                 diag = diag.with_severity(override)
             out.append(diag)
         out.sort(key=sort_key)
-        return out
+        surviving = {sort_key(diag) for diag in out}
+        fixes = sorted((fix for fix in raw_fixes if fix.key in surviving),
+                       key=lambda fix: fix.key)
+        return out, fixes

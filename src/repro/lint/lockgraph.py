@@ -1,0 +1,349 @@
+"""Lock-acquisition graph analysis: the deadlock-risk rule.
+
+Builds, per lock-owning class, a *held-before* graph: an edge ``A -> B``
+means some code path acquires lock ``B`` while already holding lock
+``A``.  Acquisitions are tracked both lexically (``with self.B:`` nested
+inside ``with self.A:``, manual ``self.B.acquire()``) and across
+*intra-class* calls: when a method calls ``self.helper()`` while holding
+``A``, every lock ``helper`` may transitively acquire is taken "under"
+``A``.
+
+Reported as ``serve-lock-order`` (WARNING — lands warn-first, see the
+baseline mechanism):
+
+* **Nested acquisition of a non-reentrant lock** — ``self.X`` is a plain
+  ``threading.Lock`` and some path acquires it while already holding it
+  (directly, or by calling a method that does).  That is not an ordering
+  hazard but a self-deadlock; ``RLock`` attributes are exempt.
+* **Lock-order inversion** — the held-before graph has a cycle
+  (``A`` held while taking ``B`` on one path, ``B`` held while taking
+  ``A`` on another), the classic two-thread deadlock shape.
+
+Heuristics share :mod:`repro.lint.rules_code`'s conventions and limits:
+only ``self.<attr>`` locks of one class are modeled, nested function
+bodies run later (held set resets inside them), and ``with`` releases on
+exit while a bare ``.acquire()`` holds for the rest of the method.  The
+analysis is convention-encoding, not proof — it flags shapes that are
+deadlocks *if* the paths interleave.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.diagnostics import Diagnostic, Severity, make, rule
+
+__all__ = ["lock_attr_kinds", "analyze_class"]
+
+rule("serve-lock-order", "code", Severity.WARNING,
+     "lock acquisition order is acyclic and non-reentrant locks "
+     "are never nested")
+
+_LOCK_KINDS = ("Lock", "RLock")
+
+
+def _factory_kind(node: ast.AST) -> str | None:
+    """``"Lock"``/``"RLock"`` when ``node`` calls a lock factory."""
+    if not isinstance(node, ast.Call):
+        return None
+    return _reference_kind(node.func)
+
+
+def _reference_kind(node: ast.AST) -> str | None:
+    """Kind when ``node`` *names* a lock factory (``threading.Lock``)."""
+    if isinstance(node, ast.Attribute) and node.attr in _LOCK_KINDS:
+        return node.attr
+    if isinstance(node, ast.Name) and node.id in _LOCK_KINDS:
+        return node.id
+    return None
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def lock_attr_kinds(cls: ast.ClassDef) -> dict[str, str]:
+    """Instance lock attributes of ``cls``, attr -> ``"Lock"``/``"RLock"``.
+
+    The kind matters: nesting an ``RLock`` is legal, nesting a ``Lock``
+    is a self-deadlock.  Recognizes the same declaration shapes as
+    ``rules_code._lock_attrs`` (``__init__`` assignment, dataclass
+    ``field(default_factory=...)``).
+    """
+    kinds: dict[str, str] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            value = stmt.value
+            kind = _factory_kind(value)
+            if kind is None and isinstance(value, ast.Call):
+                for kw in value.keywords:
+                    if kw.arg == "default_factory":
+                        kind = _reference_kind(kw.value)
+            if kind is not None:
+                kinds[stmt.target.id] = kind
+        if not (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__init__"):
+            continue
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                kind = _factory_kind(node.value)
+                if kind is not None:
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            kinds[attr] = kind
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                kind = _factory_kind(node.value)
+                if kind is not None:
+                    attr = _self_attr(node.target)
+                    if attr is not None:
+                        kinds[attr] = kind
+    return kinds
+
+
+@dataclass(frozen=True)
+class _Acquire:
+    """One lock acquisition and the locks held at that moment."""
+
+    lock: str
+    held: tuple[str, ...]
+    method: str
+    line: int
+    column: int
+
+
+@dataclass(frozen=True)
+class _SelfCall:
+    """One ``self.m()`` call and the locks held at that moment."""
+
+    callee: str
+    held: tuple[str, ...]
+    method: str
+    line: int
+    column: int
+
+
+def _is_nonblocking(node: ast.Call) -> bool:
+    """``.acquire(False)`` / ``.acquire(blocking=False)`` — a try-lock.
+
+    A non-blocking acquire can never deadlock, and whether it leaves the
+    lock held is a runtime question (its result is usually branched on),
+    so the graph ignores it entirely.
+    """
+    for arg in node.args[:1]:
+        if isinstance(arg, ast.Constant) and arg.value is False:
+            return True
+    for kw in node.keywords:
+        if (kw.arg == "blocking" and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False):
+            return True
+    return False
+
+
+class _LockFlow(ast.NodeVisitor):
+    """Collect acquisitions and intra-class calls for one method body."""
+
+    def __init__(self, method: str, locks: frozenset[str]):
+        self.method = method
+        self.locks = locks
+        self.held: list[str] = []
+        self.acquires: list[_Acquire] = []
+        self.calls: list[_SelfCall] = []
+
+    def _record_acquire(self, lock: str, line: int, column: int) -> None:
+        self.acquires.append(_Acquire(lock, tuple(self.held), self.method,
+                                      line, column))
+
+    def visit_With(self, node: ast.With) -> None:
+        entered: list[str] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.locks:
+                expr = item.context_expr
+                self._record_acquire(attr, expr.lineno, expr.col_offset + 1)
+                self.held.append(attr)
+                entered.append(attr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for lock in reversed(entered):
+            self.held.remove(lock)
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested function bodies run later (often on another thread):
+        # the enclosing held set does not apply inside them.
+        saved, self.held = self.held, []
+        self.generic_visit(node)
+        self.held = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            owner = _self_attr(func.value)
+            if owner is not None and owner in self.locks:
+                if func.attr == "acquire" and not _is_nonblocking(node):
+                    self._record_acquire(owner, node.lineno,
+                                         node.col_offset + 1)
+                    self.held.append(owner)
+                elif func.attr == "release" and owner in self.held:
+                    self.held.remove(owner)
+        callee = _self_attr(func)
+        if callee is not None:
+            self.calls.append(_SelfCall(callee, tuple(self.held), self.method,
+                                        node.lineno, node.col_offset + 1))
+        self.generic_visit(node)
+
+
+def _transitive_locks(
+    acquires: dict[str, list[_Acquire]],
+    calls: dict[str, list[_SelfCall]],
+) -> dict[str, set[str]]:
+    """Locks each method may acquire, following intra-class calls."""
+    memo: dict[str, set[str]] = {}
+
+    def visit(method: str, stack: set[str]) -> set[str]:
+        if method in memo:
+            return memo[method]
+        if method in stack:
+            return set()                 # call cycle: already accounted
+        stack.add(method)
+        out = {a.lock for a in acquires.get(method, ())}
+        for call in calls.get(method, ()):
+            out |= visit(call.callee, stack)
+        stack.discard(method)
+        memo[method] = out
+        return out
+
+    for method in set(acquires) | set(calls):
+        visit(method, set())
+    return memo
+
+
+def _strongly_connected(nodes: set[str],
+                        edges: dict[tuple[str, str], str]) -> list[list[str]]:
+    """SCCs of size >= 2 (mutual-reachability over the edge set)."""
+    adjacency: dict[str, set[str]] = {n: set() for n in nodes}
+    for a, b in edges:
+        adjacency.setdefault(a, set()).add(b)
+
+    def reachable(start: str) -> set[str]:
+        seen: set[str] = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    reach = {n: reachable(n) for n in nodes}
+    components: list[list[str]] = []
+    assigned: set[str] = set()
+    for node in sorted(nodes):
+        if node in assigned:
+            continue
+        component = sorted(
+            other for other in nodes
+            if other in reach[node] and node in reach[other]
+        )
+        if node not in component:
+            continue                     # not on any cycle through itself
+        if len(component) >= 2:
+            components.append(component)
+        assigned.update(component)
+    return components
+
+
+def analyze_class(file: str, cls: ast.ClassDef,
+                  kinds: dict[str, str]) -> list[Diagnostic]:
+    """Run the lock-graph rule over one lock-owning class."""
+    if not kinds:
+        return []
+    lock_names = frozenset(kinds)
+    acquires: dict[str, list[_Acquire]] = {}
+    calls: dict[str, list[_SelfCall]] = {}
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if stmt.name == "__init__":
+            continue                     # no concurrency before construction
+        flow = _LockFlow(stmt.name, lock_names)
+        for inner in stmt.body:
+            flow.visit(inner)
+        acquires[stmt.name] = flow.acquires
+        calls[stmt.name] = flow.calls
+
+    out: list[Diagnostic] = []
+
+    # Nested acquisition of a non-reentrant lock: direct self-deadlock.
+    for method_acquires in acquires.values():
+        for acq in method_acquires:
+            if acq.lock in acq.held and kinds.get(acq.lock) == "Lock":
+                out.append(make(
+                    "serve-lock-order", file, acq.line, acq.column,
+                    f"{cls.name}.{acq.method} acquires non-reentrant "
+                    f"self.{acq.lock} while already holding it"))
+
+    # Held-before edges, direct and through intra-class calls.
+    closure = _transitive_locks(acquires, calls)
+    edges: dict[tuple[str, str], str] = {}
+
+    def note_edge(held: str, taken: str, provenance: str) -> None:
+        if held != taken:
+            edges.setdefault((held, taken), provenance)
+
+    for method_acquires in acquires.values():
+        for acq in method_acquires:
+            for held in sorted(set(acq.held)):
+                note_edge(held, acq.lock,
+                          f"{cls.name}.{acq.method}:{acq.line}")
+    for method_calls in calls.values():
+        for call in method_calls:
+            if not call.held or call.callee not in closure:
+                continue
+            for taken in sorted(closure[call.callee]):
+                if taken in call.held and kinds.get(taken) == "Lock":
+                    out.append(make(
+                        "serve-lock-order", file, call.line, call.column,
+                        f"{cls.name}.{call.method} calls self."
+                        f"{call.callee}() which acquires non-reentrant "
+                        f"self.{taken} while it is already held"))
+                for held in sorted(set(call.held)):
+                    note_edge(
+                        held, taken,
+                        f"{cls.name}.{call.method}:{call.line} via "
+                        f"self.{call.callee}()")
+
+    # Lock-order inversions: cycles in the held-before graph.
+    nodes = {a for a, _ in edges} | {b for _, b in edges}
+    for component in _strongly_connected(nodes, edges):
+        members = set(component)
+        intra = sorted(
+            (pair, provenance) for pair, provenance in edges.items()
+            if pair[0] in members and pair[1] in members
+        )
+        detail = ", ".join(
+            f"self.{a} held while taking self.{b} [{provenance}]"
+            for (a, b), provenance in intra
+        )
+        first_line = min(
+            (int(provenance.split(":")[1].split()[0])
+             for _pair, provenance in intra),
+            default=1,
+        )
+        locks_list = ", ".join(f"self.{name}" for name in component)
+        out.append(make(
+            "serve-lock-order", file, first_line, 1,
+            f"lock-order inversion in {cls.name} among {locks_list}: "
+            f"{detail}"))
+    return out

@@ -3,14 +3,20 @@
 Every reporter takes the already-sorted diagnostics list from
 :class:`~repro.lint.engine.LintResult` and is a pure function of it, so
 text, JSON, and SARIF views of the same run always agree.
+
+Machine-applicable fixes travel with their findings: the text summary
+counts them (``run with --fix to apply``), JSON carries a ``fixes``
+array, and SARIF results attach spec ``fixes`` objects (deleted region +
+inserted content) that CI annotation UIs can offer as suggested edits.
 """
 
 from __future__ import annotations
 
 import json
 
-from repro.lint.diagnostics import RULES, Diagnostic, Severity
+from repro.lint.diagnostics import RULES, Diagnostic, Severity, sort_key
 from repro.lint.engine import LintResult
+from repro.lint.fixes import Fix
 
 __all__ = ["render_text", "render_json", "render_sarif", "REPORTERS"]
 
@@ -25,38 +31,73 @@ _SARIF_LEVELS = {
 
 def render_text(result: LintResult, stats: bool = False) -> str:
     """``file:line:col: severity: message [rule-id]`` per finding."""
+    fixable = {fix.key for fix in result.fixes}
     lines = []
     for diag in result.diagnostics:
         location = f"{diag.file}:{diag.span.line}:{diag.span.column}"
+        suffix = " (fixable)" if sort_key(diag) in fixable else ""
         lines.append(f"{location}: {diag.severity.value}: "
-                     f"{diag.message} [{diag.rule_id}]")
+                     f"{diag.message} [{diag.rule_id}]{suffix}")
     counts = result.counts
     summary = ", ".join(f"{counts[s.value]} {s.value}(s)" for s in Severity)
+    if result.fixable:
+        summary += f"; {result.fixable} fixable (run with --fix to apply)"
     lines.append(summary if result.diagnostics else f"clean ({summary})")
     if stats:
         lines.append(
             f"files: {result.stats.files_total} total, "
             f"{result.stats.files_analyzed} analyzed, "
-            f"{result.stats.files_cached} cached")
+            f"{result.stats.files_cached} cached, "
+            f"{result.stats.baselined} baselined finding(s)")
     return "\n".join(lines) + "\n"
 
 
 def render_json(result: LintResult, stats: bool = False) -> str:
+    counts = dict(result.counts)
+    counts["fixable"] = result.fixable
     payload = {
         "diagnostics": [diag.to_dict() for diag in result.diagnostics],
-        "counts": result.counts,
+        "counts": counts,
+        "fixes": [fix.to_dict() for fix in result.fixes],
     }
     if stats:
         payload["stats"] = {
             "files_total": result.stats.files_total,
             "files_analyzed": result.stats.files_analyzed,
             "files_cached": result.stats.files_cached,
+            "baselined": result.stats.baselined,
         }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
-def _sarif_result(diag: Diagnostic) -> dict:
+def _sarif_region(fix: Fix) -> list[dict]:
+    return [
+        {
+            "deletedRegion": {
+                "startLine": edit.start_line,
+                "startColumn": edit.start_column,
+                "endLine": edit.end_line,
+                "endColumn": edit.end_column,
+            },
+            "insertedContent": {"text": edit.replacement},
+        }
+        for edit in fix.edits
+    ]
+
+
+def _sarif_fix(fix: Fix) -> dict:
+    """One SARIF ``fix`` object (2.1.0 §3.55) for one finding."""
     return {
+        "description": {"text": fix.description},
+        "artifactChanges": [{
+            "artifactLocation": {"uri": fix.file},
+            "replacements": _sarif_region(fix),
+        }],
+    }
+
+
+def _sarif_result(diag: Diagnostic, fixes: dict[tuple, Fix]) -> dict:
+    result = {
         "ruleId": diag.rule_id,
         "level": _SARIF_LEVELS[diag.severity],
         "message": {"text": diag.message},
@@ -70,10 +111,15 @@ def _sarif_result(diag: Diagnostic) -> dict:
             },
         }],
     }
+    fix = fixes.get(sort_key(diag))
+    if fix is not None and fix.edits:
+        result["fixes"] = [_sarif_fix(fix)]
+    return result
 
 
 def render_sarif(result: LintResult, stats: bool = False) -> str:
     """SARIF 2.1.0; one run, one rule descriptor per registered rule."""
+    fixes = {fix.key: fix for fix in result.fixes}
     run = {
         "tool": {
             "driver": {
@@ -91,7 +137,7 @@ def render_sarif(result: LintResult, stats: bool = False) -> str:
                 ],
             },
         },
-        "results": [_sarif_result(d) for d in result.diagnostics],
+        "results": [_sarif_result(d, fixes) for d in result.diagnostics],
     }
     document = {
         "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"

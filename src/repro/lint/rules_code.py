@@ -9,6 +9,9 @@ up as a diagnostic instead of a race:
 * ``serve-blocking-io-under-lock`` — a known blocking call (``open``,
   ``time.sleep``, ``Path.read_text`` …) happens lexically inside a held
   lock, stalling every other thread contending for it.
+* ``serve-lock-order`` — the per-class lock-acquisition graph has a
+  deadlock shape: a non-reentrant lock nested inside itself, or a
+  held-before cycle between two locks (see :mod:`repro.lint.lockgraph`).
 
 Heuristics, deliberately conservative (convention-encoding, not proof):
 
@@ -34,6 +37,7 @@ import gc
 import threading
 from pathlib import Path
 
+from repro.lint import lockgraph
 from repro.lint.diagnostics import Diagnostic, Severity, make, rule
 
 __all__ = ["analyze_source", "analyze_tree", "run_code"]
@@ -52,30 +56,6 @@ _BLOCKING_ATTRS = frozenset({
     "urlopen", "urlretrieve", "getaddrinfo", "gethostbyname",
 })
 
-_LOCK_FACTORIES = ("Lock", "RLock")
-
-
-def _is_lock_factory(node: ast.AST) -> bool:
-    """``threading.Lock()`` / ``threading.RLock()`` / bare ``Lock()``."""
-    if not isinstance(node, ast.Call):
-        return False
-    func = node.func
-    if isinstance(func, ast.Attribute):
-        return func.attr in _LOCK_FACTORIES
-    if isinstance(func, ast.Name):
-        return func.id in _LOCK_FACTORIES
-    return False
-
-
-def _is_lock_reference(node: ast.AST) -> bool:
-    """A reference *to* a lock factory (``default_factory=threading.Lock``)."""
-    if isinstance(node, ast.Attribute):
-        return node.attr in _LOCK_FACTORIES
-    if isinstance(node, ast.Name):
-        return node.id in _LOCK_FACTORIES
-    return False
-
-
 def _self_attr(node: ast.AST) -> str | None:
     """Return ``attr`` when ``node`` is ``self.attr``, else ``None``."""
     if (isinstance(node, ast.Attribute)
@@ -85,36 +65,14 @@ def _self_attr(node: ast.AST) -> str | None:
     return None
 
 
+def _lock_attr_kinds(cls: ast.ClassDef) -> dict[str, str]:
+    """Instance lock attributes, attr -> ``"Lock"``/``"RLock"``."""
+    return lockgraph.lock_attr_kinds(cls)
+
+
 def _lock_attrs(cls: ast.ClassDef) -> set[str]:
     """Names of instance attributes holding locks."""
-    locks: set[str] = set()
-    for stmt in cls.body:
-        # dataclass field: ``_lock: threading.Lock = field(default_factory=...)``
-        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
-            value = stmt.value
-            if _is_lock_factory(value):
-                locks.add(stmt.target.id)
-            elif isinstance(value, ast.Call):
-                for kw in value.keywords:
-                    if (kw.arg == "default_factory"
-                            and _is_lock_reference(kw.value)):
-                        locks.add(stmt.target.id)
-        if not (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and stmt.name == "__init__"):
-            continue
-        for node in ast.walk(stmt):
-            if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
-                for target in node.targets:
-                    attr = _self_attr(target)
-                    if attr is not None:
-                        locks.add(attr)
-            elif (isinstance(node, ast.AnnAssign)
-                  and node.value is not None
-                  and _is_lock_factory(node.value)):
-                attr = _self_attr(node.target)
-                if attr is not None:
-                    locks.add(attr)
-    return locks
+    return set(_lock_attr_kinds(cls))
 
 
 def _is_lock_context(item: ast.withitem, locks: set[str]) -> bool:
@@ -221,7 +179,43 @@ class _MethodVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-_GC_GUARD = threading.Lock()
+class _GcPause:
+    """Counting guard: cyclic GC stays paused while any parse is in flight.
+
+    Unlike a plain lock around the parse, the guard does not serialize
+    parsers — any number of threads parse concurrently; only the
+    first-in disables collection and only the last-out restores it, so
+    overlapping holders can never re-enable GC under each other.
+    Reentrant within a thread (it is just a counter).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._was_enabled = False
+
+    def __enter__(self) -> "_GcPause":
+        with self._lock:
+            if self._depth == 0:
+                self._was_enabled = gc.isenabled()
+                if self._was_enabled:
+                    gc.disable()
+            self._depth += 1
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        with self._lock:
+            self._depth -= 1
+            if self._depth == 0 and self._was_enabled:
+                gc.enable()
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+
+_PARSE_GUARD = _GcPause()
 
 
 def _parse(source: str) -> ast.Module:
@@ -232,14 +226,12 @@ def _parse(source: str) -> ast.Module:
     (e.g. hypothesis) has registered Python-level ``gc.callbacks`` — dies
     with ``SystemError: AST constructor recursion depth mismatch``.  It is
     not a real syntax problem: pausing collection around the parse
-    (reference counting still runs) avoids it entirely.  The lock keeps
-    concurrent parsers from re-enabling GC under each other; a fresh-thread
+    (reference counting still runs) avoids it entirely.  The counting
+    guard lets the engine fan parses over a thread pool (GC is off while
+    *any* parse runs, restored when the last finishes); a fresh-thread
     retry backstops anything that still slips through.
     """
-    with _GC_GUARD:
-        enabled = gc.isenabled()
-        if enabled:
-            gc.disable()
+    with _PARSE_GUARD:
         try:
             return ast.parse(source)
         except (RecursionError, SystemError):
@@ -257,9 +249,6 @@ def _parse(source: str) -> ast.Module:
             if result and isinstance(result[0], ast.Module):
                 return result[0]
             raise
-        finally:
-            if enabled:
-                gc.enable()
 
 
 def analyze_source(file: str, source: str) -> list[Diagnostic]:
@@ -274,7 +263,8 @@ def analyze_source(file: str, source: str) -> list[Diagnostic]:
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
             continue
-        locks = _lock_attrs(node)
+        kinds = _lock_attr_kinds(node)
+        locks = set(kinds)
         if not locks:
             continue
         for stmt in node.body:
@@ -286,6 +276,7 @@ def analyze_source(file: str, source: str) -> list[Diagnostic]:
             for inner in stmt.body:
                 visitor.visit(inner)
             out.extend(visitor.diagnostics)
+        out.extend(lockgraph.analyze_class(file, node, kinds))
     return out
 
 

@@ -443,14 +443,21 @@ class ServeApp:
         if engine is None:
             from repro.lint import LintConfig, LintEngine
 
+            # Sharing the serve cache directory persists the lint
+            # fingerprint table too, so a freshly started server's first
+            # /api/lint re-analyzes only files changed since the last run.
             engine = LintEngine(LintConfig(
-                content_dir=self.rebuilder.content_dir, jobs=4))
+                content_dir=self.rebuilder.content_dir, jobs=4,
+                cache_dir=self.store.root if self.store is not None
+                else None))
         result = engine.lint()
         payload = {
             "signature": signature,
             "counts": result.counts,
+            "fixable": result.fixable,
             "clean": not result.diagnostics,
             "diagnostics": [d.to_dict() for d in result.diagnostics],
+            "fixes": [f.to_dict() for f in result.fixes],
             "stats": {
                 "files_total": result.stats.files_total,
                 "files_analyzed": result.stats.files_analyzed,

@@ -1,0 +1,116 @@
+"""The baseline ratchet: warn-first landing for new rules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    LintEngine,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.baseline import BaselineError, baseline_key
+
+from tests.lint.conftest import GOOD
+
+
+BAD = GOOD.replace('courses: ["CS1"]', 'courses: ["CS9"]')
+
+
+def _engine(corpus, baseline=None) -> LintEngine:
+    return LintEngine(LintConfig(content_dir=corpus, site=False, code=False,
+                                 baseline=baseline))
+
+
+class TestFiltering:
+    def test_baselined_finding_is_filtered(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=BAD)
+        findings = _engine(corpus).lint().diagnostics
+        assert findings
+        baseline = write_baseline(tmp_path / "base.json", findings)
+        result = _engine(corpus, baseline=baseline).lint()
+        assert result.diagnostics == []
+        assert result.stats.baselined == len(findings)
+        assert result.exit_code() == 0
+
+    def test_new_findings_still_report(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=BAD)
+        baseline = write_baseline(tmp_path / "base.json",
+                                  _engine(corpus).lint().diagnostics)
+        worse = BAD.replace('senses: ["visual"]', 'senses: ["smelling"]')
+        (corpus / "good.md").write_text(worse, encoding="utf-8")
+        result = _engine(corpus, baseline=baseline).lint()
+        assert len(result.diagnostics) == 1
+        assert "senses" in result.diagnostics[0].message
+
+    def test_baseline_matches_across_checkout_roots(self, write_corpus,
+                                                    tmp_path):
+        # Keys use basenames: a baseline recorded against one absolute
+        # path filters the same file under any other root.
+        corpus = write_corpus(good=BAD)
+        diags = _engine(corpus).lint().diagnostics
+        relocated = [d.with_severity(d.severity) for d in diags]
+        for diag in relocated:
+            assert baseline_key(diag)[1] == "good.md"
+
+    def test_fix_is_dropped_with_its_baselined_diagnostic(self, write_corpus,
+                                                          tmp_path):
+        fixable = GOOD.replace('senses: ["visual"]', 'senses: ["Visual"]')
+        corpus = write_corpus(good=fixable)
+        cold = _engine(corpus).lint()
+        assert cold.fixes
+        baseline = write_baseline(tmp_path / "base.json", cold.diagnostics)
+        result = _engine(corpus, baseline=baseline).lint()
+        assert result.diagnostics == [] and result.fixes == []
+
+
+class TestFileFormat:
+    def test_write_load_round_trip(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=BAD)
+        diags = _engine(corpus).lint().diagnostics
+        path = write_baseline(tmp_path / "base.json", diags)
+        keys = load_baseline(path)
+        assert keys == {baseline_key(d) for d in diags}
+
+    def test_output_is_sorted_and_stable(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=BAD)
+        diags = _engine(corpus).lint().diagnostics
+        first = write_baseline(tmp_path / "a.json", diags).read_text()
+        second = write_baseline(tmp_path / "b.json",
+                                list(reversed(diags))).read_text()
+        assert first == second
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == frozenset()
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text("{nope", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}),
+                        encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"version": 1, "entries": [{"rule": "x"}]}),
+                        encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestShippedBaseline:
+    def test_repo_baseline_is_valid_and_empty(self):
+        from pathlib import Path
+
+        path = Path(__file__).parents[2] / ".lintbaseline.json"
+        assert path.exists()
+        assert load_baseline(path) == frozenset()

@@ -1,0 +1,191 @@
+"""The persistent cross-run cache: warm hits, invalidation, tolerance.
+
+"Cross-run" is the point: every warm-path test here builds a *fresh*
+engine over the same ``cache_dir``, which is exactly what a separate
+process would do — nothing is shared but the cache file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import LintConfig, LintEngine, render_json
+from repro.lint.cachefile import (
+    CACHE_VERSION,
+    cache_path,
+    cache_signature,
+    load_cache,
+    save_cache,
+)
+
+from tests.lint.conftest import GOOD
+
+
+def _engine(corpus: Path, cache: Path, **overrides) -> LintEngine:
+    return LintEngine(LintConfig(content_dir=corpus, cache_dir=cache,
+                                 site=False, code=False, **overrides))
+
+
+def _touch(path: Path) -> None:
+    """Bump mtime_ns so the fingerprint changes without a content change."""
+    stat = path.stat()
+    import os
+
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+
+
+class TestWarmRuns:
+    def test_unchanged_corpus_reanalyzes_zero_files(self, write_corpus,
+                                                    tmp_path):
+        corpus = write_corpus(good=GOOD)
+        cache = tmp_path / "lint-cache"
+        cold = _engine(corpus, cache).lint()
+        assert cold.stats.files_analyzed == 1
+        warm = _engine(corpus, cache).lint()   # fresh engine = fresh process
+        assert warm.stats.files_analyzed == 0
+        assert warm.stats.files_cached == 1
+
+    def test_warm_report_is_byte_identical(self, write_corpus, tmp_path):
+        corpus = write_corpus(
+            good=GOOD.replace('senses: ["visual"]', 'senses: ["Visual"]'),
+            other=GOOD.replace("GoodActivity", "OtherActivity"))
+        cache = tmp_path / "lint-cache"
+        cold = _engine(corpus, cache).lint()
+        warm = _engine(corpus, cache).lint()
+        assert render_json(cold) == render_json(warm)
+        assert [f.to_dict() for f in cold.fixes] == \
+               [f.to_dict() for f in warm.fixes]
+
+    def test_only_touched_file_reanalyzed(self, write_corpus, tmp_path):
+        corpus = write_corpus(
+            good=GOOD, other=GOOD.replace("GoodActivity", "OtherActivity"))
+        cache = tmp_path / "lint-cache"
+        _engine(corpus, cache).lint()
+        _touch(corpus / "other.md")
+        warm = _engine(corpus, cache).lint()
+        assert warm.stats.files_analyzed == 1
+        assert warm.stats.files_cached == 1
+
+    def test_deleted_file_is_pruned(self, write_corpus, tmp_path):
+        corpus = write_corpus(
+            good=GOOD, other=GOOD.replace("GoodActivity", "OtherActivity"))
+        cache = tmp_path / "lint-cache"
+        _engine(corpus, cache).lint()
+        (corpus / "other.md").unlink()
+        _engine(corpus, cache).lint()
+        content, _code = load_cache(cache)
+        assert set(content) == {str(corpus / "good.md")}
+
+    def test_code_rows_persist_too(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=GOOD)
+        cache = tmp_path / "lint-cache"
+        cold = LintEngine(LintConfig(content_dir=corpus, cache_dir=cache,
+                                     site=False, code=True)).lint()
+        assert cold.stats.files_analyzed > 1     # content + serve modules
+        warm = LintEngine(LintConfig(content_dir=corpus, cache_dir=cache,
+                                     site=False, code=True)).lint()
+        assert warm.stats.files_analyzed == 0
+
+
+class TestInvalidation:
+    def test_version_mismatch_drops_cache(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=GOOD)
+        cache = tmp_path / "lint-cache"
+        _engine(corpus, cache).lint()
+        data = json.loads(cache_path(cache).read_text())
+        data["version"] = CACHE_VERSION + 1
+        cache_path(cache).write_text(json.dumps(data))
+        warm = _engine(corpus, cache).lint()
+        assert warm.stats.files_analyzed == 1
+
+    def test_signature_mismatch_drops_cache(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=GOOD)
+        cache = tmp_path / "lint-cache"
+        _engine(corpus, cache).lint()
+        data = json.loads(cache_path(cache).read_text())
+        data["signature"] = "0" * 16
+        cache_path(cache).write_text(json.dumps(data))
+        warm = _engine(corpus, cache).lint()
+        assert warm.stats.files_analyzed == 1
+
+    def test_config_change_does_not_invalidate(self, write_corpus, tmp_path):
+        # Rows hold raw diagnostics; severity overrides apply at report
+        # time, so a warm run under different config still hits.
+        from repro.lint import Severity
+
+        corpus = write_corpus(
+            good=GOOD.replace('courses: ["CS1"]', 'courses: ["CS9"]'))
+        cache = tmp_path / "lint-cache"
+        _engine(corpus, cache).lint()
+        warm = _engine(
+            corpus, cache,
+            severity_overrides={"taxonomy-unknown-term": Severity.INFO},
+        ).lint()
+        assert warm.stats.files_analyzed == 0
+        assert warm.counts["info"] == 1
+
+
+class TestTolerance:
+    def test_corrupt_cache_file_is_ignored(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=GOOD)
+        cache = tmp_path / "lint-cache"
+        cache.mkdir()
+        cache_path(cache).write_text("{not json", encoding="utf-8")
+        result = _engine(corpus, cache).lint()
+        assert result.stats.files_analyzed == 1
+        # And the lint run healed the file in passing.
+        content, _ = load_cache(cache)
+        assert content
+
+    def test_malformed_row_skipped_others_kept(self, write_corpus, tmp_path):
+        corpus = write_corpus(
+            good=GOOD, other=GOOD.replace("GoodActivity", "OtherActivity"))
+        cache = tmp_path / "lint-cache"
+        _engine(corpus, cache).lint()
+        data = json.loads(cache_path(cache).read_text())
+        first = sorted(data["content"])[0]
+        data["content"][first] = {"fingerprint": "nonsense"}
+        cache_path(cache).write_text(json.dumps(data))
+        warm = _engine(corpus, cache).lint()
+        assert warm.stats.files_analyzed == 1
+        assert warm.stats.files_cached == 1
+
+    def test_missing_cache_dir_is_cold_start(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=GOOD)
+        result = _engine(corpus, tmp_path / "never-created").lint()
+        assert result.stats.files_analyzed == 1
+
+    def test_no_tmp_file_left_behind(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=GOOD)
+        cache = tmp_path / "lint-cache"
+        _engine(corpus, cache).lint()
+        leftovers = [p for p in cache.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_unchanged_warm_run_does_not_rewrite(self, write_corpus,
+                                                 tmp_path):
+        corpus = write_corpus(good=GOOD)
+        cache = tmp_path / "lint-cache"
+        _engine(corpus, cache).lint()
+        before = cache_path(cache).stat().st_mtime_ns
+        _engine(corpus, cache).lint()
+        assert cache_path(cache).stat().st_mtime_ns == before
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_rows(self, write_corpus, tmp_path):
+        corpus = write_corpus(
+            good=GOOD.replace('senses: ["visual"]', 'senses: ["Visual"]'))
+        cache = tmp_path / "lint-cache"
+        engine = _engine(corpus, cache)
+        engine.lint()
+        content, code = load_cache(cache)
+        assert set(content) == set(engine._content_cache)
+        for key, row in content.items():
+            assert row == engine._content_cache[key]
+        save_cache(cache, content, code)
+        assert load_cache(cache)[0] == content
+
+    def test_signature_is_stable_within_process(self):
+        assert cache_signature() == cache_signature()

@@ -1,0 +1,310 @@
+"""The fixit pipeline: golden round-trips, convergence, overlap handling.
+
+The contract under test, per fixable rule: applying the fix and
+re-linting yields zero findings for that rule, and a second ``--fix``
+pass over the already-fixed corpus is a byte-identical no-op.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, LintEngine, check_fixes, fix_engine
+from repro.lint.fixes import Edit, apply_edits
+
+from tests.lint.conftest import GOOD, only
+
+
+def _engine(corpus: Path, **overrides) -> LintEngine:
+    config = LintConfig(content_dir=corpus, site=False, code=False,
+                        **overrides)
+    return LintEngine(config)
+
+
+def _fix_and_relint(corpus: Path):
+    engine = _engine(corpus)
+    report = fix_engine(engine)
+    return report, report.remaining
+
+
+def read_all(corpus: Path) -> dict[str, bytes]:
+    return {p.name: p.read_bytes() for p in sorted(corpus.glob("*.md"))}
+
+
+class TestGoldenRoundTrips:
+    """fix -> re-parse -> zero findings, one rule at a time."""
+
+    def test_noncanonical_term_respelled(self, write_corpus):
+        corpus = write_corpus(
+            good=GOOD.replace('senses: ["visual"]', 'senses: ["Visual"]'))
+        before = _engine(corpus).lint()
+        assert only(before, "taxonomy-noncanonical-term")
+        report, after = _fix_and_relint(corpus)
+        assert report.applied == 1
+        assert only(after, "taxonomy-noncanonical-term") == []
+        assert 'senses: ["visual"]' in (corpus / "good.md").read_text()
+
+    def test_noncanonical_standards_term(self, write_corpus):
+        corpus = write_corpus(
+            good=GOOD.replace('tcpp: ["TCPP_Algorithms"]',
+                              'tcpp: ["tcpp_algorithms"]'))
+        before = _engine(corpus).lint()
+        assert only(before, "taxonomy-noncanonical-term")
+        _report, after = _fix_and_relint(corpus)
+        assert only(after, "taxonomy-noncanonical-term") == []
+        assert "TCPP_Algorithms" in (corpus / "good.md").read_text()
+
+    @pytest.mark.parametrize("raw, iso", [
+        ("2020/1/5", "2020-01-05"),
+        ("1/5/2020", "2020-01-05"),
+        ("January 5, 2020", "2020-01-05"),
+        ("Jan 5 2020", "2020-01-05"),
+        ("2020", "2020-01-01"),
+    ])
+    def test_malformed_date_coerced(self, write_corpus, raw, iso):
+        corpus = write_corpus(
+            good=GOOD.replace('date: "2020-01-01"', f'date: "{raw}"'))
+        before = _engine(corpus).lint()
+        assert any("not ISO formatted" in d.message
+                   for d in only(before, "frontmatter-schema"))
+        _report, after = _fix_and_relint(corpus)
+        assert only(after, "frontmatter-schema") == []
+        assert f'date: "{iso}"' in (corpus / "good.md").read_text()
+
+    def test_unfixable_date_left_alone(self, write_corpus):
+        corpus = write_corpus(
+            good=GOOD.replace('date: "2020-01-01"', 'date: "someday"'))
+        _report, after = _fix_and_relint(corpus)
+        assert any("not ISO formatted" in d.message
+                   for d in only(after, "frontmatter-schema"))
+
+    def test_missing_date_derived_from_citations(self, write_corpus):
+        corpus = write_corpus(good=GOOD.replace('date: "2020-01-01"\n', ""))
+        before = _engine(corpus).lint()
+        assert any(d.message == "activity has no date"
+                   for d in only(before, "citation-missing"))
+        _report, after = _fix_and_relint(corpus)
+        assert only(after, "citation-missing") == []
+        assert 'date: "2020-01-01"' in (corpus / "good.md").read_text()
+
+    def test_empty_date_value_rewritten(self, write_corpus):
+        corpus = write_corpus(
+            good=GOOD.replace('date: "2020-01-01"', 'date: ""'))
+        _report, after = _fix_and_relint(corpus)
+        assert only(after, "citation-missing") == []
+        assert 'date: "2020-01-01"' in (corpus / "good.md").read_text()
+
+    def test_no_date_and_no_citation_year_stays_unfixed(self, write_corpus):
+        text = GOOD.replace('date: "2020-01-01"\n', "")
+        text = text.replace("- Doe, J. (2020). An activity.",
+                            "- Doe, J. An activity.")
+        corpus = write_corpus(good=text)
+        report, after = _fix_and_relint(corpus)
+        assert any(d.message == "activity has no date"
+                   for d in only(after, "citation-missing"))
+
+    def test_section_reorder(self, write_corpus):
+        # Swap Assessment ahead of Accessibility (both optional-free zones).
+        text = GOOD.replace(
+            "## Accessibility\n\nReadable aloud in full.\n\n---\n\n"
+            "## Assessment\n\nNo known assessment.",
+            "## Assessment\n\nNo known assessment.\n\n---\n\n"
+            "## Accessibility\n\nReadable aloud in full.")
+        corpus = write_corpus(good=text)
+        before = _engine(corpus).lint()
+        assert any("out of order" in d.message
+                   for d in only(before, "section-structure"))
+        _report, after = _fix_and_relint(corpus)
+        assert only(after, "section-structure") == []
+        fixed = (corpus / "good.md").read_text()
+        assert fixed.index("## Accessibility") < fixed.index("## Assessment")
+
+    def test_section_reorder_preserves_unknown_keys(self, write_corpus):
+        text = GOOD.replace(
+            "## Accessibility\n\nReadable aloud in full.\n\n---\n\n"
+            "## Assessment\n\nNo known assessment.",
+            "## Assessment\n\nNo known assessment.\n\n---\n\n"
+            "## Accessibility\n\nReadable aloud in full.")
+        text = text.replace('medium: ["paper"]',
+                            'medium: ["paper"]\nprovenance: "issue-4"')
+        corpus = write_corpus(good=text)
+        _report, after = _fix_and_relint(corpus)
+        assert any("out of order" in d.message for d in
+                   only(_engine(corpus).lint(), "section-structure")) is False
+        assert 'provenance: "issue-4"' in (corpus / "good.md").read_text()
+
+    def test_dead_anchor_rewritten(self, write_corpus):
+        text = GOOD.replace(
+            "No known assessment.",
+            "No known assessment. See [access](#Accessibility_).")
+        corpus = write_corpus(good=text)
+        before = _engine(corpus).lint()
+        assert only(before, "internal-link")
+        _report, after = _fix_and_relint(corpus)
+        assert only(after, "internal-link") == []
+        assert "(#accessibility)" in (corpus / "good.md").read_text()
+
+    def test_cross_page_dead_anchor(self, write_corpus):
+        other = GOOD.replace("GoodActivity", "OtherActivity")
+        text = GOOD.replace(
+            "No known assessment.",
+            "See [other](/activities/other/#Assessment_).")
+        corpus = write_corpus(good=text, other=other)
+        before = _engine(corpus).lint()
+        assert only(before, "internal-link")
+        _report, after = _fix_and_relint(corpus)
+        assert only(after, "internal-link") == []
+        assert "/activities/other/#assessment" in (
+            corpus / "good.md").read_text()
+
+    def test_ambiguous_anchor_not_fixed(self, write_corpus):
+        text = GOOD.replace(
+            "No known assessment.",
+            "No known assessment. See [gone](#no-such-heading).")
+        corpus = write_corpus(good=text)
+        _report, after = _fix_and_relint(corpus)
+        assert only(after, "internal-link")  # nothing mechanical to do
+
+    def test_duplicate_slug_renamed(self, write_corpus):
+        # "dup-act" and "dup.act" slugify identically -> URL collision.
+        corpus = write_corpus(**{
+            "dup-act": GOOD,
+            "dup.act": GOOD.replace("GoodActivity", "SecondActivity"),
+        })
+        before = _engine(corpus).lint()
+        assert only(before, "duplicate-slug")
+        report, after = _fix_and_relint(corpus)
+        assert only(after, "duplicate-slug") == []
+        assert report.renamed
+        names = {p.name for p in corpus.glob("*.md")}
+        assert "dup-act.md" in names and len(names) == 2
+
+
+class TestConvergence:
+    """One --fix invocation reaches the fixed point."""
+
+    CORRUPT = {
+        "alpha": GOOD.replace('date: "2020-01-01"', 'date: "1/5/2020"')
+        .replace('senses: ["visual"]', 'senses: ["Visual"]'),
+        "beta": GOOD.replace("GoodActivity", "BetaActivity")
+        .replace(
+            "## Accessibility\n\nReadable aloud in full.\n\n---\n\n"
+            "## Assessment\n\nNo known assessment.",
+            "## Assessment\n\nNo known assessment.\n\n---\n\n"
+            "## Accessibility\n\nReadable aloud in full.")
+        .replace("- Doe, J. (2020). An activity.",
+                 "- Doe, J. (2020). See [top](#Original_Author_link)."),
+    }
+
+    def test_single_pass_converges(self, write_corpus):
+        corpus = write_corpus(**self.CORRUPT)
+        report, after = _fix_and_relint(corpus)
+        assert report.applied >= 4
+        assert after.fixes == []
+        for rule in ("frontmatter-schema", "taxonomy-noncanonical-term",
+                     "section-structure", "internal-link"):
+            assert only(after, rule) == []
+
+    def test_second_pass_is_byte_identical_noop(self, write_corpus):
+        corpus = write_corpus(**self.CORRUPT)
+        _fix_and_relint(corpus)
+        snapshot = read_all(corpus)
+        report, _after = _fix_and_relint(corpus)
+        assert report.applied == 0
+        assert read_all(corpus) == snapshot
+
+    def test_fix_never_corrupts_a_parseable_file(self, write_corpus):
+        corpus = write_corpus(**self.CORRUPT)
+        _fix_and_relint(corpus)
+        from repro.activities.parser import parse_activity
+
+        for path in corpus.glob("*.md"):
+            parse_activity(path.stem, path.read_text(encoding="utf-8"))
+
+
+class TestFixFiltering:
+    """Fixes ride with their diagnostics through report-time filtering."""
+
+    def test_suppressed_finding_yields_no_fix(self, write_corpus):
+        text = GOOD.replace('senses: ["visual"]', 'senses: ["Visual"]')
+        text += "\n<!-- lint:disable=taxonomy-noncanonical-term -->\n"
+        corpus = write_corpus(good=text)
+        result = _engine(corpus).lint()
+        assert only(result, "taxonomy-noncanonical-term") == []
+        assert result.fixes == []
+
+    def test_disabled_rule_yields_no_fix(self, write_corpus):
+        corpus = write_corpus(
+            good=GOOD.replace('senses: ["visual"]', 'senses: ["Visual"]'))
+        engine = _engine(
+            corpus, disabled=frozenset({"taxonomy-noncanonical-term"}))
+        result = engine.lint()
+        assert result.fixes == []
+
+    def test_every_fix_matches_a_reported_diagnostic(self, write_corpus):
+        corpus = write_corpus(**TestConvergence.CORRUPT)
+        result = _engine(corpus).lint()
+        keys = {(d.file, d.span.line, d.span.column, d.rule_id, d.message)
+                for d in result.diagnostics}
+        assert result.fixes
+        for fix in result.fixes:
+            assert fix.key in keys
+
+
+class TestCheckMode:
+    """--fix --check: report, don't touch."""
+
+    def test_check_leaves_corpus_untouched(self, write_corpus):
+        corpus = write_corpus(**TestConvergence.CORRUPT)
+        snapshot = read_all(corpus)
+        config = LintConfig(content_dir=corpus, site=False, code=False)
+        report = check_fixes(config)
+        assert not report.clean
+        assert report.pending >= 4
+        assert report.diffs and "+++" in report.diffs[0]
+        assert read_all(corpus) == snapshot
+
+    def test_check_clean_on_fixed_corpus(self, write_corpus):
+        corpus = write_corpus(good=GOOD)
+        config = LintConfig(content_dir=corpus, site=False, code=False)
+        report = check_fixes(config)
+        assert report.clean
+
+    def test_shipped_corpus_has_no_pending_fixes(self):
+        from repro.activities.catalog import corpus_dir
+
+        config = LintConfig(content_dir=corpus_dir(), site=False, code=False)
+        assert check_fixes(config).clean
+
+
+class TestApplyEdits:
+    """The span applier: ordering, overlap, insertion."""
+
+    def test_non_overlapping_edits_apply_in_position_order(self):
+        text = "alpha beta gamma\n"
+        edits = [Edit(1, 12, 1, 17, "delta"), Edit(1, 1, 1, 6, "omega")]
+        out, applied, skipped = apply_edits(text, edits)
+        assert out == "omega beta delta\n"
+        assert len(applied) == 2 and not skipped
+
+    def test_overlapping_edit_is_skipped(self):
+        text = "abcdef\n"
+        edits = [Edit(1, 1, 1, 5, "X"), Edit(1, 3, 1, 7, "Y")]
+        out, applied, skipped = apply_edits(text, edits)
+        assert out == "Xef\n"
+        assert len(applied) == 1 and len(skipped) == 1
+
+    def test_insertion(self):
+        text = "line one\nline two\n"
+        out, applied, _ = apply_edits(text, [Edit(2, 1, 2, 1, "inserted\n")])
+        assert out == "line one\ninserted\nline two\n"
+        assert len(applied) == 1
+
+    def test_duplicate_edits_deduplicate(self):
+        text = "aaa\n"
+        edit = Edit(1, 1, 1, 2, "b")
+        out, applied, skipped = apply_edits(text, [edit, edit])
+        assert out == "baa\n"
+        assert len(applied) == 1 and not skipped

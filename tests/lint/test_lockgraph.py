@@ -1,0 +1,304 @@
+"""The deadlock-risk rule: lock-order inversions and nested acquisition.
+
+Each fixture is a small class exercised through ``analyze_source`` so
+the tests cover the full wiring (kind detection -> flow -> graph ->
+diagnostics), not just the graph math.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import rules_code
+
+
+def _lock_order(source: str):
+    diags = rules_code.analyze_source("mod.py", textwrap.dedent(source))
+    return [d for d in diags if d.rule_id == "serve-lock-order"]
+
+
+class TestNestedAcquisition:
+    def test_nested_plain_lock_is_flagged(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def method(self):
+                    with self.lock:
+                        with self.lock:
+                            pass
+            """)
+        assert len(findings) == 1
+        assert "non-reentrant self.lock" in findings[0].message
+        assert findings[0].severity.value == "warning"
+
+    def test_nested_rlock_is_exempt(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.lock = threading.RLock()
+
+                def method(self):
+                    with self.lock:
+                        with self.lock:
+                            pass
+            """)
+        assert findings == []
+
+    def test_manual_acquire_then_with_is_flagged(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def method(self):
+                    self.lock.acquire()
+                    with self.lock:
+                        pass
+            """)
+        assert len(findings) == 1
+
+    def test_release_clears_held(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def method(self):
+                    self.lock.acquire()
+                    self.lock.release()
+                    with self.lock:
+                        pass
+            """)
+        assert findings == []
+
+    def test_nonblocking_acquire_is_exempt(self):
+        # The PageCache._locked fast path: try-lock, then blocking acquire.
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def method(self):
+                    if not self.lock.acquire(blocking=False):
+                        self.lock.acquire()
+            """)
+        assert findings == []
+
+    def test_nested_function_resets_held(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def method(self):
+                    with self.lock:
+                        def later():
+                            with self.lock:
+                                pass
+                        return later
+            """)
+        assert findings == []
+
+
+class TestCrossFunction:
+    def test_call_acquiring_held_lock_is_flagged(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def helper(self):
+                    with self.lock:
+                        pass
+
+                def method(self):
+                    with self.lock:
+                        self.helper()
+            """)
+        assert len(findings) == 1
+        assert "self.helper()" in findings[0].message
+
+    def test_transitive_call_chain_is_followed(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def inner(self):
+                    with self.lock:
+                        pass
+
+                def middle(self):
+                    self.inner()
+
+                def method(self):
+                    with self.lock:
+                        self.middle()
+            """)
+        assert len(findings) == 1
+
+    def test_call_outside_lock_is_clean(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def helper(self):
+                    with self.lock:
+                        pass
+
+                def method(self):
+                    self.helper()
+            """)
+        assert findings == []
+
+
+class TestInversions:
+    TWO_LOCKS = """\
+        import threading
+
+        class C:
+            def __init__(self):
+                self.a = threading.Lock()
+                self.b = threading.Lock()
+
+            def one(self):
+                with self.a:
+                    with self.b:
+                        pass
+
+            def two(self):
+                with self.{first}:
+                    with self.{second}:
+                        pass
+        """
+
+    def test_opposite_order_is_an_inversion(self):
+        findings = _lock_order(self.TWO_LOCKS.format(first="b", second="a"))
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "lock-order inversion" in message
+        assert "self.a" in message and "self.b" in message
+        assert "C.one" in message and "C.two" in message
+
+    def test_consistent_order_is_clean(self):
+        findings = _lock_order(self.TWO_LOCKS.format(first="a", second="b"))
+        assert findings == []
+
+    def test_inversion_through_a_call(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+
+                def take_a(self):
+                    with self.a:
+                        pass
+
+                def one(self):
+                    with self.a:
+                        with self.b:
+                            pass
+
+                def two(self):
+                    with self.b:
+                        self.take_a()
+            """)
+        assert len(findings) == 1
+        assert "lock-order inversion" in findings[0].message
+
+    def test_three_lock_cycle(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+                    self.c = threading.Lock()
+
+                def one(self):
+                    with self.a:
+                        with self.b:
+                            pass
+
+                def two(self):
+                    with self.b:
+                        with self.c:
+                            pass
+
+                def three(self):
+                    with self.c:
+                        with self.a:
+                            pass
+            """)
+        assert len(findings) == 1
+        for lock in ("self.a", "self.b", "self.c"):
+            assert lock in findings[0].message
+
+    def test_locks_of_other_classes_are_not_conflated(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C1:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+
+                def one(self):
+                    with self.a:
+                        with self.b:
+                            pass
+
+            class C2:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+
+                def two(self):
+                    with self.b:
+                        with self.a:
+                            pass
+            """)
+        assert findings == []
+
+
+class TestDeterminism:
+    def test_output_is_stable(self):
+        source = TestInversions.TWO_LOCKS.format(first="b", second="a")
+        first = [d.to_dict() for d in _lock_order(source)]
+        second = [d.to_dict() for d in _lock_order(source)]
+        assert first == second
+
+
+class TestShippedCode:
+    def test_serve_layer_has_no_lock_order_findings(self):
+        from pathlib import Path
+
+        import repro.serve as serve
+
+        diags = rules_code.analyze_tree(Path(serve.__file__).parent)
+        assert [d for d in diags if d.rule_id == "serve-lock-order"] == []

@@ -184,3 +184,89 @@ def test_shipped_serve_layer_is_clean():
         site=False))
     result = engine.lint()
     assert [d for d in result.diagnostics if d.rule_id.startswith("serve-")] == []
+
+
+class TestGcGuardedParallelParse:
+    """Regression: the CPython 3.11 ast.parse GC workaround, parallelized.
+
+    The old guard was a plain lock that serialized every parse; the
+    counting guard lets parses overlap while keeping cyclic GC paused
+    whenever at least one is in flight — and must restore GC state
+    exactly once, after the last parser leaves.
+    """
+
+    SOURCE = _src("""
+        class Deep:
+            def method(self):
+                return [[[[[(1, (2, (3, (4, 5))))]]]]]
+    """)
+
+    def test_concurrent_parses_succeed_and_agree(self):
+        import ast
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.lint.rules_code import _parse
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            trees = list(pool.map(_parse, [self.SOURCE] * 32))
+        assert all(isinstance(t, ast.Module) for t in trees)
+        dumps = {ast.dump(t) for t in trees}
+        assert len(dumps) == 1
+
+    def test_gc_state_restored_after_overlapping_holds(self):
+        import gc
+        import threading
+
+        from repro.lint.rules_code import _PARSE_GUARD
+
+        assert gc.isenabled()
+        release = threading.Event()
+        entered = threading.Barrier(5)
+
+        def hold():
+            with _PARSE_GUARD:
+                entered.wait(timeout=10)
+                release.wait(timeout=10)
+
+        threads = [threading.Thread(target=hold) for _ in range(4)]
+        for t in threads:
+            t.start()
+        entered.wait(timeout=10)          # all four are inside the guard
+        assert not gc.isenabled()         # paused while any parse runs
+        assert _PARSE_GUARD.depth == 4
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert _PARSE_GUARD.depth == 0
+        assert gc.isenabled()             # restored by the last one out
+
+    def test_guard_is_reentrant(self):
+        import gc
+
+        from repro.lint.rules_code import _PARSE_GUARD
+
+        with _PARSE_GUARD:
+            with _PARSE_GUARD:
+                assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_parallel_code_pass_matches_serial(self, tmp_path, write_corpus):
+        code_dir = tmp_path / "code"
+        code_dir.mkdir()
+        for index in range(6):
+            (code_dir / f"mod{index}.py").write_text(
+                _src(LOCKED_CLASS + """
+        def bump(self):
+            self.hits += 1
+    """), encoding="utf-8")
+        corpus = write_corpus()
+
+        def run(jobs: int):
+            engine = LintEngine(LintConfig(
+                content_dir=corpus, code_dir=code_dir, site=False,
+                jobs=jobs))
+            return [d.to_dict() for d in engine.lint().diagnostics]
+
+        serial, parallel = run(1), run(8)
+        assert serial == parallel
+        assert len(serial) == 6

@@ -38,6 +38,8 @@ def test_api_lint_clean_corpus(content_dir):
     assert status == 200
     assert payload["clean"] is True
     assert payload["counts"] == {"error": 0, "info": 0, "warning": 0}
+    assert payload["fixable"] == 0
+    assert payload["fixes"] == []
     assert payload["stats"]["files_total"] > 38      # corpus + serve code
     assert payload["signature"]
 
@@ -95,6 +97,37 @@ def test_api_lint_concurrent_requests_agree(content_dir):
     payloads = [payload for _, payload in results]
     assert all(p["clean"] is True for p in payloads)
     assert len({p["signature"] for p in payloads}) == 1
+
+
+def test_api_lint_reports_fixable_findings(content_dir):
+    page = content_dir / "actingoutalgorithms.md"
+    page.write_text(
+        page.read_text(encoding="utf-8").replace(
+            'senses: ["visual", "movement"]',
+            'senses: ["Visual", "movement"]'),
+        encoding="utf-8")
+    app = create_app(content_dir=content_dir, watch=False)
+    _, payload = _get(app, "/api/lint")
+    assert payload["clean"] is False
+    assert payload["fixable"] == 1
+    [fix] = payload["fixes"]
+    assert fix["rule"] == "taxonomy-noncanonical-term"
+    assert fix["edits"][0]["replacement"] == "visual"
+
+
+def test_api_lint_persists_cache_alongside_page_cache(content_dir, tmp_path):
+    cache_dir = tmp_path / "serve-cache"
+    app = create_app(content_dir=content_dir, watch=False,
+                     cache_dir=cache_dir)
+    _, cold = _get(app, "/api/lint")
+    assert cold["stats"]["files_analyzed"] > 0
+    assert (cache_dir / "lint-cache.json").exists()
+    # A new app over the same cache dir = a restarted server process.
+    app2 = create_app(content_dir=content_dir, watch=False,
+                      cache_dir=cache_dir)
+    _, warm = _get(app2, "/api/lint")
+    assert warm["stats"]["files_analyzed"] == 0
+    assert warm["diagnostics"] == cold["diagnostics"]
 
 
 def test_api_lint_listed_as_unknown_routes_still_404(content_dir):
