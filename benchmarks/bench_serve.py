@@ -276,3 +276,59 @@ def test_mixed_traffic_tail_latency():
     print(f"mixed traffic: {report.requests_per_s:,.0f} req/s, "
           f"p50 {p50:.2f} ms, p99 {p99:.2f} ms, p99.9 {p999:.2f} ms "
           f"({report.api_requests} api, {report.revalidations} x 304)")
+
+
+# --------------------------------------------------------------------------
+# EXPERIMENT S-CHAOS -- throughput and tail behaviour under injected faults.
+#
+# The resilience claim measured: with the chaos plan active the server may
+# shed (503) and serve stale, but never surfaces an unhandled 5xx, and the
+# shed-rate / stale-hit-rate columns quantify the degradation.
+# --------------------------------------------------------------------------
+
+
+def test_chaos_shed_and_stale_rates_measured(tmp_path):
+    """Seeded fault plan: report shed rate and stale-hit rate columns."""
+    import shutil as _shutil
+
+    from repro.serve import parse_fault_spec, run_load_concurrent
+
+    content = tmp_path / "content"
+    _shutil.copytree(corpus_dir(), content)
+    faults = parse_fault_spec(
+        "rebuild:error@0.3,render:latency@0.2:ms=2", seed=99)
+    app = create_app(content_dir=content, watch=False, faults=faults,
+                     rebuild_mode="background", breaker_threshold=2,
+                     breaker_reset_s=0.02, max_inflight=2,
+                     cache_enabled=False)
+    try:
+        stream = LoadGenerator.for_app(app, seed=99).sample(200)
+        page = content / "gardeners.md"
+        page.write_text(page.read_text(encoding="utf-8") + "\nChaos.\n",
+                        encoding="utf-8")
+        app.background.run_once()            # likely fails: stale marking on
+        report = run_load_concurrent(app, stream, clients=4,
+                                     revalidate=False)
+        assert report.unhandled_errors == 0
+        assert set(report.statuses) <= {200, 304, 503}
+        print()
+        print(f"chaos: {report.requests_per_s:,.0f} req/s, "
+              f"shed rate {report.shed_rate:.2%}, "
+              f"stale-hit rate {report.stale_hit_rate:.2%}, "
+              f"unhandled 5xx {report.unhandled_errors} "
+              f"({faults.total_injected} faults injected)")
+    finally:
+        app.close()
+
+
+def test_clean_run_has_zero_degradation_rates():
+    """Without faults the new columns are exactly zero (no false alarms)."""
+    app = create_app(watch=False, rebuild_mode="background", max_inflight=64)
+    try:
+        report = run_load(app, LoadGenerator.for_app(app, seed=4).sample(200))
+        assert report.ok
+        assert report.shed_rate == 0.0
+        assert report.stale_hit_rate == 0.0
+        assert report.unhandled_errors == 0
+    finally:
+        app.close()

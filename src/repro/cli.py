@@ -9,6 +9,7 @@ Subcommands::
     pdcunplugged simulate <activity> [-n N] [--seed S]
     pdcunplugged list                        # list corpus activities + sims
     pdcunplugged serve [--port P] [--workers N] [--cache-dir D]
+                       [--request-timeout-ms B] [--fault-spec SPEC]
                                              # live site + JSON API server
     pdcunplugged lint [--format text|json|sarif] [--jobs N] [--fix]
                       [--cache-dir D] [--baseline F]
@@ -90,6 +91,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seconds between content-change checks (incremental rebuild)")
     serve.add_argument("--no-watch", action="store_true",
                        help="never rescan the content directory")
+    serve.add_argument("--rebuild-mode", choices=["inline", "background"],
+                       default="background",
+                       help="rebuild on the request path (inline) or in a "
+                            "dedicated thread behind a circuit breaker "
+                            "(background, the default)")
+    serve.add_argument("--debounce", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="coalesce background rebuild pokes within this window")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive rebuild failures before the circuit "
+                            "breaker opens and the server pins the last good "
+                            "generation")
+    serve.add_argument("--breaker-reset-s", type=float, default=1.0,
+                       help="initial open-state timeout before a half-open "
+                            "rebuild probe (doubles per repeated failure)")
+    serve.add_argument("--request-timeout-ms", type=int, default=None,
+                       help="per-request render budget; over-budget requests "
+                            "get 503 + Retry-After instead of piling up")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="shed requests with 503 once this many are being "
+                            "serviced at once")
+    serve.add_argument("--queue-limit", type=int, default=None,
+                       help="bound the worker-pool accept queue; excess "
+                            "connections get a raw 503 + Retry-After")
+    serve.add_argument("--fault-spec", default=None, metavar="SPEC",
+                       help="inject faults for chaos testing, e.g. "
+                            "'rebuild:error@0.3,cache-read:latency@0.05:ms=50'")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the fault plan's RNG (deterministic runs)")
 
     lint = sub.add_parser(
         "lint", help="static analysis over corpus, site, and serve code")
@@ -282,6 +312,15 @@ def main(argv: list[str] | None = None) -> int:
             cache_enabled=not args.no_cache,
             watch_interval_s=args.watch_interval,
             watch=not args.no_watch,
+            rebuild_mode=args.rebuild_mode,
+            debounce_s=args.debounce,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_s=args.breaker_reset_s,
+            request_timeout_ms=args.request_timeout_ms,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            fault_spec=args.fault_spec,
+            fault_seed=args.fault_seed,
         )
 
     raise AssertionError("unreachable")

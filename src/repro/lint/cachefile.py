@@ -22,8 +22,9 @@ in-memory cache: severity overrides, disabled rules, suppressions, and
 the baseline are applied at report time, so reconfiguring the linter
 never invalidates a persistent cache either.
 
-Writes are atomic (tmp file + ``os.replace``, the ``serve.persist``
-idiom) and loads are tolerant: a corrupt, truncated, or foreign file is
+Writes are atomic and durable (:func:`repro.ioutil.atomic_write_text`:
+tmp file + fsync + ``os.replace``, the same primitive ``serve.persist``
+uses) and loads are tolerant: a corrupt, truncated, or foreign file is
 treated as an empty cache, never an error.
 """
 
@@ -31,10 +32,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 
 import repro
+from repro.ioutil import atomic_write_text
 from repro.lint.diagnostics import (
     Diagnostic,
     RULES,
@@ -249,8 +250,5 @@ def save_cache(cache_dir: str | Path, content: dict, code: dict) -> Path:
         },
     }
     path = cache_path(cache_dir)
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
-                   encoding="utf-8")
-    os.replace(tmp, path)
+    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return path

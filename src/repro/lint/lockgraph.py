@@ -14,7 +14,9 @@ baseline mechanism):
 * **Nested acquisition of a non-reentrant lock** — ``self.X`` is a plain
   ``threading.Lock`` and some path acquires it while already holding it
   (directly, or by calling a method that does).  That is not an ordering
-  hazard but a self-deadlock; ``RLock`` attributes are exempt.
+  hazard but a self-deadlock; ``RLock`` and ``Condition`` attributes are
+  exempt (a ``Condition``'s default internal lock is an ``RLock``, and
+  ``wait()`` releases it anyway).
 * **Lock-order inversion** — the held-before graph has a cycle
   (``A`` held while taking ``B`` on one path, ``B`` held while taking
   ``A`` on another), the classic two-thread deadlock shape.
@@ -40,7 +42,7 @@ rule("serve-lock-order", "code", Severity.WARNING,
      "lock acquisition order is acyclic and non-reentrant locks "
      "are never nested")
 
-_LOCK_KINDS = ("Lock", "RLock")
+_LOCK_KINDS = ("Lock", "RLock", "Condition")
 
 
 def _factory_kind(node: ast.AST) -> str | None:
@@ -68,10 +70,11 @@ def _self_attr(node: ast.AST) -> str | None:
 
 
 def lock_attr_kinds(cls: ast.ClassDef) -> dict[str, str]:
-    """Instance lock attributes of ``cls``, attr -> ``"Lock"``/``"RLock"``.
+    """Instance lock attributes of ``cls``, attr -> kind in ``_LOCK_KINDS``.
 
-    The kind matters: nesting an ``RLock`` is legal, nesting a ``Lock``
-    is a self-deadlock.  Recognizes the same declaration shapes as
+    The kind matters: nesting an ``RLock`` or ``Condition`` is legal,
+    nesting a ``Lock`` is a self-deadlock.  Recognizes the same
+    declaration shapes as
     ``rules_code._lock_attrs`` (``__init__`` assignment, dataclass
     ``field(default_factory=...)``).
     """

@@ -16,8 +16,11 @@ up as a diagnostic instead of a race:
 Heuristics, deliberately conservative (convention-encoding, not proof):
 
 * A class "owns locks" when ``__init__`` assigns
-  ``self.X = threading.Lock()`` / ``RLock()``, or a dataclass class body
-  declares ``X: ... = field(default_factory=threading.Lock)``.
+  ``self.X = threading.Lock()`` / ``RLock()`` / ``Condition()``, or a
+  dataclass class body declares
+  ``X: ... = field(default_factory=threading.Lock)``.  A ``Condition``
+  is a lock plus a wait queue, so ``with self._cond:`` scopes count
+  exactly like ``with self._lock:``.
 * A lock scope is ``with self.<lock-attr>:`` or a ``with
   self.<anything>_locked():`` context-manager call; methods whose *own*
   name ends in ``_locked`` are callee-side critical sections and exempt
@@ -66,7 +69,7 @@ def _self_attr(node: ast.AST) -> str | None:
 
 
 def _lock_attr_kinds(cls: ast.ClassDef) -> dict[str, str]:
-    """Instance lock attributes, attr -> ``"Lock"``/``"RLock"``."""
+    """Instance lock attributes, attr -> kind (``lockgraph._LOCK_KINDS``)."""
     return lockgraph.lock_attr_kinds(cls)
 
 

@@ -3,20 +3,30 @@
 Turns the one-shot static build into a live, queryable web service — the
 form the paper's artifact (pdcunplugged.org) actually takes:
 
-* :mod:`repro.serve.app` — stdlib WSGI app: rendered site + JSON API.
+* :mod:`repro.serve.app` — stdlib WSGI app: rendered site + JSON API,
+  request deadlines, stale marking, ``/healthz`` / ``/readyz``.
 * :mod:`repro.serve.cache` — content-addressed LRU page cache (single
   mutex or lock-striped shards) with strong ETags and 304 revalidation.
-* :mod:`repro.serve.persist` — on-disk cache spill keyed by render-plan
-  signature, so restarts warm-start instead of re-rendering.
+* :mod:`repro.serve.persist` — on-disk cache + search-postings spill
+  keyed by render-plan / catalog signature, so restarts warm-start
+  instead of re-rendering; every load path tolerates corruption.
 * :mod:`repro.serve.workers` — bounded worker pool + pooled WSGI server
-  (the ``--workers N`` mode).
+  (the ``--workers N`` mode); a bounded queue sheds with a raw 503.
 * :mod:`repro.serve.rebuild` — content watching and incremental
   generation swaps (only dirty URLs are evicted / re-rendered; the
-  search index is patched, not rebuilt).
+  search index is patched, not rebuilt); the background rebuild thread.
+* :mod:`repro.serve.resilience` — circuit breaker, request deadlines,
+  load shedding: the degradation ladder.
+* :mod:`repro.serve.faults` — deterministic, seedable fault injection
+  (``--fault-spec``) so every failure path above is chaos-tested.
+* :mod:`repro.serve.retrypolicy` — shared exponential-backoff retry
+  schedule (also used by :mod:`repro.sitegen.linkcheck`).
 * :mod:`repro.serve.metrics` — per-route counters, latency percentiles
-  (to p99.9), cache hit ratios (``/api/metrics``); lock-striped per route.
+  (to p99.9), cache hit ratios, breaker/shed/stale counters
+  (``/api/metrics``); lock-striped per route.
 * :mod:`repro.serve.loadgen` — deterministic Zipf + API-mix load
-  generation, serial / concurrent in-process / over-HTTP runners.
+  generation, serial / concurrent in-process / over-HTTP runners, with
+  shed-rate and stale-hit-rate accounting.
 """
 
 from repro.serve.app import Response, ServeApp, create_app, create_server, run
@@ -24,7 +34,14 @@ from repro.serve.cache import (
     CacheEntry,
     PageCache,
     ShardedPageCache,
+    checksum,
     make_etag,
+)
+from repro.serve.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    parse_fault_spec,
 )
 from repro.serve.loadgen import (
     LoadGenerator,
@@ -37,31 +54,57 @@ from repro.serve.loadgen import (
 )
 from repro.serve.metrics import LatencyHistogram, MetricsRegistry, RouteStats
 from repro.serve.persist import CacheStore
-from repro.serve.rebuild import RebuildManager, RebuildResult, ServerState
-from repro.serve.workers import PooledWSGIServer, WorkerPool
+from repro.serve.rebuild import (
+    BackgroundRebuilder,
+    RebuildManager,
+    RebuildResult,
+    ServerState,
+)
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    LoadShedder,
+)
+from repro.serve.retrypolicy import RetryError, RetryPolicy, is_transient
+from repro.serve.workers import PooledWSGIServer, PoolSaturated, WorkerPool
 
 __all__ = [
+    "BackgroundRebuilder",
     "CacheEntry",
     "CacheStore",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
     "LatencyHistogram",
     "LoadGenerator",
     "LoadReport",
     "LoadRequest",
+    "LoadShedder",
     "MetricsRegistry",
     "PageCache",
+    "PoolSaturated",
     "PooledWSGIServer",
     "RebuildManager",
     "RebuildResult",
     "Response",
+    "RetryError",
+    "RetryPolicy",
     "RouteStats",
     "ServeApp",
     "ServerState",
     "ShardedPageCache",
     "WorkerPool",
     "call_app",
+    "checksum",
     "create_app",
     "create_server",
+    "is_transient",
     "make_etag",
+    "parse_fault_spec",
     "run",
     "run_load",
     "run_load_concurrent",

@@ -26,8 +26,25 @@ Concurrency: ``create_server(workers=N)`` services connections on a
 :class:`~repro.serve.workers.WorkerPool`, the default page cache is
 lock-striped (:class:`~repro.serve.cache.ShardedPageCache`), and passing
 ``cache_dir=`` enables persistent warm starts — rendered bodies spill to
-disk keyed by render-plan signature and reload on boot, so a restarted
-server answers its first requests from cache instead of re-rendering.
+disk keyed by render-plan signature (and the search index under its
+catalog signature) and reload on boot, so a restarted server answers its
+first requests from cache instead of re-rendering.
+
+Failure model (the degradation ladder, least to most degraded):
+
+1. **fresh** — the normal path;
+2. **stale** — the rebuild pipeline is failing (or its circuit breaker is
+   open): the last good generation keeps serving, 200s carry
+   ``Warning: 110`` and ``X-Stale`` headers;
+3. **degraded** — a render failed even after retries: ``503 +
+   Retry-After`` for that request, never a 500;
+4. **shed** — past the in-flight watermark (``max_inflight``) or over the
+   per-request budget (``request_timeout_ms``): ``503 + Retry-After``
+   answered cheaply.
+
+``/healthz`` (liveness) and ``/readyz`` (readiness: catalog loaded,
+breaker state, shed rate) expose the ladder to orchestrators, and
+``/api/metrics`` carries every counter behind it.
 """
 
 from __future__ import annotations
@@ -41,12 +58,21 @@ from urllib.parse import parse_qs
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro.serve.cache import PageCache, ShardedPageCache, make_etag
+from repro.serve.faults import InjectedFault, parse_fault_spec
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.persist import CacheStore
-from repro.serve.rebuild import RebuildManager
+from repro.serve.rebuild import BackgroundRebuilder, RebuildManager
+from repro.serve.resilience import (OPEN, CircuitBreaker, Deadline,
+                                    DeadlineExceeded, LoadShedder)
+from repro.serve.retrypolicy import RetryError, RetryPolicy
 from repro.serve.workers import PooledWSGIServer, WorkerPool
+from repro.sitegen.search import catalog_signature
 
 __all__ = ["ServeApp", "Response", "create_app", "create_server", "run"]
+
+#: Warning header on responses served from a generation the rebuild
+#: pipeline could not refresh (RFC 7234 §5.5: 110 = "Response is Stale").
+STALE_WARNING = '110 pdcunplugged "Response is stale"'
 
 #: Routes whose responses depend only on the corpus generation — safe to
 #: cache and bulk-invalidated on every rebuild.
@@ -96,12 +122,22 @@ class ServeApp:
         watch: bool = True,
         store: CacheStore | None = None,
         clock=time.perf_counter,
+        faults=None,
+        request_timeout_ms: float | None = None,
+        shedder: LoadShedder | None = None,
+        retry: RetryPolicy | None = None,
+        background: BackgroundRebuilder | None = None,
     ):
         self.rebuilder = rebuilder
         self.cache = cache
         self.metrics = metrics or MetricsRegistry()
         self.watch = watch
         self.store = store
+        self.faults = faults
+        self.request_timeout_ms = request_timeout_ms
+        self.shedder = shedder
+        self.retry = retry
+        self.background = background
         self.warm_loaded = 0
         self.worker_pool: WorkerPool | None = None
         self._clock = clock
@@ -145,14 +181,40 @@ class ServeApp:
         return self.warm_loaded
 
     def save_cache(self) -> int:
-        """Spill the live cache to the cache dir (no-op without one)."""
-        if self.store is None or self.cache is None:
+        """Spill the live cache and search index (no-op without a store)."""
+        if self.store is None:
+            return 0
+        self.store.save_search(self.state.search,
+                               catalog_signature(self.state.catalog))
+        if self.cache is None:
             return 0
         return self.store.save(self.cache, self.cache_signature)
+
+    def close(self) -> None:
+        """Stop the background rebuild thread (if one is attached)."""
+        if self.background is not None:
+            self.background.stop()
 
     # -- WSGI entry point --------------------------------------------------
 
     def __call__(self, environ, start_response):
+        shedder = self.shedder
+        if shedder is not None and not shedder.try_acquire():
+            # Refusing must stay cheap: no rebuild poke, no dispatch.
+            self.metrics.record_shed()
+            response = Response.error(
+                503, "server over capacity, retry shortly", route="<shed>")
+            response.headers.append(
+                ("Retry-After", str(max(1, round(shedder.retry_after_s)))))
+            return self._finish(environ, start_response, response,
+                                started=self._clock())
+        try:
+            return self._handle(environ, start_response)
+        finally:
+            if shedder is not None:
+                shedder.release()
+
+    def _handle(self, environ, start_response):
         started = self._clock()
         method = environ.get("REQUEST_METHOD", "GET").upper()
         path = environ.get("PATH_INFO") or "/"
@@ -161,15 +223,39 @@ class ServeApp:
         if self.watch:
             self._check_rebuild()
 
+        deadline = None
+        if self.request_timeout_ms is not None:
+            deadline = Deadline(self.request_timeout_ms / 1e3, clock=self._clock)
+
         if method not in ("GET", "HEAD"):
             response = Response.error(405, f"method {method} not allowed",
                                       route="<method-not-allowed>")
         else:
             try:
-                response = self._dispatch(path, query)
+                response = self._dispatch(path, query, deadline)
+            except DeadlineExceeded as exc:
+                self.metrics.record_deadline_expired()
+                response = Response.error(503, str(exc), route="<deadline>")
+                response.headers.append(("Retry-After", "1"))
+            except (RetryError, InjectedFault) as exc:
+                # Render failed even after retries: degrade honestly with
+                # a retryable 503, never an unhandled 500.
+                self.metrics.record_degraded()
+                response = Response.error(
+                    503, f"temporarily degraded: {exc}", route="<degraded>")
+                response.headers.append(("Retry-After", "1"))
             except Exception as exc:            # pragma: no cover - safety net
                 response = Response.error(
                     500, f"internal error: {type(exc).__name__}", route="<error>")
+
+        return self._finish(environ, start_response, response, started)
+
+    def _finish(self, environ, start_response, response: Response, started):
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        if response.status == 200 and self._currently_stale():
+            response.headers.append(("Warning", STALE_WARNING))
+            response.headers.append(("X-Stale", "1"))
+            self.metrics.record_stale_served()
 
         inm = environ.get("HTTP_IF_NONE_MATCH")
         if (response.status == 200 and response.etag
@@ -195,34 +281,91 @@ class ServeApp:
         start_response(status_line, headers)
         return [body]
 
+    def _currently_stale(self) -> bool:
+        """Whether responses come from a generation that failed to refresh."""
+        if self.background is not None and self.background.stale:
+            return True
+        return self.rebuilder.last_error is not None
+
     def _check_rebuild(self) -> None:
-        result = self.rebuilder.maybe_refresh()
-        if result is None:
+        if self.background is not None:
+            self.background.poke()          # O(1); the thread does the work
             return
-        if result.ok:
-            self.metrics.record_rebuild(len(result.dirty_urls))
-            if self.cache is not None:
-                self.cache.invalidate(result.dirty_urls)
-                self.cache.invalidate(_CACHEABLE_API)
+        result = self.rebuilder.maybe_refresh()
+        if result is not None and result.ok:
+            self.on_rebuild(result)
+
+    def on_rebuild(self, result) -> None:
+        """Account a successful rebuild and evict exactly its dirty URLs."""
+        self.metrics.record_rebuild(len(result.dirty_urls))
+        if self.cache is not None:
+            self.cache.invalidate(result.dirty_urls)
+            self.cache.invalidate(_CACHEABLE_API)
 
     # -- routing -----------------------------------------------------------
 
-    def _dispatch(self, path: str, query: dict[str, list[str]]) -> Response:
+    def _dispatch(self, path: str, query: dict[str, list[str]],
+                  deadline: Deadline | None = None) -> Response:
+        if path == "/healthz":
+            # Liveness: the process answers, nothing else is implied.
+            return Response.json({"status": "ok"}, route="/healthz")
+        if path == "/readyz":
+            return self._readyz()
         if path.startswith("/api/"):
-            return self._dispatch_api(path, query)
+            return self._dispatch_api(path, query, deadline)
 
         task = self.state.plan_by_url.get(path)
         if task is not None:
-            return self._serve_rendered(path, f"page:{task.kind}")
+            return self._serve_rendered(path, f"page:{task.kind}",
+                                        deadline=deadline)
         if not path.endswith("/") and path + "/" in self.state.plan_by_url:
             return Response(status=301, route="<redirect>",
                             headers=[("Location", path + "/")])
         return Response.error(404, f"no page at {path!r}", route="<unmatched>")
 
+    def _readyz(self) -> Response:
+        """Readiness: catalog loaded and the rebuild breaker not open."""
+        route = "/readyz"
+        breaker = self.background.breaker if self.background is not None else None
+        payload = {
+            "catalog_loaded": len(self.state.catalog) > 0,
+            "generation": self.state.corpus_signature,
+            "stale": self._currently_stale(),
+            "breaker": breaker.state if breaker is not None else None,
+            "shed_rate": (round(self.shedder.shed_rate(), 4)
+                          if self.shedder is not None else 0.0),
+        }
+        ready = payload["catalog_loaded"] and (
+            breaker is None or breaker.state != OPEN)
+        payload["ready"] = ready
+        if ready:
+            return Response.json(payload, route=route)
+        response = Response.json(payload, status=503, route=route)
+        response.headers.append(("Retry-After", "1"))
+        return response
+
+    def _render_guarded(self, render):
+        """Run a render with fault injection and transient-error retry."""
+        def attempt():
+            if self.faults is not None:
+                self.faults.maybe_fail("render")
+            return render()
+        if self.retry is None:
+            return attempt()
+        return self.retry.call(attempt, sleep=None)
+
     def _serve_rendered(self, path: str, route: str,
                         render=None, content_type: str = "text/html; charset=utf-8",
-                        cache_key: str | None = None) -> Response:
-        """Serve a renderable through the cache with a strong ETag."""
+                        cache_key: str | None = None,
+                        deadline: Deadline | None = None) -> Response:
+        """Serve a renderable through the cache with a strong ETag.
+
+        The deadline is checked at the stage edges: before starting a
+        render (don't start work the budget cannot pay for) and after it
+        returns — the finished body still lands in the cache first, so an
+        over-budget render is not wasted, but the request that paid for
+        it reports 503 honestly.
+        """
         if render is None:
             task = self.state.plan_by_url[path]
             render = lambda: task.render().encode("utf-8")  # noqa: E731
@@ -234,29 +377,39 @@ class ServeApp:
                 return Response(status=200, body=entry.body,
                                 content_type=entry.content_type,
                                 etag=entry.etag, route=route, cache_status="hit")
-            body = render()
+            if deadline is not None:
+                deadline.check("render-start")
+            body = self._render_guarded(render)
             entry = self.cache.put(key, body, content_type)
+            if deadline is not None:
+                deadline.check("render")
             return Response(status=200, body=body, content_type=content_type,
                             etag=entry.etag, route=route, cache_status="miss")
 
-        body = render()
+        if deadline is not None:
+            deadline.check("render-start")
+        body = self._render_guarded(render)
+        if deadline is not None:
+            deadline.check("render")
         return Response(status=200, body=body, content_type=content_type,
                         etag=make_etag(body), route=route)
 
     # -- API ---------------------------------------------------------------
 
-    def _dispatch_api(self, path: str, query: dict[str, list[str]]) -> Response:
+    def _dispatch_api(self, path: str, query: dict[str, list[str]],
+                      deadline: Deadline | None = None) -> Response:
         if path == "/api/activities":
-            return self._api_cached(path, self._activities_payload)
+            return self._api_cached(path, self._activities_payload,
+                                    deadline=deadline)
         if path == "/api/search":
-            return self._api_search(query)
+            return self._api_search(query, deadline)
         if path in ("/api/coverage/cs2013", "/api/coverage/tcpp"):
             standard = path.rsplit("/", 1)[1]
             return self._api_cached(
                 path, lambda: self._coverage_payload(standard),
-                route=f"/api/coverage/{standard}")
+                route=f"/api/coverage/{standard}", deadline=deadline)
         if path == "/api/gaps":
-            return self._api_cached(path, self._gaps_payload)
+            return self._api_cached(path, self._gaps_payload, deadline=deadline)
         if path.startswith("/api/simulate/"):
             return self._api_simulate(path[len("/api/simulate/"):], query)
         if path == "/api/metrics":
@@ -265,14 +418,16 @@ class ServeApp:
             return self._api_lint()
         return Response.error(404, f"unknown API route {path!r}", route="<unmatched>")
 
-    def _api_cached(self, key: str, payload, route: str | None = None) -> Response:
+    def _api_cached(self, key: str, payload, route: str | None = None,
+                    deadline: Deadline | None = None) -> Response:
         """A JSON endpoint whose body only changes when the corpus does."""
         route = route or key
         render = lambda: json.dumps(  # noqa: E731
             payload(), indent=2, sort_keys=True, default=str).encode("utf-8")
         return self._serve_rendered(
             key, route, render=render,
-            content_type="application/json; charset=utf-8", cache_key=key)
+            content_type="application/json; charset=utf-8", cache_key=key,
+            deadline=deadline)
 
     def _activities_payload(self) -> dict:
         from repro.unplugged import SIMULATIONS
@@ -296,7 +451,8 @@ class ServeApp:
             ],
         }
 
-    def _api_search(self, query: dict[str, list[str]]) -> Response:
+    def _api_search(self, query: dict[str, list[str]],
+                    deadline: Deadline | None = None) -> Response:
         route = "/api/search"
         q = " ".join(query.get("q", [])).strip()
         if not q:
@@ -325,7 +481,7 @@ class ServeApp:
             }
 
         return self._api_cached(f"/api/search?q={q}&limit={limit}", payload,
-                                route=route)
+                                route=route, deadline=deadline)
 
     def _coverage_payload(self, standard: str) -> dict:
         from repro.analytics import cs2013_coverage, tcpp_coverage
@@ -420,6 +576,16 @@ class ServeApp:
         )
         if self.rebuilder.last_error:
             payload["rebuilds"]["last_error"] = self.rebuilder.last_error
+        resilience = payload.setdefault("resilience", {})
+        resilience["stale"] = self._currently_stale()
+        if self.shedder is not None:
+            resilience["load_shedder"] = self.shedder.stats()
+        if self.background is not None:
+            resilience["rebuild_thread"] = self.background.stats()
+        if self.faults is not None:
+            resilience["faults"] = self.faults.stats()
+        if self.store is not None:
+            resilience["persist"] = self.store.stats()
         return Response.json(payload, route="/api/metrics")
 
     def _api_lint(self) -> Response:
@@ -483,6 +649,16 @@ def create_app(
     watch_interval_s: float = 1.0,
     watch: bool = True,
     metrics: MetricsRegistry | None = None,
+    faults=None,
+    fault_spec: str | None = None,
+    fault_seed: int = 0,
+    request_timeout_ms: float | None = None,
+    max_inflight: int | None = None,
+    rebuild_mode: str = "inline",
+    debounce_s: float = 0.05,
+    breaker_threshold: int = 3,
+    breaker_reset_s: float = 1.0,
+    retry: RetryPolicy | None = None,
 ) -> ServeApp:
     """Build a ready-to-serve :class:`ServeApp` over a content directory
     (default: the packaged 38-activity corpus).
@@ -490,19 +666,47 @@ def create_app(
     The page cache is lock-striped over ``cache_shards`` shards
     (``cache_shards=1`` degenerates to the single-mutex cache).  With
     ``cache_dir`` set, previously spilled responses whose render-plan
-    signatures still match are warm-loaded immediately, so the first
-    requests after a restart are cache hits.
+    signatures still match are warm-loaded immediately — and the search
+    index is restored from persisted postings, skipping the cold
+    tokenization pass — so the first requests after a restart are hits.
+
+    ``rebuild_mode="inline"`` (the default, and what tests rely on for
+    synchronous edit visibility) refreshes on the request path;
+    ``"background"`` starts a :class:`BackgroundRebuilder` thread with a
+    circuit breaker so no request's latency ever includes a re-scan.
     """
-    rebuilder = RebuildManager(content_dir, min_interval_s=watch_interval_s)
+    if faults is None and fault_spec:
+        faults = parse_fault_spec(fault_spec, seed=fault_seed)
+    store = CacheStore(cache_dir, faults=faults) if cache_dir else None
+    search_loader = None
+    if store is not None:
+        def search_loader(catalog):
+            return store.load_search(catalog_signature(catalog))
+    rebuilder = RebuildManager(content_dir, min_interval_s=watch_interval_s,
+                               faults=faults, search_loader=search_loader)
     cache = None
     if cache_enabled:
         if cache_shards > 1:
             cache = ShardedPageCache(cache_size, shards=cache_shards)
         else:
             cache = PageCache(cache_size)
-    store = CacheStore(cache_dir) if cache_dir else None
-    app = ServeApp(rebuilder, cache=cache, metrics=metrics, watch=watch,
-                   store=store)
+    app = ServeApp(
+        rebuilder, cache=cache, metrics=metrics, watch=watch, store=store,
+        faults=faults, request_timeout_ms=request_timeout_ms,
+        shedder=LoadShedder(max_inflight) if max_inflight else None,
+        retry=retry if retry is not None else RetryPolicy(retries=1),
+    )
+    if rebuild_mode == "background":
+        breaker = CircuitBreaker(failure_threshold=breaker_threshold,
+                                 reset_timeout_s=breaker_reset_s)
+        app.background = BackgroundRebuilder(
+            rebuilder, breaker=breaker, debounce_s=debounce_s,
+            poll_interval_s=watch_interval_s if watch else None,
+            on_result=app.on_rebuild)
+        app.background.start()
+    elif rebuild_mode != "inline":
+        raise ValueError(f"unknown rebuild_mode {rebuild_mode!r} "
+                         f"(expected 'inline' or 'background')")
     app.warm_start()
     return app
 
@@ -514,18 +718,20 @@ class _QuietHandler(WSGIRequestHandler):
 
 def create_server(host: str = "127.0.0.1", port: int = 8000,
                   app: ServeApp | None = None, quiet: bool = False,
-                  workers: int = 1,
+                  workers: int = 1, queue_limit: int | None = None,
                   **app_kwargs) -> tuple[WSGIServer, ServeApp]:
     """Bind a WSGI server (``port=0`` picks an ephemeral port).
 
     ``workers=1`` is the stock single-threaded ``wsgiref`` server;
     ``workers>1`` services connections on a :class:`WorkerPool` of that
     size, so slow clients no longer head-of-line block everyone else.
+    ``queue_limit`` bounds the pool's task queue: connections past the
+    watermark are answered ``503 + Retry-After`` at the socket.
     """
     app = app or create_app(**app_kwargs)
     handler = _QuietHandler if quiet else WSGIRequestHandler
     if workers > 1:
-        pool = WorkerPool(workers)
+        pool = WorkerPool(workers, max_queue=queue_limit)
         server = PooledWSGIServer((host, port), handler, pool)
         server.set_app(app)
         app.worker_pool = pool
@@ -535,24 +741,36 @@ def create_server(host: str = "127.0.0.1", port: int = 8000,
 
 
 def run(host: str = "127.0.0.1", port: int = 8000, workers: int = 1,
-        **app_kwargs) -> int:
-    """Blocking entry point used by ``pdcunplugged serve``."""
-    server, app = create_server(host, port, workers=workers, **app_kwargs)
+        queue_limit: int | None = None, **app_kwargs) -> int:
+    """Blocking entry point used by ``pdcunplugged serve``.
+
+    The CLI path defaults to the background rebuild pipeline: requests
+    never pay for a catalog re-scan, and rebuild failures degrade to
+    stale serving behind the circuit breaker instead of surfacing.
+    """
+    app_kwargs.setdefault("rebuild_mode", "background")
+    server, app = create_server(host, port, workers=workers,
+                                queue_limit=queue_limit, **app_kwargs)
     bound_port = server.server_address[1]
     print(f"serving {len(app.state.catalog)} activities on "
           f"http://{host}:{bound_port} with {workers} worker(s) "
           f"(Ctrl-C to stop)")
     if app.warm_loaded:
         print(f"  warm start: {app.warm_loaded} cached responses reloaded")
+    if app.faults is not None and app.faults.active:
+        print(f"  fault injection ACTIVE: {len(app.faults.rules)} rule(s), "
+              f"seed {app.faults.seed}")
     print(f"  API: /api/activities /api/search?q=… /api/coverage/cs2013 "
           f"/api/coverage/tcpp /api/gaps /api/simulate/<slug> /api/metrics "
           f"/api/lint")
+    print(f"  ops: /healthz /readyz")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down.")
     finally:
         server.server_close()
+        app.close()
         saved = app.save_cache()
         if saved:
             print(f"spilled {saved} cached responses for warm restart.")

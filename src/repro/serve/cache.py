@@ -32,12 +32,22 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-__all__ = ["CacheEntry", "PageCache", "ShardedPageCache", "make_etag"]
+__all__ = ["CacheEntry", "PageCache", "ShardedPageCache", "checksum",
+           "make_etag"]
 
 
 def make_etag(body: bytes) -> str:
     """Strong ETag for a response body (content-addressed, quoted)."""
     return '"' + hashlib.sha256(body).hexdigest()[:24] + '"'
+
+
+def checksum(data: bytes) -> str:
+    """Unquoted content hash (same digest family as :func:`make_etag`).
+
+    Used by the persistence layer to verify payloads that are not HTTP
+    bodies (e.g. serialized search postings) on the way back from disk.
+    """
+    return hashlib.sha256(data).hexdigest()[:24]
 
 
 def shard_for(path: str, shards: int) -> int:

@@ -197,6 +197,8 @@ class LoadReport:
     cache_hits: int = 0                  # responses served from the page cache
     revalidations: int = 0               # 304 Not Modified responses
     api_requests: int = 0                # requests whose path was /api/*
+    shed: int = 0                        # 503s (shed / degraded / deadline)
+    stale_hits: int = 0                  # responses carrying X-Stale
     bytes_received: int = 0
     duration_s: float = 0.0
     clients: int = 1
@@ -209,6 +211,25 @@ class LoadReport:
     @property
     def ok(self) -> bool:
         return all(status in (200, 304) for status in self.statuses)
+
+    @property
+    def unhandled_errors(self) -> int:
+        """5xx responses that are NOT deliberate 503 degradation.
+
+        The chaos acceptance criterion: under injected faults a run may
+        shed (503) and serve stale, but must never surface an unhandled
+        server error.
+        """
+        return sum(count for status, count in self.statuses.items()
+                   if status >= 500 and status != 503)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def stale_hit_rate(self) -> float:
+        return self.stale_hits / self.requests if self.requests else 0.0
 
     def latency_percentile_ms(self, p: float) -> float:
         """Exact order-statistic percentile over recorded latencies, in ms."""
@@ -227,6 +248,8 @@ class LoadReport:
         self.cache_hits += other.cache_hits
         self.revalidations += other.revalidations
         self.api_requests += other.api_requests
+        self.shed += other.shed
+        self.stale_hits += other.stale_hits
         self.bytes_received += other.bytes_received
         self.latencies_s.extend(other.latencies_s)
 
@@ -257,14 +280,15 @@ def run_load(app, paths, revalidate: bool = True,
         report.latencies_s.append(clock() - issued)
         _tally(report, request, response.status, response.etag,
                len(response.body), etags,
-               cache_status=response.headers.get("X-Cache"))
+               cache_status=response.headers.get("X-Cache"),
+               stale=response.headers.get("X-Stale") is not None)
     report.duration_s = clock() - started
     return report
 
 
 def _tally(report: LoadReport, request: LoadRequest, status: int,
            etag: str | None, body_len: int, etags: dict[str, str],
-           cache_status: str | None = None) -> None:
+           cache_status: str | None = None, stale: bool = False) -> None:
     report.requests += 1
     report.statuses[status] = report.statuses.get(status, 0) + 1
     report.bytes_received += body_len
@@ -272,6 +296,10 @@ def _tally(report: LoadReport, request: LoadRequest, status: int,
         report.api_requests += 1
     if status == 304:
         report.revalidations += 1
+    if status == 503:
+        report.shed += 1
+    if stale:
+        report.stale_hits += 1
     if cache_status == "hit":
         report.cache_hits += 1
     if etag:
@@ -343,11 +371,12 @@ def run_load_http(base_url: str, paths, clients: int = 1,
                 status = response.status
                 etag = response.getheader("ETag")
                 cache_status = response.getheader("X-Cache")
+                stale = response.getheader("X-Stale") is not None
             finally:
                 conn.close()
             report.latencies_s.append(clock() - issued)
             _tally(report, request, status, etag, len(body), etags,
-                   cache_status=cache_status)
+                   cache_status=cache_status, stale=stale)
 
     threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
     started = clock()

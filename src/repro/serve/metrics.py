@@ -144,6 +144,11 @@ class MetricsRegistry:
         self.not_modified = 0               # 304 responses served
         self.rebuilds = 0
         self.rebuild_pages = 0              # files re-rendered across rebuilds
+        # Resilience counters: the degradation ladder made observable.
+        self.shed = 0                       # 503s answered at the watermark
+        self.deadline_expired = 0           # requests over their time budget
+        self.stale_served = 0               # 200s marked Warning: 110
+        self.degraded = 0                   # render gave up after retries
         self.started_at = clock()
         self._clock = clock
 
@@ -163,6 +168,22 @@ class MetricsRegistry:
         with self._lock:
             self.rebuilds += 1
             self.rebuild_pages += files_rerendered
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_deadline_expired(self) -> None:
+        with self._lock:
+            self.deadline_expired += 1
+
+    def record_stale_served(self) -> None:
+        with self._lock:
+            self.stale_served += 1
+
+    def record_degraded(self) -> None:
+        with self._lock:
+            self.degraded += 1
 
     @property
     def total_requests(self) -> int:
@@ -191,6 +212,10 @@ class MetricsRegistry:
             not_modified = self.not_modified
             rebuilds = self.rebuilds
             rebuild_pages = self.rebuild_pages
+            shed = self.shed
+            deadline_expired = self.deadline_expired
+            stale_served = self.stale_served
+            degraded = self.degraded
             uptime = self._clock() - self.started_at
         route_snapshots = {
             pattern: stats.snapshot() for pattern, stats in sorted(routes.items())
@@ -209,5 +234,11 @@ class MetricsRegistry:
             "rebuilds": {
                 "count": rebuilds,
                 "files_rerendered": rebuild_pages,
+            },
+            "resilience": {
+                "shed": shed,
+                "deadline_expired": deadline_expired,
+                "stale_served": stale_served,
+                "degraded": degraded,
             },
         }

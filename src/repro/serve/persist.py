@@ -1,4 +1,4 @@
-"""On-disk spill/restore for the page cache (warm starts across restarts).
+"""On-disk spill/restore for the page cache and search index (warm starts).
 
 A fresh server process used to cold-start at hit-ratio 0 and pay one
 render per page before the cache did anything.  :class:`CacheStore` fixes
@@ -9,27 +9,49 @@ current plan.  Invalidation therefore reuses the exact mechanism the
 incremental rebuilder already trusts — if any input of a page changed, its
 signature changed, and the stale spill is silently dropped.
 
+The search index rides along: its per-document term counts are persisted
+under the :func:`~repro.sitegen.search.catalog_signature` of the catalog
+they were tokenized from, so a warm start skips the cold
+``SearchIndex.from_catalog`` pass entirely when the content has not
+changed.
+
 Layout under ``cache_dir``::
 
     cache-index.json          path -> {etag, content_type, signature, blob}
+    search-postings.json      checksummed, signature-stamped search index
     blobs/<sha>.body          content-addressed bodies (deduplicated)
 
-Bodies are content-addressed by their ETag hash, so unchanged bodies are
-written once ever; the index is rewritten atomically (tmp + rename) so a
-crash mid-save never leaves a torn index.  Corrupt or tampered blobs are
-detected on load (the ETag is recomputed from the bytes) and skipped.
+Failure model — this module is *tolerant by construction*:
+
+* every write is atomic (tmp + fsync + rename via :mod:`repro.ioutil`),
+  so a crash mid-save never leaves a torn file where a reader finds it;
+* transient write errors are retried under a
+  :class:`~repro.serve.retrypolicy.RetryPolicy`; a persistently failing
+  entry is *skipped* (logged, counted) — persistence is an optimization,
+  never worth failing a save over;
+* every load path treats garbage the same way: a truncated or corrupt
+  index, a missing or tampered blob (ETag recomputed from bytes), or a
+  postings file whose checksum/signature/version disagrees all mean
+  "start cold", logged at WARNING, never raised.
+
+A :class:`~repro.serve.faults.FaultPlan` can be attached to exercise all
+of the above deterministically (ops ``persist-write`` / ``cache-read``).
 """
 
 from __future__ import annotations
 
 import json
-import os
+import logging
 from pathlib import Path
 from typing import Callable
 
-from repro.serve.cache import make_etag
+from repro.ioutil import atomic_write_bytes
+from repro.serve.cache import checksum, make_etag
+from repro.serve.retrypolicy import RetryError, RetryPolicy
 
-__all__ = ["CacheStore"]
+__all__ = ["CacheStore", "SEARCH_FILENAME"]
+
+log = logging.getLogger("repro.serve.persist")
 
 #: ``signature_for`` callback: maps a cache key (request path, possibly with
 #: a query string) to the signature its body was rendered under, or ``None``
@@ -39,15 +61,46 @@ SignatureFn = Callable[[str], "str | None"]
 _INDEX_NAME = "cache-index.json"
 _BLOB_DIR = "blobs"
 
+SEARCH_FILENAME = "search-postings.json"
+_SEARCH_VERSION = 1
+
 
 class CacheStore:
     """Persist page-cache entries keyed by render-plan signature."""
 
-    def __init__(self, cache_dir: str | Path):
+    def __init__(self, cache_dir: str | Path, faults=None,
+                 retry: RetryPolicy | None = None):
         self.root = Path(cache_dir)
         self.blob_dir = self.root / _BLOB_DIR
         self.blob_dir.mkdir(parents=True, exist_ok=True)
         self.index_path = self.root / _INDEX_NAME
+        self.search_path = self.root / SEARCH_FILENAME
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy(retries=1)
+        self.skipped_saves = 0
+        self.load_errors = 0
+
+    # -- instrumented I/O (fault hooks + retry) ----------------------------
+
+    def _persist_bytes(self, path: Path, data: bytes) -> None:
+        """Atomically write ``data`` with fault hooks and transient retry."""
+        def attempt() -> None:
+            payload = data
+            if self.faults is not None:
+                self.faults.maybe_fail("persist-write")
+                payload = self.faults.mangle_write("persist-write", payload)
+            atomic_write_bytes(path, payload)
+        self.retry.call(attempt, sleep=None)
+
+    def _read_bytes(self, path: Path) -> bytes:
+        def attempt() -> bytes:
+            if self.faults is not None:
+                self.faults.maybe_fail("cache-read")
+            data = path.read_bytes()
+            if self.faults is not None:
+                data = self.faults.mangle_read("cache-read", data)
+            return data
+        return self.retry.call(attempt, sleep=None)
 
     # -- saving ------------------------------------------------------------
 
@@ -56,7 +109,10 @@ class CacheStore:
 
         ``cache`` is any object with an ``entries()`` snapshot method
         (:class:`~repro.serve.cache.PageCache` or
-        :class:`~repro.serve.cache.ShardedPageCache`).
+        :class:`~repro.serve.cache.ShardedPageCache`).  An entry whose
+        blob cannot be written even after retries is skipped and counted,
+        not raised — a failed spill costs a cold render later, nothing
+        more.
         """
         index: dict[str, dict] = {}
         for entry in cache.entries():
@@ -65,23 +121,31 @@ class CacheStore:
                 continue
             blob = self._blob_name(entry.etag)
             blob_path = self.blob_dir / blob
-            if not blob_path.exists():
-                blob_path.write_bytes(entry.body)
+            try:
+                if not blob_path.exists():
+                    self._persist_bytes(blob_path, entry.body)
+            except (OSError, RetryError) as exc:
+                self.skipped_saves += 1
+                log.warning("skipping spill of %s: %s", entry.path, exc)
+                continue
             index[entry.path] = {
                 "etag": entry.etag,
                 "content_type": entry.content_type,
                 "signature": signature,
                 "blob": blob,
             }
-        self._write_index(index)
+        try:
+            self._write_index(index)
+        except (OSError, RetryError) as exc:
+            self.skipped_saves += 1
+            log.warning("cache index not written: %s", exc)
+            return 0                      # old index stays; skip GC under it
         self._collect_garbage(index)
         return len(index)
 
     def _write_index(self, index: dict) -> None:
-        tmp = self.index_path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(index, indent=2, sort_keys=True),
-                       encoding="utf-8")
-        os.replace(tmp, self.index_path)
+        body = json.dumps(index, indent=2, sort_keys=True).encode("utf-8")
+        self._persist_bytes(self.index_path, body)
 
     def _collect_garbage(self, index: dict) -> int:
         """Delete blobs no live index entry references."""
@@ -89,19 +153,30 @@ class CacheStore:
         removed = 0
         for blob_path in self.blob_dir.glob("*.body"):
             if blob_path.name not in referenced:
-                blob_path.unlink(missing_ok=True)
+                try:
+                    blob_path.unlink(missing_ok=True)
+                except OSError:
+                    continue              # a lingering blob is only disk
                 removed += 1
         return removed
 
     # -- loading -----------------------------------------------------------
 
     def load_index(self) -> dict[str, dict]:
-        """The persisted index, or ``{}`` when absent/corrupt."""
+        """The persisted index, or ``{}`` when absent/corrupt (cold start)."""
         try:
-            raw = json.loads(self.index_path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            raw = json.loads(self._read_bytes(self.index_path))
+        except FileNotFoundError:
             return {}
-        return raw if isinstance(raw, dict) else {}
+        except (OSError, RetryError, ValueError) as exc:
+            self.load_errors += 1
+            log.warning("cache index unreadable, starting cold: %s", exc)
+            return {}
+        if not isinstance(raw, dict):
+            self.load_errors += 1
+            log.warning("cache index malformed, starting cold")
+            return {}
+        return raw
 
     def warm_load(self, cache, signature_for: SignatureFn) -> int:
         """Preload ``cache`` with every entry whose signature still holds.
@@ -117,14 +192,79 @@ class CacheStore:
                 expected = signature_for(path)
                 if expected is None or expected != meta["signature"]:
                     continue
-                body = (self.blob_dir / str(meta["blob"])).read_bytes()
+                body = self._read_bytes(self.blob_dir / str(meta["blob"]))
                 if make_etag(body) != meta["etag"]:
                     continue                      # tampered / torn blob
                 cache.put(path, body, str(meta["content_type"]))
                 warmed += 1
-            except (OSError, KeyError, TypeError):
+            except (OSError, RetryError, KeyError, TypeError):
+                self.load_errors += 1
                 continue
         return warmed
 
+    # -- search-index postings ---------------------------------------------
+
+    def save_search(self, index, signature: str) -> bool:
+        """Persist ``index`` (a :class:`~repro.sitegen.search.SearchIndex`)
+        stamped with the catalog ``signature`` it was built from."""
+        body = json.dumps(index.to_payload(), sort_keys=True,
+                          separators=(",", ":"))
+        wrapper = {
+            "version": _SEARCH_VERSION,
+            "signature": signature,
+            "checksum": checksum(body.encode("utf-8")),
+            "index": body,
+        }
+        try:
+            self._persist_bytes(self.search_path,
+                                json.dumps(wrapper).encode("utf-8"))
+        except (OSError, RetryError) as exc:
+            self.skipped_saves += 1
+            log.warning("search postings not written: %s", exc)
+            return False
+        return True
+
+    def load_search(self, expected_signature: str):
+        """The persisted search index, or ``None`` (build cold).
+
+        ``None`` on: no file, version or signature mismatch (content
+        changed), checksum mismatch (corruption), or any parse error —
+        a broken postings file must never take warm start down.
+        """
+        from repro.errors import SiteError
+        from repro.sitegen.search import SearchIndex
+
+        try:
+            wrapper = json.loads(self._read_bytes(self.search_path))
+        except FileNotFoundError:
+            return None
+        except (OSError, RetryError, ValueError) as exc:
+            self.load_errors += 1
+            log.warning("search postings unreadable, building cold: %s", exc)
+            return None
+        try:
+            if wrapper["version"] != _SEARCH_VERSION:
+                log.warning("search postings version %r unsupported, "
+                            "building cold", wrapper.get("version"))
+                return None
+            if wrapper["signature"] != expected_signature:
+                return None               # content changed: postings stale
+            body = wrapper["index"]
+            if checksum(body.encode("utf-8")) != wrapper["checksum"]:
+                self.load_errors += 1
+                log.warning("search postings checksum mismatch, building cold")
+                return None
+            return SearchIndex.from_payload(json.loads(body))
+        except (KeyError, TypeError, ValueError, AttributeError, SiteError) as exc:
+            self.load_errors += 1
+            log.warning("search postings corrupt, building cold: %s", exc)
+            return None
+
     def _blob_name(self, etag: str) -> str:
         return etag.strip('"') + ".body"
+
+    def stats(self) -> dict:
+        return {
+            "skipped_saves": self.skipped_saves,
+            "load_errors": self.load_errors,
+        }

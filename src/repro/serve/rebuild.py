@@ -24,7 +24,17 @@ generation, and the swap itself is a single attribute assignment.
 
 A broken edit (e.g. a half-saved Markdown file) never takes the server
 down: the rebuild fails closed, the previous generation keeps serving, and
-the error is reported in the rebuild result and ``/api/metrics``.
+the error is reported in the rebuild result and ``/api/metrics``.  The
+fingerprint is *not* advanced on failure, so the next check retries the
+build — which is what lets a circuit breaker's half-open probe heal.
+
+:class:`BackgroundRebuilder` moves the whole refresh off the request
+path: a dedicated thread waits on a condition variable, is poked by
+request workers (O(1): set a flag, notify), debounces bursts of pokes
+into one rebuild, and optionally consults a
+:class:`~repro.serve.resilience.CircuitBreaker` so a persistently
+failing pipeline backs off instead of burning CPU re-parsing a broken
+corpus on every poll.
 """
 
 from __future__ import annotations
@@ -34,12 +44,14 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.activities.catalog import Catalog, corpus_dir
 from repro.sitegen.search import SearchIndex
 from repro.sitegen.site import RenderTask, Site, SiteConfig
 
-__all__ = ["ServerState", "RebuildManager", "RebuildResult", "scan_content"]
+__all__ = ["ServerState", "RebuildManager", "RebuildResult",
+           "BackgroundRebuilder", "scan_content"]
 
 
 def scan_content(content_dir: str | Path) -> dict[str, tuple[int, int]]:
@@ -116,15 +128,22 @@ class RebuildManager:
         config: SiteConfig | None = None,
         min_interval_s: float = 1.0,
         clock=time.monotonic,
+        faults=None,
+        search_loader: Callable[[Catalog], SearchIndex | None] | None = None,
     ):
         self.content_dir = Path(content_dir) if content_dir else corpus_dir()
         self.config = config
         self.min_interval_s = min_interval_s
+        self.faults = faults
         self._clock = clock
         self._fingerprint = scan_content(self.content_dir)
         self._last_check = clock()
         self._refresh_lock = threading.Lock()
-        self.state = ServerState.from_content_dir(self.content_dir, config)
+        # A search_loader (e.g. persisted postings) can skip the cold
+        # from_catalog tokenization pass; returning None falls back to it.
+        catalog = Catalog.from_directory(self.content_dir)
+        search = search_loader(catalog) if search_loader is not None else None
+        self.state = ServerState(catalog, config, search=search)
         self.last_error: str | None = None
 
     def maybe_refresh(self) -> RebuildResult | None:
@@ -166,19 +185,23 @@ class RebuildManager:
         result = RebuildResult(
             changed_sources=sorted({name for name, _ in changed})
         )
-        self._fingerprint = fingerprint
         # Activity document names are source-file stems; patching only these
         # in the search index skips re-tokenizing the unchanged corpus.
         dirty_names = {Path(name).stem for name in result.changed_sources}
         try:
+            if self.faults is not None:
+                self.faults.maybe_fail("rebuild")
             catalog = Catalog.from_directory(self.content_dir)
             search = self.state.search.patched_from_catalog(catalog, dirty_names)
             new_state = ServerState(catalog, self.config, search=search)
-        except Exception as exc:           # keep serving the old generation
+        except Exception as exc:           # keep serving the old generation;
+            # the fingerprint is deliberately NOT advanced, so the next
+            # check retries the build instead of waiting for another edit
             result.error = f"{type(exc).__name__}: {exc}"
             self.last_error = result.error
             result.duration_s = self._clock() - started
             return result
+        self._fingerprint = fingerprint
         result.search_patched = len(dirty_names)
 
         old_sigs = self.state.signatures
@@ -195,3 +218,155 @@ class RebuildManager:
         self.last_error = None
         result.duration_s = self._clock() - started
         return result
+
+
+class BackgroundRebuilder:
+    """Runs rebuilds on a dedicated thread so requests never pay for one.
+
+    Request workers call :meth:`poke` — O(1): set a flag, notify — and
+    carry on serving the current generation.  The rebuild thread wakes,
+    sleeps ``debounce_s`` to coalesce a burst of pokes (a multi-file
+    save) into one rebuild, and runs ``manager.refresh()``.  With no
+    pokes it polls every ``poll_interval_s`` (pass ``None`` to rebuild
+    only when poked).
+
+    When a :class:`~repro.serve.resilience.CircuitBreaker` is attached,
+    each rebuild outcome feeds it: consecutive failures trip it open and
+    attempts are skipped (the last good generation keeps serving, marked
+    stale) until the breaker half-opens and a probe rebuild succeeds.
+    """
+
+    def __init__(
+        self,
+        manager: RebuildManager,
+        breaker=None,
+        debounce_s: float = 0.05,
+        poll_interval_s: float | None = 0.5,
+        on_result: Callable[[RebuildResult], None] | None = None,
+        sleep=time.sleep,
+    ):
+        self.manager = manager
+        self.breaker = breaker
+        self.debounce_s = debounce_s
+        self.poll_interval_s = poll_interval_s
+        self.on_result = on_result
+        self._sleep = sleep
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._pending = False
+        self._stopping = False
+        self._attempts = 0
+        self._skipped_open = 0
+        self._last_result: RebuildResult | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        with self._cond:
+            if self._thread is not None:
+                return
+            self._stopping = False
+            thread = threading.Thread(
+                target=self._run, name="serve-rebuild", daemon=True)
+            self._thread = thread
+        thread.start()
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        with self._cond:
+            thread = self._thread
+            if thread is None:
+                return
+            self._stopping = True
+            self._thread = None
+            self._cond.notify_all()
+        thread.join(timeout=timeout_s)
+
+    @property
+    def running(self) -> bool:
+        with self._cond:
+            return self._thread is not None
+
+    def poke(self) -> None:
+        """Request a rebuild check; returns immediately (never blocks)."""
+        with self._cond:
+            self._pending = True
+            self._cond.notify_all()
+
+    # -- the rebuild thread --------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                if not self._pending and not self._stopping:
+                    self._cond.wait(timeout=self.poll_interval_s)
+                if self._stopping:
+                    return
+                poked = self._pending
+                self._pending = False
+            if poked and self.debounce_s > 0:
+                self._sleep(self.debounce_s)
+                with self._cond:
+                    self._pending = False    # coalesce pokes during debounce
+            self._attempt()
+
+    def run_once(self) -> RebuildResult | None:
+        """One synchronous attempt (deterministic path for tests)."""
+        return self._attempt()
+
+    def _attempt(self) -> RebuildResult | None:
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            with self._cond:
+                self._skipped_open += 1
+            return None
+        try:
+            result = self.manager.refresh()
+        except Exception as exc:  # noqa: BLE001 - a scan failure is a failure
+            result = RebuildResult(error=f"{type(exc).__name__}: {exc}")
+        with self._cond:
+            self._attempts += 1
+            if result is not None:
+                self._last_result = result
+        if result is None:
+            # A no-op scan is a healthy pipeline: close a half-open
+            # breaker that has nothing left to rebuild — without resetting
+            # the failure count while the breaker is closed.
+            if breaker is not None and not breaker.closed:
+                breaker.record_success()
+            return None
+        if breaker is not None:
+            if result.ok:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+        if result.ok and self.on_result is not None:
+            self.on_result(result)
+        return result
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def stale(self) -> bool:
+        """Whether responses should be marked stale (pipeline unhealthy)."""
+        if self.manager.last_error is not None:
+            return True
+        breaker = self.breaker
+        return breaker is not None and not breaker.closed
+
+    def stats(self) -> dict:
+        with self._cond:
+            last = self._last_result
+            out = {
+                "running": self._thread is not None,
+                "pending": self._pending,
+                "attempts": self._attempts,
+                "skipped_while_open": self._skipped_open,
+                "debounce_s": self.debounce_s,
+                "last_error": self.manager.last_error,
+            }
+        out["stale"] = self.stale
+        if last is not None:
+            out["last_duration_s"] = round(last.duration_s, 4)
+        if self.breaker is not None:
+            out["breaker"] = self.breaker.stats()
+        return out

@@ -1,0 +1,130 @@
+"""Retry with exponential backoff + jitter, shared across subsystems.
+
+One policy object owns the *schedule* (how many attempts, how long to
+wait between them); callers own the *classification* (which outcomes are
+worth retrying).  The serving layer uses it for transient persist/load
+I/O, the link auditor for flaky HTTP fetches — both get the same
+deterministic, injectable behaviour:
+
+* the schedule is pure data (``delays()`` yields the backoff sequence),
+* jitter comes from a caller-supplied seeded RNG, so tests and
+  benchmarks replay identically,
+* sleeping is injectable (default ``time.sleep``; pass ``sleep=None``
+  to retry immediately, the link-auditor default).
+
+Not every exception deserves a retry: :func:`is_transient` encodes the
+split — a missing file or a permission wall will not heal on attempt
+three, while an injected fault, a timeout, or a generic ``OSError``
+plausibly will.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["RetryPolicy", "RetryError", "is_transient"]
+
+#: Exception types that retrying cannot fix: the condition is structural,
+#: not transient, so the first failure is final.
+_PERMANENT: tuple[type[BaseException], ...] = (
+    FileNotFoundError,
+    IsADirectoryError,
+    NotADirectoryError,
+    PermissionError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` is plausibly transient (worth another attempt)."""
+    return isinstance(exc, OSError) and not isinstance(exc, _PERMANENT)
+
+
+class RetryError(Exception):
+    """Every attempt failed; ``last`` is the final exception."""
+
+    def __init__(self, attempts: int, last: BaseException):
+        super().__init__(f"gave up after {attempts} attempt(s): "
+                         f"{type(last).__name__}: {last}")
+        self.attempts = attempts
+        self.last = last
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An immutable retry schedule: attempts and backoff shape.
+
+    ``retries`` extra attempts follow the first (so ``retries=2`` means
+    up to three calls).  Delay before retry *k* is
+    ``base_delay_s * multiplier**(k-1)`` capped at ``max_delay_s``, with
+    a uniform jitter of up to ``jitter`` of itself added when an RNG is
+    supplied.
+    """
+
+    retries: int = 2
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 0.5
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    @property
+    def attempts(self) -> int:
+        return self.retries + 1
+
+    def delays(self, rng: random.Random | None = None) -> Iterator[float]:
+        """The backoff delays preceding retries 1..``retries``."""
+        delay = self.base_delay_s
+        for _ in range(self.retries):
+            value = min(delay, self.max_delay_s)
+            if rng is not None and self.jitter and value > 0:
+                value += rng.uniform(0.0, value * self.jitter)
+            yield value
+            delay *= self.multiplier
+
+    def schedule(self, rng: random.Random | None = None
+                 ) -> Iterator[tuple[int, float]]:
+        """``(attempt_number, delay_before_it)`` pairs, first delay 0."""
+        yield 1, 0.0
+        for i, delay in enumerate(self.delays(rng), start=2):
+            yield i, delay
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: Callable[[BaseException], bool] = is_transient,
+        sleep: Callable[[float], None] | None = time.sleep,
+        rng: random.Random | None = None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ):
+        """Run ``fn`` under this schedule; raise :class:`RetryError` when
+        every attempt fails with a retryable exception.
+
+        A non-retryable exception propagates immediately, unchanged.
+        """
+        last: BaseException | None = None
+        attempts = 0
+        for attempt, delay in self.schedule(rng):
+            if delay > 0 and sleep is not None:
+                sleep(delay)
+            attempts = attempt
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if not retry_on(exc):
+                    raise
+                last = exc
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+        assert last is not None
+        raise RetryError(attempts, last)

@@ -13,6 +13,14 @@ client head-of-line blocks every other request.  This module provides the
   each accepted connection to the pool, so N requests are serviced
   concurrently while the listener keeps accepting.
 
+The task queue can be *bounded* (``max_queue``): past the watermark,
+:meth:`WorkerPool.submit` raises :class:`PoolSaturated` instead of
+queueing — and :class:`PooledWSGIServer` turns that into a raw
+``503 + Retry-After`` written straight to the socket, so an overloaded
+server sheds excess connections in microseconds instead of queueing them
+into timeout territory (the load-shedding rung of the degradation
+ladder).
+
 Pure stdlib; the pool is also reusable for any fire-and-forget work.
 """
 
@@ -22,24 +30,33 @@ import queue
 import threading
 from wsgiref.simple_server import WSGIServer
 
-__all__ = ["WorkerPool", "PooledWSGIServer"]
+__all__ = ["WorkerPool", "PooledWSGIServer", "PoolSaturated"]
 
 _SHUTDOWN = object()
+
+
+class PoolSaturated(RuntimeError):
+    """The bounded task queue is at its watermark; the task was refused."""
 
 
 class WorkerPool:
     """Fixed pool of daemon worker threads draining a shared task queue."""
 
-    def __init__(self, workers: int, name: str = "serve-worker"):
+    def __init__(self, workers: int, name: str = "serve-worker",
+                 max_queue: int | None = None):
         if workers < 1:
             raise ValueError("worker count must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
         self.workers = workers
+        self.max_queue = max_queue
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._lock = threading.Lock()
         self._submitted = 0
         self._completed = 0
         self._errors = 0
         self._busy = 0
+        self._shed = 0
         self._closed = False
         self._threads = [
             threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
@@ -49,10 +66,19 @@ class WorkerPool:
             thread.start()
 
     def submit(self, fn, *args) -> None:
-        """Enqueue ``fn(*args)`` for execution on some worker thread."""
+        """Enqueue ``fn(*args)`` for execution on some worker thread.
+
+        Raises :class:`PoolSaturated` (and counts a shed) when a bounded
+        queue is at its watermark — the caller decides how to refuse.
+        """
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is shut down")
+            queued = self._submitted - self._completed - self._busy
+            if self.max_queue is not None and queued >= self.max_queue:
+                self._shed += 1
+                raise PoolSaturated(
+                    f"task queue at watermark ({queued} >= {self.max_queue})")
             self._submitted += 1
         self._queue.put((fn, args))
 
@@ -114,6 +140,8 @@ class WorkerPool:
                 "errors": self._errors,
                 "busy": self._busy,
                 "queued": max(0, self._submitted - self._completed - self._busy),
+                "shed": self._shed,
+                "max_queue": self.max_queue,
             }
 
 
@@ -129,12 +157,30 @@ class PooledWSGIServer(WSGIServer):
     #: instead of being refused while all workers are busy.
     request_queue_size = 64
 
+    #: Pre-rendered shed response: refusing must cost microseconds, so no
+    #: WSGI machinery runs — the bytes go straight to the socket.
+    _SHED_RESPONSE = (b"HTTP/1.1 503 Service Unavailable\r\n"
+                      b"Retry-After: 1\r\n"
+                      b"Content-Length: 0\r\n"
+                      b"Connection: close\r\n\r\n")
+
     def __init__(self, server_address, handler_class, pool: WorkerPool):
         self.pool = pool
         super().__init__(server_address, handler_class)
 
     def process_request(self, request, client_address) -> None:
-        self.pool.submit(self._handle_request, request, client_address)
+        try:
+            self.pool.submit(self._handle_request, request, client_address)
+        except PoolSaturated:
+            self._shed_request(request)
+
+    def _shed_request(self, request) -> None:
+        try:
+            request.sendall(self._SHED_RESPONSE)
+        except OSError:
+            pass                     # client already gone: nothing to refuse
+        finally:
+            self.shutdown_request(request)
 
     def _handle_request(self, request, client_address) -> None:
         # Same contract as ThreadingMixIn.process_request_thread.

@@ -147,6 +147,12 @@ class LinkAuditor:
       transient failures (exceptions, 429/5xx) are retried up to
       ``retries`` extra times, and every report carries the attempt count
       and a human-readable detail.
+
+    The retry *schedule* is the shared :class:`repro.serve.retrypolicy.
+    RetryPolicy`: pass ``retry_policy=`` to control backoff shape, or the
+    plain ``retries=`` count for the legacy immediate-retry behaviour.
+    Sleeping between attempts is injectable (``sleep=``) and defaults to
+    none — audits never stall a test run.
     """
 
     def __init__(
@@ -156,6 +162,8 @@ class LinkAuditor:
         fetcher: Fetcher | None = None,
         timeout_s: float = 5.0,
         retries: int = 1,
+        retry_policy=None,
+        sleep: Callable[[float], None] | None = None,
     ):
         if prober is not None and fetcher is not None:
             raise ValueError("pass either prober= or fetcher=, not both")
@@ -166,7 +174,16 @@ class LinkAuditor:
             self.prober = offline_prober
         self.fetcher = fetcher
         self.timeout_s = timeout_s
-        self.retries = retries
+        if retry_policy is None:
+            # Imported lazily: repro.serve imports sitegen modules, so a
+            # module-level import here would be a cycle.
+            from repro.serve.retrypolicy import RetryPolicy
+
+            retry_policy = RetryPolicy(retries=retries, base_delay_s=0.0,
+                                       jitter=0.0)
+        self.retry_policy = retry_policy
+        self.retries = retry_policy.retries
+        self.sleep = sleep
 
     def _probe(self, url: str) -> tuple[LinkStatus, int, str]:
         """Classify one URL -> (status, attempts, detail)."""
@@ -176,7 +193,9 @@ class LinkAuditor:
             return LinkStatus.MALFORMED, 0, "not a fetchable http(s) URL"
         detail = ""
         attempts = 0
-        for attempt in range(1, self.retries + 2):
+        for attempt, delay in self.retry_policy.schedule():
+            if delay > 0 and self.sleep is not None:
+                self.sleep(delay)
             attempts = attempt
             try:
                 result = self.fetcher(url, self.timeout_s)

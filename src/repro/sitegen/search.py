@@ -16,10 +16,19 @@ path uses it so a one-file content edit patches one document's postings
 instead of re-indexing the whole corpus.  The old index is never mutated
 (copy-on-patch), so in-flight queries against the previous generation
 stay consistent.
+
+The index is also *persistable*: :meth:`SearchIndex.to_payload` /
+:meth:`SearchIndex.from_payload` round-trip the per-document term counts
+through plain JSON-able dicts (postings are derived data and rebuilt on
+load), and :func:`catalog_signature` fingerprints exactly the inputs the
+index is built from — the serving layer stores the payload under that
+signature so a warm start can skip the cold tokenization pass, and any
+content change invalidates the stored copy.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import re
 from collections import Counter
@@ -27,7 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SiteError
 
-__all__ = ["SearchHit", "SearchIndex", "tokenize"]
+__all__ = ["SearchHit", "SearchIndex", "catalog_signature", "tokenize"]
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
 
@@ -162,6 +171,58 @@ class SearchIndex:
                 index.index_activity(catalog.get(name))
         return index
 
+    # -- persistence ------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-able form of the index: per-document term counts only.
+
+        Postings are derived data — :meth:`from_payload` rebuilds them —
+        so the payload stays small and there is nothing in it that can
+        disagree with itself.
+        """
+        return {
+            "docs": [
+                {
+                    "name": entry.name,
+                    "title": entry.title,
+                    "length": entry.length,
+                    "fields": {
+                        fname: dict(counter)
+                        for fname, counter in entry.field_counts.items()
+                    },
+                }
+                for entry in (self._docs[n] for n in sorted(self._docs))
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SearchIndex":
+        """Rebuild an index from :meth:`to_payload` output.
+
+        Raises ``KeyError``/``TypeError``/:class:`~repro.errors.SiteError`
+        on malformed payloads; callers loading from disk treat any of
+        those as "start cold" rather than trusting partial data.
+        """
+        index = cls()
+        for doc in payload["docs"]:
+            name = doc["name"]
+            if name in index._docs:
+                raise SiteError(f"duplicate document {name!r}")
+            fields = {
+                fname: Counter({str(t): int(n) for t, n in counts.items()})
+                for fname, counts in doc["fields"].items()
+            }
+            index._docs[name] = _DocEntry(
+                name=name,
+                title=doc["title"],
+                field_counts=fields,
+                length=int(doc["length"]),
+            )
+            for counter in fields.values():
+                for token in counter:
+                    index._postings.setdefault(token, set()).add(name)
+        return index
+
     # -- queries --------------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -213,3 +274,22 @@ class SearchIndex:
         if not prefix:
             return []
         return sorted(t for t in self._postings if t.startswith(prefix))[:limit]
+
+
+def catalog_signature(catalog) -> str:
+    """Fingerprint exactly the inputs :meth:`SearchIndex.from_catalog` reads.
+
+    A persisted index is only valid for the catalog it was built from;
+    this hashes the same (name, title, tags, section bodies) tuple that
+    :meth:`SearchIndex.index_activity` tokenizes, so the signature changes
+    iff the index contents would.
+    """
+    digest = hashlib.sha256()
+    for activity in catalog:
+        tags = (activity.cs2013 + activity.tcpp + activity.courses
+                + activity.senses + activity.medium)
+        body = "\n".join(activity.sections.values())
+        for piece in (activity.name, activity.title, "\x1f".join(tags), body):
+            digest.update(piece.encode("utf-8"))
+            digest.update(b"\x1e")
+    return digest.hexdigest()[:20]

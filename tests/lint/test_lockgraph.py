@@ -286,6 +286,72 @@ class TestInversions:
         assert findings == []
 
 
+class TestConditions:
+    """``threading.Condition`` attributes are locks for the graph, but
+    exempt from the non-reentrant nesting error (their internal lock is
+    an ``RLock`` and ``wait()`` releases it)."""
+
+    def test_nested_condition_is_exempt(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def poke(self):
+                    with self._cond:
+                        with self._cond:
+                            self._cond.notify_all()
+            """)
+        assert findings == []
+
+    def test_condition_participates_in_ordering(self):
+        findings = _lock_order("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._lock = threading.Lock()
+
+                def one(self):
+                    with self._cond:
+                        with self._lock:
+                            pass
+
+                def two(self):
+                    with self._lock:
+                        with self._cond:
+                            pass
+            """)
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "lock-order inversion" in message
+        assert "self._cond" in message and "self._lock" in message
+
+    def test_condition_scope_satisfies_the_write_rule(self):
+        diags = rules_code.analyze_source("mod.py", textwrap.dedent("""\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self.pending = False
+
+                def poke(self):
+                    with self._cond:
+                        self.pending = True
+                        self._cond.notify_all()
+
+                def racy(self):
+                    self.pending = True
+            """))
+        unlocked = [d for d in diags if d.rule_id == "serve-unlocked-write"]
+        assert len(unlocked) == 1
+        assert "racy" in unlocked[0].message
+
+
 class TestDeterminism:
     def test_output_is_stable(self):
         source = TestInversions.TWO_LOCKS.format(first="b", second="a")

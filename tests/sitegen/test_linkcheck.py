@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sitegen.linkcheck import (
     AuditResult,
     FetchResult,
@@ -150,6 +152,27 @@ class TestFetcherInjection:
             LinkAuditor(prober=offline_prober, fetcher=ScriptedFetcher({}))
         with pytest.raises(ValueError):
             LinkAuditor(retries=-1)
+
+    def test_shared_retry_policy_drives_schedule_and_sleep(self):
+        from repro.serve.retrypolicy import RetryPolicy
+
+        fetcher = ScriptedFetcher({"http://down.com/x": [FetchResult(status_code=503)]})
+        slept = []
+        auditor = LinkAuditor(
+            fetcher=fetcher,
+            retry_policy=RetryPolicy(retries=2, base_delay_s=0.1,
+                                     multiplier=2.0, jitter=0.0),
+            sleep=slept.append)
+        [report] = auditor.audit_page("p", "http://down.com/x")
+        assert report.attempts == 3
+        assert auditor.retries == 2
+        assert slept == pytest.approx([0.1, 0.2])
+
+    def test_default_policy_never_sleeps(self):
+        fetcher = ScriptedFetcher({"http://down.com/x": [FetchResult(status_code=503)]})
+        auditor = LinkAuditor(fetcher=fetcher, retries=2)
+        [report] = auditor.audit_page("p", "http://down.com/x")
+        assert report.attempts == 3       # legacy immediate-retry behaviour
 
     def test_by_status_counts(self):
         fetcher = ScriptedFetcher({
