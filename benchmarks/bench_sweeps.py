@@ -1,0 +1,102 @@
+"""EXPERIMENT S-SWEEP -- batch parameter sweeps over the simulations.
+
+Measures what the sweep service exists for:
+
+* a 64-point grid on a worker pool vs the same grid run serially (the
+  parallel path must actually buy wall-clock time on multicore hosts),
+* cold vs warm store: resubmitting an identical spec must execute zero
+  points and be dominated by store reads, not simulation time.
+
+All grids are seeded -- identical points, identical records, across
+runs and across the serial/parallel split.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.sweep import ResultStore, SweepManager, SweepSpec
+
+GRID = {
+    "slugs": ["findsmallestcard", "paralleladditioncards"],
+    "sizes": [4, 8, 16, 32],
+    "seeds": [0, 1, 2, 3],
+    "params": {"step_time_jitter": [0.0, 0.2]},
+}
+POINTS = 64
+POOL_WORKERS = 4
+
+
+def _grid_spec() -> SweepSpec:
+    spec = SweepSpec.parse(GRID)
+    assert len(spec.points) == POINTS
+    return spec
+
+
+def _run_grid(workers: int, store=None) -> float:
+    manager = SweepManager(store=store, workers=workers)
+    try:
+        start = time.perf_counter()
+        job = manager.submit(_grid_spec())
+        assert job.wait(300.0)
+        elapsed = time.perf_counter() - start
+        progress = job.progress()
+        assert progress["status"] == "done"
+        assert progress["failed"] == 0
+        return elapsed
+    finally:
+        manager.close()
+
+
+@pytest.mark.benchmark(group="sweep-grid")
+def test_serial_grid(benchmark):
+    """The 64-point grid, one point at a time, memo-only."""
+    benchmark.pedantic(_run_grid, args=(1,), rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="sweep-grid")
+@pytest.mark.skipif(os.cpu_count() < 2, reason="needs a multicore host")
+def test_pooled_grid(benchmark):
+    """The same grid on a process pool; must beat serial on >=4 cores."""
+    serial_s = _run_grid(1)
+    parallel_s = benchmark.pedantic(
+        _run_grid, args=(POOL_WORKERS,), rounds=1, iterations=1)
+    if parallel_s is None:                   # --benchmark-disable path
+        parallel_s = _run_grid(POOL_WORKERS)
+    speedup = serial_s / parallel_s
+    print()
+    print(f"serial {serial_s:.2f}s, pool[{POOL_WORKERS}] {parallel_s:.2f}s "
+          f"-> speedup {speedup:.2f}x")
+    if (os.cpu_count() or 1) >= POOL_WORKERS:
+        assert speedup >= 2.0, (
+            f"pool of {POOL_WORKERS} only {speedup:.2f}x over serial")
+
+
+@pytest.mark.benchmark(group="sweep-store")
+def test_warm_store_resubmit(benchmark, tmp_path):
+    """Identical spec against a warm store: zero executions, all hits."""
+    store = ResultStore(tmp_path / "sweeps")
+    cold = SweepManager(store=store, workers=1)
+    try:
+        job = cold.submit(_grid_spec())
+        assert job.wait(300.0)
+        assert job.progress()["executed"] == POINTS
+    finally:
+        cold.close()
+
+    def resubmit() -> dict:
+        warm = SweepManager(store=ResultStore(tmp_path / "sweeps"),
+                            workers=1)
+        try:
+            job = warm.submit(_grid_spec())
+            assert job.wait(300.0)
+            return job.progress()
+        finally:
+            warm.close()
+
+    progress = benchmark(resubmit)
+    assert progress["executed"] == 0
+    assert progress["cached"] == POINTS

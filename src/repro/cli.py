@@ -7,9 +7,14 @@ Subcommands::
     pdcunplugged new <name> <content-dir>    # scaffold an activity (Fig. 1)
     pdcunplugged validate                    # validate the shipped corpus
     pdcunplugged simulate <activity> [-n N] [--seed S]
+    pdcunplugged sweep <slug> [...] [--sizes 4,8,16] [--seeds 0,1]
+                      [--param name=v1,v2] [--sweep-workers N]
+                      [--cache-dir D] [--format table|json]
+                                             # batch parameter sweep + compare
     pdcunplugged list                        # list corpus activities + sims
     pdcunplugged serve [--port P] [--workers N] [--cache-dir D]
                        [--request-timeout-ms B] [--fault-spec SPEC]
+                       [--sweep-workers N] [--sweep-max-jobs J]
                                              # live site + JSON API server
     pdcunplugged lint [--format text|json|sarif] [--jobs N] [--fix]
                       [--cache-dir D] [--baseline F]
@@ -70,6 +75,30 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--gantt", action="store_true",
                           help="render the trace as a text Gantt chart")
 
+    sweep = sub.add_parser(
+        "sweep", help="run a batch parameter sweep and compare the results")
+    sweep.add_argument("slugs", nargs="+", metavar="slug",
+                       help="simulation slug(s) to sweep (see `list`)")
+    sweep.add_argument("--sizes", default=None, metavar="N,N,...",
+                       help="comma-separated classroom sizes (default: 16)")
+    sweep.add_argument("--seeds", default=None, metavar="S,S,...",
+                       help="comma-separated RNG seeds (default: 0)")
+    sweep.add_argument("--param", action="append", default=[],
+                       metavar="NAME=V1,V2,...",
+                       help="sweep a classroom parameter over these values "
+                            "(repeatable; e.g. step_time_jitter=0.0,0.2)")
+    sweep.add_argument("--sweep-workers", type=int, default=1,
+                       help="execute points on N worker processes")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="persist point results here (identical points "
+                            "are never re-executed across runs)")
+    sweep.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop the sweep after this budget; remaining "
+                            "points are skipped and reported")
+    sweep.add_argument("--format", choices=["table", "json"], default="table",
+                       help="output format")
+
     serve = sub.add_parser(
         "serve", help="serve the live site and JSON API (repro.serve)")
     serve.add_argument("--host", default="127.0.0.1")
@@ -120,6 +149,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "'rebuild:error@0.3,cache-read:latency@0.05:ms=50'")
     serve.add_argument("--fault-seed", type=int, default=0,
                        help="seed for the fault plan's RNG (deterministic runs)")
+    serve.add_argument("--sweep-workers", type=int, default=1,
+                       help="worker processes for /api/sweeps batch jobs")
+    serve.add_argument("--sweep-max-jobs", type=int, default=4,
+                       help="concurrent sweep jobs before submissions are "
+                            "shed with 429 + Retry-After")
 
     lint = sub.add_parser(
         "lint", help="static analysis over corpus, site, and serve code")
@@ -295,6 +329,9 @@ def main(argv: list[str] | None = None) -> int:
             print(render_gantt(result.trace))
         return 0 if result.all_checks_pass else 1
 
+    if args.command == "sweep":
+        return _run_sweep(args)
+
     if args.command == "lint":
         return _run_lint(args)
 
@@ -321,9 +358,95 @@ def main(argv: list[str] | None = None) -> int:
             queue_limit=args.queue_limit,
             fault_spec=args.fault_spec,
             fault_seed=args.fault_seed,
+            sweep_workers=args.sweep_workers,
+            sweep_max_jobs=args.sweep_max_jobs,
         )
 
     raise AssertionError("unreachable")
+
+
+def _run_sweep(args) -> int:
+    """``pdcunplugged sweep``: exit 0 done, 1 failed/partial, 2 bad spec."""
+    import json
+    from pathlib import Path
+
+    from repro.sweep import (ResultStore, SweepManager, SweepSpec,
+                             SweepSpecError, compare)
+
+    payload: dict = {"slugs": args.slugs}
+    try:
+        if args.sizes:
+            payload["sizes"] = [int(v) for v in args.sizes.split(",") if v]
+        if args.seeds:
+            payload["seeds"] = [int(v) for v in args.seeds.split(",") if v]
+    except ValueError:
+        print("--sizes and --seeds expect comma-separated integers",
+              file=sys.stderr)
+        return 2
+    params: dict = {}
+    for spec_text in args.param:
+        name, sep, values = spec_text.partition("=")
+        if not sep or not name or not values:
+            print(f"--param expects NAME=V1,V2,..., got {spec_text!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            params[name] = [float(v) for v in values.split(",") if v]
+        except ValueError:
+            print(f"--param {name}: values must be numbers", file=sys.stderr)
+            return 2
+    if params:
+        payload["params"] = params
+    if args.deadline is not None:
+        payload["deadline_s"] = args.deadline
+
+    try:
+        spec = SweepSpec.parse(payload)
+    except SweepSpecError as exc:
+        print(f"invalid sweep spec: {exc}", file=sys.stderr)
+        return 2
+
+    store = (ResultStore(Path(args.cache_dir) / "sweeps")
+             if args.cache_dir else None)
+    manager = SweepManager(store=store, workers=args.sweep_workers)
+    try:
+        job = manager.submit(spec)
+        job.wait()
+        progress = job.progress()
+        results = job.results()
+    finally:
+        manager.close()
+    comparison = compare(results)
+
+    if args.format == "json":
+        json.dump({"job": progress, "results": results,
+                   "compare": comparison},
+                  sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(f"sweep {job.id}: {progress['status']} — "
+              f"{progress['total']} point(s): {progress['executed']} "
+              f"executed, {progress['cached']} cached, "
+              f"{progress['failed']} failed, {progress['skipped']} skipped "
+              f"in {progress['elapsed_s']:.2f}s")
+        for group in comparison["groups"]:
+            params_text = ", ".join(f"{k}={v}"
+                                    for k, v in sorted(group["params"].items()))
+            print(f"\n{group['slug']} ({params_text}) — "
+                  f"{group['points']} point(s), "
+                  f"{group['checks_passed']} checks passed")
+            if not group["curve"]:
+                print("  (no speedup metric for this simulation)")
+                continue
+            print(f"  {'n':>4} {'seeds':>5} {'speedup':>8} {'min':>8} "
+                  f"{'max':>8} {'stddev':>8} {'efficiency':>10}")
+            for row in group["curve"]:
+                print(f"  {row['n']:>4} {row['seeds']:>5} "
+                      f"{row['mean']:>8.3f} {row['min']:>8.3f} "
+                      f"{row['max']:>8.3f} {row['stddev']:>8.3f} "
+                      f"{row['efficiency']:>10.3f}")
+    return 0 if (progress["status"] == "done"
+                 and progress["failed"] == 0) else 1
 
 
 def _run_lint(args) -> int:

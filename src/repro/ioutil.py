@@ -14,22 +14,36 @@ refuse ``open(dir)``); the file-level fsync is the load-bearing one.
 
 from __future__ import annotations
 
+import itertools
 import os
 from pathlib import Path
 
 __all__ = ["atomic_write_bytes", "atomic_write_text"]
 
+_counter = itertools.count()
+
 
 def atomic_write_bytes(path: str | Path, data: bytes, fsync: bool = True) -> Path:
     """Write ``data`` to ``path`` atomically (tmp + fsync + rename)."""
     path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        if fsync:
-            os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    # The tmp name must be unique per write: concurrent writers of the
+    # same destination (content-addressed stores hit this) would race on
+    # a shared tmp file and the loser's rename would fail.
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_counter)}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     if fsync:
         _fsync_dir(path.parent)
     return path

@@ -46,6 +46,7 @@ from repro.lint.diagnostics import (
 from repro.lint.document import DocumentInfo
 from repro.lint.fixes import Edit, Fix
 from repro.lint.links import InternalRef
+from repro.lint.lockgraph import ClassSummary, CrossCall
 
 __all__ = [
     "CACHE_VERSION",
@@ -56,7 +57,7 @@ __all__ = [
     "save_cache",
 ]
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2                        # v2: code rows carry ClassSummaries
 CACHE_FILENAME = "lint-cache.json"
 
 
@@ -174,6 +175,51 @@ def _supp_from_json(data: dict) -> Suppressions:
     )
 
 
+def _summary_to_json(summary: ClassSummary) -> dict:
+    return {
+        "file": summary.file,
+        "name": summary.name,
+        "locks": [list(pair) for pair in summary.locks],
+        "bindings": [[attr, list(names)] for attr, names in summary.bindings],
+        "methods": [[method, list(locks)] for method, locks in summary.methods],
+        "intra_calls": [[method, callee, list(held), line, column]
+                        for method, callee, held, line, column
+                        in summary.intra_calls],
+        "cross_calls": [
+            {"obj": c.obj, "callee": c.callee, "held": list(c.held),
+             "method": c.method, "line": c.line, "column": c.column}
+            for c in summary.cross_calls
+        ],
+        "edges": [[held, taken, line, text]
+                  for held, taken, line, text in summary.edges],
+    }
+
+
+def _summary_from_json(data: dict) -> ClassSummary:
+    return ClassSummary(
+        file=data["file"],
+        name=data["name"],
+        locks=tuple((str(a), str(k)) for a, k in data["locks"]),
+        bindings=tuple((str(attr), tuple(str(n) for n in names))
+                       for attr, names in data["bindings"]),
+        methods=tuple((str(method), tuple(str(l) for l in locks))
+                      for method, locks in data["methods"]),
+        intra_calls=tuple(
+            (str(method), str(callee), tuple(str(h) for h in held),
+             int(line), int(column))
+            for method, callee, held, line, column in data["intra_calls"]),
+        cross_calls=tuple(
+            CrossCall(obj=str(c["obj"]), callee=str(c["callee"]),
+                      held=tuple(str(h) for h in c["held"]),
+                      method=str(c["method"]), line=int(c["line"]),
+                      column=int(c["column"]))
+            for c in data["cross_calls"]
+        ),
+        edges=tuple((str(held), str(taken), int(line), str(text))
+                    for held, taken, line, text in data["edges"]),
+    )
+
+
 def _fingerprint_from_json(data: list) -> tuple[str, int, int]:
     return (str(data[0]), int(data[1]), int(data[2]))
 
@@ -216,6 +262,7 @@ def load_cache(cache_dir: str | Path) -> tuple[dict, dict]:
                 _fingerprint_from_json(row["fingerprint"]),
                 tuple(_diag_from_json(d) for d in row["diagnostics"]),
                 _supp_from_json(row["suppressions"]),
+                tuple(_summary_from_json(s) for s in row["summaries"]),
             )
         except (KeyError, TypeError, ValueError, IndexError):
             continue
@@ -245,8 +292,10 @@ def save_cache(cache_dir: str | Path, content: dict, code: dict) -> Path:
                 "fingerprint": list(fingerprint),
                 "diagnostics": [_diag_to_json(d) for d in diags],
                 "suppressions": _supp_to_json(supp),
+                "summaries": [_summary_to_json(s) for s in summaries],
             }
-            for key, (fingerprint, diags, supp) in sorted(code.items())
+            for key, (fingerprint, diags, supp, summaries)
+            in sorted(code.items())
         },
     }
     path = cache_path(cache_dir)

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
 
-from repro.lint import cachefile, rules_code, rules_content, rules_site
+from repro.lint import cachefile, lockgraph, rules_code, rules_content, rules_site
 from repro.lint.baseline import baseline_key, load_baseline
 from repro.lint.diagnostics import (
     RULES,
@@ -116,7 +116,8 @@ class LintResult:
 #: Cache rows: fingerprint -> (raw diagnostics, fixes, info, suppressions).
 _ContentRow = tuple[Fingerprint, tuple[Diagnostic, ...], tuple[Fix, ...],
                     DocumentInfo, Suppressions]
-_CodeRow = tuple[Fingerprint, tuple[Diagnostic, ...], Suppressions]
+_CodeRow = tuple[Fingerprint, tuple[Diagnostic, ...], Suppressions,
+                 tuple[lockgraph.ClassSummary, ...]]
 
 
 class LintEngine:
@@ -185,9 +186,9 @@ class LintEngine:
         if cached is not None and cached[0] == fingerprint:
             return cached, True
         source = path.read_text(encoding="utf-8")
-        row: _CodeRow = (fingerprint,
-                         tuple(rules_code.analyze_source(key, source)),
-                         python_suppressions(source))
+        diags, summaries = rules_code.analyze_source_full(key, source)
+        row: _CodeRow = (fingerprint, tuple(diags),
+                         python_suppressions(source), summaries)
         self._code_cache[key] = row
         self._cache_dirty = True
         return row, False
@@ -251,11 +252,16 @@ class LintEngine:
 
     def _code_pass(self, stats: LintStats) -> list[Diagnostic]:
         code_dir = self.config.code_dir
-        if code_dir is None:
+        if code_dir is not None:
+            code_dirs = [Path(code_dir)]
+        else:
             import repro.serve as serve
+            import repro.sweep as sweep
 
-            code_dir = Path(serve.__file__).parent
-        paths = sorted(Path(code_dir).rglob("*.py"))
+            code_dirs = [Path(serve.__file__).parent,
+                         Path(sweep.__file__).parent]
+        paths = sorted(path for root in code_dirs
+                       for path in Path(root).rglob("*.py"))
         stats.files_total += len(paths)
         self._seen_code = {str(path) for path in paths}
         # Fans out like the content pass: rules_code._parse pauses cyclic
@@ -263,9 +269,16 @@ class LintEngine:
         # workaround), so concurrent parses are safe.
         rows = self._map(paths, self._analyze_code, stats)
         diagnostics: list[Diagnostic] = []
-        for key, (_fp, diags, supp) in zip((str(p) for p in paths), rows):
+        summaries: list[lockgraph.ClassSummary] = []
+        for key, (_fp, diags, supp, file_summaries) in zip(
+                (str(p) for p in paths), rows):
             self._code_suppressions[key] = supp
             diagnostics.extend(diags)
+            summaries.extend(file_summaries)
+        # Corpus scope, like the content corpus rules: cheap to re-run
+        # over cached summaries, and its verdicts legitimately depend on
+        # files that did not change.
+        diagnostics.extend(lockgraph.analyze_cross_class(summaries))
         return diagnostics
 
     # -- the run -------------------------------------------------------------

@@ -53,6 +53,9 @@ from repro.lint.rules_content import (
     _VOCAB_AXES,
     _iter_terms,
     _section_line,
+    bare_urls,
+    heading_jumps,
+    todo_markers,
 )
 from repro.sitegen.taxonomy import slugify
 from repro.standards import normalize
@@ -79,6 +82,9 @@ FIXABLE_RULES = frozenset({
     "section-structure",
     "internal-link",
     "duplicate-slug",
+    "prose-heading-jump",
+    "prose-bare-url",
+    "prose-todo-marker",
 })
 
 _DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
@@ -182,6 +188,9 @@ def fixes_for_document(doc: ParsedDocument) -> list[Fix]:
     out.extend(_fix_malformed_date(doc))
     out.extend(_fix_missing_date(doc))
     out.extend(_fix_section_order(doc))
+    out.extend(_fix_heading_jumps(doc))
+    out.extend(_fix_bare_urls(doc))
+    out.extend(_fix_todo_markers(doc))
     return out
 
 
@@ -345,6 +354,45 @@ def _fix_section_order(doc: ParsedDocument) -> list[Fix]:
         f"sections out of order: expected {expected}",
         "rewrite the file in canonical Fig. 1 section order",
         edits=(whole_file_edit(doc.text, canonical),))]
+
+
+def _fix_heading_jumps(doc: ParsedDocument) -> list[Fix]:
+    out: list[Fix] = []
+    for line, prev, depth in heading_jumps(doc):
+        want = prev + 1
+        out.append(Fix(
+            "prose-heading-jump", doc.file, line, 1,
+            f"heading depth jumps from {prev} to {depth} "
+            f"(use depth {want})",
+            f"demote the heading to depth {want}",
+            edits=(Edit(line, 1, line, depth + 1, "#" * want),)))
+    return out
+
+
+def _fix_bare_urls(doc: ParsedDocument) -> list[Fix]:
+    out: list[Fix] = []
+    for line, column, url in bare_urls(doc):
+        out.append(Fix(
+            "prose-bare-url", doc.file, line, column,
+            f"bare URL {url} (wrap it as <{url}> or cite it as a link)",
+            "wrap the bare URL in an autolink",
+            edits=(Edit(line, column, line, column + len(url), f"<{url}>"),)))
+    return out
+
+
+def _fix_todo_markers(doc: ParsedDocument) -> list[Fix]:
+    out: list[Fix] = []
+    lines = doc.text.split("\n")
+    for line, column, marker in todo_markers(doc):
+        raw = lines[line - 1]
+        end = column - 1 + len(marker)
+        end += re.match(r":?\s*", raw[end:]).end()
+        out.append(Fix(
+            "prose-todo-marker", doc.file, line, column,
+            f"{marker} marker left in activity text",
+            f"remove the {marker} marker",
+            edits=(Edit(line, column, line, end + 1, ""),)))
+    return out
 
 
 # -- corpus-scope fix generation ---------------------------------------------

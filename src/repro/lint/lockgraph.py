@@ -27,16 +27,38 @@ bodies run later (held set resets inside them), and ``with`` releases on
 exit while a bare ``.acquire()`` holds for the rest of the method.  The
 analysis is convention-encoding, not proof — it flags shapes that are
 deadlocks *if* the paths interleave.
+
+**Cross-class analysis.**  :func:`summarize_class` distills each
+lock-owning class into a :class:`ClassSummary` — its locks, its
+held-before edges, which classes its attributes are bound to (direct
+``self.x = ClassName(...)`` construction, or ``__init__`` parameter
+annotations), and every ``self.obj.method()`` call with the locks held at
+that moment.  :func:`analyze_cross_class` then stitches the summaries
+into one corpus-wide graph over qualified ``Class.lock`` nodes and
+reports inversions that *span* class boundaries (``ServeApp`` holding a
+lock while calling into ``RebuildManager`` which calls back, the
+manager/job handshake, …) plus cross-call re-acquisition of a
+non-reentrant lock.  Purely intra-class cycles stay with
+:func:`analyze_class`; the cross pass only reports components containing
+at least one boundary-crossing edge, so the two never double-report.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.lint.diagnostics import Diagnostic, Severity, make, rule
 
-__all__ = ["lock_attr_kinds", "analyze_class"]
+__all__ = [
+    "ClassSummary",
+    "CrossCall",
+    "analyze_class",
+    "analyze_cross_class",
+    "lock_attr_kinds",
+    "summarize_class",
+]
 
 rule("serve-lock-order", "code", Severity.WARNING,
      "lock acquisition order is acyclic and non-reentrant locks "
@@ -131,6 +153,18 @@ class _SelfCall:
     column: int
 
 
+@dataclass(frozen=True)
+class CrossCall:
+    """One ``self.obj.method()`` call and the locks held at that moment."""
+
+    obj: str                             # the ``self.<obj>`` attribute
+    callee: str                          # the method called on it
+    held: tuple[str, ...]                # own locks held at the call site
+    method: str                          # the calling method
+    line: int
+    column: int
+
+
 def _is_nonblocking(node: ast.Call) -> bool:
     """``.acquire(False)`` / ``.acquire(blocking=False)`` — a try-lock.
 
@@ -157,6 +191,7 @@ class _LockFlow(ast.NodeVisitor):
         self.held: list[str] = []
         self.acquires: list[_Acquire] = []
         self.calls: list[_SelfCall] = []
+        self.cross_calls: list[CrossCall] = []
 
     def _record_acquire(self, lock: str, line: int, column: int) -> None:
         self.acquires.append(_Acquire(lock, tuple(self.held), self.method,
@@ -199,6 +234,12 @@ class _LockFlow(ast.NodeVisitor):
                     self.held.append(owner)
                 elif func.attr == "release" and owner in self.held:
                     self.held.remove(owner)
+            elif owner is not None:
+                # ``self.obj.method(...)`` — a call across the class
+                # boundary; resolved against bindings by the cross pass.
+                self.cross_calls.append(CrossCall(
+                    owner, func.attr, tuple(self.held), self.method,
+                    node.lineno, node.col_offset + 1))
         callee = _self_attr(func)
         if callee is not None:
             self.calls.append(_SelfCall(callee, tuple(self.held), self.method,
@@ -267,14 +308,14 @@ def _strongly_connected(nodes: set[str],
     return components
 
 
-def analyze_class(file: str, cls: ast.ClassDef,
-                  kinds: dict[str, str]) -> list[Diagnostic]:
-    """Run the lock-graph rule over one lock-owning class."""
-    if not kinds:
-        return []
-    lock_names = frozenset(kinds)
+def _class_flows(
+    cls: ast.ClassDef, lock_names: frozenset[str],
+) -> tuple[dict[str, list[_Acquire]], dict[str, list[_SelfCall]],
+           dict[str, list[CrossCall]]]:
+    """Per-method acquisition / call flows for every non-``__init__`` method."""
     acquires: dict[str, list[_Acquire]] = {}
     calls: dict[str, list[_SelfCall]] = {}
+    cross: dict[str, list[CrossCall]] = {}
     for stmt in cls.body:
         if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
@@ -285,6 +326,16 @@ def analyze_class(file: str, cls: ast.ClassDef,
             flow.visit(inner)
         acquires[stmt.name] = flow.acquires
         calls[stmt.name] = flow.calls
+        cross[stmt.name] = flow.cross_calls
+    return acquires, calls, cross
+
+
+def analyze_class(file: str, cls: ast.ClassDef,
+                  kinds: dict[str, str]) -> list[Diagnostic]:
+    """Run the lock-graph rule over one lock-owning class."""
+    if not kinds:
+        return []
+    acquires, calls, _cross = _class_flows(cls, frozenset(kinds))
 
     out: list[Diagnostic] = []
 
@@ -348,5 +399,302 @@ def analyze_class(file: str, cls: ast.ClassDef,
         out.append(make(
             "serve-lock-order", file, first_line, 1,
             f"lock-order inversion in {cls.name} among {locks_list}: "
+            f"{detail}"))
+    return out
+
+
+# -- cross-class analysis -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """What the cross-class pass needs to know about one lock-owning class.
+
+    Everything is plain tuples of strings/ints so summaries serialize
+    into the persistent lint cache without ceremony.
+    """
+
+    file: str
+    name: str
+    locks: tuple[tuple[str, str], ...]           # (attr, kind)
+    bindings: tuple[tuple[str, tuple[str, ...]], ...]  # attr -> class names
+    methods: tuple[tuple[str, tuple[str, ...]], ...]   # method -> own locks
+    #: (method, callee, held locks at the call, line, column)
+    intra_calls: tuple[tuple[str, str, tuple[str, ...], int, int], ...]
+    cross_calls: tuple[CrossCall, ...]
+    edges: tuple[tuple[str, str, int, str], ...]  # (held, taken, line, text)
+
+
+def _annotation_names(node: ast.AST | None) -> list[str]:
+    """Class-ish identifiers named by a parameter annotation.
+
+    Handles unions (``A | None``), subscripts (``Optional[A]``), dotted
+    references (``module.A`` -> ``A``), and string annotations.
+    """
+    if node is None:
+        return []
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return []
+    names: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.append(sub.attr)
+    return names
+
+
+def _class_bindings(cls: ast.ClassDef) -> dict[str, tuple[str, ...]]:
+    """Which class each ``self.<attr>`` may be an instance of.
+
+    Two conservative sources: direct construction
+    (``self.x = ClassName(...)`` anywhere in the class) and ``__init__``
+    parameters whose annotation names a class, assigned straight onto
+    ``self`` (``self.x = param``).  Candidates are bare names; the cross
+    pass keeps only those that match a summarized class.
+    """
+    bindings: dict[str, list[str]] = {}
+
+    def note(attr: str, names: list[str]) -> None:
+        if names:
+            bindings.setdefault(attr, []).extend(names)
+
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        annotations: dict[str, ast.AST] = {}
+        if stmt.name == "__init__":
+            args = stmt.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if arg.annotation is not None:
+                    annotations[arg.arg] = arg.annotation
+        for node in ast.walk(stmt):
+            targets: list[tuple[ast.AST, ast.AST]] = []
+            if isinstance(node, ast.Assign):
+                targets = [(t, node.value) for t in node.targets]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [(node.target, node.value)]
+            for target, value in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                if isinstance(value, ast.Call):
+                    func = value.func
+                    if isinstance(func, ast.Name):
+                        note(attr, [func.id])
+                    elif isinstance(func, ast.Attribute):
+                        note(attr, [func.attr])
+                elif isinstance(value, ast.Name) and value.id in annotations:
+                    note(attr, _annotation_names(annotations[value.id]))
+    return {attr: tuple(dict.fromkeys(names))
+            for attr, names in bindings.items()}
+
+
+def summarize_class(file: str, cls: ast.ClassDef,
+                    kinds: dict[str, str]) -> ClassSummary:
+    """Distill one lock-owning class for :func:`analyze_cross_class`."""
+    lock_names = frozenset(kinds)
+    acquires, calls, cross = _class_flows(cls, lock_names)
+    closure = _transitive_locks(acquires, calls)
+    edges: dict[tuple[str, str], tuple[int, str]] = {}
+
+    def note_edge(held: str, taken: str, line: int, text: str) -> None:
+        if held != taken:
+            edges.setdefault((held, taken), (line, text))
+
+    for method_acquires in acquires.values():
+        for acq in method_acquires:
+            for held in sorted(set(acq.held)):
+                note_edge(held, acq.lock, acq.line,
+                          f"{cls.name}.{acq.method}:{acq.line}")
+    for method_calls in calls.values():
+        for call in method_calls:
+            if not call.held or call.callee not in closure:
+                continue
+            for taken in sorted(closure[call.callee]):
+                for held in sorted(set(call.held)):
+                    note_edge(held, taken, call.line,
+                              f"{cls.name}.{call.method}:{call.line} via "
+                              f"self.{call.callee}()")
+
+    intra_calls = sorted({(call.method, call.callee, call.held,
+                           call.line, call.column)
+                          for per_method in calls.values()
+                          for call in per_method})
+    return ClassSummary(
+        file=file,
+        name=cls.name,
+        locks=tuple(sorted(kinds.items())),
+        bindings=tuple(sorted(_class_bindings(cls).items())),
+        methods=tuple(sorted((method, tuple(sorted(locks)))
+                             for method, locks in closure.items())),
+        intra_calls=tuple(intra_calls),
+        cross_calls=tuple(sorted(
+            (cross_call for per_method in cross.values()
+             for cross_call in per_method),
+            key=lambda c: (c.method, c.line, c.column))),
+        edges=tuple(sorted((held, taken, line, text)
+                           for (held, taken), (line, text)
+                           in edges.items())),
+    )
+
+
+def _qualified_method_locks(
+    classes: dict[str, ClassSummary],
+    resolved: dict[str, dict[str, tuple[str, ...]]],
+) -> dict[tuple[str, str], frozenset[str]]:
+    """``(class, method) -> {"Class.lock", ...}`` it may acquire, globally.
+
+    Follows intra-class calls (for their cross calls) and cross-class
+    calls through the resolved bindings, with a cycle guard.
+    """
+    memo: dict[tuple[str, str], frozenset[str]] = {}
+
+    def visit(name: str, method: str,
+              stack: set[tuple[str, str]]) -> frozenset[str]:
+        key = (name, method)
+        if key in memo:
+            return memo[key]
+        if key in stack:
+            return frozenset()           # call cycle: already accounted
+        summary = classes.get(name)
+        if summary is None:
+            return frozenset()
+        stack.add(key)
+        out = {f"{name}.{lock}"
+               for lock in dict(summary.methods).get(method, ())}
+        for caller, callee, _held, _line, _column in summary.intra_calls:
+            if caller == method:
+                out |= visit(name, callee, stack)
+        for call in summary.cross_calls:
+            if call.method != method:
+                continue
+            for target in resolved.get(name, {}).get(call.obj, ()):
+                out |= visit(target, call.callee, stack)
+        stack.discard(key)
+        memo[key] = frozenset(out)
+        return memo[key]
+
+    for name, summary in classes.items():
+        for method, _locks in summary.methods:
+            visit(name, method, set())
+        for call in summary.cross_calls:
+            visit(name, call.method, set())
+    return memo
+
+
+def analyze_cross_class(
+    summaries: Iterable[ClassSummary],
+) -> list[Diagnostic]:
+    """Find lock-order hazards that span class boundaries.
+
+    Builds one graph over qualified ``Class.lock`` nodes: intra-class
+    held-before edges from every summary, plus edges from each
+    ``self.obj.method()`` call made under a lock to every lock the bound
+    class's method may (transitively) acquire.  Reports cycles that
+    contain at least one boundary-crossing edge — pure intra-class
+    cycles are :func:`analyze_class`'s job — and cross-call paths that
+    re-acquire a non-reentrant lock already held.
+    """
+    by_name: dict[str, list[ClassSummary]] = {}
+    for summary in summaries:
+        by_name.setdefault(summary.name, []).append(summary)
+    # A name bound to several distinct classes is ambiguous: analyzing it
+    # would mix unrelated lock sets, so those names are dropped entirely.
+    classes = {name: candidates[0]
+               for name, candidates in sorted(by_name.items())
+               if len(candidates) == 1}
+    kinds = {f"{name}.{attr}": kind
+             for name, summary in classes.items()
+             for attr, kind in summary.locks}
+    resolved: dict[str, dict[str, tuple[str, ...]]] = {}
+    for name, summary in classes.items():
+        resolved[name] = {
+            attr: tuple(candidate for candidate in candidates
+                        if candidate in classes and candidate != name)
+            for attr, candidates in summary.bindings
+        }
+    method_locks = _qualified_method_locks(classes, resolved)
+
+    out: list[Diagnostic] = []
+    #: (held, taken) -> (file, line, provenance text, crosses boundary)
+    edges: dict[tuple[str, str], tuple[str, int, str, bool]] = {}
+
+    for name, summary in classes.items():
+        for held, taken, line, text in summary.edges:
+            pair = (f"{name}.{held}", f"{name}.{taken}")
+            edges.setdefault(pair, (summary.file, line, text, False))
+        def note_boundary(held_q: set[str], taken_locks: set[str],
+                          line: int, column: int, label: str) -> None:
+            """Edges (and re-acquisitions) for locks reached through
+            another class while ``held_q`` is held.  Everything here
+            crossed a boundary, so every edge can complete a cross-class
+            cycle — including ones that land back on the caller's own
+            locks."""
+            for taken in sorted(taken_locks):
+                if taken in held_q and kinds.get(taken) == "Lock":
+                    attr = taken.partition(".")[2]
+                    out.append(make(
+                        "serve-lock-order", summary.file, line, column,
+                        f"{name}.{label} re-acquires non-reentrant "
+                        f"self.{attr} while it is already held"))
+                for held in sorted(held_q):
+                    if held != taken:
+                        edges.setdefault(
+                            (held, taken),
+                            (summary.file, line,
+                             f"{name}.{label}", True))
+
+        for call in summary.cross_calls:
+            if not call.held:
+                continue
+            taken_locks: set[str] = set()
+            for target in resolved.get(name, {}).get(call.obj, ()):
+                taken_locks |= method_locks.get((target, call.callee),
+                                                frozenset())
+            note_boundary(
+                {f"{name}.{held}" for held in call.held}, taken_locks,
+                call.line, call.column,
+                f"{call.method}:{call.line} calls "
+                f"self.{call.obj}.{call.callee}()")
+        for method, callee, held, line, column in summary.intra_calls:
+            if not held:
+                continue
+            # Locks the intra-class callee reaches *through other
+            # classes* — its own-class acquisitions are already covered
+            # by summary.edges / analyze_class.
+            own = {f"{name}.{lock}"
+                   for lock in dict(summary.methods).get(callee, ())}
+            beyond = (method_locks.get((name, callee), frozenset())
+                      - own)
+            note_boundary(
+                {f"{name}.{h}" for h in held}, set(beyond), line, column,
+                f"{method}:{line} via self.{callee}()")
+
+    nodes = {a for a, _ in edges} | {b for _, b in edges}
+    plain_edges = {pair: provenance
+                   for pair, (_f, _l, provenance, _x) in edges.items()}
+    for component in _strongly_connected(nodes, plain_edges):
+        members = set(component)
+        intra = sorted(
+            (pair, edges[pair]) for pair in edges
+            if pair[0] in members and pair[1] in members
+        )
+        if not any(crosses for _pair, (_f, _l, _t, crosses) in intra):
+            continue                     # intra-class cycle: already reported
+        detail = ", ".join(
+            f"{a} held while taking {b} [{text}]"
+            for (a, b), (_file, _line, text, _crosses) in intra
+        )
+        file, line = min(
+            (file, line) for _pair, (file, line, _t, _x) in intra
+        )
+        locks_list = ", ".join(component)
+        out.append(make(
+            "serve-lock-order", file, line, 1,
+            f"cross-class lock-order inversion among {locks_list}: "
             f"{detail}"))
     return out

@@ -9,9 +9,11 @@ up as a diagnostic instead of a race:
 * ``serve-blocking-io-under-lock`` — a known blocking call (``open``,
   ``time.sleep``, ``Path.read_text`` …) happens lexically inside a held
   lock, stalling every other thread contending for it.
-* ``serve-lock-order`` — the per-class lock-acquisition graph has a
-  deadlock shape: a non-reentrant lock nested inside itself, or a
-  held-before cycle between two locks (see :mod:`repro.lint.lockgraph`).
+* ``serve-lock-order`` — the lock-acquisition graph has a deadlock
+  shape: a non-reentrant lock nested inside itself, a held-before cycle
+  between two locks, or — at corpus scope, stitched across class
+  boundaries via attribute bindings — a cycle spanning classes
+  (see :mod:`repro.lint.lockgraph`).
 
 Heuristics, deliberately conservative (convention-encoding, not proof):
 
@@ -43,7 +45,8 @@ from pathlib import Path
 from repro.lint import lockgraph
 from repro.lint.diagnostics import Diagnostic, Severity, make, rule
 
-__all__ = ["analyze_source", "analyze_tree", "run_code"]
+__all__ = ["analyze_source", "analyze_source_full", "analyze_tree",
+           "run_code"]
 
 rule("serve-unlocked-write", "code", Severity.WARNING,
      "instance attributes of lock-owning classes are written under a lock")
@@ -254,15 +257,23 @@ def _parse(source: str) -> ast.Module:
             raise
 
 
-def analyze_source(file: str, source: str) -> list[Diagnostic]:
-    """Run both code rules over one Python source file."""
+def analyze_source_full(
+    file: str, source: str,
+) -> tuple[list[Diagnostic], tuple[lockgraph.ClassSummary, ...]]:
+    """Run the per-file code rules; also distill cross-class summaries.
+
+    The summaries feed :func:`repro.lint.lockgraph.analyze_cross_class`
+    at corpus scope — they are cached alongside the diagnostics, so an
+    incremental run re-summarizes only changed files.
+    """
     try:
         tree = _parse(source)
     except SyntaxError as exc:
         return [make("serve-unlocked-write", file, exc.lineno or 1,
                      (exc.offset or 0) + 1,
-                     f"file does not parse: {exc.msg}")]
+                     f"file does not parse: {exc.msg}")], ()
     out: list[Diagnostic] = []
+    summaries: list[lockgraph.ClassSummary] = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
             continue
@@ -280,15 +291,26 @@ def analyze_source(file: str, source: str) -> list[Diagnostic]:
                 visitor.visit(inner)
             out.extend(visitor.diagnostics)
         out.extend(lockgraph.analyze_class(file, node, kinds))
-    return out
+        summaries.append(lockgraph.summarize_class(file, node, kinds))
+    return out, tuple(summaries)
+
+
+def analyze_source(file: str, source: str) -> list[Diagnostic]:
+    """Run the per-file code rules over one Python source file."""
+    return analyze_source_full(file, source)[0]
 
 
 def analyze_tree(root: str | Path) -> list[Diagnostic]:
-    """Run the code pass over every ``*.py`` under ``root``."""
+    """Run the code pass — per-file rules plus the cross-class lock
+    pass — over every ``*.py`` under ``root``."""
     out: list[Diagnostic] = []
+    summaries: list[lockgraph.ClassSummary] = []
     for path in sorted(Path(root).rglob("*.py")):
-        out.extend(analyze_source(str(path),
-                                  path.read_text(encoding="utf-8")))
+        diags, file_summaries = analyze_source_full(
+            str(path), path.read_text(encoding="utf-8"))
+        out.extend(diags)
+        summaries.extend(file_summaries)
+    out.extend(lockgraph.analyze_cross_class(summaries))
     return out
 
 

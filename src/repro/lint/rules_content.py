@@ -51,6 +51,12 @@ rule("section-structure", "content", Severity.ERROR,
      "body sections are the Fig. 1 set, in order, with Details when required")
 rule("citation-missing", "content", Severity.WARNING,
      "activities carry a date and at least one citation entry")
+rule("prose-heading-jump", "content", Severity.WARNING,
+     "body heading depth never jumps more than one level at a time")
+rule("prose-bare-url", "content", Severity.WARNING,
+     "body URLs are autolinks or markdown links, never bare text")
+rule("prose-todo-marker", "content", Severity.WARNING,
+     "no TODO/FIXME/XXX markers are left in published activity text")
 rule("internal-link", "content", Severity.ERROR,
      "internal links and anchors resolve to rendered pages", per_file=False)
 rule("duplicate-slug", "content", Severity.ERROR,
@@ -222,6 +228,104 @@ def check_citations(doc: ParsedDocument) -> list[Diagnostic]:
     return out
 
 
+# -- prose rules (body-level style, wired into the autofix engine) -----------
+
+_HEADING_RE = re.compile(r"^(#{1,6})\s")
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_URL_RE = re.compile(r"https?://[^\s<>\[\]\"']+")
+_TODO_RE = re.compile(r"\b(TODO|FIXME|XXX)\b")
+_LINK_DEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s")
+
+#: Punctuation that reads as sentence context, not as part of a URL.
+_URL_TRAILING = ".,;:!?)'\""
+
+
+def body_lines(doc: ParsedDocument):
+    """Yield ``(absolute_line, text)`` for body lines outside code fences."""
+    in_fence = False
+    for index, raw in enumerate(doc.text.split("\n"), start=1):
+        if index <= doc.body_offset:
+            continue
+        if _FENCE_RE.match(raw):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield index, raw
+
+
+def mask_code_spans(raw: str) -> str:
+    """Blank out inline code spans, preserving column positions."""
+    return _CODE_SPAN_RE.sub(lambda m: " " * len(m.group()), raw)
+
+
+def heading_jumps(doc: ParsedDocument):
+    """Yield ``(line, prev_depth, depth)`` where depth increases by > 1."""
+    prev = 0
+    for line, raw in body_lines(doc):
+        match = _HEADING_RE.match(raw)
+        if match is None:
+            continue
+        depth = len(match.group(1))
+        if prev and depth > prev + 1:
+            yield line, prev, depth
+        prev = depth
+
+
+def bare_urls(doc: ParsedDocument):
+    """Yield ``(line, column, url)`` for body URLs that are bare text.
+
+    A URL already inside an autolink (``<url>``), a markdown link target
+    (``](url)``), an inline code span, or a link reference definition is
+    fine; trailing sentence punctuation is not counted as URL.
+    """
+    for line, raw in body_lines(doc):
+        if _LINK_DEF_RE.match(raw):
+            continue
+        masked = mask_code_spans(raw)
+        for match in _URL_RE.finditer(masked):
+            start = match.start()
+            before = masked[start - 1] if start else " "
+            if before in "<(":
+                continue
+            url = match.group().rstrip(_URL_TRAILING)
+            if url:
+                yield line, start + 1, url
+
+
+def todo_markers(doc: ParsedDocument):
+    """Yield ``(line, column, marker)`` for TODO/FIXME/XXX in body text."""
+    for line, raw in body_lines(doc):
+        masked = mask_code_spans(raw)
+        for match in _TODO_RE.finditer(masked):
+            yield line, match.start() + 1, match.group(1)
+
+
+def check_prose_headings(doc: ParsedDocument) -> list[Diagnostic]:
+    return [
+        make("prose-heading-jump", doc.file, line, 1,
+             f"heading depth jumps from {prev} to {depth} "
+             f"(use depth {prev + 1})")
+        for line, prev, depth in heading_jumps(doc)
+    ]
+
+
+def check_prose_bare_urls(doc: ParsedDocument) -> list[Diagnostic]:
+    return [
+        make("prose-bare-url", doc.file, line, column,
+             f"bare URL {url} (wrap it as <{url}> or cite it as a link)")
+        for line, column, url in bare_urls(doc)
+    ]
+
+
+def check_prose_todo_markers(doc: ParsedDocument) -> list[Diagnostic]:
+    return [
+        make("prose-todo-marker", doc.file, line, column,
+             f"{marker} marker left in activity text")
+        for line, column, marker in todo_markers(doc)
+    ]
+
+
 PER_FILE_RULES: tuple[tuple[str, Callable[[ParsedDocument], list[Diagnostic]]], ...] = (
     ("frontmatter-schema", check_frontmatter_schema),
     ("taxonomy-unknown-term", check_taxonomy_terms),
@@ -230,6 +334,9 @@ PER_FILE_RULES: tuple[tuple[str, Callable[[ParsedDocument], list[Diagnostic]]], 
     ("standards-detail-parent", check_detail_parents),
     ("section-structure", check_section_structure),
     ("citation-missing", check_citations),
+    ("prose-heading-jump", check_prose_headings),
+    ("prose-bare-url", check_prose_bare_urls),
+    ("prose-todo-marker", check_prose_todo_markers),
 )
 
 

@@ -12,9 +12,13 @@ JSON query API over the same engines the paper's evaluation uses:
 * ``GET /api/coverage/cs2013`` and ``/api/coverage/tcpp`` — Tables I/II,
 * ``GET /api/gaps`` — the §III-E gap report,
 * ``GET /api/simulate/<slug>?n=…&seed=…`` — run a classroom simulation,
+* ``POST /api/sweeps`` + ``GET /api/sweeps/<id>[/results|/compare]`` —
+  batch parameter-sweep jobs over the simulations (the
+  :mod:`repro.sweep` plane: multiprocessing pool, content-addressed
+  result store, speedup/efficiency comparison),
 * ``GET /api/metrics`` — request counters, latency percentiles, cache
   hit ratio (with per-shard stats and lock wait), worker-pool gauges,
-  rebuild counters,
+  rebuild counters, sweep counters,
 * ``GET /api/lint`` — the :mod:`repro.lint` static-analysis report for
   the served corpus, recomputed when the corpus generation changes.
 
@@ -54,6 +58,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from http import HTTPStatus
+from typing import TYPE_CHECKING
 from urllib.parse import parse_qs
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
@@ -68,6 +73,12 @@ from repro.serve.retrypolicy import RetryError, RetryPolicy
 from repro.serve.workers import PooledWSGIServer, WorkerPool
 from repro.sitegen.search import catalog_signature
 
+# NOTE: repro.sweep imports repro.serve primitives (faults, resilience,
+# retry), so the sweep plane is imported lazily inside the handlers and
+# create_app to keep the package import graph acyclic.
+if TYPE_CHECKING:
+    from repro.sweep import SweepManager
+
 __all__ = ["ServeApp", "Response", "create_app", "create_server", "run"]
 
 #: Warning header on responses served from a generation the rebuild
@@ -81,6 +92,10 @@ _CACHEABLE_API = ("/api/activities", "/api/search", "/api/coverage", "/api/gaps"
 #: Maximum classroom size accepted by ``/api/simulate`` (keeps a single
 #: request's CPU bounded).
 MAX_SIM_STUDENTS = 200
+
+#: Maximum ``POST /api/sweeps`` body size (a spec is small; anything
+#: bigger is a mistake, refused with 413 before parsing).
+MAX_SWEEP_BODY = 1 << 20
 
 
 @dataclass
@@ -127,6 +142,7 @@ class ServeApp:
         shedder: LoadShedder | None = None,
         retry: RetryPolicy | None = None,
         background: BackgroundRebuilder | None = None,
+        sweeps: SweepManager | None = None,
     ):
         self.rebuilder = rebuilder
         self.cache = cache
@@ -138,6 +154,7 @@ class ServeApp:
         self.shedder = shedder
         self.retry = retry
         self.background = background
+        self.sweeps = sweeps
         self.warm_loaded = 0
         self.worker_pool: WorkerPool | None = None
         self._clock = clock
@@ -191,9 +208,11 @@ class ServeApp:
         return self.store.save(self.cache, self.cache_signature)
 
     def close(self) -> None:
-        """Stop the background rebuild thread (if one is attached)."""
+        """Stop background work: the rebuild thread and the sweep plane."""
         if self.background is not None:
             self.background.stop()
+        if self.sweeps is not None:
+            self.sweeps.close()
 
     # -- WSGI entry point --------------------------------------------------
 
@@ -227,12 +246,17 @@ class ServeApp:
         if self.request_timeout_ms is not None:
             deadline = Deadline(self.request_timeout_ms / 1e3, clock=self._clock)
 
-        if method not in ("GET", "HEAD"):
+        is_sweep = path == "/api/sweeps" or path.startswith("/api/sweeps/")
+        if method not in ("GET", "HEAD") and not (
+                is_sweep and method in ("POST", "DELETE")):
             response = Response.error(405, f"method {method} not allowed",
                                       route="<method-not-allowed>")
         else:
             try:
-                response = self._dispatch(path, query, deadline)
+                if is_sweep:
+                    response = self._api_sweeps(method, path, environ)
+                else:
+                    response = self._dispatch(path, query, deadline)
             except DeadlineExceeded as exc:
                 self.metrics.record_deadline_expired()
                 response = Response.error(503, str(exc), route="<deadline>")
@@ -547,8 +571,18 @@ class ServeApp:
             return Response.error(
                 400, f"n must be between 2 and {MAX_SIM_STUDENTS}", route=route)
 
-        classroom = Classroom(size=students, seed=seed, step_time_jitter=0.2)
-        result = SIMULATIONS[slug](classroom)
+        try:
+            classroom = Classroom(size=students, seed=seed,
+                                  step_time_jitter=0.2)
+            result = SIMULATIONS[slug](classroom)
+        except Exception as exc:  # noqa: BLE001 - map sim failures to 422
+            # A simulation blowing up mid-run is a property of the
+            # requested (slug, n, seed), not a server fault: answer a
+            # structured 422, never an opaque 500.
+            return Response.error(
+                422, f"simulation {slug!r} failed: {exc}", route=route,
+                slug=slug, n=students, seed=seed,
+                exception=type(exc).__name__)
         return Response.json(
             {
                 "activity": result.activity,
@@ -562,6 +596,87 @@ class ServeApp:
             },
             route=route,
         )
+
+    # -- sweeps (the batch plane) ------------------------------------------
+
+    def _api_sweeps(self, method: str, path: str, environ) -> Response:
+        """Route ``/api/sweeps[/<id>[/results|/compare]]``.
+
+        The batch plane is admission-controlled separately from the
+        request plane: the :class:`~repro.sweep.manager.SweepManager`
+        sheds submissions past ``max_active_jobs`` with ``429 +
+        Retry-After`` (the request-plane shedder still fronts every call
+        here, so batch traffic cannot starve interactive requests).
+        """
+        route = "/api/sweeps"
+        if self.sweeps is None:
+            return Response.error(
+                503, "sweep service not enabled (start with --sweep-workers)",
+                route=route)
+        parts = [p for p in path[len("/api/sweeps"):].split("/") if p]
+        if not parts:
+            if method == "POST":
+                return self._sweep_submit(environ)
+            return Response.json(
+                {"jobs": [job.progress() for job in self.sweeps.jobs()]},
+                route=route)
+        job = self.sweeps.job(parts[0])
+        if job is None:
+            return Response.error(404, f"no sweep job {parts[0]!r}",
+                                  route="/api/sweeps/<id>")
+        if len(parts) == 1:
+            if method == "DELETE":
+                accepted = job.cancel()
+                payload = job.progress()
+                payload["cancel_accepted"] = accepted
+                return Response.json(payload, route="/api/sweeps/<id>")
+            return Response.json(job.progress(), route="/api/sweeps/<id>")
+        if method == "DELETE":
+            return Response.error(405, "DELETE applies to /api/sweeps/<id>",
+                                  route="/api/sweeps/<id>")
+        if parts[1:] == ["results"]:
+            return Response.json(
+                {"job": job.progress(), "results": job.results()},
+                route="/api/sweeps/<id>/results")
+        if parts[1:] == ["compare"]:
+            from repro.sweep import compare
+
+            return Response.json(
+                {"job": job.progress(), "compare": compare(job.results())},
+                route="/api/sweeps/<id>/compare")
+        return Response.error(
+            404, f"unknown sweep route {path!r}", route="<unmatched>")
+
+    def _sweep_submit(self, environ) -> Response:
+        from repro.sweep import SweepRejected, SweepSpec, SweepSpecError
+
+        route = "/api/sweeps"
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length > MAX_SWEEP_BODY:
+            return Response.error(413, "sweep spec too large", route=route)
+        body = environ["wsgi.input"].read(length) if length > 0 else b""
+        try:
+            payload = json.loads(body or b"null")
+        except ValueError:
+            return Response.error(400, "request body is not valid JSON",
+                                  route=route)
+        try:
+            spec = SweepSpec.parse(payload)
+        except SweepSpecError as exc:
+            return Response.error(422, str(exc), route=route)
+        try:
+            job = self.sweeps.submit(spec)
+        except SweepRejected as exc:
+            response = Response.error(429, str(exc), route=route)
+            response.headers.append(
+                ("Retry-After", str(max(1, round(exc.retry_after_s)))))
+            return response
+        accepted = job.progress()
+        accepted["spec"] = spec.canonical()
+        return Response.json(accepted, status=202, route=route)
 
     def _api_metrics(self) -> Response:
         payload = self.metrics.snapshot()
@@ -586,6 +701,8 @@ class ServeApp:
             resilience["faults"] = self.faults.stats()
         if self.store is not None:
             resilience["persist"] = self.store.stats()
+        if self.sweeps is not None:
+            payload["sweeps"] = self.sweeps.stats()
         return Response.json(payload, route="/api/metrics")
 
     def _api_lint(self) -> Response:
@@ -659,6 +776,9 @@ def create_app(
     breaker_threshold: int = 3,
     breaker_reset_s: float = 1.0,
     retry: RetryPolicy | None = None,
+    sweep_workers: int = 1,
+    sweep_max_jobs: int = 4,
+    sweep_deadline_s: float | None = None,
 ) -> ServeApp:
     """Build a ready-to-serve :class:`ServeApp` over a content directory
     (default: the packaged 38-activity corpus).
@@ -690,11 +810,23 @@ def create_app(
             cache = ShardedPageCache(cache_size, shards=cache_shards)
         else:
             cache = PageCache(cache_size)
+    from repro.sweep import ResultStore, SweepManager
+
+    sweep_store = None
+    if cache_dir:
+        from pathlib import Path
+
+        sweep_store = ResultStore(Path(cache_dir) / "sweeps", faults=faults)
+    sweeps = SweepManager(
+        store=sweep_store, workers=sweep_workers,
+        max_active_jobs=sweep_max_jobs, default_deadline_s=sweep_deadline_s,
+        faults=faults)
     app = ServeApp(
         rebuilder, cache=cache, metrics=metrics, watch=watch, store=store,
         faults=faults, request_timeout_ms=request_timeout_ms,
         shedder=LoadShedder(max_inflight) if max_inflight else None,
         retry=retry if retry is not None else RetryPolicy(retries=1),
+        sweeps=sweeps,
     )
     if rebuild_mode == "background":
         breaker = CircuitBreaker(failure_threshold=breaker_threshold,
@@ -761,8 +893,11 @@ def run(host: str = "127.0.0.1", port: int = 8000, workers: int = 1,
         print(f"  fault injection ACTIVE: {len(app.faults.rules)} rule(s), "
               f"seed {app.faults.seed}")
     print(f"  API: /api/activities /api/search?q=… /api/coverage/cs2013 "
-          f"/api/coverage/tcpp /api/gaps /api/simulate/<slug> /api/metrics "
-          f"/api/lint")
+          f"/api/coverage/tcpp /api/gaps /api/simulate/<slug> /api/sweeps "
+          f"/api/metrics /api/lint")
+    if app.sweeps is not None:
+        print(f"  sweeps: {app.sweeps.workers} worker process(es), "
+              f"up to {app.sweeps.max_active_jobs} concurrent jobs")
     print(f"  ops: /healthz /readyz")
     try:
         server.serve_forever()

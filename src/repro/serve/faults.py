@@ -14,6 +14,8 @@ Operations (the instrumented sites)::
     cache-read     reading a persisted blob / postings file (CacheStore)
     persist-write  spilling cache state to disk (CacheStore)
     render         rendering a response body (ServeApp)
+    sweep-run      dispatching one sweep point to a worker (SweepManager)
+    sweep-persist  writing a sweep result record to disk (ResultStore)
 
 Kinds::
 
@@ -42,7 +44,8 @@ from dataclasses import dataclass
 __all__ = ["FaultRule", "FaultPlan", "InjectedFault",
            "OPS", "KINDS", "parse_fault_spec"]
 
-OPS = ("rebuild", "cache-read", "persist-write", "render")
+OPS = ("rebuild", "cache-read", "persist-write", "render",
+       "sweep-run", "sweep-persist")
 KINDS = ("error", "latency", "corrupt", "partial")
 
 

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 __all__ = ["WSGIResponse", "call_app", "zipf_weights", "LoadRequest",
            "LoadGenerator", "LoadReport", "run_load", "run_load_concurrent",
-           "run_load_http", "DEFAULT_API_PATHS"]
+           "run_load_http", "DEFAULT_API_PATHS", "DEFAULT_SWEEP_SPECS"]
 
 #: Default API population for mixed traffic: listing, searches with
 #: different selectivity, both coverage tables, and the gap report.
@@ -49,6 +49,17 @@ DEFAULT_API_PATHS: tuple[str, ...] = (
     "/api/coverage/cs2013",
     "/api/coverage/tcpp",
     "/api/gaps",
+)
+
+#: Default sweep-submission population for batch traffic: small grids
+#: over cheap simulations, so a loadgen run with ``sweep_ratio > 0``
+#: exercises the batch plane without dominating wall-clock.  Repeats of
+#: the same spec are the point — they hit the content-addressed result
+#: store instead of re-executing.
+DEFAULT_SWEEP_SPECS: tuple[str, ...] = (
+    '{"slugs": ["findsmallestcard"], "sizes": [4, 8], "seeds": [0, 1]}',
+    '{"slugs": ["parallelradixsort"], "sizes": [8], "seeds": [0, 1, 2]}',
+    '{"slugs": ["byzantinegenerals"], "sizes": [6, 9], "seeds": [0]}',
 )
 
 
@@ -66,8 +77,14 @@ class WSGIResponse:
 
 
 def call_app(app, path: str, method: str = "GET",
-             headers: dict[str, str] | None = None) -> WSGIResponse:
-    """Invoke a WSGI app in-process for ``path`` (query string allowed)."""
+             headers: dict[str, str] | None = None,
+             body: bytes | None = None) -> WSGIResponse:
+    """Invoke a WSGI app in-process for ``path`` (query string allowed).
+
+    ``body`` makes the call an entity-bearing request (``POST
+    /api/sweeps``): it is exposed through ``wsgi.input`` with
+    ``CONTENT_LENGTH`` set, JSON content type by default.
+    """
     path, _, query = path.partition("?")
     environ = {
         "REQUEST_METHOD": method,
@@ -78,12 +95,15 @@ def call_app(app, path: str, method: str = "GET",
         "SERVER_PROTOCOL": "HTTP/1.1",
         "wsgi.version": (1, 0),
         "wsgi.url_scheme": "http",
-        "wsgi.input": io.BytesIO(),
+        "wsgi.input": io.BytesIO(body or b""),
         "wsgi.errors": io.StringIO(),
         "wsgi.multithread": False,
         "wsgi.multiprocess": False,
         "wsgi.run_once": False,
     }
+    if body is not None:
+        environ["CONTENT_LENGTH"] = str(len(body))
+        environ["CONTENT_TYPE"] = "application/json"
     for name, value in (headers or {}).items():
         environ["HTTP_" + name.upper().replace("-", "_")] = value
 
@@ -117,6 +137,8 @@ class LoadRequest:
 
     path: str
     conditional: bool = True
+    method: str = "GET"
+    body: bytes | None = None
 
 
 class LoadGenerator:
@@ -131,13 +153,17 @@ class LoadGenerator:
 
     def __init__(self, urls: list[str], exponent: float = 1.1, seed: int = 0,
                  api_paths: list[str] | None = None, api_ratio: float = 0.0,
-                 conditional_ratio: float = 1.0):
+                 conditional_ratio: float = 1.0,
+                 sweep_ratio: float = 0.0,
+                 sweep_specs: list[str] | None = None):
         if not urls:
             raise ValueError("need at least one URL to generate load")
         if not 0.0 <= api_ratio <= 1.0:
             raise ValueError("api_ratio must be within [0, 1]")
         if not 0.0 <= conditional_ratio <= 1.0:
             raise ValueError("conditional_ratio must be within [0, 1]")
+        if not 0.0 <= sweep_ratio <= 1.0:
+            raise ValueError("sweep_ratio must be within [0, 1]")
         if api_ratio > 0.0 and not api_paths:
             raise ValueError("api_ratio > 0 requires api_paths")
         self.urls = list(urls)
@@ -145,13 +171,17 @@ class LoadGenerator:
         self.api_paths = list(api_paths or [])
         self.api_ratio = api_ratio
         self.conditional_ratio = conditional_ratio
+        self.sweep_ratio = sweep_ratio
+        self.sweep_specs = list(sweep_specs if sweep_specs is not None
+                                else DEFAULT_SWEEP_SPECS)
         self.seed = seed
 
     @classmethod
     def for_app(cls, app, kinds: tuple[str, ...] = ("home", "page", "term", "taxonomy", "view"),
                 exponent: float = 1.1, seed: int = 0,
                 api_ratio: float = 0.0,
-                conditional_ratio: float = 1.0) -> "LoadGenerator":
+                conditional_ratio: float = 1.0,
+                sweep_ratio: float = 0.0) -> "LoadGenerator":
         """Build a profile over a :class:`~repro.serve.app.ServeApp`'s site.
 
         Popularity rank is the plan order (home page first, then the 38
@@ -161,7 +191,8 @@ class LoadGenerator:
         urls = [t.url for t in app.state.plan if t.kind in kinds]
         return cls(urls, exponent=exponent, seed=seed,
                    api_paths=list(DEFAULT_API_PATHS), api_ratio=api_ratio,
-                   conditional_ratio=conditional_ratio)
+                   conditional_ratio=conditional_ratio,
+                   sweep_ratio=sweep_ratio)
 
     def sample(self, n: int) -> list[str]:
         """A deterministic stream of ``n`` request paths (pages only)."""
@@ -171,13 +202,21 @@ class LoadGenerator:
     def sample_requests(self, n: int) -> list[LoadRequest]:
         """A deterministic mixed stream of ``n`` :class:`LoadRequest`.
 
-        Pages follow the Zipf weights; the ``api_ratio`` slice samples the
-        API population uniformly; each request is independently marked
-        conditional with probability ``conditional_ratio``.
+        Pages follow the Zipf weights; the ``sweep_ratio`` slice (drawn
+        first) submits ``POST /api/sweeps`` batch jobs from the spec
+        population; the ``api_ratio`` slice samples the API population
+        uniformly; each request is independently marked conditional with
+        probability ``conditional_ratio``.
         """
         rng = random.Random(self.seed)
         requests = []
         for _ in range(n):
+            if self.sweep_specs and rng.random() < self.sweep_ratio:
+                spec = rng.choice(self.sweep_specs)
+                requests.append(LoadRequest(
+                    "/api/sweeps", conditional=False, method="POST",
+                    body=spec.encode("utf-8")))
+                continue
             if self.api_paths and rng.random() < self.api_ratio:
                 path = rng.choice(self.api_paths)
             else:
@@ -197,7 +236,9 @@ class LoadReport:
     cache_hits: int = 0                  # responses served from the page cache
     revalidations: int = 0               # 304 Not Modified responses
     api_requests: int = 0                # requests whose path was /api/*
-    shed: int = 0                        # 503s (shed / degraded / deadline)
+    sweep_submissions: int = 0           # POST /api/sweeps issued
+    sweeps_accepted: int = 0             # 202 Accepted responses
+    shed: int = 0                        # 503/429 (shed / degraded / deadline)
     stale_hits: int = 0                  # responses carrying X-Stale
     bytes_received: int = 0
     duration_s: float = 0.0
@@ -210,7 +251,7 @@ class LoadReport:
 
     @property
     def ok(self) -> bool:
-        return all(status in (200, 304) for status in self.statuses)
+        return all(status in (200, 202, 304) for status in self.statuses)
 
     @property
     def unhandled_errors(self) -> int:
@@ -248,6 +289,8 @@ class LoadReport:
         self.cache_hits += other.cache_hits
         self.revalidations += other.revalidations
         self.api_requests += other.api_requests
+        self.sweep_submissions += other.sweep_submissions
+        self.sweeps_accepted += other.sweeps_accepted
         self.shed += other.shed
         self.stale_hits += other.stale_hits
         self.bytes_received += other.bytes_received
@@ -276,7 +319,8 @@ def run_load(app, paths, revalidate: bool = True,
         if revalidate and request.conditional and request.path in etags:
             headers["If-None-Match"] = etags[request.path]
         issued = clock()
-        response = call_app(app, request.path, headers=headers)
+        response = call_app(app, request.path, method=request.method,
+                            headers=headers, body=request.body)
         report.latencies_s.append(clock() - issued)
         _tally(report, request, response.status, response.etag,
                len(response.body), etags,
@@ -294,9 +338,13 @@ def _tally(report: LoadReport, request: LoadRequest, status: int,
     report.bytes_received += body_len
     if request.path.startswith("/api/"):
         report.api_requests += 1
+    if request.method == "POST" and request.path == "/api/sweeps":
+        report.sweep_submissions += 1
+        if status == 202:
+            report.sweeps_accepted += 1
     if status == 304:
         report.revalidations += 1
-    if status == 503:
+    if status in (503, 429):
         report.shed += 1
     if stale:
         report.stale_hits += 1
@@ -365,7 +413,10 @@ def run_load_http(base_url: str, paths, clients: int = 1,
             issued = clock()
             conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
             try:
-                conn.request("GET", request.path, headers=headers)
+                if request.body is not None:
+                    headers.setdefault("Content-Type", "application/json")
+                conn.request(request.method, request.path,
+                             body=request.body, headers=headers)
                 response = conn.getresponse()
                 body = response.read()
                 status = response.status

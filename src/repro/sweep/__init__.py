@@ -1,0 +1,32 @@
+"""``repro.sweep`` — batch parameter-sweep jobs over the simulations.
+
+The batch plane of the server: a :class:`SweepSpec` describes a
+(slug × size × seed × params) grid; a :class:`SweepManager` executes it
+as a managed job on a bounded :mod:`multiprocessing` pool with progress,
+cancellation, deadlines and admission control; a content-addressed
+:class:`ResultStore` guarantees an identical point is never re-executed
+across jobs or restarts; and :func:`compare` reduces the results into
+speedup/efficiency curves with cross-seed variance.
+"""
+
+from repro.sweep.aggregate import compare
+from repro.sweep.manager import SweepJob, SweepManager, SweepRejected
+from repro.sweep.runner import point_payload, run_point
+from repro.sweep.spec import (MAX_SWEEP_POINTS, MAX_SWEEP_STUDENTS,
+                              SweepPoint, SweepSpec, SweepSpecError)
+from repro.sweep.store import ResultStore
+
+__all__ = [
+    "MAX_SWEEP_POINTS",
+    "MAX_SWEEP_STUDENTS",
+    "ResultStore",
+    "SweepJob",
+    "SweepManager",
+    "SweepPoint",
+    "SweepRejected",
+    "SweepSpec",
+    "SweepSpecError",
+    "compare",
+    "point_payload",
+    "run_point",
+]

@@ -1,0 +1,94 @@
+"""Aggregating sweep results into speedup/efficiency comparison curves.
+
+Raw sweep records are one-run facts; the pedagogy lives in the
+*comparison*: how does measured speedup scale with classroom size, how
+much does it vary across seeds, how efficient is the parallel activity
+relative to an ideal n-way split?  :func:`compare` groups successful
+records by (slug, params), then reduces each classroom size across its
+seeds into mean / min / max / stddev speedup, efficiency
+(``speedup / n``), and per-seed values — cross-seed variance is the
+"fairness across seeds" signal instructors ask about.
+
+Simulations without a ``speedup`` metric (e.g. ``byzantinegenerals``)
+still group and count, but publish no curve — reported, not invented.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = ["compare"]
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _speedup(record: dict) -> float | None:
+    """The measured speedup of one record, derived if not direct."""
+    metrics = record.get("metrics") or {}
+    value = metrics.get("speedup")
+    if _numeric(value):
+        return float(value)
+    seq = metrics.get("sequential_time")
+    par = metrics.get("parallel_time")
+    if _numeric(seq) and _numeric(par) and float(par) > 0:
+        return float(seq) / float(par)
+    return None
+
+
+def _stats(values: list[float]) -> dict:
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return {
+        "mean": round(mean, 4),
+        "min": round(min(values), 4),
+        "max": round(max(values), 4),
+        "variance": round(variance, 6),
+        "stddev": round(math.sqrt(variance), 4),
+    }
+
+
+def compare(records: list[dict]) -> dict:
+    """Speedup/efficiency curves with cross-seed variance, per group.
+
+    ``records`` are runner/store result dicts; non-``ok`` records are
+    counted but excluded from curves.  Groups are keyed by
+    (slug, params) and curves are ordered by classroom size.
+    """
+    ok = [r for r in records if r.get("status") == "ok"]
+    grouped: dict[tuple[str, str], list[dict]] = {}
+    for record in ok:
+        params_key = json.dumps(record.get("params", {}), sort_keys=True)
+        grouped.setdefault((record["slug"], params_key), []).append(record)
+
+    groups = []
+    for (slug, _params_key), members in sorted(grouped.items()):
+        with_speedup = [(r, _speedup(r)) for r in members]
+        measured = [(r, s) for r, s in with_speedup if s is not None]
+        curve = []
+        for n in sorted({r["n"] for r, _ in measured}):
+            values = {r["seed"]: s for r, s in measured if r["n"] == n}
+            samples = [values[seed] for seed in sorted(values)]
+            entry = {"n": n, "seeds": len(samples)}
+            entry.update(_stats(samples))
+            entry["efficiency"] = round(entry["mean"] / n, 4)
+            entry["per_seed"] = {str(seed): round(values[seed], 4)
+                                 for seed in sorted(values)}
+            curve.append(entry)
+        groups.append({
+            "slug": slug,
+            "params": members[0].get("params", {}),
+            "points": len(members),
+            "metric": "speedup" if curve else None,
+            "curve": curve,
+            "checks_passed": sum(1 for r in members if r.get("all_checks_pass")),
+        })
+
+    return {
+        "points": len(records),
+        "points_ok": len(ok),
+        "points_failed": len(records) - len(ok),
+        "groups": groups,
+    }

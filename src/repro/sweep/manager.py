@@ -1,0 +1,444 @@
+"""The sweep manager: bounded batch execution of simulation grids.
+
+One :class:`SweepManager` owns the batch plane of the server: jobs are
+admitted up to ``max_active_jobs`` (past it, submission is refused with a
+``Retry-After`` — the batch-plane analogue of the request-plane
+:class:`~repro.serve.resilience.LoadShedder`), each admitted job runs on
+a dedicated coordinator thread, and the CPU-bound simulation points fan
+out over a bounded :mod:`multiprocessing` pool shared by every job —
+the first process-parallel execution in the codebase, sidestepping the
+GIL for work that is pure computation.
+
+The execution path per point, in order:
+
+1. **memo** — an in-process result table (same-process resubmits are free);
+2. **store** — the persistent content-addressed
+   :class:`~repro.sweep.store.ResultStore` (cross-restart resubmits are
+   free);
+3. **run** — dispatch :func:`~repro.sweep.runner.run_point` to the pool
+   (or inline with ``workers=1``), behind a ``sweep-run`` fault gate with
+   transient retry.
+
+Cooperative control mirrors the request plane: a job-level
+:class:`~repro.serve.resilience.Deadline` is checked between points (a
+sweep over budget stops, marks the remainder skipped, and reports
+honestly), and :meth:`SweepJob.cancel` takes effect at the next point
+boundary.  Failed points are recorded, counted, and *not* persisted —
+resubmitting retries exactly the failures.
+
+Lock order: ``SweepManager._lock`` before ``SweepJob._lock`` — manager
+methods may touch a job under their own lock, job methods never call back
+into the manager.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.serve.faults import InjectedFault
+from repro.serve.resilience import Deadline
+from repro.serve.retrypolicy import RetryError, RetryPolicy
+from repro.sweep.runner import point_payload, run_point
+from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.sweep.store import ResultStore
+
+__all__ = ["SweepRejected", "SweepJob", "SweepManager"]
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+DEADLINE = "deadline"
+
+_TERMINAL = (DONE, FAILED, CANCELLED, DEADLINE)
+
+
+class SweepRejected(ReproError):
+    """Submission refused: the batch plane is at capacity (shed)."""
+
+    def __init__(self, active: int, limit: int, retry_after_s: float = 2.0):
+        super().__init__(
+            f"sweep capacity reached ({active}/{limit} jobs active), "
+            f"retry shortly")
+        self.retry_after_s = retry_after_s
+
+
+class SweepJob:
+    """One submitted sweep: progress, results, cancellation."""
+
+    def __init__(self, job_id: str, spec: SweepSpec, clock=time.monotonic):
+        self.id = job_id
+        self.spec = spec
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._status = QUEUED
+        self._error: str | None = None
+        self._created_s = clock()
+        self._started_s: float | None = None
+        self._finished_s: float | None = None
+        self._results: dict[str, dict] = {}
+        self._sources: dict[str, int] = {"cache": 0, "run": 0}
+        self._failed = 0
+        self._skipped = 0
+        self._cancel = threading.Event()
+        self._done = threading.Event()
+
+    # -- client API --------------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        with self._lock:
+            return self._status
+
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+    def cancel(self) -> bool:
+        """Request cancellation; takes effect at the next point boundary."""
+        with self._lock:
+            if self._status in _TERMINAL:
+                return False
+        self._cancel.set()
+        return True
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    def progress(self) -> dict:
+        """A consistent snapshot of where the job stands."""
+        with self._lock:
+            total = len(self.spec.points)
+            completed = len(self._results)
+            elapsed = (self._finished_s if self._finished_s is not None
+                       else self._clock()) - self._created_s
+            return {
+                "id": self.id,
+                "status": self._status,
+                "key": self.spec.key,
+                "total": total,
+                "completed": completed,
+                "remaining": total - completed - self._skipped,
+                "executed": self._sources["run"],
+                "cached": self._sources["cache"],
+                "failed": self._failed,
+                "skipped": self._skipped,
+                "error": self._error,
+                "elapsed_s": round(max(elapsed, 0.0), 4),
+                "deadline_s": self.spec.deadline_s,
+            }
+
+    def results(self) -> list[dict]:
+        """Completed point records, in grid (spec) order."""
+        with self._lock:
+            return [self._results[p.key] for p in self.spec.points
+                    if p.key in self._results]
+
+    # -- coordinator-side transitions (called by the manager) --------------
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def _start(self) -> None:
+        with self._lock:
+            self._status = RUNNING
+            self._started_s = self._clock()
+
+    def _note_result(self, record: dict, source: str) -> None:
+        with self._lock:
+            self._results[record["key"]] = record
+            self._sources[source] += 1
+            if record.get("status") != "ok":
+                self._failed += 1
+
+    def _note_skipped(self, count: int) -> None:
+        with self._lock:
+            self._skipped += count
+
+    def _finish(self, status: str, error: str | None = None) -> None:
+        with self._lock:
+            self._status = status
+            self._error = error
+            self._finished_s = self._clock()
+        self._done.set()
+
+
+class SweepManager:
+    """Batch-job admission, execution, and accounting for sweeps."""
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        workers: int = 1,
+        max_active_jobs: int = 4,
+        default_deadline_s: float | None = None,
+        memo_limit: int = 16384,
+        faults=None,
+        retry: RetryPolicy | None = None,
+        clock=time.monotonic,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_active_jobs < 1:
+            raise ValueError("max_active_jobs must be >= 1")
+        self.store = store
+        self.workers = workers
+        self.max_active_jobs = max_active_jobs
+        self.default_deadline_s = default_deadline_s
+        self.memo_limit = memo_limit
+        self.faults = faults
+        # The run fault gate retries generously: an injected sweep-run
+        # fault models one failed attempt, and drawing again is the retry.
+        self.retry = retry if retry is not None else RetryPolicy(retries=4)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._jobs: dict[str, SweepJob] = {}
+        self._threads: dict[str, threading.Thread] = {}
+        self._memo: collections.OrderedDict[str, dict] = collections.OrderedDict()
+        self._next_id = 0
+        self._pool = None
+        self._closed = False
+        self._counters = {
+            "jobs_submitted": 0, "jobs_rejected": 0, "jobs_completed": 0,
+            "jobs_failed": 0, "jobs_cancelled": 0, "jobs_deadline": 0,
+            "points_executed": 0, "points_cached": 0, "points_failed": 0,
+            "points_skipped": 0,
+        }
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, spec: SweepSpec) -> SweepJob:
+        """Admit a sweep job; raises :class:`SweepRejected` at capacity."""
+        with self._lock:
+            if self._closed:
+                raise SweepRejected(0, self.max_active_jobs)
+            active = sum(1 for job in self._jobs.values() if not job.finished)
+            if active >= self.max_active_jobs:
+                self._counters["jobs_rejected"] += 1
+                raise SweepRejected(active, self.max_active_jobs)
+            self._next_id += 1
+            job = SweepJob(f"sweep-{self._next_id:04d}", spec,
+                           clock=self._clock)
+            self._jobs[job.id] = job
+            self._counters["jobs_submitted"] += 1
+            thread = threading.Thread(target=self._run_job, args=(job,),
+                                      name=job.id, daemon=True)
+            self._threads[job.id] = thread
+        thread.start()
+        return job
+
+    def job(self, job_id: str) -> SweepJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[SweepJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_job(self, job: SweepJob) -> None:
+        job._start()
+        try:
+            self._execute(job)
+        except Exception as exc:  # noqa: BLE001 - coordinator safety net
+            self._count("jobs_failed")
+            job._finish(FAILED, error=f"{type(exc).__name__}: {exc}")
+
+    def _execute(self, job: SweepJob) -> None:
+        deadline = None
+        budget = job.spec.deadline_s or self.default_deadline_s
+        if budget is not None:
+            deadline = Deadline(budget)
+
+        # Phase 1: serve every point the memo or store already has.
+        misses: list[SweepPoint] = []
+        for point in job.spec.points:
+            if self._interrupted(job, deadline,
+                                 remaining=_remaining(job, point, misses)):
+                return
+            record = self._lookup(point.key)
+            if record is None:
+                misses.append(point)
+                continue
+            self._count("points_cached")
+            job._note_result(record, source="cache")
+
+        # Phase 2: execute the misses on the pool (or inline).
+        pool = self._ensure_pool() if self.workers > 1 else None
+        window = max(1, self.workers * 2)
+        queue = collections.deque(misses)
+        inflight: collections.deque = collections.deque()
+        while queue or inflight:
+            if self._interrupted(job, deadline, remaining=tuple(
+                    point for point, _handle in inflight) + tuple(queue),
+                    drain=inflight):
+                return
+            while queue and len(inflight) < window:
+                point = queue.popleft()
+                inflight.append((point, self._dispatch(pool, point)))
+            point, handle = inflight.popleft()
+            self._finish_point(job, self._collect(point, handle))
+
+        self._count("jobs_completed")
+        job._finish(DONE)
+
+    def _interrupted(self, job: SweepJob, deadline: Deadline | None,
+                     remaining: Iterable[SweepPoint],
+                     drain: collections.deque | None = None) -> bool:
+        """Honor cancellation / the job deadline at a point boundary.
+
+        In-flight pool work is drained (and its results kept — work the
+        pool already paid for still lands in the store); queued points
+        are marked skipped.
+        """
+        status = None
+        if job.cancel_requested:
+            status = CANCELLED
+        elif deadline is not None and deadline.expired:
+            status = DEADLINE
+        if status is None:
+            return False
+        skipped = 0
+        drained: set[str] = set()
+        if drain:
+            for point, handle in drain:
+                self._finish_point(job, self._collect(point, handle))
+                drained.add(point.key)
+        for point in remaining:
+            if point.key not in drained:
+                skipped += 1
+        job._note_skipped(skipped)
+        self._count("points_skipped", skipped)
+        self._count("jobs_cancelled" if status == CANCELLED
+                    else "jobs_deadline")
+        job._finish(status)
+        return True
+
+    def _dispatch(self, pool, point: SweepPoint):
+        """Fault-gate one run attempt, then hand it to the pool.
+
+        The ``sweep-run`` op models the run attempt failing; the retry
+        policy redraws, and a point whose every attempt is injected away
+        comes back as a failed record instead of executing.
+        """
+        payload = point_payload(point)
+        if self.faults is not None:
+            try:
+                self.retry.call(
+                    lambda: self.faults.maybe_fail("sweep-run"), sleep=None)
+            except (InjectedFault, RetryError) as exc:
+                payload["__injected__"] = f"{type(exc).__name__}: {exc}"
+                return payload
+        if pool is None:
+            return run_point(payload)
+        return pool.apply_async(run_point, (payload,))
+
+    def _collect(self, point: SweepPoint, handle) -> dict:
+        """Materialize a dispatched point into a result record."""
+        if isinstance(handle, dict):
+            if "__injected__" in handle:
+                return self._failure(point, handle["__injected__"])
+            return handle
+        try:
+            return handle.get()
+        except Exception as exc:  # noqa: BLE001 - a dead worker is a failed point
+            return self._failure(point, f"{type(exc).__name__}: {exc}")
+
+    @staticmethod
+    def _failure(point: SweepPoint, error: str) -> dict:
+        record = point_payload(point)
+        record.pop("__injected__", None)
+        record.update(status="error", metrics={}, checks={},
+                      all_checks_pass=False, trace_events=0,
+                      error=error, elapsed_ms=0.0)
+        return record
+
+    def _finish_point(self, job: SweepJob, record: dict) -> None:
+        if record.get("status") == "ok":
+            self._count("points_executed")
+            self._memoize(record)
+            if self.store is not None:
+                self.store.put(record["key"], record)
+        else:
+            self._count("points_failed")
+        job._note_result(record, source="run")
+
+    # -- the result caches -------------------------------------------------
+
+    def _lookup(self, key: str) -> dict | None:
+        with self._lock:
+            record = self._memo.get(key)
+        if record is not None:
+            return record
+        if self.store is None:
+            return None
+        record = self.store.get(key)
+        if record is not None:
+            self._memoize(record)
+        return record
+
+    def _memoize(self, record: dict) -> None:
+        with self._lock:
+            self._memo[record["key"]] = record
+            while len(self._memo) > self.memo_limit:
+                self._memo.popitem(last=False)
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None and not self._closed:
+                import multiprocessing
+
+                self._pool = multiprocessing.get_context().Pool(
+                    processes=self.workers)
+            return self._pool
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Cancel outstanding jobs, join coordinators, tear down the pool."""
+        with self._lock:
+            self._closed = True
+            jobs = list(self._jobs.values())
+            threads = list(self._threads.values())
+            pool, self._pool = self._pool, None
+        for job in jobs:
+            job.cancel()
+        for thread in threads:
+            thread.join(timeout=timeout_s)
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    # -- observability -----------------------------------------------------
+
+    def _count(self, key: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[key] += by
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = dict(self._counters)
+            out["jobs_active"] = sum(
+                1 for job in self._jobs.values() if not job.finished)
+            out["max_active_jobs"] = self.max_active_jobs
+            out["workers"] = self.workers
+            out["memo_entries"] = len(self._memo)
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out
+
+
+def _remaining(job: SweepJob, point: SweepPoint,
+               misses: list[SweepPoint]) -> list[SweepPoint]:
+    """Points not yet resolved when phase 1 stops at ``point``."""
+    points = list(job.spec.points)
+    return misses + points[points.index(point):]

@@ -1,0 +1,67 @@
+"""Executing one sweep point — the unit a worker process runs.
+
+:func:`run_point` is deliberately a *module-level function over plain
+dicts*: ``multiprocessing`` workers import it by qualified name and both
+its argument and its return value must pickle cheaply.  It never raises —
+a simulation that blows up mid-run (or fails its invariant checks) comes
+back as a structured ``status: "error"`` / failed-checks record, so one
+bad point cannot take a batch down.
+
+The returned record is exactly what the
+:class:`~repro.sweep.store.ResultStore` persists: JSON-only types, with
+metrics coerced through a canonical JSON round-trip so a stored result is
+byte-identical to a fresh one (the determinism invariant
+``tests/unplugged/test_determinism.py`` pins down).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+__all__ = ["run_point", "point_payload"]
+
+
+def point_payload(point) -> dict:
+    """The picklable work order for ``run_point`` (from a SweepPoint)."""
+    payload = point.canonical()
+    payload["key"] = point.key
+    return payload
+
+
+def run_point(payload: dict) -> dict:
+    """Run one (slug, n, seed, params) simulation; never raises."""
+    from repro.unplugged import SIMULATIONS, Classroom
+
+    record = {
+        "key": payload["key"],
+        "slug": payload["slug"],
+        "n": payload["n"],
+        "seed": payload["seed"],
+        "params": dict(payload["params"]),
+        "status": "ok",
+        "metrics": {},
+        "checks": {},
+        "all_checks_pass": False,
+        "trace_events": 0,
+        "error": None,
+        "elapsed_ms": 0.0,
+    }
+    started = time.perf_counter()
+    try:
+        classroom = Classroom(size=payload["n"], seed=payload["seed"],
+                              **payload["params"])
+        result = SIMULATIONS[payload["slug"]](classroom)
+    except Exception as exc:  # noqa: BLE001 - one bad point must not kill a batch
+        record["status"] = "error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    else:
+        # Round-trip through canonical JSON so an in-memory result and a
+        # reloaded one are indistinguishable (numpy scalars -> str/float).
+        record["metrics"] = json.loads(
+            json.dumps(result.metrics, sort_keys=True, default=str))
+        record["checks"] = dict(result.checks)
+        record["all_checks_pass"] = result.all_checks_pass
+        record["trace_events"] = len(result.trace)
+    record["elapsed_ms"] = round((time.perf_counter() - started) * 1e3, 3)
+    return record

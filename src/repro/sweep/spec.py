@@ -1,0 +1,225 @@
+"""Sweep specifications: a (slug × size × seed × params) grid, validated.
+
+A :class:`SweepSpec` is the unit of work the sweep service accepts: which
+simulations to run (``slugs``), at which classroom sizes (``sizes``),
+under which RNG seeds (``seeds``), and with which classroom parameter
+values (``params`` — each key maps to the *list* of values to sweep, so
+the grid is the full cross product).
+
+Canonicalization is the load-bearing property.  Every grid point gets a
+content-addressed key — the SHA-256 of its canonical JSON encoding
+(sorted keys, no whitespace, defaults filled in) — so the same
+(slug, n, seed, params) point always hashes to the same key regardless
+of how the spec spelled it.  The :class:`~repro.sweep.store.ResultStore`
+keys results by point key, which is what makes "an identical point is
+never re-executed across jobs or restarts" true.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = ["SweepSpecError", "SweepPoint", "SweepSpec",
+           "MAX_SWEEP_POINTS", "MAX_SWEEP_STUDENTS"]
+
+#: Hard ceiling on the expanded grid size of a single sweep job.
+MAX_SWEEP_POINTS = 4096
+
+#: Maximum classroom size per point (matches ``/api/simulate``'s bound —
+#: a single point's CPU stays bounded).
+MAX_SWEEP_STUDENTS = 200
+
+#: Sweepable classroom parameters with their defaults and validators.
+#: Defaults are filled into every point's canonical encoding, so a spec
+#: that omits ``step_time_jitter`` and one that sets it to the default
+#: address the same results.
+_PARAM_DEFAULTS: dict[str, float] = {
+    "step_time_jitter": 0.2,
+    "base_step_time": 1.0,
+}
+
+
+class SweepSpecError(ReproError):
+    """A sweep spec failed validation (maps to HTTP 422)."""
+
+
+def _canonical_json(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: a single simulation run, content-addressed."""
+
+    slug: str
+    n: int
+    seed: int
+    params: tuple[tuple[str, float], ...]   # sorted (name, value) pairs
+
+    @property
+    def key(self) -> str:
+        """SHA-256 of the canonical encoding — the ResultStore key."""
+        return hashlib.sha256(
+            _canonical_json(self.canonical()).encode("utf-8")).hexdigest()
+
+    def canonical(self) -> dict:
+        return {"slug": self.slug, "n": self.n, "seed": self.seed,
+                "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A validated sweep request; ``expand()`` yields the grid."""
+
+    slugs: tuple[str, ...]
+    sizes: tuple[int, ...]
+    seeds: tuple[int, ...]
+    params: tuple[tuple[str, tuple[float, ...]], ...] = ()
+    deadline_s: float | None = None
+    points: tuple[SweepPoint, ...] = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "points", tuple(self._expand()))
+        if len(self.points) > MAX_SWEEP_POINTS:
+            raise SweepSpecError(
+                f"sweep grid has {len(self.points)} points "
+                f"(maximum is {MAX_SWEEP_POINTS})")
+
+    # -- parsing -----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, payload: object) -> "SweepSpec":
+        """Validate a JSON payload (the ``POST /api/sweeps`` body).
+
+        Raises :class:`SweepSpecError` with a message naming the first
+        offending field; never raises anything else on bad input.
+        """
+        from repro.unplugged import SIMULATIONS
+
+        if not isinstance(payload, dict):
+            raise SweepSpecError("sweep spec must be a JSON object")
+        unknown = set(payload) - {"slugs", "sizes", "seeds", "params",
+                                  "deadline_s"}
+        if unknown:
+            raise SweepSpecError(
+                f"unknown sweep spec field(s): {', '.join(sorted(unknown))}")
+
+        slugs = _string_list(payload, "slugs")
+        for slug in slugs:
+            if slug not in SIMULATIONS:
+                raise SweepSpecError(
+                    f"no simulation for slug {slug!r} "
+                    f"(see /api/activities for available slugs)")
+
+        sizes = _int_list(payload, "sizes", default=(16,))
+        for n in sizes:
+            if not 2 <= n <= MAX_SWEEP_STUDENTS:
+                raise SweepSpecError(
+                    f"sizes must be between 2 and {MAX_SWEEP_STUDENTS}, "
+                    f"got {n}")
+
+        seeds = _int_list(payload, "seeds", default=(0,))
+
+        raw_params = payload.get("params", {})
+        if not isinstance(raw_params, dict):
+            raise SweepSpecError("params must be an object of name -> values")
+        params: list[tuple[str, tuple[float, ...]]] = []
+        for name in sorted(raw_params):
+            if name not in _PARAM_DEFAULTS:
+                raise SweepSpecError(
+                    f"unknown sweep parameter {name!r} (sweepable: "
+                    f"{', '.join(sorted(_PARAM_DEFAULTS))})")
+            values = raw_params[name]
+            if not isinstance(values, list):
+                values = [values]
+            if not values:
+                raise SweepSpecError(f"parameter {name!r} has no values")
+            checked = []
+            for value in values:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise SweepSpecError(
+                        f"parameter {name!r} values must be numbers")
+                value = float(value)
+                if name == "step_time_jitter" and not 0.0 <= value < 1.0:
+                    raise SweepSpecError("step_time_jitter must be in [0, 1)")
+                if name == "base_step_time" and value <= 0.0:
+                    raise SweepSpecError("base_step_time must be > 0")
+                checked.append(value)
+            params.append((name, tuple(checked)))
+
+        deadline_s = payload.get("deadline_s")
+        if deadline_s is not None:
+            if isinstance(deadline_s, bool) or \
+                    not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+                raise SweepSpecError("deadline_s must be a positive number")
+            deadline_s = float(deadline_s)
+
+        return cls(slugs=slugs, sizes=sizes, seeds=seeds,
+                   params=tuple(params), deadline_s=deadline_s)
+
+    # -- expansion ---------------------------------------------------------
+
+    def _expand(self):
+        """The full grid, in deterministic spec order."""
+        names = [name for name, _ in self.params]
+        value_lists = [values for _, values in self.params]
+        for slug in self.slugs:
+            for n in self.sizes:
+                for seed in self.seeds:
+                    for combo in itertools.product(*value_lists):
+                        merged = dict(_PARAM_DEFAULTS)
+                        merged.update(zip(names, combo))
+                        yield SweepPoint(
+                            slug=slug, n=n, seed=seed,
+                            params=tuple(sorted(merged.items())))
+
+    @property
+    def key(self) -> str:
+        """Content address of the whole spec (over its point keys)."""
+        digest = hashlib.sha256()
+        for point in self.points:
+            digest.update(point.key.encode("ascii"))
+        return digest.hexdigest()
+
+    def canonical(self) -> dict:
+        return {
+            "slugs": list(self.slugs),
+            "sizes": list(self.sizes),
+            "seeds": list(self.seeds),
+            "params": {name: list(values) for name, values in self.params},
+            "deadline_s": self.deadline_s,
+        }
+
+
+def _string_list(payload: dict, name: str) -> tuple[str, ...]:
+    values = payload.get(name)
+    if not isinstance(values, list) or not values:
+        raise SweepSpecError(f"{name} must be a non-empty list")
+    out = []
+    for value in values:
+        if not isinstance(value, str) or not value:
+            raise SweepSpecError(f"{name} entries must be non-empty strings")
+        if value not in out:                    # dedupe, preserve order
+            out.append(value)
+    return tuple(out)
+
+
+def _int_list(payload: dict, name: str, default: tuple[int, ...]
+              ) -> tuple[int, ...]:
+    values = payload.get(name)
+    if values is None:
+        return default
+    if not isinstance(values, list) or not values:
+        raise SweepSpecError(f"{name} must be a non-empty list")
+    out = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SweepSpecError(f"{name} entries must be integers")
+        if value not in out:
+            out.append(value)
+    return tuple(out)

@@ -1,0 +1,136 @@
+"""Persistent content-addressed result store for sweep points.
+
+The same atomic-blob discipline as :mod:`repro.serve.persist`: every
+write goes through tmp + fsync + rename (:func:`repro.ioutil.atomic_write_bytes`)
+wrapped in fault hooks (op ``sweep-persist``, kinds ``error`` /
+``latency`` / ``partial``) and a transient-error
+:class:`~repro.serve.retrypolicy.RetryPolicy`; every read tolerates
+garbage (op ``cache-read``, kind ``corrupt`` flips bytes the checksum
+must catch).  A result that cannot be written is *skipped and counted* —
+persistence is an optimization, never worth failing a sweep over — and a
+blob that cannot be read or fails its checksum means "re-run the point",
+never an exception.
+
+Layout under ``root`` (conventionally ``<cache-dir>/sweeps``)::
+
+    points/<sha256-of-point>.json     checksummed result records
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+
+from repro.ioutil import atomic_write_bytes
+from repro.serve.cache import checksum
+from repro.serve.retrypolicy import RetryError, RetryPolicy
+
+__all__ = ["ResultStore"]
+
+log = logging.getLogger("repro.sweep.store")
+
+_POINT_DIR = "points"
+_RESULT_VERSION = 1
+
+
+class ResultStore:
+    """Content-addressed (point key -> result record) persistence."""
+
+    def __init__(self, root: str | Path, faults=None,
+                 retry: RetryPolicy | None = None):
+        self.root = Path(root)
+        self.point_dir = self.root / _POINT_DIR
+        self.point_dir.mkdir(parents=True, exist_ok=True)
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy(retries=1)
+        self.hits = 0
+        self.misses = 0
+        self.saves = 0
+        self.skipped_saves = 0
+        self.load_errors = 0
+
+    # -- instrumented I/O (fault hooks + retry) ----------------------------
+
+    def _persist_bytes(self, path: Path, data: bytes) -> None:
+        def attempt() -> None:
+            payload = data
+            if self.faults is not None:
+                self.faults.maybe_fail("sweep-persist")
+                payload = self.faults.mangle_write("sweep-persist", payload)
+            atomic_write_bytes(path, payload)
+        self.retry.call(attempt, sleep=None)
+
+    def _read_bytes(self, path: Path) -> bytes:
+        def attempt() -> bytes:
+            if self.faults is not None:
+                self.faults.maybe_fail("cache-read")
+            data = path.read_bytes()
+            if self.faults is not None:
+                data = self.faults.mangle_read("cache-read", data)
+            return data
+        return self.retry.call(attempt, sleep=None)
+
+    # -- the content-addressed API -----------------------------------------
+
+    def _path_for(self, key: str) -> Path:
+        return self.point_dir / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored result for ``key``, or ``None`` (run the point).
+
+        Any failure — missing file, I/O error after retries, JSON rot,
+        checksum or key mismatch — reads as a miss; corruption costs one
+        re-execution, never an exception.
+        """
+        path = self._path_for(key)
+        try:
+            wrapper = json.loads(self._read_bytes(path))
+            if wrapper["version"] != _RESULT_VERSION:
+                raise ValueError(f"unsupported version {wrapper['version']!r}")
+            body = wrapper["result"]
+            if checksum(body.encode("utf-8")) != wrapper["checksum"]:
+                raise ValueError("checksum mismatch")
+            record = json.loads(body)
+            if record["key"] != key:
+                raise ValueError("stored record keyed under the wrong point")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, RetryError, ValueError, KeyError, TypeError) as exc:
+            self.misses += 1
+            self.load_errors += 1
+            log.warning("sweep result %s unreadable, re-running: %s", key, exc)
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> bool:
+        """Persist ``record`` under ``key``; ``False`` means skipped."""
+        body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        wrapper = {
+            "version": _RESULT_VERSION,
+            "checksum": checksum(body.encode("utf-8")),
+            "result": body,
+        }
+        try:
+            self._persist_bytes(self._path_for(key),
+                                json.dumps(wrapper).encode("utf-8"))
+        except (OSError, RetryError) as exc:
+            self.skipped_saves += 1
+            log.warning("sweep result %s not persisted: %s", key, exc)
+            return False
+        self.saves += 1
+        return True
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.point_dir.glob("*.json"))
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "saves": self.saves,
+            "skipped_saves": self.skipped_saves,
+            "load_errors": self.load_errors,
+        }

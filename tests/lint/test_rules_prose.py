@@ -1,0 +1,125 @@
+"""Prose rules: heading-depth jumps, bare URLs, TODO markers — and their
+autofixes (demote heading, wrap in autolink, strip marker)."""
+
+from __future__ import annotations
+
+from repro.lint import LintConfig, LintEngine, fix_engine
+
+from tests.lint.conftest import GOOD, only
+
+#: GOOD's body: front matter ends at line 11, ``## Original Author/link``
+#: is line 13.  Appended sections land after line 67 (``- Doe, J. …``).
+
+
+def _append(extra: str) -> str:
+    return GOOD + "\n" + extra
+
+
+class TestHeadingJump:
+    def test_depth_jump_is_flagged_with_target_depth(self, lint_dir):
+        result = lint_dir(good=_append("#### Deep Dive\n\nText.\n"))
+        (diag,) = only(result, "prose-heading-jump")
+        assert "jumps from 2 to 4" in diag.message
+        assert "use depth 3" in diag.message
+        assert diag.span.column == 1
+
+    def test_single_step_descent_is_fine(self, lint_dir):
+        result = lint_dir(good=_append("### Subsection\n\nText.\n"))
+        assert only(result, "prose-heading-jump") == []
+
+    def test_ascent_never_flags(self, lint_dir):
+        result = lint_dir(
+            good=_append("### Sub\n\nText.\n\n## Back Up\n\nMore.\n"))
+        assert only(result, "prose-heading-jump") == []
+
+    def test_heading_inside_code_fence_is_ignored(self, lint_dir):
+        result = lint_dir(good=_append("```\n#### not a heading\n```\n"))
+        assert only(result, "prose-heading-jump") == []
+
+
+class TestBareUrl:
+    def test_bare_url_is_flagged_at_its_column(self, lint_dir):
+        result = lint_dir(good=_append("See https://example.com/x today.\n"))
+        (diag,) = only(result, "prose-bare-url")
+        assert "https://example.com/x" in diag.message
+        assert diag.span.column == 5
+
+    def test_autolinked_url_is_fine(self, lint_dir):
+        # GOOD already carries <https://example.com/resource>.
+        result = lint_dir(good=GOOD)
+        assert only(result, "prose-bare-url") == []
+
+    def test_markdown_link_target_is_fine(self, lint_dir):
+        result = lint_dir(good=_append("[site](https://example.com/x)\n"))
+        assert only(result, "prose-bare-url") == []
+
+    def test_url_in_code_span_is_fine(self, lint_dir):
+        result = lint_dir(good=_append("Run `curl https://example.com/x`.\n"))
+        assert only(result, "prose-bare-url") == []
+
+    def test_trailing_punctuation_is_not_part_of_the_url(self, lint_dir):
+        result = lint_dir(good=_append("Read https://example.com/x.\n"))
+        (diag,) = only(result, "prose-bare-url")
+        assert diag.message.count("https://example.com/x>") == 1
+        assert "x.>" not in diag.message
+
+
+class TestTodoMarker:
+    def test_markers_are_flagged(self, lint_dir):
+        result = lint_dir(good=_append("TODO: finish this section.\n"))
+        (diag,) = only(result, "prose-todo-marker")
+        assert "TODO marker" in diag.message
+
+    def test_fixme_and_xxx_count(self, lint_dir):
+        result = lint_dir(
+            good=_append("Some FIXME note.\n\nAnother XXX remark.\n"))
+        assert len(only(result, "prose-todo-marker")) == 2
+
+    def test_marker_in_code_span_is_fine(self, lint_dir):
+        result = lint_dir(good=_append("Grep for `TODO` in the tree.\n"))
+        assert only(result, "prose-todo-marker") == []
+
+    def test_lowercase_todo_is_prose_not_a_marker(self, lint_dir):
+        result = lint_dir(good=_append("Add this to your todo list.\n"))
+        assert only(result, "prose-todo-marker") == []
+
+
+class TestProseFixes:
+    def _fix(self, write_corpus, text: str):
+        corpus = write_corpus(good=text)
+        engine = LintEngine(LintConfig(content_dir=corpus, site=False,
+                                       code=False))
+        report = fix_engine(engine)
+        return corpus, report
+
+    def test_heading_jump_demoted_and_converges(self, write_corpus):
+        corpus, report = self._fix(
+            write_corpus, _append("#### Deep Dive\n\nText.\n"))
+        assert report.remaining.diagnostics == []
+        fixed = (corpus / "good.md").read_text()
+        assert "\n### Deep Dive\n" in fixed
+        assert "####" not in fixed
+
+    def test_bare_url_wrapped_in_autolink(self, write_corpus):
+        corpus, report = self._fix(
+            write_corpus, _append("See https://example.com/x today.\n"))
+        assert report.remaining.diagnostics == []
+        assert "See <https://example.com/x> today." in \
+            (corpus / "good.md").read_text()
+
+    def test_todo_marker_stripped_with_separator(self, write_corpus):
+        corpus, report = self._fix(
+            write_corpus, _append("TODO: finish this section.\n"))
+        assert report.remaining.diagnostics == []
+        fixed = (corpus / "good.md").read_text()
+        assert "TODO" not in fixed
+        assert "finish this section." in fixed
+
+    def test_all_three_fix_in_one_pass(self, write_corpus):
+        corpus, report = self._fix(write_corpus, _append(
+            "#### Deep Dive\n\nFIXME see https://example.com/x now.\n"))
+        assert report.remaining.diagnostics == []
+        fixed = (corpus / "good.md").read_text()
+        assert "### Deep Dive" in fixed
+        assert "see <https://example.com/x> now." in fixed
+        assert "FIXME" not in fixed

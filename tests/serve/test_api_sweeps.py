@@ -1,0 +1,170 @@
+"""The sweep HTTP surface: submit, status, results, compare, shedding."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.serve import call_app, create_app
+
+WAIT_S = 60.0
+
+SPEC = {"slugs": ["findsmallestcard"], "sizes": [4, 8], "seeds": [0, 1]}
+
+
+@pytest.fixture()
+def app(tmp_path):
+    application = create_app(watch=False, cache_dir=tmp_path / "cache")
+    yield application
+    application.close()
+
+
+def post_sweep(app, payload) -> tuple[int, dict]:
+    body = payload if isinstance(payload, bytes) else \
+        json.dumps(payload).encode("utf-8")
+    response = call_app(app, "/api/sweeps", method="POST", body=body)
+    return response.status, json.loads(response.body)
+
+
+def wait_done(app, job_id: str) -> dict:
+    deadline = time.monotonic() + WAIT_S
+    while time.monotonic() < deadline:
+        payload = json.loads(call_app(app, f"/api/sweeps/{job_id}").body)
+        if payload["status"] in ("done", "failed", "cancelled", "deadline"):
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"sweep {job_id} never finished")
+
+
+class TestSubmit:
+    def test_accepted_with_progress_and_canonical_spec(self, app):
+        status, payload = post_sweep(app, SPEC)
+        assert status == 202
+        assert payload["id"] == "sweep-0001"
+        assert payload["total"] == 4
+        assert payload["spec"]["slugs"] == ["findsmallestcard"]
+        assert payload["spec"]["sizes"] == [4, 8]
+        done = wait_done(app, payload["id"])
+        assert done["status"] == "done"
+        assert done["executed"] == 4 and done["failed"] == 0
+
+    def test_bad_json_is_400(self, app):
+        status, payload = post_sweep(app, b"{nope")
+        assert status == 400
+        assert "JSON" in payload["error"]
+
+    def test_invalid_spec_is_422(self, app):
+        status, payload = post_sweep(app, {"slugs": ["nosuchsim"]})
+        assert status == 422
+        assert "no simulation" in payload["error"]
+
+    def test_oversized_body_is_413(self, app):
+        huge = b"x" * ((1 << 20) + 1)
+        assert post_sweep(app, huge)[0] == 413
+
+    def test_capacity_shed_is_429_with_retry_after(self, tmp_path):
+        app = create_app(watch=False, cache_dir=tmp_path / "cache",
+                         sweep_max_jobs=1)
+        try:
+            slow = dict(SPEC, sizes=list(range(4, 44)),
+                        seeds=[0, 1, 2, 3, 4])
+            status, first = post_sweep(app, slow)
+            assert status == 202
+            status, payload = post_sweep(app, SPEC)
+            assert status == 429
+            assert "capacity" in payload["error"]
+            response = call_app(app, "/api/sweeps", method="POST",
+                                body=json.dumps(SPEC).encode("utf-8"))
+            assert response.status == 429
+            assert int(response.headers["Retry-After"]) >= 1
+        finally:
+            app.close()
+
+
+class TestLifecycle:
+    def test_job_listing_and_status(self, app):
+        _, submitted = post_sweep(app, SPEC)
+        listing = json.loads(call_app(app, "/api/sweeps").body)
+        assert [job["id"] for job in listing["jobs"]] == [submitted["id"]]
+        wait_done(app, submitted["id"])
+
+    def test_unknown_job_is_404(self, app):
+        assert call_app(app, "/api/sweeps/sweep-9999").status == 404
+        assert call_app(app, "/api/sweeps/sweep-9999/results").status == 404
+
+    def test_unknown_subresource_is_404(self, app):
+        _, submitted = post_sweep(app, SPEC)
+        wait_done(app, submitted["id"])
+        path = f"/api/sweeps/{submitted['id']}/bogus"
+        assert call_app(app, path).status == 404
+
+    def test_post_to_non_sweep_route_is_405(self, app):
+        assert call_app(app, "/api/metrics", method="POST",
+                        body=b"{}").status == 405
+
+    def test_put_is_405(self, app):
+        response = call_app(app, "/api/sweeps", method="PUT", body=b"{}")
+        assert response.status == 405
+
+    def test_delete_cancels(self, app):
+        _, submitted = post_sweep(
+            app, dict(SPEC, sizes=list(range(4, 44)), seeds=[0, 1, 2, 3, 4]))
+        response = call_app(app, f"/api/sweeps/{submitted['id']}",
+                            method="DELETE")
+        assert response.status == 200
+        assert json.loads(response.body)["cancel_accepted"] is True
+        final = wait_done(app, submitted["id"])
+        assert final["status"] in ("cancelled", "done")
+
+
+class TestResults:
+    def test_results_and_compare(self, app):
+        _, submitted = post_sweep(app, SPEC)
+        wait_done(app, submitted["id"])
+        results = json.loads(
+            call_app(app, f"/api/sweeps/{submitted['id']}/results").body)
+        assert len(results["results"]) == 4
+        assert all(r["status"] == "ok" for r in results["results"])
+        comparison = json.loads(
+            call_app(app, f"/api/sweeps/{submitted['id']}/compare").body)
+        (group,) = comparison["compare"]["groups"]
+        assert group["slug"] == "findsmallestcard"
+        assert [entry["n"] for entry in group["curve"]] == [4, 8]
+
+    def test_resubmit_is_fully_cached(self, app):
+        _, first = post_sweep(app, SPEC)
+        wait_done(app, first["id"])
+        _, second = post_sweep(app, SPEC)
+        done = wait_done(app, second["id"])
+        assert done["executed"] == 0
+        assert done["cached"] == 4
+
+    def test_metrics_expose_sweep_counters(self, app):
+        _, submitted = post_sweep(app, SPEC)
+        wait_done(app, submitted["id"])
+        metrics = json.loads(call_app(app, "/api/metrics").body)
+        sweeps = metrics["sweeps"]
+        assert sweeps["jobs_submitted"] == 1
+        assert sweeps["points_executed"] == 4
+        assert sweeps["store"]["saves"] == 4
+
+
+class TestSimulateErrors:
+    def test_unhandled_simulation_exception_is_structured_422(
+            self, app, monkeypatch):
+        from repro import unplugged
+
+        def explode(classroom):
+            raise RuntimeError("boom mid-simulation")
+
+        monkeypatch.setitem(unplugged.SIMULATIONS, "findsmallestcard",
+                            explode)
+        response = call_app(app, "/api/simulate/findsmallestcard?n=8&seed=1")
+        assert response.status == 422
+        payload = json.loads(response.body)
+        assert payload["exception"] == "RuntimeError"
+        assert "boom mid-simulation" in payload["error"]
+        assert payload["slug"] == "findsmallestcard"
+        assert payload["n"] == 8 and payload["seed"] == 1

@@ -1,0 +1,64 @@
+"""Load generation with a sweep-submission traffic mix."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import LoadGenerator, create_app, run_load
+
+
+@pytest.fixture()
+def app(tmp_path):
+    application = create_app(watch=False, cache_dir=tmp_path / "cache")
+    yield application
+    application.close()
+
+
+def test_sweep_requests_are_posts_with_valid_specs(app):
+    gen = LoadGenerator.for_app(app, seed=5, sweep_ratio=1.0)
+    requests = gen.sample_requests(10)
+    assert all(r.method == "POST" for r in requests)
+    assert all(r.path == "/api/sweeps" for r in requests)
+    for request in requests:
+        payload = json.loads(request.body)
+        assert payload["slugs"]
+
+
+def test_mixed_traffic_counts_submissions(app):
+    gen = LoadGenerator.for_app(app, seed=5, sweep_ratio=0.2)
+    report = run_load(app, gen.sample_requests(50))
+    # Capacity sheds (429) are legitimate under a burst of submissions.
+    assert report.unhandled_errors == 0
+    assert set(report.statuses) <= {200, 202, 304, 429}, dict(report.statuses)
+    assert report.sweep_submissions > 0
+    assert report.sweeps_accepted > 0
+    assert report.sweep_submissions < 50        # it is a mix, not all sweeps
+    metrics = app.sweeps.stats()
+    assert metrics["jobs_submitted"] == report.sweeps_accepted
+
+
+def test_zero_ratio_keeps_traffic_pure(app):
+    gen = LoadGenerator.for_app(app, seed=5)
+    requests = gen.sample_requests(30)
+    assert all(r.method == "GET" for r in requests)
+
+
+def test_ratio_is_validated():
+    with pytest.raises(ValueError):
+        LoadGenerator(urls=["/"], sweep_ratio=1.5)
+
+
+def test_capacity_sheds_count_as_shed_not_errors(tmp_path):
+    app = create_app(watch=False, cache_dir=tmp_path / "cache",
+                     sweep_max_jobs=1)
+    try:
+        gen = LoadGenerator.for_app(app, seed=5, sweep_ratio=1.0)
+        report = run_load(app, gen.sample_requests(12))
+        assert report.unhandled_errors == 0
+        assert set(report.statuses) <= {202, 429}
+        if 429 in report.statuses:
+            assert report.shed > 0
+    finally:
+        app.close()

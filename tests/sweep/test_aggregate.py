@@ -1,0 +1,82 @@
+"""compare(): speedup/efficiency curves and cross-seed variance."""
+
+from __future__ import annotations
+
+from repro.sweep import SweepSpec, compare, point_payload, run_point
+
+
+def _rec(slug="simx", n=4, seed=0, status="ok", metrics=None, checks=True):
+    return {"key": f"{slug}-{n}-{seed}", "slug": slug, "n": n, "seed": seed,
+            "params": {"step_time_jitter": 0.2}, "status": status,
+            "metrics": metrics or {}, "checks": {}, "all_checks_pass": checks,
+            "trace_events": 0, "error": None, "elapsed_ms": 1.0}
+
+
+def test_curves_reduce_seeds_per_size():
+    records = [
+        _rec(n=4, seed=0, metrics={"speedup": 2.0}),
+        _rec(n=4, seed=1, metrics={"speedup": 4.0}),
+        _rec(n=8, seed=0, metrics={"speedup": 6.0}),
+        _rec(n=8, seed=1, metrics={"speedup": 6.0}),
+    ]
+    report = compare(records)
+    assert report["points"] == 4 and report["points_ok"] == 4
+    (group,) = report["groups"]
+    assert group["metric"] == "speedup"
+    n4, n8 = group["curve"]
+    assert n4 == {"n": 4, "seeds": 2, "mean": 3.0, "min": 2.0, "max": 4.0,
+                  "variance": 1.0, "stddev": 1.0, "efficiency": 0.75,
+                  "per_seed": {"0": 2.0, "1": 4.0}}
+    assert n8["mean"] == 6.0 and n8["stddev"] == 0.0
+    assert n8["efficiency"] == 0.75
+
+
+def test_speedup_is_derived_from_times_when_absent():
+    records = [_rec(metrics={"sequential_time": 12.0, "parallel_time": 3.0})]
+    (group,) = compare(records)["groups"]
+    assert group["curve"][0]["mean"] == 4.0
+
+
+def test_groups_split_by_slug_and_params():
+    a = _rec(slug="a", metrics={"speedup": 2.0})
+    b = _rec(slug="b", metrics={"speedup": 2.0})
+    c = _rec(slug="a", metrics={"speedup": 2.0})
+    c["params"] = {"step_time_jitter": 0.0}
+    groups = compare([a, b, c])["groups"]
+    assert len(groups) == 3
+
+
+def test_failed_records_are_counted_not_plotted():
+    records = [_rec(metrics={"speedup": 2.0}),
+               _rec(seed=1, status="error")]
+    report = compare(records)
+    assert report["points_ok"] == 1 and report["points_failed"] == 1
+    (group,) = report["groups"]
+    assert group["points"] == 1
+
+
+def test_simulations_without_speedup_report_no_curve():
+    records = [_rec(metrics={"rounds": 3})]
+    (group,) = compare(records)["groups"]
+    assert group["metric"] is None
+    assert group["curve"] == []
+    assert group["points"] == 1
+
+
+def test_checks_passed_tallies_invariants():
+    records = [_rec(metrics={"speedup": 2.0}),
+               _rec(seed=1, metrics={"speedup": 2.0}, checks=False)]
+    (group,) = compare(records)["groups"]
+    assert group["checks_passed"] == 1
+
+
+def test_real_records_produce_monotone_sized_curves():
+    spec = SweepSpec.parse({"slugs": ["findsmallestcard"],
+                            "sizes": [4, 8, 16], "seeds": [0, 1]})
+    records = [run_point(point_payload(p)) for p in spec.points]
+    (group,) = compare(records)["groups"]
+    assert group["slug"] == "findsmallestcard"
+    assert [entry["n"] for entry in group["curve"]] == [4, 8, 16]
+    assert all(entry["seeds"] == 2 for entry in group["curve"])
+    assert all(entry["mean"] > 1.0 for entry in group["curve"])
+    assert group["checks_passed"] == 6

@@ -1,0 +1,66 @@
+"""``pdcunplugged sweep``: table/JSON output, caching, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def test_table_output_shows_speedup_curve(capsys, tmp_path):
+    code = main(["sweep", "findsmallestcard", "--sizes", "4,8",
+                 "--seeds", "0,1", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "findsmallestcard" in out
+    assert "speedup" in out
+    assert " 4 " in out and " 8 " in out
+
+
+def test_json_output_is_machine_readable(capsys, tmp_path):
+    code = main(["sweep", "findsmallestcard", "--sizes", "4",
+                 "--format", "json", "--cache-dir", str(tmp_path)])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["job"]["status"] == "done"
+    assert payload["job"]["executed"] == 1
+    assert len(payload["results"]) == 1
+    (group,) = payload["compare"]["groups"]
+    assert group["slug"] == "findsmallestcard"
+
+
+def test_second_run_is_served_from_the_store(capsys, tmp_path):
+    args = ["sweep", "findsmallestcard", "--sizes", "4,8", "--format",
+            "json", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["job"]["executed"] == 0
+    assert payload["job"]["cached"] == 2
+
+
+def test_param_sweep_expands_the_grid(capsys, tmp_path):
+    code = main(["sweep", "findsmallestcard", "--sizes", "4",
+                 "--param", "step_time_jitter=0.0,0.2",
+                 "--format", "json", "--cache-dir", str(tmp_path)])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["job"]["total"] == 2
+    assert len(payload["compare"]["groups"]) == 2
+
+
+def test_bad_slug_exits_2(capsys):
+    assert main(["sweep", "nosuchsim"]) == 2
+    assert "no simulation" in capsys.readouterr().err
+
+
+def test_bad_sizes_exit_2(capsys):
+    assert main(["sweep", "findsmallestcard", "--sizes", "four"]) == 2
+
+
+def test_bad_param_exits_2(capsys):
+    assert main(["sweep", "findsmallestcard",
+                 "--param", "step_time_jitter"]) == 2
+    assert main(["sweep", "findsmallestcard",
+                 "--param", "step_time_jitter=fast"]) == 2

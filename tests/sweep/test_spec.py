@@ -1,0 +1,124 @@
+"""SweepSpec parsing, validation, grid expansion, content addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import (MAX_SWEEP_POINTS, MAX_SWEEP_STUDENTS, SweepSpec,
+                        SweepSpecError)
+
+
+def parse(**payload):
+    return SweepSpec.parse(payload)
+
+
+class TestParse:
+    def test_minimal_spec_fills_defaults(self):
+        spec = parse(slugs=["findsmallestcard"])
+        assert spec.sizes == (16,)
+        assert spec.seeds == (0,)
+        assert spec.deadline_s is None
+        assert len(spec.points) == 1
+        point = spec.points[0]
+        # Classroom defaults are filled into every point.
+        assert dict(point.params) == {"base_step_time": 1.0,
+                                      "step_time_jitter": 0.2}
+
+    def test_grid_is_full_cross_product(self):
+        spec = parse(slugs=["findsmallestcard", "parallelradixsort"],
+                     sizes=[4, 8], seeds=[0, 1, 2],
+                     params={"step_time_jitter": [0.0, 0.2]})
+        assert len(spec.points) == 2 * 2 * 3 * 2
+
+    def test_expansion_order_is_deterministic(self):
+        spec = parse(slugs=["findsmallestcard"], sizes=[4, 8], seeds=[1, 0])
+        assert [(p.n, p.seed) for p in spec.points] == \
+            [(4, 1), (4, 0), (8, 1), (8, 0)]
+
+    def test_duplicates_are_dropped_preserving_order(self):
+        spec = parse(slugs=["findsmallestcard", "findsmallestcard"],
+                     sizes=[8, 8, 4], seeds=[0, 0])
+        assert spec.slugs == ("findsmallestcard",)
+        assert spec.sizes == (8, 4)
+        assert spec.seeds == (0,)
+
+
+class TestContentAddress:
+    def test_point_key_is_stable_sha256(self):
+        a = parse(slugs=["findsmallestcard"], sizes=[8]).points[0]
+        b = parse(slugs=["findsmallestcard"], sizes=[8]).points[0]
+        assert a.key == b.key
+        assert len(a.key) == 64 and int(a.key, 16) >= 0
+
+    def test_omitted_default_addresses_like_explicit_default(self):
+        implicit = parse(slugs=["findsmallestcard"])
+        explicit = parse(slugs=["findsmallestcard"],
+                         params={"step_time_jitter": [0.2],
+                                 "base_step_time": [1.0]})
+        assert implicit.points[0].key == explicit.points[0].key
+        assert implicit.key == explicit.key
+
+    def test_different_inputs_address_differently(self):
+        base = parse(slugs=["findsmallestcard"]).points[0]
+        assert parse(slugs=["findsmallestcard"],
+                     sizes=[17]).points[0].key != base.key
+        assert parse(slugs=["findsmallestcard"],
+                     seeds=[1]).points[0].key != base.key
+        assert parse(slugs=["gardeners"]).points[0].key != base.key
+
+    def test_spec_key_ignores_deadline(self):
+        # The deadline shapes execution, not the results being addressed.
+        a = parse(slugs=["findsmallestcard"])
+        b = parse(slugs=["findsmallestcard"], deadline_s=5.0)
+        assert a.key == b.key
+
+
+class TestValidation:
+    @pytest.mark.parametrize("payload, fragment", [
+        ("not a dict", "JSON object"),
+        ({}, "slugs"),
+        ({"slugs": []}, "non-empty list"),
+        ({"slugs": [7]}, "non-empty strings"),
+        ({"slugs": ["nosuchsim"]}, "no simulation"),
+        ({"slugs": ["findsmallestcard"], "bogus": 1}, "unknown sweep spec"),
+        ({"slugs": ["findsmallestcard"], "sizes": [1]}, "between 2 and"),
+        ({"slugs": ["findsmallestcard"],
+          "sizes": [MAX_SWEEP_STUDENTS + 1]}, "between 2 and"),
+        ({"slugs": ["findsmallestcard"], "sizes": [True]}, "integers"),
+        ({"slugs": ["findsmallestcard"], "seeds": ["x"]}, "integers"),
+        ({"slugs": ["findsmallestcard"], "params": []}, "params must be"),
+        ({"slugs": ["findsmallestcard"],
+          "params": {"warp": [1]}}, "unknown sweep parameter"),
+        ({"slugs": ["findsmallestcard"],
+          "params": {"step_time_jitter": []}}, "no values"),
+        ({"slugs": ["findsmallestcard"],
+          "params": {"step_time_jitter": [True]}}, "numbers"),
+        ({"slugs": ["findsmallestcard"],
+          "params": {"step_time_jitter": [1.5]}}, "in [0, 1)"),
+        ({"slugs": ["findsmallestcard"],
+          "params": {"base_step_time": [0.0]}}, "> 0"),
+        ({"slugs": ["findsmallestcard"], "deadline_s": 0}, "positive"),
+        ({"slugs": ["findsmallestcard"], "deadline_s": "soon"}, "positive"),
+    ])
+    def test_bad_payloads_raise_spec_errors(self, payload, fragment):
+        with pytest.raises(SweepSpecError, match=None) as excinfo:
+            SweepSpec.parse(payload)
+        assert fragment in str(excinfo.value)
+
+    def test_grid_size_ceiling(self):
+        sizes = list(range(2, 2 + 70))
+        seeds = list(range(59))                  # 70 * 59 = 4130 > 4096
+        with pytest.raises(SweepSpecError, match="maximum"):
+            parse(slugs=["findsmallestcard"], sizes=sizes, seeds=seeds)
+        assert MAX_SWEEP_POINTS == 4096
+
+    def test_scalar_param_value_is_accepted(self):
+        spec = parse(slugs=["findsmallestcard"],
+                     params={"step_time_jitter": 0.1})
+        assert dict(spec.points[0].params)["step_time_jitter"] == 0.1
+
+    def test_canonical_round_trips_through_parse(self):
+        spec = parse(slugs=["findsmallestcard"], sizes=[4, 8], seeds=[0, 1],
+                     params={"step_time_jitter": [0.0, 0.3]}, deadline_s=2.0)
+        again = SweepSpec.parse(spec.canonical())
+        assert again == spec and again.key == spec.key

@@ -1,0 +1,98 @@
+"""ResultStore: atomic persistence, checksums, fault tolerance."""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.faults import parse_fault_spec
+from repro.serve.retrypolicy import RetryPolicy
+from repro.sweep import ResultStore, SweepSpec, run_point, point_payload
+
+
+def _record(slug="findsmallestcard", n=4, seed=0):
+    point = SweepSpec.parse({"slugs": [slug], "sizes": [n],
+                             "seeds": [seed]}).points[0]
+    return point.key, run_point(point_payload(point))
+
+
+def test_round_trip_is_identical(tmp_path):
+    store = ResultStore(tmp_path)
+    key, record = _record()
+    assert store.put(key, record) is True
+    loaded = store.get(key)
+    assert loaded == record
+    assert json.dumps(loaded, sort_keys=True) == \
+        json.dumps(record, sort_keys=True)
+    assert store.stats() == {"hits": 1, "misses": 0, "saves": 1,
+                             "skipped_saves": 0, "load_errors": 0}
+    assert len(store) == 1
+
+
+def test_missing_key_is_a_quiet_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get("0" * 64) is None
+    assert store.stats()["misses"] == 1
+    assert store.stats()["load_errors"] == 0    # absent, not corrupt
+
+
+def test_corrupt_blob_reads_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    key, record = _record()
+    store.put(key, record)
+    path = store._path_for(key)
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    assert store.get(key) is None
+    assert store.stats()["load_errors"] == 1
+
+
+def test_checksum_catches_flipped_payload_bytes(tmp_path):
+    store = ResultStore(tmp_path)
+    key, record = _record()
+    store.put(key, record)
+    path = store._path_for(key)
+    wrapper = json.loads(path.read_text())
+    wrapper["result"] = wrapper["result"].replace('"ok"', '"OK"', 1)
+    path.write_text(json.dumps(wrapper))
+    assert store.get(key) is None
+    assert store.stats()["load_errors"] == 1
+
+
+def test_record_filed_under_wrong_key_is_rejected(tmp_path):
+    store = ResultStore(tmp_path)
+    key, record = _record()
+    other, _ = _record(n=8)
+    store.put(key, record)
+    store._path_for(other).write_bytes(store._path_for(key).read_bytes())
+    assert store.get(other) is None
+    assert store.get(key) == record
+
+
+def test_persist_faults_skip_the_save(tmp_path):
+    faults = parse_fault_spec("sweep-persist:error@1.0", seed=1)
+    store = ResultStore(tmp_path, faults=faults,
+                        retry=RetryPolicy(retries=1))
+    key, record = _record()
+    assert store.put(key, record) is False
+    assert store.stats()["skipped_saves"] == 1
+    assert store.get(key) is None               # nothing landed on disk
+
+
+def test_persist_faults_are_retried(tmp_path):
+    # 50% failure with generous retries: the write always lands.
+    faults = parse_fault_spec("sweep-persist:error@0.5", seed=7)
+    store = ResultStore(tmp_path, faults=faults,
+                        retry=RetryPolicy(retries=8))
+    key, record = _record()
+    assert store.put(key, record) is True
+    assert store.get(key) == record
+    assert faults.total_injected > 0
+
+
+def test_corrupting_reads_cost_a_rerun_not_an_exception(tmp_path):
+    clean = ResultStore(tmp_path)
+    key, record = _record()
+    clean.put(key, record)
+    faults = parse_fault_spec("cache-read:corrupt@1.0", seed=3)
+    store = ResultStore(tmp_path, faults=faults)
+    assert store.get(key) is None
+    assert store.stats()["load_errors"] == 1

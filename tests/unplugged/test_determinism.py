@@ -1,0 +1,46 @@
+"""Every simulation is a pure function of (size, seed, params).
+
+The sweep service's content-addressed caching rests on this: a stored
+result keyed by (slug, n, seed, params) must be indistinguishable from a
+fresh run, byte for byte, or cache hits would silently change answers.
+Serialization goes through the same canonical JSON encoding
+``repro.sweep.runner.run_point`` persists.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.unplugged import SIMULATIONS, Classroom
+
+
+def _run(slug: str) -> str:
+    classroom = Classroom(size=12, seed=3, step_time_jitter=0.2)
+    result = SIMULATIONS[slug](classroom)
+    return json.dumps({"metrics": result.metrics,
+                       "checks": result.checks},
+                      sort_keys=True, default=str)
+
+
+@pytest.mark.parametrize("slug", sorted(SIMULATIONS))
+def test_two_fresh_runs_are_byte_identical(slug):
+    assert _run(slug) == _run(slug)
+
+
+@pytest.mark.parametrize("slug", sorted(SIMULATIONS))
+def test_run_point_record_is_stable(slug):
+    from repro.sweep import SweepSpec, point_payload, run_point
+
+    spec = SweepSpec.parse({"slugs": [slug], "sizes": [12], "seeds": [3]})
+    (point,) = spec.points
+    first = run_point(point_payload(point))
+    second = run_point(point_payload(point))
+    assert first["status"] == "ok", first["error"]
+
+    def stable(record):
+        return json.dumps({k: v for k, v in record.items()
+                           if k != "elapsed_ms"}, sort_keys=True)
+
+    assert stable(first) == stable(second)
