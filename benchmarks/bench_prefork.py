@@ -1,0 +1,123 @@
+"""EXPERIMENT S-PREFORK -- process fleet vs in-process thread pool.
+
+The pre-fork mode exists to escape the GIL on render-heavy traffic, so
+the benchmark removes the page cache from the equation entirely
+(``cache_enabled=False``: every request pays the full template render)
+and replays the same seeded Zipf stream over real sockets against the
+same corpus served two ways:
+
+* ``thread`` — one process, a 4-thread :class:`WorkerPool` (the
+  ``--workers 4`` mode): rendering serializes on the GIL;
+* ``process`` — a 4-process pre-fork fleet sharing the listening
+  socket: rendering runs on 4 cores at once.
+
+On a >=4-core host the fleet must deliver at least 2x the thread-pool
+throughput; on smaller hosts the numbers are printed but not asserted
+(forking 4 workers onto 1 core proves nothing about the GIL).  p99 is
+reported at the same fixed client concurrency for both models.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.serve import LoadGenerator, create_app, create_server, run_load_http
+from repro.serve.prefork import PreforkServer
+
+PROCS = 4
+CLIENTS = 8
+REQUESTS = 400
+SEED = 17
+
+
+def _zipf_stream() -> list:
+    """The seeded render-heavy request stream, identical for both models.
+
+    ``conditional_ratio=0.0`` keeps every client cold (no If-None-Match,
+    no 304 shortcut): each of the 400 requests is a full-body render.
+    """
+    probe = create_app(watch=False)
+    try:
+        gen = LoadGenerator.for_app(probe, kinds=("home", "page"),
+                                    seed=SEED, conditional_ratio=0.0)
+        return gen.sample_requests(REQUESTS)
+    finally:
+        probe.close()
+
+
+def _measure_thread(stream) -> "LoadReport":
+    server, app = create_server(port=0, quiet=True, watch=False,
+                                workers=PROCS, cache_enabled=False)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        return run_load_http(base, stream, clients=CLIENTS, revalidate=False)
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+        app.close()
+
+
+def _measure_prefork(stream) -> "LoadReport":
+    fleet = PreforkServer(port=0, workers=PROCS, threads_per_worker=2,
+                          watch=False, rebuild_mode="inline", quiet=True,
+                          cache_enabled=False)
+    fleet.start()
+    try:
+        assert fleet.wait_ready(timeout_s=120.0), "fleet never became ready"
+        return run_load_http(fleet.base_url, stream, clients=CLIENTS,
+                             revalidate=False)
+    finally:
+        fleet.stop()
+
+
+def _check(report) -> None:
+    assert report.requests == REQUESTS
+    assert report.transport_errors == 0
+    assert report.unhandled_errors == 0
+    assert set(report.statuses) <= {200}
+
+
+@pytest.mark.benchmark(group="prefork-render")
+def test_thread_pool_render_throughput(benchmark):
+    """Baseline: the GIL-bound 4-thread pool under the render-heavy load."""
+    stream = _zipf_stream()
+    report = benchmark.pedantic(_measure_thread, args=(stream,),
+                                rounds=1, iterations=1)
+    if report is None:                      # --benchmark-disable path
+        report = _measure_thread(stream)
+    _check(report)
+    print()
+    print(f"thread[{PROCS}] {report.requests_per_s:.1f} req/s, "
+          f"p99 {report.latency_percentile_ms(99):.1f}ms "
+          f"@ {CLIENTS} clients")
+
+
+@pytest.mark.benchmark(group="prefork-render")
+@pytest.mark.skipif(os.cpu_count() < 2, reason="needs a multicore host")
+def test_prefork_fleet_beats_thread_pool(benchmark):
+    """The acceptance bar: >=2x cpu-gated throughput over thread mode."""
+    stream = _zipf_stream()
+    thread_report = _measure_thread(stream)
+    fleet_report = benchmark.pedantic(_measure_prefork, args=(stream,),
+                                      rounds=1, iterations=1)
+    if fleet_report is None:                # --benchmark-disable path
+        fleet_report = _measure_prefork(stream)
+    _check(thread_report)
+    _check(fleet_report)
+    speedup = fleet_report.requests_per_s / thread_report.requests_per_s
+    print()
+    print(f"thread[{PROCS}] {thread_report.requests_per_s:.1f} req/s "
+          f"(p99 {thread_report.latency_percentile_ms(99):.1f}ms)  vs  "
+          f"prefork[{PROCS}] {fleet_report.requests_per_s:.1f} req/s "
+          f"(p99 {fleet_report.latency_percentile_ms(99):.1f}ms) "
+          f"-> speedup {speedup:.2f}x @ {CLIENTS} clients")
+    if (os.cpu_count() or 1) >= PROCS:
+        assert speedup >= 2.0, (
+            f"{PROCS}-process fleet only {speedup:.2f}x over the thread pool")

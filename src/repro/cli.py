@@ -13,6 +13,7 @@ Subcommands::
                                              # batch parameter sweep + compare
     pdcunplugged list                        # list corpus activities + sims
     pdcunplugged serve [--port P] [--workers N] [--cache-dir D]
+                       [--worker-model thread|process]
                        [--request-timeout-ms B] [--fault-spec SPEC]
                        [--sweep-workers N] [--sweep-max-jobs J]
                                              # live site + JSON API server
@@ -107,7 +108,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--content-dir", default=None,
                        help="content directory (default: the packaged corpus)")
     serve.add_argument("--workers", type=int, default=1,
-                       help="service connections on a pool of N threads")
+                       help="service connections on a pool of N threads "
+                            "(thread model) or N forked worker processes "
+                            "(process model)")
+    serve.add_argument("--worker-model", choices=["thread", "process"],
+                       default="thread",
+                       help="'thread' (default) shares one process; "
+                            "'process' pre-forks --workers processes that "
+                            "accept on a shared socket — multi-core "
+                            "rendering, crash isolation, per-process caches")
+    serve.add_argument("--threads-per-worker", type=int, default=2,
+                       help="threads inside each forked worker "
+                            "(process model only)")
     serve.add_argument("--cache-size", type=int, default=512,
                        help="page-cache capacity in entries")
     serve.add_argument("--cache-shards", type=int, default=8,
@@ -342,6 +354,8 @@ def main(argv: list[str] | None = None) -> int:
             host=args.host,
             port=args.port,
             workers=args.workers,
+            worker_model=args.worker_model,
+            threads_per_worker=args.threads_per_worker,
             content_dir=args.content_dir,
             cache_size=args.cache_size,
             cache_shards=args.cache_shards,

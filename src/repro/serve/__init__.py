@@ -12,6 +12,10 @@ form the paper's artifact (pdcunplugged.org) actually takes:
   instead of re-rendering; every load path tolerates corruption.
 * :mod:`repro.serve.workers` — bounded worker pool + pooled WSGI server
   (the ``--workers N`` mode); a bounded queue sheds with a raw 503.
+* :mod:`repro.serve.prefork` — the ``--worker-model process`` mode: a
+  supervisor binds once and forks N accepting worker processes, with
+  cross-process metrics merging, generation coordination over a board +
+  control sockets, and crash respawn with backoff.
 * :mod:`repro.serve.rebuild` — content watching and incremental
   generation swaps (only dirty URLs are evicted / re-rendered; the
   search index is patched, not rebuilt); the background rebuild thread.
@@ -52,8 +56,19 @@ from repro.serve.loadgen import (
     run_load_concurrent,
     run_load_http,
 )
-from repro.serve.metrics import LatencyHistogram, MetricsRegistry, RouteStats
+from repro.serve.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    RouteStats,
+    merge_exports,
+)
 from repro.serve.persist import CacheStore
+from repro.serve.prefork import (
+    FleetLinks,
+    GenerationBoard,
+    PreforkServer,
+    run_prefork,
+)
 from repro.serve.rebuild import (
     BackgroundRebuilder,
     RebuildManager,
@@ -78,6 +93,8 @@ __all__ = [
     "DeadlineExceeded",
     "FaultPlan",
     "FaultRule",
+    "FleetLinks",
+    "GenerationBoard",
     "InjectedFault",
     "LatencyHistogram",
     "LoadGenerator",
@@ -88,6 +105,7 @@ __all__ = [
     "PageCache",
     "PoolSaturated",
     "PooledWSGIServer",
+    "PreforkServer",
     "RebuildManager",
     "RebuildResult",
     "Response",
@@ -104,9 +122,11 @@ __all__ = [
     "create_server",
     "is_transient",
     "make_etag",
+    "merge_exports",
     "parse_fault_spec",
     "run",
     "run_load",
+    "run_prefork",
     "run_load_concurrent",
     "run_load_http",
 ]

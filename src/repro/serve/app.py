@@ -157,6 +157,10 @@ class ServeApp:
         self.sweeps = sweeps
         self.warm_loaded = 0
         self.worker_pool: WorkerPool | None = None
+        # Set by the pre-fork worker bootstrap: this app's view of its
+        # process fleet.  Presence switches /api/metrics and /readyz
+        # into fleet-wide mode (merged registries, all-workers-warm).
+        self.fleet = None
         self._clock = clock
         # /api/lint report cache: (corpus signature, rendered payload).
         # Guarded by _lint_lock; the lint run itself happens outside it.
@@ -325,6 +329,11 @@ class ServeApp:
         if self.cache is not None:
             self.cache.invalidate(result.dirty_urls)
             self.cache.invalidate(_CACHEABLE_API)
+        if self.fleet is not None:
+            # Publish the new generation to the board and poke peers so
+            # every process in the fleet swaps without a restart.
+            self.fleet.publish_generation(
+                result.generation or self.state.corpus_signature)
 
     # -- routing -----------------------------------------------------------
 
@@ -347,9 +356,13 @@ class ServeApp:
                             headers=[("Location", path + "/")])
         return Response.error(404, f"no page at {path!r}", route="<unmatched>")
 
-    def _readyz(self) -> Response:
-        """Readiness: catalog loaded and the rebuild breaker not open."""
-        route = "/readyz"
+    def local_readiness(self) -> dict:
+        """This process's readiness: catalog loaded, breaker not open.
+
+        Also the payload a worker's control socket answers for ``ready``
+        queries — it must stay strictly local (no fleet fan-out), or two
+        workers asking each other would recurse forever.
+        """
         breaker = self.background.breaker if self.background is not None else None
         payload = {
             "catalog_loaded": len(self.state.catalog) > 0,
@@ -359,9 +372,20 @@ class ServeApp:
             "shed_rate": (round(self.shedder.shed_rate(), 4)
                           if self.shedder is not None else 0.0),
         }
-        ready = payload["catalog_loaded"] and (
+        payload["ready"] = payload["catalog_loaded"] and (
             breaker is None or breaker.state != OPEN)
-        payload["ready"] = ready
+        return payload
+
+    def _readyz(self) -> Response:
+        """Readiness; in a process fleet, false until *all* workers warm."""
+        route = "/readyz"
+        payload = self.local_readiness()
+        ready = payload["ready"]
+        if self.fleet is not None:
+            fleet_ready, fleet_info = self.fleet.fleet_status(ready)
+            payload["fleet"] = fleet_info
+            ready = ready and fleet_ready
+            payload["ready"] = ready
         if ready:
             return Response.json(payload, route=route)
         response = Response.json(payload, status=503, route=route)
@@ -678,7 +702,35 @@ class ServeApp:
         accepted["spec"] = spec.canonical()
         return Response.json(accepted, status=202, route=route)
 
-    def _api_metrics(self) -> Response:
+    def metrics_extras(self) -> dict:
+        """Per-process sections riding alongside the mergeable export.
+
+        In a process fleet, these appear under each worker's entry in
+        ``fleet.per_worker`` — page caches, pools, and resilience state
+        are genuinely per process and must not be summed.
+        """
+        cache_stats = (self.cache.stats() if self.cache is not None
+                       else {"enabled": False})
+        cache_stats.pop("shards", None)     # per-shard detail is too chatty
+        # for an N-worker breakdown; the local payload still carries it
+        extras = {
+            "generation": self.state.corpus_signature,
+            "stale": self._currently_stale(),
+            "page_cache": cache_stats,
+            "pool": (self.worker_pool.stats() if self.worker_pool is not None
+                     else {"workers": 1, "pooled": False}),
+        }
+        if self.cache is not None:
+            extras["page_cache"]["warm_loaded"] = self.warm_loaded
+        if self.rebuilder.last_error:
+            extras["rebuild_last_error"] = self.rebuilder.last_error
+        if self.background is not None:
+            extras["rebuild_thread"] = self.background.stats()
+        if self.sweeps is not None:
+            extras["sweeps"] = self.sweeps.stats()
+        return extras
+
+    def _local_metrics_payload(self) -> dict:
         payload = self.metrics.snapshot()
         payload["page_cache"] = (
             self.cache.stats() if self.cache is not None else {"enabled": False}
@@ -703,7 +755,18 @@ class ServeApp:
             resilience["persist"] = self.store.stats()
         if self.sweeps is not None:
             payload["sweeps"] = self.sweeps.stats()
-        return Response.json(payload, route="/api/metrics")
+        return payload
+
+    def _api_metrics(self) -> Response:
+        if self.fleet is not None:
+            # Fleet-wide view: merge every worker's raw export (bucket
+            # counts, not percentiles) so the reported percentiles come
+            # from the union of all observations, with a per-worker
+            # breakdown for the genuinely per-process state.
+            return Response.json(self.fleet.metrics_payload(self),
+                                 route="/api/metrics")
+        return Response.json(self._local_metrics_payload(),
+                             route="/api/metrics")
 
     def _api_lint(self) -> Response:
         """Static-analysis report for the served corpus.
@@ -873,13 +936,29 @@ def create_server(host: str = "127.0.0.1", port: int = 8000,
 
 
 def run(host: str = "127.0.0.1", port: int = 8000, workers: int = 1,
-        queue_limit: int | None = None, **app_kwargs) -> int:
+        queue_limit: int | None = None, worker_model: str = "thread",
+        threads_per_worker: int = 2, **app_kwargs) -> int:
     """Blocking entry point used by ``pdcunplugged serve``.
 
     The CLI path defaults to the background rebuild pipeline: requests
     never pay for a catalog re-scan, and rebuild failures degrade to
     stale serving behind the circuit breaker instead of surfacing.
+
+    ``worker_model="process"`` switches to the pre-fork supervisor:
+    ``workers`` becomes the process count (each with its own
+    ``threads_per_worker``-thread pool), and the GIL stops being the
+    throughput ceiling.
     """
+    if worker_model == "process":
+        from repro.serve.prefork import run_prefork
+
+        return run_prefork(host=host, port=port, workers=max(1, workers),
+                           queue_limit=queue_limit,
+                           threads_per_worker=threads_per_worker,
+                           **app_kwargs)
+    if worker_model != "thread":
+        raise ValueError(f"unknown worker_model {worker_model!r} "
+                         f"(expected 'thread' or 'process')")
     app_kwargs.setdefault("rebuild_mode", "background")
     server, app = create_server(host, port, workers=workers,
                                 queue_limit=queue_limit, **app_kwargs)

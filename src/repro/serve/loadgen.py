@@ -240,6 +240,7 @@ class LoadReport:
     sweeps_accepted: int = 0             # 202 Accepted responses
     shed: int = 0                        # 503/429 (shed / degraded / deadline)
     stale_hits: int = 0                  # responses carrying X-Stale
+    transport_errors: int = 0            # connection refused/reset (HTTP runner)
     bytes_received: int = 0
     duration_s: float = 0.0
     clients: int = 1
@@ -293,6 +294,7 @@ class LoadReport:
         self.sweeps_accepted += other.sweeps_accepted
         self.shed += other.shed
         self.stale_hits += other.stale_hits
+        self.transport_errors += other.transport_errors
         self.bytes_received += other.bytes_received
         self.latencies_s.extend(other.latencies_s)
 
@@ -393,6 +395,11 @@ def run_load_http(base_url: str, paths, clients: int = 1,
     ``base_url`` is ``http://host:port``; each client thread opens its own
     connections, so against a multi-worker server the requests are
     genuinely concurrent on the wire.
+
+    Transport failures (connection refused or reset — e.g. a pre-fork
+    worker killed mid-request during a chaos drill) are *counted* in
+    ``transport_errors`` and the run continues; they never abort a client
+    thread or masquerade as server 5xx.
     """
     if clients < 1:
         raise ValueError("clients must be >= 1")
@@ -423,6 +430,10 @@ def run_load_http(base_url: str, paths, clients: int = 1,
                 etag = response.getheader("ETag")
                 cache_status = response.getheader("X-Cache")
                 stale = response.getheader("X-Stale") is not None
+            except (OSError, http.client.HTTPException):
+                report.requests += 1
+                report.transport_errors += 1
+                continue
             finally:
                 conn.close()
             report.latencies_s.append(clock() - issued)

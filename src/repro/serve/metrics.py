@@ -16,6 +16,14 @@ The histogram is the classic Prometheus-style cumulative-bucket design:
 log-spaced upper bounds, percentiles estimated by linear interpolation
 inside the bucket that crosses the requested rank.  Exact values are
 intentionally not retained (bounded memory under sustained load).
+
+Cross-process aggregation (the pre-fork serving mode): every piece of
+state is *mergeable*.  :meth:`MetricsRegistry.export` emits a raw,
+JSON-safe dump — bucket counts, not percentiles — that crosses a process
+boundary losslessly, and :func:`merge_exports` folds any number of those
+dumps back into one registry, so fleet-wide percentiles are computed from
+the merged histograms rather than averaging per-worker percentiles
+(which would be wrong).
 """
 
 from __future__ import annotations
@@ -25,7 +33,8 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["LatencyHistogram", "RouteStats", "MetricsRegistry", "DEFAULT_BUCKETS_S"]
+__all__ = ["LatencyHistogram", "RouteStats", "MetricsRegistry",
+           "DEFAULT_BUCKETS_S", "merge_exports"]
 
 #: Log-spaced latency bucket upper bounds, in seconds (100 µs .. 10 s).
 DEFAULT_BUCKETS_S: tuple[float, ...] = (
@@ -99,6 +108,51 @@ class LatencyHistogram:
             "p999_ms": round(self.percentile(99.9) * 1e3, 4),
         }
 
+    def export(self) -> dict:
+        """Raw, mergeable dump (bucket counts, not percentiles)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum_s": self.sum_s,
+            "min_s": self.min_s if self.count else None,
+            "max_s": self.max_s,
+        }
+
+    def merge_export(self, export: dict) -> None:
+        """Fold another histogram's raw export into this one.
+
+        Exports with different bucket bounds cannot be merged bucket-wise;
+        their observations are folded through :meth:`observe` at each
+        bucket's upper bound (a conservative approximation) so a
+        mixed-version fleet still aggregates instead of crashing.
+        """
+        count = int(export.get("count", 0))
+        if not count:
+            return
+        bounds = tuple(export.get("bounds", ()))
+        counts = list(export.get("counts", ()))
+        if bounds == self.bounds and len(counts) == len(self.counts):
+            for i, n in enumerate(counts):
+                self.counts[i] += int(n)
+        else:
+            for bound, n in zip(bounds, counts):
+                self.counts[self._bucket_index(float(bound))] += int(n)
+            if len(counts) > len(bounds):       # the overflow bucket
+                self.counts[-1] += int(counts[len(bounds)])
+        self.count += count
+        self.sum_s += float(export.get("sum_s", 0.0))
+        min_s = export.get("min_s")
+        if min_s is not None:
+            self.min_s = min(self.min_s, float(min_s))
+        self.max_s = max(self.max_s, float(export.get("max_s", 0.0)))
+
+    def _bucket_index(self, seconds: float) -> int:
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                return i
+        return len(self.bounds)
+
 
 @dataclass
 class RouteStats:
@@ -131,6 +185,24 @@ class RouteStats:
                 "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
                 "latency": self.latency.snapshot(),
             }
+
+    def export(self) -> dict:
+        """Raw, mergeable dump of this route's counters."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "errors": self.errors,
+                "statuses": {str(k): v for k, v in self.statuses.items()},
+                "latency": self.latency.export(),
+            }
+
+    def merge_export(self, export: dict) -> None:
+        with self._lock:
+            self.requests += int(export.get("requests", 0))
+            self.errors += int(export.get("errors", 0))
+            for status, n in export.get("statuses", {}).items():
+                self.statuses[int(status)] += int(n)
+            self.latency.merge_export(export.get("latency", {}))
 
 
 class MetricsRegistry:
@@ -203,6 +275,48 @@ class MetricsRegistry:
         with self._lock:
             return self._routes.setdefault(pattern, RouteStats())
 
+    #: Scalar counters every export carries (and merging sums).
+    _EXPORT_COUNTERS = ("cache_hits", "cache_misses", "not_modified",
+                        "rebuilds", "rebuild_pages", "shed",
+                        "deadline_expired", "stale_served", "degraded")
+
+    def export(self) -> dict:
+        """Raw, JSON-safe, *mergeable* dump of every counter.
+
+        This is what crosses the process boundary in pre-fork mode: the
+        parent (or a peer worker) folds any number of these back into one
+        registry with :func:`merge_exports`, and percentiles come out of
+        the merged bucket counts — statistically correct, unlike any
+        combination of per-worker percentiles.
+        """
+        with self._lock:
+            routes = dict(self._routes)
+            counters = {name: getattr(self, name)
+                        for name in self._EXPORT_COUNTERS}
+            started_at = self.started_at
+        return {
+            "routes": {pattern: stats.export()
+                       for pattern, stats in routes.items()},
+            "counters": counters,
+            "started_at": started_at,
+        }
+
+    def merge_export(self, export: dict) -> None:
+        """Fold one raw :meth:`export` dump into this registry."""
+        with self._lock:
+            for name, value in export.get("counters", {}).items():
+                if name in self._EXPORT_COUNTERS:
+                    setattr(self, name, getattr(self, name) + int(value))
+            started_at = export.get("started_at")
+            if started_at is not None:
+                self.started_at = min(self.started_at, float(started_at))
+            stats_by_pattern = {
+                pattern: self._routes.setdefault(pattern, RouteStats())
+                for pattern in export.get("routes", {})
+            }
+        for pattern, route_export in export.get("routes", {}).items():
+            stats_by_pattern[pattern].merge_export(route_export)
+
     def snapshot(self) -> dict:
         """JSON-ready view of every counter (the ``/api/metrics`` body)."""
         with self._lock:
@@ -242,3 +356,17 @@ class MetricsRegistry:
                 "degraded": degraded,
             },
         }
+
+
+def merge_exports(exports, clock=time.time) -> "MetricsRegistry":
+    """Fold raw :meth:`MetricsRegistry.export` dumps into one registry.
+
+    The fleet-wide ``/api/metrics`` view in pre-fork mode: per-worker
+    bucket counts sum, so percentiles of the result are percentiles of
+    the union of all observations (to bucket resolution).
+    """
+    merged = MetricsRegistry(clock=clock)
+    for export in exports:
+        if export:
+            merged.merge_export(export)
+    return merged

@@ -148,8 +148,18 @@ class CacheStore:
         self._persist_bytes(self.index_path, body)
 
     def _collect_garbage(self, index: dict) -> int:
-        """Delete blobs no live index entry references."""
+        """Delete blobs no live index entry references.
+
+        The cache directory may be shared by a pre-fork worker fleet, so
+        besides the index this process just wrote, the index currently on
+        disk (possibly a peer's, written a moment later) is honored too —
+        GC must never delete a blob a concurrent spill still references.
+        A blob both miss is only a cold render on the next warm start.
+        """
         referenced = {meta["blob"] for meta in index.values()}
+        for meta in self.load_index().values():
+            if isinstance(meta, dict) and meta.get("blob"):
+                referenced.add(str(meta["blob"]))
         removed = 0
         for blob_path in self.blob_dir.glob("*.body"):
             if blob_path.name not in referenced:

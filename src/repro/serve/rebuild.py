@@ -113,6 +113,10 @@ class RebuildResult:
     search_patched: int = 0                # documents re-tokenized (not 38)
     duration_s: float = 0.0
     error: str | None = None
+    #: Corpus signature of the generation this rebuild swapped in — what
+    #: cross-process coordination publishes, captured at swap time so a
+    #: later swap racing the publish cannot misreport it.
+    generation: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -216,6 +220,7 @@ class RebuildManager:
         new_state.site.seed_signatures(self.state.site.built_signatures)
         self.state = new_state
         self.last_error = None
+        result.generation = new_state.corpus_signature
         result.duration_s = self._clock() - started
         return result
 

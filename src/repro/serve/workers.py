@@ -57,6 +57,7 @@ class WorkerPool:
         self._errors = 0
         self._busy = 0
         self._shed = 0
+        self._abandoned = 0
         self._closed = False
         self._threads = [
             threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
@@ -101,7 +102,12 @@ class WorkerPool:
                     self._completed += 1
 
     def drain(self, timeout_s: float = 5.0) -> bool:
-        """Block until every submitted task completed (best effort)."""
+        """Block until every submitted task completed, or the deadline.
+
+        Returns ``True`` when the queue fully drained.  An abandoned
+        drain (deadline hit with work still in flight) is counted in
+        :meth:`stats` as ``abandoned`` — the graceful-shutdown metric.
+        """
         deadline = threading.Event()
         waited = 0.0
         step = 0.005
@@ -111,7 +117,14 @@ class WorkerPool:
                     return True
             deadline.wait(step)
             waited += step
+        with self._lock:
+            self._abandoned += max(0, self._submitted - self._completed)
         return False
+
+    def pending(self) -> int:
+        """Tasks submitted but not yet completed (queued + in flight)."""
+        with self._lock:
+            return max(0, self._submitted - self._completed)
 
     def shutdown(self, wait: bool = True, timeout_s: float = 5.0) -> None:
         """Stop accepting work and (optionally) wait for workers to exit."""
@@ -141,6 +154,7 @@ class WorkerPool:
                 "busy": self._busy,
                 "queued": max(0, self._submitted - self._completed - self._busy),
                 "shed": self._shed,
+                "abandoned": self._abandoned,
                 "max_queue": self.max_queue,
             }
 
@@ -151,6 +165,16 @@ class PooledWSGIServer(WSGIServer):
     The accept loop never blocks on request handling: each accepted
     connection is enqueued and some worker finishes it, mirroring
     ``socketserver.ThreadingMixIn`` but with bounded, reusable threads.
+
+    Shutdown is graceful: :meth:`server_close` first stops accepting,
+    then *drains* in-flight and queued requests up to ``drain_timeout_s``
+    before tearing the pool down, so a close under load finishes the
+    work it already accepted instead of abandoning it mid-response.
+
+    ``listen_socket`` adopts an externally bound (and already listening)
+    socket instead of binding a new one — the pre-fork mode, where the
+    parent binds once and every worker process accepts on the shared
+    socket.
     """
 
     #: Deeper accept backlog than the stock 5 — bursts queue in the kernel
@@ -164,9 +188,25 @@ class PooledWSGIServer(WSGIServer):
                       b"Content-Length: 0\r\n"
                       b"Connection: close\r\n\r\n")
 
-    def __init__(self, server_address, handler_class, pool: WorkerPool):
+    def __init__(self, server_address, handler_class, pool: WorkerPool,
+                 drain_timeout_s: float = 5.0, listen_socket=None):
         self.pool = pool
-        super().__init__(server_address, handler_class)
+        self.drain_timeout_s = drain_timeout_s
+        self.drained_clean = True
+        if listen_socket is None:
+            super().__init__(server_address, handler_class)
+            return
+        # Adopt a shared, pre-bound socket: skip bind/listen entirely and
+        # replicate what server_bind would have derived from it.
+        super().__init__(server_address, handler_class,
+                         bind_and_activate=False)
+        self.socket.close()                  # the unused one we created
+        self.socket = listen_socket
+        host, port = listen_socket.getsockname()[:2]
+        self.server_address = (host, port)
+        self.server_name = host
+        self.server_port = port
+        self.setup_environ()
 
     def process_request(self, request, client_address) -> None:
         try:
@@ -192,5 +232,10 @@ class PooledWSGIServer(WSGIServer):
             self.shutdown_request(request)
 
     def server_close(self) -> None:
+        # Order matters: stop accepting first (close the listener), then
+        # drain what was already accepted with a bounded deadline, and
+        # only then tear the pool down.  The old behaviour shut the pool
+        # down immediately, abandoning in-flight requests on close.
         super().server_close()
+        self.drained_clean = self.pool.drain(self.drain_timeout_s)
         self.pool.shutdown(wait=True, timeout_s=2.0)

@@ -184,6 +184,7 @@ class SweepManager:
         faults=None,
         retry: RetryPolicy | None = None,
         clock=time.monotonic,
+        pool_idle_timeout_s: float | None = 30.0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -206,11 +207,14 @@ class SweepManager:
         self._next_id = 0
         self._pool = None
         self._closed = False
+        self.pool_idle_timeout_s = pool_idle_timeout_s
+        self._idle_timer: threading.Timer | None = None
         self._counters = {
             "jobs_submitted": 0, "jobs_rejected": 0, "jobs_completed": 0,
             "jobs_failed": 0, "jobs_cancelled": 0, "jobs_deadline": 0,
             "points_executed": 0, "points_cached": 0, "points_failed": 0,
             "points_skipped": 0,
+            "pool_cold_starts": 0, "pool_reuses": 0, "pool_idle_teardowns": 0,
         }
 
     # -- admission ---------------------------------------------------------
@@ -252,6 +256,8 @@ class SweepManager:
         except Exception as exc:  # noqa: BLE001 - coordinator safety net
             self._count("jobs_failed")
             job._finish(FAILED, error=f"{type(exc).__name__}: {exc}")
+        finally:
+            self._maybe_schedule_idle_teardown()
 
     def _execute(self, job: SweepJob) -> None:
         deadline = None
@@ -395,13 +401,56 @@ class SweepManager:
     # -- pool lifecycle ----------------------------------------------------
 
     def _ensure_pool(self):
+        """The shared pool: one cold start, reused across jobs.
+
+        The pool is created lazily on the first job that needs it and
+        *kept* for subsequent jobs (``pool_reuses`` counts the wins), so
+        a steady stream of sweeps pays the process fork cost once.  An
+        idle timer (:attr:`pool_idle_timeout_s`) tears it down once no
+        job has needed it for a while — a quiet server holds no idle
+        worker processes.
+        """
         with self._lock:
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+                self._idle_timer = None
             if self._pool is None and not self._closed:
                 import multiprocessing
 
                 self._pool = multiprocessing.get_context().Pool(
                     processes=self.workers)
+                self._counters["pool_cold_starts"] += 1
+            elif self._pool is not None:
+                self._counters["pool_reuses"] += 1
             return self._pool
+
+    def _maybe_schedule_idle_teardown(self) -> None:
+        """Arm the idle timer when a job ends and the plane goes quiet."""
+        if self.pool_idle_timeout_s is None:
+            return
+        with self._lock:
+            if self._pool is None or self._closed:
+                return
+            if any(not job.finished for job in self._jobs.values()):
+                return
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+            self._idle_timer = threading.Timer(self.pool_idle_timeout_s,
+                                               self._idle_teardown)
+            self._idle_timer.daemon = True
+            self._idle_timer.start()
+
+    def _idle_teardown(self) -> None:
+        with self._lock:
+            self._idle_timer = None
+            if self._closed or self._pool is None:
+                return
+            if any(not job.finished for job in self._jobs.values()):
+                return          # a job slipped in since the timer was armed
+            pool, self._pool = self._pool, None
+            self._counters["pool_idle_teardowns"] += 1
+        pool.terminate()
+        pool.join()
 
     def close(self, timeout_s: float = 5.0) -> None:
         """Cancel outstanding jobs, join coordinators, tear down the pool."""
@@ -410,6 +459,9 @@ class SweepManager:
             jobs = list(self._jobs.values())
             threads = list(self._threads.values())
             pool, self._pool = self._pool, None
+            if self._idle_timer is not None:
+                self._idle_timer.cancel()
+                self._idle_timer = None
         for job in jobs:
             job.cancel()
         for thread in threads:
@@ -432,6 +484,8 @@ class SweepManager:
             out["max_active_jobs"] = self.max_active_jobs
             out["workers"] = self.workers
             out["memo_entries"] = len(self._memo)
+            out["pool_active"] = self._pool is not None
+            out["pool_idle_timeout_s"] = self.pool_idle_timeout_s
         if self.store is not None:
             out["store"] = self.store.stats()
         return out

@@ -773,3 +773,63 @@ class TestChaosAcceptance:
             assert report.latency_percentile_ms(99) < 250.0
         finally:
             app.close()
+
+
+class TestChaosAcceptanceLive:
+    """The same chaos bar over real sockets, for both worker models.
+
+    The pre-fork acceptance criterion: the chaos suite passes *unchanged*
+    with ``--worker-model process`` — injected rebuild faults plus a
+    concurrent edit loop must never surface an unhandled 5xx, in either
+    topology.
+    """
+
+    @pytest.mark.parametrize("worker_model", ["thread", "process"])
+    def test_chaos_over_http_zero_unhandled_errors(self, worker_model,
+                                                   content, tmp_path):
+        from repro.serve import create_app as make_app, create_server
+        from repro.serve.loadgen import run_load_http
+        from repro.serve.prefork import PreforkServer
+
+        probe = make_app(content_dir=content, watch=False)
+        urls = [t.url for t in probe.state.plan[:12]] + ["/api/activities"]
+        probe.close()
+
+        kwargs = dict(content_dir=str(content),
+                      cache_dir=str(tmp_path / "cache"),
+                      watch=True, watch_interval_s=0.05,
+                      rebuild_mode="background", debounce_s=0.0,
+                      breaker_threshold=2, breaker_reset_s=0.05,
+                      fault_spec="rebuild:error@0.3", fault_seed=13)
+        if worker_model == "thread":
+            server, app = create_server(port=0, quiet=True, workers=2,
+                                        **kwargs)
+            thread = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            thread.start()
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+
+            def stop():
+                server.shutdown()
+                thread.join(timeout=5.0)
+                server.server_close()
+                app.close()
+        else:
+            fleet = PreforkServer(port=0, workers=2, quiet=True, **kwargs)
+            fleet.start()
+            assert fleet.wait_ready(timeout_s=60.0), "fleet never ready"
+            base = fleet.base_url
+            stop = fleet.stop
+        try:
+            report = run_load_http(base, urls, clients=2)
+            for round_no in range(4):
+                edit(content, suffix=f"\nLive chaos round {round_no}.\n")
+                time.sleep(0.1)        # let a watch poke land the rebuild
+                report.merge(run_load_http(base, urls * 3, clients=2))
+
+            assert report.unhandled_errors == 0
+            assert report.transport_errors == 0
+            assert set(report.statuses) <= {200, 304, 503}
+            assert report.requests == len(urls) * 13
+        finally:
+            stop()

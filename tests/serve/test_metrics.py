@@ -1,8 +1,16 @@
-"""Metrics tests: histogram percentiles, route counters, registry snapshot."""
+"""Metrics tests: histogram percentiles, route counters, registry snapshot,
+and the raw export/merge plane the pre-fork fleet aggregates through."""
 
 from __future__ import annotations
 
-from repro.serve.metrics import LatencyHistogram, MetricsRegistry, RouteStats
+import json
+
+from repro.serve.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    RouteStats,
+    merge_exports,
+)
 
 
 class TestLatencyHistogram:
@@ -148,3 +156,77 @@ class TestThreadSafety:
         snap = hist.snapshot()
         assert snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"] <= snap["p999_ms"]
         assert snap["p999_ms"] > snap["p99_ms"]
+
+
+class TestExportMerge:
+    """The cross-process plane: export is raw and mergeable, and merging
+    reconstructs the union — what pre-fork ``/api/metrics`` relies on."""
+
+    def test_export_is_json_safe_raw_counts(self):
+        reg = MetricsRegistry(clock=lambda: 50.0)
+        reg.record_request("/", 200, 0.002, cache_status="miss")
+        export = json.loads(json.dumps(reg.export()))   # crosses a boundary
+        assert export["started_at"] == 50.0
+        assert export["counters"]["cache_misses"] == 1
+        latency = export["routes"]["/"]["latency"]
+        assert latency["count"] == sum(latency["counts"]) == 1
+        assert latency["min_s"] == latency["max_s"] == 0.002
+
+    def test_merge_sums_counters_and_keeps_earliest_start(self):
+        a = MetricsRegistry(clock=lambda: 10.0)
+        b = MetricsRegistry(clock=lambda: 5.0)
+        a.record_request("/x", 200, 0.001, cache_status="hit")
+        b.record_request("/x", 200, 0.002, cache_status="hit")
+        b.record_shed()
+        b.record_stale_served()
+        merged = merge_exports([a.export(), b.export()], clock=lambda: 20.0)
+        snap = merged.snapshot()
+        assert snap["total_requests"] == 2
+        assert snap["cache"]["hits"] == 2
+        assert snap["resilience"]["shed"] == 1
+        assert snap["resilience"]["stale_served"] == 1
+        # Fleet uptime is measured from the oldest worker's start.
+        assert merged.started_at == 5.0
+        assert snap["uptime_s"] == 15.0
+
+    def test_route_stats_merge_preserves_statuses_and_errors(self):
+        a, b = RouteStats(), RouteStats()
+        a.record(200, 0.001)
+        b.record(404, 0.002)
+        b.record(500, 0.003)
+        a.merge_export(b.export())
+        snap = a.snapshot()
+        assert snap["requests"] == 3
+        assert snap["errors"] == 2
+        assert snap["statuses"] == {"200": 1, "404": 1, "500": 1}
+
+    def test_histogram_merge_identical_bounds_is_exact(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for ms in (1, 2, 3):
+            a.observe(ms / 1000.0)
+        for ms in (4, 5):
+            b.observe(ms / 1000.0)
+        a.merge_export(b.export())
+        assert a.count == 5
+        assert a.min_s == 0.001 and a.max_s == 0.005
+        assert abs(a.sum_s - 0.015) < 1e-9
+        assert sum(a.counts) == 5
+
+    def test_histogram_merge_mismatched_bounds_folds_not_crashes(self):
+        """A mixed-version fleet: observations fold through each bucket's
+        upper bound instead of being dropped or crashing the merge."""
+        coarse = LatencyHistogram(buckets_s=(0.01, 1.0))
+        coarse.observe(0.005)
+        coarse.observe(2.0)                     # coarse overflow bucket
+        fine = LatencyHistogram()               # default bounds
+        fine.merge_export(coarse.export())
+        assert fine.count == 2
+        assert fine.max_s == 2.0
+        assert fine.counts[-1] == 1             # overflow stays overflow
+        assert fine.percentile(99) == 2.0
+
+    def test_empty_export_merge_is_a_noop(self):
+        hist = LatencyHistogram()
+        hist.observe(0.001)
+        hist.merge_export(LatencyHistogram().export())
+        assert hist.count == 1

@@ -4,14 +4,23 @@
 Both paths flow through the same render plan, so any drift (divergent
 template context, stale signature logic, encoding differences) shows up
 here as a byte mismatch on a named URL.
+
+The live-server variant runs the same byte-identity check over real
+sockets against both worker models — ``thread`` (one process, pooled
+threads) and ``process`` (the pre-fork fleet) — so the acceptance bar
+"parity passes unchanged in pre-fork mode" is enforced here.
 """
 
 from __future__ import annotations
 
+import threading
+import urllib.request
+
 import pytest
 
-from repro.serve import create_app
+from repro.serve import create_app, create_server
 from repro.serve.loadgen import call_app
+from repro.serve.prefork import PreforkServer
 
 
 @pytest.fixture(scope="module")
@@ -73,3 +82,41 @@ class TestParity:
             served = call_app(warm, task.url)
             assert served.headers.get("X-Cache") == "hit", task.url
             assert served.body == (out / task.rel_path).read_bytes()
+
+
+@pytest.fixture(scope="module", params=["thread", "process"])
+def live_server(request, app):
+    """A live HTTP server over the packaged corpus, one per worker model."""
+    if request.param == "thread":
+        server, _ = create_server(port=0, app=app, quiet=True, workers=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        yield request.param, base
+        server.shutdown()
+        thread.join(timeout=5.0)
+        server.server_close()
+    else:
+        fleet = PreforkServer(port=0, workers=2, watch=False,
+                              rebuild_mode="inline", quiet=True)
+        fleet.start()
+        assert fleet.wait_ready(timeout_s=60.0), "fleet never became ready"
+        yield request.param, fleet.base_url
+        fleet.stop()
+
+
+class TestLiveParity:
+    """The acceptance bar: parity holds unchanged over both worker models."""
+
+    def test_served_bytes_match_export_over_http(self, live_server, app,
+                                                 built_site):
+        out, _ = built_site
+        model, base = live_server
+        mismatched = []
+        for task in app.state.plan:
+            with urllib.request.urlopen(base + task.url, timeout=30.0) as resp:
+                assert resp.status == 200, (model, task.url)
+                body = resp.read()
+            if body != (out / task.rel_path).read_bytes():
+                mismatched.append(task.url)
+        assert mismatched == [], model

@@ -160,6 +160,44 @@ class TestConcurrentServing:
         assert hit_ratio > 0.5
 
 
+class TestGracefulDrain:
+    """The shutdown path: server_close finishes accepted work first."""
+
+    def test_drain_empty_pool_is_immediate_and_clean(self):
+        with WorkerPool(2) as pool:
+            assert pool.drain(timeout_s=0.1) is True
+            assert pool.stats()["abandoned"] == 0
+
+    def test_drain_deadline_counts_abandoned_work(self):
+        gate = threading.Event()
+        with WorkerPool(1) as pool:
+            pool.submit(gate.wait, 10.0)        # blocks the only worker
+            pool.submit(lambda: None)           # queued behind it
+            assert pool.pending() == 2
+            assert pool.drain(timeout_s=0.05) is False
+            assert pool.stats()["abandoned"] == 2
+            gate.set()
+            assert pool.drain(timeout_s=5.0) is True
+            assert pool.pending() == 0
+            # abandoned records what the deadline gave up on, not the
+            # current backlog: it does not un-count when work finishes.
+            assert pool.stats()["abandoned"] == 2
+
+    def test_server_close_reports_clean_drain(self):
+        server, _ = create_server(port=0, quiet=True, watch=False, workers=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        with urllib.request.urlopen(base + "/healthz") as response:
+            assert response.status == 200
+        server.shutdown()
+        thread.join(timeout=5)
+        server.server_close()
+        assert server.drained_clean is True
+        with pytest.raises(RuntimeError):       # the pool is torn down too
+            server.pool.submit(lambda: None)
+
+
 class TestSingleWorkerUnchanged:
     def test_default_server_has_no_pool(self):
         server, app = create_server(port=0, quiet=True, watch=False)

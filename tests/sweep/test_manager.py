@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.serve.faults import parse_fault_spec
@@ -197,6 +199,50 @@ class TestObservability:
             assert manager.stats()["memo_entries"] == 2
         finally:
             manager.close()
+
+
+class TestPoolLifecycle:
+    """The shared process pool: one cold start amortized across jobs,
+    idle-timeout teardown when the batch plane goes quiet."""
+
+    def test_pool_cold_starts_once_and_is_reused(self):
+        manager = SweepManager(store=None, workers=2,
+                               pool_idle_timeout_s=None)
+        try:
+            run(manager, spec(sizes=(4,), seeds=(0,)))
+            run(manager, spec(sizes=(4,), seeds=(1,)))
+            stats = manager.stats()
+            assert stats["pool_cold_starts"] == 1
+            assert stats["pool_reuses"] >= 1
+            assert stats["pool_active"] is True
+            assert stats["pool_idle_teardowns"] == 0
+        finally:
+            manager.close()
+
+    def test_idle_timeout_tears_the_pool_down(self):
+        manager = SweepManager(store=None, workers=2,
+                               pool_idle_timeout_s=0.05)
+        try:
+            run(manager, spec(sizes=(4,), seeds=(0,)))
+            deadline = time.monotonic() + 10.0
+            while manager.stats()["pool_active"]:
+                assert time.monotonic() < deadline, \
+                    "idle pool never torn down"
+                time.sleep(0.01)
+            stats = manager.stats()
+            assert stats["pool_idle_teardowns"] == 1
+            # The next job pays a fresh cold start — teardown is real.
+            run(manager, spec(sizes=(6,), seeds=(0,)))
+            assert manager.stats()["pool_cold_starts"] == 2
+        finally:
+            manager.close()
+
+    def test_inline_mode_never_starts_a_pool(self, manager):
+        run(manager, spec(sizes=(4,), seeds=(0,)))
+        stats = manager.stats()
+        assert stats["pool_cold_starts"] == 0
+        assert stats["pool_active"] is False
+        assert stats["pool_idle_timeout_s"] == 30.0
 
 
 @pytest.mark.skipif(__import__("os").cpu_count() < 2,
