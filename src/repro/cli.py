@@ -207,6 +207,10 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--write-baseline", action="store_true",
                       help="regenerate --baseline from the current findings "
                            "and exit 0")
+    lint.add_argument("--changed", default=None, metavar="GIT_REF",
+                      help="analyze only files changed vs GIT_REF (plus "
+                           "their cross-class dependents); unchanged files "
+                           "come from cache or are skipped")
     return parser
 
 
@@ -463,6 +467,34 @@ def _run_sweep(args) -> int:
                  and progress["failed"] == 0) else 1
 
 
+def _git_changed_files(ref: str) -> frozenset | None:
+    """Resolved paths changed vs ``ref`` (tracked diff + untracked files).
+
+    Returns ``None`` — the caller exits 2 — when git is unavailable, the
+    working directory is not a repository, or the ref does not resolve:
+    a silently-empty changed set would report "clean" without looking.
+    """
+    import subprocess
+    from pathlib import Path
+
+    def run(*argv: str) -> str:
+        return subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=True,
+        ).stdout
+
+    try:
+        top = Path(run("rev-parse", "--show-toplevel").strip())
+        diff = run("diff", "--name-only", ref, "--")
+        untracked = run("ls-files", "--others", "--exclude-standard")
+    except (OSError, subprocess.CalledProcessError) as exc:
+        stderr = getattr(exc, "stderr", "") or ""
+        print(f"--changed {ref}: git failed: "
+              f"{stderr.strip() or exc}", file=sys.stderr)
+        return None
+    names = [line for line in (diff + untracked).splitlines() if line]
+    return frozenset(str((top / name).resolve()) for name in names)
+
+
 def _run_lint(args) -> int:
     """``pdcunplugged lint``: exit 0 clean, 1 findings, 2 usage error."""
     from pathlib import Path
@@ -498,6 +530,11 @@ def _run_lint(args) -> int:
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    changed_only: frozenset | None = None
+    if args.changed is not None:
+        changed_only = _git_changed_files(args.changed)
+        if changed_only is None:
+            return 2
     config = LintConfig(
         content_dir=Path(args.content_dir) if args.content_dir
         else corpus_dir(),
@@ -509,6 +546,7 @@ def _run_lint(args) -> int:
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         baseline=(Path(args.baseline)
                   if args.baseline and not args.write_baseline else None),
+        changed_only=changed_only,
     )
     try:
         engine = LintEngine(config)

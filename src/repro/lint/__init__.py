@@ -44,7 +44,8 @@ from repro.lint.fixes import (
     render_check_report,
 )
 
-# Importing the rule modules registers every rule in RULES.
+# Importing the rule modules registers every rule in RULES
+# (rules_code pulls in lockgraph, forksafety, and resources).
 from repro.lint import rules_code, rules_content, rules_site  # noqa: F401
 from repro.lint.reporters import (
     REPORTERS,

@@ -45,6 +45,7 @@ from repro.lint.diagnostics import (
 )
 from repro.lint.document import DocumentInfo
 from repro.lint.fixes import Edit, Fix
+from repro.lint.forksafety import FunctionSummary, ModuleSummary
 from repro.lint.links import InternalRef
 from repro.lint.lockgraph import ClassSummary, CrossCall
 
@@ -57,7 +58,8 @@ __all__ = [
     "save_cache",
 ]
 
-CACHE_VERSION = 2                        # v2: code rows carry ClassSummaries
+CACHE_VERSION = 3                        # v3: code rows carry fixes plus
+                                         # fork-safety ModuleSummaries
 CACHE_FILENAME = "lint-cache.json"
 
 
@@ -220,6 +222,53 @@ def _summary_from_json(data: dict) -> ClassSummary:
     )
 
 
+def _module_summary_to_json(summary: ModuleSummary | None) -> dict | None:
+    if summary is None:
+        return None
+    return {
+        "file": summary.file,
+        "classes": list(summary.classes),
+        "functions": [
+            {
+                "qual": fn.qual,
+                "events": [[etype, a, b, line, column, list(held)]
+                           for etype, a, b, line, column, held in fn.events],
+                "registrations": [list(reg) for reg in fn.registrations],
+            }
+            for fn in summary.functions
+        ],
+        "atexit_sites": [list(site) for site in summary.atexit_sites],
+        "global_mutables": [list(g) for g in summary.global_mutables],
+    }
+
+
+def _module_summary_from_json(data: dict | None) -> ModuleSummary | None:
+    if data is None:
+        return None
+    return ModuleSummary(
+        file=str(data["file"]),
+        classes=tuple(str(c) for c in data["classes"]),
+        functions=tuple(
+            FunctionSummary(
+                qual=str(fn["qual"]),
+                events=tuple(
+                    (str(etype), str(a), str(b), int(line), int(column),
+                     tuple(str(h) for h in held))
+                    for etype, a, b, line, column, held in fn["events"]),
+                registrations=tuple(
+                    (str(tag), str(target), int(line), int(column))
+                    for tag, target, line, column in fn["registrations"]),
+            )
+            for fn in data["functions"]
+        ),
+        atexit_sites=tuple((int(line), int(column))
+                           for line, column in data["atexit_sites"]),
+        global_mutables=tuple(
+            (str(name), int(line), int(column), str(kind))
+            for name, line, column, kind in data["global_mutables"]),
+    )
+
+
 def _fingerprint_from_json(data: list) -> tuple[str, int, int]:
     return (str(data[0]), int(data[1]), int(data[2]))
 
@@ -261,8 +310,10 @@ def load_cache(cache_dir: str | Path) -> tuple[dict, dict]:
             code[key] = (
                 _fingerprint_from_json(row["fingerprint"]),
                 tuple(_diag_from_json(d) for d in row["diagnostics"]),
+                tuple(_fix_from_json(f) for f in row["fixes"]),
                 _supp_from_json(row["suppressions"]),
                 tuple(_summary_from_json(s) for s in row["summaries"]),
+                _module_summary_from_json(row["module_summary"]),
             )
         except (KeyError, TypeError, ValueError, IndexError):
             continue
@@ -291,10 +342,13 @@ def save_cache(cache_dir: str | Path, content: dict, code: dict) -> Path:
             key: {
                 "fingerprint": list(fingerprint),
                 "diagnostics": [_diag_to_json(d) for d in diags],
+                "fixes": [_fix_to_json(f) for f in fixes],
                 "suppressions": _supp_to_json(supp),
                 "summaries": [_summary_to_json(s) for s in summaries],
+                "module_summary": _module_summary_to_json(module_summary),
             }
-            for key, (fingerprint, diags, supp, summaries)
+            for key, (fingerprint, diags, fixes, supp, summaries,
+                      module_summary)
             in sorted(code.items())
         },
     }

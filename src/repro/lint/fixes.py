@@ -85,6 +85,7 @@ FIXABLE_RULES = frozenset({
     "prose-heading-jump",
     "prose-bare-url",
     "prose-todo-marker",
+    "resource-lifecycle-unguarded",
 })
 
 _DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
@@ -530,6 +531,36 @@ class FixReport:
             self.changed_files.append(file)
 
 
+def _roundtrip_ok(path: Path, before: str, after: str) -> bool:
+    """A file that parsed before the edits must still parse after.
+
+    Python sources round-trip through ``ast.parse`` (code-pass fixes),
+    everything else through the activity parser.  A file that did not
+    parse before carries no proof obligation.
+    """
+    if path.suffix == ".py":
+        import ast
+
+        try:
+            ast.parse(before)
+        except SyntaxError:
+            return True
+        try:
+            ast.parse(after)
+        except SyntaxError:
+            return False
+        return True
+    try:
+        parse_activity(path.stem, before)
+    except ReproError:
+        return True
+    try:
+        parse_activity(path.stem, after)
+    except ReproError:
+        return False
+    return True
+
+
 def _apply_file_fixes(path: Path, fixes: list[Fix],
                       report: FixReport) -> bool:
     """Apply every span edit for one file; returns True when it changed.
@@ -551,17 +582,9 @@ def _apply_file_fixes(path: Path, fixes: list[Fix],
     if new_text == text:
         report.skipped += len(edit_fixes)
         return False
-    parsed_before = True
-    try:
-        parse_activity(path.stem, text)
-    except ReproError:
-        parsed_before = False
-    if parsed_before:
-        try:
-            parse_activity(path.stem, new_text)
-        except ReproError:
-            report.skipped += len(edit_fixes)
-            return False
+    if not _roundtrip_ok(path, text, new_text):
+        report.skipped += len(edit_fixes)
+        return False
     path.write_text(new_text, encoding="utf-8")
     for fix in edit_fixes:
         if all(edit in applied for edit in fix.edits):
@@ -653,8 +676,12 @@ def check_fixes(config) -> CheckReport:
             text = source.read_text(encoding="utf-8")
             originals[source.name] = text
             (scratch_dir / source.name).write_text(text, encoding="utf-8")
+        # The scratch copy holds only the content corpus: the code pass
+        # must stay off or its (now fixable) findings would drive the
+        # fixer at the *real* source tree.
         scratch_config = replace(config, content_dir=scratch_dir,
-                                 cache_dir=None)
+                                 cache_dir=None, code=False,
+                                 changed_only=None)
         fix_report = fix_engine(LintEngine(scratch_config))
         report.pending = fix_report.applied
         for old, new in fix_report.renamed:

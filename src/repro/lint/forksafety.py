@@ -1,0 +1,681 @@
+"""Fork-safety analysis: process-model hazards around fork, threads, signals.
+
+The pre-fork server (``repro.serve.prefork``) and the sweep pool
+(``repro.sweep.manager``) mix ``fork()``-based process creation with
+threads, locks, and signal handlers — exactly the combination where the
+classic POSIX process-model bugs live.  This pass distills every scanned
+module into a :class:`ModuleSummary` (flow-ordered event streams per
+function, mirroring :mod:`repro.lint.lockgraph`'s class summaries), then
+stitches the summaries into a corpus-wide call graph and reports four
+hazard shapes:
+
+* ``fork-safety-lock-across-fork`` (ERROR) — a path reaches a fork site
+  (``os.fork()``, a ``multiprocessing`` ``Process``/``Pool``
+  construction) while a lock or ``Condition`` is held, directly or
+  through calls.  The forked child inherits the held lock with no owner
+  thread to release it: any later acquisition in the child deadlocks.
+* ``fork-safety-thread-before-fork`` (WARNING) — a thread is started
+  earlier on the same flow that then reaches a fork site.  Threads do
+  not survive ``fork()``; whatever locks they held at the fork instant
+  stay held forever in the child.
+* ``fork-safety-signal-unsafe`` (ERROR) — a function registered as a
+  signal handler (``signal.signal(SIG, handler)``, including lambdas and
+  nested functions) can reach a non-async-signal-safe operation: lock
+  acquisition, blocking I/O, ``print``/``open``, or ``logging`` calls
+  (the logging module takes an internal lock — a handler interrupting
+  the owner thread deadlocks on re-entry).
+* ``fork-safety-inherited-state`` (WARNING) — a module that forks also
+  registers ``atexit`` hooks (every worker re-runs them at exit) or
+  binds module-global mutable state / threading primitives (each worker
+  silently gets a diverging copy).
+
+Context classification is flow-ordered but path-insensitive, like the
+lock graph: events inside ``if``/``try`` arms are assumed reachable in
+source order, nested function bodies run later (held sets reset inside
+them), and a ``with lock:`` releases on exit while a bare ``.acquire()``
+holds for the rest of the function.  Call resolution covers same-module
+bare names, ``self.method()``, nested functions, ``obj.method()`` on
+locals constructed from a corpus-unique class name, and
+``self.attr.method()`` through :func:`lockgraph._class_bindings`;
+ambiguous class names are dropped rather than guessed.  Dynamic dispatch
+(callbacks, ``getattr``, dict-of-functions) is a documented
+false-negative shape — see DESIGN §9.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic, Severity, make, rule
+from repro.lint.lockgraph import (
+    _class_bindings,
+    _is_nonblocking,
+    _self_attr,
+    lock_attr_kinds,
+)
+
+__all__ = [
+    "FunctionSummary",
+    "ModuleSummary",
+    "analyze_corpus",
+    "summarize_module",
+]
+
+rule("fork-safety-lock-across-fork", "code", Severity.ERROR,
+     "no lock is held on any path that crosses a fork site")
+rule("fork-safety-thread-before-fork", "code", Severity.WARNING,
+     "no thread is started on a path that later reaches a fork site")
+rule("fork-safety-signal-unsafe", "code", Severity.ERROR,
+     "signal handlers reach only async-signal-safe operations")
+rule("fork-safety-inherited-state", "code", Severity.WARNING,
+     "forking modules avoid atexit hooks and module-global mutable state")
+
+#: One flow event: ``(etype, a, b, line, column, held-locks)``.
+#:
+#: * ``("fork", kind, "", ...)`` — a fork site; ``kind`` names it.
+#: * ``("thread", "", "", ...)`` — a thread starts running here.
+#: * ``("acquire", lock, "", ...)`` — a lock acquisition.
+#: * ``("unsafe", desc, "", ...)`` — a non-async-signal-safe operation.
+#: * ``("call", tag, target, ...)`` — a resolvable call; ``tag`` is
+#:   ``"local"`` (same-file qualname), ``"class"`` (``Class.method``) or
+#:   ``"ctor"`` (bare CamelCase construction).
+Event = tuple[str, str, str, int, int, tuple[str, ...]]
+
+#: One handler registration: ``(tag, target, line, column)`` with the
+#: same ``tag``/``target`` encoding as call events (``"none"`` when the
+#: handler expression is not resolvable).
+Registration = tuple[str, str, int, int]
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Flow-ordered events of one function, keyed by its qualname.
+
+    Qualnames follow CPython's ``__qualname__`` shape: ``func``,
+    ``Class.method``, ``outer.<locals>.inner``, ``owner.<lambda:LINE>``.
+    Plain tuples throughout so summaries serialize into the persistent
+    lint cache without ceremony.
+    """
+
+    qual: str
+    events: tuple[Event, ...]
+    registrations: tuple[Registration, ...]
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """What the corpus pass needs to know about one module."""
+
+    file: str
+    classes: tuple[str, ...]
+    functions: tuple[FunctionSummary, ...]
+    atexit_sites: tuple[tuple[int, int], ...]
+    #: (name, line, column, kind description)
+    global_mutables: tuple[tuple[str, int, int, str], ...]
+
+    @property
+    def forks(self) -> bool:
+        return any(ev[0] == "fork"
+                   for fn in self.functions for ev in fn.events)
+
+
+_THREAD_FACTORIES = frozenset({"Thread", "Timer", "ThreadPoolExecutor"})
+_FORK_FACTORIES = frozenset({"Process", "Pool"})
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+_LOG_OWNERS = frozenset({"log", "logger", "logging"})
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"})
+_UNSAFE_BARE = frozenset({"open", "print", "input"})
+_UNSAFE_ATTRS = frozenset({
+    "sleep", "read_text", "write_text", "read_bytes", "write_bytes",
+    "urlopen", "getaddrinfo", "sendall", "recv", "flush",
+})
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "deque",
+     "Counter"})
+
+
+def _callable_name(func: ast.AST) -> str | None:
+    """Trailing identifier of a called expression, if any."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _fork_kind(node: ast.Call) -> str | None:
+    """Name of the fork site when ``node`` creates a process, else None."""
+    func = node.func
+    if (isinstance(func, ast.Attribute) and func.attr == "fork"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"):
+        return "os.fork"
+    name = _callable_name(func)
+    if name in _FORK_FACTORIES:
+        return name
+    return None
+
+
+class _FlowScan(ast.NodeVisitor):
+    """Collect flow-ordered events for one function body.
+
+    Mirrors :class:`lockgraph._LockFlow`: lexical ``with``-nesting,
+    manual acquire/release, held sets resetting inside nested function
+    bodies (they run later, often on another thread or in the child).
+    """
+
+    def __init__(self, qual: str, own_class: str | None,
+                 class_locks: frozenset[str],
+                 bindings: dict[str, tuple[str, ...]],
+                 module_funcs: frozenset[str],
+                 nested_names: frozenset[str]):
+        self.qual = qual
+        self.own_class = own_class
+        self.class_locks = class_locks
+        self.bindings = bindings
+        self.module_funcs = module_funcs
+        self.nested_names = nested_names
+        self.held: list[str] = []
+        self.local_kinds: dict[str, str] = {}    # name -> thread|process|lock
+        self.local_classes: dict[str, str] = {}  # name -> constructed class
+        self.events: list[Event] = []
+        self.registrations: list[Registration] = []
+        self.nested: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        self.lambda_summaries: list[FunctionSummary] = []
+
+    def _emit(self, etype: str, a: str, b: str, node: ast.AST) -> None:
+        self.events.append((etype, a, b, node.lineno, node.col_offset + 1,
+                            tuple(self.held)))
+
+    # -- bindings -------------------------------------------------------------
+
+    def _classify_ctor(self, value: ast.AST) -> tuple[str, str] | None:
+        """``("kind", detail)`` for a binding-relevant constructor call."""
+        if not isinstance(value, ast.Call):
+            return None
+        name = _callable_name(value.func)
+        if name in _THREAD_FACTORIES:
+            return ("thread", name)
+        if name in _FORK_FACTORIES:
+            return ("process", name)
+        if name in _LOCK_FACTORIES:
+            return ("lock", name)
+        if (isinstance(value.func, ast.Name) and name is not None
+                and name[:1].isupper()):
+            return ("class", name)
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        kinded = self._classify_ctor(node.value)
+        if kinded is not None and len(node.targets) == 1:
+            target = node.targets[0]
+            kind, detail = kinded
+            key: str | None = None
+            if isinstance(target, ast.Name):
+                key = target.id
+            else:
+                attr = _self_attr(target)
+                if attr is not None:
+                    key = f"self.{attr}"
+            if key is not None:
+                if kind == "class":
+                    self.local_classes[key] = detail
+                else:
+                    self.local_kinds[key] = kind
+        self.generic_visit(node)
+
+    # -- flow structure -------------------------------------------------------
+
+    def _lock_name(self, expr: ast.AST) -> str | None:
+        attr = _self_attr(expr)
+        if attr is not None and attr in self.class_locks:
+            return f"self.{attr}"
+        if (isinstance(expr, ast.Name)
+                and self.local_kinds.get(expr.id) == "lock"):
+            return expr.id
+        return None
+
+    def visit_With(self, node: ast.With) -> None:
+        entered: list[str] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            lock = self._lock_name(item.context_expr)
+            if lock is not None:
+                expr = item.context_expr
+                self.events.append((
+                    "acquire", lock, "", expr.lineno, expr.col_offset + 1,
+                    tuple(self.held)))
+                self.held.append(lock)
+                entered.append(lock)
+        for stmt in node.body:
+            self.visit(stmt)
+        for lock in reversed(entered):
+            self.held.remove(lock)
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested function bodies run later: summarized separately with
+        # their own (empty) held set, reachable only through calls.
+        self.nested.append(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # A lambda not registered as a handler runs later too; its body
+        # contributes nothing to this function's inline flow.
+        return
+
+    # -- calls ----------------------------------------------------------------
+
+    def _handler_target(self, handler: ast.AST) -> Registration | None:
+        line, col = handler.lineno, handler.col_offset + 1
+        if isinstance(handler, ast.Lambda):
+            lam_qual = f"{self.qual}.<lambda:{line}>"
+            scan = _FlowScan(lam_qual, self.own_class, self.class_locks,
+                             self.bindings, self.module_funcs, frozenset())
+            scan.visit(handler.body)
+            self.lambda_summaries.append(FunctionSummary(
+                lam_qual, tuple(scan.events), tuple(scan.registrations)))
+            self.lambda_summaries.extend(scan.lambda_summaries)
+            return ("local", lam_qual, line, col)
+        if isinstance(handler, ast.Name):
+            if handler.id in self.nested_names:
+                return ("local", f"{self.qual}.<locals>.{handler.id}",
+                        line, col)
+            if handler.id in self.module_funcs:
+                return ("local", handler.id, line, col)
+            return ("none", "", line, col)
+        if isinstance(handler, ast.Attribute):
+            if handler.attr in ("SIG_IGN", "SIG_DFL"):
+                return None              # resetting disposition: always safe
+            attr = _self_attr(handler)
+            if attr is not None and self.own_class is not None:
+                return ("class", f"{self.own_class}.{attr}", line, col)
+            return ("none", "", line, col)
+        return ("none", "", line, col)
+
+    def _call_targets(self, func: ast.AST) -> list[tuple[str, str]]:
+        out: list[tuple[str, str]] = []
+        if isinstance(func, ast.Attribute):
+            owner = _self_attr(func.value)
+            if owner is not None:
+                for cand in self.bindings.get(owner, ()):
+                    out.append(("class", f"{cand}.{func.attr}"))
+            elif isinstance(func.value, ast.Name):
+                bound = self.local_classes.get(func.value.id)
+                if bound is not None:
+                    out.append(("class", f"{bound}.{func.attr}"))
+            attr = _self_attr(func)
+            if attr is not None and self.own_class is not None:
+                out.append(("class", f"{self.own_class}.{attr}"))
+        elif isinstance(func, ast.Name):
+            if func.id in self.nested_names:
+                out.append(("local", f"{self.qual}.<locals>.{func.id}"))
+            elif func.id in self.module_funcs:
+                out.append(("local", func.id))
+            elif func.id[:1].isupper() and func.id not in _FORK_FACTORIES:
+                out.append(("ctor", func.id))
+        return out
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+
+        # signal.signal(SIG, handler) — a registration, not a call into
+        # the handler; the handler body must not join this flow.
+        if (isinstance(func, ast.Attribute) and func.attr == "signal"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "signal" and len(node.args) >= 2):
+            registration = self._handler_target(node.args[1])
+            if registration is not None:
+                self.registrations.append(registration)
+            self.visit(node.args[0])
+            if not isinstance(node.args[1], ast.Lambda):
+                self.visit(node.args[1])
+            return
+
+        kind = _fork_kind(node)
+        if kind is not None:
+            self._emit("fork", kind, "", node)
+            self.generic_visit(node)
+            return
+
+        if isinstance(func, ast.Attribute):
+            lock = self._lock_name(func.value)
+            if lock is not None:
+                if func.attr == "acquire" and not _is_nonblocking(node):
+                    self._emit("acquire", lock, "", node)
+                    self.held.append(lock)
+                elif func.attr == "release" and lock in self.held:
+                    self.held.remove(lock)
+            elif func.attr == "start":
+                owner_key: str | None = None
+                if isinstance(func.value, ast.Name):
+                    owner_key = func.value.id
+                else:
+                    attr = _self_attr(func.value)
+                    if attr is not None:
+                        owner_key = f"self.{attr}"
+                if owner_key is not None:
+                    if self.local_kinds.get(owner_key) == "thread":
+                        self._emit("thread", "", "", node)
+                elif isinstance(func.value, ast.Call):
+                    inline = self._classify_ctor(func.value)
+                    if inline is not None and inline[0] == "thread":
+                        self._emit("thread", "", "", node)
+            if (func.attr in _LOG_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in _LOG_OWNERS):
+                self._emit("unsafe", f"{func.value.id}.{func.attr}()", "",
+                           node)
+            elif func.attr in _UNSAFE_ATTRS:
+                self._emit("unsafe", f".{func.attr}()", "", node)
+        elif isinstance(func, ast.Name) and func.id in _UNSAFE_BARE:
+            self._emit("unsafe", f"{func.id}()", "", node)
+
+        for tag, target in self._call_targets(func):
+            self._emit("call", tag, target, node)
+        self.generic_visit(node)
+
+
+def _direct_child_defs(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> frozenset[str]:
+    return frozenset(
+        stmt.name for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)))
+
+
+def _global_mutables(tree: ast.Module) -> list[tuple[str, int, int, str]]:
+    """Module-level single-name bindings of mutable values.
+
+    Dunder names (``__all__`` and friends) are interpreter protocol, not
+    shared state; call results other than known container/primitive
+    factories (e.g. ``log = logging.getLogger(...)``) are skipped — a
+    logger is process-safe to inherit, a dict of counters is not.
+    """
+    out: list[tuple[str, int, int, str]] = []
+    for stmt in tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        name = target.id
+        if name.startswith("__") and name.endswith("__"):
+            continue
+        kind: str | None = None
+        if isinstance(value, (ast.Dict, ast.DictComp)):
+            kind = "dict"
+        elif isinstance(value, (ast.List, ast.ListComp)):
+            kind = "list"
+        elif isinstance(value, (ast.Set, ast.SetComp)):
+            kind = "set"
+        elif isinstance(value, ast.Call):
+            called = _callable_name(value.func)
+            if called in _MUTABLE_FACTORIES:
+                kind = called
+            elif called in _LOCK_FACTORIES or called in ("Event",):
+                kind = f"threading.{called}"
+        if kind is not None:
+            out.append((name, target.lineno, target.col_offset + 1, kind))
+    return out
+
+
+def summarize_module(file: str, tree: ast.Module) -> ModuleSummary:
+    """Distill one parsed module for the corpus pass."""
+    module_funcs = frozenset(
+        stmt.name for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)))
+    functions: list[FunctionSummary] = []
+
+    def scan(node: ast.FunctionDef | ast.AsyncFunctionDef, qual: str,
+             own_class: str | None, class_locks: frozenset[str],
+             bindings: dict[str, tuple[str, ...]]) -> None:
+        flow = _FlowScan(qual, own_class, class_locks, bindings,
+                         module_funcs, _direct_child_defs(node))
+        for stmt in node.body:
+            flow.visit(stmt)
+        functions.append(FunctionSummary(
+            qual, tuple(flow.events), tuple(flow.registrations)))
+        functions.extend(flow.lambda_summaries)
+        for child in flow.nested:
+            scan(child, f"{qual}.<locals>.{child.name}", own_class,
+                 class_locks, bindings)
+
+    classes: list[str] = []
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan(stmt, stmt.name, None, frozenset(), {})
+        elif isinstance(stmt, ast.ClassDef):
+            classes.append(stmt.name)
+            locks = frozenset(lock_attr_kinds(stmt))
+            bindings = _class_bindings(stmt)
+            for member in stmt.body:
+                if isinstance(member, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    scan(member, f"{stmt.name}.{member.name}", stmt.name,
+                         locks, bindings)
+
+    atexit_sites = tuple(sorted(
+        (node.lineno, node.col_offset + 1)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "register"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "atexit"))
+
+    return ModuleSummary(
+        file=file,
+        classes=tuple(classes),
+        functions=tuple(functions),
+        atexit_sites=atexit_sites,
+        global_mutables=tuple(_global_mutables(tree)),
+    )
+
+
+# -- corpus pass --------------------------------------------------------------
+
+
+_Node = tuple[str, str]                  # (file, qualname)
+
+
+class _Corpus:
+    """Call-graph closures over every module summary."""
+
+    def __init__(self, modules: list[ModuleSummary]):
+        self.funcs: dict[_Node, FunctionSummary] = {}
+        class_files: dict[str, set[str]] = {}
+        for mod in modules:
+            for cls in mod.classes:
+                class_files.setdefault(cls, set()).add(mod.file)
+            for fn in mod.functions:
+                self.funcs[(mod.file, fn.qual)] = fn
+        # Ambiguous class names are dropped, as in the lock graph.
+        self.class_file = {cls: next(iter(files))
+                           for cls, files in class_files.items()
+                           if len(files) == 1}
+        self._forks: dict[_Node, str | None] = {}
+        self._threads: dict[_Node, bool] = {}
+        self._unsafe: dict[_Node, frozenset[tuple[str, str, int, int]]] = {}
+
+    def resolve(self, file: str, tag: str, target: str) -> _Node | None:
+        if tag == "local":
+            node = (file, target)
+            return node if node in self.funcs else None
+        if tag == "class":
+            cls = target.split(".", 1)[0]
+            deffile = self.class_file.get(cls)
+            if deffile is not None and (deffile, target) in self.funcs:
+                return (deffile, target)
+            return None
+        if tag == "ctor":
+            deffile = self.class_file.get(target)
+            if deffile is not None:
+                node = (deffile, f"{target}.__init__")
+                return node if node in self.funcs else None
+        return None
+
+    def forks(self, node: _Node, stack: set[_Node] | None = None
+              ) -> str | None:
+        """Fork-site kind reachable from ``node``, or None."""
+        if node in self._forks:
+            return self._forks[node]
+        stack = stack if stack is not None else set()
+        if node in stack:
+            return None
+        stack.add(node)
+        found: str | None = None
+        for ev in self.funcs[node].events:
+            if ev[0] == "fork":
+                found = ev[1]
+                break
+            if ev[0] == "call":
+                callee = self.resolve(node[0], ev[1], ev[2])
+                if callee is not None:
+                    via = self.forks(callee, stack)
+                    if via is not None:
+                        found = via
+                        break
+        stack.discard(node)
+        self._forks[node] = found
+        return found
+
+    def starts_thread(self, node: _Node,
+                      stack: set[_Node] | None = None) -> bool:
+        if node in self._threads:
+            return self._threads[node]
+        stack = stack if stack is not None else set()
+        if node in stack:
+            return False
+        stack.add(node)
+        found = False
+        for ev in self.funcs[node].events:
+            if ev[0] == "thread":
+                found = True
+                break
+            if ev[0] == "call":
+                callee = self.resolve(node[0], ev[1], ev[2])
+                if callee is not None and self.starts_thread(callee, stack):
+                    found = True
+                    break
+        stack.discard(node)
+        self._threads[node] = found
+        return found
+
+    def unsafe_sites(self, node: _Node, stack: set[_Node] | None = None
+                     ) -> frozenset[tuple[str, str, int, int]]:
+        """(file, description, line, column) of reachable unsafe ops."""
+        if node in self._unsafe:
+            return self._unsafe[node]
+        stack = stack if stack is not None else set()
+        if node in stack:
+            return frozenset()
+        stack.add(node)
+        out: set[tuple[str, str, int, int]] = set()
+        for ev in self.funcs[node].events:
+            if ev[0] == "unsafe":
+                out.add((node[0], ev[1], ev[3], ev[4]))
+            elif ev[0] == "acquire":
+                out.add((node[0], f"lock acquisition ({ev[1]})",
+                         ev[3], ev[4]))
+            elif ev[0] == "call":
+                callee = self.resolve(node[0], ev[1], ev[2])
+                if callee is not None:
+                    out |= self.unsafe_sites(callee, stack)
+        stack.discard(node)
+        result = frozenset(out)
+        self._unsafe[node] = result
+        return result
+
+
+def analyze_corpus(
+    summaries: Iterable[ModuleSummary | None],
+) -> list[Diagnostic]:
+    """Run the corpus-wide fork-safety rules over module summaries."""
+    modules = sorted((s for s in summaries if s is not None),
+                     key=lambda m: m.file)
+    corpus = _Corpus(modules)
+    keyed: dict[tuple, Diagnostic] = {}
+
+    def note(diag: Diagnostic) -> None:
+        keyed.setdefault(
+            (diag.file, diag.span.line, diag.span.column, diag.rule_id,
+             diag.message),
+            diag)
+
+    for (file, qual), fn in sorted(corpus.funcs.items()):
+        thread_running = False
+        for etype, a, b, line, col, held in fn.events:
+            if etype == "thread":
+                thread_running = True
+                continue
+            fork_desc: str | None = None
+            callee: _Node | None = None
+            if etype == "fork":
+                fork_desc = a
+            elif etype == "call":
+                callee = corpus.resolve(file, a, b)
+                if callee is not None:
+                    via = corpus.forks(callee)
+                    if via is not None:
+                        fork_desc = f"{b}() which forks via {via}"
+            if fork_desc is not None:
+                if held:
+                    locks = ", ".join(sorted(set(held)))
+                    note(make(
+                        "fork-safety-lock-across-fork", file, line, col,
+                        f"{qual} reaches a fork site ({fork_desc}) while "
+                        f"holding {locks}; the forked child inherits the "
+                        f"held lock and deadlocks on its next acquisition"))
+                if thread_running:
+                    note(make(
+                        "fork-safety-thread-before-fork", file, line, col,
+                        f"{qual} reaches a fork site ({fork_desc}) after "
+                        f"starting a thread; threads do not survive fork "
+                        f"and their locks stay held in the child"))
+            if callee is not None and corpus.starts_thread(callee):
+                thread_running = True
+
+    for (file, qual), fn in sorted(corpus.funcs.items()):
+        for tag, target, reg_line, _reg_col in fn.registrations:
+            if tag == "none":
+                continue
+            handler = corpus.resolve(file, tag, target)
+            if handler is None:
+                continue
+            for site in sorted(corpus.unsafe_sites(handler)):
+                sfile, desc, sline, scol = site
+                note(make(
+                    "fork-safety-signal-unsafe", sfile, sline, scol,
+                    f"signal handler {target} (registered at "
+                    f"{file}:{reg_line}) may run non-async-signal-safe "
+                    f"{desc}; handlers interrupt arbitrary code and "
+                    f"deadlock on any lock the interrupted thread holds"))
+
+    for mod in modules:
+        if not mod.forks:
+            continue
+        for line, col in mod.atexit_sites:
+            note(make(
+                "fork-safety-inherited-state", mod.file, line, col,
+                "atexit handler registered in a forking module: every "
+                "forked worker re-runs it at exit"))
+        for name, line, col, kind in mod.global_mutables:
+            note(make(
+                "fork-safety-inherited-state", mod.file, line, col,
+                f"module-global mutable {name} ({kind}) in a forking "
+                f"module is copied into every worker; post-fork mutations "
+                f"silently diverge between processes"))
+
+    return sorted(keyed.values(),
+                  key=lambda d: (d.file, d.span.line, d.span.column,
+                                 d.rule_id, d.message))

@@ -44,11 +44,16 @@ def render_text(result: LintResult, stats: bool = False) -> str:
         summary += f"; {result.fixable} fixable (run with --fix to apply)"
     lines.append(summary if result.diagnostics else f"clean ({summary})")
     if stats:
-        lines.append(
+        line = (
             f"files: {result.stats.files_total} total, "
             f"{result.stats.files_analyzed} analyzed, "
             f"{result.stats.files_cached} cached, "
             f"{result.stats.baselined} baselined finding(s)")
+        if result.stats.files_skipped:
+            line += f", {result.stats.files_skipped} skipped (--changed)"
+        if result.stats.internal_errors:
+            line += f", {result.stats.internal_errors} internal error(s)"
+        lines.append(line)
     return "\n".join(lines) + "\n"
 
 
@@ -65,7 +70,9 @@ def render_json(result: LintResult, stats: bool = False) -> str:
             "files_total": result.stats.files_total,
             "files_analyzed": result.stats.files_analyzed,
             "files_cached": result.stats.files_cached,
+            "files_skipped": result.stats.files_skipped,
             "baselined": result.stats.baselined,
+            "internal_errors": result.stats.internal_errors,
         }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 

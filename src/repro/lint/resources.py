@@ -1,0 +1,465 @@
+"""Resource-lifecycle analysis: leaks, double-closes, use-after-close.
+
+A flow-sensitive, per-function pass over local resource bindings —
+sockets, files, process pools, temp dirs, subprocesses.  The tracked
+shape is ``name = factory(...)`` where ``factory`` is a known
+resource constructor; ``self.attr`` resources are object lifetime, not
+function lifetime, and stay out of scope (a documented false-negative
+shape — see DESIGN §9).
+
+Three rules:
+
+* ``resource-lifecycle-unguarded`` (WARNING, fixable) — the acquisition
+  is not dominated by a release: not a ``with`` target, no enclosing or
+  immediately-following ``try``/``finally`` that closes it, and the
+  value never escapes the function (return / yield / attribute-store /
+  container-store / aliasing all transfer ownership and suppress the
+  finding).  When the resource is trivially local — single-line
+  acquisition, only simple single-line statements up to a same-block
+  ``name.close()`` that is its last use — the finding carries a
+  machine-applicable wrap-in-``with`` fix.
+* ``resource-lifecycle-double-close`` (ERROR) — a second release on a
+  path where the resource is already closed on *every* branch (a must-
+  analysis: branch outcomes intersect, loop bodies may run zero times
+  and are ignored, ``finally`` blocks always run).  Finalizer calls
+  that are legal after close (``join``, ``wait``, ``communicate``,
+  ``poll``) do not count as releases.
+* ``resource-lifecycle-use-after-close`` (ERROR) — any other use of the
+  name once it is must-closed, except the sanctioned post-close
+  finalizers and status attributes (``closed``, ``returncode``, ``pid``).
+
+The lattice per name is {untracked, open, closed}: assignment rebinds to
+untracked, acquisition moves to open, a release moves to closed, and the
+merge of open/closed across branches is open (closing on one branch only
+is not a must-close).  Straight-line paths are exact; branching is
+conservative in the direction of silence, so every report is real under
+the binding assumptions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.diagnostics import Diagnostic, Severity, make, rule
+from repro.lint.fixes import Edit, Fix
+
+__all__ = ["run_file"]
+
+rule("resource-lifecycle-unguarded", "code", Severity.WARNING,
+     "resources are released via with, try/finally, or ownership escape")
+rule("resource-lifecycle-double-close", "code", Severity.ERROR,
+     "a resource is released at most once on every path")
+rule("resource-lifecycle-use-after-close", "code", Severity.ERROR,
+     "no use of a resource after it is released")
+
+#: factory trailing-name -> resource kind.
+_FACTORIES = {
+    "open": "file",
+    "NamedTemporaryFile": "file",
+    "TemporaryFile": "file",
+    "SpooledTemporaryFile": "file",
+    "socket": "socket",
+    "create_server": "socket",
+    "create_connection": "socket",
+    "HTTPConnection": "connection",
+    "HTTPSConnection": "connection",
+    "TemporaryDirectory": "tempdir",
+    "mkdtemp": "temppath",
+    "Pool": "pool",
+    "Popen": "process",
+}
+
+#: kind -> method names that release the resource.
+_CLOSERS = {
+    "file": frozenset({"close"}),
+    "socket": frozenset({"close"}),
+    "connection": frozenset({"close"}),
+    "tempdir": frozenset({"cleanup"}),
+    "temppath": frozenset(),             # released via shutil.rmtree(name)
+    "pool": frozenset({"close", "terminate"}),
+    "process": frozenset({"terminate", "kill"}),
+}
+
+#: Method calls that are legal on an already-released resource.
+_AFTER_CLOSE_CALLS = frozenset({"join", "wait", "communicate", "poll"})
+#: Attribute reads that are legal on an already-released resource.
+_AFTER_CLOSE_ATTRS = frozenset({"closed", "returncode", "pid"})
+
+_WITH_WRAPPABLE = frozenset({"file", "socket", "connection"})
+
+
+def _factory_kind(value: ast.AST) -> str | None:
+    """Resource kind when ``value`` calls a tracked factory."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    else:
+        return None
+    kind = _FACTORIES.get(name)
+    if kind == "socket" and name == "socket":
+        # Only ``socket.socket(...)`` / ``sock_mod.socket(...)`` — a bare
+        # ``socket(...)`` name call is too ambiguous to track.
+        if not isinstance(func, ast.Attribute):
+            return None
+    return kind
+
+
+def _release_target(node: ast.Call, kinds: dict[str, str]) -> str | None:
+    """Tracked name released by this call, or None."""
+    func = node.func
+    if (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)
+            and func.value.id in kinds
+            and func.attr in _CLOSERS[kinds[func.value.id]]):
+        return func.value.id
+    # shutil.rmtree(path) releases an mkdtemp path.
+    if (isinstance(func, ast.Attribute) and func.attr == "rmtree"
+            and node.args and isinstance(node.args[0], ast.Name)
+            and kinds.get(node.args[0].id) == "temppath"):
+        return node.args[0].id
+    return None
+
+
+def _escaped_names(body: list[ast.stmt]) -> frozenset[str]:
+    """Names whose ownership may leave the function."""
+    out: set[str] = set()
+
+    def names_of(value: ast.AST | None) -> list[str]:
+        if isinstance(value, ast.Name):
+            return [value.id]
+        if isinstance(value, (ast.Tuple, ast.List)):
+            return [e.id for e in value.elts if isinstance(e, ast.Name)]
+        return []
+
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Return):
+                out.update(names_of(node.value))
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                out.update(names_of(node.value))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        out.update(names_of(node.value))
+                    elif isinstance(target, ast.Name):
+                        # Aliasing: the copy may outlive this flow.
+                        for name in names_of(node.value):
+                            if name != target.id:
+                                out.add(name)
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr in ("append", "add", "put",
+                                         "setdefault")):
+                for arg in node.args:
+                    out.update(names_of(arg))
+    return frozenset(out)
+
+
+def _closes_name(stmts: list[ast.stmt], name: str,
+                 kinds: dict[str, str]) -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and _release_target(node, kinds) == name):
+                return True
+    return False
+
+
+# -- unguarded-acquisition walk ----------------------------------------------
+
+
+class _Acquisition:
+    def __init__(self, stmt: ast.Assign, name: str, kind: str,
+                 block: list[ast.stmt], index: int):
+        self.stmt = stmt
+        self.name = name
+        self.kind = kind
+        self.block = block
+        self.index = index
+
+
+def _collect_acquisitions(
+    body: list[ast.stmt], kinds: dict[str, str],
+) -> tuple[list[_Acquisition], list[_Acquisition]]:
+    """(unguarded, all) acquisitions in one function body."""
+    unguarded: list[_Acquisition] = []
+    acquired: list[_Acquisition] = []
+
+    def walk(block: list[ast.stmt], finallies: list[list[ast.stmt]]) -> None:
+        for index, stmt in enumerate(block):
+            if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                kind = _factory_kind(stmt.value)
+                if kind is not None:
+                    name = stmt.targets[0].id
+                    acq = _Acquisition(stmt, name, kind, block, index)
+                    acquired.append(acq)
+                    guarded = any(
+                        _closes_name(final, name, kinds)
+                        for final in finallies
+                    ) or any(
+                        isinstance(later, ast.Try)
+                        and _closes_name(later.finalbody, name, kinds)
+                        for later in block[index + 1:]
+                    )
+                    if not guarded:
+                        unguarded.append(acq)
+            if isinstance(stmt, ast.Try):
+                inner = finallies + ([stmt.finalbody] if stmt.finalbody
+                                     else [])
+                walk(stmt.body, inner)
+                for handler in stmt.handlers:
+                    walk(handler.body, inner)
+                walk(stmt.orelse, inner)
+                walk(stmt.finalbody, finallies)
+            elif isinstance(stmt, (ast.If,)):
+                walk(stmt.body, finallies)
+                walk(stmt.orelse, finallies)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                walk(stmt.body, finallies)
+                walk(stmt.orelse, finallies)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                walk(stmt.body, finallies)
+    walk(body, [])
+    return unguarded, acquired
+
+
+# -- wrap-in-with fix ---------------------------------------------------------
+
+
+def _wrap_fix(acq: _Acquisition, source_lines: list[str], file: str,
+              message: str, kinds: dict[str, str]) -> Fix | None:
+    """A wrap-in-``with`` fix when the resource is trivially local."""
+    if acq.kind not in _WITH_WRAPPABLE:
+        return None
+    stmt = acq.stmt
+    if stmt.lineno != stmt.end_lineno:
+        return None
+    line_text = source_lines[stmt.lineno - 1]
+    if line_text.strip() != ast.get_source_segment(
+            "\n".join(source_lines), stmt):
+        return None                      # trailing comment or odd layout
+    close_index: int | None = None
+    for later_index in range(acq.index + 1, len(acq.block)):
+        later = acq.block[later_index]
+        if (isinstance(later, ast.Expr) and isinstance(later.value, ast.Call)
+                and _release_target(later.value, kinds) == acq.name):
+            close_index = later_index
+            break
+    if close_index is None:
+        return None
+    between = acq.block[acq.index + 1:close_index]
+    for mid in between:
+        if not isinstance(mid, (ast.Expr, ast.Assign, ast.AugAssign,
+                                ast.AnnAssign, ast.Pass)):
+            return None
+        if mid.lineno != mid.end_lineno:
+            return None
+        if mid.col_offset != stmt.col_offset:
+            return None
+    close_stmt = acq.block[close_index]
+    if close_stmt.lineno != close_stmt.end_lineno:
+        return None
+    # The close must be the resource's last use in the whole function.
+    for later in acq.block[close_index + 1:]:
+        for node in ast.walk(later):
+            if isinstance(node, ast.Name) and node.id == acq.name:
+                return None
+    value_src = ast.get_source_segment("\n".join(source_lines), stmt.value)
+    if value_src is None or "\n" in value_src:
+        return None
+    edits = [Edit(stmt.lineno, stmt.col_offset + 1,
+                  stmt.lineno, len(line_text) + 1,
+                  f"with {value_src} as {acq.name}:")]
+    for mid_line in range(stmt.lineno + 1, close_stmt.lineno):
+        if source_lines[mid_line - 1].strip():
+            edits.append(Edit(mid_line, 1, mid_line, 1, "    "))
+    edits.append(Edit(close_stmt.lineno, 1, close_stmt.lineno + 1, 1, ""))
+    return Fix(
+        rule_id="resource-lifecycle-unguarded",
+        file=file,
+        line=stmt.lineno,
+        column=stmt.col_offset + 1,
+        message=message,
+        description=f"wrap {acq.name!r} in a with statement",
+        edits=tuple(edits),
+    )
+
+
+# -- must-close analysis ------------------------------------------------------
+
+
+_OPEN, _CLOSED = "open", "closed"
+
+
+class _MustClose:
+    """Straight-line must-analysis for double-close / use-after-close."""
+
+    def __init__(self, file: str, kinds: dict[str, str]):
+        self.file = file
+        self.kinds = kinds
+        self.findings: list[Diagnostic] = []
+        self._seen: set[tuple] = set()
+
+    def _note(self, rule_id: str, line: int, col: int, msg: str) -> None:
+        key = (rule_id, line, col, msg)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.findings.append(make(rule_id, self.file, line, col, msg))
+
+    def scan_block(self, stmts: list[ast.stmt],
+                   state: dict[str, str]) -> None:
+        for stmt in stmts:
+            self.scan_stmt(stmt, state)
+
+    def scan_stmt(self, stmt: ast.stmt, state: dict[str, str]) -> None:
+        if isinstance(stmt, ast.If):
+            then_state = dict(state)
+            self.scan_block(stmt.body, then_state)
+            else_state = dict(state)
+            self.scan_block(stmt.orelse, else_state)
+            for name in set(then_state) | set(else_state):
+                a = then_state.get(name)
+                b = else_state.get(name)
+                state[name] = _CLOSED if a == b == _CLOSED else _OPEN
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            # The body may run zero times: analyze for findings on a
+            # copy, keep the pre-loop state (conservative both ways).
+            self.scan_block(stmt.body, dict(state))
+            self.scan_block(stmt.orelse, dict(state))
+            return
+        if isinstance(stmt, ast.Try):
+            self.scan_block(stmt.body, dict(state))
+            for handler in stmt.handlers:
+                self.scan_block(handler.body, dict(state))
+            self.scan_block(stmt.orelse, dict(state))
+            self.scan_block(stmt.finalbody, state)   # always runs
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.scan_block(stmt.body, state)        # runs exactly once
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return                                   # separate flow
+        self._scan_simple(stmt, state)
+
+    def _scan_simple(self, stmt: ast.stmt, state: dict[str, str]) -> None:
+        sanctioned: set[int] = set()
+        releases: list[tuple[str, int, int]] = []
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                target = _release_target(node, self.kinds)
+                func = node.func
+                if target is not None:
+                    releases.append((target, node.lineno,
+                                     node.col_offset + 1))
+                    # The releasing statement's own mention of the name
+                    # is the release, not a use: sanction whichever node
+                    # names the target (``name.close()`` receiver or the
+                    # ``shutil.rmtree(name)`` argument).
+                    if isinstance(func, ast.Attribute):
+                        sanctioned.add(id(func.value))
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name) and arg.id == target:
+                            sanctioned.add(id(arg))
+                elif (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in self.kinds
+                        and func.attr in _AFTER_CLOSE_CALLS):
+                    sanctioned.add(id(func.value))
+            elif (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in self.kinds
+                    and node.attr in _AFTER_CLOSE_ATTRS):
+                sanctioned.add(id(node.value))
+
+        for name, line, col in releases:
+            if state.get(name) == _CLOSED:
+                self._note(
+                    "resource-lifecycle-double-close", line, col,
+                    f"{name} is released again here; it is already "
+                    f"closed on every path reaching this statement")
+            elif name in state:
+                state[name] = _CLOSED
+
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Name) and id(node) not in sanctioned
+                    and isinstance(node.ctx, ast.Load)
+                    and state.get(node.id) == _CLOSED):
+                self._note(
+                    "resource-lifecycle-use-after-close",
+                    node.lineno, node.col_offset + 1,
+                    f"{node.id} is used after it was closed; the handle "
+                    f"is already released on every path reaching here")
+
+        # Rebinding makes the name a fresh object (possibly a fresh
+        # resource): reset, then re-track acquisitions.
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+                    if _factory_kind(stmt.value) is not None:
+                        state[target.id] = _OPEN
+
+
+def _function_kinds(body: list[ast.stmt]) -> dict[str, str]:
+    """name -> resource kind for every tracked acquisition in ``body``."""
+    kinds: dict[str, str] = {}
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                kind = _factory_kind(node.value)
+                if kind is not None:
+                    kinds[node.targets[0].id] = kind
+    return kinds
+
+
+def _analyze_function(
+    file: str, node: ast.FunctionDef | ast.AsyncFunctionDef,
+    source_lines: list[str],
+) -> tuple[list[Diagnostic], list[Fix]]:
+    kinds = _function_kinds(node.body)
+    if not kinds:
+        return [], []
+    diags: list[Diagnostic] = []
+    fixes: list[Fix] = []
+
+    escaped = _escaped_names(node.body)
+    unguarded, _all_acqs = _collect_acquisitions(node.body, kinds)
+    for acq in unguarded:
+        if acq.name in escaped:
+            continue
+        message = (f"{acq.name} acquires a {acq.kind} that no with block "
+                   f"or try/finally releases; wrap it in a with statement "
+                   f"or close it in a finally")
+        diags.append(make(
+            "resource-lifecycle-unguarded", file,
+            acq.stmt.lineno, acq.stmt.col_offset + 1, message))
+        fix = _wrap_fix(acq, source_lines, file, message, kinds)
+        if fix is not None:
+            fixes.append(fix)
+
+    must = _MustClose(file, kinds)
+    must.scan_block(node.body, {})
+    diags.extend(must.findings)
+    return diags, fixes
+
+
+def run_file(file: str, tree: ast.Module,
+             source: str) -> tuple[list[Diagnostic], list[Fix]]:
+    """Run the resource-lifecycle rules over one parsed module."""
+    diags: list[Diagnostic] = []
+    fixes: list[Fix] = []
+    source_lines = source.split("\n")
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            new_diags, new_fixes = _analyze_function(file, node,
+                                                     source_lines)
+            diags.extend(new_diags)
+            fixes.extend(new_fixes)
+    return diags, fixes

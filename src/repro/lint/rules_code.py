@@ -42,8 +42,9 @@ import gc
 import threading
 from pathlib import Path
 
-from repro.lint import lockgraph
+from repro.lint import forksafety, lockgraph, resources
 from repro.lint.diagnostics import Diagnostic, Severity, make, rule
+from repro.lint.fixes import Fix
 
 __all__ = ["analyze_source", "analyze_source_full", "analyze_tree",
            "run_code"]
@@ -259,19 +260,24 @@ def _parse(source: str) -> ast.Module:
 
 def analyze_source_full(
     file: str, source: str,
-) -> tuple[list[Diagnostic], tuple[lockgraph.ClassSummary, ...]]:
-    """Run the per-file code rules; also distill cross-class summaries.
+) -> tuple[list[Diagnostic], tuple[Fix, ...],
+           tuple[lockgraph.ClassSummary, ...],
+           forksafety.ModuleSummary | None]:
+    """Run the per-file code rules; also distill corpus summaries.
 
-    The summaries feed :func:`repro.lint.lockgraph.analyze_cross_class`
-    at corpus scope — they are cached alongside the diagnostics, so an
-    incremental run re-summarizes only changed files.
+    Returns ``(diagnostics, fixes, class summaries, module summary)``.
+    The class summaries feed
+    :func:`repro.lint.lockgraph.analyze_cross_class` and the module
+    summary feeds :func:`repro.lint.forksafety.analyze_corpus` at corpus
+    scope — both are cached alongside the diagnostics, so an incremental
+    run re-summarizes only changed files.
     """
     try:
         tree = _parse(source)
     except SyntaxError as exc:
         return [make("serve-unlocked-write", file, exc.lineno or 1,
                      (exc.offset or 0) + 1,
-                     f"file does not parse: {exc.msg}")], ()
+                     f"file does not parse: {exc.msg}")], (), (), None
     out: list[Diagnostic] = []
     summaries: list[lockgraph.ClassSummary] = []
     for node in ast.walk(tree):
@@ -292,7 +298,10 @@ def analyze_source_full(
             out.extend(visitor.diagnostics)
         out.extend(lockgraph.analyze_class(file, node, kinds))
         summaries.append(lockgraph.summarize_class(file, node, kinds))
-    return out, tuple(summaries)
+    resource_diags, resource_fixes = resources.run_file(file, tree, source)
+    out.extend(resource_diags)
+    fork_summary = forksafety.summarize_module(file, tree)
+    return out, tuple(resource_fixes), tuple(summaries), fork_summary
 
 
 def analyze_source(file: str, source: str) -> list[Diagnostic]:
@@ -301,16 +310,19 @@ def analyze_source(file: str, source: str) -> list[Diagnostic]:
 
 
 def analyze_tree(root: str | Path) -> list[Diagnostic]:
-    """Run the code pass — per-file rules plus the cross-class lock
-    pass — over every ``*.py`` under ``root``."""
+    """Run the code pass — per-file rules plus the cross-class lock and
+    fork-safety corpus passes — over every ``*.py`` under ``root``."""
     out: list[Diagnostic] = []
     summaries: list[lockgraph.ClassSummary] = []
+    fork_summaries: list[forksafety.ModuleSummary | None] = []
     for path in sorted(Path(root).rglob("*.py")):
-        diags, file_summaries = analyze_source_full(
+        diags, _fixes, file_summaries, fork_summary = analyze_source_full(
             str(path), path.read_text(encoding="utf-8"))
         out.extend(diags)
         summaries.extend(file_summaries)
+        fork_summaries.append(fork_summary)
     out.extend(lockgraph.analyze_cross_class(summaries))
+    out.extend(forksafety.analyze_corpus(fork_summaries))
     return out
 
 

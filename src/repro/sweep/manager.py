@@ -409,20 +409,37 @@ class SweepManager:
         idle timer (:attr:`pool_idle_timeout_s`) tears it down once no
         job has needed it for a while — a quiet server holds no idle
         worker processes.
+
+        The fork happens *outside* ``self._lock``: pool workers are
+        forked while this thread holds no manager lock, so a child can
+        never inherit it mid-critical-section (the
+        ``fork-safety-lock-across-fork`` hazard).  Two threads racing to
+        cold-start both fork; one wins the install under the lock and
+        the loser's pool is torn down immediately.
         """
         with self._lock:
             if self._idle_timer is not None:
                 self._idle_timer.cancel()
                 self._idle_timer = None
-            if self._pool is None and not self._closed:
-                import multiprocessing
-
-                self._pool = multiprocessing.get_context().Pool(
-                    processes=self.workers)
-                self._counters["pool_cold_starts"] += 1
-            elif self._pool is not None:
+            if self._pool is not None:
                 self._counters["pool_reuses"] += 1
-            return self._pool
+                return self._pool
+            if self._closed:
+                return None
+        import multiprocessing
+
+        fresh = multiprocessing.get_context().Pool(processes=self.workers)
+        with self._lock:
+            if self._pool is None and not self._closed:
+                self._pool = fresh
+                self._counters["pool_cold_starts"] += 1
+                return self._pool
+            winner = self._pool
+            if winner is not None:
+                self._counters["pool_reuses"] += 1
+        fresh.terminate()
+        fresh.join()
+        return winner
 
     def _maybe_schedule_idle_teardown(self) -> None:
         """Arm the idle timer when a job ends and the plane goes quiet."""

@@ -35,7 +35,7 @@ INVERSION = textwrap.dedent('''
 
 
 def _summaries(source: str):
-    return analyze_source_full("mod.py", source)[1]
+    return analyze_source_full("mod.py", source)[2]
 
 
 def _cross(source: str):

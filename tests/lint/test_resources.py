@@ -1,0 +1,278 @@
+"""Resource-lifecycle rules: unguarded, double-close, use-after-close.
+
+Fixtures start with a blank line (line 1), so the first statement is
+line 2; spans below are load-bearing.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint import Severity
+from repro.lint.fixes import apply_edits
+from repro.lint.resources import run_file
+
+
+def _run(source: str):
+    source = textwrap.dedent(source)
+    return run_file("mod.py", ast.parse(source), source)
+
+
+def _diags(source: str, rule_id: str | None = None):
+    diags, _fixes = _run(source)
+    if rule_id is not None:
+        diags = [d for d in diags if d.rule_id == rule_id]
+    return diags
+
+
+class TestUnguarded:
+    def test_leaked_file_handle(self):
+        (diag,) = _diags('''
+            def read_config(path):
+                f = open(path)
+                data = f.read()
+                return data
+        ''')
+        assert diag.rule_id == "resource-lifecycle-unguarded"
+        assert diag.severity is Severity.WARNING
+        assert (diag.span.line, diag.span.column) == (3, 5)
+        assert "acquires a file" in diag.message
+
+    def test_leaked_socket(self):
+        (diag,) = _diags('''
+            import socket
+
+            def probe(host):
+                sock = socket.socket()
+                sock.connect((host, 80))
+        ''')
+        assert diag.rule_id == "resource-lifecycle-unguarded"
+        assert (diag.span.line, diag.span.column) == (5, 5)
+        assert "acquires a socket" in diag.message
+
+    def test_leaked_temp_directory(self):
+        (diag,) = _diags('''
+            import tempfile
+
+            def scratch():
+                work = tempfile.mkdtemp()
+                print(work)
+        ''')
+        assert diag.rule_id == "resource-lifecycle-unguarded"
+        assert (diag.span.line, diag.span.column) == (5, 5)
+        assert "acquires a temppath" in diag.message
+
+    def test_return_escape_transfers_ownership(self):
+        assert _diags('''
+            def open_log(path):
+                f = open(path, "a")
+                return f
+        ''') == []
+
+    def test_attribute_store_escape(self):
+        assert _diags('''
+            import socket
+
+            class Client:
+                def connect(self, host):
+                    sock = socket.socket()
+                    sock.connect((host, 80))
+                    self.sock = sock
+        ''') == []
+
+    def test_container_append_escape(self):
+        assert _diags('''
+            def pool_up(paths, handles):
+                for path in paths:
+                    f = open(path)
+                    handles.append(f)
+        ''') == []
+
+    def test_try_finally_guard(self):
+        assert _diags('''
+            def read(path):
+                f = open(path)
+                try:
+                    return f.read()
+                finally:
+                    f.close()
+        ''') == []
+
+    def test_rmtree_in_finally_guards_mkdtemp(self):
+        assert _diags('''
+            import shutil
+            import tempfile
+
+            def scratch():
+                work = tempfile.mkdtemp()
+                try:
+                    print(work)
+                finally:
+                    shutil.rmtree(work)
+        ''') == []
+
+    def test_with_statement_is_not_an_acquisition(self):
+        assert _diags('''
+            def read(path):
+                with open(path) as f:
+                    return f.read()
+        ''') == []
+
+
+class TestWrapFix:
+    SOURCE = '''
+        def write_note(path):
+            f = open(path, "w")
+            f.write("note")
+            f.close()
+    '''
+
+    def test_fix_emitted_with_matching_key(self):
+        diags, fixes = _run(self.SOURCE)
+        (diag,) = diags
+        (fix,) = fixes
+        assert diag.rule_id == "resource-lifecycle-unguarded"
+        assert fix.rule_id == "resource-lifecycle-unguarded"
+        assert (fix.line, fix.column) == (diag.span.line, diag.span.column)
+        assert fix.message == diag.message
+        assert fix.description == "wrap 'f' in a with statement"
+
+    def test_fix_applies_to_a_with_block(self):
+        source = textwrap.dedent(self.SOURCE)
+        _diags_out, (fix,) = _run(self.SOURCE)
+        fixed, applied, skipped = apply_edits(source, fix.edits)
+        assert not skipped and len(applied) == len(fix.edits)
+        assert fixed == textwrap.dedent('''
+            def write_note(path):
+                with open(path, "w") as f:
+                    f.write("note")
+        ''')
+
+    def test_fixed_source_relints_clean(self):
+        source = textwrap.dedent(self.SOURCE)
+        _diags_out, (fix,) = _run(self.SOURCE)
+        fixed, _applied, _skipped = apply_edits(source, fix.edits)
+        assert run_file("mod.py", ast.parse(fixed), fixed) == ([], [])
+
+    def test_no_fix_when_resource_used_after_close(self):
+        _diags_out, fixes = _run('''
+            def write_note(path):
+                f = open(path, "w")
+                f.write("note")
+                f.close()
+                return f.closed
+        ''')
+        assert fixes == []
+
+    def test_no_fix_for_nontrivial_interleaving(self):
+        _diags_out, fixes = _run('''
+            def write_note(path, flag):
+                f = open(path, "w")
+                if flag:
+                    f.write("note")
+                f.close()
+        ''')
+        assert fixes == []
+
+
+class TestDoubleClose:
+    def test_straight_line_double_close(self):
+        (diag,) = _diags('''
+            def run(path):
+                f = open(path)
+                f.close()
+                f.close()
+        ''', "resource-lifecycle-double-close")
+        assert diag.severity is Severity.ERROR
+        assert (diag.span.line, diag.span.column) == (5, 5)
+        assert "already" in diag.message
+
+    def test_close_on_one_branch_only_is_clean(self):
+        assert _diags('''
+            def run(path, flag):
+                f = open(path)
+                if flag:
+                    f.close()
+                f.close()
+        ''', "resource-lifecycle-double-close") == []
+
+    def test_pool_terminate_then_close(self):
+        (diag,) = _diags('''
+            import multiprocessing
+
+            def run():
+                pool = multiprocessing.Pool(2)
+                pool.terminate()
+                pool.close()
+        ''', "resource-lifecycle-double-close")
+        assert (diag.span.line, diag.span.column) == (7, 5)
+
+
+class TestUseAfterClose:
+    def test_read_after_close(self):
+        (diag,) = _diags('''
+            def run(path):
+                f = open(path)
+                f.close()
+                return f.read()
+        ''', "resource-lifecycle-use-after-close")
+        assert diag.severity is Severity.ERROR
+        assert (diag.span.line, diag.span.column) == (5, 12)
+        assert "f is used after it was closed" in diag.message
+
+    def test_close_on_both_branches_then_use(self):
+        (diag,) = _diags('''
+            def run(path, flag):
+                f = open(path)
+                if flag:
+                    f.close()
+                else:
+                    f.close()
+                return f.read()
+        ''', "resource-lifecycle-use-after-close")
+        assert diag.span.line == 8
+
+    def test_sanctioned_finalizers_are_clean(self):
+        assert _diags('''
+            import multiprocessing
+            import subprocess
+
+            def run(cmd):
+                pool = multiprocessing.Pool(2)
+                try:
+                    pool.map(str, [1])
+                finally:
+                    pool.close()
+                    pool.join()
+                proc = subprocess.Popen(cmd)
+                try:
+                    proc.communicate()
+                finally:
+                    proc.terminate()
+                    proc.wait()
+                return proc.returncode
+        ''') == []
+
+    def test_rebinding_resets_tracking(self):
+        assert _diags('''
+            def run(path):
+                f = open(path)
+                f.close()
+                f = open(path)
+                data = f.read()
+                f.close()
+                return data
+        ''', "resource-lifecycle-use-after-close") == []
+
+    def test_loop_body_does_not_leak_closed_state(self):
+        # The body may run zero times; closing inside it is not a
+        # must-close for statements after the loop.
+        assert _diags('''
+            def run(path, items):
+                f = open(path)
+                for item in items:
+                    f.close()
+                f.read()
+                f.close()
+        ''', "resource-lifecycle-use-after-close") == []

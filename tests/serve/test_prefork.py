@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import json
 import shutil
+import socket
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -238,6 +240,78 @@ class TestGenerationCoordination:
     def test_control_call_to_missing_socket_is_none(self, tmp_path):
         assert control_call(worker_socket_path(tmp_path, 9), "ping",
                             timeout_s=0.2) is None
+
+
+class _FakePeer:
+    """A unix-socket peer with a scripted (mis)behavior for one accept."""
+
+    def __init__(self, tmp_path, behavior):
+        self.path = tmp_path / "fake.sock"
+        self._behavior = behavior
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(str(self.path))
+        self._sock.listen(1)
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        try:
+            conn, _addr = self._sock.accept()
+            with conn:
+                conn.settimeout(5.0)
+                conn.recv(65536)             # drain the request line
+                self._behavior(conn)
+        except OSError:
+            pass
+
+    def close(self):
+        try:
+            self._sock.close()
+        finally:
+            self._thread.join(timeout=5.0)
+
+
+class TestControlCallDegradation:
+    """Every peer failure mode degrades to None — never an exception."""
+
+    def _call(self, tmp_path, behavior, timeout_s: float = 1.0):
+        peer = _FakePeer(tmp_path, behavior)
+        try:
+            return control_call(peer.path, "ping", timeout_s=timeout_s)
+        finally:
+            peer.close()
+
+    def test_well_behaved_peer_round_trips(self, tmp_path):
+        result = self._call(
+            tmp_path, lambda conn: conn.sendall(b'{"ok": true}\n'))
+        assert result == {"ok": True}
+
+    def test_peer_gone_mid_read_is_none(self, tmp_path):
+        # Partial JSON, then the peer dies: no newline ever arrives.
+        assert self._call(
+            tmp_path, lambda conn: conn.sendall(b'{"par')) is None
+
+    def test_garbage_line_is_none(self, tmp_path):
+        assert self._call(
+            tmp_path, lambda conn: conn.sendall(b"not json\n")) is None
+
+    def test_non_utf8_payload_is_none(self, tmp_path):
+        assert self._call(
+            tmp_path, lambda conn: conn.sendall(b"\xff\xfe\xfd\n")) is None
+
+    def test_oversized_response_is_none(self, tmp_path):
+        blob = b"x" * (2 * 1024 * 1024) + b"\n"
+        assert self._call(
+            tmp_path, lambda conn: conn.sendall(blob), timeout_s=10.0) is None
+
+    def test_never_responding_peer_times_out_to_none(self, tmp_path):
+        peer = _FakePeer(tmp_path, lambda conn: time.sleep(1.5))
+        try:
+            started = time.monotonic()
+            assert control_call(peer.path, "ping", timeout_s=0.3) is None
+            assert time.monotonic() - started < 1.4
+        finally:
+            peer.close()
 
 
 class TestMergeSemantics:
