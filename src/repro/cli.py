@@ -166,6 +166,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--sweep-max-jobs", type=int, default=4,
                        help="concurrent sweep jobs before submissions are "
                             "shed with 429 + Retry-After")
+    serve.add_argument("--sanitize", action="store_true",
+                       help="serve under the runtime concurrency sanitizer: "
+                            "every registered lock is instrumented and "
+                            "/api/metrics grows a 'sanitizer' section "
+                            "(races, stalls, per-site hold/wait histograms)")
+    serve.add_argument("--sanitize-budget-ms", type=float, default=250.0,
+                       help="lock-stall watchdog budget with --sanitize "
+                            "(default 250)")
 
     lint = sub.add_parser(
         "lint", help="static analysis over corpus, site, and serve code")
@@ -184,6 +192,15 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="override one rule's severity (repeatable)")
     lint.add_argument("--disable", action="append", default=[],
                       metavar="RULE", help="disable one rule (repeatable)")
+    lint.add_argument("--select", action="append", default=[],
+                      metavar="RULES",
+                      help="report only these rule ids (repeatable, "
+                           "comma-separable); report-time filtering that "
+                           "composes with the cache")
+    lint.add_argument("--ignore", action="append", default=[],
+                      metavar="RULES",
+                      help="drop these rule ids from the report "
+                           "(repeatable, comma-separable alias of --disable)")
     lint.add_argument("--no-site", action="store_true",
                       help="skip the site pass (templates, archetype, terms)")
     lint.add_argument("--no-code", action="store_true",
@@ -211,7 +228,57 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="analyze only files changed vs GIT_REF (plus "
                            "their cross-class dependents); unchanged files "
                            "come from cache or are skipped")
+
+    san = sub.add_parser(
+        "sanitize",
+        help="run a target under the runtime concurrency sanitizer "
+             "(lockset race detection + lock-stall watchdog)")
+    san.add_argument("target",
+                     help="what to run instrumented: 'module:callable' "
+                          "(imported and called with no arguments), a "
+                          "test file/directory path (run under pytest), "
+                          "or a bare module (imported; its main() is "
+                          "called when present)")
+    san.add_argument("--budget-ms", type=float, default=250.0,
+                     help="lock-stall watchdog budget (default 250)")
+    san.add_argument("--format", choices=["text", "json", "sarif"],
+                     default="text", help="report format")
+    san.add_argument("--output", default=None,
+                     help="write the report here instead of stdout")
+    san.add_argument("--fail-on", choices=["info", "warning", "error"],
+                     default="warning",
+                     help="exit 1 when a finding at or above this severity "
+                          "exists (default: warning — races and stalls)")
+    san.add_argument("--severity", action="append", default=[],
+                     metavar="RULE=LEVEL",
+                     help="override one rule's severity (repeatable)")
+    san.add_argument("--disable", action="append", default=[],
+                     metavar="RULE", help="disable one rule (repeatable)")
+    san.add_argument("--select", action="append", default=[],
+                     metavar="RULES",
+                     help="report only these rule ids (repeatable, "
+                          "comma-separable)")
+    san.add_argument("--baseline", default=None, metavar="FILE",
+                     help="baseline file: matching findings are filtered")
+    san.add_argument("--write-baseline", action="store_true",
+                     help="regenerate --baseline from the current findings "
+                          "and exit 0")
+    san.add_argument("--no-crossref", action="store_true",
+                     help="skip cross-referencing static serve-lock-order/"
+                          "serve-blocking-io-under-lock findings as "
+                          "confirmed/unobserved")
+    san.add_argument("--counters", action="store_true",
+                     help="append the sanitizer counter snapshot (JSON) "
+                          "to the report")
     return parser
+
+
+def _split_rule_args(values: list[str]) -> frozenset[str]:
+    """``--select a,b --select c`` -> {'a', 'b', 'c'}."""
+    return frozenset(
+        rule_id.strip()
+        for chunk in values
+        for rule_id in chunk.split(",") if rule_id.strip())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -351,6 +418,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "lint":
         return _run_lint(args)
 
+    if args.command == "sanitize":
+        return _run_sanitize(args)
+
     if args.command == "serve":
         from repro import serve as serve_mod
 
@@ -378,6 +448,8 @@ def main(argv: list[str] | None = None) -> int:
             fault_seed=args.fault_seed,
             sweep_workers=args.sweep_workers,
             sweep_max_jobs=args.sweep_max_jobs,
+            sanitize_locks=args.sanitize,
+            sanitize_budget_ms=args.sanitize_budget_ms,
         )
 
     raise AssertionError("unreachable")
@@ -518,18 +590,9 @@ def _run_lint(args) -> int:
     if args.write_baseline and not args.baseline:
         print("--write-baseline requires --baseline FILE", file=sys.stderr)
         return 2
-    overrides = {}
-    for spec in args.severity:
-        rule_id, sep, level = spec.partition("=")
-        if not sep or not rule_id or not level:
-            print(f"--severity expects RULE=LEVEL, got {spec!r}",
-                  file=sys.stderr)
-            return 2
-        try:
-            overrides[rule_id] = Severity.parse(level)
-        except ValueError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
+    overrides = _parse_severity_overrides(args.severity, Severity)
+    if overrides is None:
+        return 2
     changed_only: frozenset | None = None
     if args.changed is not None:
         changed_only = _git_changed_files(args.changed)
@@ -542,7 +605,8 @@ def _run_lint(args) -> int:
         site=not args.no_site,
         code=not args.no_code,
         severity_overrides=overrides,
-        disabled=frozenset(args.disable),
+        disabled=frozenset(args.disable) | _split_rule_args(args.ignore),
+        selected=_split_rule_args(args.select) or None,
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         baseline=(Path(args.baseline)
                   if args.baseline and not args.write_baseline else None),
@@ -579,6 +643,105 @@ def _run_lint(args) -> int:
               f"({len(result.diagnostics)} finding(s))")
         return 0
     report = REPORTERS[args.format](result, stats=args.stats)
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
+    return result.exit_code(Severity.parse(args.fail_on))
+
+
+def _parse_severity_overrides(specs, severity_cls):
+    """Parse repeated ``RULE=LEVEL`` args; ``None`` on a usage error."""
+    overrides = {}
+    for spec in specs:
+        rule_id, sep, level = spec.partition("=")
+        if not sep or not rule_id or not level:
+            print(f"--severity expects RULE=LEVEL, got {spec!r}",
+                  file=sys.stderr)
+            return None
+        try:
+            overrides[rule_id] = severity_cls.parse(level)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return None
+    return overrides
+
+
+def _run_sanitize(args) -> int:
+    """``pdcunplugged sanitize``: exit 0 clean, 1 findings, 2 usage error."""
+    import importlib
+    import json
+    from pathlib import Path
+
+    from repro import sanitize as sanitize_mod
+    from repro.lint import REPORTERS, Severity, write_baseline
+    from repro.lint.baseline import BaselineError
+    from repro.sanitize.crossref import crossref
+    from repro.sanitize.report import finalize
+
+    if args.write_baseline and not args.baseline:
+        print("--write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+    overrides = _parse_severity_overrides(args.severity, Severity)
+    if overrides is None:
+        return 2
+
+    try:
+        san = sanitize_mod.activate(hold_budget_ms=args.budget_ms)
+    except RuntimeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        module_name, sep, attr = args.target.partition(":")
+        if not sep and (args.target.endswith(".py")
+                        or Path(args.target).is_dir()):
+            import pytest
+
+            pytest.main(["-q", "-p", "no:cacheprovider", args.target])
+        else:
+            module = importlib.import_module(module_name)
+            if sep:
+                fn = module
+                for part in attr.split("."):
+                    fn = getattr(fn, part)
+                fn()
+            elif hasattr(module, "main"):
+                module.main()
+    except SystemExit:
+        pass                              # target managed its own exit
+    except Exception as exc:
+        sanitize_mod.deactivate()
+        print(f"sanitize target {args.target!r} failed: {exc}",
+              file=sys.stderr)
+        return 2
+    finally:
+        if sanitize_mod.current() is san:
+            sanitize_mod.deactivate()
+
+    diagnostics = san.diagnostics()
+    if not args.no_crossref:
+        diagnostics.extend(crossref(san))
+    try:
+        result = finalize(
+            diagnostics,
+            severity_overrides=overrides,
+            disabled=frozenset(args.disable),
+            selected=_split_rule_args(args.select) or None,
+            baseline=(Path(args.baseline)
+                      if args.baseline and not args.write_baseline
+                      else None))
+    except (ValueError, BaselineError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = write_baseline(args.baseline, result.diagnostics)
+        print(f"baseline written: {target} "
+              f"({len(result.diagnostics)} finding(s))")
+        return 0
+    report = REPORTERS[args.format](result)
+    if args.counters:
+        report += json.dumps({"sanitizer": san.counters()}, indent=2,
+                             sort_keys=True) + "\n"
     if args.output:
         Path(args.output).write_text(report, encoding="utf-8")
     else:

@@ -86,6 +86,10 @@ class LintConfig:
     code: bool = True
     severity_overrides: dict[str, Severity] = field(default_factory=dict)
     disabled: frozenset[str] = frozenset()
+    #: When set (``--select``): only these rule ids are reported.
+    #: Report-time only, like ``disabled`` — composes with the cache
+    #: (no invalidation) and with ``--changed`` scoping.
+    selected: frozenset[str] | None = None
     cache_dir: Path | None = None        # persist the fingerprint table here
     baseline: Path | None = None         # .lintbaseline.json (warn-first)
     #: When set (``--changed <ref>``): resolved absolute paths that
@@ -95,7 +99,8 @@ class LintConfig:
     changed_only: frozenset[str] | None = None
 
     def validate(self) -> None:
-        unknown = (set(self.severity_overrides) | set(self.disabled)) - set(RULES)
+        unknown = (set(self.severity_overrides) | set(self.disabled)
+                   | set(self.selected or ())) - set(RULES)
         if unknown:
             raise ValueError(
                 f"unknown lint rule(s): {', '.join(sorted(unknown))}")
@@ -495,6 +500,9 @@ class LintEngine:
                     and str(Path(diag.file).resolve()) not in allowed_report):
                 continue
             if diag.rule_id in self.config.disabled:
+                continue
+            if (self.config.selected is not None
+                    and diag.rule_id not in self.config.selected):
                 continue
             suppressions = (self._content_suppressions.get(diag.file)
                             or self._code_suppressions.get(diag.file))

@@ -1,0 +1,125 @@
+"""Runtime concurrency sanitizer — dynamic counterpart to the static passes.
+
+``repro.lint`` reasons about locks from the AST (lock graph, fork
+safety, resource lattice); this package observes the *actual* lock and
+shared-state traffic of a running process:
+
+* :class:`~repro.sanitize.core.Sanitizer` — the collector.  Wraps
+  ``threading.Lock``/``RLock``/``Condition`` objects at registered
+  sites, maintains per-thread locksets and a global lock-order graph,
+  and runs an Eraser-style lockset state machine over attribute traffic
+  on registered shared objects.
+* :func:`register_lock` / :func:`share` — the instrumentation points
+  the serve/sweep classes call.  Both are no-ops (a ``None`` check)
+  when no sanitizer is active, so production paths pay nothing.
+* Findings come out as ordinary lint :class:`~repro.lint.diagnostics.
+  Diagnostic` objects, so suppressions, severity overrides, the
+  baseline ratchet, and the text/JSON/SARIF reporters work unchanged.
+
+This module is deliberately import-light: the serve and sweep modules
+import it at module load, so it must not drag in ``repro.lint`` (or
+anything else heavy) until a sanitizer is actually activated.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "activate",
+    "activation",
+    "current",
+    "deactivate",
+    "register_lock",
+    "share",
+    "wrap_lock",
+]
+
+#: Sentinel: "use the sanitizer's default stall budget for this site".
+DEFAULT_BUDGET = object()
+
+_state_lock = threading.Lock()
+_active: Any = None
+
+
+def current():
+    """The active :class:`Sanitizer`, or ``None``."""
+    return _active
+
+
+def activate(sanitizer=None, **kwargs):
+    """Install ``sanitizer`` (or a fresh one built from ``kwargs``) as
+    the process-wide active sanitizer and return it."""
+    global _active
+    if sanitizer is None:
+        from repro.sanitize.core import Sanitizer
+        sanitizer = Sanitizer(**kwargs)
+    with _state_lock:
+        if _active is not None:
+            raise RuntimeError("a sanitizer is already active")
+        _active = sanitizer
+    return sanitizer
+
+
+def deactivate():
+    """Remove and return the active sanitizer (``None`` if none)."""
+    global _active
+    with _state_lock:
+        sanitizer, _active = _active, None
+    return sanitizer
+
+
+@contextmanager
+def activation(sanitizer=None, **kwargs) -> Iterator[Any]:
+    """``with activation() as san:`` — activate for the block only."""
+    san = activate(sanitizer, **kwargs)
+    try:
+        yield san
+    finally:
+        deactivate()
+
+
+def register_lock(owner: Any, attr: str, name: str,
+                  stall_budget_ms: Any = DEFAULT_BUDGET) -> None:
+    """Instrument the lock stored at ``owner.<attr>`` under ``name``.
+
+    Called from ``__init__`` bodies *after* the plain
+    ``self._lock = threading.Lock()`` assignment — the assignment stays
+    so the static passes keep recognising lock ownership; this call
+    swaps in an instrumented wrapper only when a sanitizer is active.
+
+    ``stall_budget_ms=None`` exempts the site from the stall watchdog
+    (for locks that legitimately guard long critical sections, e.g. a
+    rebuild refresh lock held across a full site rebuild).
+    """
+    san = _active
+    if san is None:
+        return
+    san.instrument_attr(owner, attr, name, stall_budget_ms)
+
+
+def wrap_lock(lock: Any, name: str,
+              stall_budget_ms: Any = DEFAULT_BUDGET) -> Any:
+    """Return an instrumented wrapper for ``lock`` (or ``lock`` itself
+    when no sanitizer is active)."""
+    san = _active
+    if san is None:
+        return lock
+    return san.wrap(lock, name, stall_budget_ms)
+
+
+def share(obj: Any, name: str) -> Any:
+    """Wrap ``obj`` in an attribute-access proxy feeding the lockset
+    race detector.  Returns ``obj`` unchanged when inactive.
+
+    Only traffic *through the returned proxy* is observed — callers
+    must thread the proxy, not the original, to every thread under
+    test.  (This is the documented proxy-model limitation; see
+    DESIGN §10.)
+    """
+    san = _active
+    if san is None:
+        return obj
+    return san.share(obj, name)

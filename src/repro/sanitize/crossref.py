@@ -1,0 +1,99 @@
+"""Cross-reference static concurrency findings with runtime evidence.
+
+The static passes over-approximate (DESIGN §9): ``serve-lock-order``
+reports any both-ways *possible* acquisition order and
+``serve-blocking-io-under-lock`` any known-blocking call lexically
+under a lock.  After a sanitized run we can say which of those shapes
+the program actually exhibited:
+
+* a blocking-under-lock finding is **confirmed** when the flagged
+  class's lock site recorded at least one stall (a hold past budget);
+* a lock-order finding is **confirmed** when the runtime order graph
+  contains both directions between any two lock sites the finding
+  names.
+
+Everything else is **unobserved** — not refuted (dynamic analysis only
+sees executed paths), just never seen.  Both outcomes are emitted as
+INFO ``sanitize-crossref`` diagnostics anchored at the static finding.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.diagnostics import Diagnostic, make
+from repro.lint.engine import LintConfig, LintEngine
+
+if TYPE_CHECKING:                         # pragma: no cover
+    from repro.sanitize.core import Sanitizer
+
+CROSSREF_RULES = ("serve-blocking-io-under-lock", "serve-lock-order")
+
+_QUALIFIED = re.compile(r"\b([A-Za-z_]\w*)\.(_?\w+)\b")
+_IN_CLASS = re.compile(r"lock-order inversion in (\w+)\b")
+
+
+def default_code_dirs() -> list[Path]:
+    import repro.serve
+    import repro.sweep
+    return [Path(repro.serve.__file__).parent,
+            Path(repro.sweep.__file__).parent]
+
+
+def static_findings(code_dirs: Iterable[Path] | None = None,
+                    ) -> list[Diagnostic]:
+    """Static lock-order / blocking-under-lock findings for the dirs."""
+    dirs = list(code_dirs) if code_dirs is not None else default_code_dirs()
+    out: list[Diagnostic] = []
+    for code_dir in dirs:
+        config = LintConfig(content_dir=code_dir, code_dir=code_dir,
+                            content=False, site=False, code=True)
+        result = LintEngine(config).lint()
+        out.extend(diag for diag in result.diagnostics
+                   if diag.rule_id in CROSSREF_RULES)
+    return out
+
+
+def _lock_sites_in(message: str, sites: frozenset[str]) -> set[str]:
+    """Registered lock-site names a static message refers to.
+
+    Cross-class messages already qualify locks as ``Cls._lock``;
+    intra-class ones say ``self._lock`` with the class named elsewhere
+    in the message, so resolve ``self`` against that class.
+    """
+    in_class = _IN_CLASS.search(message)
+    owner = in_class.group(1) if in_class else message.split(".", 1)[0]
+    found: set[str] = set()
+    for obj, attr in _QUALIFIED.findall(message):
+        name = f"{owner}.{attr}" if obj == "self" else f"{obj}.{attr}"
+        if name in sites:
+            found.add(name)
+    return found
+
+
+def crossref(sanitizer: "Sanitizer",
+             code_dirs: Iterable[Path] | None = None) -> list[Diagnostic]:
+    """INFO diagnostics marking each static finding confirmed/unobserved."""
+    findings = static_findings(code_dirs)
+    site_names = frozenset(sanitizer.sites)
+    edges = set(sanitizer.order_edges)
+    out: list[Diagnostic] = []
+    for diag in findings:
+        if diag.rule_id == "serve-blocking-io-under-lock":
+            cls = diag.message.split(".", 1)[0]
+            confirmed = any(
+                name.startswith(f"{cls}.") and site.stalls
+                for name, site in sanitizer.sites.items())
+        else:
+            named = _lock_sites_in(diag.message, site_names)
+            confirmed = any(
+                (a, b) in edges and (b, a) in edges
+                for a in named for b in named if a != b)
+        status = "confirmed" if confirmed else "unobserved"
+        out.append(make(
+            "sanitize-crossref", diag.file, diag.span.line,
+            diag.span.column,
+            f"static {diag.rule_id} {status} at runtime: {diag.message}"))
+    return out

@@ -1,0 +1,153 @@
+"""Eraser-style lockset race detection over proxied shared objects.
+
+The algorithm (Savage et al., *Eraser: A Dynamic Data Race Detector
+for Multithreaded Programs*, 1997) tracks a state machine per shared
+field:
+
+``virgin`` → ``exclusive`` (first accessing thread) → ``shared``
+(second thread reads) / ``shared-modified`` (second thread writes).
+
+From the moment a second thread touches the field, a *candidate
+lockset* C(v) — initialised to the locks held at that access — is
+intersected with the accessing thread's held locks on every further
+access.  When C(v) becomes empty while the field is in
+``shared-modified``, no single lock protected every access: a
+candidate data race, reported once per field at the file/line of the
+access that emptied the set.
+
+Only traffic through a :class:`SharedProxy` is observed (the proxy
+model: opt-in, zero cost for unproxied objects, and the documented
+false-negative shape — accesses that bypass the proxy are invisible).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:                         # pragma: no cover
+    from repro.lint.diagnostics import Diagnostic
+    from repro.sanitize.core import Sanitizer
+
+_PKG_PREFIX = __name__.rsplit(".", 1)[0]    # "repro.sanitize"
+
+VIRGIN = "virgin"
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+SHARED_MODIFIED = "shared-modified"
+
+
+def caller_site(skip_prefix: str = _PKG_PREFIX) -> tuple[str, int]:
+    """File/line of the nearest stack frame outside this package."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if not (module.startswith(skip_prefix)
+                or module in ("threading", "contextlib")):
+            return frame.f_code.co_filename, frame.f_lineno
+        frame = frame.f_back
+    return "<unknown>", 0
+
+
+class _FieldState:
+    __slots__ = ("state", "owner", "lockset", "reported")
+
+    def __init__(self, owner: int) -> None:
+        self.state = EXCLUSIVE
+        self.owner = owner
+        self.lockset: frozenset[str] | None = None   # None: not yet shared
+        self.reported = False
+
+
+class RaceTable:
+    """Per-field lockset state machine; owns the reported races."""
+
+    def __init__(self, sanitizer: "Sanitizer") -> None:
+        self._san = sanitizer
+        self._mu = threading.Lock()
+        self._fields: dict[tuple[str, str], _FieldState] = {}
+        #: (message, file, line) per reported race, in discovery order.
+        self._races: list[tuple[str, str, int]] = []
+
+    def on_access(self, obj_name: str, attr: str, is_write: bool) -> None:
+        held = self._san.held_names()
+        tid = threading.get_ident()
+        with self._mu:
+            fs = self._fields.get((obj_name, attr))
+            if fs is None:
+                self._fields[(obj_name, attr)] = _FieldState(tid)
+                return
+            prior: frozenset[str] = frozenset()
+            if fs.state == EXCLUSIVE:
+                if tid == fs.owner:
+                    return
+                fs.lockset = held
+                fs.state = SHARED_MODIFIED if is_write else SHARED
+            else:
+                prior = fs.lockset if fs.lockset is not None else frozenset()
+                fs.lockset = prior & held
+                if is_write:
+                    fs.state = SHARED_MODIFIED
+            if (fs.state == SHARED_MODIFIED and not fs.lockset
+                    and not fs.reported):
+                fs.reported = True
+                file, line = caller_site()
+                kind = "write" if is_write else "read"
+                guarded = (
+                    f"candidate lockset was {{{', '.join(sorted(prior))}}} "
+                    f"until this access" if prior
+                    else "no common lock across threads")
+                self._races.append((
+                    f"data race on {obj_name}.{attr}: {kind} with empty "
+                    f"lockset in shared-modified state ({guarded})",
+                    file, line))
+
+    def race_count(self) -> int:
+        with self._mu:
+            return len(self._races)
+
+    def field_count(self) -> int:
+        with self._mu:
+            return len(self._fields)
+
+    def diagnostics(self) -> Iterator["Diagnostic"]:
+        from repro.lint.diagnostics import make
+        with self._mu:
+            races = list(self._races)
+        for message, file, line in races:
+            yield make("sanitize-data-race", file, line, 1, message)
+
+
+class SharedProxy:
+    """Attribute-access proxy feeding a :class:`RaceTable`.
+
+    Delegates every read/write to the wrapped target; dunder traffic
+    (including special-method dispatch, which CPython resolves on the
+    type) bypasses observation by design.
+    """
+
+    __slots__ = ("_san_target", "_san_name", "_san_races")
+
+    def __init__(self, target: Any, name: str,
+                 sanitizer: "Sanitizer") -> None:
+        object.__setattr__(self, "_san_target", target)
+        object.__setattr__(self, "_san_name", name)
+        object.__setattr__(self, "_san_races", sanitizer.races)
+
+    def __getattr__(self, attr: str) -> Any:
+        target = object.__getattribute__(self, "_san_target")
+        value = getattr(target, attr)
+        if not attr.startswith("__"):
+            object.__getattribute__(self, "_san_races").on_access(
+                object.__getattribute__(self, "_san_name"), attr, False)
+        return value
+
+    def __setattr__(self, attr: str, value: Any) -> None:
+        object.__getattribute__(self, "_san_races").on_access(
+            object.__getattribute__(self, "_san_name"), attr, True)
+        setattr(object.__getattribute__(self, "_san_target"), attr, value)
+
+    def __repr__(self) -> str:
+        name = object.__getattribute__(self, "_san_name")
+        return f"<SharedProxy {name}>"

@@ -1,0 +1,78 @@
+"""pytest integration: run a test session under the sanitizer.
+
+``tests/conftest.py`` delegates the actual hook bodies here so the
+plugin logic lives with the sanitizer (and stays importable from the
+``pdcunplugged sanitize`` CLI's ``--pytest`` mode if ever needed).
+
+``--sanitize`` activates a process-wide :class:`Sanitizer` before the
+first test runs; every lock the serve/sweep stacks register from then
+on is instrumented.  At session end the observations are finalized
+through the lint report pipeline (suppressions / baseline) and any
+*unbaselined* warning-or-worse finding — a race, a stall, or a runtime
+lock-order inversion — fails the session even when every test passed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.lint.diagnostics import Severity
+
+
+def addoption(parser: Any) -> None:
+    group = parser.getgroup("sanitize")
+    group.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="run the session under the runtime concurrency sanitizer")
+    group.addoption(
+        "--sanitize-budget-ms", type=float, default=500.0,
+        help="lock-stall watchdog budget in milliseconds (default 500)")
+    group.addoption(
+        "--sanitize-baseline", default=None, metavar="FILE",
+        help="baseline file for known sanitizer findings")
+
+
+def configure(config: Any) -> None:
+    if not config.getoption("--sanitize"):
+        return
+    from repro.sanitize import activate
+    config._sanitizer = activate(
+        hold_budget_ms=config.getoption("--sanitize-budget-ms"))
+
+
+def sessionfinish(session: Any) -> None:
+    config = session.config
+    sanitizer = getattr(config, "_sanitizer", None)
+    if sanitizer is None:
+        return
+    from repro.sanitize import deactivate
+    from repro.sanitize.report import finalize
+    deactivate()
+    baseline_opt = config.getoption("--sanitize-baseline")
+    result = finalize(
+        sanitizer.diagnostics(),
+        baseline=Path(baseline_opt) if baseline_opt else None)
+    config._sanitize_result = (sanitizer, result)
+    failing = [diag for diag in result.diagnostics
+               if diag.severity.rank >= Severity.WARNING.rank]
+    if failing and session.exitstatus == 0:
+        session.exitstatus = 1
+
+
+def terminal_summary(terminalreporter: Any, config: Any) -> None:
+    bundle = getattr(config, "_sanitize_result", None)
+    if bundle is None:
+        return
+    sanitizer, result = bundle
+    counters = sanitizer.counters()
+    terminalreporter.section("concurrency sanitizer")
+    terminalreporter.line(
+        f"lock sites: {len(counters['locks'])}  "
+        f"races: {counters['races']}  stalls: {counters['stalls']}  "
+        f"order edges: {counters['order_edges']}  "
+        f"baselined: {result.stats.baselined}")
+    for diag in result.diagnostics:
+        terminalreporter.line(
+            f"{diag.severity.value}: {diag.rule_id} "
+            f"{diag.file}:{diag.span.line} {diag.message}")

@@ -1,0 +1,90 @@
+"""Render sanitizer observations through the lint reporting pipeline.
+
+:func:`finalize` takes raw sanitizer diagnostics and applies, in
+order, exactly the report-time filters the lint engine applies:
+``# lint: disable=`` suppression comments in the flagged source files,
+rule disabling / ``--select`` keep-lists, the baseline ratchet, and
+severity overrides.  The result is an ordinary
+:class:`~repro.lint.engine.LintResult`, so ``render_text`` /
+``render_json`` / ``render_sarif`` and the lint exit-code semantics
+work on sanitizer output unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.lint.baseline import baseline_key, load_baseline
+from repro.lint.diagnostics import (
+    RULES,
+    Diagnostic,
+    Severity,
+    Suppressions,
+    is_suppressed,
+    python_suppressions,
+    sort_key,
+)
+from repro.lint.engine import LintResult, LintStats
+
+
+def validate_rules(*rule_sets: Iterable[str] | None) -> None:
+    """Raise ``ValueError`` for rule ids absent from the registry."""
+    unknown: set[str] = set()
+    for rules in rule_sets:
+        if rules:
+            unknown |= set(rules) - set(RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown lint rule(s): {', '.join(sorted(unknown))}")
+
+
+def _suppressions_for(file: str,
+                      cache: dict[str, Suppressions | None],
+                      ) -> Suppressions | None:
+    if file not in cache:
+        suppressions: Suppressions | None = None
+        path = Path(file)
+        if path.suffix == ".py" and path.is_file():
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                text = ""
+            if text:
+                suppressions = python_suppressions(text)
+        cache[file] = suppressions
+    return cache[file]
+
+
+def finalize(diagnostics: Iterable[Diagnostic],
+             *,
+             severity_overrides: Mapping[str, Severity] | None = None,
+             disabled: frozenset[str] = frozenset(),
+             selected: frozenset[str] | None = None,
+             baseline: Path | None = None,
+             ) -> LintResult:
+    """Apply report-time filtering and return a ``LintResult``."""
+    validate_rules(severity_overrides, disabled, selected)
+    baselined = load_baseline(baseline) if baseline else frozenset()
+    overrides = dict(severity_overrides or {})
+    suppression_cache: dict[str, Suppressions | None] = {}
+
+    kept: list[Diagnostic] = []
+    stats = LintStats()
+    for diag in diagnostics:
+        if diag.rule_id in disabled:
+            continue
+        if selected is not None and diag.rule_id not in selected:
+            continue
+        if is_suppressed(diag, _suppressions_for(diag.file,
+                                                 suppression_cache)):
+            continue
+        if baseline_key(diag) in baselined:
+            stats.baselined += 1
+            continue
+        override = overrides.get(diag.rule_id)
+        if override is not None:
+            diag = diag.with_severity(override)
+        kept.append(diag)
+    kept.sort(key=sort_key)
+    return LintResult(diagnostics=kept, stats=stats)

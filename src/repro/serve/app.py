@@ -62,6 +62,7 @@ from typing import TYPE_CHECKING
 from urllib.parse import parse_qs
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
+from repro import sanitize
 from repro.serve.cache import PageCache, ShardedPageCache, make_etag
 from repro.serve.faults import InjectedFault, parse_fault_spec
 from repro.serve.metrics import MetricsRegistry
@@ -165,6 +166,9 @@ class ServeApp:
         # /api/lint report cache: (corpus signature, rendered payload).
         # Guarded by _lint_lock; the lint run itself happens outside it.
         self._lint_lock = threading.Lock()
+        # Held only to swap the cached payload reference; the lint run
+        # itself happens outside — default budget is fine.
+        sanitize.register_lock(self, "_lint_lock", "ServeApp._lint_lock")
         self._lint_engine = None
         self._lint_payload: dict | None = None
         self._lint_signature: str | None = None
@@ -463,7 +467,7 @@ class ServeApp:
         if path == "/api/metrics":
             return self._api_metrics()
         if path == "/api/lint":
-            return self._api_lint()
+            return self._api_lint(query)
         return Response.error(404, f"unknown API route {path!r}", route="<unmatched>")
 
     def _api_cached(self, key: str, payload, route: str | None = None,
@@ -728,6 +732,9 @@ class ServeApp:
             extras["rebuild_thread"] = self.background.stats()
         if self.sweeps is not None:
             extras["sweeps"] = self.sweeps.stats()
+        sanitizer = sanitize.current()
+        if sanitizer is not None:
+            extras["sanitizer"] = sanitizer.counters()
         return extras
 
     def _local_metrics_payload(self) -> dict:
@@ -755,6 +762,9 @@ class ServeApp:
             resilience["persist"] = self.store.stats()
         if self.sweeps is not None:
             payload["sweeps"] = self.sweeps.stats()
+        sanitizer = sanitize.current()
+        if sanitizer is not None:
+            payload["sanitizer"] = sanitizer.counters()
         return payload
 
     def _api_metrics(self) -> Response:
@@ -768,7 +778,8 @@ class ServeApp:
         return Response.json(self._local_metrics_payload(),
                              route="/api/metrics")
 
-    def _api_lint(self) -> Response:
+    def _api_lint(self, query: dict[str, list[str]] | None = None,
+                  ) -> Response:
         """Static-analysis report for the served corpus.
 
         The report is recomputed only when the corpus generation changes
@@ -778,13 +789,21 @@ class ServeApp:
         The lint run happens *outside* ``_lint_lock`` — the engine
         serializes itself — so concurrent requests never queue behind a
         full analysis just to read the cached payload.
+
+        ``?rules=a,b`` narrows the report to those rule ids — applied to
+        the cached payload after the fact, mirroring ``lint --select``:
+        filtering never invalidates or forks the cache.
         """
         route = "/api/lint"
+        rules: list[str] = [
+            rule_id.strip()
+            for chunk in (query or {}).get("rules", [])
+            for rule_id in chunk.split(",") if rule_id.strip()]
         signature = self.state.corpus_signature
         with self._lint_lock:
             if (self._lint_payload is not None
                     and self._lint_signature == signature):
-                return Response.json(self._lint_payload, route=route)
+                return self._lint_response(self._lint_payload, rules, route)
             engine = self._lint_engine
         if engine is None:
             from repro.lint import LintConfig, LintEngine
@@ -814,7 +833,38 @@ class ServeApp:
             self._lint_engine = engine
             self._lint_payload = payload
             self._lint_signature = signature
-        return Response.json(payload, route=route)
+        return self._lint_response(payload, rules, route)
+
+    @staticmethod
+    def _lint_response(payload: dict, rules: list[str],
+                       route: str) -> Response:
+        """The cached lint payload, optionally narrowed to ``rules``."""
+        if not rules:
+            return Response.json(payload, route=route)
+        from repro.lint import RULES
+
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            return Response.error(
+                400, f"unknown lint rule(s): {', '.join(unknown)}",
+                route=route)
+        keep = set(rules)
+        diagnostics = [d for d in payload["diagnostics"]
+                       if d["rule"] in keep]
+        fixes = [f for f in payload["fixes"] if f["rule"] in keep]
+        counts: dict[str, int] = {k: 0 for k in payload["counts"]}
+        for diag in diagnostics:
+            counts[diag["severity"]] += 1
+        filtered = dict(payload)
+        filtered.update({
+            "rules": sorted(keep),
+            "counts": counts,
+            "fixable": len(fixes),
+            "clean": not diagnostics,
+            "diagnostics": diagnostics,
+            "fixes": fixes,
+        })
+        return Response.json(filtered, route=route)
 
 
 # -- construction ----------------------------------------------------------
@@ -937,7 +987,8 @@ def create_server(host: str = "127.0.0.1", port: int = 8000,
 
 def run(host: str = "127.0.0.1", port: int = 8000, workers: int = 1,
         queue_limit: int | None = None, worker_model: str = "thread",
-        threads_per_worker: int = 2, **app_kwargs) -> int:
+        threads_per_worker: int = 2, sanitize_locks: bool = False,
+        sanitize_budget_ms: float = 250.0, **app_kwargs) -> int:
     """Blocking entry point used by ``pdcunplugged serve``.
 
     The CLI path defaults to the background rebuild pipeline: requests
@@ -948,7 +999,19 @@ def run(host: str = "127.0.0.1", port: int = 8000, workers: int = 1,
     ``workers`` becomes the process count (each with its own
     ``threads_per_worker``-thread pool), and the GIL stops being the
     throughput ceiling.
+
+    ``sanitize_locks=True`` activates the runtime concurrency sanitizer
+    (:mod:`repro.sanitize`) before any lock is constructed, so every
+    registered serve/sweep lock is instrumented and ``/api/metrics``
+    grows a ``sanitizer`` section (races, stalls, per-site hold/wait
+    histograms).  Activation happens before a pre-fork supervisor
+    forks, so each worker process inherits an active sanitizer and
+    reports its own counters.
     """
+    if sanitize_locks and sanitize.current() is None:
+        sanitize.activate(hold_budget_ms=sanitize_budget_ms)
+        print(f"concurrency sanitizer ACTIVE "
+              f"(stall budget {sanitize_budget_ms:g}ms)")
     if worker_model == "process":
         from repro.serve.prefork import run_prefork
 

@@ -32,6 +32,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro import sanitize
+
 __all__ = ["CacheEntry", "PageCache", "ShardedPageCache", "checksum",
            "make_etag"]
 
@@ -77,6 +79,7 @@ class PageCache:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self._lock = threading.Lock()
+        sanitize.register_lock(self, "_lock", "PageCache._lock")
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0

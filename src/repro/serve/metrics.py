@@ -33,6 +33,8 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro import sanitize
+
 __all__ = ["LatencyHistogram", "RouteStats", "MetricsRegistry",
            "DEFAULT_BUCKETS_S", "merge_exports"]
 
@@ -169,6 +171,9 @@ class RouteStats:
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                   compare=False)
 
+    def __post_init__(self) -> None:
+        sanitize.register_lock(self, "_lock", "RouteStats._lock")
+
     def record(self, status: int, elapsed_s: float) -> None:
         with self._lock:
             self.requests += 1
@@ -210,6 +215,7 @@ class MetricsRegistry:
 
     def __init__(self, clock=time.time):
         self._lock = threading.Lock()
+        sanitize.register_lock(self, "_lock", "MetricsRegistry._lock")
         self._routes: dict[str, RouteStats] = {}
         self.cache_hits = 0
         self.cache_misses = 0

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro import sanitize
 from repro.activities.catalog import Catalog, corpus_dir
 from repro.sitegen.search import SearchIndex
 from repro.sitegen.site import RenderTask, Site, SiteConfig
@@ -143,6 +144,11 @@ class RebuildManager:
         self._fingerprint = scan_content(self.content_dir)
         self._last_check = clock()
         self._refresh_lock = threading.Lock()
+        # Held across a full rebuild by design: exempt from the stall
+        # watchdog (contenders only ever poll it non-blockingly).
+        sanitize.register_lock(self, "_refresh_lock",
+                               "RebuildManager._refresh_lock",
+                               stall_budget_ms=None)
         # A search_loader (e.g. persisted postings) can skip the cold
         # from_catalog tokenization pass; returning None falls back to it.
         catalog = Catalog.from_directory(self.content_dir)
@@ -257,6 +263,7 @@ class BackgroundRebuilder:
         self.on_result = on_result
         self._sleep = sleep
         self._cond = threading.Condition()
+        sanitize.register_lock(self, "_cond", "BackgroundRebuilder._cond")
         self._thread: threading.Thread | None = None
         self._pending = False
         self._stopping = False

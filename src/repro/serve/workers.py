@@ -30,9 +30,43 @@ import queue
 import threading
 from wsgiref.simple_server import WSGIServer
 
+from repro import sanitize
+
 __all__ = ["WorkerPool", "PooledWSGIServer", "PoolSaturated"]
 
 _SHUTDOWN = object()
+
+# -- worker-thread excepthook -------------------------------------------------
+#
+# ``_run`` catches ``Exception`` around every task, so only
+# ``BaseException`` escapes a worker thread (``KeyboardInterrupt``, a
+# handler calling into C that re-raises, ...).  By default that
+# traceback goes to stderr via ``threading.excepthook`` and the thread
+# silently dies — the pool keeps accepting work it can no longer drain.
+# A process-wide chaining hook routes such deaths back to the owning
+# pool: it counts a ``worker_uncaught`` and respawns the worker, and
+# every non-pool thread falls through to the previously installed hook.
+
+_excepthook_lock = threading.Lock()
+_excepthook_installed = False
+
+
+def _install_excepthook() -> None:
+    global _excepthook_installed
+    with _excepthook_lock:
+        if _excepthook_installed:
+            return
+        previous = threading.excepthook
+
+        def pool_excepthook(args):
+            pool = getattr(args.thread, "_worker_pool", None)
+            if pool is not None:
+                pool._note_uncaught(args.thread)
+                return
+            previous(args)
+
+        threading.excepthook = pool_excepthook
+        _excepthook_installed = True
 
 
 class PoolSaturated(RuntimeError):
@@ -52,19 +86,42 @@ class WorkerPool:
         self.max_queue = max_queue
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._lock = threading.Lock()
+        sanitize.register_lock(self, "_lock", "WorkerPool._lock")
         self._submitted = 0
         self._completed = 0
         self._errors = 0
         self._busy = 0
         self._shed = 0
         self._abandoned = 0
+        self._uncaught = 0
         self._closed = False
+        self._name = name
+        _install_excepthook()
         self._threads = [
-            threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
-            for i in range(workers)
+            self._spawn(f"{name}-{i}") for i in range(workers)
         ]
-        for thread in self._threads:
-            thread.start()
+
+    def _spawn(self, name: str) -> threading.Thread:
+        thread = threading.Thread(target=self._run, name=name, daemon=True)
+        thread._worker_pool = self          # excepthook routing
+        thread.start()
+        return thread
+
+    def _note_uncaught(self, dead: threading.Thread) -> None:
+        """A BaseException escaped ``_run`` and killed ``dead``.
+
+        Count it where ``/api/metrics`` can see it and respawn the
+        worker so the pool's capacity survives — the resilience
+        contract: uncaught means counted, never silently smaller.
+        """
+        with self._lock:
+            self._uncaught += 1
+            if self._closed:
+                return
+        replacement = self._spawn(dead.name)
+        with self._lock:
+            self._threads = [replacement if t is dead else t
+                             for t in self._threads]
 
     def submit(self, fn, *args) -> None:
         """Enqueue ``fn(*args)`` for execution on some worker thread.
@@ -155,6 +212,7 @@ class WorkerPool:
                 "queued": max(0, self._submitted - self._completed - self._busy),
                 "shed": self._shed,
                 "abandoned": self._abandoned,
+                "worker_uncaught": self._uncaught,
                 "max_queue": self.max_queue,
             }
 

@@ -38,6 +38,7 @@ import threading
 import time
 from typing import Iterable
 
+from repro import sanitize
 from repro.errors import ReproError
 from repro.serve.faults import InjectedFault
 from repro.serve.resilience import Deadline
@@ -77,6 +78,7 @@ class SweepJob:
         self.spec = spec
         self._clock = clock
         self._lock = threading.Lock()
+        sanitize.register_lock(self, "_lock", "SweepJob._lock")
         self._status = QUEUED
         self._error: str | None = None
         self._created_s = clock()
@@ -201,6 +203,7 @@ class SweepManager:
         self.retry = retry if retry is not None else RetryPolicy(retries=4)
         self._clock = clock
         self._lock = threading.Lock()
+        sanitize.register_lock(self, "_lock", "SweepManager._lock")
         self._jobs: dict[str, SweepJob] = {}
         self._threads: dict[str, threading.Thread] = {}
         self._memo: collections.OrderedDict[str, dict] = collections.OrderedDict()

@@ -1,11 +1,33 @@
-"""Shared fixtures: the corpus is loaded once per session."""
+"""Shared fixtures: the corpus is loaded once per session.
+
+Also wires the runtime concurrency sanitizer's pytest plugin
+(``--sanitize``); the hook bodies live in
+``repro.sanitize.pytest_plugin`` next to the sanitizer itself.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.activities import Catalog, load_default_catalog
+from repro.sanitize import pytest_plugin as _sanitize_plugin
 from repro.unplugged import Classroom
+
+
+def pytest_addoption(parser):
+    _sanitize_plugin.addoption(parser)
+
+
+def pytest_configure(config):
+    _sanitize_plugin.configure(config)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _sanitize_plugin.sessionfinish(session)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    _sanitize_plugin.terminal_summary(terminalreporter, config)
 
 
 @pytest.fixture(scope="session")

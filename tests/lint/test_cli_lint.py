@@ -177,3 +177,56 @@ def test_sarif_carries_fix_objects(write_corpus, tmp_path, capsys):
     replacement = change["replacements"][0]
     assert replacement["insertedContent"]["text"] == "visual"
     assert replacement["deletedRegion"]["startLine"] == 7
+
+
+MIXED = FIXABLE.replace('courses: ["CS1"]', 'courses: ["CS9"]')
+
+
+def test_select_keeps_only_listed_rules(write_corpus, capsys):
+    corpus = write_corpus(good=MIXED)
+    args = ["lint", "--content-dir", str(corpus), "--no-site", "--no-code"]
+    code = main(args + ["--select", "taxonomy-noncanonical-term"])
+    out = capsys.readouterr().out
+    assert code == 0                      # only the warning survives
+    assert "[taxonomy-noncanonical-term]" in out
+    assert "[taxonomy-unknown-term]" not in out
+
+
+def test_ignore_drops_listed_rules(write_corpus, capsys):
+    corpus = write_corpus(good=MIXED)
+    args = ["lint", "--content-dir", str(corpus), "--no-site", "--no-code"]
+    code = main(args + ["--ignore",
+                        "taxonomy-unknown-term,taxonomy-noncanonical-term"])
+    assert code == 0
+    assert capsys.readouterr().out.startswith("clean (")
+
+
+def test_select_comma_and_repeat_forms_agree(write_corpus, capsys):
+    corpus = write_corpus(good=MIXED)
+    args = ["lint", "--content-dir", str(corpus), "--no-site", "--no-code"]
+    main(args + ["--select",
+                 "taxonomy-unknown-term,taxonomy-noncanonical-term"])
+    combined = capsys.readouterr().out
+    main(args + ["--select", "taxonomy-unknown-term",
+                 "--select", "taxonomy-noncanonical-term"])
+    assert capsys.readouterr().out == combined
+
+
+def test_select_unknown_rule_is_usage_error(capsys):
+    assert main(["lint", "--select", "no-such-rule"]) == 2
+    assert main(["lint", "--ignore", "no-such-rule"]) == 2
+
+
+def test_select_composes_with_cache(write_corpus, tmp_path, capsys):
+    """Report-time filtering: warm cache stays warm under --select."""
+    corpus = write_corpus(good=MIXED)
+    cache = tmp_path / "cache"
+    args = ["lint", "--content-dir", str(corpus), "--no-site", "--no-code",
+            "--stats", "--cache-dir", str(cache)]
+    main(args)
+    assert "1 analyzed" in capsys.readouterr().out
+    code = main(args + ["--select", "taxonomy-noncanonical-term"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 analyzed" in out            # select did not invalidate
+    assert "[taxonomy-noncanonical-term]" in out

@@ -238,3 +238,95 @@ class TestCliChanged:
         code = main(["lint", "--changed", "HEAD", "--no-site", "--no-code"])
         assert code == 2
         assert "git failed" in capsys.readouterr().err
+
+
+class TestChangedWithDeletedFiles:
+    """A deleted file shows up in ``--changed`` output; the engine must
+    drop its cache rows and re-evaluate corpus rules without it."""
+
+    def _seed(self, write_corpus, tmp_path):
+        corpus = write_corpus(good=GOOD)
+        code_dir = tmp_path / "code"
+        _write_code(code_dir, a=FORKER, b=DRIVER)
+        cache = tmp_path / "lint-cache"
+        cold = _engine(corpus, code_dir, cache_dir=cache).lint()
+        assert [d.rule_id for d in cold.diagnostics] == \
+            ["fork-safety-lock-across-fork"]
+        return corpus, code_dir, cache
+
+    def test_deleted_changed_file_causes_no_internal_error(
+            self, write_corpus, tmp_path):
+        corpus, code_dir, cache = self._seed(write_corpus, tmp_path)
+        deleted = code_dir / "a.py"
+        deleted.unlink()
+        changed = frozenset({str(deleted.resolve())})
+        result = _engine(corpus, code_dir, cache_dir=cache,
+                         changed_only=changed).lint()
+        assert not [d for d in result.diagnostics
+                    if d.rule_id == "lint-internal-error"]
+        assert result.stats.internal_errors == 0
+
+    def test_cache_rows_for_deleted_file_are_pruned(self, write_corpus,
+                                                    tmp_path):
+        corpus, code_dir, cache = self._seed(write_corpus, tmp_path)
+        _content, code = load_cache(cache)
+        assert any(key.endswith("a.py") for key in code)
+        (code_dir / "a.py").unlink()
+        changed = frozenset({str((code_dir / "a.py").resolve())})
+        _engine(corpus, code_dir, cache_dir=cache,
+                changed_only=changed).lint()
+        _content, code = load_cache(cache)
+        assert not any(key.endswith("a.py") for key in code)
+        assert any(key.endswith("b.py") for key in code)
+
+    def test_corpus_rules_reevaluated_without_deleted_definer(
+            self, write_corpus, tmp_path):
+        corpus, code_dir, cache = self._seed(write_corpus, tmp_path)
+        # Forker's definition is gone, so the cross-file lock-across-fork
+        # finding anchored in b.py must disappear with it.
+        (code_dir / "a.py").unlink()
+        changed = frozenset({str((code_dir / "a.py").resolve())})
+        result = _engine(corpus, code_dir, cache_dir=cache,
+                         changed_only=changed).lint()
+        assert result.diagnostics == []
+        full = _engine(corpus, code_dir, cache_dir=cache).lint()
+        assert full.diagnostics == []
+
+    def test_deleted_corpus_page_reports_clean(self, write_corpus, tmp_path):
+        corpus = write_corpus(
+            good=GOOD,
+            other=GOOD.replace("GoodActivity", "OtherActivity")
+                      .replace('courses: ["CS1"]', 'courses: ["CS9"]'))
+        cache = tmp_path / "lint-cache"
+        config = LintConfig(content_dir=corpus, site=False, code=False,
+                            cache_dir=cache)
+        assert LintEngine(config).lint().exit_code() == 1
+        (corpus / "other.md").unlink()
+        changed = frozenset({str((corpus / "other.md").resolve())})
+        result = LintEngine(LintConfig(
+            content_dir=corpus, site=False, code=False, cache_dir=cache,
+            changed_only=changed)).lint()
+        assert result.diagnostics == []
+        assert result.stats.internal_errors == 0
+
+    def test_cli_changed_with_committed_then_deleted_file(
+            self, tmp_path, monkeypatch, capsys):
+        repo = tmp_path / "repo"
+        corpus = repo / "content"
+        corpus.mkdir(parents=True)
+        (corpus / "good.md").write_text(GOOD, encoding="utf-8")
+        (corpus / "other.md").write_text(
+            GOOD.replace("GoodActivity", "OtherActivity")
+                .replace('courses: ["CS1"]', 'courses: ["CS9"]'),
+            encoding="utf-8")
+        git = TestCliChanged()._git
+        git(repo, "init", "-q")
+        git(repo, "add", ".")
+        git(repo, "commit", "-q", "-m", "seed")
+        (corpus / "other.md").unlink()
+        monkeypatch.chdir(repo)
+        code = main(["lint", "--content-dir", str(corpus), "--no-site",
+                     "--no-code", "--changed", "HEAD"])
+        out = capsys.readouterr().out
+        assert code == 0                  # the only finding left with the file
+        assert "lint-internal-error" not in out

@@ -1,0 +1,24 @@
+"""Sanitize-suite fixtures.
+
+``sanitizer`` swaps out any session-wide sanitizer (from ``--sanitize``)
+for a fresh one scoped to the test, and restores the original after —
+so this suite composes with a sanitized session instead of fighting it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import sanitize
+
+
+@pytest.fixture
+def sanitizer():
+    previous = sanitize.deactivate()
+    san = sanitize.activate(hold_budget_ms=100.0)
+    try:
+        yield san
+    finally:
+        sanitize.deactivate()
+        if previous is not None:
+            sanitize.activate(previous)

@@ -1,0 +1,61 @@
+"""The seeded deterministic race: two threads, barrier-synchronized.
+
+The interleaving is forced, not probabilistic: thread A writes the
+shared field under its lock and only *then* releases thread B, which
+writes the same field holding nothing.  The Eraser state machine
+walks virgin → exclusive(A) → shared-modified with an empty candidate
+lockset, so every run reports exactly the same diagnostic at the same
+unprotected write site (the ``RACY_WRITE`` line below).
+
+Also used by the CLI test as a ``module:callable`` sanitize target.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import sanitize
+
+
+class Counter:
+    """The shared object under test (plain attribute traffic)."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+def run_seeded_race() -> None:
+    """Drive the forced racy interleaving under the active sanitizer."""
+    lock = sanitize.wrap_lock(threading.Lock(), "race_fixture.lock")
+    counter = sanitize.share(Counter(), "race_fixture.counter")
+    barrier = threading.Barrier(2)
+    a_done = threading.Event()
+
+    def locked_writer() -> None:
+        barrier.wait()
+        with lock:
+            counter.value = 1
+        a_done.set()
+
+    def unlocked_writer() -> None:
+        barrier.wait()
+        a_done.wait()
+        counter.value = 2                 # RACY_WRITE: no lock held
+
+    threads = [threading.Thread(target=locked_writer),
+               threading.Thread(target=unlocked_writer)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def racy_write_line() -> int:
+    """Line number of the ``RACY_WRITE`` marker (for site assertions)."""
+    import inspect
+
+    source, start = inspect.getsourcelines(run_seeded_race)
+    for offset, text in enumerate(source):
+        if "RACY_WRITE" in text:
+            return start + offset
+    raise AssertionError("RACY_WRITE marker missing")

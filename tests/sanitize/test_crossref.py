@@ -1,0 +1,119 @@
+"""Static findings cross-referenced against runtime evidence."""
+
+from __future__ import annotations
+
+import textwrap
+import threading
+import time
+
+from repro.sanitize.core import Sanitizer
+from repro.sanitize.crossref import crossref, static_findings
+
+BLOCKING_UNDER_LOCK = """
+    import threading
+
+    class Pump:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def drain(self):
+            with self._lock:
+                open("/dev/null").read()
+"""
+
+LOCK_INVERSION = """
+    import threading
+
+    class Mixer:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def backward(self):
+            with self._b:
+                with self._a:
+                    pass
+"""
+
+
+def _code_dir(tmp_path, source):
+    code_dir = tmp_path / "code"
+    code_dir.mkdir()
+    (code_dir / "mod.py").write_text(textwrap.dedent(source),
+                                     encoding="utf-8")
+    return code_dir
+
+
+class TestStaticFindings:
+    def test_finds_crossref_rules_only(self, tmp_path):
+        code_dir = _code_dir(tmp_path, BLOCKING_UNDER_LOCK)
+        findings = static_findings([code_dir])
+        assert {d.rule_id for d in findings} == {"serve-blocking-io-under-lock"}
+
+
+class TestCrossref:
+    def test_blocking_finding_unobserved_without_stalls(self, tmp_path):
+        code_dir = _code_dir(tmp_path, BLOCKING_UNDER_LOCK)
+        san = Sanitizer()
+        san.wrap(threading.Lock(), "Pump._lock")
+        (diag,) = crossref(san, [code_dir])
+        assert diag.rule_id == "sanitize-crossref"
+        assert "serve-blocking-io-under-lock unobserved at runtime" \
+            in diag.message
+
+    def test_blocking_finding_confirmed_by_stall(self, tmp_path):
+        code_dir = _code_dir(tmp_path, BLOCKING_UNDER_LOCK)
+        san = Sanitizer(hold_budget_ms=5)
+        lock = san.wrap(threading.Lock(), "Pump._lock")
+        with lock:
+            time.sleep(0.02)
+        (diag,) = crossref(san, [code_dir])
+        assert "serve-blocking-io-under-lock confirmed at runtime" \
+            in diag.message
+
+    def test_lock_order_confirmed_by_runtime_inversion(self, tmp_path):
+        code_dir = _code_dir(tmp_path, LOCK_INVERSION)
+        san = Sanitizer()
+        lock_a = san.wrap(threading.Lock(), "Mixer._a")
+        lock_b = san.wrap(threading.Lock(), "Mixer._b")
+        with lock_a:
+            with lock_b:
+                pass
+
+        def backward():
+            with lock_b:
+                with lock_a:
+                    pass
+
+        thread = threading.Thread(target=backward)
+        thread.start()
+        thread.join()
+        diags = [d for d in crossref(san, [code_dir])
+                 if "serve-lock-order" in d.message]
+        assert diags, "static pass should flag the inversion"
+        assert all("confirmed at runtime" in d.message for d in diags)
+
+    def test_lock_order_unobserved_when_one_direction_runs(self, tmp_path):
+        code_dir = _code_dir(tmp_path, LOCK_INVERSION)
+        san = Sanitizer()
+        lock_a = san.wrap(threading.Lock(), "Mixer._a")
+        lock_b = san.wrap(threading.Lock(), "Mixer._b")
+        with lock_a:
+            with lock_b:
+                pass
+        diags = [d for d in crossref(san, [code_dir])
+                 if "serve-lock-order" in d.message]
+        assert diags
+        assert all("unobserved at runtime" in d.message for d in diags)
+
+    def test_crossref_anchors_at_static_site(self, tmp_path):
+        code_dir = _code_dir(tmp_path, BLOCKING_UNDER_LOCK)
+        san = Sanitizer()
+        (diag,) = crossref(san, [code_dir])
+        assert diag.file.endswith("mod.py")
+        assert diag.span.line > 1

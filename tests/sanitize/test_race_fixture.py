@@ -1,0 +1,62 @@
+"""The acceptance gate: the seeded race is detected deterministically."""
+
+from __future__ import annotations
+
+from repro import sanitize
+from repro.lint import render_text
+from repro.sanitize.report import finalize
+
+from tests.sanitize import race_fixture
+
+
+def _run_once() -> tuple[str, list]:
+    """One fresh sanitizer over the fixture; (rendered report, diags)."""
+    previous = sanitize.deactivate()
+    san = sanitize.activate(hold_budget_ms=100.0)
+    try:
+        race_fixture.run_seeded_race()
+    finally:
+        sanitize.deactivate()
+        if previous is not None:
+            sanitize.activate(previous)
+    result = finalize(san.diagnostics())
+    return render_text(result), result.diagnostics
+
+
+class TestSeededRace:
+    def test_race_is_detected(self):
+        _report, diags = _run_once()
+        races = [d for d in diags if d.rule_id == "sanitize-data-race"]
+        assert len(races) == 1
+        assert "race_fixture.counter.value" in races[0].message
+        assert "write with empty lockset" in races[0].message
+
+    def test_write_site_file_and_line(self):
+        _report, diags = _run_once()
+        race = next(d for d in diags if d.rule_id == "sanitize-data-race")
+        assert race.file == race_fixture.__file__
+        assert race.span.line == race_fixture.racy_write_line()
+
+    def test_byte_identical_report_across_runs(self):
+        first, _ = _run_once()
+        second, _ = _run_once()
+        assert first.encode() == second.encode()
+        assert "sanitize-data-race" in first
+
+    def test_race_reported_once_not_per_access(self):
+        _report, diags = _run_once()
+        assert sum(d.rule_id == "sanitize-data-race" for d in diags) == 1
+
+    def test_counters_count_the_race(self):
+        previous = sanitize.deactivate()
+        san = sanitize.activate()
+        try:
+            race_fixture.run_seeded_race()
+        finally:
+            sanitize.deactivate()
+            if previous is not None:
+                sanitize.activate(previous)
+        counters = san.counters()
+        assert counters["races"] == 1
+        assert counters["locks"]["race_fixture.lock"]["acquires"] == 1
+        assert counters["shared_fields"] == 1

@@ -1,0 +1,70 @@
+"""Sanitizer diagnostics ride the lint report-time pipeline unchanged."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import Severity, render_text, write_baseline
+from repro.lint.diagnostics import make
+from repro.sanitize.report import finalize, validate_rules
+
+
+def _diag(rule="sanitize-lock-stall", file="/nonexistent/x.py", line=3,
+          message="lock held past its stall budget"):
+    return make(rule, file, line, 1, message)
+
+
+class TestValidateRules:
+    def test_known_rules_pass(self):
+        validate_rules({"sanitize-data-race"}, None, {"sanitize-lock-stall"})
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            validate_rules({"no-such-rule"})
+
+
+class TestFinalize:
+    def test_select_keeps_only_listed_rules(self):
+        diags = [_diag("sanitize-lock-stall"),
+                 _diag("sanitize-data-race", message="race on x")]
+        result = finalize(diags, selected=frozenset({"sanitize-data-race"}))
+        assert [d.rule_id for d in result.diagnostics] == ["sanitize-data-race"]
+
+    def test_disabled_drops_rules(self):
+        diags = [_diag("sanitize-lock-stall"),
+                 _diag("sanitize-data-race", message="race on x")]
+        result = finalize(diags, disabled=frozenset({"sanitize-lock-stall"}))
+        assert [d.rule_id for d in result.diagnostics] == ["sanitize-data-race"]
+
+    def test_severity_override_changes_exit_code(self):
+        result = finalize(
+            [_diag("sanitize-lock-stall")],
+            severity_overrides={"sanitize-lock-stall": Severity.INFO})
+        assert result.diagnostics[0].severity is Severity.INFO
+        assert result.exit_code(Severity.WARNING) == 0
+
+    def test_suppression_comment_in_flagged_file(self, tmp_path):
+        src = tmp_path / "flagged.py"
+        src.write_text("import time\n"
+                       "# lint: disable=sanitize-lock-stall\n"
+                       "time.sleep(1)\n", encoding="utf-8")
+        suppressed = _diag(file=str(src), line=3)
+        kept = _diag(file=str(src), line=1)
+        result = finalize([suppressed, kept])
+        assert [d.span.line for d in result.diagnostics] == [1]
+
+    def test_baseline_round_trip(self, tmp_path):
+        baseline = tmp_path / ".sanitizebaseline.json"
+        diags = [_diag(message="lock held past its stall budget")]
+        write_baseline(baseline, diags)
+        result = finalize(diags, baseline=baseline)
+        assert result.diagnostics == []
+        assert result.stats.baselined == 1
+        # A new, different finding is not hidden by the baseline.
+        fresh = finalize([_diag("sanitize-data-race", message="race on y")],
+                         baseline=baseline)
+        assert len(fresh.diagnostics) == 1
+
+    def test_renders_through_lint_text_reporter(self):
+        text = render_text(finalize([_diag()]))
+        assert "sanitize-lock-stall" in text

@@ -134,3 +134,78 @@ def test_api_lint_listed_as_unknown_routes_still_404(content_dir):
     app = create_app(content_dir=content_dir, watch=False)
     status, payload = _get(app, "/api/lintx")
     assert status == 404
+
+
+def _get_query(app, path, query):
+    env = {"REQUEST_METHOD": "GET", "PATH_INFO": path, "QUERY_STRING": query}
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = int(status.split()[0])
+
+    body = b"".join(app(env, start_response))
+    return captured["status"], json.loads(body) if body else None
+
+
+class TestRulesParam:
+    """``?rules=a,b`` — report-time narrowing, mirroring ``lint --select``."""
+
+    def _dirty_app(self, content_dir):
+        # One taxonomy error + one fixable noncanonical term.
+        page = content_dir / "actingoutalgorithms.md"
+        page.write_text(
+            page.read_text(encoding="utf-8")
+            .replace('courses: ["K_12", "CS1", "DSA"]',
+                     'courses: ["K_12", "CS1", "Bogus101"]')
+            .replace('senses: ["visual", "movement"]',
+                     'senses: ["Visual", "movement"]'),
+            encoding="utf-8")
+        return create_app(content_dir=content_dir, watch=False)
+
+    def test_filters_diagnostics_and_recounts(self, content_dir):
+        app = self._dirty_app(content_dir)
+        status, payload = _get_query(
+            app, "/api/lint", "rules=taxonomy-unknown-term")
+        assert status == 200
+        assert payload["rules"] == ["taxonomy-unknown-term"]
+        assert {d["rule"] for d in payload["diagnostics"]} \
+            == {"taxonomy-unknown-term"}
+        assert payload["counts"]["error"] == 1
+        assert payload["counts"]["warning"] == 0
+        assert payload["fixable"] == 0 and payload["fixes"] == []
+        assert payload["clean"] is False
+
+    def test_clean_when_selected_rules_have_no_findings(self, content_dir):
+        app = self._dirty_app(content_dir)
+        status, payload = _get_query(
+            app, "/api/lint", "rules=serve-lock-order")
+        assert status == 200
+        assert payload["clean"] is True
+        assert payload["diagnostics"] == []
+
+    def test_unknown_rule_is_400(self, content_dir):
+        app = create_app(content_dir=content_dir, watch=False)
+        status, payload = _get_query(app, "/api/lint", "rules=no-such-rule")
+        assert status == 400
+        assert "no-such-rule" in payload["error"]
+
+    def test_filtering_does_not_fork_the_snapshot(self, content_dir):
+        app = self._dirty_app(content_dir)
+        _, full_before = _get(app, "/api/lint")
+        _, narrowed = _get_query(
+            app, "/api/lint", "rules=taxonomy-noncanonical-term")
+        _, full_after = _get(app, "/api/lint")
+        assert full_after == full_before
+        assert narrowed["signature"] == full_before["signature"]
+        assert len(narrowed["diagnostics"]) < len(full_before["diagnostics"])
+
+    def test_comma_and_repeat_forms_agree(self, content_dir):
+        app = self._dirty_app(content_dir)
+        _, combined = _get_query(
+            app, "/api/lint",
+            "rules=taxonomy-unknown-term,taxonomy-noncanonical-term")
+        _, repeated = _get_query(
+            app, "/api/lint",
+            "rules=taxonomy-unknown-term&rules=taxonomy-noncanonical-term")
+        assert combined == repeated
+        assert combined["counts"]["error"] == 1

@@ -18,6 +18,7 @@ from repro.serve import (
     create_server,
     run_load_http,
 )
+from repro.serve.loadgen import call_app
 from repro.serve.workers import WorkerPool
 
 
@@ -237,3 +238,85 @@ def test_rebuild_refresh_thread_safe(tmp_path):
     assert len(rebuilt) == 1
     assert rebuilt[0].ok
     assert "/activities/gardeners/" in rebuilt[0].dirty_urls
+
+
+class _WorkerDeath(BaseException):
+    """Escapes WorkerPool._run's ``except Exception`` and kills the worker."""
+
+
+def _wait_for(predicate, timeout_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestWorkerExcepthook:
+    def test_uncaught_base_exception_is_counted(self):
+        with WorkerPool(1) as pool:
+            pool.submit(lambda: (_ for _ in ()).throw(_WorkerDeath()))
+            assert _wait_for(
+                lambda: pool.stats()["worker_uncaught"] == 1)
+
+    def test_pool_keeps_serving_after_worker_death(self):
+        results = []
+        with WorkerPool(1) as pool:
+            pool.submit(lambda: (_ for _ in ()).throw(_WorkerDeath()))
+            assert _wait_for(
+                lambda: pool.stats()["worker_uncaught"] == 1)
+            pool.submit(results.append, "alive")
+            assert pool.drain(timeout_s=5.0)
+        assert results == ["alive"]
+
+    def test_ordinary_exceptions_stay_errors_not_uncaught(self):
+        def boom():
+            raise RuntimeError("handled by _run")
+
+        with WorkerPool(1) as pool:
+            pool.submit(boom)
+            assert pool.drain(timeout_s=5.0)
+            stats = pool.stats()
+        assert stats["errors"] == 1
+        assert stats["worker_uncaught"] == 0
+
+    def test_uncaught_counter_reaches_api_metrics(self):
+        app = create_app(watch=False)
+        pool = WorkerPool(1)
+        app.worker_pool = pool
+        try:
+            pool.submit(lambda: (_ for _ in ()).throw(_WorkerDeath()))
+            assert _wait_for(
+                lambda: pool.stats()["worker_uncaught"] == 1)
+            response = call_app(app, "/api/metrics")
+            assert response.status == 200
+            payload = json.loads(response.body)
+            assert payload["workers"]["worker_uncaught"] == 1
+        finally:
+            pool.shutdown()
+
+    def test_non_pool_threads_fall_through_to_previous_hook(self):
+        from repro.serve import workers as workers_mod
+
+        seen = []
+        saved_hook = threading.excepthook
+        saved_flag = workers_mod._excepthook_installed
+
+        def recording_hook(args):
+            seen.append(args.exc_type)
+
+        # Force a fresh install chaining onto the recording hook.
+        threading.excepthook = recording_hook
+        workers_mod._excepthook_installed = False
+        try:
+            with WorkerPool(1):
+                assert threading.excepthook is not recording_hook
+                thread = threading.Thread(
+                    target=lambda: (_ for _ in ()).throw(ValueError("x")))
+                thread.start()
+                thread.join()
+        finally:
+            threading.excepthook = saved_hook
+            workers_mod._excepthook_installed = saved_flag
+        assert seen == [ValueError]
