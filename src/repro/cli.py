@@ -166,6 +166,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--sweep-max-jobs", type=int, default=4,
                        help="concurrent sweep jobs before submissions are "
                             "shed with 429 + Retry-After")
+    serve.add_argument("--tenants", default=None, metavar="FILE",
+                       help="enable the multi-tenant admission edge: path to "
+                            "a tenants JSON file (tiers, window, API keys), "
+                            "or the literal 'default' for the built-in "
+                            "free/standard/unlimited tiers; over-quota keys "
+                            "get 429 + Retry-After before any render")
     serve.add_argument("--sanitize", action="store_true",
                        help="serve under the runtime concurrency sanitizer: "
                             "every registered lock is instrumented and "
@@ -448,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
             fault_seed=args.fault_seed,
             sweep_workers=args.sweep_workers,
             sweep_max_jobs=args.sweep_max_jobs,
+            tenants=args.tenants,
             sanitize_locks=args.sanitize,
             sanitize_budget_ms=args.sanitize_budget_ms,
         )

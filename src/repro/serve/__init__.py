@@ -30,7 +30,12 @@ form the paper's artifact (pdcunplugged.org) actually takes:
   (``/api/metrics``); lock-striped per route.
 * :mod:`repro.serve.loadgen` — deterministic Zipf + API-mix load
   generation, serial / concurrent in-process / over-HTTP runners, with
-  shed-rate and stale-hit-rate accounting.
+  shed-rate / limited-rate / stale-hit-rate accounting, multi-tenant
+  key mixes, and ``Retry-After``-honoring retries.
+* :mod:`repro.serve.tenancy` — the multi-tenant admission edge
+  (``--tenants``): API-key resolution, sliding-window per-tenant rate
+  limits with free/standard/unlimited tiers, per-tier sweep quotas,
+  and fleet-wide window reconciliation over the control sockets.
 """
 
 from repro.serve.app import Response, ServeApp, create_app, create_server, run
@@ -52,6 +57,7 @@ from repro.serve.loadgen import (
     LoadReport,
     LoadRequest,
     call_app,
+    parse_tenant_mix,
     run_load,
     run_load_concurrent,
     run_load_http,
@@ -82,6 +88,13 @@ from repro.serve.resilience import (
     LoadShedder,
 )
 from repro.serve.retrypolicy import RetryError, RetryPolicy, is_transient
+from repro.serve.tenancy import (
+    TenancyConfig,
+    TenancyConfigError,
+    TenancySync,
+    TenantGate,
+    TierPolicy,
+)
 from repro.serve.workers import PooledWSGIServer, PoolSaturated, WorkerPool
 
 __all__ = [
@@ -115,6 +128,11 @@ __all__ = [
     "ServeApp",
     "ServerState",
     "ShardedPageCache",
+    "TenancyConfig",
+    "TenancyConfigError",
+    "TenancySync",
+    "TenantGate",
+    "TierPolicy",
     "WorkerPool",
     "call_app",
     "checksum",
@@ -124,6 +142,7 @@ __all__ = [
     "make_etag",
     "merge_exports",
     "parse_fault_spec",
+    "parse_tenant_mix",
     "run",
     "run_load",
     "run_prefork",

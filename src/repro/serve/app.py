@@ -46,6 +46,11 @@ Failure model (the degradation ladder, least to most degraded):
    per-request budget (``request_timeout_ms``): ``503 + Retry-After``
    answered cheaply.
 
+Ahead of all four sits the optional multi-tenant admission edge
+(``tenants=``, :mod:`repro.serve.tenancy`): per-API-key sliding-window
+rate limits and per-tier quotas answered ``429 + Retry-After`` before a
+request touches the shedder, the cache, or a worker thread.
+
 ``/healthz`` (liveness) and ``/readyz`` (readiness: catalog loaded,
 breaker state, shed rate) expose the ladder to orchestrators, and
 ``/api/metrics`` carries every counter behind it.
@@ -69,8 +74,10 @@ from repro.serve.metrics import MetricsRegistry
 from repro.serve.persist import CacheStore
 from repro.serve.rebuild import BackgroundRebuilder, RebuildManager
 from repro.serve.resilience import (OPEN, CircuitBreaker, Deadline,
-                                    DeadlineExceeded, LoadShedder)
+                                    DeadlineExceeded, LoadShedder,
+                                    bounded_retry_after)
 from repro.serve.retrypolicy import RetryError, RetryPolicy
+from repro.serve.tenancy import TenancyConfig, TenantGate
 from repro.serve.workers import PooledWSGIServer, WorkerPool
 from repro.sitegen.search import catalog_signature
 
@@ -144,6 +151,7 @@ class ServeApp:
         retry: RetryPolicy | None = None,
         background: BackgroundRebuilder | None = None,
         sweeps: SweepManager | None = None,
+        tenancy: TenantGate | None = None,
     ):
         self.rebuilder = rebuilder
         self.cache = cache
@@ -156,6 +164,7 @@ class ServeApp:
         self.retry = retry
         self.background = background
         self.sweeps = sweeps
+        self.tenancy = tenancy
         self.warm_loaded = 0
         self.worker_pool: WorkerPool | None = None
         # Set by the pre-fork worker bootstrap: this app's view of its
@@ -225,6 +234,24 @@ class ServeApp:
     # -- WSGI entry point --------------------------------------------------
 
     def __call__(self, environ, start_response):
+        # Outermost rung: tenant admission.  A quota-exhausted key is
+        # refused here, before the shedder, the cache, any render, or a
+        # worker thread — rejection costs a dict lookup and a counter.
+        if self.tenancy is not None:
+            decision = self.tenancy.admit(environ)
+            environ["repro.tenant"] = decision
+            if not decision.allowed:
+                response = Response.error(
+                    429,
+                    "sweep submission quota exhausted for this window"
+                    if decision.reason == "sweep-quota"
+                    else "rate limit exceeded for this key, retry later",
+                    route="<rate-limited>", tenant=decision.tenant,
+                    tier=decision.tier)
+                response.headers.append(
+                    ("Retry-After", str(decision.retry_after)))
+                return self._finish(environ, start_response, response,
+                                    started=self._clock())
         shedder = self.shedder
         if shedder is not None and not shedder.try_acquire():
             # Refusing must stay cheap: no rebuild poke, no dispatch.
@@ -232,7 +259,7 @@ class ServeApp:
             response = Response.error(
                 503, "server over capacity, retry shortly", route="<shed>")
             response.headers.append(
-                ("Retry-After", str(max(1, round(shedder.retry_after_s)))))
+                ("Retry-After", str(shedder.retry_after())))
             return self._finish(environ, start_response, response,
                                 started=self._clock())
         try:
@@ -297,9 +324,20 @@ class ServeApp:
                 etag=response.etag, route=response.route,
                 cache_status=response.cache_status, headers=response.headers)
 
+        elapsed = self._clock() - started
         self.metrics.record_request(
-            response.route, response.status,
-            self._clock() - started, response.cache_status)
+            response.route, response.status, elapsed, response.cache_status)
+        decision = environ.get("repro.tenant")
+        if decision is not None and not decision.exempt:
+            if not decision.allowed:
+                outcome = ("sweep_limited" if decision.reason == "sweep-quota"
+                           else "limited")
+            elif response.route == "<shed>":
+                outcome = "shed"
+            else:
+                outcome = "allowed"
+            self.metrics.record_tenant(decision.tenant, outcome,
+                                       response.status, elapsed)
 
         status_line = f"{response.status} {HTTPStatus(response.status).phrase}"
         body = b"" if method == "HEAD" or response.status == 304 else response.body
@@ -695,12 +733,14 @@ class ServeApp:
             spec = SweepSpec.parse(payload)
         except SweepSpecError as exc:
             return Response.error(422, str(exc), route=route)
+        decision = environ.get("repro.tenant")
+        tenant = decision.tenant if decision is not None else None
         try:
-            job = self.sweeps.submit(spec)
+            job = self.sweeps.submit(spec, tenant=tenant)
         except SweepRejected as exc:
             response = Response.error(429, str(exc), route=route)
             response.headers.append(
-                ("Retry-After", str(max(1, round(exc.retry_after_s)))))
+                ("Retry-After", str(bounded_retry_after(exc.retry_after_s))))
             return response
         accepted = job.progress()
         accepted["spec"] = spec.canonical()
@@ -732,6 +772,8 @@ class ServeApp:
             extras["rebuild_thread"] = self.background.stats()
         if self.sweeps is not None:
             extras["sweeps"] = self.sweeps.stats()
+        if self.tenancy is not None:
+            extras["tenancy"] = self.tenancy.stats()
         sanitizer = sanitize.current()
         if sanitizer is not None:
             extras["sanitizer"] = sanitizer.counters()
@@ -762,6 +804,8 @@ class ServeApp:
             resilience["persist"] = self.store.stats()
         if self.sweeps is not None:
             payload["sweeps"] = self.sweeps.stats()
+        if self.tenancy is not None:
+            resilience["tenancy"] = self.tenancy.stats()
         sanitizer = sanitize.current()
         if sanitizer is not None:
             payload["sanitizer"] = sanitizer.counters()
@@ -892,6 +936,7 @@ def create_app(
     sweep_workers: int = 1,
     sweep_max_jobs: int = 4,
     sweep_deadline_s: float | None = None,
+    tenants=None,
 ) -> ServeApp:
     """Build a ready-to-serve :class:`ServeApp` over a content directory
     (default: the packaged 38-activity corpus).
@@ -907,6 +952,12 @@ def create_app(
     synchronous edit visibility) refreshes on the request path;
     ``"background"`` starts a :class:`BackgroundRebuilder` thread with a
     circuit breaker so no request's latency ever includes a re-scan.
+
+    ``tenants`` enables the multi-tenant admission edge: pass a
+    :class:`~repro.serve.tenancy.TenancyConfig`, a config dict, a path
+    to a tenants JSON file, or the literal string ``"default"`` for the
+    built-in tiers.  ``None`` (the default) disables the edge entirely —
+    zero per-request overhead for single-tenant deployments.
     """
     if faults is None and fault_spec:
         faults = parse_fault_spec(fault_spec, seed=fault_seed)
@@ -934,12 +985,15 @@ def create_app(
         store=sweep_store, workers=sweep_workers,
         max_active_jobs=sweep_max_jobs, default_deadline_s=sweep_deadline_s,
         faults=faults)
+    tenancy = None
+    if tenants is not None:
+        tenancy = TenantGate(TenancyConfig.load(tenants), faults=faults)
     app = ServeApp(
         rebuilder, cache=cache, metrics=metrics, watch=watch, store=store,
         faults=faults, request_timeout_ms=request_timeout_ms,
         shedder=LoadShedder(max_inflight) if max_inflight else None,
         retry=retry if retry is not None else RetryPolicy(retries=1),
-        sweeps=sweeps,
+        sweeps=sweeps, tenancy=tenancy,
     )
     if rebuild_mode == "background":
         breaker = CircuitBreaker(failure_threshold=breaker_threshold,
@@ -1034,6 +1088,10 @@ def run(host: str = "127.0.0.1", port: int = 8000, workers: int = 1,
     if app.faults is not None and app.faults.active:
         print(f"  fault injection ACTIVE: {len(app.faults.rules)} rule(s), "
               f"seed {app.faults.seed}")
+    if app.tenancy is not None:
+        config = app.tenancy.config
+        print(f"  multi-tenant edge ACTIVE: tiers {sorted(config.tiers)}, "
+              f"{len(config.keys)} key(s), {config.window_s:g}s window")
     print(f"  API: /api/activities /api/search?q=… /api/coverage/cs2013 "
           f"/api/coverage/tcpp /api/gaps /api/simulate/<slug> /api/sweeps "
           f"/api/metrics /api/lint")

@@ -16,6 +16,7 @@ Operations (the instrumented sites)::
     render         rendering a response body (ServeApp)
     sweep-run      dispatching one sweep point to a worker (SweepManager)
     sweep-persist  writing a sweep result record to disk (ResultStore)
+    rate-limit     deciding tenant admission at the edge (TenantGate)
 
 Kinds::
 
@@ -45,7 +46,7 @@ __all__ = ["FaultRule", "FaultPlan", "InjectedFault",
            "OPS", "KINDS", "parse_fault_spec"]
 
 OPS = ("rebuild", "cache-read", "persist-write", "render",
-       "sweep-run", "sweep-persist")
+       "sweep-run", "sweep-persist", "rate-limit")
 KINDS = ("error", "latency", "corrupt", "partial")
 
 

@@ -37,7 +37,8 @@ from dataclasses import dataclass, field
 
 __all__ = ["WSGIResponse", "call_app", "zipf_weights", "LoadRequest",
            "LoadGenerator", "LoadReport", "run_load", "run_load_concurrent",
-           "run_load_http", "DEFAULT_API_PATHS", "DEFAULT_SWEEP_SPECS"]
+           "run_load_http", "parse_tenant_mix",
+           "DEFAULT_API_PATHS", "DEFAULT_SWEEP_SPECS"]
 
 #: Default API population for mixed traffic: listing, searches with
 #: different selectivity, both coverage tables, and the gap report.
@@ -133,12 +134,45 @@ def zipf_weights(n: int, exponent: float = 1.1) -> list[float]:
 
 @dataclass(frozen=True)
 class LoadRequest:
-    """One synthetic request: a path plus whether the client revalidates."""
+    """One synthetic request: a path plus whether the client revalidates.
+
+    ``api_key`` (sent as ``X-Api-Key``) attributes the request to a
+    tenant when the server runs the multi-tenant admission edge.
+    """
 
     path: str
     conditional: bool = True
     method: str = "GET"
     body: bytes | None = None
+    api_key: str | None = None
+
+
+def parse_tenant_mix(spec: str) -> dict[str, float]:
+    """Parse a ``hot:0.8,cold:0.2`` style tenant traffic mix.
+
+    Returns ``{api_key: weight}``; weights need not sum to 1 (they are
+    relative).  A bare name (no ``:weight``) gets weight 1.
+    """
+    mix: dict[str, float] = {}
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, _, weight_text = chunk.partition(":")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"tenant mix entry {chunk!r} has no key")
+        try:
+            weight = float(weight_text) if weight_text else 1.0
+        except ValueError:
+            raise ValueError(
+                f"tenant mix entry {chunk!r}: weight is not a number") from None
+        if weight <= 0:
+            raise ValueError(f"tenant mix entry {chunk!r}: weight must be > 0")
+        mix[name] = weight
+    if not mix:
+        raise ValueError(f"empty tenant mix {spec!r}")
+    return mix
 
 
 class LoadGenerator:
@@ -155,7 +189,8 @@ class LoadGenerator:
                  api_paths: list[str] | None = None, api_ratio: float = 0.0,
                  conditional_ratio: float = 1.0,
                  sweep_ratio: float = 0.0,
-                 sweep_specs: list[str] | None = None):
+                 sweep_specs: list[str] | None = None,
+                 tenant_mix: dict[str, float] | str | None = None):
         if not urls:
             raise ValueError("need at least one URL to generate load")
         if not 0.0 <= api_ratio <= 1.0:
@@ -174,6 +209,9 @@ class LoadGenerator:
         self.sweep_ratio = sweep_ratio
         self.sweep_specs = list(sweep_specs if sweep_specs is not None
                                 else DEFAULT_SWEEP_SPECS)
+        if isinstance(tenant_mix, str):
+            tenant_mix = parse_tenant_mix(tenant_mix)
+        self.tenant_mix = dict(tenant_mix) if tenant_mix else None
         self.seed = seed
 
     @classmethod
@@ -181,7 +219,9 @@ class LoadGenerator:
                 exponent: float = 1.1, seed: int = 0,
                 api_ratio: float = 0.0,
                 conditional_ratio: float = 1.0,
-                sweep_ratio: float = 0.0) -> "LoadGenerator":
+                sweep_ratio: float = 0.0,
+                tenant_mix: dict[str, float] | str | None = None,
+                ) -> "LoadGenerator":
         """Build a profile over a :class:`~repro.serve.app.ServeApp`'s site.
 
         Popularity rank is the plan order (home page first, then the 38
@@ -192,7 +232,7 @@ class LoadGenerator:
         return cls(urls, exponent=exponent, seed=seed,
                    api_paths=list(DEFAULT_API_PATHS), api_ratio=api_ratio,
                    conditional_ratio=conditional_ratio,
-                   sweep_ratio=sweep_ratio)
+                   sweep_ratio=sweep_ratio, tenant_mix=tenant_mix)
 
     def sample(self, n: int) -> list[str]:
         """A deterministic stream of ``n`` request paths (pages only)."""
@@ -209,21 +249,31 @@ class LoadGenerator:
         probability ``conditional_ratio``.
         """
         rng = random.Random(self.seed)
+        keys = weights = None
+        if self.tenant_mix:
+            keys = list(self.tenant_mix)
+            weights = [self.tenant_mix[k] for k in keys]
+
+        def api_key() -> str | None:
+            if keys is None:
+                return None
+            return rng.choices(keys, weights=weights, k=1)[0]
+
         requests = []
         for _ in range(n):
             if self.sweep_specs and rng.random() < self.sweep_ratio:
                 spec = rng.choice(self.sweep_specs)
                 requests.append(LoadRequest(
                     "/api/sweeps", conditional=False, method="POST",
-                    body=spec.encode("utf-8")))
+                    body=spec.encode("utf-8"), api_key=api_key()))
                 continue
             if self.api_paths and rng.random() < self.api_ratio:
                 path = rng.choice(self.api_paths)
             else:
                 path = rng.choices(self.urls, weights=self.weights, k=1)[0]
-            requests.append(
-                LoadRequest(path, conditional=rng.random() < self.conditional_ratio)
-            )
+            requests.append(LoadRequest(
+                path, conditional=rng.random() < self.conditional_ratio,
+                api_key=api_key()))
         return requests
 
 
@@ -238,7 +288,9 @@ class LoadReport:
     api_requests: int = 0                # requests whose path was /api/*
     sweep_submissions: int = 0           # POST /api/sweeps issued
     sweeps_accepted: int = 0             # 202 Accepted responses
-    shed: int = 0                        # 503/429 (shed / degraded / deadline)
+    shed: int = 0                        # 503 (shed / degraded / deadline)
+    limited: int = 0                     # 429 (per-tenant rate/quota refusals)
+    retries: int = 0                     # re-issues after a 429/503 refusal
     stale_hits: int = 0                  # responses carrying X-Stale
     transport_errors: int = 0            # connection refused/reset (HTTP runner)
     bytes_received: int = 0
@@ -270,6 +322,11 @@ class LoadReport:
         return self.shed / self.requests if self.requests else 0.0
 
     @property
+    def limited_rate(self) -> float:
+        """Fraction of requests refused by the tenancy edge (429)."""
+        return self.limited / self.requests if self.requests else 0.0
+
+    @property
     def stale_hit_rate(self) -> float:
         return self.stale_hits / self.requests if self.requests else 0.0
 
@@ -293,6 +350,8 @@ class LoadReport:
         self.sweep_submissions += other.sweep_submissions
         self.sweeps_accepted += other.sweeps_accepted
         self.shed += other.shed
+        self.limited += other.limited
+        self.retries += other.retries
         self.stale_hits += other.stale_hits
         self.transport_errors += other.transport_errors
         self.bytes_received += other.bytes_received
@@ -303,31 +362,67 @@ def _as_request(item) -> LoadRequest:
     return item if isinstance(item, LoadRequest) else LoadRequest(str(item))
 
 
+def _retry_delay_s(retry_after: str | None, honor_retry_after: bool,
+                   retry_cap_s: float) -> float:
+    """The pause before re-issuing a refused request.
+
+    A well-behaved client honors the server's ``Retry-After`` hint
+    (capped so a test or benchmark never sleeps a full production-scale
+    back-off); without a hint it retries after a token pause.
+    """
+    delay = 0.05
+    if honor_retry_after and retry_after:
+        try:
+            delay = float(retry_after)
+        except ValueError:
+            pass
+    return max(0.0, min(delay, retry_cap_s))
+
+
 def run_load(app, paths, revalidate: bool = True,
-             clock=time.perf_counter) -> LoadReport:
+             clock=time.perf_counter, max_retries: int = 0,
+             honor_retry_after: bool = True, retry_cap_s: float = 2.0,
+             sleep=time.sleep) -> LoadReport:
     """Replay ``paths`` (strings or :class:`LoadRequest`) in-process.
 
     With ``revalidate=True`` the runner behaves like a browser cache:
     it remembers the last ETag seen per URL and sends ``If-None-Match``
     on repeats (for requests marked conditional), earning 304s for
     unchanged pages.
+
+    ``max_retries > 0`` re-issues refused requests (429/503) up to that
+    many times per request, pausing per the response's ``Retry-After``
+    hint (capped at ``retry_cap_s``).  Every attempt is tallied — the
+    report's ``limited``/``shed`` counters reflect refusals seen on the
+    wire, and ``retries`` counts the re-issues.
     """
     etags: dict[str, str] = {}
     report = LoadReport()
     started = clock()
     for item in paths:
         request = _as_request(item)
-        headers = {}
-        if revalidate and request.conditional and request.path in etags:
-            headers["If-None-Match"] = etags[request.path]
-        issued = clock()
-        response = call_app(app, request.path, method=request.method,
-                            headers=headers, body=request.body)
-        report.latencies_s.append(clock() - issued)
-        _tally(report, request, response.status, response.etag,
-               len(response.body), etags,
-               cache_status=response.headers.get("X-Cache"),
-               stale=response.headers.get("X-Stale") is not None)
+        attempts = 0
+        while True:
+            headers = {}
+            if request.api_key:
+                headers["X-Api-Key"] = request.api_key
+            if revalidate and request.conditional and request.path in etags:
+                headers["If-None-Match"] = etags[request.path]
+            issued = clock()
+            response = call_app(app, request.path, method=request.method,
+                                headers=headers, body=request.body)
+            report.latencies_s.append(clock() - issued)
+            _tally(report, request, response.status, response.etag,
+                   len(response.body), etags,
+                   cache_status=response.headers.get("X-Cache"),
+                   stale=response.headers.get("X-Stale") is not None)
+            if response.status in (429, 503) and attempts < max_retries:
+                attempts += 1
+                report.retries += 1
+                sleep(_retry_delay_s(response.headers.get("Retry-After"),
+                                     honor_retry_after, retry_cap_s))
+                continue
+            break
     report.duration_s = clock() - started
     return report
 
@@ -346,8 +441,10 @@ def _tally(report: LoadReport, request: LoadRequest, status: int,
             report.sweeps_accepted += 1
     if status == 304:
         report.revalidations += 1
-    if status in (503, 429):
+    if status == 503:
         report.shed += 1
+    elif status == 429:
+        report.limited += 1
     if stale:
         report.stale_hits += 1
     if cache_status == "hit":
@@ -389,7 +486,9 @@ def run_load_concurrent(app, paths, clients: int = 4, revalidate: bool = True,
 
 def run_load_http(base_url: str, paths, clients: int = 1,
                   revalidate: bool = True, timeout_s: float = 10.0,
-                  clock=time.perf_counter) -> LoadReport:
+                  clock=time.perf_counter, max_retries: int = 0,
+                  honor_retry_after: bool = True, retry_cap_s: float = 2.0,
+                  sleep=time.sleep) -> LoadReport:
     """Replay ``paths`` over real sockets against ``base_url``.
 
     ``base_url`` is ``http://host:port``; each client thread opens its own
@@ -414,31 +513,44 @@ def run_load_http(base_url: str, paths, clients: int = 1,
         etags: dict[str, str] = {}
         report = reports[i]
         for request in slices[i]:
-            headers = {}
-            if revalidate and request.conditional and request.path in etags:
-                headers["If-None-Match"] = etags[request.path]
-            issued = clock()
-            conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
-            try:
-                if request.body is not None:
-                    headers.setdefault("Content-Type", "application/json")
-                conn.request(request.method, request.path,
-                             body=request.body, headers=headers)
-                response = conn.getresponse()
-                body = response.read()
-                status = response.status
-                etag = response.getheader("ETag")
-                cache_status = response.getheader("X-Cache")
-                stale = response.getheader("X-Stale") is not None
-            except (OSError, http.client.HTTPException):
-                report.requests += 1
-                report.transport_errors += 1
-                continue
-            finally:
-                conn.close()
-            report.latencies_s.append(clock() - issued)
-            _tally(report, request, status, etag, len(body), etags,
-                   cache_status=cache_status, stale=stale)
+            attempts = 0
+            while True:
+                headers = {}
+                if request.api_key:
+                    headers["X-Api-Key"] = request.api_key
+                if revalidate and request.conditional and request.path in etags:
+                    headers["If-None-Match"] = etags[request.path]
+                issued = clock()
+                conn = http.client.HTTPConnection(host, port,
+                                                  timeout=timeout_s)
+                try:
+                    if request.body is not None:
+                        headers.setdefault("Content-Type", "application/json")
+                    conn.request(request.method, request.path,
+                                 body=request.body, headers=headers)
+                    response = conn.getresponse()
+                    body = response.read()
+                    status = response.status
+                    etag = response.getheader("ETag")
+                    cache_status = response.getheader("X-Cache")
+                    stale = response.getheader("X-Stale") is not None
+                    retry_after = response.getheader("Retry-After")
+                except (OSError, http.client.HTTPException):
+                    report.requests += 1
+                    report.transport_errors += 1
+                    break
+                finally:
+                    conn.close()
+                report.latencies_s.append(clock() - issued)
+                _tally(report, request, status, etag, len(body), etags,
+                       cache_status=cache_status, stale=stale)
+                if status in (429, 503) and attempts < max_retries:
+                    attempts += 1
+                    report.retries += 1
+                    sleep(_retry_delay_s(retry_after, honor_retry_after,
+                                         retry_cap_s))
+                    continue
+                break
 
     threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
     started = clock()

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 from repro import sanitize
 
-__all__ = ["LatencyHistogram", "RouteStats", "MetricsRegistry",
+__all__ = ["LatencyHistogram", "RouteStats", "TenantStats", "MetricsRegistry",
            "DEFAULT_BUCKETS_S", "merge_exports"]
 
 #: Log-spaced latency bucket upper bounds, in seconds (100 µs .. 10 s).
@@ -210,6 +210,82 @@ class RouteStats:
             self.latency.merge_export(export.get("latency", {}))
 
 
+@dataclass
+class TenantStats:
+    """Counters for one tenant at the admission edge.
+
+    Striped like :class:`RouteStats` (own mutex), and mergeable the same
+    way so the pre-fork fleet reports true per-tenant percentiles.  The
+    latency histogram records *served* requests only — folding in
+    microsecond-scale rejections would drag a throttled tenant's
+    percentiles toward zero exactly when its real latency matters.
+    """
+
+    allowed: int = 0                        # admitted past the edge
+    limited: int = 0                        # 429: request window exhausted
+    sweep_limited: int = 0                  # 429: sweep-submission quota
+    shed: int = 0                           # admitted, then shed at capacity
+    errors: int = 0                         # served responses with status >= 500
+    statuses: Counter = field(default_factory=Counter)
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
+
+    def __post_init__(self) -> None:
+        sanitize.register_lock(self, "_lock", "TenantStats._lock")
+
+    def record(self, outcome: str, status: int, elapsed_s: float) -> None:
+        with self._lock:
+            self.statuses[status] += 1
+            if outcome == "limited":
+                self.limited += 1
+            elif outcome == "sweep_limited":
+                self.sweep_limited += 1
+            elif outcome == "shed":
+                self.shed += 1
+            else:
+                self.allowed += 1
+                if status >= 500:
+                    self.errors += 1
+                self.latency.observe(elapsed_s)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "allowed": self.allowed,
+                "limited": self.limited,
+                "sweep_limited": self.sweep_limited,
+                "shed": self.shed,
+                "errors": self.errors,
+                "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+                "latency": self.latency.snapshot(),
+            }
+
+    def export(self) -> dict:
+        """Raw, mergeable dump of this tenant's counters."""
+        with self._lock:
+            return {
+                "allowed": self.allowed,
+                "limited": self.limited,
+                "sweep_limited": self.sweep_limited,
+                "shed": self.shed,
+                "errors": self.errors,
+                "statuses": {str(k): v for k, v in self.statuses.items()},
+                "latency": self.latency.export(),
+            }
+
+    def merge_export(self, export: dict) -> None:
+        with self._lock:
+            self.allowed += int(export.get("allowed", 0))
+            self.limited += int(export.get("limited", 0))
+            self.sweep_limited += int(export.get("sweep_limited", 0))
+            self.shed += int(export.get("shed", 0))
+            self.errors += int(export.get("errors", 0))
+            for status, n in export.get("statuses", {}).items():
+                self.statuses[int(status)] += int(n)
+            self.latency.merge_export(export.get("latency", {}))
+
+
 class MetricsRegistry:
     """Thread-safe aggregate of everything ``/api/metrics`` exposes."""
 
@@ -217,6 +293,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         sanitize.register_lock(self, "_lock", "MetricsRegistry._lock")
         self._routes: dict[str, RouteStats] = {}
+        self._tenants: dict[str, TenantStats] = {}
         self.cache_hits = 0
         self.cache_misses = 0
         self.not_modified = 0               # 304 responses served
@@ -227,6 +304,7 @@ class MetricsRegistry:
         self.deadline_expired = 0           # requests over their time budget
         self.stale_served = 0               # 200s marked Warning: 110
         self.degraded = 0                   # render gave up after retries
+        self.rate_limited = 0               # 429s answered at the tenancy edge
         self.started_at = clock()
         self._clock = clock
 
@@ -263,6 +341,24 @@ class MetricsRegistry:
         with self._lock:
             self.degraded += 1
 
+    def record_tenant(self, tenant: str, outcome: str, status: int,
+                      elapsed_s: float) -> None:
+        """Attribute one edge decision to its tenant.
+
+        ``outcome`` is one of ``allowed`` / ``limited`` /
+        ``sweep_limited`` / ``shed`` — the registry lock only guards the
+        tenant table; counting happens under the tenant's own stripe.
+        """
+        with self._lock:
+            stats = self._tenants.setdefault(tenant, TenantStats())
+            if outcome in ("limited", "sweep_limited"):
+                self.rate_limited += 1
+        stats.record(outcome, status, elapsed_s)
+
+    def tenant(self, name: str) -> TenantStats:
+        with self._lock:
+            return self._tenants.setdefault(name, TenantStats())
+
     @property
     def total_requests(self) -> int:
         with self._lock:
@@ -284,7 +380,8 @@ class MetricsRegistry:
     #: Scalar counters every export carries (and merging sums).
     _EXPORT_COUNTERS = ("cache_hits", "cache_misses", "not_modified",
                         "rebuilds", "rebuild_pages", "shed",
-                        "deadline_expired", "stale_served", "degraded")
+                        "deadline_expired", "stale_served", "degraded",
+                        "rate_limited")
 
     def export(self) -> dict:
         """Raw, JSON-safe, *mergeable* dump of every counter.
@@ -297,12 +394,15 @@ class MetricsRegistry:
         """
         with self._lock:
             routes = dict(self._routes)
+            tenants = dict(self._tenants)
             counters = {name: getattr(self, name)
                         for name in self._EXPORT_COUNTERS}
             started_at = self.started_at
         return {
             "routes": {pattern: stats.export()
                        for pattern, stats in routes.items()},
+            "tenants": {name: stats.export()
+                        for name, stats in tenants.items()},
             "counters": counters,
             "started_at": started_at,
         }
@@ -320,13 +420,21 @@ class MetricsRegistry:
                 pattern: self._routes.setdefault(pattern, RouteStats())
                 for pattern in export.get("routes", {})
             }
+            stats_by_tenant = {
+                name: self._tenants.setdefault(name, TenantStats())
+                for name in export.get("tenants", {})
+            }
         for pattern, route_export in export.get("routes", {}).items():
             stats_by_pattern[pattern].merge_export(route_export)
+        for name, tenant_export in export.get("tenants", {}).items():
+            stats_by_tenant[name].merge_export(tenant_export)
 
     def snapshot(self) -> dict:
         """JSON-ready view of every counter (the ``/api/metrics`` body)."""
         with self._lock:
             routes = dict(self._routes)
+            tenants = dict(self._tenants)
+            rate_limited = self.rate_limited
             cache_hits = self.cache_hits
             cache_misses = self.cache_misses
             not_modified = self.not_modified
@@ -360,7 +468,10 @@ class MetricsRegistry:
                 "deadline_expired": deadline_expired,
                 "stale_served": stale_served,
                 "degraded": degraded,
+                "rate_limited": rate_limited,
             },
+            "tenants": {name: stats.snapshot()
+                        for name, stats in sorted(tenants.items())},
         }
 
 

@@ -33,9 +33,17 @@ Three coordination planes make the fleet behave like one server:
    drains its in-flight requests (bounded), spills its cache, and exits.
    ``/readyz`` answers 503 until *every* expected worker is up and warm.
 
+A fourth plane rides the same sockets when the multi-tenant edge is
+enabled (``tenants=``): each worker's :class:`~repro.serve.tenancy.TenantGate`
+gossips its per-(worker, epoch) window counts to its peers via the
+``tenancy`` command, max-merged on absorb, so N workers enforce ~one
+fleet-wide rate limit instead of N× the quota — and a respawned worker
+inherits its predecessor's counts from the survivors' gossip.
+
 The control protocol is one JSON line per connection::
 
-    {"cmd": "ping" | "ready" | "metrics" | "generation" | "poke" | "shutdown"}
+    {"cmd": "ping" | "ready" | "metrics" | "generation" | "poke"
+            | "tenancy" | "shutdown"}
 
 Pure stdlib.  Requires ``fork`` (POSIX); the CLI refuses the mode
 elsewhere.  In process mode each worker's sweep plane runs its points
@@ -325,9 +333,11 @@ class FleetLinks:
 def _worker_main(index: int, listen_socket: socket.socket,
                  runtime_dir: str, workers: int, threads_per_worker: int,
                  queue_limit: int | None, drain_timeout_s: float,
-                 quiet: bool, app_kwargs: dict) -> None:
+                 quiet: bool, app_kwargs: dict,
+                 tenancy_sync_interval_s: float = 0.25) -> None:
     """Entry point of one forked worker (runs in the child process)."""
     from repro.serve.app import _QuietHandler, create_app
+    from repro.serve.tenancy import TenancySync
     from repro.serve.workers import PooledWSGIServer, WorkerPool
     from wsgiref.simple_server import WSGIRequestHandler
 
@@ -342,6 +352,27 @@ def _worker_main(index: int, listen_socket: socket.socket,
 
     app = create_app(**kwargs)
     app.fleet = FleetLinks(runtime_dir, index, workers)
+
+    tenancy_sync = None
+    if app.tenancy is not None:
+        # Claim this process's slot in the window CRDT, then gossip: the
+        # sync thread pulls every peer's view over the control sockets
+        # and max-merges it in, so the fleet converges on ~one shared
+        # limit.  Fetch failures are counted and skipped — a dead peer
+        # never blocks admission.
+        app.tenancy.set_worker(index)
+
+        def fetch_tenancy_views() -> list[dict]:
+            views = []
+            for _idx, path in app.fleet.peers():
+                reply = control_call(path, "tenancy",
+                                     timeout_s=app.fleet.timeout_s)
+                if reply and isinstance(reply.get("view"), dict):
+                    views.append(reply["view"])
+            return views
+
+        tenancy_sync = TenancySync(app.tenancy, fetch_tenancy_views,
+                                   interval_s=tenancy_sync_interval_s).start()
 
     pool = WorkerPool(threads_per_worker, name=f"prefork-{index}-thread",
                       max_queue=queue_limit)
@@ -397,6 +428,11 @@ def _worker_main(index: int, listen_socket: socket.socket,
                                       "generation": app.state.corpus_signature,
                                       "stale": app._currently_stale()},
             "poke": _poke,
+            "tenancy": lambda _r: {
+                "worker": index, "pid": os.getpid(),
+                "view": (app.tenancy.view()
+                         if app.tenancy is not None else {}),
+            },
             "shutdown": lambda _r: (request_shutdown(), {"ok": True})[1],
         },
         name=f"prefork-{index}-control",
@@ -405,6 +441,8 @@ def _worker_main(index: int, listen_socket: socket.socket,
     try:
         server.serve_forever(poll_interval=0.1)
     finally:
+        if tenancy_sync is not None:
+            tenancy_sync.stop()
         control.stop()
         server.server_close()               # stops accepting, drains, joins
         app.close()
@@ -442,6 +480,7 @@ class PreforkServer:
         respawn_backoff_max_s: float = 5.0,
         monitor_interval_s: float = 0.05,
         quiet: bool = True,
+        tenancy_sync_interval_s: float = 0.25,
         **app_kwargs,
     ):
         if workers < 1:
@@ -463,6 +502,7 @@ class PreforkServer:
         self.respawn_backoff_max_s = respawn_backoff_max_s
         self.monitor_interval_s = monitor_interval_s
         self.quiet = quiet
+        self.tenancy_sync_interval_s = tenancy_sync_interval_s
         self.app_kwargs = dict(app_kwargs)
 
         self._owns_runtime_dir = runtime_dir is None
@@ -519,7 +559,8 @@ class PreforkServer:
             target=_worker_main,
             args=(index, self.listen_socket, str(self.runtime_dir),
                   self.workers, self.threads_per_worker, self.queue_limit,
-                  self.drain_timeout_s, self.quiet, self.app_kwargs),
+                  self.drain_timeout_s, self.quiet, self.app_kwargs,
+                  self.tenancy_sync_interval_s),
             name=f"prefork-worker-{index}",
             daemon=True,
         )

@@ -30,11 +30,27 @@ import threading
 import time
 
 __all__ = ["BreakerOpen", "CircuitBreaker", "Deadline", "DeadlineExceeded",
-           "LoadShedder", "CLOSED", "OPEN", "HALF_OPEN"]
+           "LoadShedder", "bounded_retry_after",
+           "CLOSED", "OPEN", "HALF_OPEN"]
 
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
+
+#: Never tell a client to back off longer than this many seconds.
+MAX_RETRY_AFTER_S = 60
+
+
+def bounded_retry_after(seconds: float, max_s: float = MAX_RETRY_AFTER_S) -> int:
+    """Clamp a computed back-off hint to a bounded positive integer.
+
+    Every refusal path — shedder 503s, queue-saturation 503s, and the
+    tenancy edge's 429s — formats ``Retry-After`` through this helper so
+    clients always see an integer in ``[1, max_s]``: never zero (which
+    some clients treat as "retry immediately, in a tight loop") and
+    never an hour-long lockout from a transient pressure spike.
+    """
+    return int(min(max(1, round(seconds)), max_s))
 
 
 class BreakerOpen(RuntimeError):
@@ -229,19 +245,37 @@ class LoadShedder:
         self._inflight = 0
         self._admitted = 0
         self._shed = 0
+        self._shed_streak = 0       # consecutive sheds since the last admit
 
     def try_acquire(self) -> bool:
         with self._lock:
             if self._inflight >= self.max_inflight:
                 self._shed += 1
+                self._shed_streak += 1
                 return False
             self._inflight += 1
             self._admitted += 1
+            self._shed_streak = 0
             return True
 
     def release(self) -> None:
         with self._lock:
             self._inflight = max(0, self._inflight - 1)
+
+    def retry_after(self) -> int:
+        """Back-off hint, in whole seconds, derived from current pressure.
+
+        Inflight saturation alone is binary (``_inflight`` never exceeds
+        the watermark), so sustained overload shows up as the *streak* of
+        consecutive sheds: the hint grows by one base interval per
+        ``4 × max_inflight`` uninterrupted sheds, bounded by
+        :func:`bounded_retry_after` — light brushes against the
+        watermark still say "1", a hammered server tells clients to back
+        off progressively longer.
+        """
+        with self._lock:
+            pressure = self._shed_streak / (4.0 * self.max_inflight)
+        return bounded_retry_after(self.retry_after_s * (1.0 + pressure))
 
     @property
     def shed_total(self) -> int:

@@ -1,0 +1,553 @@
+"""Multi-tenant admission edge: API keys, sliding windows, per-tier quotas.
+
+The outermost rung of the serving ladder.  Every request is attributed
+to a *tenant* (via ``X-Api-Key`` header or ``?key=`` query parameter;
+anonymous traffic maps to a shared default tenant) and admitted against
+that tenant's *tier* — a per-window request budget with a burst
+allowance, plus a separate sweep-submission quota for the batch plane.
+Past the budget the request is refused with ``429 + Retry-After``
+*before* it touches the page cache, a render, or the sweep pool:
+refusing an abusive tenant costs microseconds, so one hot client can no
+longer monopolize the worker pool that every other tenant shares.
+
+**Window algorithm.**  The classic two-bucket sliding-window estimate:
+hits are counted per fixed window epoch (``epoch = now // window_s``)
+and the rolling usage is ``current + previous * (1 - elapsed_fraction)``
+— smooth like a true sliding log, O(1) memory per tenant.  Counts are
+kept for the current and previous epoch only.
+
+**Fleet reconciliation.**  Under ``--worker-model process`` each worker
+holds its own :class:`TenantGate`, which alone would enforce N× the
+quota.  Per-epoch counts are monotone within one worker incarnation, so
+a gate's windows form a grow-only max-merge CRDT: :meth:`TenantGate.view`
+exports ``{worker_index: {tenant: {scope: {epoch: count}}}}`` and
+:meth:`TenantGate.absorb` folds a peer's view in by taking the per-epoch
+**max** for each (worker, tenant, scope) — never summing the same
+worker's counts twice.  The effective usage at admission is the sum
+across worker indices of those max-merged counts.  A
+:class:`TenancySync` thread gossips views over the existing prefork
+control-socket plane (same pattern as the metrics merge), so N workers
+converge on ~one fleet-wide limit; because every worker re-gossips what
+it heard, a SIGKILLed worker's counts survive in its peers and a
+respawned worker *inherits* its predecessor's window instead of handing
+the tenant a fresh quota (and never resets anyone else's).
+
+**Degraded-open.**  The limiter is an optimization for everyone else's
+latency, not a correctness gate: any failure inside the admission
+decision (exercised by the ``rate-limit`` fault op) counts a
+``limiter_errors`` and admits the request, falling back to the global
+:class:`~repro.serve.resilience.LoadShedder` — a broken limiter must
+never 500, wedge, or lock users out.
+
+Pure stdlib; all clocks injectable so tests replay deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from urllib.parse import parse_qs
+
+from repro import sanitize
+from repro.serve.resilience import bounded_retry_after
+
+__all__ = ["TierPolicy", "TenancyConfig", "TenancyConfigError",
+           "TenantGate", "TenancySync", "Decision",
+           "ANONYMOUS_TENANT", "DEFAULT_WINDOW_S"]
+
+#: The shared tenant every keyless request maps to.
+ANONYMOUS_TENANT = "anonymous"
+
+#: Default sliding-window length, seconds.
+DEFAULT_WINDOW_S = 10.0
+
+#: Ops probes are never rate limited: an orchestrator health-checking a
+#: saturated server must still learn whether the process is alive.
+EXEMPT_PATHS = ("/healthz", "/readyz")
+
+_REQ = "req"           # window scope: every admitted request
+_SWEEP = "sweep"       # window scope: POST /api/sweeps submissions
+
+
+class TenancyConfigError(ValueError):
+    """A tenants config file or dict failed validation."""
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """One tier's budgets.  ``None`` limits mean unlimited."""
+
+    name: str
+    requests_per_window: int | None
+    burst: int = 0
+    sweep_submissions_per_window: int | None = None
+
+    def __post_init__(self):
+        if self.requests_per_window is not None and self.requests_per_window < 1:
+            raise TenancyConfigError(
+                f"tier {self.name!r}: requests_per_window must be >= 1")
+        if self.burst < 0:
+            raise TenancyConfigError(f"tier {self.name!r}: burst must be >= 0")
+        if (self.sweep_submissions_per_window is not None
+                and self.sweep_submissions_per_window < 0):
+            raise TenancyConfigError(
+                f"tier {self.name!r}: sweep_submissions_per_window must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "requests_per_window": self.requests_per_window,
+            "burst": self.burst,
+            "sweep_submissions_per_window": self.sweep_submissions_per_window,
+        }
+
+
+def _default_tiers() -> dict[str, TierPolicy]:
+    return {
+        "free": TierPolicy("free", requests_per_window=60, burst=20,
+                           sweep_submissions_per_window=2),
+        "standard": TierPolicy("standard", requests_per_window=600, burst=120,
+                               sweep_submissions_per_window=20),
+        "unlimited": TierPolicy("unlimited", requests_per_window=None, burst=0,
+                                sweep_submissions_per_window=None),
+    }
+
+
+class TenancyConfig:
+    """Key → (tenant, tier) mapping plus the tier table and window length.
+
+    The JSON file format (every section optional — omitted sections fall
+    back to the sane defaults, so ``{"keys": {...}}`` is a valid file)::
+
+        {
+          "window_s": 10,
+          "tiers": {
+            "free": {"requests_per_window": 60, "burst": 20,
+                     "sweep_submissions_per_window": 2},
+            "standard": {"requests_per_window": 600, "burst": 120,
+                         "sweep_submissions_per_window": 20},
+            "unlimited": {"requests_per_window": null}
+          },
+          "default_tier": "free",
+          "anonymous_tier": "free",
+          "keys": {
+            "sk-alice": {"tenant": "alice", "tier": "standard"},
+            "sk-ci":    {"tenant": "ci", "tier": "unlimited"}
+          }
+        }
+
+    Resolution: a known key maps to its configured tenant; an *unknown*
+    key becomes its own tenant (the key string) on ``default_tier`` —
+    abuse through made-up keys stays contained per key instead of
+    pooling into one shared bucket; no key at all maps every client to
+    the shared :data:`ANONYMOUS_TENANT` on ``anonymous_tier``.
+    """
+
+    def __init__(self, tiers: dict[str, TierPolicy] | None = None,
+                 keys: dict[str, tuple[str, str]] | None = None,
+                 window_s: float = DEFAULT_WINDOW_S,
+                 default_tier: str = "free",
+                 anonymous_tier: str | None = None):
+        if window_s <= 0:
+            raise TenancyConfigError("window_s must be > 0")
+        self.tiers = dict(tiers) if tiers else _default_tiers()
+        self.keys = dict(keys or {})
+        self.window_s = float(window_s)
+        self.default_tier = default_tier
+        self.anonymous_tier = anonymous_tier or default_tier
+        for name in (self.default_tier, self.anonymous_tier):
+            if name not in self.tiers:
+                raise TenancyConfigError(f"unknown tier {name!r} "
+                                         f"(defined: {sorted(self.tiers)})")
+        for key, (tenant, tier) in self.keys.items():
+            if tier not in self.tiers:
+                raise TenancyConfigError(
+                    f"key {key!r} (tenant {tenant!r}) names unknown tier "
+                    f"{tier!r} (defined: {sorted(self.tiers)})")
+
+    @classmethod
+    def default(cls) -> "TenancyConfig":
+        return cls()
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TenancyConfig":
+        if not isinstance(payload, dict):
+            raise TenancyConfigError("tenants config must be a JSON object")
+        tiers = _default_tiers()
+        for name, spec in (payload.get("tiers") or {}).items():
+            if not isinstance(spec, dict):
+                raise TenancyConfigError(f"tier {name!r} must be an object")
+            tiers[name] = TierPolicy(
+                name,
+                requests_per_window=spec.get("requests_per_window"),
+                burst=int(spec.get("burst", 0)),
+                sweep_submissions_per_window=spec.get(
+                    "sweep_submissions_per_window"),
+            )
+        keys: dict[str, tuple[str, str]] = {}
+        for key, spec in (payload.get("keys") or {}).items():
+            if not isinstance(spec, dict):
+                raise TenancyConfigError(f"key {key!r} must map to an object")
+            keys[key] = (str(spec.get("tenant", key)),
+                         str(spec.get("tier", payload.get("default_tier",
+                                                          "free"))))
+        return cls(
+            tiers=tiers, keys=keys,
+            window_s=float(payload.get("window_s", DEFAULT_WINDOW_S)),
+            default_tier=str(payload.get("default_tier", "free")),
+            anonymous_tier=payload.get("anonymous_tier"),
+        )
+
+    @classmethod
+    def load(cls, source) -> "TenancyConfig":
+        """Coerce ``source`` into a config.
+
+        Accepts a :class:`TenancyConfig` (returned as-is), a dict, the
+        literal string ``"default"``, or a path to a JSON file.
+        """
+        if isinstance(source, TenancyConfig):
+            return source
+        if isinstance(source, dict):
+            return cls.from_dict(source)
+        if str(source) == "default":
+            return cls.default()
+        path = Path(source)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise TenancyConfigError(
+                f"cannot read tenants config {path}: {exc}") from exc
+        except ValueError as exc:
+            raise TenancyConfigError(
+                f"tenants config {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def resolve(self, key: str | None) -> tuple[str, TierPolicy]:
+        """Map an API key (or ``None``) to ``(tenant, tier)``."""
+        if key is None or key == "":
+            return ANONYMOUS_TENANT, self.tiers[self.anonymous_tier]
+        known = self.keys.get(key)
+        if known is not None:
+            tenant, tier = known
+            return tenant, self.tiers[tier]
+        return key, self.tiers[self.default_tier]
+
+    def to_dict(self) -> dict:
+        return {
+            "window_s": self.window_s,
+            "default_tier": self.default_tier,
+            "anonymous_tier": self.anonymous_tier,
+            "tiers": {name: tier.to_dict()
+                      for name, tier in sorted(self.tiers.items())},
+            "keys": len(self.keys),
+        }
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The edge's verdict on one request."""
+
+    allowed: bool
+    tenant: str
+    tier: str
+    exempt: bool = False             # ops probe: not limited, not counted
+    degraded: bool = False           # limiter failed; admitted degraded-open
+    reason: str | None = None        # "rate" | "sweep-quota" when denied
+    retry_after: int = 1             # bounded integer seconds (denials)
+
+
+#: The decision handed out for exempt ops probes (no counting, no locks).
+_EXEMPT_DECISION = Decision(allowed=True, tenant="<ops>", tier="", exempt=True)
+
+
+def _merge_windows(dst: dict, src: dict, min_epoch: int) -> None:
+    """Max-merge ``src`` windows into ``dst`` (both keyed by tenant/scope).
+
+    Per-epoch **max**, never sum: every view of one worker's counter is a
+    snapshot of the same monotone value, so max is exact and re-absorbing
+    the same view twice is idempotent.
+    """
+    for tenant, scopes in src.items():
+        dst_scopes = dst.setdefault(tenant, {})
+        for scope, epochs in scopes.items():
+            dst_epochs = dst_scopes.setdefault(scope, {})
+            for epoch, count in epochs.items():
+                e = int(epoch)
+                if e < min_epoch:
+                    continue
+                if int(count) > dst_epochs.get(e, 0):
+                    dst_epochs[e] = int(count)
+
+
+def _prune_windows(table: dict, min_epoch: int) -> None:
+    for tenant in list(table):
+        scopes = table[tenant]
+        for scope in list(scopes):
+            epochs = scopes[scope]
+            for epoch in [e for e in epochs if e < min_epoch]:
+                del epochs[epoch]
+            if not epochs:
+                del scopes[scope]
+        if not scopes:
+            del table[tenant]
+
+
+def _jsonify_windows(table: dict) -> dict:
+    """Windows with string epoch keys (JSON-safe for the control plane)."""
+    return {tenant: {scope: {str(e): n for e, n in epochs.items()}
+                     for scope, epochs in scopes.items()}
+            for tenant, scopes in table.items()}
+
+
+class TenantGate:
+    """The admission edge: resolve the tenant, enforce its tier's windows.
+
+    One gate per process.  ``worker_index`` identifies this process in
+    the fleet CRDT; in thread mode it stays 0 and the peer tables stay
+    empty, so the gate degenerates to a plain local limiter.
+    """
+
+    def __init__(self, config: TenancyConfig, clock=time.monotonic,
+                 faults=None, worker_index: int = 0):
+        self.config = config
+        self.faults = faults
+        self.worker_index = worker_index
+        self._clock = clock
+        self._lock = threading.Lock()
+        sanitize.register_lock(self, "_lock", "TenantGate._lock")
+        # Window tables, all {tenant: {scope: {epoch: count}}}:
+        self._local: dict = {}       # this incarnation's own hits
+        self._inherited: dict = {}   # gossip about this worker index
+        #                              (including a killed predecessor)
+        self._peers: dict[int, dict] = {}   # other indices' max-merged views
+        self._pruned_epoch = -1
+        self._counters = {
+            "allowed": 0, "limited": 0, "sweep_limited": 0,
+            "limiter_errors": 0, "views_absorbed": 0,
+        }
+
+    # -- resolution --------------------------------------------------------
+
+    @staticmethod
+    def request_key(environ: dict) -> str | None:
+        """Extract the API key: ``X-Api-Key`` header, else ``?key=``."""
+        key = environ.get("HTTP_X_API_KEY")
+        if key:
+            return key
+        query = environ.get("QUERY_STRING")
+        if query and "key=" in query:
+            values = parse_qs(query).get("key")
+            if values:
+                return values[0]
+        return None
+
+    def set_worker(self, index: int) -> None:
+        """Adopt this process's fleet slot (prefork worker bootstrap)."""
+        with self._lock:
+            self.worker_index = index
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, environ: dict) -> Decision:
+        """Decide one request.  Never raises: failure admits degraded-open."""
+        path = environ.get("PATH_INFO") or "/"
+        if path in EXEMPT_PATHS:
+            return _EXEMPT_DECISION
+        tenant, tier = self.config.resolve(self.request_key(environ))
+        try:
+            if self.faults is not None:
+                self.faults.maybe_fail("rate-limit")
+            now = self._clock()
+            sweep_submit = (path == "/api/sweeps"
+                            and environ.get("REQUEST_METHOD",
+                                            "GET").upper() == "POST")
+            with self._lock:
+                return self._admit_locked(tenant, tier, now, sweep_submit)
+        except Exception:               # noqa: BLE001 - degraded-open
+            # A sick limiter must never refuse, 500, or wedge: count it
+            # and admit; the global shedder still guards capacity.
+            with self._lock:
+                self._counters["limiter_errors"] += 1
+            return Decision(allowed=True, tenant=tenant, tier=tier.name,
+                            degraded=True)
+
+    def _admit_locked(self, tenant: str, tier: TierPolicy, now: float,
+                      sweep_submit: bool) -> Decision:
+        window_s = self.config.window_s
+        epoch = int(now // window_s)
+        frac = (now % window_s) / window_s
+        if epoch != self._pruned_epoch:
+            min_epoch = epoch - 1
+            for table in (self._local, self._inherited, *self._peers.values()):
+                _prune_windows(table, min_epoch)
+            self._pruned_epoch = epoch
+
+        if tier.requests_per_window is not None:
+            usage = self._estimate(tenant, _REQ, epoch, frac)
+            if usage >= tier.requests_per_window + tier.burst:
+                self._counters["limited"] += 1
+                return Decision(
+                    allowed=False, tenant=tenant, tier=tier.name,
+                    reason="rate",
+                    retry_after=bounded_retry_after((1.0 - frac) * window_s))
+        if sweep_submit and tier.sweep_submissions_per_window is not None:
+            usage = self._estimate(tenant, _SWEEP, epoch, frac)
+            if usage >= tier.sweep_submissions_per_window:
+                self._counters["sweep_limited"] += 1
+                return Decision(
+                    allowed=False, tenant=tenant, tier=tier.name,
+                    reason="sweep-quota",
+                    retry_after=bounded_retry_after((1.0 - frac) * window_s))
+
+        self._bump(tenant, _REQ, epoch)
+        if sweep_submit:
+            self._bump(tenant, _SWEEP, epoch)
+        self._counters["allowed"] += 1
+        return Decision(allowed=True, tenant=tenant, tier=tier.name)
+
+    def _bump(self, tenant: str, scope: str, epoch: int) -> None:
+        epochs = self._local.setdefault(tenant, {}).setdefault(scope, {})
+        epochs[epoch] = epochs.get(epoch, 0) + 1
+
+    def _estimate(self, tenant: str, scope: str, epoch: int,
+                  frac: float) -> float:
+        """Fleet-wide sliding-window usage estimate for one tenant/scope."""
+        def count_at(e: int) -> int:
+            local = self._local.get(tenant, {}).get(scope, {}).get(e, 0)
+            inherited = self._inherited.get(tenant, {}).get(scope, {}).get(e, 0)
+            total = max(local, inherited)
+            for windows in self._peers.values():
+                total += windows.get(tenant, {}).get(scope, {}).get(e, 0)
+            return total
+
+        return count_at(epoch) + count_at(epoch - 1) * (1.0 - frac)
+
+    # -- fleet reconciliation (the window CRDT) ----------------------------
+
+    def view(self) -> dict:
+        """This gate's full fleet view, JSON-safe, for the control plane.
+
+        ``{worker_index: windows}`` — own effective windows (local
+        max-merged with anything inherited about this index) under our
+        own index, plus the latest max-merged view of every peer, so
+        gossip is transitive: a worker that can only reach one peer
+        still learns about the whole fleet through it.
+        """
+        with self._lock:
+            min_epoch = int(self._clock() // self.config.window_s) - 1
+            own: dict = {}
+            _merge_windows(own, self._local, min_epoch)
+            _merge_windows(own, self._inherited, min_epoch)
+            view = {str(self.worker_index): _jsonify_windows(own)}
+            for index, windows in self._peers.items():
+                if index != self.worker_index:
+                    view[str(index)] = _jsonify_windows(windows)
+            return view
+
+    def absorb(self, view: dict) -> None:
+        """Max-merge a peer's :meth:`view` into this gate's tables."""
+        if not isinstance(view, dict):
+            return
+        with self._lock:
+            min_epoch = int(self._clock() // self.config.window_s) - 1
+            for index_text, windows in view.items():
+                try:
+                    index = int(index_text)
+                except (TypeError, ValueError):
+                    continue
+                if not isinstance(windows, dict):
+                    continue
+                if index == self.worker_index:
+                    # Gossip about *us*: our own past exports or a killed
+                    # predecessor's counts.  max(local, inherited) at
+                    # estimate time keeps this double-count-free.
+                    _merge_windows(self._inherited, windows, min_epoch)
+                else:
+                    _merge_windows(self._peers.setdefault(index, {}),
+                                   windows, min_epoch)
+            self._counters["views_absorbed"] += 1
+
+    # -- observability -----------------------------------------------------
+
+    def tenant_usage(self, tenant: str) -> dict:
+        """Current fleet-wide window estimate for one tenant (ops/tests)."""
+        now = self._clock()
+        window_s = self.config.window_s
+        epoch = int(now // window_s)
+        frac = (now % window_s) / window_s
+        with self._lock:
+            return {
+                "requests": round(self._estimate(tenant, _REQ, epoch, frac), 2),
+                "sweeps": round(self._estimate(tenant, _SWEEP, epoch, frac), 2),
+            }
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "worker_index": self.worker_index,
+                "window_s": self.config.window_s,
+                "tiers": sorted(self.config.tiers),
+                "tenants_tracked": len(
+                    set(self._local) | set(self._inherited)
+                    | {t for w in self._peers.values() for t in w}),
+                "peers_known": len(self._peers),
+                **self._counters,
+            }
+
+
+class TenancySync:
+    """Background gossip: periodically absorb every peer's window view.
+
+    ``fetch_views`` is injected (the prefork layer supplies one that
+    walks the control sockets) so this class stays transport-free.  Any
+    fetch failure is counted and skipped — reconciliation is an
+    eventual-consistency optimization, never a request-path dependency.
+    """
+
+    def __init__(self, gate: TenantGate, fetch_views,
+                 interval_s: float = 0.25):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.gate = gate
+        self.fetch_views = fetch_views
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.syncs = 0
+        self.sync_errors = 0
+
+    def start(self) -> "TenancySync":
+        self._thread = threading.Thread(target=self._loop,
+                                        name="tenancy-sync", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+
+    def sync_once(self) -> int:
+        """One gossip round; returns the number of views absorbed."""
+        absorbed = 0
+        try:
+            views = self.fetch_views()
+        except Exception:               # noqa: BLE001 - gossip is advisory
+            self.sync_errors += 1
+            return 0
+        for view in views or ():
+            if view:
+                self.gate.absorb(view)
+                absorbed += 1
+        self.syncs += 1
+        return absorbed
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sync_once()
+
+    def stats(self) -> dict:
+        return {"interval_s": self.interval_s, "syncs": self.syncs,
+                "sync_errors": self.sync_errors}

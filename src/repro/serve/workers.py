@@ -31,6 +31,7 @@ import threading
 from wsgiref.simple_server import WSGIServer
 
 from repro import sanitize
+from repro.serve.resilience import bounded_retry_after
 
 __all__ = ["WorkerPool", "PooledWSGIServer", "PoolSaturated"]
 
@@ -70,7 +71,13 @@ def _install_excepthook() -> None:
 
 
 class PoolSaturated(RuntimeError):
-    """The bounded task queue is at its watermark; the task was refused."""
+    """The bounded task queue is at its watermark; the task was refused.
+
+    ``queued`` carries the queue depth at refusal time, so the shed path
+    can derive a meaningful ``Retry-After`` from actual backlog.
+    """
+
+    queued: int = 0
 
 
 class WorkerPool:
@@ -135,8 +142,10 @@ class WorkerPool:
             queued = self._submitted - self._completed - self._busy
             if self.max_queue is not None and queued >= self.max_queue:
                 self._shed += 1
-                raise PoolSaturated(
+                exc = PoolSaturated(
                     f"task queue at watermark ({queued} >= {self.max_queue})")
+                exc.queued = queued
+                raise exc
             self._submitted += 1
         self._queue.put((fn, args))
 
@@ -239,10 +248,12 @@ class PooledWSGIServer(WSGIServer):
     #: instead of being refused while all workers are busy.
     request_queue_size = 64
 
-    #: Pre-rendered shed response: refusing must cost microseconds, so no
-    #: WSGI machinery runs — the bytes go straight to the socket.
-    _SHED_RESPONSE = (b"HTTP/1.1 503 Service Unavailable\r\n"
-                      b"Retry-After: 1\r\n"
+    #: Pre-rendered shed response template: refusing must cost
+    #: microseconds, so no WSGI machinery runs — the bytes go straight
+    #: to the socket, with only the Retry-After hint (derived from the
+    #: queue depth at refusal time) formatted per shed.
+    _SHED_TEMPLATE = (b"HTTP/1.1 503 Service Unavailable\r\n"
+                      b"Retry-After: %d\r\n"
                       b"Content-Length: 0\r\n"
                       b"Connection: close\r\n\r\n")
 
@@ -269,12 +280,16 @@ class PooledWSGIServer(WSGIServer):
     def process_request(self, request, client_address) -> None:
         try:
             self.pool.submit(self._handle_request, request, client_address)
-        except PoolSaturated:
-            self._shed_request(request)
+        except PoolSaturated as exc:
+            self._shed_request(request, exc.queued)
 
-    def _shed_request(self, request) -> None:
+    def _shed_request(self, request, queued: int = 0) -> None:
+        # Back-off hint from backlog: roughly how many full pool passes
+        # it takes to drain what is already queued, bounded like every
+        # other refusal path.
+        retry_after = bounded_retry_after(queued / max(1, self.pool.workers))
         try:
-            request.sendall(self._SHED_RESPONSE)
+            request.sendall(self._SHED_TEMPLATE % retry_after)
         except OSError:
             pass                     # client already gone: nothing to refuse
         finally:

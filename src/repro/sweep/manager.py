@@ -73,9 +73,11 @@ class SweepRejected(ReproError):
 class SweepJob:
     """One submitted sweep: progress, results, cancellation."""
 
-    def __init__(self, job_id: str, spec: SweepSpec, clock=time.monotonic):
+    def __init__(self, job_id: str, spec: SweepSpec, clock=time.monotonic,
+                 tenant: str | None = None):
         self.id = job_id
         self.spec = spec
+        self.tenant = tenant
         self._clock = clock
         self._lock = threading.Lock()
         sanitize.register_lock(self, "_lock", "SweepJob._lock")
@@ -135,6 +137,7 @@ class SweepJob:
                 "error": self._error,
                 "elapsed_s": round(max(elapsed, 0.0), 4),
                 "deadline_s": self.spec.deadline_s,
+                "tenant": self.tenant,
             }
 
     def results(self) -> list[dict]:
@@ -212,6 +215,7 @@ class SweepManager:
         self._closed = False
         self.pool_idle_timeout_s = pool_idle_timeout_s
         self._idle_timer: threading.Timer | None = None
+        self._tenant_counters: dict[str, dict[str, int]] = {}
         self._counters = {
             "jobs_submitted": 0, "jobs_rejected": 0, "jobs_completed": 0,
             "jobs_failed": 0, "jobs_cancelled": 0, "jobs_deadline": 0,
@@ -222,18 +226,27 @@ class SweepManager:
 
     # -- admission ---------------------------------------------------------
 
-    def submit(self, spec: SweepSpec) -> SweepJob:
-        """Admit a sweep job; raises :class:`SweepRejected` at capacity."""
+    def submit(self, spec: SweepSpec, tenant: str | None = None) -> SweepJob:
+        """Admit a sweep job; raises :class:`SweepRejected` at capacity.
+
+        ``tenant`` labels the job for per-tenant accounting (the tenancy
+        edge enforces the per-tier *quota* before this call; capacity
+        rejections here remain global back-pressure).
+        """
         with self._lock:
             if self._closed:
                 raise SweepRejected(0, self.max_active_jobs)
             active = sum(1 for job in self._jobs.values() if not job.finished)
             if active >= self.max_active_jobs:
                 self._counters["jobs_rejected"] += 1
+                if tenant is not None:
+                    self._tenant_count_locked(tenant, "rejected")
                 raise SweepRejected(active, self.max_active_jobs)
             self._next_id += 1
             job = SweepJob(f"sweep-{self._next_id:04d}", spec,
-                           clock=self._clock)
+                           clock=self._clock, tenant=tenant)
+            if tenant is not None:
+                self._tenant_count_locked(tenant, "submitted")
             self._jobs[job.id] = job
             self._counters["jobs_submitted"] += 1
             thread = threading.Thread(target=self._run_job, args=(job,),
@@ -496,6 +509,11 @@ class SweepManager:
         with self._lock:
             self._counters[key] += by
 
+    def _tenant_count_locked(self, tenant: str, key: str) -> None:
+        counts = self._tenant_counters.setdefault(
+            tenant, {"submitted": 0, "rejected": 0})
+        counts[key] += 1
+
     def stats(self) -> dict:
         with self._lock:
             out = dict(self._counters)
@@ -506,6 +524,10 @@ class SweepManager:
             out["memo_entries"] = len(self._memo)
             out["pool_active"] = self._pool is not None
             out["pool_idle_timeout_s"] = self.pool_idle_timeout_s
+            if self._tenant_counters:
+                out["per_tenant"] = {
+                    tenant: dict(counts) for tenant, counts
+                    in sorted(self._tenant_counters.items())}
         if self.store is not None:
             out["store"] = self.store.stats()
         return out

@@ -1,0 +1,283 @@
+"""Tenant fairness and fleet-coherent quotas, over real sockets.
+
+The acceptance bar for the multi-tenant edge:
+
+* **fairness** — one hot tenant blasting past its tier's budget is
+  refused at the edge (429 + ``Retry-After``) while a well-behaved cold
+  tenant sees zero errors and latency comparable to running solo, in
+  BOTH worker models (thread pool and pre-fork fleet);
+* **fleet coherence** — with N worker processes each holding its own
+  limiter, the gossip reconciliation makes the fleet enforce ~one
+  quota, not N×; SIGKILLing a worker mid-window and letting the
+  supervisor respawn it must not hand the hot tenant a fresh budget or
+  reset anyone else's window.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import create_app, create_server
+from repro.serve.prefork import PreforkServer
+
+HOT_CAP = 25
+
+TENANTS = {
+    "window_s": 60,
+    "tiers": {
+        "free": {"requests_per_window": HOT_CAP, "burst": 0,
+                 "sweep_submissions_per_window": 2},
+        "standard": {"requests_per_window": 100_000, "burst": 0},
+    },
+    "keys": {
+        "sk-hot": {"tenant": "hot", "tier": "free"},
+        "sk-cold": {"tenant": "cold", "tier": "standard"},
+    },
+}
+
+
+def http_get(base: str, path: str, key: str | None = None,
+             timeout: float = 30.0):
+    request = urllib.request.Request(base + path)
+    if key:
+        request.add_header("X-Api-Key", key)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def wait_until(predicate, timeout_s: float = 30.0, interval_s: float = 0.05,
+               message: str = "condition never became true"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise AssertionError(message)
+
+
+def percentile_s(latencies: list[float], p: float) -> float:
+    ordered = sorted(latencies)
+    rank = max(0, min(len(ordered) - 1, int(p / 100.0 * len(ordered))))
+    return ordered[rank]
+
+
+@pytest.fixture(params=["thread", "process"])
+def live_edge(request, tmp_path):
+    """A live server with the admission edge on, one per worker model."""
+    if request.param == "thread":
+        app = create_app(watch=False, cache_dir=tmp_path / "cache",
+                         tenants=TENANTS)
+        server, _ = create_server(port=0, app=app, quiet=True, workers=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        yield request.param, base
+        server.shutdown()
+        thread.join(timeout=5.0)
+        server.server_close()
+        app.close()
+    else:
+        fleet = PreforkServer(port=0, workers=2, watch=False,
+                              rebuild_mode="inline", quiet=True,
+                              tenants=TENANTS,
+                              tenancy_sync_interval_s=0.05)
+        fleet.start()
+        assert fleet.wait_ready(timeout_s=90.0), "fleet never became ready"
+        yield request.param, fleet.base_url
+        fleet.stop()
+
+
+class TestFairness:
+    """Satellite: hot tenant past its limit, cold tenant unharmed."""
+
+    def test_hot_tenant_is_limited_cold_tenant_is_unharmed(self, live_edge):
+        model, base = live_edge
+
+        # Solo baseline: the cold tenant with the server to itself.
+        solo_latencies = []
+        for _ in range(30):
+            started = time.perf_counter()
+            status, _, _ = http_get(base, "/", key="sk-cold")
+            solo_latencies.append(time.perf_counter() - started)
+            assert status in (200, 304)
+
+        # Now a hot tenant blasts ~5x its budget from two threads while
+        # the cold tenant keeps its steady, in-budget pace.
+        hot_results: list[tuple[int, str | None]] = []
+        hot_lock = threading.Lock()
+
+        def blast():
+            for _ in range(60):
+                status, headers, _ = http_get(base, "/", key="sk-hot")
+                with hot_lock:
+                    hot_results.append((status, headers.get("Retry-After")))
+
+        blasters = [threading.Thread(target=blast) for _ in range(2)]
+        for thread in blasters:
+            thread.start()
+        cold_results = []
+        cold_latencies = []
+        for _ in range(30):
+            started = time.perf_counter()
+            status, headers, _ = http_get(base, "/", key="sk-cold")
+            cold_latencies.append(time.perf_counter() - started)
+            cold_results.append(status)
+        for thread in blasters:
+            thread.join(timeout=60.0)
+
+        # The hot tenant hit the wall: refused with a bounded hint,
+        # never an unhandled error.
+        hot_statuses = [status for status, _ in hot_results]
+        assert hot_statuses.count(429) > 0
+        assert all(status in (200, 304, 429) for status in hot_statuses)
+        for status, retry_after in hot_results:
+            if status == 429:
+                assert retry_after is not None, (model, "429 w/o Retry-After")
+                assert 1 <= int(retry_after) <= 60
+
+        # The cold tenant never saw an error — not one 429, 503 or 5xx.
+        assert all(status in (200, 304) for status in cold_results), (
+            model, cold_results)
+
+        # ...and its latency stayed in the same regime as running solo
+        # (generous bound: the point is the hot tenant can no longer
+        # push the cold tenant into timeout territory).
+        solo_p99 = percentile_s(solo_latencies, 99)
+        blast_p99 = percentile_s(cold_latencies, 99)
+        assert blast_p99 <= max(1.0, solo_p99 * 10), (
+            model, f"cold p99 {blast_p99:.3f}s vs solo {solo_p99:.3f}s")
+
+        # Per-tenant metrics prove the rejections stayed at the edge:
+        # the hot tenant's *served* count never exceeded its budget
+        # (2x in the fleet: two workers may each admit up to the cap
+        # before gossip converges), and the cold tenant was never
+        # limited or errored.
+        _, _, body = http_get(base, "/api/metrics")
+        payload = json.loads(body)
+        hot = payload["tenants"]["hot"]
+        assert hot["limited"] > 0
+        ceiling = (2 * HOT_CAP if model == "process" else HOT_CAP) + 5
+        assert hot["allowed"] <= ceiling, (model, hot)
+        cold = payload["tenants"]["cold"]
+        assert cold["limited"] == 0
+        assert cold["errors"] == 0
+        assert payload["routes"]["<rate-limited>"]["requests"] == (
+            hot["limited"] + hot["sweep_limited"])
+
+
+FLEET_WORKERS = 4
+FLEET_CAP = 30
+
+FLEET_TENANTS = {
+    # A long window so the budget cannot quietly refill mid-test.
+    "window_s": 300,
+    "tiers": {
+        "free": {"requests_per_window": FLEET_CAP, "burst": 0},
+        "standard": {"requests_per_window": 100_000, "burst": 0},
+    },
+    "keys": {
+        "sk-hot": {"tenant": "hot", "tier": "free"},
+        "sk-cold": {"tenant": "cold", "tier": "standard"},
+    },
+}
+
+
+@pytest.fixture()
+def quota_fleet(tmp_path):
+    path = tmp_path / "tenants.json"
+    path.write_text(json.dumps(FLEET_TENANTS))
+    server = PreforkServer(port=0, workers=FLEET_WORKERS, watch=False,
+                           rebuild_mode="inline", quiet=True,
+                           tenants=str(path),
+                           tenancy_sync_interval_s=0.05,
+                           respawn_backoff_s=0.2,
+                           monitor_interval_s=0.02)
+    server.start()
+    assert server.wait_ready(timeout_s=120.0), "fleet never became ready"
+    yield server
+    server.stop()
+
+
+def blast_waves(base: str, waves: int, per_wave: int,
+                pause_s: float = 0.12) -> dict[int, int]:
+    """Send ``waves`` bursts of hot-key requests, pausing so gossip can
+    propagate between bursts (as a real client burst pattern would)."""
+    statuses: dict[int, int] = {}
+    for wave in range(waves):
+        for _ in range(per_wave):
+            status, _, _ = http_get(base, "/", key="sk-hot")
+            statuses[status] = statuses.get(status, 0) + 1
+        if wave != waves - 1:
+            time.sleep(pause_s)
+    return statuses
+
+
+class TestFleetCoherence:
+    """Satellite: N workers enforce ~one quota, and survive SIGKILL."""
+
+    def test_quota_is_fleet_wide_and_survives_worker_kill(self, quota_fleet):
+        base = quota_fleet.base_url
+
+        # Exhaust the hot tenant's quota across the whole fleet.
+        first = blast_waves(base, waves=12, per_wave=10)
+        allowed = first.get(200, 0) + first.get(304, 0)
+        denied = first.get(429, 0)
+        # The fleet honoured the budget: the tenant got (at least) its
+        # quota, but nowhere near workers x quota — the per-process
+        # limiters reconciled into ~one fleet-wide limit.
+        assert allowed >= int(FLEET_CAP * 0.8), first
+        assert allowed < 2 * FLEET_CAP, (
+            f"fleet enforced ~{allowed} >= 2x quota: windows not merging "
+            f"({first})")
+        assert denied > 0, first
+        assert set(first) <= {200, 304, 429}, first
+
+        # The cold tenant is untouched by the hot tenant's exhaustion.
+        for _ in range(10):
+            status, _, _ = http_get(base, "/", key="sk-cold")
+            assert status in (200, 304)
+
+        # SIGKILL a worker mid-window; the supervisor respawns it.
+        old_pid = quota_fleet.worker_pids()[0]
+        assert quota_fleet.kill_worker(0)
+        wait_until(
+            lambda: quota_fleet.worker_pids()[0] not in (None, old_pid),
+            timeout_s=60.0, message="worker never respawned")
+        assert quota_fleet.wait_ready(timeout_s=90.0), (
+            "fleet never became ready after respawn")
+        time.sleep(0.5)      # a few gossip rounds: the respawned worker
+        #                      inherits its predecessor's windows
+
+        # The respawn did NOT hand the hot tenant a fresh budget: its
+        # window survived the kill in the peers' gossip.
+        second = blast_waves(base, waves=3, per_wave=10)
+        allowed_after = second.get(200, 0) + second.get(304, 0)
+        assert allowed_after <= 5, (
+            f"respawn reset the hot tenant's window: {second}")
+        assert second.get(429, 0) >= 25, second
+
+        # ...and did not reset anyone else's window either: the cold
+        # tenant still sails through the respawned fleet.
+        for _ in range(10):
+            status, _, _ = http_get(base, "/", key="sk-cold")
+            assert status in (200, 304)
+
+        # The fleet-wide metrics agree: the hot tenant's served total
+        # stayed bounded across the kill, and every refusal was an
+        # edge 429, never an unhandled error.
+        _, _, body = http_get(base, "/api/metrics")
+        payload = json.loads(body)
+        hot = payload["tenants"]["hot"]
+        assert hot["limited"] >= denied
+        assert hot["errors"] == 0
+        assert payload["resilience"]["rate_limited"] == (
+            hot["limited"] + hot["sweep_limited"])

@@ -50,7 +50,7 @@ def test_ratio_is_validated():
         LoadGenerator(urls=["/"], sweep_ratio=1.5)
 
 
-def test_capacity_sheds_count_as_shed_not_errors(tmp_path):
+def test_capacity_refusals_count_as_limited_not_errors(tmp_path):
     app = create_app(watch=False, cache_dir=tmp_path / "cache",
                      sweep_max_jobs=1)
     try:
@@ -59,6 +59,9 @@ def test_capacity_sheds_count_as_shed_not_errors(tmp_path):
         assert report.unhandled_errors == 0
         assert set(report.statuses) <= {202, 429}
         if 429 in report.statuses:
-            assert report.shed > 0
+            # 429s are accounted as `limited`, distinct from 503 sheds.
+            assert report.limited > 0
+            assert report.shed == 0
+            assert report.limited_rate > 0.0
     finally:
         app.close()

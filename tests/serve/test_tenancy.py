@@ -1,0 +1,519 @@
+"""Unit coverage for the multi-tenant admission edge.
+
+Exercises :mod:`repro.serve.tenancy` directly with injected clocks —
+config parsing and key resolution, the two-bucket sliding-window math,
+sweep quotas, degraded-open under injected limiter faults, and the
+fleet-view CRDT (max-merge, transitive gossip, respawn inheritance) —
+plus the shared ``Retry-After`` helpers and the loadgen accounting the
+tenancy work introduced.  The over-sockets behaviour lives in
+``test_fairness.py``; this file never forks or binds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.faults import FaultPlan, FaultRule
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadRequest,
+    call_app,
+    parse_tenant_mix,
+    run_load,
+)
+from repro.serve.resilience import LoadShedder, bounded_retry_after
+from repro.serve.tenancy import (
+    ANONYMOUS_TENANT,
+    TenancyConfig,
+    TenancyConfigError,
+    TenancySync,
+    TenantGate,
+    TierPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def env(path: str = "/", key: str | None = None, method: str = "GET",
+        query: str = "") -> dict:
+    environ = {"PATH_INFO": path, "REQUEST_METHOD": method,
+               "QUERY_STRING": query}
+    if key is not None:
+        environ["HTTP_X_API_KEY"] = key
+    return environ
+
+
+def make_gate(clock, *, requests=5, burst=1, sweeps=2, window_s=10.0,
+              faults=None, worker_index=0, keys=None):
+    config = TenancyConfig(
+        tiers={"free": TierPolicy("free", requests_per_window=requests,
+                                  burst=burst,
+                                  sweep_submissions_per_window=sweeps),
+               "unlimited": TierPolicy("unlimited", None)},
+        keys=keys or {}, window_s=window_s, default_tier="free")
+    return TenantGate(config, clock=clock, faults=faults,
+                      worker_index=worker_index)
+
+
+class TestTierPolicy:
+    def test_rejects_zero_requests_per_window(self):
+        with pytest.raises(TenancyConfigError):
+            TierPolicy("bad", requests_per_window=0)
+
+    def test_rejects_negative_burst(self):
+        with pytest.raises(TenancyConfigError):
+            TierPolicy("bad", requests_per_window=10, burst=-1)
+
+    def test_none_means_unlimited(self):
+        tier = TierPolicy("unlimited", requests_per_window=None)
+        assert tier.requests_per_window is None
+        assert tier.sweep_submissions_per_window is None
+
+
+class TestTenancyConfig:
+    def test_default_defines_the_three_tiers(self):
+        config = TenancyConfig.default()
+        assert set(config.tiers) >= {"free", "standard", "unlimited"}
+        assert config.tiers["unlimited"].requests_per_window is None
+
+    def test_from_dict_merges_over_defaults(self):
+        config = TenancyConfig.from_dict({
+            "window_s": 5,
+            "tiers": {"free": {"requests_per_window": 3}},
+            "keys": {"sk-a": {"tenant": "alice", "tier": "standard"}},
+        })
+        assert config.window_s == 5.0
+        assert config.tiers["free"].requests_per_window == 3
+        assert config.tiers["standard"].requests_per_window == 600
+        assert config.keys["sk-a"] == ("alice", "standard")
+
+    def test_load_accepts_path_dict_and_default(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps(
+            {"keys": {"sk-x": {"tenant": "x", "tier": "free"}}}))
+        from_file = TenancyConfig.load(path)
+        assert from_file.keys["sk-x"] == ("x", "free")
+        assert TenancyConfig.load("default").tiers["free"].burst == 20
+        assert TenancyConfig.load({"window_s": 2}).window_s == 2.0
+        config = TenancyConfig.default()
+        assert TenancyConfig.load(config) is config
+
+    def test_load_rejects_bad_file(self, tmp_path):
+        with pytest.raises(TenancyConfigError):
+            TenancyConfig.load(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(TenancyConfigError):
+            TenancyConfig.load(bad)
+
+    def test_unknown_tier_names_are_rejected(self):
+        with pytest.raises(TenancyConfigError):
+            TenancyConfig(default_tier="gold")
+        with pytest.raises(TenancyConfigError):
+            TenancyConfig(keys={"sk-a": ("a", "gold")})
+
+    def test_resolution_known_unknown_anonymous(self):
+        config = TenancyConfig.from_dict(
+            {"keys": {"sk-a": {"tenant": "alice", "tier": "standard"}}})
+        assert config.resolve("sk-a") == ("alice", config.tiers["standard"])
+        # Unknown keys become their own tenant on the default tier, so
+        # made-up keys cannot pool into one shared bucket.
+        tenant, tier = config.resolve("sk-made-up")
+        assert tenant == "sk-made-up"
+        assert tier.name == "free"
+        tenant, tier = config.resolve(None)
+        assert tenant == ANONYMOUS_TENANT
+
+
+class TestRequestKey:
+    def test_header_wins_over_query(self):
+        environ = env(key="sk-header", query="key=sk-query")
+        assert TenantGate.request_key(environ) == "sk-header"
+
+    def test_query_fallback(self):
+        assert TenantGate.request_key(env(query="a=1&key=sk-q")) == "sk-q"
+
+    def test_no_key(self):
+        assert TenantGate.request_key(env()) is None
+
+
+class TestSlidingWindow:
+    def test_admits_up_to_limit_plus_burst_then_denies(self):
+        clock = FakeClock()
+        gate = make_gate(clock, requests=5, burst=1)
+        decisions = [gate.admit(env(key="sk-hot")) for _ in range(8)]
+        assert [d.allowed for d in decisions[:6]] == [True] * 6
+        assert all(not d.allowed for d in decisions[6:])
+        denied = decisions[6]
+        assert denied.reason == "rate"
+        assert 1 <= denied.retry_after <= 10
+        stats = gate.stats()
+        assert stats["allowed"] == 6
+        assert stats["limited"] == 2
+
+    def test_previous_window_decays_smoothly(self):
+        clock = FakeClock(start=1000.0)        # exactly on an epoch edge
+        gate = make_gate(clock, requests=4, burst=0, window_s=10.0)
+        for _ in range(4):
+            assert gate.admit(env(key="sk-a")).allowed
+        assert not gate.admit(env(key="sk-a")).allowed
+        # Half a window later the 4 old hits weigh 2: room for 2 more.
+        clock.advance(15.0)
+        assert gate.admit(env(key="sk-a")).allowed
+        assert gate.admit(env(key="sk-a")).allowed
+        assert not gate.admit(env(key="sk-a")).allowed
+
+    def test_full_window_roll_resets_budget(self):
+        clock = FakeClock()
+        gate = make_gate(clock, requests=2, burst=0)
+        assert gate.admit(env(key="sk-a")).allowed
+        assert gate.admit(env(key="sk-a")).allowed
+        assert not gate.admit(env(key="sk-a")).allowed
+        clock.advance(25.0)                    # past current + previous
+        assert gate.admit(env(key="sk-a")).allowed
+
+    def test_tenants_do_not_share_windows(self):
+        clock = FakeClock()
+        gate = make_gate(clock, requests=2, burst=0)
+        for _ in range(3):
+            gate.admit(env(key="sk-hot"))
+        assert not gate.admit(env(key="sk-hot")).allowed
+        assert gate.admit(env(key="sk-cold")).allowed
+
+    def test_unlimited_tier_never_denies(self):
+        clock = FakeClock()
+        gate = make_gate(clock, keys={"sk-ci": ("ci", "unlimited")})
+        for _ in range(500):
+            assert gate.admit(env(key="sk-ci")).allowed
+
+    def test_ops_probes_are_exempt_and_uncounted(self):
+        clock = FakeClock()
+        gate = make_gate(clock, requests=1, burst=0)
+        gate.admit(env(key="sk-a"))            # exhaust the budget
+        for path in ("/healthz", "/readyz"):
+            decision = gate.admit(env(path, key="sk-a"))
+            assert decision.allowed and decision.exempt
+        assert gate.stats()["allowed"] == 1    # probes never counted
+
+    def test_anonymous_traffic_shares_one_tenant(self):
+        clock = FakeClock()
+        gate = make_gate(clock, requests=2, burst=0)
+        assert gate.admit(env()).allowed
+        assert gate.admit(env()).allowed
+        denied = gate.admit(env())
+        assert not denied.allowed
+        assert denied.tenant == ANONYMOUS_TENANT
+
+
+class TestSweepQuota:
+    def sweep_env(self, key: str) -> dict:
+        return env("/api/sweeps", key=key, method="POST")
+
+    def test_sweep_submissions_have_their_own_quota(self):
+        clock = FakeClock()
+        gate = make_gate(clock, requests=100, sweeps=2)
+        assert gate.admit(self.sweep_env("sk-a")).allowed
+        assert gate.admit(self.sweep_env("sk-a")).allowed
+        denied = gate.admit(self.sweep_env("sk-a"))
+        assert not denied.allowed
+        assert denied.reason == "sweep-quota"
+        assert gate.stats()["sweep_limited"] == 1
+        # Plain requests still fine — the scopes are independent.
+        assert gate.admit(env(key="sk-a")).allowed
+
+    def test_get_sweeps_is_not_a_submission(self):
+        clock = FakeClock()
+        gate = make_gate(clock, requests=100, sweeps=0)
+        decision = gate.admit(env("/api/sweeps", key="sk-a"))
+        assert decision.allowed
+
+
+class TestDegradedOpen:
+    def test_limiter_fault_admits_and_counts(self):
+        clock = FakeClock()
+        plan = FaultPlan([FaultRule("rate-limit", "error", 1.0)])
+        gate = make_gate(clock, requests=1, burst=0, faults=plan)
+        for _ in range(10):
+            decision = gate.admit(env(key="sk-hot"))
+            assert decision.allowed
+            assert decision.degraded
+        assert gate.stats()["limiter_errors"] == 10
+
+    def test_broken_clock_still_admits(self):
+        def broken():
+            raise RuntimeError("clock is sick")
+
+        gate = make_gate(broken)
+        decision = gate.admit(env(key="sk-a"))
+        assert decision.allowed and decision.degraded
+        assert gate.stats()["limiter_errors"] == 1
+
+
+class TestFleetCRDT:
+    def test_absorb_enforces_one_fleet_quota(self):
+        clock = FakeClock()
+        g0 = make_gate(clock, requests=5, burst=1, worker_index=0)
+        g1 = make_gate(clock, requests=5, burst=1, worker_index=1)
+        for _ in range(4):
+            assert g0.admit(env(key="sk-hot")).allowed
+        g1.absorb(g0.view())
+        # g1 sees 4 fleet-wide hits: only 2 more fit under 5+1.
+        results = [g1.admit(env(key="sk-hot")).allowed for _ in range(4)]
+        assert results == [True, True, False, False]
+
+    def test_absorb_is_idempotent(self):
+        clock = FakeClock()
+        g0 = make_gate(clock, requests=10, burst=0, worker_index=0)
+        g1 = make_gate(clock, requests=10, burst=0, worker_index=1)
+        for _ in range(4):
+            g0.admit(env(key="sk-a"))
+        view = g0.view()
+        g1.absorb(view)
+        g1.absorb(view)                        # re-absorbing must not sum
+        assert g1.tenant_usage("sk-a")["requests"] == pytest.approx(4, abs=0.1)
+
+    def test_respawned_worker_inherits_predecessor_window(self):
+        clock = FakeClock()
+        g0 = make_gate(clock, requests=5, burst=1, worker_index=0)
+        g1 = make_gate(clock, requests=5, burst=1, worker_index=1)
+        for _ in range(6):
+            g0.admit(env(key="sk-hot"))        # predecessor burns the quota
+        g1.absorb(g0.view())                   # survivor heard about it
+        # Worker 0 is SIGKILLed; its replacement starts empty at index 0
+        # and learns its predecessor's counts from the survivor's gossip.
+        respawned = make_gate(clock, requests=5, burst=1, worker_index=0)
+        respawned.absorb(g1.view())
+        assert not respawned.admit(env(key="sk-hot")).allowed
+        # ...and nobody else's window was reset or inflated by the kill.
+        assert respawned.admit(env(key="sk-cold")).allowed
+
+    def test_gossip_is_transitive(self):
+        clock = FakeClock()
+        gates = [make_gate(clock, requests=10, burst=0, worker_index=i)
+                 for i in range(3)]
+        for _ in range(4):
+            gates[0].admit(env(key="sk-a"))
+        gates[1].absorb(gates[0].view())       # 1 hears 0 directly
+        gates[2].absorb(gates[1].view())       # 2 only ever talks to 1
+        assert gates[2].tenant_usage("sk-a")["requests"] == pytest.approx(
+            4, abs=0.1)
+
+    def test_absorb_tolerates_garbage(self):
+        clock = FakeClock()
+        gate = make_gate(clock)
+        gate.absorb("not a dict")
+        gate.absorb({"nope": "bad", "7": "also bad"})
+        assert gate.admit(env(key="sk-a")).allowed
+
+    def test_view_is_json_round_trippable(self):
+        clock = FakeClock()
+        gate = make_gate(clock, worker_index=3)
+        gate.admit(env(key="sk-a"))
+        view = json.loads(json.dumps(gate.view()))
+        other = make_gate(clock, worker_index=1)
+        other.absorb(view)
+        assert other.tenant_usage("sk-a")["requests"] == pytest.approx(
+            1, abs=0.1)
+
+
+class TestTenancySync:
+    def test_sync_once_absorbs_views(self):
+        clock = FakeClock()
+        g0 = make_gate(clock, worker_index=0)
+        g1 = make_gate(clock, worker_index=1)
+        for _ in range(3):
+            g0.admit(env(key="sk-a"))
+        sync = TenancySync(g1, lambda: [g0.view()], interval_s=0.05)
+        assert sync.sync_once() == 1
+        assert g1.tenant_usage("sk-a")["requests"] == pytest.approx(3, abs=0.1)
+        assert sync.stats()["syncs"] == 1
+
+    def test_fetch_failure_is_counted_not_raised(self):
+        clock = FakeClock()
+        gate = make_gate(clock)
+
+        def explode():
+            raise OSError("peer gone")
+
+        sync = TenancySync(gate, explode)
+        assert sync.sync_once() == 0
+        assert sync.sync_errors == 1
+
+    def test_background_thread_converges(self):
+        clock = FakeClock()
+        g0 = make_gate(clock, worker_index=0)
+        g1 = make_gate(clock, worker_index=1)
+        for _ in range(5):
+            g0.admit(env(key="sk-a"))
+        sync = TenancySync(g1, lambda: [g0.view()], interval_s=0.01).start()
+        try:
+            import time as _time
+            deadline = _time.monotonic() + 5.0
+            while _time.monotonic() < deadline:
+                if g1.tenant_usage("sk-a")["requests"] >= 4.9:
+                    break
+                _time.sleep(0.01)
+            assert g1.tenant_usage("sk-a")["requests"] == pytest.approx(
+                5, abs=0.1)
+        finally:
+            sync.stop()
+
+
+class TestRetryAfterHelpers:
+    def test_bounded_retry_after_clamps(self):
+        assert bounded_retry_after(0.0) == 1
+        assert bounded_retry_after(0.4) == 1
+        assert bounded_retry_after(7.6) == 8
+        assert bounded_retry_after(10_000) == 60
+        assert bounded_retry_after(500, max_s=5) == 5
+
+    def test_shedder_retry_after_grows_with_pressure(self):
+        shedder = LoadShedder(max_inflight=1, retry_after_s=2)
+        assert shedder.try_acquire()
+        first = shedder.retry_after()
+        for _ in range(200):                   # sustained refusals
+            assert not shedder.try_acquire()
+        assert shedder.retry_after() > first
+        shedder.release()
+        assert shedder.try_acquire()           # an admit resets the streak
+        shedder.release()
+        assert shedder.retry_after() == first
+
+
+class TestLoadgenTenancy:
+    def test_parse_tenant_mix(self):
+        assert parse_tenant_mix("hot:0.8,cold:0.2") == {"hot": 0.8,
+                                                        "cold": 0.2}
+        assert parse_tenant_mix("solo") == {"solo": 1.0}
+        for bad in ("", "  ,", ":0.5", "hot:nan-ish:x", "hot:-1"):
+            with pytest.raises(ValueError):
+                parse_tenant_mix(bad)
+
+    def test_generator_attributes_requests_to_keys(self):
+        gen = LoadGenerator(urls=["/a", "/b"], seed=7,
+                            tenant_mix="hot:0.8,cold:0.2")
+        keys = {r.api_key for r in gen.sample_requests(200)}
+        assert keys == {"hot", "cold"}
+
+    def test_retries_honor_retry_after_and_are_tallied(self, tmp_path):
+        from repro.serve import create_app
+
+        config = {"window_s": 30,
+                  "tiers": {"free": {"requests_per_window": 2, "burst": 0}}}
+        app = create_app(watch=False, cache_dir=tmp_path / "cache",
+                         tenants=config)
+        try:
+            naps: list[float] = []
+            requests = [LoadRequest("/", api_key="sk-hot",
+                                    conditional=False) for _ in range(4)]
+            report = run_load(app, requests, max_retries=1,
+                              retry_cap_s=0.01, sleep=naps.append)
+            # 4 issued, the 3rd and 4th refused then retried (still over).
+            assert report.limited >= 2
+            assert report.retries >= 2
+            assert report.shed == 0
+            assert len(naps) == report.retries
+            assert all(0.0 <= nap <= 0.01 for nap in naps)
+        finally:
+            app.close()
+
+
+class TestAppIntegration:
+    @pytest.fixture()
+    def app(self, tmp_path):
+        config = {
+            "window_s": 60,
+            "tiers": {"free": {"requests_per_window": 3, "burst": 0,
+                               "sweep_submissions_per_window": 0}},
+            "keys": {"sk-cold": {"tenant": "cold", "tier": "standard"}},
+        }
+        application = create_app_with(tmp_path, config)
+        yield application
+        application.close()
+
+    def test_429_carries_retry_after_and_skips_the_cache(self, app):
+        for _ in range(3):
+            assert call_app(app, "/", headers=KEY_HOT).status == 200
+        refused = call_app(app, "/", headers=KEY_HOT)
+        assert refused.status == 429
+        assert int(refused.headers["Retry-After"]) >= 1
+        payload = json.loads(refused.body)
+        assert payload["tenant"] == "sk-hot"
+        # The refusal never reached a route: only the edge counted it.
+        snapshot = app.metrics.snapshot()
+        assert snapshot["resilience"]["rate_limited"] == 1
+        assert "<rate-limited>" in snapshot["routes"]
+
+    def test_per_tenant_metrics_split_allowed_from_limited(self, app):
+        for _ in range(5):
+            call_app(app, "/", headers=KEY_HOT)
+        call_app(app, "/", headers={"X-Api-Key": "sk-cold"})
+        tenants = app.metrics.snapshot()["tenants"]
+        assert tenants["sk-hot"]["allowed"] == 3
+        assert tenants["sk-hot"]["limited"] == 2
+        assert tenants["cold"]["allowed"] == 1
+        assert tenants["cold"]["limited"] == 0
+        # Latency percentiles describe served traffic only.
+        assert tenants["sk-hot"]["latency"]["count"] == 3
+
+    def test_sweep_quota_zero_denies_pre_pool(self, app):
+        body = json.dumps({"slugs": ["findsmallestcard"], "sizes": [4],
+                           "seeds": [0]}).encode()
+        refused = call_app(app, "/api/sweeps", method="POST",
+                           headers=KEY_HOT, body=body)
+        assert refused.status == 429
+        assert "Retry-After" in refused.headers
+        assert app.sweeps.stats()["jobs_submitted"] == 0
+
+    def test_accepted_sweeps_record_their_tenant(self, app):
+        body = json.dumps({"slugs": ["findsmallestcard"], "sizes": [4],
+                           "seeds": [0]}).encode()
+        accepted = call_app(app, "/api/sweeps", method="POST",
+                            headers={"X-Api-Key": "sk-cold"}, body=body)
+        assert accepted.status == 202
+        stats = app.sweeps.stats()
+        assert stats["per_tenant"]["cold"]["submitted"] == 1
+
+    def test_fault_injected_limiter_never_500s(self, tmp_path):
+        config = {"window_s": 60,
+                  "tiers": {"free": {"requests_per_window": 1, "burst": 0}}}
+        app = create_app_with(tmp_path / "faulty", config,
+                              fault_spec="rate-limit:error@1.0")
+        try:
+            for _ in range(20):
+                response = call_app(app, "/", headers=KEY_HOT)
+                assert response.status in (200, 304)
+            assert app.tenancy.stats()["limiter_errors"] == 20
+        finally:
+            app.close()
+
+    def test_no_tenants_flag_means_no_edge(self, tmp_path):
+        from repro.serve import create_app
+
+        app = create_app(watch=False, cache_dir=tmp_path / "cache")
+        try:
+            assert app.tenancy is None
+            assert call_app(app, "/").status == 200
+        finally:
+            app.close()
+
+
+KEY_HOT = {"X-Api-Key": "sk-hot"}
+
+
+def create_app_with(tmp_path, config, **kwargs):
+    from repro.serve import create_app
+
+    return create_app(watch=False, cache_dir=tmp_path / "cache",
+                      tenants=config, **kwargs)
